@@ -1,0 +1,23 @@
+"""Shared benchmark plumbing: result emission and table rendering.
+
+Every benchmark prints a paper-versus-measured table and also writes it to
+``benchmarks/results/<name>.txt`` so the comparison survives pytest's
+output capture.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.experiments.common import format_table
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+__all__ = ["emit", "format_table"]
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}\n")

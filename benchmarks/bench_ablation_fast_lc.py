@@ -1,0 +1,49 @@
+"""Extension — the fast-LC material ladder (paper conclusion).
+
+"The RetroTurbo design can be easily applied on much faster switching
+liquid crystal (e.g., CCN-47 with 30 ns and ferroelectric with 20 us
+restoration time)".  This benchmark runs the *same* modulation stack on
+time-scaled LC parameters and demonstrates the ferroelectric point decodes
+at Mbps-class rates; CCN-47's implied optical-medium rate is reported but
+not simulated (electronics, not the LC, would bound it).
+"""
+
+from _common import emit, format_table
+
+from repro.experiments.fig18 import emulated_packet_ber
+from repro.lcm.response import LCParams
+from repro.modem.config import ModemConfig
+from repro.modem.references import ReferenceBank
+
+FERRO_SCALE = 20e-6 / 3.5e-3
+CCN47_SCALE = 30e-9 / 3.5e-3
+
+
+def test_ablation_fast_lc(benchmark):
+    base = ModemConfig()
+    ferro_cfg = base.scaled_to_material(FERRO_SCALE)
+    ferro_bank = ReferenceBank.nominal(ferro_cfg, params=LCParams.ferroelectric())
+    ferro_ber = emulated_packet_ber(ferro_cfg, snr_db=35.0, n_symbols=96, rng=1, bank=ferro_bank)
+    cots_ber = emulated_packet_ber(base, snr_db=35.0, n_symbols=96, rng=1)
+    ccn_rate = base.scaled_to_material(CCN47_SCALE).rate_bps
+
+    rows = [
+        ("COTS TN (prototype)", f"{base.rate_bps / 1e3:.0f} Kbps", f"{cots_ber:.4f}"),
+        ("ferroelectric [15]", f"{ferro_cfg.rate_bps / 1e6:.2f} Mbps", f"{ferro_ber:.4f}"),
+        ("CCN-47 [14]", f"{ccn_rate / 1e6:.0f} Mbps", "optical limit (not simulated)"),
+    ]
+    emit(
+        "ablation_fast_lc",
+        format_table(
+            ["material", "raw rate (L=8, P=16)", "BER @ 35 dB"],
+            rows,
+            title="Extension - same modulation stack on faster LC materials",
+        ),
+    )
+    assert ferro_cfg.rate_bps > 1e6, "ferroelectric must reach Mbps class"
+    assert ferro_ber < 0.01, "the stack must decode unchanged on fast LC"
+    assert cots_ber < 0.01
+
+    benchmark(
+        emulated_packet_ber, ferro_cfg, 35.0, 32, 16, 2, ferro_bank
+    )

@@ -1,0 +1,57 @@
+"""Extension — concurrent multi-tag uplink (paper §8 "Efficient Multiple
+Access").
+
+A multi-aperture reader (directive photodiode units) sounds each tag,
+zero-forces the mixture, and demodulates *simultaneous* DSM-PQAM
+transmissions.  Expected shape: with enough apertures and SNR, every
+concurrent tag decodes cleanly — aggregate throughput scales with the tag
+count instead of TDMA's 1x — and the channel estimate lands within a few
+percent of truth.
+"""
+
+from _common import emit, format_table
+
+from repro.experiments.multiaccess import concurrent_uplink_study
+
+
+def test_ablation_multiaccess(benchmark):
+    cases = [
+        (1, 2, 45.0),
+        (2, 2, 45.0),
+        (2, 3, 45.0),
+        (3, 4, 50.0),
+        (4, 6, 50.0),
+    ]
+    rows = []
+    results = {}
+    for tags, apertures, snr in cases:
+        r = concurrent_uplink_study(
+            n_tags=tags, n_apertures=apertures, snr_db=snr, n_symbols=64, rng=71
+        )
+        results[(tags, apertures)] = r
+        rows.append(
+            (
+                tags,
+                apertures,
+                f"{snr:.0f} dB",
+                f"{max(r.per_tag_ber):.4f}",
+                f"{r.channel_error:.3f}",
+                f"{r.condition_number:.1f}",
+                f"{r.aggregate_rate_multiple:.0f}x",
+            )
+        )
+    emit(
+        "ablation_multiaccess",
+        format_table(
+            ["tags", "apertures", "SNR", "worst BER", "H error", "cond(H)", "aggregate"],
+            rows,
+            title="Extension - concurrent tags via multi-aperture MIMO (paper §8)",
+        ),
+    )
+    assert results[(2, 3)].aggregate_rate_multiple == 2.0
+    assert results[(4, 6)].aggregate_rate_multiple == 4.0
+    assert all(r.channel_error < 0.05 for r in results.values())
+
+    benchmark(
+        concurrent_uplink_study, 2, 3, 45.0, 32,
+    )

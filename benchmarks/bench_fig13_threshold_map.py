@@ -1,0 +1,47 @@
+"""Fig 13 — relative demodulation threshold across the (L, P) plane.
+
+The paper's point: at a fixed rate, neither pure-DSM (max L, min P) nor
+pure-PQAM (min L, max P) is optimal — a proper combination minimises the
+threshold.  We sweep every feasible operating point at 4 and 8 Kbps and
+report thresholds relative to the per-rate best.
+"""
+
+from _common import emit, format_table
+
+from repro.analysis.distance import relative_threshold_db
+from repro.analysis.optimizer import threshold_map
+
+
+def test_fig13_threshold_map(benchmark):
+    rows = []
+    winners = {}
+    for rate in (4000, 8000):
+        points = threshold_map(rate, n_contexts=3, rng=13)
+        best = max(p.distance for p in points)
+        for p in sorted(points, key=lambda q: q.config.dsm_order):
+            rel = relative_threshold_db(best, p.distance)
+            rows.append(
+                (
+                    f"{rate / 1000:g}k",
+                    p.config.dsm_order,
+                    p.config.pqam_order,
+                    f"{p.config.slot_s * 1e3:g} ms",
+                    f"{p.distance:.3g}",
+                    f"+{rel:.1f} dB",
+                )
+            )
+        winners[rate] = max(points, key=lambda q: q.distance).config
+    emit(
+        "fig13_threshold_map",
+        format_table(
+            ["rate", "L", "P", "T", "D", "rel threshold"],
+            rows,
+            title="Fig 13 - threshold vs DSM/PQAM order (relative to per-rate best)",
+        ),
+    )
+    # The winner at 4 Kbps must be an interior combination, not an extreme.
+    orders = [c.dsm_order for c in map(lambda p: p.config, threshold_map(4000, n_contexts=2, rng=13))]
+    w = winners[4000]
+    assert min(orders) < w.dsm_order < max(orders) or len(orders) < 3
+
+    benchmark(threshold_map, 4000, n_contexts=1, rng=13)

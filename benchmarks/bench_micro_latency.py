@@ -1,0 +1,53 @@
+"""§7.2.2 latency microbenchmark.
+
+Paper (128-byte packets): preamble 50 ms, online training 80 ms, packet
+transmission 258 ms @ 8 Kbps / 386 ms @ 4 Kbps, demodulation 90 ms with the
+16-branch DFE — demodulation faster than the payload airtime, so reception
+pipelines in real time.  Shape targets: section durations match the frame
+format, and our DFE demodulates faster than the payload airtime on this
+machine too.
+"""
+
+from _common import emit, format_table
+
+from repro.experiments.micro import latency_report
+
+PAPER = {
+    4000: {"payload_s": 0.386 - 0.130, "total_s": 0.503},
+    8000: {"payload_s": 0.258 - 0.130, "total_s": 0.375},
+}
+
+
+def test_micro_latency(benchmark):
+    rows_data = latency_report(rates_bps=[4000, 8000], payload_bytes=128, rng=51)
+    rows = []
+    for r in rows_data:
+        rows.append(
+            (
+                f"{r.rate_bps / 1000:g}k",
+                f"{r.preamble_s * 1e3:.0f} ms",
+                f"{r.training_s * 1e3:.0f} ms",
+                f"{r.payload_s * 1e3:.0f} ms",
+                f"{r.demod_s * 1e3:.0f} ms",
+                "yes" if r.realtime_capable else "NO",
+            )
+        )
+    emit(
+        "micro_latency",
+        format_table(
+            ["rate", "preamble", "training", "payload", "demod (wall)", "real-time"],
+            rows,
+            title="Latency microbenchmark (paper: 50/80 ms overheads, pipelined RX)",
+        ),
+    )
+    by_rate = {r.rate_bps: r for r in rows_data}
+    assert abs(by_rate[8000].preamble_s - 50e-3) < 5e-3
+    assert abs(by_rate[8000].training_s - 80e-3) < 20e-3
+    # 128 bytes + CRC at 8 Kbps: ~130 ms of payload airtime.
+    assert abs(by_rate[8000].payload_s - 0.130) < 0.01
+    assert by_rate[4000].payload_s > by_rate[8000].payload_s
+
+    from repro.experiments.fig18 import emulated_packet_ber
+    from repro.modem.config import preset_for_rate
+
+    benchmark(emulated_packet_ber, preset_for_rate(8000), 40.0, 64, 16, 2)

@@ -1,0 +1,34 @@
+"""§7.2.2 power microbenchmark.
+
+Paper: the Monsoon-measured tag draws 0.8 mW at *both* 4 and 8 Kbps,
+because the DSM symbol length (and hence the LC toggle schedule) is
+rate-invariant; higher PQAM order only redistributes which binary-weighted
+sub-pixels toggle.  Shape targets: ~0.8 mW, flat across 4/8/16 Kbps.
+"""
+
+from _common import emit, format_table
+
+from repro.experiments.micro import power_report
+
+PAPER_MW = 0.8
+
+
+def test_micro_power(benchmark):
+    out = power_report(rates_bps=[4000, 8000, 16000], payload_bytes=64, rng=52)
+    rows = [
+        (f"{rate / 1000:g}k", f"{PAPER_MW:.1f} mW", f"{p * 1e3:.2f} mW")
+        for rate, p in out.items()
+    ]
+    emit(
+        "micro_power",
+        format_table(
+            ["rate", "paper", "measured"],
+            rows,
+            title="Power microbenchmark (paper: 0.8 mW, rate-invariant)",
+        ),
+    )
+    values = list(out.values())
+    assert all(0.5e-3 < v < 1.2e-3 for v in values), "sub-mW budget"
+    assert (max(values) - min(values)) / max(values) < 0.25, "rate-invariant"
+
+    benchmark(power_report, rates_bps=[8000], payload_bytes=32, rng=1)

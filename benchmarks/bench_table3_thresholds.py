@@ -1,0 +1,44 @@
+"""Table 3 — minimum distance D and relative demodulation threshold at the
+optimal (L, P) parameters per rate.
+
+Paper: 1 Kbps -> 0 dB (reference), 4 Kbps -> 20 dB, 8 Kbps -> 28 dB,
+12 Kbps -> 31 dB, 16 Kbps -> 33 dB.  Shape target: monotone threshold
+growth with rate, ~20 dB to 4 Kbps and high twenties to 8 Kbps.
+"""
+
+from _common import emit, format_table
+
+from repro.analysis.optimizer import optimal_parameters, relative_threshold_table
+
+PAPER_THRESHOLD = {1000: 0.0, 4000: 20.0, 8000: 28.0, 12000: 31.0, 16000: 33.0}
+PAPER_D = {1000: 8.7, 4000: 9.0e-2, 8000: 1.5e-2, 12000: 7.8e-3, 16000: 4.0e-3}
+
+
+def test_table3_thresholds(benchmark):
+    rates = [1000, 4000, 8000, 12000, 16000]
+    measured = relative_threshold_table(rates, n_contexts=3, rng=3)
+    rows = [
+        (
+            f"{r / 1000:g}k",
+            f"{PAPER_D[r]:.2g}",
+            f"{d:.3g}",
+            f"{PAPER_THRESHOLD[r]:.0f} dB",
+            f"{th:.1f} dB",
+        )
+        for r, d, th in measured
+    ]
+    emit(
+        "table3_thresholds",
+        format_table(
+            ["rate", "paper D", "measured D", "paper rel thr", "measured rel thr"],
+            rows,
+            title="Table 3 - demodulation threshold of optimal parameters",
+        ),
+    )
+    ths = {r: th for r, _, th in measured}
+    assert ths[1000] == 0.0
+    assert ths[1000] < ths[4000] < ths[8000] <= ths[12000] <= ths[16000]
+    assert 14.0 < ths[4000] < 26.0, "4 Kbps should sit near the paper's 20 dB"
+    assert 23.0 < ths[8000] < 35.0, "8 Kbps should sit near the paper's 28 dB"
+
+    benchmark(optimal_parameters, 4000, n_contexts=1, rng=3)

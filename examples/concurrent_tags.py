@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Scenario: several tags talking at once — the §8 MIMO extension.
+
+The paper's discussion sketches "efficient multiple access": a reader that
+coordinates concurrent transmissions and separates them with "multiple
+photodiodes placed strategically from optical channel diversity
+perspective".  This script runs that system:
+
+1. a reader with directive photodiode apertures aimed across the scene,
+2. staggered channel sounding (each tag bursts while the rest idle),
+3. zero-forcing separation of the concurrent payload,
+4. per-tag DFE demodulation — and the aggregate rate multiple over TDMA.
+
+Run:  python examples/concurrent_tags.py [n_tags]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments.multiaccess import concurrent_uplink_study
+from repro.modem.config import ModemConfig
+
+
+def main(n_tags: int = 3) -> None:
+    config = ModemConfig()
+    n_apertures = n_tags + 1
+    snr = 45.0 if n_tags <= 2 else 50.0
+    print(f"{n_tags} tags transmitting {config.describe()}")
+    print(f"reader: {n_apertures} directive apertures, {snr:.0f} dB per-aperture SNR\n")
+
+    result = concurrent_uplink_study(
+        n_tags=n_tags,
+        n_apertures=n_apertures,
+        snr_db=snr,
+        n_symbols=128,
+        rng=71,
+    )
+    print(f"channel sounding : H estimated to {result.channel_error:.1%} "
+          f"(condition number {result.condition_number:.1f})")
+    for tag, ber in enumerate(result.per_tag_ber):
+        status = "clean" if ber == 0 else ("ok" if ber < 0.01 else "degraded")
+        print(f"tag {tag}           : BER {ber:.4f}  [{status}]")
+    aggregate = result.aggregate_rate_multiple * config.rate_bps
+    print(f"\naggregate uplink : {aggregate / 1000:.0f} kbps concurrent vs "
+          f"{config.rate_bps / 1000:.0f} kbps TDMA "
+          f"-> {result.aggregate_rate_multiple:.0f}x")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 3)

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Scenario: a tag on a rotating object — PQAM's rotation tolerance live.
+
+The paper's "flexible orientation" design goal (§3.1): in the wild a tag's
+polarization axis is arbitrary and may drift.  This script mounts a tag on
+a slowly spinning fixture and sends a packet at each orientation, showing
+
+* the constellation rotation the preamble estimates (2x the physical roll),
+* that BER stays flat at every angle (Fig 16b), and
+* what would happen to a naive fixed-axis PDM receiver instead (the
+  cos^2 fade the paper contrasts PQAM against).
+
+Run:  python examples/spinning_tag.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import LinkGeometry, ModemConfig, OpticalLink, PacketSimulator
+from repro.optics.polarization import channel_coefficient
+
+
+def main() -> None:
+    config = ModemConfig()
+    print(f"{'roll':>6} {'est. roll':>10} {'BER(4pkt)':>10} {'PQAM':>9} {'naive PDM fade':>15}")
+    for roll_deg in range(0, 181, 22):
+        roll = np.deg2rad(roll_deg)
+        sim = PacketSimulator(
+            config=config,
+            link=OpticalLink(geometry=LinkGeometry(distance_m=4.0, roll_rad=roll)),
+            payload_bytes=24,
+            rng=11,
+        )
+        point = sim.measure_ber(n_packets=4, rng=roll_deg)
+        # What the preamble's widely-linear regression recovered:
+        search = (sim.frame.guard_slots + 2) * config.samples_per_slot
+        detection = sim.receiver.frame.preamble.detect(
+            sim.link.transmit(sim.transmitter.transmit(bytes(24)), config.fs, rng=1).samples,
+            search_stop=search,
+        )
+        est = np.rad2deg(detection.corrector.estimated_roll_rad()) % 180
+        # A fixed-axis PDM receiver sees its channel fade as cos(2*roll):
+        fade = channel_coefficient(roll, 0.0)
+        fade_db = 20 * np.log10(max(abs(fade), 1e-3))
+        verdict = "reliable" if point.reliable else "degraded"
+        print(
+            f"{roll_deg:>5}d {est:>9.1f}d {point.ber:>10.4f} "
+            f"{verdict:>9} {fade_db:>13.1f} dB"
+        )
+    print("\nPQAM holds full rate at every angle; a fixed-axis PDM channel "
+          "fades as cos(2*roll) and dies at 45 deg.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Scenario: a reader polling a warehouse shelf of battery-free sensors.
+
+This is the paper's motivating IoT deployment: dozens of tags at assorted
+distances and orientations, a single reader, and the rate-adaptive MAC of
+§4.4 assigning each tag the fastest (rate, Reed-Solomon coding) pair its
+SNR supports.  The script:
+
+1. deploys N tags at random distances/orientations,
+2. discovers them with the framed-ALOHA protocol,
+3. assigns rates adaptively and with the weakest-tag baseline,
+4. runs the TDMA schedule with stop-and-wait ARQ,
+5. prints per-tag assignments and the aggregate throughput gain (Fig 18c).
+
+Run:  python examples/warehouse_sensors.py [n_tags]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.mac import (
+    FramedSlottedDiscovery,
+    NetworkSimulator,
+    TdmaScheduler,
+    default_profile,
+)
+
+
+def main(n_tags: int = 12) -> None:
+    rng = np.random.default_rng(2026)
+    profile = default_profile()
+    network = NetworkSimulator(profile=profile)
+
+    tags = network.deploy(n_tags, rng)
+    print(f"deployed {n_tags} tags between {network.min_distance_m} m "
+          f"and {network.max_distance_m} m\n")
+
+    discovery = FramedSlottedDiscovery().run([t.tag_id for t in tags], rng)
+    print(f"discovery: {len(discovery.discovered)} tags in {discovery.rounds} rounds "
+          f"({discovery.slots_used} slots, {discovery.collisions} collisions)\n")
+
+    print(f"{'tag':>4} {'dist':>6} {'SNR':>7} {'assigned rate':>14} {'coding':>12} {'goodput':>10}")
+    assignments = {}
+    for t in sorted(tags, key=lambda t: t.distance_m):
+        choice = profile.best_choice(t.snr_db)
+        assignments[t.tag_id] = (choice, t.snr_db)
+        coding = (
+            "uncoded"
+            if choice.coding.k == choice.coding.n
+            else f"RS({choice.coding.n},{choice.coding.k})"
+        )
+        print(
+            f"{t.tag_id:>4} {t.distance_m:>5.1f}m {t.snr_db:>6.1f}dB "
+            f"{choice.rate.rate_bps / 1000:>12.0f}k {coding:>12} "
+            f"{choice.goodput_bps / 1000:>8.2f}k"
+        )
+
+    scheduler = TdmaScheduler(profile)
+    outcomes = scheduler.run_round_robin(assignments, frames_per_tag=5, rng=rng)
+    delivered = sum(o.success for o in outcomes)
+    airtime = sum(o.airtime_s for o in outcomes)
+    print(f"\nTDMA round-robin: {delivered} frames delivered over {airtime:.1f} s of airtime "
+          f"({len(outcomes) - delivered} retransmissions)")
+
+    result = network.run(n_tags, rng)
+    print(
+        f"\nmean throughput: adaptive {result.adaptive_throughput_bps / 1000:.2f} kbps vs "
+        f"baseline {result.baseline_throughput_bps / 1000:.2f} kbps "
+        f"-> gain {result.gain:.2f}x  (paper: ~1.2x @ 4 tags, ~3.7x @ 100)"
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 12)

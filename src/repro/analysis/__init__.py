@@ -1,0 +1,51 @@
+"""The modulation-scheme analysis method of paper §5.
+
+* :mod:`repro.analysis.code_matrix` — the code-matrix abstraction: a
+  modulation scheme as a mapping from k data bits to an N x M binary drive
+  matrix, plus the nonlinear emulation map ``F``.
+* :mod:`repro.analysis.distance` — minimum pairwise Euclidean distance D
+  (the performance index) and demodulation thresholds.
+* :mod:`repro.analysis.emulation` — finite-memory (V-bit MLS) emulation of
+  the LCM with quantified error bounds (Table 2).
+* :mod:`repro.analysis.optimizer` — optimal (L, P) search per target rate
+  (Fig 13, Table 3).
+"""
+
+from repro.analysis.capacity import CapacityPoint, scheme_utilisation, shannon_capacity_bps
+from repro.analysis.code_matrix import CodeMatrixScheme, OokScheme, code_matrix_for_levels
+from repro.analysis.distance import (
+    DistanceReport,
+    min_distance,
+    relative_threshold_db,
+    threshold_db,
+)
+from repro.analysis.emulation import EmulationErrorReport, emulation_error_study
+from repro.analysis.emulation import collect_slot_fingerprints
+from repro.analysis.optimizer import (
+    ParameterPoint,
+    candidate_configs,
+    optimal_parameters,
+    relative_threshold_table,
+    threshold_map,
+)
+
+__all__ = [
+    "CapacityPoint",
+    "CodeMatrixScheme",
+    "DistanceReport",
+    "EmulationErrorReport",
+    "OokScheme",
+    "ParameterPoint",
+    "candidate_configs",
+    "code_matrix_for_levels",
+    "collect_slot_fingerprints",
+    "emulation_error_study",
+    "min_distance",
+    "optimal_parameters",
+    "relative_threshold_db",
+    "relative_threshold_table",
+    "scheme_utilisation",
+    "shannon_capacity_bps",
+    "threshold_db",
+    "threshold_map",
+]

@@ -1,0 +1,104 @@
+"""The code-matrix abstraction of paper §5.1.
+
+A modulation scheme with ``N`` individual modulators over ``M`` time slots
+is a mapping from ``k`` data bits to an ``N x M`` binary *code matrix* A
+(which pixel is driven in which slot), together with a map ``F`` from code
+matrices to received waveforms.  For the ideal infinite-bandwidth modulator
+``F`` just samples the matrix; for the LCM, ``F`` is the finite-memory
+fingerprint emulation of §5.2.
+
+:class:`CodeMatrixScheme` wraps the DSM-PQAM stack in this interface so the
+distance machinery in :mod:`repro.analysis.distance` can treat any scheme
+uniformly; :class:`OokScheme` is the paper's reference point (OOK is
+D-optimal on the ideal modulator).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.modem.config import ModemConfig
+from repro.modem.dsm_pqam import DsmPqamModulator
+from repro.modem.references import ReferenceBank, assemble_waveform
+from repro.modem.symbols import PQAMConstellation
+
+__all__ = ["CodeMatrixScheme", "OokScheme", "code_matrix_for_levels"]
+
+
+def code_matrix_for_levels(
+    modulator: DsmPqamModulator, levels_i: np.ndarray, levels_q: np.ndarray
+) -> np.ndarray:
+    """The N x M code matrix of a DSM-PQAM level sequence.
+
+    Exactly the per-pixel drive schedule: N pixels by M slots.
+    """
+    return modulator.drive_for_levels(levels_i, levels_q)
+
+
+class CodeMatrixScheme:
+    """DSM-PQAM as an abstract (bits -> code matrix -> waveform) scheme."""
+
+    def __init__(self, config: ModemConfig, bank: ReferenceBank | None = None):
+        self.config = config
+        self.bank = bank or ReferenceBank.nominal(config)
+        self.constellation = PQAMConstellation(config.pqam_order)
+
+    @property
+    def bits_per_slot(self) -> int:
+        """Data bits carried per time slot."""
+        return self.config.bits_per_symbol
+
+    def bits_to_levels(self, bits: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Data bits -> level-pair sequence."""
+        return self.constellation.bits_to_levels(bits)
+
+    def waveform(
+        self,
+        levels_i: np.ndarray,
+        levels_q: np.ndarray,
+        preceding: tuple[np.ndarray, np.ndarray] | None = None,
+    ) -> np.ndarray:
+        """The emulated receive waveform ``F(A)`` for a level sequence."""
+        return assemble_waveform(self.bank, levels_i, levels_q, preceding=preceding)
+
+    def waveform_for_bits(self, bits: np.ndarray) -> np.ndarray:
+        """Convenience: bits -> waveform."""
+        levels_i, levels_q = self.bits_to_levels(bits)
+        return self.waveform(levels_i, levels_q)
+
+    def random_levels(self, n_slots: int, rng=None) -> tuple[np.ndarray, np.ndarray]:
+        """Uniform random level pairs (distance-search contexts)."""
+        return self.constellation.random_levels(n_slots, rng)
+
+
+class OokScheme:
+    """Ideal-modulator OOK (paper §5.1's reference scheme).
+
+    ``N = 1``, ``M = k``, ``F(A)(t) = A[0, floor(t * R)]`` — one bit per
+    slot, perfectly rectangular.  Its minimum distance is one slot of unit
+    amplitude difference, the paper's ``D = 1/(2R)`` benchmark (with their
+    half-amplitude convention; we report the plain integral).
+    """
+
+    def __init__(self, rate_bps: float, fs: float = 40e3):
+        if rate_bps <= 0 or fs <= 0:
+            raise ValueError("rate and fs must be positive")
+        if fs < 2 * rate_bps:
+            raise ValueError("fs must be at least twice the bit rate")
+        self.rate_bps = rate_bps
+        self.fs = fs
+
+    @property
+    def samples_per_bit(self) -> int:
+        """Receiver samples per OOK bit."""
+        return int(round(self.fs / self.rate_bps))
+
+    def waveform(self, bits: np.ndarray) -> np.ndarray:
+        """Rectangular +-1 waveform for a bit sequence."""
+        bits = np.asarray(bits, dtype=float)
+        return np.repeat(2.0 * bits - 1.0, self.samples_per_bit)
+
+    def min_distance(self) -> float:
+        """Exact D: a single inverted bit, integrated over its slot."""
+        # Amplitude difference of 2 over one bit duration.
+        return 4.0 / self.rate_bps

@@ -1,0 +1,119 @@
+"""Optimal DSM/PQAM parameter search (paper §5.3, Fig 13, Table 3).
+
+The LC relaxation pins the DSM pulse span at ``W = L * T ~ 4 ms``; a target
+rate ``R = log2(P) / T`` then leaves a one-dimensional family of operating
+points trading DSM order L (more, smaller transmitters -> less energy per
+pulse) against PQAM order P (denser constellation -> smaller level
+spacing).  The minimum-distance index D picks the winner per rate; Table 3
+lists D and the threshold relative to the 1 Kbps point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.code_matrix import CodeMatrixScheme
+from repro.analysis.distance import min_distance, relative_threshold_db
+from repro.modem.config import ModemConfig
+
+__all__ = ["ParameterPoint", "candidate_configs", "optimal_parameters", "threshold_map"]
+
+#: Slot durations (seconds) a tag controller can realistically fire at.
+DEFAULT_SLOT_CHOICES = (0.25e-3, 0.5e-3, 1.0e-3, 2.0e-3, 4.0e-3)
+
+#: The LC-imposed DSM pulse span.
+SYMBOL_DURATION_S = 4e-3
+
+
+@dataclass
+class ParameterPoint:
+    """One candidate operating point with its measured performance index."""
+
+    config: ModemConfig
+    distance: float
+
+    @property
+    def rate_bps(self) -> float:
+        """Raw rate of the operating point."""
+        return self.config.rate_bps
+
+
+def candidate_configs(
+    rate_bps: float,
+    slot_choices: tuple[float, ...] = DEFAULT_SLOT_CHOICES,
+    fs: float = 40e3,
+    tail_memory: int = 2,
+) -> list[ModemConfig]:
+    """All feasible (L, T, P) with ``log2(P)/T = rate`` and ``L*T = W``.
+
+    P must be an even power of two in [4, 256] (square Gray-labelled
+    constellations) and L a positive integer.
+    """
+    out: list[ModemConfig] = []
+    for slot_s in slot_choices:
+        bits = rate_bps * slot_s
+        if abs(bits - round(bits)) > 1e-9:
+            continue
+        bits = int(round(bits))
+        if bits < 2 or bits % 2 or bits > 8:
+            continue
+        l_order = SYMBOL_DURATION_S / slot_s
+        if abs(l_order - round(l_order)) > 1e-9:
+            continue
+        l_order = int(round(l_order))
+        if l_order < 1:
+            continue
+        out.append(
+            ModemConfig(
+                dsm_order=l_order,
+                pqam_order=1 << bits,
+                slot_s=slot_s,
+                fs=fs,
+                tail_memory=tail_memory,
+            )
+        )
+    return out
+
+
+def threshold_map(
+    rate_bps: float,
+    slot_choices: tuple[float, ...] = DEFAULT_SLOT_CHOICES,
+    n_contexts: int = 3,
+    rng=None,
+) -> list[ParameterPoint]:
+    """Distance of every feasible operating point at one rate (Fig 13 row)."""
+    points = []
+    for config in candidate_configs(rate_bps, slot_choices):
+        scheme = CodeMatrixScheme(config)
+        report = min_distance(scheme, n_contexts=n_contexts, rng=rng)
+        points.append(ParameterPoint(config=config, distance=report.distance))
+    if not points:
+        raise ValueError(f"no feasible operating point at {rate_bps} bps")
+    return points
+
+
+def optimal_parameters(
+    rate_bps: float,
+    slot_choices: tuple[float, ...] = DEFAULT_SLOT_CHOICES,
+    n_contexts: int = 3,
+    rng=None,
+) -> ParameterPoint:
+    """The distance-maximising operating point at a target rate."""
+    points = threshold_map(rate_bps, slot_choices, n_contexts=n_contexts, rng=rng)
+    return max(points, key=lambda p: p.distance)
+
+
+def relative_threshold_table(
+    rates_bps: list[float],
+    reference_rate_bps: float | None = None,
+    n_contexts: int = 3,
+    rng=None,
+) -> list[tuple[float, float, float]]:
+    """Table 3 rows: (rate, D, threshold dB relative to the reference rate)."""
+    reference_rate_bps = reference_rate_bps or min(rates_bps)
+    points = {r: optimal_parameters(r, n_contexts=n_contexts, rng=rng) for r in set(rates_bps) | {reference_rate_bps}}
+    d_ref = points[reference_rate_bps].distance
+    return [
+        (r, points[r].distance, relative_threshold_db(d_ref, points[r].distance))
+        for r in rates_bps
+    ]

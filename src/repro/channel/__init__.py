@@ -1,0 +1,18 @@
+"""End-to-end channel simulation: AWGN, the optical link pipeline, SNR
+estimation, and trace record/replay for the paper's §7.3-style emulation."""
+
+from repro.channel.awgn import add_awgn, complex_awgn, noise_sigma_for_snr
+from repro.channel.link import ChannelOutput, OpticalLink
+from repro.channel.snr import estimate_snr_db, evm_to_snr_db
+from repro.channel.trace import SignalTrace
+
+__all__ = [
+    "ChannelOutput",
+    "OpticalLink",
+    "SignalTrace",
+    "add_awgn",
+    "complex_awgn",
+    "estimate_snr_db",
+    "evm_to_snr_db",
+    "noise_sigma_for_snr",
+]

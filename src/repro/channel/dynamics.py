@@ -1,0 +1,77 @@
+"""Time-varying channel dynamics: the mobility regime of paper §8.
+
+The static design assumes the channel is frozen for a whole packet; §8
+(Mobility Support) notes this "might not hold when either end is in
+mobility, especially when packet is relatively long" and proposes
+"inserting multiple synchronization frames based on the mobility level".
+
+:class:`ChannelDrift` models the slow channel evolution a moving tag
+produces: a deterministic roll rate (constellation rotation drift), an
+amplitude trend (range change), and a small Brownian component on both.
+:mod:`repro.phy.resync` implements the proposed countermeasure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+
+__all__ = ["ChannelDrift"]
+
+
+@dataclass(frozen=True)
+class ChannelDrift:
+    """Slowly time-varying complex channel multiplier.
+
+    Parameters
+    ----------
+    roll_rate_rad_s:
+        Physical roll drift in rad/s; appears at twice that rate in the
+        constellation (``exp(j * 2 * roll(t))``).
+    gain_rate_per_s:
+        Relative amplitude trend per second (range change); 0.05 means the
+        link gains 5%/s.
+    jitter_sigma:
+        Std-dev of the Brownian phase component accumulated over one
+        second (rad, constellation domain).
+    """
+
+    roll_rate_rad_s: float = 0.0
+    gain_rate_per_s: float = 0.0
+    jitter_sigma: float = 0.0
+
+    @property
+    def is_static(self) -> bool:
+        """True when the drift degenerates to a constant channel."""
+        return (
+            self.roll_rate_rad_s == 0.0
+            and self.gain_rate_per_s == 0.0
+            and self.jitter_sigma == 0.0
+        )
+
+    def profile(
+        self,
+        n_samples: int,
+        fs: float,
+        rng: np.random.Generator | int | None = None,
+    ) -> np.ndarray:
+        """Complex multiplier per sample over a capture of ``n_samples``."""
+        if n_samples < 0:
+            raise ValueError("n_samples must be non-negative")
+        if fs <= 0:
+            raise ValueError("fs must be positive")
+        t = np.arange(n_samples) / fs
+        phase = 2.0 * self.roll_rate_rad_s * t
+        if self.jitter_sigma > 0.0:
+            gen = ensure_rng(rng)
+            steps = gen.normal(0.0, self.jitter_sigma / np.sqrt(fs), size=n_samples)
+            phase = phase + np.cumsum(steps)
+        gain = 1.0 + self.gain_rate_per_s * t
+        return gain * np.exp(1j * phase)
+
+    def rotation_over(self, duration_s: float) -> float:
+        """Deterministic constellation rotation accumulated in ``duration_s``."""
+        return 2.0 * self.roll_rate_rad_s * duration_s

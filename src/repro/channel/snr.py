@@ -1,0 +1,36 @@
+"""SNR estimation at the receiver.
+
+The rate-adaptive MAC (paper §4.4) assigns rates from "the SNR measurement";
+the reader estimates SNR from the preamble: after the rotation/scale
+regression the residual between the received and reference preamble is an
+unbiased noise sample, and the reference's power is the signal estimate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.units import linear_to_db, signal_power
+
+__all__ = ["estimate_snr_db", "evm_to_snr_db"]
+
+
+def estimate_snr_db(matched_reference: np.ndarray, residual: np.ndarray) -> float:
+    """SNR estimate from a fitted reference and the fit residual.
+
+    ``matched_reference`` is the reference waveform scaled/rotated onto the
+    received samples (i.e. ``a*X + b*conj(X) + c`` fitted output), and
+    ``residual`` the remaining error — the noise estimate.
+    """
+    p_signal = signal_power(matched_reference)
+    p_noise = signal_power(residual)
+    if p_noise <= 0:
+        return float("inf")
+    return float(linear_to_db(p_signal / p_noise))
+
+
+def evm_to_snr_db(evm_rms: float) -> float:
+    """Convert an RMS error-vector magnitude (fraction) into SNR in dB."""
+    if evm_rms <= 0:
+        return float("inf")
+    return float(linear_to_db(1.0 / evm_rms**2))

@@ -1,0 +1,189 @@
+"""Command-line interface: simulate links, sweep experiments, analyse
+operating points, and size networks without writing Python.
+
+Installed as the ``retroturbo`` console script::
+
+    retroturbo simulate --distance 3.0 --rate 8000 --packets 10
+    retroturbo sweep fig16a
+    retroturbo analyze --rate 8000
+    retroturbo network --tags 50
+    retroturbo materials
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro import LinkGeometry, OpticalLink, PacketSimulator
+    from repro.modem.config import preset_for_rate
+
+    link = OpticalLink(
+        geometry=LinkGeometry(
+            distance_m=args.distance,
+            roll_rad=float(np.deg2rad(args.roll)),
+            yaw_rad=float(np.deg2rad(args.yaw)),
+        )
+    )
+    sim = PacketSimulator(
+        config=preset_for_rate(args.rate),
+        link=link,
+        payload_bytes=args.payload,
+        rng=args.seed,
+    )
+    print(f"config : {sim.config.describe()}")
+    print(f"link   : {link.effective_snr_db():.1f} dB at {args.distance} m "
+          f"(roll {args.roll} deg, yaw {args.yaw} deg)")
+    point = sim.measure_ber(n_packets=args.packets, rng=args.seed + 1)
+    print(f"BER    : {point.ber:.4%} over {point.n_packets} packets "
+          f"({'reliable' if point.reliable else 'unreliable'} at the 1% bar)")
+    print(f"PER    : {point.packet_error_rate:.1%}   detection {point.detection_rate:.0%}   "
+          f"mean SNR estimate {point.mean_snr_est_db:.1f} dB")
+    return 0
+
+
+_SWEEPS = {
+    "fig16a": "rate_vs_distance",
+    "fig16b": "roll_sweep",
+    "fig16c": "yaw_sweep",
+    "fig16d": "ambient_sweep",
+    "fig18a": "emulated_ber_vs_snr",
+    "table4": "mobility_study",
+}
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    import repro.experiments as ex
+
+    name = args.figure
+    if name not in _SWEEPS:
+        print(f"unknown sweep {name!r}; choose from {', '.join(sorted(_SWEEPS))}")
+        return 2
+    harness = getattr(ex, _SWEEPS[name])
+    out = harness()
+    if isinstance(out, dict):
+        for key, points in out.items():
+            if hasattr(points, "__iter__") and not hasattr(points, "ber"):
+                series = " ".join(f"{p.x:g}:{p.ber:.4f}" for p in points)
+                print(f"{key}: {series}")
+            else:
+                print(f"{key}: x={points.x:g} ber={points.ber:.4f}")
+    else:
+        print(out)
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis.optimizer import candidate_configs, threshold_map
+
+    candidates = candidate_configs(args.rate)
+    if not candidates:
+        print(f"no feasible (L, P, T) operating point at {args.rate} bps")
+        return 1
+    points = threshold_map(args.rate, n_contexts=args.contexts, rng=args.seed)
+    best = max(points, key=lambda p: p.distance)
+    for p in sorted(points, key=lambda q: -q.distance):
+        marker = " <- optimal" if p is best else ""
+        print(f"L={p.config.dsm_order:>3} P={p.config.pqam_order:>4} "
+              f"T={p.config.slot_s * 1e3:g} ms  D={p.distance:.3e}{marker}")
+    return 0
+
+
+def _cmd_network(args: argparse.Namespace) -> int:
+    from repro.mac.network import NetworkSimulator
+
+    sim = NetworkSimulator()
+    result = sim.run(args.tags, rng=args.seed)
+    print(f"{args.tags} tags: adaptive {result.adaptive_throughput_bps / 1000:.2f} kbps, "
+          f"baseline {result.baseline_throughput_bps / 1000:.2f} kbps "
+          f"-> gain {result.gain:.2f}x "
+          f"(discovery used {result.discovery_slots} slots)")
+    return 0
+
+
+def _cmd_materials(args: argparse.Namespace) -> int:
+    from repro.lcm.response import LCParams
+    from repro.modem.config import ModemConfig
+
+    base = ModemConfig()
+    rows = [
+        ("COTS TN shutter", 1.0, "the prototype"),
+        ("ferroelectric LC", 20e-6 / 3.5e-3, "paper ref [15], ~20 us restore"),
+        ("CCN-47", 30e-9 / 3.5e-3, "paper ref [14], ~30 ns (optical limit)"),
+    ]
+    print(f"{'material':<18} {'slot T':>12} {'raw rate':>12}  note")
+    for name, scale, note in rows:
+        cfg = base.scaled_to_material(scale)
+        rate = cfg.rate_bps
+        unit = f"{rate / 1e6:.2f} Mbps" if rate >= 1e6 else f"{rate / 1e3:.0f} Kbps"
+        print(f"{name:<18} {cfg.slot_s * 1e6:>9.2f} us {unit:>12}  {note}")
+    # Touch the params constructors so the table stays honest.
+    LCParams.cots_tn(), LCParams.ferroelectric(), LCParams.ccn47()
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import ReportScale, generate_report
+
+    scale = ReportScale.full() if args.full else ReportScale.quick()
+    generate_report(path=args.output, scale=scale)
+    print(f"report written to {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="retroturbo",
+        description="RetroTurbo VLBC reproduction - simulation toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("simulate", help="run packets over one link")
+    p.add_argument("--distance", type=float, default=3.0)
+    p.add_argument("--rate", type=int, default=8000)
+    p.add_argument("--roll", type=float, default=0.0, help="degrees")
+    p.add_argument("--yaw", type=float, default=0.0, help="degrees")
+    p.add_argument("--packets", type=int, default=5)
+    p.add_argument("--payload", type=int, default=32)
+    p.add_argument("--seed", type=int, default=7)
+    p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser("sweep", help="run a paper-figure sweep")
+    p.add_argument("figure", choices=sorted(_SWEEPS))
+    p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser("analyze", help="optimal (L, P) search at a rate")
+    p.add_argument("--rate", type=int, default=8000)
+    p.add_argument("--contexts", type=int, default=2)
+    p.add_argument("--seed", type=int, default=3)
+    p.set_defaults(func=_cmd_analyze)
+
+    p = sub.add_parser("network", help="rate-adaptive MAC gain for N tags")
+    p.add_argument("--tags", type=int, default=20)
+    p.add_argument("--seed", type=int, default=5)
+    p.set_defaults(func=_cmd_network)
+
+    p = sub.add_parser("materials", help="rate ladder across LC materials")
+    p.set_defaults(func=_cmd_materials)
+
+    p = sub.add_parser("report", help="regenerate the full reproduction report")
+    p.add_argument("--output", default="REPORT.md")
+    p.add_argument("--full", action="store_true", help="benchmark-scale workloads")
+    p.set_defaults(func=_cmd_report)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Console-script entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,26 @@
+"""Channel coding: GF(256) arithmetic, Reed-Solomon, CRC-16, Gray mapping,
+and the data scrambler the paper uses to avoid DC stress on the LCM.
+
+The coding-gain emulation (paper Fig 18b) runs Reed-Solomon over GF(256)
+with stop-and-wait retransmission; the MAC layer uses CRC-16 to trigger
+those retransmissions.
+"""
+
+from repro.coding.crc import crc16, crc16_check
+from repro.coding.gf256 import GF256
+from repro.coding.gray import gray_decode, gray_encode, gray_map, gray_unmap
+from repro.coding.reed_solomon import RSCodec, RSDecodeError
+from repro.coding.scrambler import Scrambler
+
+__all__ = [
+    "GF256",
+    "RSCodec",
+    "RSDecodeError",
+    "Scrambler",
+    "crc16",
+    "crc16_check",
+    "gray_decode",
+    "gray_encode",
+    "gray_map",
+    "gray_unmap",
+]

@@ -1,0 +1,44 @@
+"""CRC-16/CCITT-FALSE, the integrity check the RetroTurbo MAC uses to
+trigger stop-and-wait retransmissions (paper §4.4).
+
+Polynomial 0x1021, initial value 0xFFFF, no reflection, no final XOR.
+A 256-entry table is precomputed at import time.
+"""
+
+from __future__ import annotations
+
+__all__ = ["crc16", "crc16_check"]
+
+_POLY = 0x1021
+_INIT = 0xFFFF
+
+
+def _build_table() -> list[int]:
+    table = []
+    for byte in range(256):
+        crc = byte << 8
+        for _ in range(8):
+            crc = ((crc << 1) ^ _POLY) if (crc & 0x8000) else (crc << 1)
+            crc &= 0xFFFF
+        table.append(crc)
+    return table
+
+
+_TABLE = _build_table()
+
+
+def crc16(data: bytes | bytearray) -> int:
+    """CRC-16/CCITT-FALSE of ``data`` as an integer in [0, 0xFFFF]."""
+    crc = _INIT
+    for byte in bytes(data):
+        crc = ((crc << 8) & 0xFFFF) ^ _TABLE[((crc >> 8) ^ byte) & 0xFF]
+    return crc
+
+
+def crc16_check(data_with_crc: bytes | bytearray) -> bool:
+    """Verify a buffer whose final two bytes are its big-endian CRC-16."""
+    buf = bytes(data_with_crc)
+    if len(buf) < 2:
+        return False
+    payload, trailer = buf[:-2], buf[-2:]
+    return crc16(payload) == int.from_bytes(trailer, "big")

@@ -1,0 +1,135 @@
+"""GF(2^8) finite-field arithmetic with log/antilog tables.
+
+Built from scratch (no external dependencies) as the substrate for the
+Reed-Solomon codec used in RetroTurbo's coding-gain study (paper Fig 18b).
+The field is constructed over the primitive polynomial
+``x^8 + x^4 + x^3 + x^2 + 1`` (0x11D), the conventional choice for RS(255, k).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["GF256"]
+
+_PRIMITIVE_POLY = 0x11D
+_FIELD_SIZE = 256
+
+
+def _build_tables() -> tuple[np.ndarray, np.ndarray]:
+    exp = np.zeros(2 * _FIELD_SIZE, dtype=np.int32)
+    log = np.zeros(_FIELD_SIZE, dtype=np.int32)
+    x = 1
+    for i in range(_FIELD_SIZE - 1):
+        exp[i] = x
+        log[x] = i
+        x <<= 1
+        if x & 0x100:
+            x ^= _PRIMITIVE_POLY
+    # Duplicate so that exp[i + j] never needs a modulo for i, j < 255.
+    for i in range(_FIELD_SIZE - 1, 2 * _FIELD_SIZE):
+        exp[i] = exp[i - (_FIELD_SIZE - 1)]
+    return exp, log
+
+
+class GF256:
+    """The field GF(2^8) with vectorised element-wise operations.
+
+    All methods accept ints or integer numpy arrays of values in [0, 255]
+    and broadcast like numpy ufuncs.  Addition and subtraction are both XOR
+    (characteristic 2).  A single shared table pair is built at import time;
+    instances are stateless and exist so call sites read as
+    ``gf.mul(a, b)`` rather than module-level soup.
+    """
+
+    _EXP, _LOG = _build_tables()
+
+    @property
+    def order(self) -> int:
+        """Number of field elements (256)."""
+        return _FIELD_SIZE
+
+    @property
+    def generator(self) -> int:
+        """The primitive element alpha (= 2) generating the multiplicative group."""
+        return 2
+
+    @staticmethod
+    def _validate(x) -> np.ndarray:
+        arr = np.asarray(x, dtype=np.int64)
+        if arr.size and (arr.min() < 0 or arr.max() > 255):
+            raise ValueError("GF(256) elements must lie in [0, 255]")
+        return arr
+
+    def add(self, a, b):
+        """Field addition (XOR)."""
+        out = self._validate(a) ^ self._validate(b)
+        return int(out) if out.ndim == 0 else out.astype(np.uint8)
+
+    # In characteristic 2, subtraction is addition.
+    sub = add
+
+    def mul(self, a, b):
+        """Field multiplication via log/antilog tables."""
+        a = self._validate(a)
+        b = self._validate(b)
+        a, b = np.broadcast_arrays(a, b)
+        out = np.zeros(a.shape, dtype=np.int64)
+        nz = (a != 0) & (b != 0)
+        out[nz] = self._EXP[self._LOG[a[nz]] + self._LOG[b[nz]]]
+        return int(out) if out.ndim == 0 else out.astype(np.uint8)
+
+    def inv(self, a):
+        """Multiplicative inverse; raises on zero."""
+        a = self._validate(a)
+        if np.any(a == 0):
+            raise ZeroDivisionError("zero has no inverse in GF(256)")
+        out = self._EXP[(_FIELD_SIZE - 1) - self._LOG[a]]
+        return int(out) if out.ndim == 0 else out.astype(np.uint8)
+
+    def div(self, a, b):
+        """Field division ``a / b``; raises on division by zero."""
+        b = self._validate(b)
+        if np.any(b == 0):
+            raise ZeroDivisionError("division by zero in GF(256)")
+        return self.mul(a, self.inv(b))
+
+    def pow(self, a, n: int):
+        """Field exponentiation ``a ** n`` (n may be any integer for a != 0)."""
+        a = self._validate(a)
+        if a.ndim == 0:
+            base = int(a)
+            if base == 0:
+                if n < 0:
+                    raise ZeroDivisionError("0 ** negative in GF(256)")
+                return 0 if n > 0 else 1
+            exponent = (self._LOG[base] * n) % (_FIELD_SIZE - 1)
+            return int(self._EXP[exponent])
+        raise TypeError("pow is defined for scalar elements; map it for arrays")
+
+    # ---- polynomial arithmetic (coefficient arrays, highest degree first) ----
+
+    def poly_mul(self, p: np.ndarray, q: np.ndarray) -> np.ndarray:
+        """Multiply two polynomials over GF(256)."""
+        p = self._validate(p)
+        q = self._validate(q)
+        out = np.zeros(p.size + q.size - 1, dtype=np.int64)
+        for i, coef in enumerate(p):
+            if coef:
+                out[i : i + q.size] ^= self.mul(int(coef), q).astype(np.int64)
+        return out.astype(np.uint8)
+
+    def poly_eval(self, p: np.ndarray, x: int) -> int:
+        """Evaluate polynomial ``p`` at the scalar point ``x`` (Horner)."""
+        acc = 0
+        for coef in self._validate(p):
+            acc = self.mul(acc, x) ^ int(coef)
+        return int(acc)
+
+    def poly_eval_many(self, p: np.ndarray, xs: np.ndarray) -> np.ndarray:
+        """Evaluate polynomial ``p`` at each point of ``xs`` (vectorised Horner)."""
+        xs = self._validate(xs)
+        acc = np.zeros(xs.shape, dtype=np.uint8)
+        for coef in self._validate(p):
+            acc = self.mul(acc, xs) ^ np.uint8(coef)
+        return acc

@@ -1,0 +1,56 @@
+"""Gray coding for PAM/PQAM symbol labelling.
+
+The paper notes (§5.1) that Gray code is the standard mitigation that keeps
+a single nearest-neighbour constellation error to a single bit error.
+RetroTurbo's PQAM labels each PAM axis with a Gray code so the BER tracks
+the symbol error rate tightly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["gray_decode", "gray_encode", "gray_map", "gray_unmap"]
+
+
+def gray_encode(value: int | np.ndarray):
+    """Binary -> Gray: ``g = b ^ (b >> 1)``."""
+    arr = np.asarray(value)
+    if np.any(arr < 0):
+        raise ValueError("Gray coding is defined for non-negative integers")
+    out = arr ^ (arr >> 1)
+    return int(out) if out.ndim == 0 else out
+
+
+def gray_decode(code: int | np.ndarray):
+    """Gray -> binary by prefix-XOR."""
+    arr = np.asarray(code)
+    if np.any(arr < 0):
+        raise ValueError("Gray coding is defined for non-negative integers")
+    out = arr.copy()
+    shift = 1
+    # The widest value bounds how many folds are needed.
+    max_bits = int(arr.max()).bit_length() if arr.size else 0
+    while shift <= max_bits:
+        out = out ^ (out >> shift)
+        shift <<= 1
+    return int(out) if out.ndim == 0 else out
+
+
+def gray_map(n_levels: int) -> np.ndarray:
+    """Level-index -> Gray label for an ``n_levels``-ary PAM axis.
+
+    ``n_levels`` must be a power of two.  Adjacent amplitude levels receive
+    labels at Hamming distance one.
+    """
+    if n_levels < 2 or (n_levels & (n_levels - 1)):
+        raise ValueError(f"n_levels must be a power of two >= 2, got {n_levels}")
+    return np.array([gray_encode(i) for i in range(n_levels)], dtype=np.int64)
+
+
+def gray_unmap(n_levels: int) -> np.ndarray:
+    """Gray label -> level-index, inverse permutation of :func:`gray_map`."""
+    forward = gray_map(n_levels)
+    inverse = np.empty_like(forward)
+    inverse[forward] = np.arange(n_levels)
+    return inverse

@@ -1,0 +1,16 @@
+"""Reader-to-tag downlink.
+
+RetroTurbo's MAC (paper §4.4) piggybacks "the suggested bit rate and
+coding rate in the downlink message"; the downlink itself follows the
+PassiveVLC/RetroVLC lineage the paper builds on — the reader's own
+illumination is amplitude-keyed and a micro-power photodiode + comparator
+on the tag recovers the bits.  Manchester coding keeps the light's average
+intensity constant (no visible flicker) and makes the tag's clock recovery
+trivial.
+"""
+
+from repro.downlink.frame import PollMessage
+from repro.downlink.link import DownlinkChannel
+from repro.downlink.modem import ManchesterOOKModem
+
+__all__ = ["DownlinkChannel", "ManchesterOOKModem", "PollMessage"]

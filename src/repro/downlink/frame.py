@@ -1,0 +1,92 @@
+"""Downlink poll message: the MAC's rate/coding assignment on the air.
+
+Format (MSB first): ``sync(8) | tag_id(16) | rate_code(4) | coding_code(4)
+| crc16(16)`` — 6 bytes total.  Rate codes index the preset ladder in
+:data:`repro.modem.config.RATE_PRESETS`; coding codes index the standard
+RS options of :class:`repro.mac.rate_adapt.LinkProfile`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.coding.crc import crc16, crc16_check
+from repro.modem.config import RATE_PRESETS
+
+__all__ = ["PollMessage"]
+
+SYNC_BYTE = 0xA7
+
+#: Wire code per preset rate, in ladder order.
+RATE_CODES: dict[int, int] = {rate: i for i, rate in enumerate(sorted(RATE_PRESETS))}
+RATES_BY_CODE: dict[int, int] = {i: rate for rate, i in RATE_CODES.items()}
+
+#: Wire code per RS option (k of RS(255, k); 255 = uncoded).
+CODING_CODES: dict[int, int] = {255: 0, 251: 1, 223: 2, 191: 3, 127: 4}
+CODING_BY_CODE: dict[int, int] = {v: k for k, v in CODING_CODES.items()}
+
+
+@dataclass(frozen=True)
+class PollMessage:
+    """One downlink poll: 'tag X, answer at this rate and coding'."""
+
+    tag_id: int
+    rate_bps: int
+    rs_k: int = 255
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.tag_id < (1 << 16):
+            raise ValueError("tag_id must fit in 16 bits")
+        if self.rate_bps not in RATE_CODES:
+            raise ValueError(f"rate {self.rate_bps} has no wire code")
+        if self.rs_k not in CODING_CODES:
+            raise ValueError(f"RS k={self.rs_k} has no wire code")
+
+    def encode(self) -> bytes:
+        """Serialise to the 6-byte wire format."""
+        body = bytes(
+            [
+                SYNC_BYTE,
+                (self.tag_id >> 8) & 0xFF,
+                self.tag_id & 0xFF,
+                (RATE_CODES[self.rate_bps] << 4) | CODING_CODES[self.rs_k],
+            ]
+        )
+        return body + crc16(body).to_bytes(2, "big")
+
+    @classmethod
+    def decode(cls, data: bytes) -> "PollMessage":
+        """Parse and validate a received poll; raises ``ValueError`` on
+        sync/CRC/field errors."""
+        if len(data) != 6:
+            raise ValueError(f"poll message must be 6 bytes, got {len(data)}")
+        if data[0] != SYNC_BYTE:
+            raise ValueError("bad sync byte")
+        if not crc16_check(data):
+            raise ValueError("CRC mismatch")
+        tag_id = (data[1] << 8) | data[2]
+        rate_code = data[3] >> 4
+        coding_code = data[3] & 0x0F
+        if rate_code not in RATES_BY_CODE:
+            raise ValueError(f"unknown rate code {rate_code}")
+        if coding_code not in CODING_BY_CODE:
+            raise ValueError(f"unknown coding code {coding_code}")
+        return cls(
+            tag_id=tag_id,
+            rate_bps=RATES_BY_CODE[rate_code],
+            rs_k=CODING_BY_CODE[coding_code],
+        )
+
+    def to_bits(self) -> np.ndarray:
+        """Wire bits (MSB first) for the downlink modem."""
+        return np.unpackbits(np.frombuffer(self.encode(), dtype=np.uint8))
+
+    @classmethod
+    def from_bits(cls, bits: np.ndarray) -> "PollMessage":
+        """Inverse of :meth:`to_bits`."""
+        bits = np.asarray(bits, dtype=np.uint8)
+        if bits.size != 48:
+            raise ValueError("poll message is 48 bits")
+        return cls.decode(np.packbits(bits).tobytes())

@@ -1,0 +1,62 @@
+"""Downlink channel: one-way illumination path to the tag's photodiode.
+
+Far friendlier than the uplink: the path is one-way (free-space-like
+exponent ~2), the tag sits inside the reader's beam, and the receiver is a
+photodiode + comparator rather than a precision ADC.  Ambient light adds a
+DC pedestal (removed by the comparator's tracking threshold) plus shot
+noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.optics.ambient import AmbientLight
+from repro.utils.rng import ensure_rng
+from repro.utils.units import db_to_linear
+
+__all__ = ["DownlinkChannel"]
+
+
+@dataclass
+class DownlinkChannel:
+    """Reader LED -> tag photodiode intensity channel."""
+
+    distance_m: float
+    snr_ref_db: float = 55.0
+    d_ref_m: float = 1.0
+    exponent: float = 2.0
+    ambient: AmbientLight = field(default_factory=AmbientLight)
+
+    def __post_init__(self) -> None:
+        if self.distance_m <= 0:
+            raise ValueError("distance must be positive")
+
+    def snr_db(self) -> float:
+        """Downlink SNR at the tag (modulation power over noise)."""
+        snr = self.snr_ref_db - 10.0 * self.exponent * np.log10(self.distance_m / self.d_ref_m)
+        return float(snr - self.ambient.snr_penalty_db())
+
+    def transmit(
+        self,
+        intensity: np.ndarray,
+        rng: np.random.Generator | int | None = None,
+    ) -> np.ndarray:
+        """Push an illumination waveform to the tag's photodiode.
+
+        The waveform's AC (modulation) part scales against the noise floor
+        implied by :meth:`snr_db`; the ambient pedestal rides on top and is
+        the comparator's problem (it tracks and removes the mean).
+        """
+        gen = ensure_rng(rng)
+        intensity = np.asarray(intensity, dtype=float)
+        ac = intensity - float(np.mean(intensity))
+        ac_power = float(np.mean(ac**2))
+        if ac_power <= 0:
+            noise_sigma = 1.0
+        else:
+            noise_sigma = float(np.sqrt(ac_power / db_to_linear(self.snr_db())))
+        pedestal = 0.02 * self.ambient.lux  # arbitrary units; removed by slicer
+        return intensity + pedestal + gen.normal(0.0, noise_sigma, size=intensity.size)

@@ -1,0 +1,60 @@
+"""Experiment harnesses: one module per table/figure of the paper's
+evaluation (§5 and §7), shared by the benchmark suite and the examples.
+
+Every harness returns plain-data rows and provides a ``print_table`` style
+textual rendering mirroring what the paper reports, so benchmark runs read
+as paper-versus-measured comparisons.
+"""
+
+from repro.experiments.common import SweepPoint, format_table, make_simulator
+from repro.experiments.fig16 import (
+    ambient_sweep,
+    rate_vs_distance,
+    roll_sweep,
+    working_range,
+    yaw_sweep,
+)
+from repro.experiments.fig17 import dfe_comparison, training_memory_sweep
+from repro.experiments.fig18 import (
+    coding_goodput_sweep,
+    emulated_ber_vs_snr,
+    emulated_packet_ber,
+    profile_from_waterfalls,
+    rate_adaptation_gain,
+    waterfall_threshold,
+)
+from repro.experiments.micro import (
+    headline_rate_gain,
+    latency_report,
+    power_report,
+)
+from repro.experiments.mobility import MobileLinkSimulator, mobility_resync_sweep
+from repro.experiments.multiaccess import ConcurrentUplinkResult, concurrent_uplink_study
+from repro.experiments.table4 import mobility_study
+
+__all__ = [
+    "ConcurrentUplinkResult",
+    "MobileLinkSimulator",
+    "SweepPoint",
+    "ambient_sweep",
+    "coding_goodput_sweep",
+    "concurrent_uplink_study",
+    "dfe_comparison",
+    "emulated_ber_vs_snr",
+    "emulated_packet_ber",
+    "format_table",
+    "headline_rate_gain",
+    "latency_report",
+    "make_simulator",
+    "mobility_resync_sweep",
+    "mobility_study",
+    "power_report",
+    "profile_from_waterfalls",
+    "rate_adaptation_gain",
+    "rate_vs_distance",
+    "roll_sweep",
+    "training_memory_sweep",
+    "waterfall_threshold",
+    "working_range",
+    "yaw_sweep",
+]

@@ -1,0 +1,186 @@
+"""Fig 18 harnesses: trace-driven emulation (§7.3).
+
+18a: BER vs SNR per modulation order — reference symbol waveforms plus
+swept AWGN, exactly the paper's emulation method (higher orders need more
+SNR; 32 Kbps decodes under a high-SNR restriction).
+
+18b: goodput vs SNR with Reed-Solomon coding and stop-and-wait
+retransmission — light coding buys a wide SNR extension for ~1/64 of peak
+throughput (RS(255, 251)), lower code rates widen further at lower peaks.
+
+18c: the rate-adaptive MAC's mean-throughput gain over the
+weakest-tag-rate baseline as the tag population grows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.channel.awgn import complex_awgn, noise_sigma_for_snr
+from repro.experiments.common import SweepPoint
+from repro.mac.network import NetworkSimulator
+from repro.mac.rate_adapt import CodingOption, LinkProfile, RateOption, default_profile
+from repro.modem.config import ModemConfig, preset_for_rate
+from repro.modem.dfe import DFEDemodulator
+from repro.modem.references import ReferenceBank, assemble_waveform
+from repro.modem.symbols import PQAMConstellation
+from repro.utils.bits import bit_errors
+from repro.utils.rng import ensure_rng
+
+__all__ = [
+    "coding_goodput_sweep",
+    "emulated_ber_vs_snr",
+    "emulated_packet_ber",
+    "profile_from_waterfalls",
+    "rate_adaptation_gain",
+    "waterfall_threshold",
+]
+
+_BANK_CACHE: dict[tuple, ReferenceBank] = {}
+
+
+def _nominal_bank(config: ModemConfig) -> ReferenceBank:
+    key = (config.dsm_order, config.pqam_order, config.slot_s, config.fs, config.tail_memory)
+    if key not in _BANK_CACHE:
+        _BANK_CACHE[key] = ReferenceBank.nominal(config)
+    return _BANK_CACHE[key]
+
+
+def emulated_packet_ber(
+    config: ModemConfig,
+    snr_db: float,
+    n_symbols: int = 256,
+    k_branches: int = 16,
+    rng=None,
+    bank: ReferenceBank | None = None,
+) -> float:
+    """One trace-driven packet: reference waveform + AWGN, then DFE.
+
+    The transmit waveform is assembled from the same reference pulses the
+    demodulator equalises with (the paper's "collected the reference
+    waveform of symbols, and generated the emulated waveform by
+    superimposing different levels of AWGN").
+    """
+    gen = ensure_rng(rng)
+    bank = bank or _nominal_bank(config)
+    constellation = PQAMConstellation(config.pqam_order)
+    prime_n = config.tail_memory * config.dsm_order
+    pay_i, pay_q = constellation.random_levels(n_symbols, gen)
+    levels_i = np.concatenate([np.zeros(prime_n, dtype=int), pay_i])
+    levels_q = np.concatenate([np.zeros(prime_n, dtype=int), pay_q])
+    wave = assemble_waveform(bank, levels_i, levels_q)
+    sigma = noise_sigma_for_snr(1.0, snr_db)
+    noisy = wave + complex_awgn(wave.size, sigma, gen)
+    z = noisy[prime_n * config.samples_per_slot :]
+    dfe = DFEDemodulator(bank, k_branches=k_branches)
+    zeros = np.zeros(prime_n, dtype=int)
+    result = dfe.demodulate(z, n_symbols, prime_levels=(zeros, zeros))
+    sent = constellation.levels_to_bits(pay_i, pay_q)
+    got = constellation.levels_to_bits(result.levels_i, result.levels_q)
+    return bit_errors(sent, got) / sent.size
+
+
+def emulated_ber_vs_snr(
+    rates_bps: list[float] | None = None,
+    snrs_db: list[float] | None = None,
+    n_symbols: int = 192,
+    n_packets: int = 3,
+    k_branches: int = 16,
+    rng=31,
+) -> dict[float, list[SweepPoint]]:
+    """Fig 18a: BER-vs-SNR waterfalls per modulation order."""
+    rates_bps = rates_bps or [2000, 8000, 16000, 32000]
+    snrs_db = snrs_db or [5, 10, 15, 20, 25, 30, 35, 40, 45, 50, 55]
+    gen = ensure_rng(rng)
+    out: dict[float, list[SweepPoint]] = {}
+    for rate in rates_bps:
+        config = preset_for_rate(rate)
+        bank = _nominal_bank(config)
+        points = []
+        for snr in snrs_db:
+            bers = [
+                emulated_packet_ber(config, snr, n_symbols, k_branches, gen, bank)
+                for _ in range(n_packets)
+            ]
+            points.append(SweepPoint(x=snr, ber=float(np.mean(bers))))
+        out[rate] = points
+    return out
+
+
+def waterfall_threshold(points: list[SweepPoint], ber_limit: float = 0.01) -> float:
+    """Lowest swept SNR with BER under the limit (inf if never)."""
+    ok = [p.x for p in points if p.ber < ber_limit]
+    return min(ok) if ok else float("inf")
+
+
+def profile_from_waterfalls(
+    waterfalls: dict[float, list[SweepPoint]],
+    waterfall_db: float = 3.0,
+) -> LinkProfile:
+    """Calibrate a MAC rate profile from measured Fig 18a waterfalls."""
+    rates = []
+    for rate, points in waterfalls.items():
+        th = waterfall_threshold(points)
+        if np.isfinite(th):
+            rates.append(RateOption(rate, threshold_db=th, waterfall_db=waterfall_db))
+    if not rates:
+        raise ValueError("no rate decoded at any swept SNR")
+    return LinkProfile(rates=rates)
+
+
+def coding_goodput_sweep(
+    waterfalls: dict[float, list[SweepPoint]] | None = None,
+    rates_bps: list[float] | None = None,
+    codings: list[CodingOption] | None = None,
+    snrs_db: list[float] | None = None,
+    rng=32,
+) -> dict[str, list[tuple[float, float]]]:
+    """Fig 18b: goodput vs SNR for raw and RS-coded links.
+
+    Returns ``{series_label: [(snr_db, goodput_bps), ...]}``.  BER at each
+    SNR comes from measured waterfalls (or a quick emulation if omitted),
+    interpolated in log-BER.
+    """
+    rates_bps = rates_bps or [16000, 32000]
+    codings = codings or [
+        CodingOption(255, 255),
+        CodingOption(255, 251),
+        CodingOption(255, 223),
+        CodingOption(255, 127),
+    ]
+    snrs_db = snrs_db or list(np.arange(15.0, 60.1, 2.5))
+    if waterfalls is None:
+        waterfalls = emulated_ber_vs_snr(rates_bps=rates_bps, rng=rng)
+
+    def ber_at(rate: float, snr: float) -> float:
+        pts = waterfalls[rate]
+        xs = np.array([p.x for p in pts])
+        ys = np.log10(np.clip([p.ber for p in pts], 1e-9, 0.5))
+        return float(10.0 ** np.interp(snr, xs, ys))
+
+    out: dict[str, list[tuple[float, float]]] = {}
+    for rate in rates_bps:
+        for coding in codings:
+            label = (
+                f"{rate / 1000:g}k_raw"
+                if coding.k == coding.n
+                else f"{rate / 1000:g}k_rs{coding.n}_{coding.k}"
+            )
+            series = []
+            for snr in snrs_db:
+                p_block = coding.block_success(ber_at(rate, snr))
+                series.append((snr, rate * coding.code_rate * p_block))
+            out[label] = series
+    return out
+
+
+def rate_adaptation_gain(
+    tag_counts: list[int] | None = None,
+    n_runs: int = 50,
+    profile: LinkProfile | None = None,
+    rng=33,
+) -> dict[int, float]:
+    """Fig 18c: adaptive/baseline mean-throughput gain vs tag count."""
+    tag_counts = tag_counts or [1, 2, 4, 10, 30, 100]
+    sim = NetworkSimulator(profile=profile or default_profile())
+    return sim.gain_curve(tag_counts, n_runs=n_runs, rng=rng)

@@ -1,0 +1,46 @@
+"""Liquid-crystal modulator (LCM) substrate.
+
+This package is the reproduction's stand-in for the paper's customised COTS
+LCD shutters (front polarizer detached).  It provides:
+
+* :mod:`repro.lcm.response` — a viscoelastic two-state ODE model of the LC
+  director with *closed-form* segment integration: fast charging, a
+  stress-gated discharge plateau (~1 ms) followed by slow relaxation
+  (paper Fig 3), and bit-history memory (tail effect, paper Fig 11a).
+* :mod:`repro.lcm.pixel` / :mod:`repro.lcm.array` — pixels with area,
+  polarizer angle and gain; the paper's tag layout of 4 LCMs x 4
+  binary-weighted pixel groups (8:4:2:1) split into 0deg I-LCMs and
+  45deg Q-LCMs.
+* :mod:`repro.lcm.heterogeneity` — per-pixel manufacturing/illumination
+  spread (paper Fig 11b).
+* :mod:`repro.lcm.fingerprint` — MLS-driven reference collection and the
+  finite-memory fingerprint emulator of paper §5.2.
+* :mod:`repro.lcm.power` — the analytic tag power model reproducing the
+  0.8 mW / rate-independence microbenchmark (§7.2.2).
+"""
+
+from repro.lcm.array import LCMArray, LCMGroup, build_paper_tag_array
+from repro.lcm.fingerprint import FingerprintTable, collect_fingerprints, emulate_waveform
+from repro.lcm.flicker import flicker_index, percent_flicker, perceived_intensity
+from repro.lcm.heterogeneity import HeterogeneityModel, PixelVariation
+from repro.lcm.pixel import LCMPixel
+from repro.lcm.power import TagPowerModel
+from repro.lcm.response import LCParams, LCResponseModel
+
+__all__ = [
+    "FingerprintTable",
+    "HeterogeneityModel",
+    "LCMArray",
+    "LCMGroup",
+    "LCMPixel",
+    "LCParams",
+    "LCResponseModel",
+    "PixelVariation",
+    "TagPowerModel",
+    "build_paper_tag_array",
+    "collect_fingerprints",
+    "emulate_waveform",
+    "flicker_index",
+    "percent_flicker",
+    "perceived_intensity",
+]

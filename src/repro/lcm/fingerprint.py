@@ -1,0 +1,175 @@
+"""Fingerprint (finite-memory) characterisation of the nonlinear LCM.
+
+Paper §5.2: the LCM "has an infinite and nonlinear pulse response", but a
+finite reference table indexed by the most recent ``V`` drive bits
+approximates it with bounded error.  References are collected by driving the
+modulator with a V-th order maximum-length sequence (every nonzero V-bit
+window appears exactly once per period) followed by an all-zero stretch for
+the all-zero context (paper footnote 5).
+
+The same table doubles as (a) the trace-driven *emulator* used for the
+modulation-scheme analysis (§5) and the emulation evaluation (§7.3), and
+(b) the per-sub-channel matched-filter reference of the demodulator's tail-
+effect model (§4.3.3, where context = current bit + V previous bits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.mseq import max_length_sequence
+
+__all__ = ["FingerprintTable", "collect_fingerprints", "emulate_waveform"]
+
+
+@dataclass
+class FingerprintTable:
+    """Reference waveform chunks keyed by drive-bit context.
+
+    A context is the integer formed by the last ``order`` drive bits
+    MSB-first (oldest bit highest), *including* the current tick's bit; the
+    stored chunk is the waveform emitted during the current tick under that
+    history.
+    """
+
+    order: int
+    tick_s: float
+    fs: float
+    chunks: dict[int, np.ndarray] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.order < 1:
+            raise ValueError("fingerprint order must be >= 1")
+
+    @property
+    def chunk_len(self) -> int:
+        """Samples per tick."""
+        return int(round(self.tick_s * self.fs))
+
+    @property
+    def n_contexts(self) -> int:
+        """Number of distinct contexts (2 ** order)."""
+        return 1 << self.order
+
+    def context_of(self, bits: np.ndarray, tick: int) -> int:
+        """Context key for ``tick`` given the full drive-bit sequence.
+
+        History before the sequence start is taken to be zeros (the
+        modulator rests fully discharged).
+        """
+        key = 0
+        for j in range(tick - self.order + 1, tick + 1):
+            bit = int(bits[j]) if j >= 0 else 0
+            key = (key << 1) | bit
+        return key
+
+    def is_complete(self) -> bool:
+        """Whether every context has a recorded chunk."""
+        return len(self.chunks) == self.n_contexts
+
+    def missing_contexts(self) -> list[int]:
+        """Contexts without a recorded chunk."""
+        return [c for c in range(self.n_contexts) if c not in self.chunks]
+
+    def truncated(self, order: int) -> "FingerprintTable":
+        """A lower-order table obtained by *averaging* chunks whose low
+        ``order`` bits agree — the best finite-memory approximation the
+        shorter history can express, used for Table 2's error study."""
+        if order > self.order:
+            raise ValueError(f"cannot extend order {self.order} to {order}")
+        if order == self.order:
+            return self
+        out = FingerprintTable(order=order, tick_s=self.tick_s, fs=self.fs)
+        mask = (1 << order) - 1
+        sums: dict[int, np.ndarray] = {}
+        counts: dict[int, int] = {}
+        for key, chunk in self.chunks.items():
+            short = key & mask
+            if short in sums:
+                sums[short] = sums[short] + chunk
+                counts[short] += 1
+            else:
+                sums[short] = chunk.astype(complex if np.iscomplexobj(chunk) else float).copy()
+                counts[short] = 1
+        out.chunks = {k: sums[k] / counts[k] for k in sums}
+        return out
+
+
+def collect_fingerprints(
+    waveform_fn,
+    order: int,
+    tick_s: float,
+    fs: float,
+    settle_ticks: int = 12,
+) -> FingerprintTable:
+    """Collect a complete fingerprint table by MLS excitation.
+
+    Parameters
+    ----------
+    waveform_fn:
+        ``waveform_fn(bits) -> np.ndarray`` mapping a drive-bit sequence
+        (one bit per tick) to the emitted waveform at rate ``fs``.  The
+        function must be deterministic per call (average noisy observations
+        before passing them in, as the paper does with thousands of samples).
+    order:
+        Fingerprint memory ``V`` in bits (including the current bit).
+
+    Notes
+    -----
+    The excitation is: one MLS warm-up period (so the first collected window
+    sees a correct long history), one collected MLS period, then
+    ``order + settle_ticks`` zeros.  The all-zero context is recorded from
+    its *last* occurrence so it reflects the settled rest state (the
+    paper's "padded all-zero waveform"); every other context is recorded at
+    its first post-warm-up occurrence.
+    """
+    if order < 1:
+        raise ValueError("order must be >= 1")
+    if settle_ticks < 0:
+        raise ValueError("settle_ticks must be non-negative")
+    tick_len = int(round(tick_s * fs))
+    if tick_len < 1:
+        raise ValueError("tick_s * fs must be at least one sample")
+    if order == 1:
+        # MLS needs order >= 2; a one-bit context is just {0, 1} pulses.
+        mls = np.array([1], dtype=np.uint8)
+    else:
+        mls = max_length_sequence(order)
+    drive = np.concatenate([mls, mls, np.zeros(order + settle_ticks, dtype=np.uint8)])
+    waveform = np.asarray(waveform_fn(drive))
+    expected = drive.size * tick_len
+    if waveform.size != expected:
+        raise ValueError(f"waveform_fn returned {waveform.size} samples, expected {expected}")
+    table = FingerprintTable(order=order, tick_s=tick_s, fs=fs)
+    # Collect from the second MLS period onward (warm history), including
+    # the trailing zero stretch for zero-suffixed contexts.
+    for tick in range(mls.size, drive.size):
+        key = table.context_of(drive, tick)
+        if key not in table.chunks or key == 0:
+            table.chunks[key] = waveform[tick * tick_len : (tick + 1) * tick_len].copy()
+    missing = table.missing_contexts()
+    if missing:
+        raise RuntimeError(f"MLS excitation failed to cover contexts: {missing[:8]}...")
+    return table
+
+
+def emulate_waveform(table: FingerprintTable, bits: np.ndarray) -> np.ndarray:
+    """Finite-memory emulation of the modulator for a drive-bit sequence.
+
+    This is the paper's §5.2 emulator: the waveform during tick ``j`` is the
+    stored chunk for the context of the most recent ``V`` bits.
+    """
+    bits = np.asarray(bits, dtype=np.uint8)
+    tick_len = table.chunk_len
+    sample_chunk = next(iter(table.chunks.values()))
+    out = np.empty(bits.size * tick_len, dtype=sample_chunk.dtype)
+    for tick in range(bits.size):
+        key = table.context_of(bits, tick)
+        try:
+            chunk = table.chunks[key]
+        except KeyError:
+            raise KeyError(f"fingerprint table missing context {key:0{table.order}b}") from None
+        out[tick * tick_len : (tick + 1) * tick_len] = chunk
+    return out

@@ -1,0 +1,75 @@
+"""Per-pixel manufacturing and illumination spread.
+
+Paper §4.3.3 / Fig 11b: across multiple LCMs the pulses vary in amplitude
+"possibly due to manufacturing error between LCMs, uneven illumination from
+different angle and distance, and angular errors of LCM's polarizer
+attachment".  This module samples those imperfections so the channel-training
+machinery has something real to correct.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+
+__all__ = ["HeterogeneityModel", "PixelVariation"]
+
+
+@dataclass(frozen=True)
+class PixelVariation:
+    """Sampled imperfections for one pixel."""
+
+    gain: float
+    angle_error_rad: float
+    time_scale: float
+
+
+@dataclass(frozen=True)
+class HeterogeneityModel:
+    """Statistical model of pixel-to-pixel spread.
+
+    Parameters
+    ----------
+    gain_sigma:
+        Std-dev of per-pixel log-amplitude spread.  Pixels on one LCM come
+        from the same manufacturing run and see nearly the same
+        illumination, so the per-pixel term is small; the LCM-level term
+        below carries the bulk of Fig 11b's +-10-20% spread (and is exactly
+        what online channel training corrects).
+    lcm_gain_sigma:
+        Log-amplitude spread shared by all pixels of one physical LCM.
+    angle_sigma_rad:
+        Std-dev of polarizer attachment error.
+    speed_sigma:
+        Std-dev of log response-speed spread (time-constant dilation).
+    """
+
+    gain_sigma: float = 0.03
+    lcm_gain_sigma: float = 0.10
+    angle_sigma_rad: float = np.deg2rad(1.5)
+    speed_sigma: float = 0.04
+
+    def sample_lcm_gain(self, rng: np.random.Generator | int | None = None) -> float:
+        """Shared gain factor for one physical LCM."""
+        gen = ensure_rng(rng)
+        return float(np.exp(gen.normal(0.0, self.lcm_gain_sigma)))
+
+    def sample_pixel(
+        self,
+        rng: np.random.Generator | int | None = None,
+        lcm_gain: float = 1.0,
+    ) -> PixelVariation:
+        """Sample one pixel's imperfections (optionally on a given LCM)."""
+        gen = ensure_rng(rng)
+        gain = lcm_gain * float(np.exp(gen.normal(0.0, self.gain_sigma)))
+        angle_err = float(gen.normal(0.0, self.angle_sigma_rad))
+        speed = float(np.exp(gen.normal(0.0, self.speed_sigma)))
+        return PixelVariation(gain=gain, angle_error_rad=angle_err, time_scale=speed)
+
+    @classmethod
+    def ideal(cls) -> "HeterogeneityModel":
+        """A model with zero spread (for controlled experiments)."""
+        return cls(gain_sigma=0.0, lcm_gain_sigma=0.0, angle_sigma_rad=0.0, speed_sigma=0.0)

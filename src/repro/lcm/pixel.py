@@ -1,0 +1,63 @@
+"""A single LCM pixel: geometry, polarization basis and imperfections."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.lcm.response import LCParams
+
+__all__ = ["LCMPixel"]
+
+
+@dataclass
+class LCMPixel:
+    """One independently drivable liquid-crystal pixel.
+
+    Parameters
+    ----------
+    area:
+        Relative optical area (the paper's binary-weighted groups use
+        8:4:2:1).  Received amplitude scales linearly with area.
+    angle_rad:
+        Back-polarizer angle in radians (0 for I-LCMs, pi/4 for Q-LCMs in
+        the paper's tag).  Includes any per-pixel attachment error.
+    gain:
+        Multiplicative amplitude imperfection covering manufacturing spread
+        and uneven illumination (paper Fig 11b); 1.0 is nominal.
+    time_scale:
+        Response-speed dilation; all LC time constants of this pixel are
+        effectively multiplied by this factor.
+    params:
+        Shared physical constants (see :class:`repro.lcm.response.LCParams`).
+    """
+
+    area: float
+    angle_rad: float = 0.0
+    gain: float = 1.0
+    time_scale: float = 1.0
+    params: LCParams = field(default_factory=LCParams)
+
+    def __post_init__(self) -> None:
+        if self.area <= 0:
+            raise ValueError("pixel area must be positive")
+        if self.gain <= 0:
+            raise ValueError("pixel gain must be positive")
+        if self.time_scale <= 0:
+            raise ValueError("pixel time_scale must be positive")
+
+    @property
+    def basis(self) -> complex:
+        """Complex polarization basis vector ``exp(j * 2 * angle)``.
+
+        A physical polarizer angle theta maps to ``2*theta`` in the
+        constellation plane (Malus-law ``cos 2(theta_t - theta_r)``
+        factorisation, paper §4.2.1).
+        """
+        return complex(np.exp(2j * self.angle_rad))
+
+    @property
+    def amplitude(self) -> float:
+        """Peak contribution to the received waveform: ``area * gain``."""
+        return self.area * self.gain

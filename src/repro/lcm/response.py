@@ -1,0 +1,305 @@
+"""Physical response model of a liquid-crystal modulator pixel.
+
+The paper's enabling observation (§2.2, Fig 3) is that the LC response is
+highly *asymmetric*: charging completes within ~0.3 ms while discharging
+shows a ~1 ms flat plateau followed by a slow relaxation lasting several
+milliseconds; the response is nonlinear and carries memory of the recent
+drive history (tail effect, Fig 11a).
+
+Model
+-----
+Each pixel carries two state variables in ``[0, 1]``:
+
+``phi``
+    The effective director alignment: 0 = fully relaxed (light rotated 90deg)
+    and 1 = fully charged (polarity preserved).
+``psi``
+    A molecular "stress" accumulated while the field is applied; it gates
+    the beginning of relaxation and produces the discharge plateau.
+
+Dynamics (``tau``s in seconds):
+
+* drive on:   ``phi' = (1 - phi)(phi + a) * k`` (logistic — deep discharge
+  ramps up with a visible delay, partially-relaxed pixels restart faster,
+  which *is* the tail effect), and ``psi' = (1 - psi)/tau_stress``.
+* drive off:  ``psi' = -psi/tau_plateau`` and
+  ``phi' = -phi * (max(0, 1 - psi/psi_gate) + leak) / tau_discharge`` —
+  while stress exceeds the gate the pixel barely relaxes (plateau), then
+  relaxes exponentially.
+
+Both branches admit closed-form solutions on intervals of constant drive,
+so waveforms are evaluated exactly at the output sample instants with no
+Euler integration error; simulation cost is one vectorised expression per
+drive tick.
+
+The emitted *optical* signal applies the Malus-law mixture nonlinearity:
+a pixel at alignment ``phi`` behaves as a fraction ``m(phi) = sin^2(phi*pi/2)``
+of its area polarized at the back-polarizer angle and ``1 - m`` at +90deg,
+i.e. a bipolar amplitude ``s = 2m - 1 = -cos(pi*phi)`` on the pixel's own
+polarization basis vector.  This mixture model is what yields the paper's
+``p_I(t) = j * p_Q(t)`` orthogonality of simultaneous I/Q pulses (§4.2.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+__all__ = ["LCParams", "LCResponseModel"]
+
+
+@dataclass(frozen=True)
+class LCParams:
+    """Physical constants of one LC pixel (times in seconds).
+
+    Defaults are tuned so that, at the paper's operating point, the pulse
+    exhibits: charging essentially complete within ~0.3 ms (tau_1 = 0.5 ms
+    slot), a ~0.8-1 ms discharge plateau, and full relaxation within
+    ~3.5 ms (tau_0) — the Fig 3 shape.
+    """
+
+    tau_charge: float = 60e-6
+    """Logistic charging time constant (before the (1+a) speed-up factor)."""
+
+    charge_softness: float = 0.08
+    """Logistic offset ``a``; smaller values lengthen the ramp-up delay from
+    a deeply relaxed state and strengthen the tail effect."""
+
+    tau_stress: float = 150e-6
+    """Stress build-up time constant while charged."""
+
+    tau_plateau: float = 750e-6
+    """Stress decay time constant after the field is removed."""
+
+    psi_gate: float = 0.35
+    """Stress level below which relaxation proceeds; sets plateau length
+    ``tau_plateau * ln(psi0 / psi_gate)``."""
+
+    tau_discharge: float = 600e-6
+    """Relaxation time constant once the stress gate opens."""
+
+    leak: float = 0.02
+    """Residual relaxation rate during the plateau (the plateau is only
+    *relatively* flat in Fig 3)."""
+
+    def scaled(self, factor: float) -> "LCParams":
+        """A copy with all time constants multiplied by ``factor``.
+
+        Used to model faster LC materials (the paper's discussion cites
+        CCN-47 and ferroelectric LCs with far shorter restoration times) and
+        per-pixel manufacturing spread.
+        """
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        return replace(
+            self,
+            tau_charge=self.tau_charge * factor,
+            tau_stress=self.tau_stress * factor,
+            tau_plateau=self.tau_plateau * factor,
+            tau_discharge=self.tau_discharge * factor,
+        )
+
+    # -------------------------------------------------- material presets
+
+    @classmethod
+    def cots_tn(cls) -> "LCParams":
+        """The prototype's COTS twisted-nematic shutter (~3.5 ms restore)."""
+        return cls()
+
+    @classmethod
+    def ferroelectric(cls) -> "LCParams":
+        """Ferroelectric LC, ~20 us restoration (paper ref [15]).
+
+        The paper's conclusion: "the RetroTurbo design can be easily
+        applied on much faster switching liquid crystal" — every time
+        constant shrinks by the restoration-time ratio, and with it the
+        slot time, pushing the same modulation stack to Mbps-class rates.
+        """
+        return cls().scaled(20e-6 / 3.5e-3)
+
+    @classmethod
+    def ccn47(cls) -> "LCParams":
+        """CCN-47 nanosecond electro-optic LC, ~30 ns (paper ref [14]).
+
+        Included for completeness of the paper's material ladder; at this
+        scale the tag electronics, not the LC, bound the symbol rate, so
+        treat derived rates as the optical-medium limit only.
+        """
+        return cls().scaled(30e-9 / 3.5e-3)
+
+
+class LCResponseModel:
+    """Exact segment-wise integrator for :class:`LCParams` dynamics.
+
+    All state arguments broadcast: the model simulates any number of pixels
+    in parallel as long as their *parameters* are shared; heterogeneous
+    pixels use one model instance per distinct parameter set (see
+    :class:`repro.lcm.array.LCMArray`).
+    """
+
+    def __init__(self, params: LCParams | None = None):
+        self.params = params or LCParams()
+
+    # ------------------------------------------------------------ charging
+
+    @staticmethod
+    def _broadcast(phi0, psi0, t, time_scale) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Shape initial state to ``(n_pixels, 1)`` and times to
+        ``(n_pixels_or_1, n_times)``, applying the per-pixel time dilation."""
+        phi0 = np.atleast_1d(np.asarray(phi0, dtype=float))[:, None]
+        psi0 = np.atleast_1d(np.asarray(psi0, dtype=float))[:, None]
+        t = np.asarray(t, dtype=float)[None, :]
+        if time_scale is not None:
+            scale = np.atleast_1d(np.asarray(time_scale, dtype=float))[:, None]
+            if np.any(scale <= 0):
+                raise ValueError("time_scale entries must be positive")
+            t = t / scale
+        return phi0, psi0, t
+
+    def charge(
+        self,
+        phi0: np.ndarray,
+        psi0: np.ndarray,
+        t: np.ndarray,
+        time_scale: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """State at offsets ``t`` (seconds) into a constant-drive-ON segment.
+
+        ``phi0``/``psi0`` have shape ``(n_pixels,)`` (or scalar) and ``t``
+        shape ``(n_times,)``; outputs have shape ``(n_pixels, n_times)``.
+        ``time_scale`` optionally dilates each pixel's time axis — scaling
+        every time constant of pixel ``i`` by ``c_i`` is equivalent to
+        evaluating its trajectory at ``t / c_i``, which is how per-pixel
+        response-speed heterogeneity is simulated in one vectorised pass.
+        """
+        p = self.params
+        phi0, psi0, t = self._broadcast(phi0, psi0, t, time_scale)
+        a = p.charge_softness
+        rate = (1.0 + a) / p.tau_charge
+        # Logistic solution through (phi + a)/(1 - phi) = C * exp(rate * t).
+        ratio0 = (phi0 + a) / np.maximum(1.0 - phi0, 1e-12)
+        ratio = ratio0 * np.exp(rate * t)
+        phi = (ratio - a) / (ratio + 1.0)
+        psi = 1.0 - (1.0 - psi0) * np.exp(-t / p.tau_stress)
+        return np.clip(phi, 0.0, 1.0), np.clip(psi, 0.0, 1.0)
+
+    # --------------------------------------------------------- discharging
+
+    def discharge(
+        self,
+        phi0: np.ndarray,
+        psi0: np.ndarray,
+        t: np.ndarray,
+        time_scale: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """State at offsets ``t`` into a constant-drive-OFF segment."""
+        p = self.params
+        phi0, psi0, t = self._broadcast(phi0, psi0, t, time_scale)
+        psi = psi0 * np.exp(-t / p.tau_plateau)
+        # Gate-opening instant per pixel: psi(t*) == psi_gate.
+        with np.errstate(divide="ignore"):
+            t_open = np.where(
+                psi0 > p.psi_gate,
+                p.tau_plateau * np.log(np.maximum(psi0, 1e-12) / p.psi_gate),
+                0.0,
+            )
+        # Integral of the gated relaxation rate max(0, 1 - psi/psi_gate)
+        # from 0 to t.  Before t_open the integrand is zero; after, with
+        # u = t - t_open and psi = psi_gate * exp(-u/tau_plateau):
+        #   integral = u - tau_plateau * (1 - exp(-u/tau_plateau)).
+        u = np.maximum(t - t_open, 0.0)
+        gated = u - p.tau_plateau * (1.0 - np.exp(-u / p.tau_plateau))
+        # Pixels that start below the gate integrate from their own psi0:
+        # rate = 1 - (psi0/psi_gate) exp(-s/tau_plateau) (always positive
+        # once psi0 < gate), integral = t - (psi0/psi_gate)*tau_plateau*(1-exp(-t/tau_p)).
+        below = psi0 <= p.psi_gate
+        gated_below = t - (psi0 / p.psi_gate) * p.tau_plateau * (1.0 - np.exp(-t / p.tau_plateau))
+        gated = np.where(below, gated_below, gated)
+        exponent = (gated + p.leak * t) / p.tau_discharge
+        phi = phi0 * np.exp(-exponent)
+        return np.clip(phi, 0.0, 1.0), np.clip(psi, 0.0, 1.0)
+
+    # ------------------------------------------------------------ waveform
+
+    def simulate(
+        self,
+        drive: np.ndarray,
+        tick_s: float,
+        fs: float,
+        phi0: np.ndarray | float = 0.0,
+        psi0: np.ndarray | float = 0.0,
+        time_scale: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Alignment trajectory ``phi`` for a tick-wise drive schedule.
+
+        Parameters
+        ----------
+        drive:
+            Boolean/0-1 array of shape ``(n_pixels, n_ticks)``; drive is
+            constant within each tick of duration ``tick_s``.
+        tick_s, fs:
+            Tick duration (seconds) and output sample rate (Hz).
+        phi0, psi0:
+            Initial state, scalar or per-pixel.
+        time_scale:
+            Optional per-pixel response-speed dilation (see :meth:`charge`).
+
+        Returns
+        -------
+        ``(n_pixels, n_samples)`` float array of ``phi`` sampled at ``fs``,
+        where ``n_samples = round(n_ticks * tick_s * fs)``.
+        """
+        drive = np.atleast_2d(np.asarray(drive))
+        n_pixels, n_ticks = drive.shape
+        phi = np.broadcast_to(np.asarray(phi0, dtype=float), (n_pixels,)).copy()
+        psi = np.broadcast_to(np.asarray(psi0, dtype=float), (n_pixels,)).copy()
+        boundaries = np.round(np.arange(n_ticks + 1) * tick_s * fs).astype(int)
+        out = np.empty((n_pixels, boundaries[-1]), dtype=float)
+        for j in range(n_ticks):
+            lo, hi = boundaries[j], boundaries[j + 1]
+            n_here = hi - lo
+            # Sample instants inside this tick, then the end-of-tick state.
+            t_samples = (np.arange(n_here) + 1.0) / fs
+            t_eval = np.concatenate([t_samples, [tick_s]])
+            on_phi, on_psi = self.charge(phi, psi, t_eval, time_scale)
+            off_phi, off_psi = self.discharge(phi, psi, t_eval, time_scale)
+            mask = drive[:, j].astype(bool)[:, None]
+            seg_phi = np.where(mask, on_phi, off_phi)
+            seg_psi = np.where(mask, on_psi, off_psi)
+            out[:, lo:hi] = seg_phi[:, :n_here]
+            phi = seg_phi[:, -1]
+            psi = seg_psi[:, -1]
+        return out
+
+    # --------------------------------------------------------- nonlinearity
+
+    @staticmethod
+    def transmit_fraction(phi: np.ndarray) -> np.ndarray:
+        """Fraction of the pixel's light leaving at the polarizer angle.
+
+        The Malus-law mixture nonlinearity ``m(phi) = sin^2(phi * pi / 2)``.
+        """
+        return np.sin(np.asarray(phi) * (np.pi / 2.0)) ** 2
+
+    @classmethod
+    def optical_amplitude(cls, phi: np.ndarray) -> np.ndarray:
+        """Bipolar amplitude on the pixel's polarization basis.
+
+        ``s = 2 m(phi) - 1 = -cos(pi * phi)``: -1 fully relaxed (light at
+        theta_t + 90deg), +1 fully charged (light at theta_t).
+        """
+        return 2.0 * cls.transmit_fraction(phi) - 1.0
+
+    def pulse_response(self, charge_ticks: int, total_ticks: int, tick_s: float, fs: float) -> np.ndarray:
+        """Optical pulse of a single pixel charged for ``charge_ticks`` ticks.
+
+        Convenience used for Fig 3-style plots and unit tests: starts fully
+        relaxed, drives ON for ``charge_ticks`` then OFF for the remainder.
+        """
+        if not 0 < charge_ticks <= total_ticks:
+            raise ValueError("need 0 < charge_ticks <= total_ticks")
+        drive = np.zeros((1, total_ticks), dtype=np.uint8)
+        drive[0, :charge_ticks] = 1
+        phi = self.simulate(drive, tick_s, fs)
+        return self.optical_amplitude(phi)[0]

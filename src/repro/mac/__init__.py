@@ -1,0 +1,40 @@
+"""Rate-adaptive MAC layer (paper §4.4, evaluated in §7.3).
+
+A thin master/slave TDMA MAC: RFID-style tag discovery, per-tag SNR
+measurement, a profiled database mapping SNR to the goodput-maximising
+(bit rate, Reed-Solomon coding rate) pair, and stop-and-wait ARQ triggered
+by CRC failure.
+"""
+
+from repro.mac.arq import ArqStats, StopAndWaitARQ
+from repro.mac.discovery import DiscoveryResult, FramedSlottedDiscovery
+from repro.mac.network import NetworkResult, NetworkSimulator, TagDeployment
+from repro.mac.protocol import MacPacketOutcome, TdmaScheduler
+from repro.mac.session import LinkSession, RoundRecord, SessionStats
+from repro.mac.rate_adapt import (
+    CodingOption,
+    LinkProfile,
+    RateChoice,
+    RateOption,
+    default_profile,
+)
+
+__all__ = [
+    "ArqStats",
+    "CodingOption",
+    "DiscoveryResult",
+    "FramedSlottedDiscovery",
+    "LinkProfile",
+    "LinkSession",
+    "MacPacketOutcome",
+    "NetworkResult",
+    "NetworkSimulator",
+    "RateChoice",
+    "RateOption",
+    "RoundRecord",
+    "SessionStats",
+    "StopAndWaitARQ",
+    "TagDeployment",
+    "TdmaScheduler",
+    "default_profile",
+]

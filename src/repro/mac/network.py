@@ -1,0 +1,153 @@
+"""Multi-tag network simulation: the Fig 18c rate-adaptation study.
+
+Paper §7.3 (Rate Adaptation): the reader's FoV widens to 50deg (still 4 W);
+tags sit at uniform distances between 1 m and 4.3 m, i.e. SNRs between
+65 dB and 14 dB by the fitted link budget; the metric is mean per-tag
+throughput over 100 runs.  Baseline policy: every tag runs the rate
+appropriate for the *weakest* tag; adaptive policy: each tag gets its own
+goodput-maximising (rate, coding) pair.  The adaptive gain grows with tag
+count (~1.2x at 4 tags, ~3.7x at 100 in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.mac.discovery import FramedSlottedDiscovery
+from repro.mac.protocol import TdmaScheduler
+from repro.mac.rate_adapt import LinkProfile, default_profile
+from repro.optics.retroreflector import LinkBudget
+from repro.utils.rng import ensure_rng
+
+__all__ = ["NetworkResult", "NetworkSimulator", "TagDeployment"]
+
+
+@dataclass
+class TagDeployment:
+    """One tag's placement and measured link quality."""
+
+    tag_id: int
+    distance_m: float
+    snr_db: float
+
+
+@dataclass
+class NetworkResult:
+    """Mean-throughput comparison of the two assignment policies."""
+
+    n_tags: int
+    adaptive_throughput_bps: float
+    baseline_throughput_bps: float
+    discovery_slots: int
+
+    @property
+    def gain(self) -> float:
+        """Adaptive over baseline mean-throughput ratio."""
+        if self.baseline_throughput_bps <= 0:
+            return float("inf")
+        return self.adaptive_throughput_bps / self.baseline_throughput_bps
+
+
+@dataclass
+class NetworkSimulator:
+    """Deploy tags, discover them, schedule uplinks, compare policies."""
+
+    profile: LinkProfile = field(default_factory=default_profile)
+    budget: LinkBudget = field(default_factory=LinkBudget.wide_fov)
+    min_distance_m: float = 1.0
+    max_distance_m: float = 4.3
+    payload_bytes: int = 128
+    frames_per_tag: int = 20
+    snr_noise_db: float = 1.0
+    """Per-tag SNR measurement jitter."""
+
+    def deploy(self, n_tags: int, rng: np.random.Generator | int | None = None) -> list[TagDeployment]:
+        """Place tags uniformly in range and compute their link SNR."""
+        if n_tags < 1:
+            raise ValueError("need at least one tag")
+        gen = ensure_rng(rng)
+        distances = gen.uniform(self.min_distance_m, self.max_distance_m, size=n_tags)
+        out = []
+        for i, d in enumerate(distances):
+            snr = float(self.budget.snr_db(d)) + float(gen.normal(0.0, self.snr_noise_db))
+            out.append(TagDeployment(tag_id=i, distance_m=float(d), snr_db=snr))
+        return out
+
+    def _mean_throughput(self, scheduler: TdmaScheduler, assignments: dict) -> float:
+        """Expected per-tag goodput under sequential TDMA service.
+
+        Every delivered frame costs ``expected_attempts`` airtimes;
+        throughput per tag = payload bits / expected airtime per delivery,
+        averaged over tags (TDMA serves tags one at a time, so per-tag
+        throughput is its own link efficiency — the paper's "mean
+        throughput from all the tags" metric).
+        """
+        rates = []
+        payload_bits = scheduler.payload_bytes * 8
+        for _, (choice, snr_db) in assignments.items():
+            p = choice.coding.block_success(choice.rate.ber(snr_db))
+            attempts = scheduler.arq.expected_attempts(p)
+            delivered = scheduler.arq.delivery_probability(p)
+            airtime = scheduler.frame_airtime_s(choice) * attempts
+            rates.append(payload_bits * delivered / airtime)
+        return float(np.mean(rates))
+
+    def run(
+        self,
+        n_tags: int,
+        rng: np.random.Generator | int | None = None,
+        monte_carlo: bool = False,
+    ) -> NetworkResult:
+        """One deployment: discovery, then both policies on the same tags."""
+        gen = ensure_rng(rng)
+        tags = self.deploy(n_tags, gen)
+        discovery = FramedSlottedDiscovery().run([t.tag_id for t in tags], gen)
+
+        scheduler = TdmaScheduler(self.profile, payload_bytes=self.payload_bytes)
+        adaptive = {t.tag_id: (self.profile.best_choice(t.snr_db), t.snr_db) for t in tags}
+        # Baseline (paper §7.3): every tag runs the rate appropriate for the
+        # one with the lowest SNR — identical to adaptive for a single tag.
+        weakest = min(tags, key=lambda t: t.snr_db)
+        common = self.profile.best_choice(weakest.snr_db)
+        baseline = {t.tag_id: (common, t.snr_db) for t in tags}
+
+        if monte_carlo:
+            adaptive_tp = self._measured_throughput(scheduler, adaptive, gen)
+            baseline_tp = self._measured_throughput(scheduler, baseline, gen)
+        else:
+            adaptive_tp = self._mean_throughput(scheduler, adaptive)
+            baseline_tp = self._mean_throughput(scheduler, baseline)
+        return NetworkResult(
+            n_tags=n_tags,
+            adaptive_throughput_bps=adaptive_tp,
+            baseline_throughput_bps=baseline_tp,
+            discovery_slots=discovery.slots_used,
+        )
+
+    def _measured_throughput(self, scheduler: TdmaScheduler, assignments: dict, rng) -> float:
+        outcomes = scheduler.run_round_robin(assignments, self.frames_per_tag, rng)
+        per_tag: dict[int, list] = {}
+        for o in outcomes:
+            per_tag.setdefault(o.tag_id, []).append(o)
+        rates = []
+        for _, log in per_tag.items():
+            delivered_bits = sum(o.payload_bits for o in log if o.success)
+            airtime = sum(o.airtime_s for o in log)
+            rates.append(delivered_bits / airtime if airtime > 0 else 0.0)
+        return float(np.mean(rates))
+
+    def gain_curve(
+        self,
+        tag_counts: list[int],
+        n_runs: int = 100,
+        rng: np.random.Generator | int | None = None,
+    ) -> dict[int, float]:
+        """Mean adaptive/baseline gain per tag count (the Fig 18c series)."""
+        gen = ensure_rng(rng)
+        out: dict[int, float] = {}
+        for n in tag_counts:
+            gains = [self.run(n, gen).gain for _ in range(n_runs)]
+            out[n] = float(np.mean(gains))
+        return out

@@ -1,0 +1,48 @@
+"""RetroTurbo modulation and demodulation (the paper's core contribution).
+
+* :mod:`repro.modem.config` — the (L, T, P, V) operating point and the
+  paper's named rate presets.
+* :mod:`repro.modem.symbols` — PQAM constellation and Gray bit mapping.
+* :mod:`repro.modem.ook` / :mod:`repro.modem.pam` — the status-quo VLBC
+  baselines (trend OOK of PassiveVLC, multi-pixel PAM).
+* :mod:`repro.modem.dsm` — basic (non-overlapped) DSM of paper §4.1.1.
+* :mod:`repro.modem.dsm_pqam` — the full overlapped DSM + PQAM modulator
+  (§4.1.2 + §4.2), producing per-pixel drive schedules.
+* :mod:`repro.modem.preamble` — preamble construction, sample-accurate
+  detection and rotation correction (§4.3.1).
+* :mod:`repro.modem.references` — per-group reference pulse banks (the
+  receiver-side fingerprint model of §4.3.3).
+* :mod:`repro.modem.dfe` — the K-branch decision-feedback equalizer with
+  last-L merging (§4.3.2); with ``K = P**L`` it *is* the Viterbi detector.
+* :mod:`repro.modem.mlse` — explicit Viterbi maximum-likelihood sequence
+  estimation for small configurations (Fig 17a's optimal reference).
+"""
+
+from repro.modem.config import ModemConfig, RATE_PRESETS, preset_for_rate
+from repro.modem.dfe import DFEDemodulator, DFEResult
+from repro.modem.dsm import BasicDSMModem
+from repro.modem.dsm_pqam import DsmPqamModulator
+from repro.modem.mlse import ViterbiDemodulator
+from repro.modem.ook import TrendOOKModem
+from repro.modem.pam import MultiPixelPAMModem
+from repro.modem.preamble import Preamble, PreambleDetection, RotationCorrector
+from repro.modem.references import ReferenceBank
+from repro.modem.symbols import PQAMConstellation
+
+__all__ = [
+    "BasicDSMModem",
+    "DFEDemodulator",
+    "DFEResult",
+    "DsmPqamModulator",
+    "ModemConfig",
+    "MultiPixelPAMModem",
+    "PQAMConstellation",
+    "Preamble",
+    "PreambleDetection",
+    "RATE_PRESETS",
+    "ReferenceBank",
+    "RotationCorrector",
+    "TrendOOKModem",
+    "ViterbiDemodulator",
+    "preset_for_rate",
+]

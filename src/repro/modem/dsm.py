@@ -1,0 +1,129 @@
+"""Basic (non-overlapped) DSM — paper §4.1.1, Fig 5a.
+
+``L`` pixels fire their fast charging edges in ``L`` consecutive slots of
+duration ``T >= tau_1`` (one OOK bit each), then the symbol waits out a full
+discharge ``tau_0`` before the next symbol, keeping symbols ISI-free:
+
+    rate = L / (L * T + tau_0)
+
+The overlapped design of §4.1.2 (see :mod:`repro.modem.dsm_pqam`) removes
+the ``tau_0`` overhead; basic DSM remains useful as an analysis baseline
+and matches the paper's stepping-stone presentation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lcm.array import LCMArray
+
+__all__ = ["BasicDSMModem", "basic_dsm_rate"]
+
+
+def basic_dsm_rate(order: int, slot_s: float, tau0_s: float) -> float:
+    """The paper's basic-DSM rate formula ``L / (L*T + tau_0)``."""
+    if order < 1 or slot_s <= 0 or tau0_s < 0:
+        raise ValueError("need order >= 1, slot_s > 0, tau0_s >= 0")
+    return order / (order * slot_s + tau0_s)
+
+
+class BasicDSMModem:
+    """Basic DSM on the I-channel groups of a tag array (full-level OOK)."""
+
+    def __init__(
+        self,
+        array: LCMArray,
+        slot_s: float = 0.5e-3,
+        tau0_s: float = 3.5e-3,
+        fs: float = 40e3,
+    ):
+        self.array = array
+        self.slot_s = slot_s
+        self.tau0_s = tau0_s
+        self.fs = fs
+        self.groups = array.groups_on("I")
+        self.order = len(self.groups)
+        if self.order < 1:
+            raise ValueError("array needs at least one I group")
+        # Symbol = L firing slots + guard slots covering tau_0.
+        self.guard_slots = int(np.ceil(tau0_s / slot_s))
+        self.slots_per_symbol = self.order + self.guard_slots
+        self._pulse: np.ndarray | None = None
+
+    @property
+    def rate_bps(self) -> float:
+        """``L / (L*T + tau_0)`` with the guard rounded to whole slots."""
+        return self.order / (self.slots_per_symbol * self.slot_s)
+
+    @property
+    def samples_per_slot(self) -> int:
+        """Receiver samples per slot."""
+        return int(round(self.slot_s * self.fs))
+
+    @property
+    def samples_per_symbol(self) -> int:
+        """Receiver samples per basic-DSM symbol (slots + guard)."""
+        return self.slots_per_symbol * self.samples_per_slot
+
+    def _drive(self, bits: np.ndarray) -> np.ndarray:
+        bits = np.asarray(bits, dtype=np.uint8)
+        if bits.size % self.order:
+            raise ValueError(f"bit count {bits.size} not a multiple of L={self.order}")
+        n_symbols = bits.size // self.order
+        grouped = bits.reshape(n_symbols, self.order)
+        n_slots = n_symbols * self.slots_per_symbol
+        drive = np.zeros((self.array.n_pixels, n_slots), dtype=np.uint8)
+        for g_idx, group in enumerate(self.groups):
+            rows = self.array.pixel_slice(group)
+            for sym in range(n_symbols):
+                if grouped[sym, g_idx]:
+                    slot = sym * self.slots_per_symbol + g_idx
+                    drive[rows, slot] = group.level_to_drive(group.n_levels - 1)
+        return drive
+
+    def modulate(self, bits: np.ndarray, roll_rad: float = 0.0) -> np.ndarray:
+        """OOK-per-pixel basic DSM waveform."""
+        return self.array.emit(self._drive(bits), self.slot_s, self.fs, roll_rad=roll_rad)
+
+    def _unit_pulse(self) -> np.ndarray:
+        """Single-group full-level pulse relative to rest (recorded offline)."""
+        if self._pulse is None:
+            one = np.zeros(self.order, dtype=np.uint8)
+            one[0] = 1
+            clean = self.modulate(np.concatenate([one, np.zeros_like(one)]))
+            rest = self.modulate(np.zeros(2 * self.order, dtype=np.uint8))
+            self._pulse = (clean - rest)[: 2 * self.samples_per_symbol]
+        return self._pulse
+
+    def demodulate(self, x: np.ndarray, n_bits: int) -> np.ndarray:
+        """Slot-sequential decision feedback with the recorded unit pulse.
+
+        Per firing slot: decide fired/not by least squares against the
+        residual signal, then subtract the decided pulse before moving on —
+        a single-branch DFE, sufficient because basic DSM's pulses barely
+        overlap within a symbol and not at all across symbols.
+        """
+        if n_bits % self.order:
+            raise ValueError(f"n_bits must be a multiple of L={self.order}")
+        pulse = self._unit_pulse()
+        n_symbols = n_bits // self.order
+        sps = self.samples_per_slot
+        rest = self.modulate(np.zeros(n_bits, dtype=np.uint8))
+        x = np.asarray(x, dtype=complex)
+        residual = x[: rest.size] - rest
+        bits = np.empty(n_bits, dtype=np.uint8)
+        for sym in range(n_symbols):
+            for g_idx in range(self.order):
+                slot = sym * self.slots_per_symbol + g_idx
+                start = slot * sps
+                seg = residual[start : start + sps]
+                ref = pulse[:sps]
+                # LS amplitude of the pulse prefix in this slot.
+                denom = float(np.sum(np.abs(ref) ** 2))
+                alpha = (np.vdot(ref, seg) / denom).real if denom > 0 else 0.0
+                fired = alpha > 0.5
+                bits[sym * self.order + g_idx] = 1 if fired else 0
+                if fired:
+                    stop = min(residual.size, start + pulse.size)
+                    residual[start:stop] -= pulse[: stop - start]
+        return bits

@@ -1,0 +1,35 @@
+"""Viterbi maximum-likelihood sequence estimation (Fig 17a's optimum).
+
+Paper §4.3.2: "By merging the last L symbols in the set and K = P^L, it is
+exactly the Viterbi detector that is optimal however impractical with large
+P and L."  We implement it exactly that way: a :class:`DFEDemodulator`
+whose beam is wide enough to hold every distinct future-relevant state and
+whose merging therefore realises the full trellis.  Feasible only for small
+configurations (e.g. P = 4, L = 4, V = 1 -> 64 states), which is how the
+Fig 17a microbenchmark runs it; the constructor refuses state spaces past
+``max_states``.
+"""
+
+from __future__ import annotations
+
+from repro.modem.dfe import DFEDemodulator
+from repro.modem.references import ReferenceBank
+
+__all__ = ["ViterbiDemodulator"]
+
+
+class ViterbiDemodulator(DFEDemodulator):
+    """Exact MLSE via exhaustive merged beam search."""
+
+    def __init__(self, bank: ReferenceBank, max_states: int = 65_536):
+        cfg = bank.config
+        memory = (cfg.tail_memory - 1) * cfg.dsm_order + (cfg.dsm_order - 1)
+        n_states = cfg.pqam_order**memory
+        if n_states > max_states:
+            raise ValueError(
+                f"Viterbi needs P^((V-1)L + L - 1) = {cfg.pqam_order}^{memory} = {n_states} "
+                f"states, above the limit {max_states}; use the K-branch DFE instead "
+                "(the paper makes the same tractability argument)"
+            )
+        super().__init__(bank, k_branches=max(n_states, 1), merge=True, merge_memory=memory)
+        self.n_states = n_states

@@ -1,0 +1,75 @@
+"""Trend-based OOK — the PassiveVLC baseline (paper §2.1).
+
+The status-quo VLBC modulation: the whole LCM acts as one shutter, a "1" is
+an increasing light-intensity trend (charge) and a "0" a decreasing trend
+(discharge) over a symbol of duration ``W`` (the LC's full transition
+time).  RetroTurbo's headline claims are relative to this baseline:
+250 bps at W = 4 ms, so 8 Kbps is the 32x experimental gain and 32 Kbps the
+128x emulated gain.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lcm.array import LCMArray
+
+__all__ = ["TrendOOKModem"]
+
+#: Projection axis for an all-pixels-together tag: I contributes 1, Q
+#: contributes j, so the common-mode signal lives on (1 + j).
+_COMMON_AXIS = (1.0 + 1.0j) / 2.0
+
+
+class TrendOOKModem:
+    """Single-shutter trend OOK over the full pixel array."""
+
+    def __init__(self, array: LCMArray, symbol_s: float = 4e-3, fs: float = 40e3):
+        if symbol_s <= 0:
+            raise ValueError("symbol duration must be positive")
+        self.array = array
+        self.symbol_s = symbol_s
+        self.fs = fs
+
+    @property
+    def rate_bps(self) -> float:
+        """One bit per symbol."""
+        return 1.0 / self.symbol_s
+
+    @property
+    def samples_per_symbol(self) -> int:
+        """Receiver samples per OOK symbol."""
+        return int(round(self.symbol_s * self.fs))
+
+    def modulate(self, bits: np.ndarray, roll_rad: float = 0.0) -> np.ndarray:
+        """Drive every pixel together: 1 = charging symbol, 0 = discharging."""
+        bits = np.asarray(bits, dtype=np.uint8)
+        drive = np.tile(bits[None, :], (self.array.n_pixels, 1))
+        return self.array.emit(drive, self.symbol_s, self.fs, roll_rad=roll_rad)
+
+    def demodulate(self, x: np.ndarray, n_bits: int) -> np.ndarray:
+        """Trend detection: slope of the common-mode amplitude per symbol.
+
+        Runs of identical bits leave the shutter saturated, so when the
+        in-symbol slope is ambiguous the decision falls back to the settled
+        level's sign — the same "trend or level" compromise slope-detection
+        receivers make.
+        """
+        sps = self.samples_per_symbol
+        x = np.asarray(x, dtype=complex)
+        if x.size < n_bits * sps:
+            raise ValueError(f"need {n_bits * sps} samples for {n_bits} bits")
+        s = (x * np.conj(_COMMON_AXIS)).real  # project onto the common axis
+        quarter = max(sps // 4, 1)
+        out = np.empty(n_bits, dtype=np.uint8)
+        for n in range(n_bits):
+            seg = s[n * sps : (n + 1) * sps]
+            head = float(np.mean(seg[:quarter]))
+            tail = float(np.mean(seg[-quarter:]))
+            slope = tail - head
+            # Slope threshold scaled to the observed swing of this symbol.
+            if abs(slope) > 0.1 * max(abs(head), abs(tail), 1e-12):
+                out[n] = 1 if slope > 0 else 0
+            else:
+                out[n] = 1 if tail > 0 else 0
+        return out

@@ -1,0 +1,109 @@
+"""Multi-pixel PAM — the pixelated-backscatter baseline (paper §2.1, [10]).
+
+Binary-weighted pixels (1:2:...:2^M) hold an amplitude level for a whole
+symbol of duration ``W``; the receiver averages the settled portion and
+quantises against a calibrated level table.  Improves on OOK by using
+amplitude resolution when SNR allows, but stays limited by the LC's slow
+refresh: rate = M / W.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lcm.array import LCMArray, LCMGroup
+
+__all__ = ["MultiPixelPAMModem"]
+
+
+class MultiPixelPAMModem:
+    """PAM over one binary-weighted pixel group of the tag array."""
+
+    def __init__(self, array: LCMArray, symbol_s: float = 4e-3, fs: float = 40e3, channel: str = "I"):
+        if symbol_s <= 0:
+            raise ValueError("symbol duration must be positive")
+        self.array = array
+        self.symbol_s = symbol_s
+        self.fs = fs
+        groups = array.groups_on(channel)
+        if not groups:
+            raise ValueError(f"array has no groups on channel {channel!r}")
+        self.group: LCMGroup = groups[0]
+        self.channel = channel
+        self._level_table: np.ndarray | None = None
+
+    @property
+    def bits_per_symbol(self) -> int:
+        """M bits per symbol for a 2^M-level group."""
+        return len(self.group.pixels)
+
+    @property
+    def rate_bps(self) -> float:
+        """``M / W``."""
+        return self.bits_per_symbol / self.symbol_s
+
+    @property
+    def samples_per_symbol(self) -> int:
+        """Receiver samples per PAM symbol."""
+        return int(round(self.symbol_s * self.fs))
+
+    def _drive_for_levels(self, levels: np.ndarray) -> np.ndarray:
+        drive = np.zeros((self.array.n_pixels, levels.size), dtype=np.uint8)
+        rows = self.array.pixel_slice(self.group)
+        for n, level in enumerate(levels):
+            drive[rows, n] = self.group.level_to_drive(int(level))
+        return drive
+
+    def modulate_levels(self, levels: np.ndarray, roll_rad: float = 0.0) -> np.ndarray:
+        """Waveform holding each level for one symbol."""
+        levels = np.asarray(levels, dtype=int)
+        return self.array.emit(self._drive_for_levels(levels), self.symbol_s, self.fs, roll_rad=roll_rad)
+
+    def modulate(self, bits: np.ndarray, roll_rad: float = 0.0) -> np.ndarray:
+        """Bits (M per symbol, plain binary labels) -> waveform."""
+        bits = np.asarray(bits, dtype=np.uint8)
+        m = self.bits_per_symbol
+        if bits.size % m:
+            raise ValueError(f"bit count {bits.size} not a multiple of {m}")
+        weights = 1 << np.arange(m - 1, -1, -1)
+        levels = bits.reshape(-1, m) @ weights
+        return self.modulate_levels(levels, roll_rad=roll_rad)
+
+    def calibrate(self) -> np.ndarray:
+        """Record the settled projected amplitude of every level (offline).
+
+        Each level is held for two symbols from rest; the mean over the
+        second symbol's tail is the calibration point.
+        """
+        axis = self._projection_axis()
+        n_levels = self.group.n_levels
+        table = np.empty(n_levels)
+        for level in range(n_levels):
+            waveform = self.modulate_levels(np.array([level, level]))
+            settled = waveform[-self.samples_per_symbol // 2 :]
+            table[level] = float(np.mean((settled * np.conj(axis)).real))
+        self._level_table = table
+        return table
+
+    def _projection_axis(self) -> complex:
+        theta = 0.0 if self.channel == "I" else np.pi / 4
+        return complex(np.exp(2j * theta))
+
+    def demodulate(self, x: np.ndarray, n_symbols: int) -> np.ndarray:
+        """Average the settled half of each symbol, quantise, emit bits."""
+        if self._level_table is None:
+            self.calibrate()
+        table = self._level_table
+        sps = self.samples_per_symbol
+        x = np.asarray(x, dtype=complex)
+        if x.size < n_symbols * sps:
+            raise ValueError(f"need {n_symbols * sps} samples for {n_symbols} symbols")
+        axis = self._projection_axis()
+        s = (x * np.conj(axis)).real
+        m = self.bits_per_symbol
+        bits = np.empty((n_symbols, m), dtype=np.uint8)
+        for n in range(n_symbols):
+            settled = s[n * sps + sps // 2 : (n + 1) * sps]
+            level = int(np.argmin(np.abs(table - float(np.mean(settled)))))
+            bits[n] = (level >> (m - 1 - np.arange(m))) & 1
+        return bits.ravel()

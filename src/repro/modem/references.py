@@ -1,0 +1,313 @@
+"""Receiver-side reference pulse bank (the fingerprint model of §4.3.3).
+
+The demodulator predicts received waveforms from per-group *reference
+pulses*: for each DSM transmitter (group) the W-long pulse emitted by a
+firing depends on the fired level and, through the tail effect, on the
+``V - 1`` previous firings of the same group.  Following the paper's
+footnote 6, pixels within a group are modelled as area-proportional copies
+of one *unit* fingerprint (collected per group or shared nominally), so a
+group pulse for a level history assembles as the area-weighted sum of unit
+chunks selected by each pixel's bit history, scaled by the group's complex
+coefficient (solved by online channel training) on the group's polarization
+basis.
+
+Offline training produces the unit tables (or KL bases, see
+:mod:`repro.training`); online training solves the per-group coefficients.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.lcm.fingerprint import FingerprintTable, collect_fingerprints
+from repro.lcm.response import LCParams, LCResponseModel
+from repro.modem.config import ModemConfig
+
+__all__ = ["GroupReference", "ReferenceBank", "assemble_waveform", "collect_unit_table"]
+
+_CHANNEL_BASES = {0: 1.0 + 0.0j, 1: complex(np.exp(1j * np.pi / 2))}
+# Channel 0 (I, polarizer 0deg) -> exp(j*2*0) = 1;
+# channel 1 (Q, 45deg) -> exp(j*pi/2) = j.
+
+
+def collect_unit_table(
+    config: ModemConfig,
+    params: LCParams | None = None,
+    time_scale: float = 1.0,
+) -> FingerprintTable:
+    """Collect the unit (single-pixel) firing fingerprint table.
+
+    Fires a nominal pixel once every ``L`` slots following the DSM schedule
+    (charge one slot, relax ``L - 1``) driven by a ``V``-th order MLS over
+    *firing* bits, and records W-long chunks per V-bit firing history.
+    Chunks are the raw bipolar optical amplitude (including the -1 rest
+    level), so sums over pixels reproduce absolute waveforms.
+    """
+    model = LCResponseModel(params or LCParams())
+    cfg = config
+
+    def waveform_fn(firing_bits: np.ndarray) -> np.ndarray:
+        firing_bits = np.asarray(firing_bits, dtype=np.uint8)
+        slot_drive = np.zeros((1, firing_bits.size * cfg.dsm_order), dtype=np.uint8)
+        slot_drive[0, :: cfg.dsm_order] = firing_bits
+        phi = model.simulate(
+            slot_drive,
+            cfg.slot_s,
+            cfg.fs,
+            time_scale=np.array([time_scale]),
+        )
+        return LCResponseModel.optical_amplitude(phi)[0]
+
+    return collect_fingerprints(
+        waveform_fn,
+        order=cfg.tail_memory,
+        tick_s=cfg.symbol_duration_s,
+        fs=cfg.fs,
+    )
+
+
+def assemble_waveform(
+    bank: "ReferenceBank",
+    levels_i: np.ndarray,
+    levels_q: np.ndarray,
+    preceding: tuple[np.ndarray, np.ndarray] | None = None,
+) -> np.ndarray:
+    """Synthesise the received waveform a level-pair sequence produces,
+    using the bank's (finite-memory) reference pulses.
+
+    This is the §5.2 emulation applied at firing granularity: the exact
+    signal model the DFE assumes, also used to generate §7.3-style traces
+    far faster than the ground-truth ODE.  ``preceding`` optionally gives
+    the slot-wise levels transmitted before sample zero (defaults to a
+    long-idle channel).
+    """
+    cfg = bank.config
+    ts = cfg.samples_per_slot
+    w = cfg.samples_per_symbol
+    levels_i = np.asarray(levels_i, dtype=int)
+    levels_q = np.asarray(levels_q, dtype=int)
+    if levels_i.shape != levels_q.shape or levels_i.ndim != 1:
+        raise ValueError("levels_i and levels_q must be equal-length 1-D arrays")
+    n_slots = levels_i.size
+    out = np.zeros(n_slots * ts, dtype=complex)
+    v_prev = cfg.tail_memory - 1
+    for channel, levels in ((0, levels_i), (1, levels_q)):
+        for gi in range(cfg.dsm_order):
+            pre = [0] * cfg.tail_memory
+            if preceding is not None:
+                pre += [int(v) for v in np.asarray(preceding[channel])[gi :: cfg.dsm_order]]
+            fired = pre + [int(v) for v in levels[gi :: cfg.dsm_order]]
+            n_pre = len(pre)
+            for k, level in enumerate(fired):
+                start = ((k - n_pre) * cfg.dsm_order + gi) * ts
+                if start + w <= 0 or start >= out.size:
+                    continue
+                prev = tuple(reversed(fired[max(k - v_prev, 0) : k]))
+                pulse = bank.pulse(channel, gi, level, prev)
+                lo = max(start, 0)
+                hi = min(start + w, out.size)
+                out[lo:hi] += pulse[lo - start : hi - start]
+    return out
+
+
+@dataclass
+class GroupReference:
+    """Reference material for one DSM transmitter (group)."""
+
+    channel: int
+    index: int
+    area_fracs: np.ndarray
+    """Per-pixel amplitude fractions of the *channel* total (MSB first)."""
+    unit_tables: list[FingerprintTable]
+    """One fingerprint table per pixel (may all alias one nominal table)."""
+    coef: complex = 1.0 + 0.0j
+    """Online-trained complex gain on the group's basis."""
+    basis: complex = 1.0 + 0.0j
+    """Nominal polarization basis exp(j*2*theta)."""
+    pixel_bases: np.ndarray | None = None
+    """Optional exact per-pixel complex bases (genie mode); ``None`` means
+    all pixels sit exactly on ``basis``."""
+
+    def pixel_weight(self, pixel: int) -> complex:
+        """Complex amplitude weight of one pixel (area x basis)."""
+        base = self.pixel_bases[pixel] if self.pixel_bases is not None else 1.0
+        return complex(self.area_fracs[pixel] * base)
+
+
+class ReferenceBank:
+    """All group references for one operating point, with pulse caching."""
+
+    def __init__(self, config: ModemConfig, groups: list[GroupReference]):
+        self.config = config
+        expected = 2 * config.dsm_order
+        if len(groups) != expected:
+            raise ValueError(f"need {expected} group references, got {len(groups)}")
+        self._groups: dict[tuple[int, int], GroupReference] = {}
+        for g in groups:
+            key = (g.channel, g.index)
+            if key in self._groups:
+                raise ValueError(f"duplicate group reference {key}")
+            self._groups[key] = g
+        self._pulse_cache: dict[tuple, np.ndarray] = {}
+
+    # -------------------------------------------------------------- access
+
+    def group(self, channel: int, index: int) -> GroupReference:
+        """The reference record for one group."""
+        return self._groups[(channel, index)]
+
+    @property
+    def groups(self) -> list[GroupReference]:
+        """All group references (I groups then Q groups, by index)."""
+        return [self._groups[k] for k in sorted(self._groups)]
+
+    def set_coefficients(self, coefs: dict[tuple[int, int], complex]) -> None:
+        """Install online-training results and invalidate the pulse cache."""
+        for key, coef in coefs.items():
+            self._groups[key].coef = complex(coef)
+        self._pulse_cache.clear()
+
+    # -------------------------------------------------------------- pulses
+
+    def _pixel_context(self, pixel: int, n_bits: int, levels: tuple[int, ...]) -> int:
+        """V-bit firing context of one pixel for a level history.
+
+        ``levels`` is ordered oldest first and already has length V.
+        """
+        key = 0
+        shift = n_bits - 1 - pixel
+        for level in levels:
+            key = (key << 1) | ((level >> shift) & 1)
+        return key
+
+    def pulse(self, channel: int, index: int, level: int, prev_levels: tuple[int, ...]) -> np.ndarray:
+        """W-long complex reference pulse of a group firing.
+
+        Parameters
+        ----------
+        channel, index:
+            Group identity (0 = I, 1 = Q).
+        level:
+            The fired PAM level.
+        prev_levels:
+            The group's previous fired levels, *most recent first*; only
+            the first ``V - 1`` entries are used (missing history is taken
+            as level 0, i.e. fully relaxed).
+        """
+        v = self.config.tail_memory
+        hist = list(prev_levels[: v - 1])
+        hist += [0] * (v - 1 - len(hist))
+        cache_key = (channel, index, level, tuple(hist))
+        cached = self._pulse_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        group = self._groups[(channel, index)]
+        # Oldest-first level sequence ending at the current firing.
+        seq = tuple(reversed(hist)) + (level,)
+        n_bits = len(group.area_fracs)
+        w = self.config.samples_per_symbol
+        total = np.zeros(w, dtype=complex)
+        for pixel in range(n_bits):
+            ctx = self._pixel_context(pixel, n_bits, seq)
+            chunk = group.unit_tables[pixel].chunks[ctx]
+            total = total + group.pixel_weight(pixel) * chunk
+        pulse = (group.coef * group.basis) * total
+        self._pulse_cache[cache_key] = pulse
+        return pulse
+
+    def pulse_stack(self, channel: int, index: int, prev_levels: tuple[int, ...]) -> np.ndarray:
+        """All candidate pulses ``(levels_per_axis, W)`` for one history.
+
+        The demodulator's hot path: one cached array per (group, history)
+        covering every candidate level at once.
+        """
+        v = self.config.tail_memory
+        hist = list(prev_levels[: v - 1])
+        hist += [0] * (v - 1 - len(hist))
+        cache_key = (channel, index, "stack", tuple(hist))
+        cached = self._pulse_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        group = self._groups[(channel, index)]
+        m = 1 << len(group.area_fracs)
+        stack = np.stack([self.pulse(channel, index, lvl, tuple(hist)) for lvl in range(m)])
+        self._pulse_cache[cache_key] = stack
+        return stack
+
+    # ------------------------------------------------------------- factory
+
+    @classmethod
+    def from_unit_table(
+        cls,
+        config: ModemConfig,
+        unit: FingerprintTable,
+        levels_per_axis: int | None = None,
+    ) -> "ReferenceBank":
+        """Bank in which every group shares one provided unit table.
+
+        Used by the online trainer to assemble per-basis design waveforms
+        and by tests that inject synthetic fingerprints.
+        """
+        m = levels_per_axis or config.levels_per_axis
+        n_bits = m.bit_length() - 1
+        areas = np.array([float(1 << (n_bits - 1 - b)) for b in range(n_bits)])
+        fracs = areas / (areas.sum() * config.dsm_order)
+        groups = [
+            GroupReference(
+                channel=ch,
+                index=gi,
+                area_fracs=fracs.copy(),
+                unit_tables=[unit] * n_bits,
+                basis=_CHANNEL_BASES[ch],
+            )
+            for ch in (0, 1)
+            for gi in range(config.dsm_order)
+        ]
+        return cls(config, groups)
+
+    @classmethod
+    def nominal(
+        cls,
+        config: ModemConfig,
+        params: LCParams | None = None,
+        levels_per_axis: int | None = None,
+    ) -> "ReferenceBank":
+        """Bank built from one shared nominal unit table (offline training
+        under ideal conditions; per-group spread left to online training)."""
+        unit = collect_unit_table(config, params=params)
+        return cls.from_unit_table(config, unit, levels_per_axis=levels_per_axis)
+
+    @classmethod
+    def genie(cls, config: ModemConfig, array) -> "ReferenceBank":
+        """Bank with exact per-pixel fingerprints of a *specific* array.
+
+        Collects each pixel's true response (including its heterogeneity)
+        — the perfect-channel-knowledge upper bound used in tests and
+        ablations.
+        """
+        groups: list[GroupReference] = []
+        for ch, channel in enumerate(("I", "Q")):
+            channel_area = sum(g.nominal_area for g in array.groups_on(channel))
+            for g in array.groups_on(channel):
+                tables = []
+                fracs = []
+                bases = []
+                for p in g.pixels:
+                    tables.append(
+                        collect_unit_table(config, params=p.params, time_scale=p.time_scale)
+                    )
+                    fracs.append(p.area * p.gain / channel_area)
+                    bases.append(np.exp(2j * p.angle_rad))
+                groups.append(
+                    GroupReference(
+                        channel=ch,
+                        index=g.index,
+                        area_fracs=np.asarray(fracs),
+                        unit_tables=tables,
+                        basis=1.0 + 0.0j,
+                        pixel_bases=np.asarray(bases, dtype=complex),
+                    )
+                )
+        return cls(config, groups)

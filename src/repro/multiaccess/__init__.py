@@ -1,0 +1,16 @@
+"""Concurrent multi-tag uplink — the paper's §8 "Efficient Multiple
+Access" direction.
+
+"With multiple photodiodes placed strategically from optical channel
+diversity perspective, one can further develop MIMO system in the context
+of VLBC."  This package builds that system: a multi-aperture reader whose
+photodiode units sit at different offsets inside the retroreflected beam
+cones (so each tag-aperture pair sees a distinct gain), per-tag staggered
+channel sounding, zero-forcing separation, and per-tag DSM-PQAM
+demodulation of *concurrent* transmissions.
+"""
+
+from repro.multiaccess.channel import MultiAccessChannel
+from repro.multiaccess.joint import JointReceiver, SeparationReport
+
+__all__ = ["JointReceiver", "MultiAccessChannel", "SeparationReport"]

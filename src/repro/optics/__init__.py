@@ -1,0 +1,35 @@
+"""Optical substrate: polarization algebra, link geometry and budget,
+ambient light, and photodiode noise.
+
+Everything the paper realises with polarizer films, retroreflective fabric,
+a 4 W flashlight and BPW34 photodiodes is modelled here analytically; the
+:mod:`repro.radio` package layers the 455 kHz switching-carrier receiver on
+top.
+"""
+
+from repro.optics.ambient import AMBIENT_PRESETS, AmbientLight, HumanMobility, MOBILITY_CASES
+from repro.optics.geometry import LinkGeometry
+from repro.optics.photodiode import PhotodiodeModel
+from repro.optics.polarization import (
+    basis_vector,
+    channel_coefficient,
+    constellation_rotation,
+    malus_intensity,
+    received_intensity,
+)
+from repro.optics.retroreflector import LinkBudget
+
+__all__ = [
+    "AMBIENT_PRESETS",
+    "AmbientLight",
+    "HumanMobility",
+    "LinkBudget",
+    "LinkGeometry",
+    "MOBILITY_CASES",
+    "PhotodiodeModel",
+    "basis_vector",
+    "channel_coefficient",
+    "constellation_rotation",
+    "malus_intensity",
+    "received_intensity",
+]

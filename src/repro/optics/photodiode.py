@@ -1,0 +1,61 @@
+"""Photodiode receiver element: responsivity, noise, saturation.
+
+The reader uses BPW34 photodiodes behind polarizers (paper §6); for the
+simulation the photodiode contributes (a) a conversion gain, (b) an
+input-referred Gaussian noise floor combining thermal and shot terms, and
+(c) hard saturation of the photocurrent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+
+__all__ = ["PhotodiodeModel"]
+
+
+@dataclass(frozen=True)
+class PhotodiodeModel:
+    """A single photodiode + first-stage amplifier chain.
+
+    Amplitudes are in normalised optical units (the tag's fully-charged
+    channel is 1.0 before path loss); ``noise_floor`` is the std-dev of the
+    additive noise at those units for the reference ambient condition.
+    """
+
+    responsivity: float = 1.0
+    noise_floor: float = 1e-3
+    saturation_level: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.responsivity <= 0:
+            raise ValueError("responsivity must be positive")
+        if self.noise_floor < 0:
+            raise ValueError("noise floor must be non-negative")
+        if self.saturation_level <= 0:
+            raise ValueError("saturation level must be positive")
+
+    def sense(
+        self,
+        intensity: np.ndarray,
+        noise_factor: float = 1.0,
+        rng: np.random.Generator | int | None = None,
+    ) -> np.ndarray:
+        """Photocurrent for an incident intensity waveform.
+
+        ``noise_factor`` scales the noise *power* (e.g. ambient shot noise,
+        see :class:`repro.optics.ambient.AmbientLight`).
+        """
+        intensity = np.asarray(intensity, dtype=float)
+        if np.any(intensity < -1e-9):
+            raise ValueError("optical intensity cannot be negative")
+        gen = ensure_rng(rng)
+        current = self.responsivity * intensity
+        current = np.minimum(current, self.saturation_level)
+        sigma = self.noise_floor * np.sqrt(noise_factor)
+        if sigma > 0:
+            current = current + gen.normal(0.0, sigma, size=current.shape)
+        return current

@@ -1,0 +1,85 @@
+"""Retroreflective link budget.
+
+Retroreflective uplinks traverse the reader->tag path and fold back along
+the same line, so received power falls off much faster than free space; the
+paper notes the path loss "has a more deterministic relationship to the
+distance" than RF and fits a link-budget model to measurement (PassiveVLC
+[9] model, re-fitted).  We model SNR in dB as::
+
+    SNR(d) = snr_ref_db - 10 * n * log10(d / d_ref)
+
+with the exponent ``n`` and anchor fitted per reader configuration.
+
+Two presets are provided:
+
+* :meth:`LinkBudget.experimental` — the narrow-FoV (+-10deg, 4 W) bench
+  configuration of §7.1/§7.2.  Anchored so the default 8 Kbps link's 1% BER
+  range lands near the paper's 7.5 m (and 4 Kbps near 10.5 m) *given this
+  reproduction's demodulator thresholds*; the dB-per-decade slope (55) is
+  derived from the paper's own range pair (8 dB threshold gap between 4 and
+  8 Kbps across 10.5 m -> 7.5 m).
+* :meth:`LinkBudget.wide_fov` — the 50deg-FoV configuration of the Fig 18c
+  rate-adaptation study, anchored exactly at the paper's quoted 65 dB @ 1 m
+  and 14 dB @ 4.3 m.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["LinkBudget"]
+
+
+@dataclass(frozen=True)
+class LinkBudget:
+    """Distance -> SNR mapping for a retroreflective VLBC link."""
+
+    snr_ref_db: float
+    d_ref_m: float = 1.0
+    exponent: float = 5.5
+
+    def __post_init__(self) -> None:
+        if self.d_ref_m <= 0:
+            raise ValueError("reference distance must be positive")
+        if self.exponent <= 0:
+            raise ValueError("path-loss exponent must be positive")
+
+    def snr_db(self, distance_m: float | np.ndarray) -> float | np.ndarray:
+        """Link SNR in dB at ``distance_m`` (before yaw/ambient penalties)."""
+        d = np.asarray(distance_m, dtype=float)
+        if np.any(d <= 0):
+            raise ValueError("distance must be positive")
+        out = self.snr_ref_db - 10.0 * self.exponent * np.log10(d / self.d_ref_m)
+        return float(out) if np.ndim(out) == 0 else out
+
+    def range_for_snr(self, snr_db: float) -> float:
+        """Distance at which the link SNR falls to ``snr_db`` (metres)."""
+        return float(self.d_ref_m * 10.0 ** ((self.snr_ref_db - snr_db) / (10.0 * self.exponent)))
+
+    @classmethod
+    def from_anchors(cls, d1_m: float, snr1_db: float, d2_m: float, snr2_db: float) -> "LinkBudget":
+        """Fit (reference, exponent) through two measured (distance, SNR) points."""
+        if d1_m <= 0 or d2_m <= 0 or d1_m == d2_m:
+            raise ValueError("anchors need two distinct positive distances")
+        exponent = (snr1_db - snr2_db) / (10.0 * np.log10(d2_m / d1_m))
+        if exponent <= 0:
+            raise ValueError("anchors imply a non-decaying link; check inputs")
+        return cls(snr_ref_db=snr1_db, d_ref_m=d1_m, exponent=exponent)
+
+    @classmethod
+    def experimental(cls) -> "LinkBudget":
+        """Narrow-FoV bench preset (§7.1): +-10deg FoV, 4 W reader.
+
+        Calibrated so this reproduction's measured demodulation thresholds
+        (8 Kbps ~ 22 dB, 4 Kbps ~ 14.5 dB at 1% BER — a 7.7 dB gap vs the
+        paper's 8 dB) land at the paper's working ranges of 7.5 m and
+        10.5 m respectively.
+        """
+        return cls(snr_ref_db=67.1, d_ref_m=1.0, exponent=5.13)
+
+    @classmethod
+    def wide_fov(cls) -> "LinkBudget":
+        """Fig 18c preset: 50deg FoV, 4 W — 65 dB @ 1 m, 14 dB @ 4.3 m."""
+        return cls.from_anchors(1.0, 65.0, 4.3, 14.0)

@@ -1,0 +1,138 @@
+"""Reader-side PHY: samples -> detection -> training -> equalisation -> bits.
+
+Implements the full receive pipeline of paper §4.3 on a corrected sample
+stream: preamble detection with rotation correction, per-packet online
+channel training over the offline KL bases, and K-branch DFE demodulation
+primed with the known training tail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.lcm.fingerprint import FingerprintTable
+from repro.modem.dfe import DFEDemodulator
+from repro.modem.preamble import PreambleDetection
+from repro.modem.references import ReferenceBank
+from repro.phy.frame import FrameFormat
+from repro.training.online import OnlineTrainer
+
+__all__ = ["PhyReceiver", "ReceiverOutput"]
+
+
+@dataclass
+class ReceiverOutput:
+    """Everything the receiver learned from one packet."""
+
+    payload: bytes
+    crc_ok: bool
+    detection: PreambleDetection
+    snr_est_db: float
+    levels_i: np.ndarray
+    levels_q: np.ndarray
+    equalizer_mse: float
+
+
+class PhyReceiver:
+    """A reader configured for one frame format.
+
+    Parameters
+    ----------
+    frame:
+        Frame format (must match the transmitter's).
+    basis_tables:
+        Offline-training output: the KL basis tables online training will
+        fit per group.  A single nominal table (S = 1) is the cheap default.
+    k_branches:
+        DFE beam width.
+    online_training:
+        Disable to demodulate straight off the nominal bank (ablation knob
+        for the Fig 16c / 17b studies).
+    fixed_bank:
+        Bypass training entirely with a caller-provided bank (e.g. the
+        genie bank in tests).
+    """
+
+    def __init__(
+        self,
+        frame: FrameFormat,
+        basis_tables: list[FingerprintTable],
+        k_branches: int = 16,
+        online_training: bool = True,
+        fixed_bank: ReferenceBank | None = None,
+    ):
+        self.frame = frame
+        self.config = frame.config
+        self.basis_tables = basis_tables
+        self.k_branches = k_branches
+        self.online_training = online_training
+        self.fixed_bank = fixed_bank
+        self._trainer = OnlineTrainer(
+            self.config,
+            basis_tables,
+            frame.training,
+            preceding_levels=frame.preamble.levels,
+        )
+        self._nominal_bank = ReferenceBank.from_unit_table(self.config, basis_tables[0])
+
+    def install_reference(self, preamble_reference: np.ndarray) -> None:
+        """Install the offline-recorded preamble reference waveform."""
+        self.frame.preamble.install_reference(preamble_reference)
+
+    # ------------------------------------------------------------- receive
+
+    def receive(
+        self,
+        x: np.ndarray,
+        search_start: int = 0,
+        search_stop: int | None = None,
+    ) -> ReceiverOutput:
+        """Run the full pipeline on raw receiver samples."""
+        frame = self.frame
+        cfg = self.config
+        ts = cfg.samples_per_slot
+        detection = frame.preamble.detect(x, search_start=search_start, search_stop=search_stop)
+        corrected = detection.corrector.apply(np.asarray(x, dtype=complex))
+        preamble_end = detection.offset + frame.preamble_slots * ts
+        training_end = preamble_end + frame.training.n_slots * ts
+        payload_end = training_end + frame.payload_slots * ts
+        if payload_end > corrected.size:
+            if detection.detected:
+                raise ValueError(
+                    f"packet truncated: need {payload_end} samples, have {corrected.size}"
+                )
+            # A failed detection latched onto noise near the end of the
+            # capture; report a lost packet instead of crashing.
+            return ReceiverOutput(
+                payload=bytes(frame.payload_bytes),
+                crc_ok=False,
+                detection=detection,
+                snr_est_db=detection.snr_db,
+                levels_i=np.zeros(frame.payload_slots, dtype=int),
+                levels_q=np.zeros(frame.payload_slots, dtype=int),
+                equalizer_mse=float("inf"),
+            )
+        if self.fixed_bank is not None:
+            bank = self.fixed_bank
+        elif self.online_training:
+            bank = self._trainer.train(corrected[preamble_end:training_end])
+        else:
+            bank = self._nominal_bank
+        dfe = DFEDemodulator(bank, k_branches=self.k_branches)
+        result = dfe.demodulate(
+            corrected[training_end:payload_end],
+            frame.payload_slots,
+            prime_levels=frame.prime_levels(),
+        )
+        payload, crc_ok = frame.decode_payload(result.levels_i, result.levels_q)
+        return ReceiverOutput(
+            payload=payload,
+            crc_ok=crc_ok,
+            detection=detection,
+            snr_est_db=detection.snr_db,
+            levels_i=result.levels_i,
+            levels_q=result.levels_q,
+            equalizer_mse=result.mse,
+        )

@@ -1,0 +1,38 @@
+"""Tag-side PHY: frame levels -> LCM drive -> optical waveform.
+
+The backscatter controller of paper §3.2: picks the modulation operating
+point, serialises the frame onto the pixel array, and reports the energy
+the schedule costs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lcm.array import LCMArray
+from repro.lcm.power import TagPowerModel
+from repro.modem.dsm_pqam import DsmPqamModulator
+from repro.phy.frame import FrameFormat
+
+__all__ = ["PhyTransmitter"]
+
+
+class PhyTransmitter:
+    """A tag configured with a frame format and a pixel array."""
+
+    def __init__(self, frame: FrameFormat, array: LCMArray, power_model: TagPowerModel | None = None):
+        self.frame = frame
+        self.array = array
+        self.modulator = DsmPqamModulator(frame.config, array)
+        self.power_model = power_model or TagPowerModel()
+
+    def transmit(self, payload: bytes, roll_rad: float = 0.0) -> np.ndarray:
+        """Complex baseband waveform of one complete frame."""
+        levels_i, levels_q = self.frame.frame_levels(payload)
+        return self.modulator.waveform_for_levels(levels_i, levels_q, roll_rad=roll_rad)
+
+    def transmit_power_w(self, payload: bytes) -> float:
+        """Average tag power over the frame (the §7.2.2 Power microbench)."""
+        levels_i, levels_q = self.frame.frame_levels(payload)
+        drive = self.modulator.drive_for_levels(levels_i, levels_q)
+        return self.power_model.mean_power(self.array, drive, self.frame.config.slot_s)

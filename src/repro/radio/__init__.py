@@ -1,0 +1,14 @@
+"""Reader analog/digital front-end.
+
+Models the paper's receive chain (§6): a 455 kHz switching carrier with a
+passband receiver that rejects baseband ambient variation, two
+polarization-diverse photodiode pairs in the polarization-based
+differential-reception (PDR) arrangement, then AGC, ADC quantisation and
+decimation before samples reach the demodulator.
+"""
+
+from repro.radio.carrier import SwitchingCarrier
+from repro.radio.frontend import ReaderFrontend
+from repro.radio.pdr import PDRReceiver
+
+__all__ = ["PDRReceiver", "ReaderFrontend", "SwitchingCarrier"]

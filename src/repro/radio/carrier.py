@@ -1,0 +1,103 @@
+"""The 455 kHz switching-carrier / passband-receiver abstraction.
+
+Paper §6 (Reader): the reader "incorporates the switching carrier and
+passband receiver design [PassiveVLC] in order to avoid baseband ambient
+light variations": the flashlight is toggled at 455 kHz, the photocurrent is
+band-passed around that carrier and synchronously down-converted, so slow
+ambient light becomes DC and is rejected while the tag's modulation rides
+the carrier into the passband.
+
+For simulation we do not synthesise 455 kHz sample streams (that would cost
+three orders of magnitude in sample rate for no modelling value); the class
+instead computes the *equivalent baseband effect* of the carrier chain —
+ambient rejection ratio, in-band noise bandwidth, and the demonstration
+round-trip :meth:`modulate`/:meth:`demodulate` pair used by tests to verify
+the equivalence on short snippets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SwitchingCarrier"]
+
+
+@dataclass(frozen=True)
+class SwitchingCarrier:
+    """Carrier/passband parameters of the reader.
+
+    Parameters
+    ----------
+    carrier_hz:
+        Switching frequency of the interrogating light (455 kHz in the
+        prototype).
+    passband_hz:
+        One-sided width of the receiver passband around the carrier; must
+        exceed the modulation bandwidth (a few kHz for W = 4 ms symbols).
+    ambient_rejection_db:
+        Suppression of baseband (DC-ish) ambient light after band-passing
+        and synchronous detection.
+    """
+
+    carrier_hz: float = 455e3
+    passband_hz: float = 40e3
+    ambient_rejection_db: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.carrier_hz <= 0 or self.passband_hz <= 0:
+            raise ValueError("carrier and passband must be positive")
+        if self.passband_hz >= self.carrier_hz:
+            raise ValueError("passband must be narrower than the carrier frequency")
+
+    def residual_ambient_fraction(self) -> float:
+        """Amplitude fraction of ambient light that survives the passband."""
+        return float(10.0 ** (-self.ambient_rejection_db / 20.0))
+
+    def modulate(self, baseband: np.ndarray, fs_rf: float) -> np.ndarray:
+        """Ride a baseband waveform on the switching carrier (square wave).
+
+        ``fs_rf`` must satisfy Nyquist for the carrier.  Intensity cannot be
+        negative, so the emitted light is ``(1 + baseband)/2`` keyed by the
+        carrier's on/off state — exactly a switching (not sinusoidal)
+        carrier.
+        """
+        if fs_rf < 4 * self.carrier_hz:
+            raise ValueError("fs_rf must be at least 4x the carrier frequency")
+        baseband = np.asarray(baseband, dtype=float)
+        if np.any(np.abs(baseband) > 1.0 + 1e-9):
+            raise ValueError("baseband amplitude must lie in [-1, 1]")
+        t = np.arange(baseband.size) / fs_rf
+        square = (np.sin(2.0 * np.pi * self.carrier_hz * t) >= 0).astype(float)
+        return 0.5 * (1.0 + baseband) * square
+
+    def demodulate(self, rf: np.ndarray, fs_rf: float) -> np.ndarray:
+        """Synchronous detection: mix with the carrier and low-pass.
+
+        Returns the recovered baseband (same length; scaled back to the
+        modulate() input convention).  Implemented with an FFT brick-wall
+        low-pass at ``passband_hz`` — adequate for the short test snippets
+        this is meant for.
+        """
+        rf = np.asarray(rf, dtype=float)
+        t = np.arange(rf.size) / fs_rf
+        square = (np.sin(2.0 * np.pi * self.carrier_hz * t) >= 0).astype(float)
+        # Analog band-pass around the carrier *before* mixing — this is
+        # where the receiver actually rejects baseband ambient light.
+        spectrum_rf = np.fft.rfft(rf)
+        freqs_rf = np.fft.rfftfreq(rf.size, d=1.0 / fs_rf)
+        in_band = np.abs(freqs_rf - self.carrier_hz) <= self.passband_hz
+        rf_banded = np.fft.irfft(spectrum_rf * in_band, n=rf.size)
+        duty = float(square.mean())
+        mixed = rf_banded * (square - duty)
+        spectrum = np.fft.rfft(mixed)
+        freqs = np.fft.rfftfreq(rf.size, d=1.0 / fs_rf)
+        spectrum[freqs > self.passband_hz] = 0.0
+        recovered = np.fft.irfft(spectrum, n=rf.size)
+        # Only the square's fundamental survives the pre-mix band-pass;
+        # mixing it with itself leaves (1+b)/2 * |c1|^2 / 2 in band, where
+        # c1 is the fundamental's complex amplitude.
+        c1 = 2.0 * np.mean(square * np.exp(-2j * np.pi * self.carrier_hz * t))
+        scale = 4.0 / (np.abs(c1) ** 2)
+        return scale * recovered - 1.0

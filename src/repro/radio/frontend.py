@@ -1,0 +1,84 @@
+"""Digital front-end: gain control, ADC quantisation, decimation.
+
+The backend MCU (paper §6) "converts two analog channels with its
+integrated ADCs, and performs basic processing, namely gain control,
+down-conversion and decimation before streaming to host computer".  The
+down-conversion lives in :mod:`repro.radio.carrier`; this module applies
+AGC so the signal fills the converter range, quantises I and Q, and
+decimates to the demodulator's baseband rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.sampling import linear_resample
+
+__all__ = ["ReaderFrontend"]
+
+
+@dataclass(frozen=True)
+class ReaderFrontend:
+    """AGC + ADC + decimator for the complex PDR stream.
+
+    Parameters
+    ----------
+    adc_bits:
+        Converter resolution per I/Q rail (the STM32H750's ADCs run at
+        up to 16 bits; 12 is the prototype's effective setting).
+    full_scale:
+        Converter full-scale amplitude after AGC.
+    agc_target:
+        AGC drives the signal's peak amplitude to this fraction of full
+        scale (headroom against clipping).
+    """
+
+    adc_bits: int = 12
+    full_scale: float = 1.0
+    agc_target: float = 0.7
+
+    def __post_init__(self) -> None:
+        if not 4 <= self.adc_bits <= 24:
+            raise ValueError("adc_bits out of the plausible range [4, 24]")
+        if not 0 < self.agc_target <= 1:
+            raise ValueError("agc_target must be in (0, 1]")
+        if self.full_scale <= 0:
+            raise ValueError("full_scale must be positive")
+
+    def agc_gain(self, x: np.ndarray) -> float:
+        """Gain that scales the waveform's peak to the AGC target."""
+        peak = float(np.max(np.abs(np.concatenate([x.real, x.imag])))) if x.size else 0.0
+        if peak <= 0:
+            return 1.0
+        return self.agc_target * self.full_scale / peak
+
+    def quantise(self, x: np.ndarray) -> np.ndarray:
+        """Quantise I and Q to the converter grid, clipping at full scale."""
+        levels = 1 << self.adc_bits
+        step = 2.0 * self.full_scale / levels
+        def q(rail: np.ndarray) -> np.ndarray:
+            clipped = np.clip(rail, -self.full_scale, self.full_scale - step)
+            return np.round(clipped / step) * step
+        x = np.asarray(x)
+        return q(x.real) + 1j * q(x.imag)
+
+    def process(
+        self,
+        x: np.ndarray,
+        fs_in: float,
+        fs_out: float | None = None,
+    ) -> tuple[np.ndarray, float]:
+        """Run AGC -> quantise -> decimate; returns ``(samples, gain)``.
+
+        The applied AGC gain is returned so callers that care about
+        absolute amplitudes (e.g. SNR estimation) can undo it; the
+        demodulator itself is scale-free thanks to the preamble regression.
+        """
+        x = np.asarray(x, dtype=complex)
+        gain = self.agc_gain(x)
+        y = self.quantise(x * gain)
+        if fs_out is not None and fs_out != fs_in:
+            y = linear_resample(y, fs_in, fs_out)
+        return y, gain

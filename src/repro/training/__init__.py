@@ -1,0 +1,21 @@
+"""Two-stage channel training (paper §4.3.3).
+
+*Offline*: record unit fingerprint tables under many conditions (orientations,
+response-speed spreads), stack them as columns and truncate the SVD — the
+Karhunen-Loeve bases that minimise squared error among all rank-S linear
+models.  *Online* (per packet): each of the 2L DSM transmitters fires a known
+linearly-independent pattern; the receiver solves the S complex coefficients
+per transmitter by least squares and composes each group's effective
+reference table for demodulation.
+"""
+
+from repro.training.offline import OfflineTrainer, table_to_vector, vector_to_table
+from repro.training.online import OnlineTrainer, TrainingSequence
+
+__all__ = [
+    "OfflineTrainer",
+    "OnlineTrainer",
+    "TrainingSequence",
+    "table_to_vector",
+    "vector_to_table",
+]

@@ -1,0 +1,100 @@
+"""Offline training: invariant bases by truncated SVD (paper §4.3.3).
+
+The complete behaviour model of one LCM at one orientation is the *union
+set* ``r(x)``: all ``2^V`` context chunks of its fingerprint table,
+concatenated into a single vector of ``2^V * m`` samples (``m = W * fs``).
+Collecting ``r(x_1) ... r(x_n)`` at ``n`` conditions and truncating the SVD
+of ``E = [r(x_1) ... r(x_n)]`` to rank ``S`` yields the bases that minimise
+squared error over all rank-S linear approximations (the Karhunen-Loeve
+argument of the paper); online training then only solves ``S`` coefficients
+per transmitter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lcm.fingerprint import FingerprintTable
+from repro.lcm.response import LCParams
+from repro.modem.config import ModemConfig
+from repro.modem.references import collect_unit_table
+
+__all__ = ["OfflineTrainer", "table_to_vector", "vector_to_table"]
+
+
+def table_to_vector(table: FingerprintTable) -> np.ndarray:
+    """Concatenate a complete fingerprint table into the union-set vector.
+
+    Contexts are ordered by their integer key so the layout is canonical.
+    """
+    missing = table.missing_contexts()
+    if missing:
+        raise ValueError(f"table is missing contexts {missing[:8]}")
+    return np.concatenate([table.chunks[c] for c in range(table.n_contexts)])
+
+
+def vector_to_table(vector: np.ndarray, order: int, tick_s: float, fs: float) -> FingerprintTable:
+    """Inverse of :func:`table_to_vector`."""
+    vector = np.asarray(vector)
+    table = FingerprintTable(order=order, tick_s=tick_s, fs=fs)
+    chunk_len = table.chunk_len
+    expected = table.n_contexts * chunk_len
+    if vector.size != expected:
+        raise ValueError(f"vector has {vector.size} samples, expected {expected}")
+    table.chunks = {
+        c: vector[c * chunk_len : (c + 1) * chunk_len].copy() for c in range(table.n_contexts)
+    }
+    return table
+
+
+class OfflineTrainer:
+    """Collects condition-diverse unit tables and extracts KL bases."""
+
+    def __init__(self, config: ModemConfig):
+        self.config = config
+
+    def collect_condition_tables(
+        self,
+        time_scales: list[float] | None = None,
+        params_list: list[LCParams] | None = None,
+    ) -> list[FingerprintTable]:
+        """Record unit fingerprint tables across plausible LC conditions.
+
+        Conditions default to a spread of response-speed dilations — the
+        dominant shape-changing heterogeneity in the simulation (amplitude
+        and rotation being exactly absorbed by a complex scale, which the
+        online coefficients provide for free).
+        """
+        scales = time_scales if time_scales is not None else [0.85, 0.95, 1.0, 1.05, 1.15]
+        params = params_list if params_list is not None else [None] * len(scales)
+        if len(params) != len(scales):
+            raise ValueError("params_list must match time_scales in length")
+        return [
+            collect_unit_table(self.config, params=p, time_scale=s)
+            for p, s in zip(params, scales)
+        ]
+
+    def extract_bases(
+        self,
+        tables: list[FingerprintTable],
+        n_bases: int,
+    ) -> tuple[list[FingerprintTable], np.ndarray]:
+        """Truncated-SVD basis tables and the full singular-value spectrum.
+
+        Returns ``(basis_tables, singular_values)``; basis vectors are the
+        left singular vectors scaled by their singular values (so unit
+        coefficients reproduce typical response magnitudes).
+        """
+        if not tables:
+            raise ValueError("need at least one condition table")
+        if n_bases < 1 or n_bases > len(tables):
+            raise ValueError(f"n_bases must be in [1, {len(tables)}]")
+        first = tables[0]
+        vectors = [table_to_vector(t) for t in tables]
+        e = np.stack(vectors, axis=1)
+        u, s, _ = np.linalg.svd(e, full_matrices=False)
+        bases = [
+            vector_to_table(u[:, k] * s[k] / np.sqrt(len(tables)), first.order, first.tick_s, first.fs)
+            for k in range(n_bases)
+        ]
+        return bases, s

@@ -1,0 +1,56 @@
+"""Shared low-level utilities: units, bits, m-sequences, sampling, RNG.
+
+These helpers are deliberately dependency-light (numpy only) and are used by
+every other subpackage.  Nothing in here knows about light, liquid crystals
+or modulation — keep it that way.
+"""
+
+from repro.utils.bits import (
+    bit_errors,
+    bits_to_bytes,
+    bits_to_int,
+    bytes_to_bits,
+    int_to_bits,
+    random_bits,
+)
+from repro.utils.mseq import LFSR, mls_taps, max_length_sequence
+from repro.utils.rng import ensure_rng
+from repro.utils.sampling import (
+    linear_resample,
+    moving_average,
+    samples_for_duration,
+    time_vector,
+)
+from repro.utils.units import (
+    db_to_linear,
+    db_to_power_ratio,
+    linear_to_db,
+    power_ratio_to_db,
+    rms,
+    signal_power,
+    snr_db,
+)
+
+__all__ = [
+    "LFSR",
+    "bit_errors",
+    "bits_to_bytes",
+    "bits_to_int",
+    "bytes_to_bits",
+    "db_to_linear",
+    "db_to_power_ratio",
+    "ensure_rng",
+    "int_to_bits",
+    "linear_resample",
+    "linear_to_db",
+    "max_length_sequence",
+    "mls_taps",
+    "moving_average",
+    "power_ratio_to_db",
+    "random_bits",
+    "rms",
+    "samples_for_duration",
+    "signal_power",
+    "snr_db",
+    "time_vector",
+]

@@ -1,0 +1,81 @@
+"""Bit-level helpers: packing, unpacking, random payloads, error counting.
+
+All bit arrays are numpy ``uint8`` arrays containing 0/1 values, MSB-first
+within each byte/integer.  MSB-first matches how the RetroTurbo frame layer
+serialises payload bytes onto PQAM symbols.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+
+__all__ = [
+    "bit_errors",
+    "bits_to_bytes",
+    "bits_to_int",
+    "bytes_to_bits",
+    "int_to_bits",
+    "random_bits",
+]
+
+
+def _as_bit_array(bits: np.ndarray | list[int]) -> np.ndarray:
+    arr = np.asarray(bits, dtype=np.uint8)
+    if arr.ndim != 1:
+        raise ValueError(f"expected a 1-D bit array, got shape {arr.shape}")
+    if arr.size and arr.max() > 1:
+        raise ValueError("bit arrays may only contain 0 and 1")
+    return arr
+
+
+def bytes_to_bits(data: bytes | bytearray | np.ndarray) -> np.ndarray:
+    """Expand bytes into an MSB-first bit array."""
+    buf = np.frombuffer(bytes(data), dtype=np.uint8)
+    return np.unpackbits(buf)
+
+
+def bits_to_bytes(bits: np.ndarray | list[int]) -> bytes:
+    """Pack an MSB-first bit array (length divisible by 8) into bytes."""
+    arr = _as_bit_array(bits)
+    if arr.size % 8:
+        raise ValueError(f"bit count {arr.size} is not a multiple of 8")
+    return np.packbits(arr).tobytes()
+
+
+def int_to_bits(value: int, width: int) -> np.ndarray:
+    """MSB-first fixed-width binary expansion of a non-negative integer."""
+    if width <= 0:
+        raise ValueError("width must be positive")
+    if value < 0:
+        raise ValueError("value must be non-negative")
+    if value >= (1 << width):
+        raise ValueError(f"{value} does not fit in {width} bits")
+    return np.array([(value >> (width - 1 - i)) & 1 for i in range(width)], dtype=np.uint8)
+
+
+def bits_to_int(bits: np.ndarray | list[int]) -> int:
+    """Interpret an MSB-first bit array as a non-negative integer."""
+    arr = _as_bit_array(bits)
+    value = 0
+    for b in arr:
+        value = (value << 1) | int(b)
+    return value
+
+
+def random_bits(n: int, rng: np.random.Generator | int | None = None) -> np.ndarray:
+    """Uniform random bit array of length ``n``."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    gen = ensure_rng(rng)
+    return gen.integers(0, 2, size=n, dtype=np.uint8)
+
+
+def bit_errors(sent: np.ndarray, received: np.ndarray) -> int:
+    """Hamming distance between two equal-length bit arrays."""
+    a = _as_bit_array(sent)
+    b = _as_bit_array(received)
+    if a.size != b.size:
+        raise ValueError(f"length mismatch: {a.size} vs {b.size}")
+    return int(np.count_nonzero(a != b))

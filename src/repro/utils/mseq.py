@@ -1,0 +1,107 @@
+"""Maximum-length sequences (MLS / m-sequences) via Fibonacci LFSRs.
+
+The RetroTurbo channel-characterisation procedure (paper §5.2) drives the
+liquid-crystal modulator with a V-th order m-sequence so that every nonzero
+V-bit history appears exactly once; the all-zero history is covered by a
+padded all-zero stretch (paper footnote 5).  This module provides the LFSR
+machinery plus a curated table of primitive-polynomial taps for orders
+2 through 20.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["LFSR", "max_length_sequence", "mls_taps"]
+
+# Primitive polynomial taps (1-indexed bit positions fed back, Fibonacci
+# convention), one known-good polynomial per order.  Order n produces a
+# sequence of period 2^n - 1 containing every nonzero n-bit window once.
+_TAPS: dict[int, tuple[int, ...]] = {
+    2: (2, 1),
+    3: (3, 2),
+    4: (4, 3),
+    5: (5, 3),
+    6: (6, 5),
+    7: (7, 6),
+    8: (8, 6, 5, 4),
+    9: (9, 5),
+    10: (10, 7),
+    11: (11, 9),
+    12: (12, 11, 10, 4),
+    13: (13, 12, 11, 8),
+    14: (14, 13, 12, 2),
+    15: (15, 14),
+    16: (16, 15, 13, 4),
+    17: (17, 14),
+    18: (18, 11),
+    19: (19, 18, 17, 14),
+    20: (20, 17),
+}
+
+
+def mls_taps(order: int) -> tuple[int, ...]:
+    """Feedback taps of a primitive polynomial for ``order`` (2..20)."""
+    try:
+        return _TAPS[order]
+    except KeyError:
+        raise ValueError(f"no primitive polynomial table entry for order {order}; supported: 2..20") from None
+
+
+class LFSR:
+    """Fibonacci linear-feedback shift register over GF(2).
+
+    Implements the recurrence ``s[j] = XOR of s[j - t] for t in taps``
+    (bit ``t - 1`` of the state holds ``s[j - t]``, i.e. bit 0 is the most
+    recent output).  With the primitive taps from :func:`mls_taps` the
+    output is an m-sequence of period ``2**order - 1`` satisfying the
+    window property: every nonzero ``order``-bit pattern appears exactly
+    once per period.
+
+    Parameters
+    ----------
+    order:
+        Register length in bits.
+    taps:
+        Optional explicit feedback delays (1-indexed, must include values
+        in ``[1, order]``); defaults to the table entry for ``order``.
+    seed:
+        Initial register contents as an integer in ``[1, 2**order - 1]``;
+        zero is forbidden because it is the LFSR's absorbing state.
+    """
+
+    def __init__(self, order: int, taps: tuple[int, ...] | None = None, seed: int = 1):
+        if order < 2:
+            raise ValueError("LFSR order must be at least 2")
+        if not 1 <= seed < (1 << order):
+            raise ValueError(f"seed must be in [1, {(1 << order) - 1}], got {seed}")
+        self.order = order
+        self.taps = tuple(taps) if taps is not None else mls_taps(order)
+        if any(not 1 <= t <= order for t in self.taps):
+            raise ValueError(f"taps must lie in [1, {order}]: {self.taps}")
+        self._state = seed
+        self._mask = (1 << order) - 1
+
+    @property
+    def state(self) -> int:
+        """Current register contents as an integer."""
+        return self._state
+
+    def step(self) -> int:
+        """Advance one tick, returning the newly generated output bit."""
+        new = 0
+        for tap in self.taps:
+            new ^= (self._state >> (tap - 1)) & 1
+        self._state = ((self._state << 1) | new) & self._mask
+        return new
+
+    def run(self, n: int) -> np.ndarray:
+        """Generate ``n`` output bits as a uint8 array."""
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        return np.array([self.step() for _ in range(n)], dtype=np.uint8)
+
+
+def max_length_sequence(order: int, seed: int = 1) -> np.ndarray:
+    """One full period (``2**order - 1`` bits) of the order-``order`` MLS."""
+    return LFSR(order, seed=seed).run((1 << order) - 1)

@@ -1,0 +1,28 @@
+"""Deterministic random-number-generator plumbing.
+
+Every stochastic component in the library accepts ``rng`` as either a
+:class:`numpy.random.Generator`, an integer seed, or ``None`` (fresh
+entropy), and normalises it through :func:`ensure_rng`.  Simulations that
+need reproducibility pass integer seeds all the way down.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ensure_rng"]
+
+
+def ensure_rng(rng: np.random.Generator | int | None = None) -> np.random.Generator:
+    """Coerce ``rng`` into a :class:`numpy.random.Generator`.
+
+    ``None`` creates a fresh, OS-seeded generator; an ``int`` seeds a new
+    PCG64 generator; an existing generator passes through unchanged.
+    """
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(int(rng))
+    raise TypeError(f"rng must be a Generator, int seed, or None; got {type(rng)!r}")

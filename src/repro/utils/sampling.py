@@ -1,0 +1,76 @@
+"""Sample-rate bookkeeping and small DSP helpers.
+
+The simulated reader digitises at a baseband rate ``fs`` (after the 455 kHz
+carrier is stripped by the passband frontend, see :mod:`repro.radio`).
+Durations in this library are always seconds and rates always hertz; these
+helpers keep the seconds-to-samples conversions in one audited place.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "linear_resample",
+    "moving_average",
+    "samples_for_duration",
+    "time_vector",
+]
+
+
+def samples_for_duration(duration_s: float, fs: float) -> int:
+    """Number of samples covering ``duration_s`` seconds at rate ``fs``.
+
+    Uses round-to-nearest so that slot boundaries laid out by repeated
+    addition agree with a single multiplication (avoids cumulative
+    truncation drift across a long packet).
+    """
+    if duration_s < 0:
+        raise ValueError("duration must be non-negative")
+    if fs <= 0:
+        raise ValueError("sample rate must be positive")
+    return int(round(duration_s * fs))
+
+
+def time_vector(n_samples: int, fs: float, t0: float = 0.0) -> np.ndarray:
+    """Timestamps (seconds) of ``n_samples`` samples starting at ``t0``."""
+    if n_samples < 0:
+        raise ValueError("n_samples must be non-negative")
+    if fs <= 0:
+        raise ValueError("sample rate must be positive")
+    return t0 + np.arange(n_samples) / fs
+
+
+def linear_resample(x: np.ndarray, fs_in: float, fs_out: float) -> np.ndarray:
+    """Resample a waveform by linear interpolation.
+
+    Good enough for the smooth (band-limited by the LC physics) waveforms in
+    this system; avoids pulling in a polyphase filter design for what is a
+    bookkeeping operation in the simulated frontend decimator.
+    """
+    if fs_in <= 0 or fs_out <= 0:
+        raise ValueError("sample rates must be positive")
+    x = np.asarray(x)
+    if x.size == 0:
+        return x.copy()
+    duration = x.size / fs_in
+    n_out = samples_for_duration(duration, fs_out)
+    t_in = np.arange(x.size) / fs_in
+    t_out = np.arange(n_out) / fs_out
+    if np.iscomplexobj(x):
+        return np.interp(t_out, t_in, x.real) + 1j * np.interp(t_out, t_in, x.imag)
+    return np.interp(t_out, t_in, x)
+
+
+def moving_average(x: np.ndarray, window: int) -> np.ndarray:
+    """Centred moving average with edge shrinkage (same length as input)."""
+    if window <= 0:
+        raise ValueError("window must be positive")
+    x = np.asarray(x, dtype=complex if np.iscomplexobj(x) else float)
+    if window == 1 or x.size == 0:
+        return x.copy()
+    kernel = np.ones(window) / window
+    smoothed = np.convolve(x, kernel, mode="same")
+    # Correct the shrunken normalisation at the edges.
+    ones = np.convolve(np.ones(x.size), kernel, mode="same")
+    return smoothed / ones

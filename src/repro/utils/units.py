@@ -1,0 +1,78 @@
+"""Decibel conversions and elementary signal-power measures.
+
+Conventions
+-----------
+* ``linear_to_db``/``db_to_linear`` operate on *power* ratios
+  (``10 log10``), which is the convention used throughout the RetroTurbo
+  paper: SNR figures, demodulation thresholds and link budgets are all power
+  quantities.
+* Waveforms may be real or complex; power of a complex waveform is
+  ``mean(|x|^2)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "db_to_linear",
+    "db_to_power_ratio",
+    "linear_to_db",
+    "power_ratio_to_db",
+    "rms",
+    "signal_power",
+    "snr_db",
+]
+
+_MIN_POWER = 1e-300
+
+
+def linear_to_db(ratio: float | np.ndarray) -> float | np.ndarray:
+    """Convert a power ratio to decibels (``10 log10``).
+
+    Values at or below zero map to ``-inf`` rather than raising, because
+    sweeps routinely produce exactly-zero noise or signal power at their
+    extremes.
+    """
+    ratio = np.asarray(ratio, dtype=float)
+    with np.errstate(divide="ignore"):
+        out = 10.0 * np.log10(np.maximum(ratio, 0.0))
+    return out if out.ndim else float(out)
+
+
+def db_to_linear(db: float | np.ndarray) -> float | np.ndarray:
+    """Convert decibels to a power ratio (inverse of :func:`linear_to_db`)."""
+    db = np.asarray(db, dtype=float)
+    out = np.power(10.0, db / 10.0)
+    return out if out.ndim else float(out)
+
+
+# Self-describing aliases; some call sites read better with these names.
+power_ratio_to_db = linear_to_db
+db_to_power_ratio = db_to_linear
+
+
+def signal_power(x: np.ndarray) -> float:
+    """Mean power ``E[|x|^2]`` of a real or complex waveform."""
+    x = np.asarray(x)
+    if x.size == 0:
+        raise ValueError("cannot measure the power of an empty waveform")
+    return float(np.mean(np.abs(x) ** 2))
+
+
+def rms(x: np.ndarray) -> float:
+    """Root-mean-square amplitude of a waveform."""
+    return float(np.sqrt(signal_power(x)))
+
+
+def snr_db(signal: np.ndarray, noise: np.ndarray) -> float:
+    """SNR in dB between a signal waveform and a noise waveform.
+
+    Both arguments are waveforms (not powers); an all-zero noise waveform
+    yields ``+inf``.
+    """
+    p_sig = signal_power(signal)
+    p_noise = signal_power(noise)
+    if p_noise <= _MIN_POWER:
+        return float("inf")
+    return float(linear_to_db(p_sig / p_noise))

@@ -1,0 +1,55 @@
+"""Capacity-utilisation analysis (the paper's motivating claim)."""
+
+import pytest
+
+from repro.analysis.capacity import (
+    CapacityPoint,
+    scheme_utilisation,
+    shannon_capacity_bps,
+)
+
+
+class TestShannon:
+    def test_known_value(self):
+        # B log2(1 + SNR): 1 kHz at 0 dB -> 1 kbps.
+        assert shannon_capacity_bps(1000.0, 0.0) == pytest.approx(1000.0)
+
+    def test_monotone_in_snr(self):
+        caps = [shannon_capacity_bps(2000.0, snr) for snr in (0, 10, 20, 30)]
+        assert all(a < b for a, b in zip(caps, caps[1:]))
+
+    def test_bad_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            shannon_capacity_bps(0.0, 10.0)
+
+
+class TestUtilisation:
+    def test_ook_flatlines_at_high_snr(self):
+        """The paper's complaint: extra SNR buys OOK nothing."""
+        lo = {p.name: p for p in scheme_utilisation(10.0)}
+        hi = {p.name: p for p in scheme_utilisation(50.0)}
+        assert hi["trend OOK"].rate_bps == lo["trend OOK"].rate_bps
+        assert hi["trend OOK"].utilisation < lo["trend OOK"].utilisation
+
+    def test_dsm_pqam_keeps_climbing(self):
+        rates = [
+            {p.name: p for p in scheme_utilisation(snr)}["DSM-PQAM"].rate_bps
+            for snr in (10, 25, 35, 50)
+        ]
+        assert all(a <= b for a, b in zip(rates, rates[1:]))
+        assert rates[-1] > 10 * rates[0]
+
+    def test_dsm_pqam_dominates_baselines(self):
+        for snr in (25.0, 40.0, 55.0):
+            points = {p.name: p for p in scheme_utilisation(snr)}
+            assert points["DSM-PQAM"].utilisation > points["trend OOK"].utilisation
+            assert points["DSM-PQAM"].utilisation > points["multi-pixel PAM"].utilisation
+
+    def test_nothing_beats_shannon(self):
+        for snr in (0.0, 20.0, 45.0, 65.0):
+            for p in scheme_utilisation(snr):
+                assert p.utilisation <= 1.0
+
+    def test_point_arithmetic(self):
+        p = CapacityPoint("x", rate_bps=500.0, snr_db=10.0, capacity_bps=1000.0)
+        assert p.utilisation == 0.5

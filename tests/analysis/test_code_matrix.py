@@ -1,0 +1,61 @@
+"""Code-matrix abstraction."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.code_matrix import CodeMatrixScheme, OokScheme, code_matrix_for_levels
+from repro.modem.dsm_pqam import DsmPqamModulator
+
+
+class TestCodeMatrixScheme:
+    @pytest.fixture(scope="class")
+    def scheme(self, fast_config, fast_bank):
+        return CodeMatrixScheme(fast_config, bank=fast_bank)
+
+    def test_bits_per_slot(self, scheme, fast_config):
+        assert scheme.bits_per_slot == fast_config.bits_per_symbol
+
+    def test_waveform_for_bits(self, scheme, fast_config):
+        bits = np.zeros(4 * fast_config.bits_per_symbol, dtype=np.uint8)
+        w = scheme.waveform_for_bits(bits)
+        assert w.size == 4 * fast_config.samples_per_slot
+
+    def test_distinct_bits_distinct_waveforms(self, scheme, fast_config):
+        n = 2 * fast_config.bits_per_symbol
+        a = scheme.waveform_for_bits(np.zeros(n, dtype=np.uint8))
+        b = scheme.waveform_for_bits(np.ones(n, dtype=np.uint8))
+        assert not np.allclose(a, b)
+
+    def test_code_matrix_is_drive_schedule(self, fast_config, fast_array):
+        modulator = DsmPqamModulator(fast_config, fast_array)
+        li = np.array([1, 0, 1, 0])
+        lq = np.array([0, 1, 0, 1])
+        a = code_matrix_for_levels(modulator, li, lq)
+        assert a.shape == (fast_array.n_pixels, 4)
+        assert set(np.unique(a)) <= {0, 1}
+
+
+class TestOokScheme:
+    def test_waveform_shape(self):
+        s = OokScheme(rate_bps=250.0, fs=10e3)
+        w = s.waveform(np.array([1, 0, 1], dtype=np.uint8))
+        assert w.size == 3 * s.samples_per_bit
+        assert set(np.unique(w)) == {-1.0, 1.0}
+
+    def test_min_distance_formula(self):
+        """D = one inverted bit: amplitude diff 2, squared, over 1/R."""
+        s = OokScheme(rate_bps=250.0)
+        assert s.min_distance() == pytest.approx(4.0 / 250.0)
+
+    def test_measured_distance_matches_formula(self):
+        s = OokScheme(rate_bps=250.0, fs=10e3)
+        a = s.waveform(np.array([1, 0, 1], dtype=np.uint8))
+        b = s.waveform(np.array([1, 1, 1], dtype=np.uint8))
+        d = np.sum(np.abs(a - b) ** 2) / s.fs
+        assert d == pytest.approx(s.min_distance())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OokScheme(rate_bps=0.0)
+        with pytest.raises(ValueError):
+            OokScheme(rate_bps=10e3, fs=10e3)

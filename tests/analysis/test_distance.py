@@ -1,0 +1,55 @@
+"""Minimum-distance performance index."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.code_matrix import CodeMatrixScheme
+from repro.analysis.distance import min_distance, relative_threshold_db, threshold_db
+from repro.modem.config import ModemConfig
+
+
+class TestThresholds:
+    def test_threshold_db(self):
+        assert threshold_db(10.0) == pytest.approx(10.0)
+
+    def test_relative_threshold_matches_paper_arithmetic(self):
+        """Table 3 sanity: 8.7 vs 9.0e-2 is the paper's '20 dB'."""
+        assert relative_threshold_db(8.7, 9.0e-2) == pytest.approx(19.85, abs=0.01)
+        assert relative_threshold_db(8.7, 1.5e-2) == pytest.approx(27.63, abs=0.01)
+
+    def test_invalid_distances(self):
+        with pytest.raises(ValueError):
+            threshold_db(0.0)
+        with pytest.raises(ValueError):
+            relative_threshold_db(-1.0, 1.0)
+
+
+class TestMinDistance:
+    def test_positive_and_reported(self, fast_config, fast_bank):
+        scheme = CodeMatrixScheme(fast_config, bank=fast_bank)
+        report = min_distance(scheme, window=1, n_contexts=2, rng=1)
+        assert report.distance > 0
+        assert report.n_pairs > 0
+        assert report.worst_event
+
+    def test_deterministic_given_seed(self, fast_config, fast_bank):
+        scheme = CodeMatrixScheme(fast_config, bank=fast_bank)
+        a = min_distance(scheme, window=1, n_contexts=2, rng=5)
+        b = min_distance(scheme, window=1, n_contexts=2, rng=5)
+        assert a.distance == b.distance
+
+    def test_window_two_no_larger_than_window_one(self, fast_config, fast_bank):
+        """More events can only lower (or keep) the minimum."""
+        scheme = CodeMatrixScheme(fast_config, bank=fast_bank)
+        d1 = min_distance(scheme, window=1, n_contexts=2, rng=7).distance
+        d2 = min_distance(scheme, window=2, n_contexts=2, rng=7).distance
+        assert d2 <= d1 + 1e-12
+
+    def test_higher_order_smaller_distance(self):
+        """Denser constellations at equal swing have smaller D (the SNR
+        cost of higher rate, paper §5.3)."""
+        lo = ModemConfig(dsm_order=2, pqam_order=4, slot_s=2e-3, fs=10e3)
+        hi = ModemConfig(dsm_order=2, pqam_order=16, slot_s=2e-3, fs=10e3)
+        d_lo = min_distance(CodeMatrixScheme(lo), window=1, n_contexts=2, rng=3).distance
+        d_hi = min_distance(CodeMatrixScheme(hi), window=1, n_contexts=2, rng=3).distance
+        assert d_hi < d_lo

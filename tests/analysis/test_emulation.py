@@ -1,0 +1,53 @@
+"""Emulation-error study (Table 2 machinery)."""
+
+import pytest
+
+from repro.analysis.emulation import collect_slot_fingerprints, emulation_error_study
+
+
+class TestSlotFingerprints:
+    def test_complete(self):
+        t = collect_slot_fingerprints(order=4, fs=10e3)
+        assert t.is_complete()
+
+    def test_chunk_is_one_slot(self):
+        t = collect_slot_fingerprints(order=3, slot_s=0.5e-3, fs=10e3)
+        assert t.chunk_len == 5
+
+
+class TestErrorStudy:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return emulation_error_study(
+            orders=[2, 4, 6, 8],
+            reference_order=10,
+            n_sequences=5,
+            sequence_len=32,
+            fs=10e3,
+            rng=1,
+        )
+
+    def test_error_decreases_with_order(self, report):
+        """Table 2's headline shape: monotone decay in V."""
+        avgs = [report.avg_error[v] for v in report.orders]
+        assert all(a >= b for a, b in zip(avgs, avgs[1:]))
+
+    def test_max_at_least_avg(self, report):
+        for v in report.orders:
+            assert report.max_error[v] >= report.avg_error[v] - 1e-12
+
+    def test_high_order_nearly_exact(self, report):
+        assert report.avg_error[8] < 0.02
+
+    def test_low_order_substantial_error(self, report):
+        """V=2 (1 ms of memory) cannot model a ~4 ms relaxation."""
+        assert report.avg_error[2] > 0.05
+
+    def test_rows_format(self, report):
+        rows = report.rows()
+        assert len(rows) == 4
+        assert rows[0][0] == 2
+
+    def test_invalid_orders_rejected(self):
+        with pytest.raises(ValueError):
+            emulation_error_study(orders=[12], reference_order=10, n_sequences=1)

@@ -1,0 +1,65 @@
+"""Optimal-parameter search (Fig 13 / Table 3 machinery)."""
+
+import pytest
+
+from repro.analysis.optimizer import (
+    candidate_configs,
+    optimal_parameters,
+    relative_threshold_table,
+    threshold_map,
+)
+
+
+class TestCandidates:
+    def test_rates_respected(self):
+        for rate in (1000, 4000, 8000, 16000):
+            for cfg in candidate_configs(rate):
+                assert cfg.rate_bps == pytest.approx(rate)
+
+    def test_symbol_duration_fixed(self):
+        for cfg in candidate_configs(4000):
+            assert cfg.symbol_duration_s == pytest.approx(4e-3)
+
+    def test_4kbps_has_multiple_candidates(self):
+        """The L-vs-P trade-off needs at least two feasible points."""
+        assert len(candidate_configs(4000)) >= 2
+
+    def test_infeasible_rate_empty(self):
+        # 5 Kbps needs an odd bits-per-slot at every feasible slot time.
+        assert candidate_configs(5000) == []
+
+
+class TestSearch:
+    def test_threshold_map_returns_all_candidates(self):
+        pts = threshold_map(4000, n_contexts=1, rng=1)
+        assert len(pts) == len(candidate_configs(4000))
+        assert all(p.distance > 0 for p in pts)
+
+    def test_optimal_is_max_distance(self):
+        pts = threshold_map(4000, n_contexts=1, rng=2)
+        best = optimal_parameters(4000, n_contexts=1, rng=2)
+        assert best.distance == pytest.approx(max(p.distance for p in pts))
+
+    def test_intermediate_combo_wins_at_4kbps(self):
+        """Paper Fig 13: a proper DSM+PQAM mix beats the extremes."""
+        best = optimal_parameters(4000, n_contexts=2, rng=3)
+        assert 2 < best.config.dsm_order < 8
+
+    def test_no_candidates_raises(self):
+        with pytest.raises(ValueError):
+            threshold_map(999)
+
+
+class TestTable3:
+    def test_thresholds_increase_with_rate(self):
+        rows = relative_threshold_table([1000, 4000, 8000], n_contexts=1, rng=4)
+        ths = [t for _, _, t in rows]
+        assert ths[0] == pytest.approx(0.0)
+        assert ths[0] < ths[1] < ths[2]
+
+    def test_magnitudes_near_paper(self):
+        """Paper Table 3: ~20 dB between 1 and 4 Kbps, ~28 dB to 8 Kbps."""
+        rows = relative_threshold_table([1000, 4000, 8000], n_contexts=2, rng=5)
+        by_rate = {r: t for r, _, t in rows}
+        assert 14.0 < by_rate[4000] < 26.0
+        assert 23.0 < by_rate[8000] < 35.0

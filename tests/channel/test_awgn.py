@@ -1,0 +1,57 @@
+"""AWGN calibration: delivered SNR must equal requested SNR."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.channel.awgn import add_awgn, complex_awgn, noise_sigma_for_snr
+from repro.utils.units import linear_to_db, signal_power
+
+
+class TestSigma:
+    def test_zero_db_unit_reference(self):
+        assert noise_sigma_for_snr(1.0, 0.0) == pytest.approx(1.0)
+
+    def test_20db(self):
+        assert noise_sigma_for_snr(1.0, 20.0) == pytest.approx(0.1)
+
+    def test_bad_reference_rejected(self):
+        with pytest.raises(ValueError):
+            noise_sigma_for_snr(0.0, 10.0)
+
+
+class TestComplexAwgn:
+    def test_total_power(self):
+        n = complex_awgn(200_000, sigma=0.5, rng=1)
+        assert signal_power(n) == pytest.approx(0.25, rel=0.02)
+
+    def test_circular_symmetry(self):
+        n = complex_awgn(100_000, sigma=1.0, rng=2)
+        assert n.real.std() == pytest.approx(n.imag.std(), rel=0.02)
+        corr = np.mean(n.real * n.imag)
+        assert abs(corr) < 0.01
+
+    def test_zero_sigma(self):
+        np.testing.assert_array_equal(complex_awgn(10, 0.0, rng=3), np.zeros(10))
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            complex_awgn(10, -1.0)
+
+
+class TestAddAwgn:
+    @settings(max_examples=10, deadline=None)
+    @given(snr=st.floats(min_value=0.0, max_value=40.0))
+    def test_delivered_snr(self, snr):
+        rng = np.random.default_rng(4)
+        signal = np.exp(1j * np.arange(100_000) / 7.0)
+        noisy = add_awgn(signal, snr, rng=rng)
+        measured = linear_to_db(signal_power(signal) / signal_power(noisy - signal))
+        assert measured == pytest.approx(snr, abs=0.3)
+
+    def test_explicit_reference_power(self):
+        rng = np.random.default_rng(5)
+        quiet = 0.1 * np.ones(100_000, dtype=complex)
+        noisy = add_awgn(quiet, 20.0, reference_power=1.0, rng=rng)
+        noise_p = signal_power(noisy - quiet)
+        assert noise_p == pytest.approx(0.01, rel=0.05)

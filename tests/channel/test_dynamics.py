@@ -1,0 +1,62 @@
+"""Channel drift model (mobility regime)."""
+
+import numpy as np
+import pytest
+
+from repro.channel.dynamics import ChannelDrift
+
+
+class TestStatic:
+    def test_default_is_static(self):
+        d = ChannelDrift()
+        assert d.is_static
+        np.testing.assert_array_equal(d.profile(100, 1e3), np.ones(100, dtype=complex))
+
+    def test_any_component_breaks_static(self):
+        assert not ChannelDrift(roll_rate_rad_s=0.1).is_static
+        assert not ChannelDrift(gain_rate_per_s=0.1).is_static
+        assert not ChannelDrift(jitter_sigma=0.1).is_static
+
+
+class TestDeterministicDrift:
+    def test_rotation_rate(self):
+        d = ChannelDrift(roll_rate_rad_s=np.deg2rad(10.0))
+        fs = 1e3
+        p = d.profile(int(fs), fs)  # one second
+        final = np.angle(p[-1])
+        assert final == pytest.approx(np.deg2rad(20.0), rel=0.01)
+
+    def test_rotation_over_helper(self):
+        d = ChannelDrift(roll_rate_rad_s=0.5)
+        assert d.rotation_over(2.0) == pytest.approx(2.0)
+
+    def test_gain_trend(self):
+        d = ChannelDrift(gain_rate_per_s=0.10)
+        p = d.profile(1000, 1e3)
+        assert abs(p[-1]) == pytest.approx(1.1, rel=0.01)
+
+    def test_unit_magnitude_without_gain_drift(self):
+        d = ChannelDrift(roll_rate_rad_s=1.0)
+        np.testing.assert_allclose(np.abs(d.profile(500, 1e3)), 1.0)
+
+
+class TestJitter:
+    def test_jitter_accumulates_like_brownian(self):
+        d = ChannelDrift(jitter_sigma=0.2)
+        fs = 1e4
+        phases = []
+        for seed in range(30):
+            p = d.profile(int(fs), fs, rng=seed)  # 1 s
+            phases.append(np.angle(p[-1]))
+        assert np.std(phases) == pytest.approx(0.2, rel=0.4)
+
+    def test_deterministic_per_seed(self):
+        d = ChannelDrift(jitter_sigma=0.1)
+        np.testing.assert_array_equal(d.profile(100, 1e3, rng=4), d.profile(100, 1e3, rng=4))
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ChannelDrift().profile(-1, 1e3)
+    with pytest.raises(ValueError):
+        ChannelDrift().profile(10, 0.0)

@@ -1,0 +1,79 @@
+"""End-to-end optical link behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.channel.link import OpticalLink
+from repro.optics.ambient import AmbientLight, HumanMobility
+from repro.optics.geometry import LinkGeometry
+from repro.optics.retroreflector import LinkBudget
+from repro.utils.units import signal_power
+
+
+def make_link(**geo_kwargs) -> OpticalLink:
+    return OpticalLink(geometry=LinkGeometry(**{"distance_m": 2.0, **geo_kwargs}), frontend=None)
+
+
+class TestEffectiveSnr:
+    def test_matches_budget_at_nominal(self):
+        link = make_link()
+        expected = LinkBudget.experimental().snr_db(2.0) - link.ambient.snr_penalty_db()
+        assert link.effective_snr_db() == pytest.approx(expected, abs=1e-3)
+
+    def test_snr_falls_with_distance(self):
+        assert make_link(distance_m=8.0).effective_snr_db() < make_link(distance_m=2.0).effective_snr_db()
+
+    def test_yaw_penalty(self):
+        tilted = make_link(yaw_rad=np.deg2rad(40))
+        assert tilted.effective_snr_db() < make_link().effective_snr_db() - 2.0
+
+    def test_out_of_fov_dead(self):
+        link = make_link(off_axis_rad=np.deg2rad(30))
+        assert link.effective_snr_db() == float("-inf")
+
+    def test_ambient_penalty(self):
+        bright = OpticalLink(
+            geometry=LinkGeometry(distance_m=2.0),
+            ambient=AmbientLight(lux=1000.0),
+            frontend=None,
+        )
+        assert bright.effective_snr_db() < make_link().effective_snr_db()
+
+
+class TestTransmit:
+    def test_noise_power_matches_snr(self):
+        link = make_link()
+        u = np.ones(100_000, dtype=complex)
+        out = link.transmit(u, fs=40e3, rng=1)
+        noise_p = signal_power(out.samples - out.clean)
+        expected = 10 ** (-out.snr_db / 10)
+        assert noise_p == pytest.approx(expected, rel=0.05)
+
+    def test_roll_rotates(self):
+        link = make_link(roll_rad=np.deg2rad(30))
+        u = np.ones(100, dtype=complex)
+        out = link.transmit(u, fs=40e3, rng=2)
+        np.testing.assert_allclose(out.clean, u * np.exp(2j * np.deg2rad(30)), atol=1e-12)
+
+    def test_out_of_fov_returns_noise_only(self):
+        link = make_link(off_axis_rad=np.deg2rad(45))
+        out = link.transmit(np.ones(1000, dtype=complex), fs=40e3, rng=3)
+        np.testing.assert_array_equal(out.clean, np.zeros(1000))
+        assert out.link_gain == 0.0 or not np.isfinite(out.snr_db)
+
+    def test_mobility_dips_amplitude(self):
+        link = OpticalLink(
+            geometry=LinkGeometry(distance_m=2.0),
+            mobility=HumanMobility(name="x", rate_hz=20.0, depth=0.3, duration_s=0.05),
+            frontend=None,
+        )
+        u = np.ones(40_000, dtype=complex)  # 1 s
+        out = link.transmit(u, fs=40e3, rng=4)
+        assert np.abs(out.clean).min() < 0.95
+
+    def test_frontend_applies_agc(self):
+        from repro.radio.frontend import ReaderFrontend
+
+        link = OpticalLink(geometry=LinkGeometry(distance_m=2.0), frontend=ReaderFrontend())
+        out = link.transmit(0.001 * np.ones(100, dtype=complex), fs=40e3, rng=5)
+        assert out.agc_gain > 1.0

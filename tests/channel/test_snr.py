@@ -1,0 +1,25 @@
+"""SNR estimation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.channel.snr import estimate_snr_db, evm_to_snr_db
+from repro.channel.awgn import complex_awgn
+
+
+def test_estimate_matches_construction():
+    rng = np.random.default_rng(0)
+    ref = np.exp(1j * np.arange(50_000) / 3.0)
+    noise = complex_awgn(ref.size, sigma=0.1, rng=rng)
+    est = estimate_snr_db(ref, noise)
+    assert est == pytest.approx(20.0, abs=0.3)
+
+
+def test_zero_residual_is_inf():
+    assert estimate_snr_db(np.ones(10), np.zeros(10)) == float("inf")
+
+
+def test_evm_conversion():
+    assert evm_to_snr_db(0.1) == pytest.approx(20.0)
+    assert evm_to_snr_db(1.0) == pytest.approx(0.0)
+    assert evm_to_snr_db(0.0) == float("inf")

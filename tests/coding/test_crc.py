@@ -1,0 +1,42 @@
+"""CRC-16/CCITT-FALSE."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.coding.crc import crc16, crc16_check
+
+
+class TestKnownVectors:
+    def test_check_value(self):
+        """The canonical CRC-16/CCITT-FALSE check string."""
+        assert crc16(b"123456789") == 0x29B1
+
+    def test_empty(self):
+        assert crc16(b"") == 0xFFFF
+
+
+class TestCheck:
+    @given(st.binary(min_size=0, max_size=64))
+    def test_appended_crc_validates(self, data):
+        buf = data + crc16(data).to_bytes(2, "big")
+        assert crc16_check(buf)
+
+    @given(st.binary(min_size=1, max_size=64), st.integers(min_value=0, max_value=7))
+    def test_single_bit_flip_detected(self, data, bit):
+        buf = bytearray(data + crc16(data).to_bytes(2, "big"))
+        buf[0] ^= 1 << bit
+        assert not crc16_check(bytes(buf))
+
+    def test_too_short_rejected(self):
+        assert not crc16_check(b"")
+        assert not crc16_check(b"\x01")
+
+    def test_burst_error_detected(self):
+        data = b"retroturbo packet"
+        buf = bytearray(data + crc16(data).to_bytes(2, "big"))
+        buf[3:6] = b"\xff\xff\xff"
+        assert not crc16_check(bytes(buf))
+
+
+def test_different_data_different_crc():
+    assert crc16(b"hello") != crc16(b"hellp")

@@ -1,0 +1,116 @@
+"""GF(256) field axioms and polynomial helpers (property-based)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.coding.gf256 import GF256
+
+gf = GF256()
+elements = st.integers(min_value=0, max_value=255)
+nonzero = st.integers(min_value=1, max_value=255)
+
+
+class TestFieldAxioms:
+    @given(elements, elements)
+    def test_addition_commutes(self, a, b):
+        assert gf.add(a, b) == gf.add(b, a)
+
+    @given(elements)
+    def test_addition_self_inverse(self, a):
+        assert gf.add(a, a) == 0
+
+    @given(elements, elements)
+    def test_multiplication_commutes(self, a, b):
+        assert gf.mul(a, b) == gf.mul(b, a)
+
+    @given(elements, elements, elements)
+    def test_multiplication_associates(self, a, b, c):
+        assert gf.mul(gf.mul(a, b), c) == gf.mul(a, gf.mul(b, c))
+
+    @given(elements, elements, elements)
+    def test_distributivity(self, a, b, c):
+        assert gf.mul(a, gf.add(b, c)) == gf.add(gf.mul(a, b), gf.mul(a, c))
+
+    @given(elements)
+    def test_multiplicative_identity(self, a):
+        assert gf.mul(a, 1) == a
+
+    @given(elements)
+    def test_zero_annihilates(self, a):
+        assert gf.mul(a, 0) == 0
+
+    @given(nonzero)
+    def test_inverse(self, a):
+        assert gf.mul(a, gf.inv(a)) == 1
+
+    @given(nonzero, nonzero)
+    def test_division_inverts_multiplication(self, a, b):
+        assert gf.div(gf.mul(a, b), b) == a
+
+    def test_zero_inverse_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            gf.inv(0)
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            gf.div(5, 0)
+
+
+class TestGeneratorAndPow:
+    def test_generator_order(self):
+        """alpha generates the full multiplicative group of order 255."""
+        seen = set()
+        x = 1
+        for _ in range(255):
+            seen.add(x)
+            x = gf.mul(x, gf.generator)
+        assert len(seen) == 255
+        assert x == 1  # full cycle
+
+    @given(nonzero, st.integers(min_value=-10, max_value=10))
+    def test_pow_matches_repeated_mul(self, a, n):
+        expected = 1
+        base = a if n >= 0 else gf.inv(a)
+        for _ in range(abs(n)):
+            expected = gf.mul(expected, base)
+        assert gf.pow(a, n) == expected
+
+    def test_zero_pow(self):
+        assert gf.pow(0, 5) == 0
+        assert gf.pow(0, 0) == 1
+        with pytest.raises(ZeroDivisionError):
+            gf.pow(0, -1)
+
+
+class TestVectorised:
+    def test_mul_broadcasts(self):
+        a = np.arange(256, dtype=np.uint8)
+        out = gf.mul(a, 1)
+        np.testing.assert_array_equal(out, a)
+
+    def test_range_validation(self):
+        with pytest.raises(ValueError):
+            gf.mul(300, 2)
+
+
+class TestPolynomials:
+    def test_poly_mul_known(self):
+        # (x + 1)(x + 1) = x^2 + 1 over GF(2^8) (cross terms cancel).
+        out = gf.poly_mul(np.array([1, 1]), np.array([1, 1]))
+        np.testing.assert_array_equal(out, [1, 0, 1])
+
+    @given(st.lists(elements, min_size=1, max_size=6), elements)
+    def test_poly_eval_matches_horner(self, coeffs, x):
+        p = np.array(coeffs, dtype=np.uint8)
+        expected = 0
+        for c in p:
+            expected = gf.mul(expected, x) ^ int(c)
+        assert gf.poly_eval(p, x) == expected
+
+    def test_poly_eval_many_matches_scalar(self):
+        p = np.array([3, 0, 7, 1], dtype=np.uint8)
+        xs = np.arange(256, dtype=np.uint8)
+        many = gf.poly_eval_many(p, xs)
+        for x in [0, 1, 2, 37, 255]:
+            assert many[x] == gf.poly_eval(p, x)

@@ -1,0 +1,53 @@
+"""Gray coding: the single-bit-per-neighbour property PQAM relies on."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.coding.gray import gray_decode, gray_encode, gray_map, gray_unmap
+
+
+class TestScalar:
+    def test_known_sequence(self):
+        assert [gray_encode(i) for i in range(8)] == [0, 1, 3, 2, 6, 7, 5, 4]
+
+    @given(st.integers(min_value=0, max_value=2**20))
+    def test_round_trip(self, v):
+        assert gray_decode(gray_encode(v)) == v
+
+    @given(st.integers(min_value=0, max_value=2**20 - 1))
+    def test_adjacent_values_hamming_one(self, v):
+        diff = gray_encode(v) ^ gray_encode(v + 1)
+        assert bin(diff).count("1") == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            gray_encode(-1)
+        with pytest.raises(ValueError):
+            gray_decode(-2)
+
+
+class TestMaps:
+    @pytest.mark.parametrize("n", [2, 4, 8, 16])
+    def test_map_is_permutation(self, n):
+        assert sorted(gray_map(n).tolist()) == list(range(n))
+
+    @pytest.mark.parametrize("n", [2, 4, 8, 16])
+    def test_unmap_inverts(self, n):
+        fwd = gray_map(n)
+        inv = gray_unmap(n)
+        np.testing.assert_array_equal(inv[fwd], np.arange(n))
+
+    @pytest.mark.parametrize("n", [4, 8, 16])
+    def test_adjacent_levels_one_bit(self, n):
+        labels = gray_map(n)
+        for i in range(n - 1):
+            assert bin(int(labels[i] ^ labels[i + 1])).count("1") == 1
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            gray_map(6)
+
+    def test_array_encode(self):
+        out = gray_encode(np.arange(4))
+        np.testing.assert_array_equal(out, [0, 1, 3, 2])

@@ -1,0 +1,60 @@
+"""Block interleaver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.coding.interleaver import BlockInterleaver
+
+
+class TestRoundTrip:
+    @given(
+        depth=st.integers(min_value=1, max_value=8),
+        width=st.integers(min_value=1, max_value=16),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    def test_inverse(self, depth, width, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.integers(0, 256, depth * width, dtype=np.uint8).tobytes()
+        il = BlockInterleaver(depth)
+        assert il.deinterleave(il.interleave(data)) == data
+
+    def test_depth_one_identity(self):
+        il = BlockInterleaver(1)
+        assert il.interleave(b"abcdef") == b"abcdef"
+
+    def test_empty(self):
+        assert BlockInterleaver(4).interleave(b"") == b""
+
+    def test_indivisible_rejected(self):
+        with pytest.raises(ValueError):
+            BlockInterleaver(4).interleave(b"abc")
+
+    def test_bad_depth_rejected(self):
+        with pytest.raises(ValueError):
+            BlockInterleaver(0)
+
+
+class TestBurstSpreading:
+    def test_known_permutation(self):
+        il = BlockInterleaver(2)
+        # rows: [0 1 2], [3 4 5]; columns out: 0 3 1 4 2 5
+        assert il.interleave(bytes([0, 1, 2, 3, 4, 5])) == bytes([0, 3, 1, 4, 2, 5])
+
+    def test_burst_spreads_across_rows(self):
+        """A contiguous on-air burst corrupts ~burst/depth bytes per row."""
+        depth, width = 4, 32
+        il = BlockInterleaver(depth)
+        data = bytes(range(depth * width % 256)) * 1
+        data = np.arange(depth * width, dtype=np.uint8).tobytes()
+        on_air = bytearray(il.interleave(data))
+        burst = slice(10, 10 + 12)  # 12-byte burst
+        for i in range(*burst.indices(len(on_air))):
+            on_air[i] ^= 0xFF
+        recovered = np.frombuffer(il.deinterleave(bytes(on_air)), dtype=np.uint8)
+        original = np.frombuffer(data, dtype=np.uint8)
+        corrupt = np.nonzero(recovered != original)[0]
+        # Per row (stretch of `width` bytes), at most burst/depth (+1) bad.
+        for row in range(depth):
+            row_bad = np.count_nonzero((corrupt >= row * width) & (corrupt < (row + 1) * width))
+            assert row_bad <= il.burst_spread(12)

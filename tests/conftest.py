@@ -1,0 +1,63 @@
+"""Shared fixtures: small operating points and cached reference banks.
+
+Tests favour reduced configurations (small L, P, fs) — every property being
+tested is order-independent, and the full default point is exercised by the
+integration tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.lcm.array import LCMArray
+from repro.modem.config import ModemConfig
+from repro.modem.references import ReferenceBank
+
+
+@pytest.fixture(scope="session")
+def fast_config() -> ModemConfig:
+    """A small, quick operating point: L=2, P=4, 2 ms slots (W = 4 ms).
+
+    Keeping W at the physical 4 ms keeps the V=2 fingerprint memory span
+    (2W = 8 ms) comfortably past the LC relaxation, as in the paper.
+    """
+    return ModemConfig(dsm_order=2, pqam_order=4, slot_s=2.0e-3, fs=10e3, tail_memory=2)
+
+
+@pytest.fixture(scope="session")
+def default_config() -> ModemConfig:
+    """The paper's default 8 Kbps point."""
+    return ModemConfig()
+
+
+@pytest.fixture(scope="session")
+def fast_bank(fast_config) -> ReferenceBank:
+    """Nominal reference bank for the fast config (collected once)."""
+    return ReferenceBank.nominal(fast_config)
+
+
+@pytest.fixture(scope="session")
+def default_bank(default_config) -> ReferenceBank:
+    """Nominal reference bank for the default config (collected once)."""
+    return ReferenceBank.nominal(default_config)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fresh, fixed-seed generator per test."""
+    return np.random.default_rng(0xC0FFEE)
+
+
+def make_ideal_array(config: ModemConfig) -> LCMArray:
+    """A heterogeneity-free array matching a config."""
+    return LCMArray.build(
+        groups_per_channel=config.dsm_order,
+        levels_per_group=config.levels_per_axis,
+    )
+
+
+@pytest.fixture(scope="session")
+def fast_array(fast_config) -> LCMArray:
+    """Ideal array for the fast config."""
+    return make_ideal_array(fast_config)

@@ -1,0 +1,89 @@
+"""Downlink poll messages and the end-to-end reader->tag path."""
+
+import numpy as np
+import pytest
+
+from repro.downlink.frame import PollMessage
+from repro.downlink.link import DownlinkChannel
+from repro.downlink.modem import ManchesterOOKModem
+
+
+class TestPollMessage:
+    def test_round_trip(self):
+        msg = PollMessage(tag_id=0x1234, rate_bps=8000, rs_k=223)
+        assert PollMessage.decode(msg.encode()) == msg
+
+    def test_bits_round_trip(self):
+        msg = PollMessage(tag_id=7, rate_bps=32000, rs_k=255)
+        assert PollMessage.from_bits(msg.to_bits()) == msg
+
+    def test_all_preset_rates_encode(self):
+        from repro.modem.config import RATE_PRESETS
+
+        for rate in RATE_PRESETS:
+            msg = PollMessage(tag_id=1, rate_bps=rate)
+            assert PollMessage.decode(msg.encode()).rate_bps == rate
+
+    def test_corruption_detected(self):
+        buf = bytearray(PollMessage(tag_id=5, rate_bps=4000).encode())
+        buf[2] ^= 0x01
+        with pytest.raises(ValueError):
+            PollMessage.decode(bytes(buf))
+
+    def test_bad_sync_rejected(self):
+        buf = bytearray(PollMessage(tag_id=5, rate_bps=4000).encode())
+        buf[0] = 0x00
+        with pytest.raises(ValueError):
+            PollMessage.decode(bytes(buf))
+
+    def test_invalid_fields_rejected(self):
+        with pytest.raises(ValueError):
+            PollMessage(tag_id=1 << 16, rate_bps=8000)
+        with pytest.raises(ValueError):
+            PollMessage(tag_id=1, rate_bps=3333)
+        with pytest.raises(ValueError):
+            PollMessage(tag_id=1, rate_bps=8000, rs_k=100)
+
+
+class TestChannel:
+    def test_snr_falls_with_distance(self):
+        near = DownlinkChannel(distance_m=1.0)
+        far = DownlinkChannel(distance_m=8.0)
+        assert near.snr_db() > far.snr_db()
+
+    def test_gentler_than_uplink(self):
+        """One-way path: ~20 dB/decade, vs the retro-uplink's ~51."""
+        ch = DownlinkChannel(distance_m=1.0)
+        drop = ch.snr_db() - DownlinkChannel(distance_m=10.0).snr_db()
+        assert drop == pytest.approx(20.0, abs=1.0)
+
+    def test_noise_calibrated(self):
+        ch = DownlinkChannel(distance_m=1.0)
+        modem = ManchesterOOKModem()
+        wave = modem.modulate(np.tile([1, 0], 400).astype(np.uint8))
+        rx = ch.transmit(wave, rng=1)
+        noise = rx - wave - np.mean(rx - wave)
+        snr = 10 * np.log10(np.mean((wave - wave.mean()) ** 2) / np.var(noise))
+        assert snr == pytest.approx(ch.snr_db(), abs=1.0)
+
+    def test_bad_distance_rejected(self):
+        with pytest.raises(ValueError):
+            DownlinkChannel(distance_m=0.0)
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("distance", [1.0, 4.0, 7.5])
+    def test_poll_delivered(self, distance):
+        """A rate assignment survives the downlink at uplink-scale ranges."""
+        modem = ManchesterOOKModem()
+        channel = DownlinkChannel(distance_m=distance)
+        sync = np.array([1, 0, 1, 0, 1, 1, 0, 0], dtype=np.uint8)
+        msg = PollMessage(tag_id=42, rate_bps=8000, rs_k=251)
+        bits = np.concatenate([sync, msg.to_bits()])
+        wave = modem.modulate(bits)
+        lead = np.ones(53)
+        rx = channel.transmit(np.concatenate([lead, wave]), rng=3)
+        offset = modem.synchronise(rx, sync)
+        decoded_bits = modem.demodulate(rx[offset:], bits.size)[sync.size :]
+        decoded = PollMessage.from_bits(decoded_bits)
+        assert decoded == msg

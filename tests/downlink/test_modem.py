@@ -1,0 +1,76 @@
+"""Downlink Manchester modem."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.downlink.modem import ManchesterOOKModem
+
+
+@pytest.fixture(scope="module")
+def modem() -> ManchesterOOKModem:
+    return ManchesterOOKModem(bit_rate_bps=10e3, fs=80e3, depth=0.2)
+
+
+class TestWaveform:
+    def test_dc_balanced(self, modem):
+        """Manchester keeps the average illumination at the nominal level."""
+        rng = np.random.default_rng(0)
+        bits = rng.integers(0, 2, 64, dtype=np.uint8)
+        wave = modem.modulate(bits)
+        assert np.mean(wave) == pytest.approx(1.0, abs=1e-9)
+
+    def test_per_bit_average_constant(self, modem):
+        """Every bit period has the same mean -> flicker-free lighting."""
+        wave = modem.modulate(np.array([1, 0, 1, 1, 0], dtype=np.uint8))
+        spb = modem.samples_per_bit
+        means = wave.reshape(-1, spb).mean(axis=1)
+        np.testing.assert_allclose(means, 1.0, atol=1e-9)
+
+    def test_transition_in_every_bit(self, modem):
+        wave = modem.modulate(np.ones(4, dtype=np.uint8))
+        spb = modem.samples_per_bit
+        for n in range(4):
+            seg = wave[n * spb : (n + 1) * spb]
+            assert seg[0] != seg[-1]
+
+
+class TestRoundTrip:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=500))
+    def test_noiseless(self, modem, seed):
+        rng = np.random.default_rng(seed)
+        bits = rng.integers(0, 2, 48, dtype=np.uint8)
+        np.testing.assert_array_equal(modem.demodulate(modem.modulate(bits), 48), bits)
+
+    def test_with_dc_pedestal(self, modem):
+        """A big ambient pedestal must not bias the transition decision."""
+        bits = np.array([1, 0, 0, 1, 1, 0], dtype=np.uint8)
+        wave = modem.modulate(bits) + 40.0
+        np.testing.assert_array_equal(modem.demodulate(wave, 6), bits)
+
+    def test_with_noise(self, modem):
+        rng = np.random.default_rng(1)
+        bits = rng.integers(0, 2, 48, dtype=np.uint8)
+        noisy = modem.modulate(bits) + rng.normal(0, 0.05, 48 * modem.samples_per_bit)
+        assert np.count_nonzero(modem.demodulate(noisy, 48) != bits) == 0
+
+    def test_short_capture_rejected(self, modem):
+        with pytest.raises(ValueError):
+            modem.demodulate(np.ones(10), 100)
+
+
+class TestSync:
+    def test_finds_offset(self, modem):
+        sync = np.array([1, 0, 1, 0, 1, 1, 0, 0], dtype=np.uint8)
+        payload = np.array([1, 1, 0, 1], dtype=np.uint8)
+        wave = modem.modulate(np.concatenate([sync, payload]))
+        delayed = np.concatenate([np.ones(37), wave])
+        offset = modem.synchronise(delayed, sync)
+        assert offset == 37
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ManchesterOOKModem(bit_rate_bps=10e3, fs=20e3)
+        with pytest.raises(ValueError):
+            ManchesterOOKModem(depth=0.0)

@@ -1,0 +1,114 @@
+"""Smoke tests for every experiment harness (tiny workloads)."""
+
+import numpy as np
+import pytest
+
+import repro.experiments as ex
+from repro.experiments.fig16 import working_range
+from repro.experiments.fig18 import profile_from_waterfalls, waterfall_threshold
+
+
+class TestFig16:
+    def test_rate_vs_distance_shape(self):
+        out = ex.rate_vs_distance(
+            rates_bps=[8000], distances_m=[2.0, 14.0], n_packets=1, payload_bytes=8, rng=1
+        )
+        pts = out[8000]
+        assert len(pts) == 2
+        assert pts[0].ber <= pts[1].ber
+
+    def test_working_range_helper(self):
+        from repro.experiments.common import SweepPoint
+
+        pts = [SweepPoint(x=1.0, ber=0.0), SweepPoint(x=2.0, ber=0.0), SweepPoint(x=3.0, ber=0.2)]
+        assert working_range(pts) == 2.0
+        assert working_range([SweepPoint(x=1.0, ber=0.5)]) == 0.0
+
+    def test_roll_sweep_flat(self):
+        pts = ex.roll_sweep(roll_degs=[0, 90], distance_m=3.0, n_packets=1, rng=2)
+        assert all(p.ber < 0.01 for p in pts)
+
+    def test_ambient_sweep_runs(self):
+        out = ex.ambient_sweep(distance_m=3.0, n_packets=1, rng=3)
+        assert set(out) == {"dark", "night", "day"}
+
+
+class TestFig17:
+    def test_dfe_comparison_orders(self):
+        out = ex.dfe_comparison(distances_m=[8.0], n_packets=1, rng=4)
+        assert set(out) == {"dfe_1", "dfe_16", "viterbi"}
+
+    def test_training_memory_sweep_runs(self):
+        out = ex.training_memory_sweep(memories=[1, 2], distances_m=[3.0], n_packets=1, rng=5)
+        assert set(out) == {1, 2}
+
+
+class TestFig18:
+    def test_waterfall_monotone(self):
+        out = ex.emulated_ber_vs_snr(
+            rates_bps=[8000], snrs_db=[5, 25, 45], n_symbols=64, n_packets=1, rng=6
+        )
+        pts = out[8000]
+        assert pts[0].ber >= pts[-1].ber
+
+    def test_waterfall_threshold_helper(self):
+        from repro.experiments.common import SweepPoint
+
+        pts = [SweepPoint(x=10, ber=0.2), SweepPoint(x=20, ber=0.001)]
+        assert waterfall_threshold(pts) == 20
+        assert waterfall_threshold([SweepPoint(x=10, ber=0.2)]) == float("inf")
+
+    def test_profile_from_waterfalls(self):
+        from repro.experiments.common import SweepPoint
+
+        wf = {8000.0: [SweepPoint(x=10, ber=0.2), SweepPoint(x=20, ber=0.001)]}
+        profile = profile_from_waterfalls(wf)
+        assert profile.rates[0].threshold_db == 20
+
+    def test_coding_goodput_series(self):
+        from repro.experiments.common import SweepPoint
+
+        wf = {
+            32000.0: [SweepPoint(x=s, ber=b) for s, b in [(20, 0.3), (35, 0.01), (50, 1e-6)]],
+        }
+        out = ex.coding_goodput_sweep(waterfalls=wf, rates_bps=[32000.0], snrs_db=[25, 40, 55])
+        assert "32k_raw" in out
+        coded = [k for k in out if "rs255" in k]
+        assert coded
+        # At high SNR raw beats coded; at low SNR coded beats raw.
+        raw = dict(out["32k_raw"])
+        light = dict(out["32k_rs255_251"])
+        assert raw[55] > light[55]
+        assert light[40] >= raw[40]
+
+    def test_rate_adaptation_gain_curve(self):
+        out = ex.rate_adaptation_gain(tag_counts=[1, 10], n_runs=5, rng=7)
+        assert out[1] == pytest.approx(1.0)
+        assert out[10] > 1.0
+
+
+class TestMicroAndTable4:
+    def test_mobility_study_cases(self):
+        out = ex.mobility_study(distance_m=3.0, n_packets=1, rng=8)
+        assert len(out) == 5
+        assert all(p.ber < 0.05 for p in out.values())
+
+    def test_power_report_invariance(self):
+        out = ex.power_report(rates_bps=[4000, 8000])
+        vals = list(out.values())
+        assert abs(vals[0] - vals[1]) / vals[1] < 0.25
+
+    def test_latency_report_realtime(self):
+        rows = ex.latency_report(rates_bps=[8000], payload_bytes=32, rng=9)
+        row = rows[0]
+        assert row.preamble_s == pytest.approx(50e-3, rel=0.1)
+        assert row.total_s > 0
+
+    def test_headline_gains(self):
+        out = ex.headline_rate_gain()
+        assert out["experimental_gain"] == pytest.approx(32.0)
+        assert out["emulated_gain"] == pytest.approx(128.0)
+
+    def test_format_table(self):
+        text = ex.format_table(["a", "b"], [(1, 2.5), (3, 4.0)], title="T")
+        assert "T" in text and "2.5" in text

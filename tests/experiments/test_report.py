@@ -1,0 +1,31 @@
+"""Reproduction-report generator (smoke, tiny workloads)."""
+
+import pytest
+
+from repro.experiments.report import ReportScale, generate_report
+
+
+@pytest.mark.slow
+def test_report_generates_all_sections(tmp_path):
+    scale = ReportScale(
+        n_packets=1, n_contexts=1, emulation_reference_order=8, mac_runs=2
+    )
+    path = tmp_path / "REPORT.md"
+    report = generate_report(path=path, scale=scale)
+    assert path.exists()
+    for heading in (
+        "Headline",
+        "Table 2",
+        "Table 3",
+        "Fig 16a",
+        "robustness",
+        "Fig 17",
+        "Fig 18a",
+        "Fig 18c",
+        "Power",
+    ):
+        assert heading in report
+
+
+def test_scales():
+    assert ReportScale.quick().n_packets < ReportScale.full().n_packets

@@ -1,0 +1,60 @@
+"""Paper-exact packet dimensions: the §7.1 default experiment, verbatim.
+
+Slower than the unit suite (a full 128-byte packet at 8 Kbps with the
+prototype's 50 ms preamble and 80 ms training), so it runs once and checks
+several §7 claims on the same packet.
+"""
+
+import numpy as np
+import pytest
+
+from repro.channel.link import OpticalLink
+from repro.lcm.array import LCMArray
+from repro.lcm.heterogeneity import HeterogeneityModel
+from repro.modem.config import ModemConfig
+from repro.modem.dsm_pqam import DsmPqamModulator
+from repro.modem.references import collect_unit_table
+from repro.optics.geometry import LinkGeometry
+from repro.phy.frame import FrameFormat
+from repro.phy.receiver import PhyReceiver
+from repro.phy.transmitter import PhyTransmitter
+
+
+@pytest.mark.slow
+def test_paper_default_packet_end_to_end():
+    """30K-bit-scale packet, 8 Kbps, paper frame timing, 3 m, heterogeneous
+    tag, trained receiver: delivered error-free; latency budget matches the
+    §7.2.2 numbers."""
+    config = ModemConfig()
+    frame = FrameFormat.paper_default(config, payload_bytes=128)
+
+    durations = frame.section_durations()
+    assert durations["preamble"] == pytest.approx(50e-3, rel=0.05)
+    assert durations["training"] == pytest.approx(80e-3, rel=0.05)
+    # 128 B + CRC at 8 Kbps: 130 ms of payload airtime (paper: 258 ms
+    # total "packet transmission time" including the 130 ms overheads).
+    assert durations["payload"] == pytest.approx(0.130, abs=0.005)
+    total_tx = durations["preamble"] + durations["training"] + durations["payload"]
+    assert total_tx == pytest.approx(0.258, abs=0.01)
+
+    array = LCMArray.build(
+        config.dsm_order,
+        config.levels_per_axis,
+        heterogeneity=HeterogeneityModel(),
+        rng=11,
+    )
+    tx = PhyTransmitter(frame, array)
+    rx = PhyReceiver(frame, basis_tables=[collect_unit_table(config)])
+    nominal = LCMArray.build(config.dsm_order, config.levels_per_axis)
+    frame.preamble.record_reference(DsmPqamModulator(config, nominal))
+
+    link = OpticalLink(geometry=LinkGeometry(distance_m=3.0))
+    rng = np.random.default_rng(5)
+    payload = rng.integers(0, 256, 128, dtype=np.uint8).tobytes()
+    out = link.transmit(tx.transmit(payload), config.fs, rng)
+    result = rx.receive(
+        out.samples, search_stop=(frame.guard_slots + 2) * config.samples_per_slot
+    )
+    assert result.detection.detected
+    assert result.payload == payload
+    assert result.crc_ok

@@ -1,0 +1,126 @@
+"""Tag pixel arrays: layout, normalisation, waveform synthesis."""
+
+import numpy as np
+import pytest
+
+from repro.lcm.array import LCMArray, LCMGroup, build_paper_tag_array
+from repro.lcm.heterogeneity import HeterogeneityModel
+from repro.lcm.pixel import LCMPixel
+
+FS = 40e3
+SLOT = 0.5e-3
+
+
+class TestGroup:
+    def test_level_to_drive_binary_expansion(self):
+        pixels = [LCMPixel(area=a) for a in (8, 4, 2, 1)]
+        g = LCMGroup(channel="I", index=0, pixels=pixels)
+        np.testing.assert_array_equal(g.level_to_drive(0b1010), [1, 0, 1, 0])
+        np.testing.assert_array_equal(g.level_to_drive(15), [1, 1, 1, 1])
+
+    def test_level_out_of_range(self):
+        g = LCMGroup(channel="I", index=0, pixels=[LCMPixel(area=1)])
+        with pytest.raises(ValueError):
+            g.level_to_drive(2)
+
+    def test_bad_channel_rejected(self):
+        with pytest.raises(ValueError):
+            LCMGroup(channel="X", index=0, pixels=[LCMPixel(area=1)])
+
+    def test_charged_area_proportional_to_level(self):
+        pixels = [LCMPixel(area=a) for a in (8, 4, 2, 1)]
+        g = LCMGroup(channel="I", index=0, pixels=pixels)
+        areas = np.array([p.area for p in pixels])
+        for level in range(16):
+            charged = float(g.level_to_drive(level) @ areas)
+            assert charged == level
+
+
+class TestBuild:
+    def test_paper_tag_layout(self):
+        array = build_paper_tag_array()
+        assert array.n_pixels == 16  # 4 LCMs x 4 binary pixels
+        assert len(array.groups_on("I")) == 2
+        assert len(array.groups_on("Q")) == 2
+        for g in array.groups:
+            assert g.n_levels == 16
+
+    def test_build_validates(self):
+        with pytest.raises(ValueError):
+            LCMArray.build(groups_per_channel=0)
+        with pytest.raises(ValueError):
+            LCMArray.build(groups_per_channel=2, levels_per_group=3)
+
+    def test_heterogeneity_spreads_gains(self):
+        array = LCMArray.build(4, 16, heterogeneity=HeterogeneityModel(), rng=1)
+        gains = np.array([p.gain for p in array.pixels])
+        assert gains.std() > 0.01
+
+    def test_ideal_build_uniform(self):
+        array = LCMArray.build(4, 16)
+        assert all(p.gain == 1.0 for p in array.pixels)
+        assert all(p.time_scale == 1.0 for p in array.pixels)
+
+    def test_pixel_slice_partitions_rows(self):
+        array = LCMArray.build(2, 4)
+        covered = []
+        for g in array.groups:
+            s = array.pixel_slice(g)
+            covered.extend(range(s.start, s.stop))
+        assert sorted(covered) == list(range(array.n_pixels))
+
+
+class TestEmit:
+    @pytest.fixture(scope="class")
+    def array(self):
+        return LCMArray.build(2, 4)
+
+    def test_rest_is_minus_pedestal(self, array):
+        drive = np.zeros((array.n_pixels, 8), dtype=np.uint8)
+        u = array.emit(drive, SLOT, FS)
+        # Fully relaxed: I channel sums to -1, Q to -j.
+        np.testing.assert_allclose(u, np.full(u.size, -1.0 - 1.0j), atol=1e-6)
+
+    def test_fully_charged_saturates_at_plus_pedestal(self, array):
+        drive = np.ones((array.n_pixels, 12), dtype=np.uint8)
+        u = array.emit(drive, SLOT, FS)
+        assert abs(u[-1] - (1.0 + 1.0j)) < 0.05
+
+    def test_channels_are_orthogonal(self, array):
+        """Driving only I pixels moves only the real part, and vice versa."""
+        drive = np.zeros((array.n_pixels, 8), dtype=np.uint8)
+        for g in array.groups_on("I"):
+            drive[array.pixel_slice(g)] = 1
+        u = array.emit(drive, SLOT, FS)
+        assert np.ptp(u.real) > 1.0
+        assert np.ptp(u.imag) < 1e-6
+
+    def test_superposition_of_pixels(self, array):
+        """Pixel responses add linearly in the received waveform."""
+        d1 = np.zeros((array.n_pixels, 8), dtype=np.uint8)
+        d2 = np.zeros_like(d1)
+        d1[0, 2] = 1
+        d2[3, 5] = 1
+        both = d1 | d2
+        rest = array.emit(np.zeros_like(d1), SLOT, FS)
+        u1 = array.emit(d1, SLOT, FS) - rest
+        u2 = array.emit(d2, SLOT, FS) - rest
+        u12 = array.emit(both, SLOT, FS) - rest
+        np.testing.assert_allclose(u12, u1 + u2, atol=1e-9)
+
+    def test_roll_rotates_constellation(self, array):
+        drive = np.zeros((array.n_pixels, 6), dtype=np.uint8)
+        drive[0, 1] = 1
+        roll = np.deg2rad(30.0)
+        u0 = array.emit(drive, SLOT, FS)
+        u1 = array.emit(drive, SLOT, FS, roll_rad=roll)
+        np.testing.assert_allclose(u1, u0 * np.exp(2j * roll), atol=1e-12)
+
+    def test_wrong_drive_shape_rejected(self, array):
+        with pytest.raises(ValueError):
+            array.emit(np.zeros((3, 4), dtype=np.uint8), SLOT, FS)
+
+    def test_waveform_length(self, array):
+        drive = np.zeros((array.n_pixels, 10), dtype=np.uint8)
+        u = array.emit(drive, SLOT, FS)
+        assert u.size == int(round(10 * SLOT * FS))

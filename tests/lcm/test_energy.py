@@ -1,0 +1,84 @@
+"""Battery-free feasibility (the paper's solar-panel claim)."""
+
+import pytest
+
+from repro.lcm.energy import EnergyBudget, SolarHarvester, StorageCapacitor
+from repro.optics.ambient import AMBIENT_PRESETS
+
+
+@pytest.fixture(scope="module")
+def budget() -> EnergyBudget:
+    return EnergyBudget(harvester=SolarHarvester(area_cm2=8.0))
+
+
+class TestHarvest:
+    def test_scales_with_lux_and_area(self):
+        small = SolarHarvester(area_cm2=4.0)
+        large = SolarHarvester(area_cm2=16.0)
+        night = AMBIENT_PRESETS["night"]
+        day = AMBIENT_PRESETS["day"]
+        assert large.harvest_w(night) == pytest.approx(4 * small.harvest_w(night))
+        assert small.harvest_w(day) == pytest.approx(5 * small.harvest_w(night))
+
+    def test_office_light_order_of_magnitude(self):
+        """8 cm² at 200 lux -> ~0.5 mW: the same order as the 0.8 mW tag."""
+        h = SolarHarvester(area_cm2=8.0)
+        assert 0.3e-3 < h.harvest_w(AMBIENT_PRESETS["night"]) < 1.0e-3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SolarHarvester(area_cm2=0.0)
+
+
+class TestDutyCycle:
+    def test_daylight_sustains_continuous_operation(self, budget):
+        """1000 lux on 8 cm² exceeds the 0.8 mW draw -> 100% duty."""
+        assert budget.max_duty_cycle(AMBIENT_PRESETS["day"]) == pytest.approx(1.0)
+
+    def test_night_office_sustains_majority_duty(self, budget):
+        duty = budget.max_duty_cycle(AMBIENT_PRESETS["night"])
+        assert 0.4 < duty < 1.0
+
+    def test_dark_room_limits_duty(self, budget):
+        duty = budget.max_duty_cycle(AMBIENT_PRESETS["dark"])
+        assert 0.0 < duty < 0.15
+
+    def test_sustainable_check(self, budget):
+        night = AMBIENT_PRESETS["night"]
+        assert budget.sustainable(night, 0.2)
+        assert not budget.sustainable(AMBIENT_PRESETS["dark"], 0.9)
+        with pytest.raises(ValueError):
+            budget.sustainable(night, 1.5)
+
+    def test_packets_per_hour(self, budget):
+        """A 375 ms packet (paper's 8 Kbps total latency) many times an hour."""
+        rate = budget.packets_per_hour(AMBIENT_PRESETS["night"], packet_airtime_s=0.375)
+        assert rate > 1000
+
+
+class TestCapacitorSimulation:
+    def test_sustainable_schedule_survives(self, budget):
+        cap = StorageCapacitor()
+        ok = budget.simulate(
+            AMBIENT_PRESETS["night"], cap, packet_airtime_s=0.375, interval_s=2.0, duration_s=600.0
+        )
+        assert ok
+        assert cap.voltage > cap.voltage_min
+
+    def test_greedy_schedule_browns_out_in_the_dark(self, budget):
+        cap = StorageCapacitor(capacitance_f=0.01)
+        ok = budget.simulate(
+            AMBIENT_PRESETS["dark"], cap, packet_airtime_s=0.375, interval_s=0.5, duration_s=600.0
+        )
+        assert not ok
+
+    def test_capacitor_clamps_at_max(self):
+        cap = StorageCapacitor()
+        cap.apply(net_power_w=1.0, duration_s=100.0)
+        assert cap.voltage == pytest.approx(cap.voltage_max)
+
+    def test_capacitor_validation(self):
+        with pytest.raises(ValueError):
+            StorageCapacitor(capacitance_f=0.0)
+        with pytest.raises(ValueError):
+            StorageCapacitor(voltage_min=4.0, voltage_max=3.3)

@@ -1,0 +1,112 @@
+"""Fingerprint collection and finite-memory emulation."""
+
+import numpy as np
+import pytest
+
+from repro.lcm.fingerprint import FingerprintTable, collect_fingerprints, emulate_waveform
+from repro.lcm.response import LCResponseModel
+
+FS = 20e3
+SLOT = 0.5e-3
+
+
+def pixel_waveform_fn(bits):
+    model = LCResponseModel()
+    phi = model.simulate(np.asarray(bits, dtype=np.uint8)[None, :], SLOT, FS)
+    return LCResponseModel.optical_amplitude(phi)[0]
+
+
+@pytest.fixture(scope="module")
+def table_v4() -> FingerprintTable:
+    return collect_fingerprints(pixel_waveform_fn, order=4, tick_s=SLOT, fs=FS)
+
+
+class TestCollection:
+    def test_complete_coverage(self, table_v4):
+        assert table_v4.is_complete()
+        assert table_v4.n_contexts == 16
+
+    def test_chunk_length(self, table_v4):
+        assert table_v4.chunk_len == int(SLOT * FS)
+        for chunk in table_v4.chunks.values():
+            assert chunk.size == table_v4.chunk_len
+
+    def test_order_one_supported(self):
+        t = collect_fingerprints(pixel_waveform_fn, order=1, tick_s=SLOT, fs=FS)
+        assert t.is_complete()
+        assert t.n_contexts == 2
+
+    def test_all_zero_context_is_rest(self, table_v4):
+        np.testing.assert_allclose(table_v4.chunks[0], -1.0, atol=5e-3)
+
+    def test_all_ones_context_is_charged(self, table_v4):
+        full = table_v4.chunks[table_v4.n_contexts - 1]
+        np.testing.assert_allclose(full, 1.0, atol=5e-3)
+
+    def test_bad_waveform_length_raises(self):
+        with pytest.raises(ValueError):
+            collect_fingerprints(lambda bits: np.zeros(3), order=2, tick_s=SLOT, fs=FS)
+
+
+class TestContextOf:
+    def test_padding_with_zeros(self):
+        t = FingerprintTable(order=3, tick_s=SLOT, fs=FS)
+        bits = np.array([1, 0, 1], dtype=np.uint8)
+        assert t.context_of(bits, 0) == 0b001
+        assert t.context_of(bits, 1) == 0b010
+        assert t.context_of(bits, 2) == 0b101
+
+    def test_msb_is_oldest(self):
+        t = FingerprintTable(order=2, tick_s=SLOT, fs=FS)
+        bits = np.array([1, 0], dtype=np.uint8)
+        assert t.context_of(bits, 1) == 0b10
+
+
+class TestEmulation:
+    def test_emulation_tracks_ground_truth(self, table_v4):
+        """High-order emulation reproduces the ODE waveform closely."""
+        rng = np.random.default_rng(2)
+        bits = rng.integers(0, 2, 48, dtype=np.uint8)
+        truth = pixel_waveform_fn(bits)
+        t8 = collect_fingerprints(pixel_waveform_fn, order=8, tick_s=SLOT, fs=FS)
+        approx = emulate_waveform(t8, bits)
+        err = np.sqrt(np.mean((truth - approx) ** 2))
+        assert err < 0.03
+
+    def test_low_order_worse_than_high_order(self, table_v4):
+        rng = np.random.default_rng(3)
+        bits = rng.integers(0, 2, 64, dtype=np.uint8)
+        truth = pixel_waveform_fn(bits)
+        t2 = collect_fingerprints(pixel_waveform_fn, order=2, tick_s=SLOT, fs=FS)
+        t6 = collect_fingerprints(pixel_waveform_fn, order=6, tick_s=SLOT, fs=FS)
+        err2 = np.sqrt(np.mean((truth - emulate_waveform(t2, bits)) ** 2))
+        err6 = np.sqrt(np.mean((truth - emulate_waveform(t6, bits)) ** 2))
+        assert err6 < err2
+
+    def test_missing_context_raises(self):
+        t = FingerprintTable(order=2, tick_s=SLOT, fs=FS)
+        t.chunks = {0: np.zeros(10)}
+        with pytest.raises(KeyError):
+            emulate_waveform(t, np.array([1, 1], dtype=np.uint8))
+
+
+class TestTruncation:
+    def test_truncated_is_complete(self, table_v4):
+        t2 = table_v4.truncated(2)
+        assert t2.order == 2
+        assert t2.is_complete()
+
+    def test_truncation_averages(self, table_v4):
+        """The truncated chunk is the mean over agreeing long contexts."""
+        t3 = table_v4.truncated(3)
+        ctx = 0b101
+        members = [c for c in range(16) if (c & 0b111) == ctx]
+        expected = np.mean([table_v4.chunks[c] for c in members], axis=0)
+        np.testing.assert_allclose(t3.chunks[ctx], expected)
+
+    def test_same_order_truncation_is_identity(self, table_v4):
+        assert table_v4.truncated(4) is table_v4
+
+    def test_extension_rejected(self, table_v4):
+        with pytest.raises(ValueError):
+            table_v4.truncated(6)

@@ -1,0 +1,57 @@
+"""Flicker metrics: polarization modulation is invisible, shutters are not."""
+
+import numpy as np
+import pytest
+
+from repro.lcm.array import LCMArray
+from repro.lcm.flicker import flicker_index, percent_flicker, perceived_intensity
+
+
+@pytest.fixture(scope="module")
+def array() -> LCMArray:
+    return LCMArray.build(2, 4)
+
+
+@pytest.fixture(scope="module")
+def busy_drive(array) -> np.ndarray:
+    rng = np.random.default_rng(0)
+    return rng.integers(0, 2, (array.n_pixels, 40), dtype=np.uint8)
+
+
+class TestPerceived:
+    def test_lcm_is_flicker_free(self, array, busy_drive):
+        """The RetroTurbo LCM never modulates total intensity."""
+        intensity = perceived_intensity(array, busy_drive, 0.5e-3, 10e3)
+        assert percent_flicker(intensity) < 1e-9
+        assert flicker_index(intensity) < 1e-9
+
+    def test_shutter_flickers(self, array, busy_drive):
+        """LCD-shutter OOK (front polarizer attached) visibly flickers."""
+        intensity = perceived_intensity(
+            array, busy_drive, 0.5e-3, 10e3, front_polarizer=True
+        )
+        assert percent_flicker(intensity) > 0.3
+        assert flicker_index(intensity) > 0.01
+
+    def test_shape_validated(self, array):
+        with pytest.raises(ValueError):
+            perceived_intensity(array, np.zeros((3, 4), dtype=np.uint8), 0.5e-3, 10e3)
+
+
+class TestMetrics:
+    def test_constant_light_zero(self):
+        assert percent_flicker(np.full(100, 0.7)) == 0.0
+        assert flicker_index(np.full(100, 0.7)) == 0.0
+
+    def test_square_wave_full_flicker(self):
+        wave = np.tile([1.0, 0.0], 50)
+        assert percent_flicker(wave) == pytest.approx(1.0)
+        assert flicker_index(wave) == pytest.approx(0.5)
+
+    def test_partial_modulation(self):
+        wave = np.tile([1.2, 0.8], 50)
+        assert percent_flicker(wave) == pytest.approx(0.2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percent_flicker(np.array([]))

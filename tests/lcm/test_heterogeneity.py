@@ -1,0 +1,43 @@
+"""Pixel heterogeneity sampling."""
+
+import numpy as np
+import pytest
+
+from repro.lcm.heterogeneity import HeterogeneityModel
+
+
+class TestSampling:
+    def test_ideal_has_no_spread(self):
+        m = HeterogeneityModel.ideal()
+        v = m.sample_pixel(rng=0)
+        assert v.gain == pytest.approx(1.0)
+        assert v.angle_error_rad == pytest.approx(0.0)
+        assert v.time_scale == pytest.approx(1.0)
+
+    def test_default_spread_magnitudes(self):
+        m = HeterogeneityModel()
+        rng = np.random.default_rng(1)
+        gains = [m.sample_pixel(rng).gain for _ in range(500)]
+        assert 0.01 < np.std(np.log(gains)) < 0.10
+
+    def test_lcm_level_spread_dominates(self):
+        """Fig 11b's spread is LCM-to-LCM; within-LCM matching is tight."""
+        m = HeterogeneityModel()
+        assert m.lcm_gain_sigma > 2 * m.gain_sigma
+
+    def test_lcm_gain_shared(self):
+        m = HeterogeneityModel()
+        rng = np.random.default_rng(2)
+        lcm_gain = m.sample_lcm_gain(rng)
+        pixels = [m.sample_pixel(rng, lcm_gain=lcm_gain) for _ in range(8)]
+        # All pixel gains carry the common factor.
+        assert np.mean([p.gain for p in pixels]) == pytest.approx(lcm_gain, rel=0.2)
+
+    def test_deterministic_with_seed(self):
+        m = HeterogeneityModel()
+        assert m.sample_pixel(rng=7) == m.sample_pixel(rng=7)
+
+    def test_gains_positive(self):
+        m = HeterogeneityModel(gain_sigma=0.5)
+        rng = np.random.default_rng(3)
+        assert all(m.sample_pixel(rng).gain > 0 for _ in range(100))

@@ -1,0 +1,61 @@
+"""Fast-LC material presets and the rate-scaling helper."""
+
+import numpy as np
+import pytest
+
+from repro.lcm.response import LCParams, LCResponseModel
+from repro.modem.config import ModemConfig
+
+
+class TestPresets:
+    def test_cots_is_default(self):
+        assert LCParams.cots_tn() == LCParams()
+
+    def test_ferroelectric_scale(self):
+        p = LCParams.ferroelectric()
+        base = LCParams()
+        ratio = p.tau_discharge / base.tau_discharge
+        assert ratio == pytest.approx(20e-6 / 3.5e-3)
+
+    def test_ccn47_is_fastest(self):
+        assert LCParams.ccn47().tau_discharge < LCParams.ferroelectric().tau_discharge
+
+    def test_scaled_pulse_shape_preserved(self):
+        """A faster material traces the same pulse on a compressed clock."""
+        scale = 1e-2
+        slow = LCResponseModel(LCParams())
+        fast = LCResponseModel(LCParams().scaled(scale))
+        p_slow = slow.pulse_response(1, 8, 0.5e-3, 40e3)
+        p_fast = fast.pulse_response(1, 8, 0.5e-3 * scale, 40e3 / scale)
+        np.testing.assert_allclose(p_fast, p_slow, atol=1e-9)
+
+
+class TestConfigScaling:
+    def test_rate_scales_inversely(self):
+        cfg = ModemConfig().scaled_to_material(0.01)
+        assert cfg.rate_bps == pytest.approx(800_000.0)
+
+    def test_demodulation_geometry_unchanged(self):
+        base = ModemConfig()
+        cfg = base.scaled_to_material(1e-3)
+        assert cfg.samples_per_slot == base.samples_per_slot
+        assert cfg.samples_per_symbol == base.samples_per_symbol
+
+    def test_ferroelectric_reaches_mbps(self):
+        scale = 20e-6 / 3.5e-3
+        cfg = ModemConfig().scaled_to_material(scale)
+        assert cfg.rate_bps > 1e6
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ValueError):
+            ModemConfig().scaled_to_material(0.0)
+
+    def test_fast_material_decodes(self):
+        """The full modem stack runs unchanged on ferroelectric timing."""
+        from repro.experiments.fig18 import emulated_packet_ber
+        from repro.modem.references import ReferenceBank
+
+        scale = 20e-6 / 3.5e-3
+        cfg = ModemConfig(dsm_order=2, pqam_order=4, slot_s=2e-3, fs=10e3).scaled_to_material(scale)
+        bank = ReferenceBank.nominal(cfg, params=LCParams.ferroelectric())
+        assert emulated_packet_ber(cfg, snr_db=35.0, n_symbols=32, rng=1, bank=bank) == 0.0

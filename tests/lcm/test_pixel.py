@@ -1,0 +1,41 @@
+"""LCM pixel geometry and validation."""
+
+import numpy as np
+import pytest
+
+from repro.lcm.pixel import LCMPixel
+
+
+class TestValidation:
+    def test_zero_area_rejected(self):
+        with pytest.raises(ValueError):
+            LCMPixel(area=0.0)
+
+    def test_negative_gain_rejected(self):
+        with pytest.raises(ValueError):
+            LCMPixel(area=1.0, gain=-0.5)
+
+    def test_bad_time_scale_rejected(self):
+        with pytest.raises(ValueError):
+            LCMPixel(area=1.0, time_scale=0.0)
+
+
+class TestBasis:
+    def test_zero_angle_basis(self):
+        assert LCMPixel(area=1.0, angle_rad=0.0).basis == pytest.approx(1.0 + 0.0j)
+
+    def test_45deg_basis_is_j(self):
+        p = LCMPixel(area=1.0, angle_rad=np.pi / 4)
+        assert p.basis == pytest.approx(1j)
+
+    def test_90deg_basis_is_minus_one(self):
+        p = LCMPixel(area=1.0, angle_rad=np.pi / 2)
+        assert p.basis == pytest.approx(-1.0 + 0.0j)
+
+    def test_basis_unit_magnitude(self):
+        for angle in np.linspace(0, np.pi, 13):
+            assert abs(LCMPixel(area=1.0, angle_rad=angle).basis) == pytest.approx(1.0)
+
+
+def test_amplitude_is_area_times_gain():
+    assert LCMPixel(area=4.0, gain=1.1).amplitude == pytest.approx(4.4)

@@ -1,0 +1,77 @@
+"""Tag power model: the rate-invariance microbenchmark (§7.2.2)."""
+
+import numpy as np
+import pytest
+
+from repro.lcm.array import LCMArray
+from repro.lcm.power import TagPowerModel
+from repro.modem.config import preset_for_rate
+from repro.modem.dsm_pqam import DsmPqamModulator
+from repro.phy.frame import FrameFormat
+
+
+@pytest.fixture(scope="module")
+def model() -> TagPowerModel:
+    return TagPowerModel()
+
+
+def frame_power(rate_bps: float, model: TagPowerModel, seed: int = 9) -> float:
+    config = preset_for_rate(rate_bps)
+    array = LCMArray.build(config.dsm_order, config.levels_per_axis)
+    modulator = DsmPqamModulator(config, array)
+    frame = FrameFormat(config, payload_bytes=64)
+    rng = np.random.default_rng(seed)
+    payload = rng.integers(0, 256, 64, dtype=np.uint8).tobytes()
+    levels = frame.frame_levels(payload)
+    drive = modulator.drive_for_levels(*levels)
+    return model.mean_power(array, drive, config.slot_s)
+
+
+class TestPowerModel:
+    def test_idle_power_is_static_only(self, model):
+        array = LCMArray.build(2, 4)
+        drive = np.zeros((array.n_pixels, 100), dtype=np.uint8)
+        assert model.mean_power(array, drive, 0.5e-3) == pytest.approx(model.static_power)
+
+    def test_toggles_cost_energy(self, model):
+        array = LCMArray.build(2, 4)
+        idle = np.zeros((array.n_pixels, 100), dtype=np.uint8)
+        busy = idle.copy()
+        busy[:, ::4] = 1
+        assert model.energy(array, busy, 0.5e-3) > model.energy(array, idle, 0.5e-3)
+
+    def test_leading_one_counts_as_toggle(self, model):
+        array = LCMArray.build(2, 4)
+        drive = np.zeros((array.n_pixels, 4), dtype=np.uint8)
+        drive[0, 0] = 1
+        baseline = np.zeros_like(drive)
+        assert model.energy(array, drive, 0.5e-3) > model.energy(array, baseline, 0.5e-3)
+
+    def test_shape_mismatch_rejected(self, model):
+        array = LCMArray.build(2, 4)
+        with pytest.raises(ValueError):
+            model.energy(array, np.zeros((3, 10), dtype=np.uint8), 0.5e-3)
+
+    def test_zero_duration_rejected(self, model):
+        array = LCMArray.build(2, 4)
+        with pytest.raises(ValueError):
+            model.mean_power(array, np.zeros((array.n_pixels, 0), dtype=np.uint8), 0.5e-3)
+
+
+class TestRateInvariance:
+    def test_power_near_paper_value(self, model):
+        """~0.8 mW at the default configuration."""
+        p8 = frame_power(8000, model)
+        assert 0.5e-3 < p8 < 1.2e-3
+
+    def test_power_rate_invariant(self, model):
+        """4 and 8 Kbps share the DSM symbol length -> similar power."""
+        p4 = frame_power(4000, model)
+        p8 = frame_power(8000, model)
+        assert abs(p4 - p8) / p8 < 0.25
+
+    def test_higher_pqam_order_does_not_raise_power(self, model):
+        """Power is set by the toggle schedule, not the constellation."""
+        p8 = frame_power(8000, model)    # P=16
+        p16 = frame_power(16000, model)  # P=256, same L and T
+        assert abs(p16 - p8) / p8 < 0.25

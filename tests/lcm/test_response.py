@@ -1,0 +1,194 @@
+"""The LC physical model: asymmetry, plateau, memory, exactness."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lcm.response import LCParams, LCResponseModel
+
+FS = 100e3
+SLOT = 0.5e-3
+
+
+@pytest.fixture(scope="module")
+def model() -> LCResponseModel:
+    return LCResponseModel()
+
+
+def settle_time(trace: np.ndarray, level: float, fs: float, rising: bool) -> float:
+    """First time the trace crosses ``level`` in the given direction."""
+    hits = np.nonzero(trace >= level if rising else trace <= level)[0]
+    assert hits.size, "trace never crossed the level"
+    return hits[0] / fs
+
+
+class TestAsymmetry:
+    def test_charging_much_faster_than_discharging(self, model):
+        """Paper Fig 3: charging ~0.3 ms, discharging lasts ~4 ms."""
+        pulse = model.pulse_response(1, 10, SLOT, FS)
+        t_charged = settle_time(pulse, 0.9, FS, rising=True)
+        # Discharge: measured from the end of the charge slot.
+        after = pulse[int(SLOT * FS) :]
+        t_discharged = settle_time(after, -0.9, FS, rising=False)
+        assert t_charged < 0.4e-3
+        assert t_discharged > 2.0e-3
+        assert t_discharged / t_charged > 4.0
+
+    def test_discharge_plateau(self, model):
+        """~1 ms relatively flat stretch at the start of discharge."""
+        pulse = model.pulse_response(1, 10, SLOT, FS)
+        start = int(SLOT * FS)
+        plateau = pulse[start : start + int(0.7e-3 * FS)]
+        assert plateau.min() > 0.9  # barely decays for the first ~0.7 ms
+
+    def test_full_relaxation_within_4ms(self, model):
+        pulse = model.pulse_response(1, 10, SLOT, FS)
+        assert pulse[int(4.0e-3 * FS) :].max() < -0.85
+
+
+class TestStateEvolution:
+    def test_charge_monotone_in_time(self, model):
+        phi, _ = model.charge(np.array([0.0]), np.array([0.0]), np.linspace(0, 2e-3, 100))
+        assert np.all(np.diff(phi[0]) >= -1e-12)
+
+    def test_discharge_monotone_decreasing(self, model):
+        phi, _ = model.discharge(np.array([1.0]), np.array([1.0]), np.linspace(0, 6e-3, 200))
+        assert np.all(np.diff(phi[0]) <= 1e-12)
+
+    def test_states_stay_in_unit_interval(self, model):
+        drive = np.random.default_rng(0).integers(0, 2, (3, 50), dtype=np.uint8)
+        phi = model.simulate(drive, SLOT, FS)
+        assert phi.min() >= 0.0 and phi.max() <= 1.0
+
+    def test_segment_consistency(self, model):
+        """Evaluating one long charge equals chaining two half segments."""
+        t_full = np.array([1.0e-3])
+        phi_a, psi_a = model.charge(np.array([0.1]), np.array([0.2]), t_full)
+        t_half = np.array([0.5e-3])
+        phi_h, psi_h = model.charge(np.array([0.1]), np.array([0.2]), t_half)
+        phi_b, psi_b = model.charge(phi_h[:, -1], psi_h[:, -1], t_half)
+        assert phi_b[0, -1] == pytest.approx(phi_a[0, -1], abs=1e-9)
+        assert psi_b[0, -1] == pytest.approx(psi_a[0, -1], abs=1e-9)
+
+    def test_discharge_segment_consistency(self, model):
+        t_full = np.array([2.0e-3])
+        phi_a, psi_a = model.discharge(np.array([0.95]), np.array([0.9]), t_full)
+        t_half = np.array([1.0e-3])
+        phi_h, psi_h = model.discharge(np.array([0.95]), np.array([0.9]), t_half)
+        phi_b, psi_b = model.discharge(phi_h[:, -1], psi_h[:, -1], t_half)
+        assert phi_b[0, -1] == pytest.approx(phi_a[0, -1], rel=1e-6)
+
+
+class TestTailEffect:
+    def test_history_changes_ramp(self, model):
+        """Paper Fig 11a: the pulse depends on previous bits."""
+        fs = FS
+        # '110': charged two slots then observed; '010': one idle, one charge.
+        drive_110 = np.array([[1, 1, 0, 0, 0, 0, 0, 0, 1]], dtype=np.uint8)
+        drive_010 = np.array([[0, 1, 0, 0, 0, 0, 0, 0, 1]], dtype=np.uint8)
+        a = model.simulate(drive_110, SLOT, fs)[0]
+        b = model.simulate(drive_010, SLOT, fs)[0]
+        # Compare the final charge slot's trajectory.
+        last = slice(int(8 * SLOT * fs), int(9 * SLOT * fs))
+        assert not np.allclose(a[last], b[last], atol=1e-3)
+
+    def test_memory_fades(self, model):
+        """After a long idle stretch the history no longer matters."""
+        idle = 24
+        d1 = np.array([[1, 1] + [0] * idle + [1]], dtype=np.uint8)
+        d2 = np.array([[0, 1] + [0] * idle + [1]], dtype=np.uint8)
+        a = model.simulate(d1, SLOT, FS)[0]
+        b = model.simulate(d2, SLOT, FS)[0]
+        last = slice(int((2 + idle) * SLOT * FS), None)
+        np.testing.assert_allclose(a[last], b[last], atol=2e-3)
+
+
+class TestTimeScale:
+    def test_time_scale_dilates_trajectory(self, model):
+        """time_scale c == evaluating the nominal pixel at t/c."""
+        drive = np.array([[1, 0, 0, 0]], dtype=np.uint8)
+        slow = model.simulate(drive, SLOT, FS, time_scale=np.array([2.0]))[0]
+        fast = model.simulate(drive, SLOT, FS)[0]
+        # The slow pixel at 2t matches the fast pixel at t (same drive
+        # boundaries make this exact only within the first slot).
+        n = int(SLOT * FS)
+        np.testing.assert_allclose(slow[1:n:2], fast[: (n + 1) // 2], atol=5e-3)
+
+    def test_bad_time_scale_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.charge(np.array([0.0]), np.array([0.0]), np.array([1e-3]), np.array([0.0]))
+
+
+class TestNonlinearity:
+    def test_amplitude_endpoints(self):
+        assert LCResponseModel.optical_amplitude(np.array([0.0])) == pytest.approx(-1.0)
+        assert LCResponseModel.optical_amplitude(np.array([1.0])) == pytest.approx(1.0)
+
+    def test_transmit_fraction_is_malus_mixture(self):
+        phi = np.linspace(0, 1, 11)
+        np.testing.assert_allclose(
+            LCResponseModel.transmit_fraction(phi), np.sin(phi * np.pi / 2) ** 2
+        )
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    def test_amplitude_bounded(self, phi):
+        s = LCResponseModel.optical_amplitude(np.array([phi]))
+        assert -1.0 <= s[0] <= 1.0
+
+    def test_response_is_nonlinear_in_phi(self):
+        """Mid-alignment does not produce mid-amplitude (cos shape)."""
+        mid = LCResponseModel.optical_amplitude(np.array([0.25]))[0]
+        assert abs(mid - (-0.5)) > 0.1
+
+
+class TestParams:
+    def test_scaled_factors_all_time_constants(self):
+        p = LCParams().scaled(2.0)
+        base = LCParams()
+        assert p.tau_charge == pytest.approx(2 * base.tau_charge)
+        assert p.tau_discharge == pytest.approx(2 * base.tau_discharge)
+        assert p.tau_plateau == pytest.approx(2 * base.tau_plateau)
+        assert p.tau_stress == pytest.approx(2 * base.tau_stress)
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ValueError):
+            LCParams().scaled(0.0)
+
+    def test_pulse_response_validates(self):
+        with pytest.raises(ValueError):
+            LCResponseModel().pulse_response(0, 4, SLOT, FS)
+
+
+class TestEulerCrossCheck:
+    @settings(max_examples=5, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=100))
+    def test_closed_form_matches_euler(self, seed):
+        """The analytic segment solutions track a fine Euler integration."""
+        model = LCResponseModel()
+        p = model.params
+        rng = np.random.default_rng(seed)
+        drive = rng.integers(0, 2, 12, dtype=np.uint8)
+        fs_out = 20e3
+        analytic = model.simulate(drive[None, :], SLOT, fs_out)[0]
+        # Explicit Euler at 2 MHz.
+        dt = 5e-7
+        steps_per_slot = int(SLOT / dt)
+        phi = psi = 0.0
+        euler = []
+        out_stride = int(1 / (fs_out * dt))
+        k = 0
+        for bit in drive:
+            for i in range(steps_per_slot):
+                if bit:
+                    rate = (1 + p.charge_softness) / p.tau_charge
+                    phi += dt * (1 - phi) * (phi + p.charge_softness) * rate / (1 + p.charge_softness)
+                    psi += dt * (1 - psi) / p.tau_stress
+                else:
+                    gate = max(0.0, 1.0 - psi / p.psi_gate)
+                    phi -= dt * phi * (gate + p.leak) / p.tau_discharge
+                    psi -= dt * psi / p.tau_plateau
+                k += 1
+                if k % out_stride == 0:
+                    euler.append(phi)
+        euler = np.array(euler[: analytic.size])
+        np.testing.assert_allclose(analytic[: euler.size], euler, atol=2e-3)

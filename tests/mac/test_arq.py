@@ -1,0 +1,52 @@
+"""Stop-and-wait ARQ."""
+
+import pytest
+
+from repro.mac.arq import StopAndWaitARQ
+
+
+class TestAnalytic:
+    def test_perfect_link_one_attempt(self):
+        arq = StopAndWaitARQ()
+        assert arq.expected_attempts(1.0) == pytest.approx(1.0)
+        assert arq.delivery_probability(1.0) == pytest.approx(1.0)
+
+    def test_half_link_two_attempts(self):
+        arq = StopAndWaitARQ(max_attempts=100)
+        assert arq.expected_attempts(0.5) == pytest.approx(2.0, rel=1e-6)
+
+    def test_dead_link(self):
+        arq = StopAndWaitARQ(max_attempts=8)
+        assert arq.expected_attempts(0.0) == 8.0
+        assert arq.delivery_probability(0.0) == 0.0
+
+    def test_truncation_bounds_attempts(self):
+        arq = StopAndWaitARQ(max_attempts=3)
+        assert arq.expected_attempts(0.01) < 3.0 + 1e-9
+
+
+class TestMonteCarlo:
+    def test_simulation_matches_analytics(self):
+        arq = StopAndWaitARQ(max_attempts=8)
+        stats = arq.simulate(0.6, n_frames=4000, rng=1)
+        assert stats.mean_attempts == pytest.approx(arq.expected_attempts(0.6), rel=0.05)
+        assert stats.delivered / 4000 == pytest.approx(arq.delivery_probability(0.6), abs=0.02)
+
+    def test_gave_up_counted(self):
+        arq = StopAndWaitARQ(max_attempts=2)
+        stats = arq.simulate(0.1, n_frames=2000, rng=2)
+        assert stats.gave_up > 0
+        assert stats.delivered + stats.gave_up == 2000
+
+    def test_efficiency(self):
+        arq = StopAndWaitARQ()
+        stats = arq.simulate(1.0, n_frames=100, rng=3)
+        assert stats.efficiency() == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StopAndWaitARQ(max_attempts=0)
+        with pytest.raises(ValueError):
+            StopAndWaitARQ().simulate(1.5, 10)
+        with pytest.raises(ValueError):
+            StopAndWaitARQ().simulate(0.5, -1)

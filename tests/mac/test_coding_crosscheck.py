@@ -1,0 +1,50 @@
+"""Cross-validation: the MAC's analytic RS success model vs the real codec.
+
+Fig 18b's goodput curves rest on ``CodingOption.block_success`` (binomial
+over symbol errors).  This test drives the *actual* GF(256) Reed-Solomon
+codec through a binary-symmetric channel and checks the analytic model
+within Monte-Carlo error, so the MAC's database and the codec cannot
+silently drift apart.
+"""
+
+import numpy as np
+import pytest
+
+from repro.coding.reed_solomon import RSCodec, RSDecodeError
+from repro.mac.rate_adapt import CodingOption
+
+
+def measured_block_success(n: int, k: int, ber: float, n_trials: int, seed: int) -> float:
+    rng = np.random.default_rng(seed)
+    rs = RSCodec(n=n, k=k)
+    msg = rng.integers(0, 256, k, dtype=np.uint8).tobytes()
+    block = np.frombuffer(rs.encode(msg), dtype=np.uint8)
+    ok = 0
+    for _ in range(n_trials):
+        bits = np.unpackbits(block)
+        flips = rng.random(bits.size) < ber
+        corrupted = np.packbits(bits ^ flips.astype(np.uint8)).tobytes()
+        try:
+            decoded, _ = rs.decode(corrupted)
+            ok += decoded == msg
+        except RSDecodeError:
+            pass
+    return ok / n_trials
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize(
+    "ber,expect_band",
+    [
+        (1e-3, (0.95, 1.0)),    # comfortably within t
+        (2.2e-2, (0.1, 0.9)),   # the waterfall region (t/n ~ 17% symbol err)
+        (5e-2, (0.0, 0.05)),    # far beyond correction capability
+    ],
+)
+def test_analytic_matches_monte_carlo(ber, expect_band):
+    option = CodingOption(n=60, k=40)  # t = 10, small enough to Monte-Carlo
+    analytic = option.block_success(ber)
+    measured = measured_block_success(60, 40, ber, n_trials=150, seed=1)
+    lo, hi = expect_band
+    assert lo <= analytic <= hi
+    assert measured == pytest.approx(analytic, abs=0.12)

@@ -1,0 +1,44 @@
+"""Framed slotted-ALOHA tag discovery."""
+
+import pytest
+
+from repro.mac.discovery import FramedSlottedDiscovery
+
+
+class TestDiscovery:
+    def test_discovers_all_tags(self):
+        d = FramedSlottedDiscovery()
+        ids = list(range(37))
+        result = d.run(ids, rng=1)
+        assert sorted(result.discovered) == ids
+
+    def test_single_tag_fast(self):
+        result = FramedSlottedDiscovery().run([42], rng=2)
+        assert result.discovered == [42]
+        assert result.rounds <= 2
+
+    def test_empty_population(self):
+        result = FramedSlottedDiscovery().run([], rng=3)
+        assert result.discovered == []
+        assert result.rounds == 0
+
+    def test_large_population(self):
+        ids = list(range(150))
+        result = FramedSlottedDiscovery().run(ids, rng=4)
+        assert sorted(result.discovered) == ids
+
+    def test_efficiency_reasonable(self):
+        """Framed ALOHA peaks near 1/e tags per slot; adaptation should
+        keep us within a factor ~3 of that."""
+        result = FramedSlottedDiscovery().run(list(range(64)), rng=5)
+        assert result.efficiency > 0.36 / 3
+
+    def test_deterministic_given_seed(self):
+        a = FramedSlottedDiscovery().run(list(range(20)), rng=6)
+        b = FramedSlottedDiscovery().run(list(range(20)), rng=6)
+        assert a.slots_used == b.slots_used
+
+    def test_non_convergence_raises(self):
+        d = FramedSlottedDiscovery(initial_frame=2, max_rounds=1, max_frame=2)
+        with pytest.raises(RuntimeError):
+            d.run(list(range(50)), rng=7)

@@ -1,0 +1,65 @@
+"""Multi-tag network simulation (Fig 18c machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.mac.network import NetworkSimulator
+
+
+@pytest.fixture(scope="module")
+def sim() -> NetworkSimulator:
+    return NetworkSimulator()
+
+
+class TestDeployment:
+    def test_distances_in_range(self, sim):
+        tags = sim.deploy(50, rng=1)
+        for t in tags:
+            assert sim.min_distance_m <= t.distance_m <= sim.max_distance_m
+
+    def test_snr_range_matches_paper(self, sim):
+        """Paper: 1 m ~ 65 dB, 4.3 m ~ 14 dB (plus measurement jitter)."""
+        tags = sim.deploy(300, rng=2)
+        snrs = np.array([t.snr_db for t in tags])
+        assert snrs.max() <= 66.0 + 4 * sim.snr_noise_db
+        assert snrs.min() >= 13.0 - 4 * sim.snr_noise_db
+
+    def test_closer_is_stronger(self, sim):
+        tags = sorted(sim.deploy(100, rng=3), key=lambda t: t.distance_m)
+        near = np.mean([t.snr_db for t in tags[:20]])
+        far = np.mean([t.snr_db for t in tags[-20:]])
+        assert near > far + 10
+
+    def test_zero_tags_rejected(self, sim):
+        with pytest.raises(ValueError):
+            sim.deploy(0)
+
+
+class TestPolicies:
+    def test_single_tag_gain_is_one(self, sim):
+        result = sim.run(1, rng=4)
+        assert result.gain == pytest.approx(1.0)
+
+    def test_adaptive_never_loses(self, sim):
+        for seed in range(5):
+            result = sim.run(10, rng=10 + seed)
+            assert result.gain >= 1.0 - 1e-9
+
+    def test_gain_grows_with_population(self, sim):
+        curve = sim.gain_curve([1, 4, 30], n_runs=15, rng=5)
+        assert curve[1] == pytest.approx(1.0)
+        assert curve[1] < curve[4] < curve[30]
+
+    def test_hundred_tags_gain_near_paper(self, sim):
+        """Paper: ~3.7x at 100 tags; accept the right ballpark."""
+        curve = sim.gain_curve([100], n_runs=10, rng=6)
+        assert 2.0 < curve[100] < 6.0
+
+    def test_monte_carlo_agrees_with_analytic(self, sim):
+        analytic = sim.run(20, rng=7, monte_carlo=False)
+        measured = sim.run(20, rng=7, monte_carlo=True)
+        assert measured.gain == pytest.approx(analytic.gain, rel=0.35)
+
+    def test_discovery_runs(self, sim):
+        result = sim.run(25, rng=8)
+        assert result.discovery_slots >= 25

@@ -1,0 +1,59 @@
+"""TDMA scheduling with ARQ."""
+
+import pytest
+
+from repro.mac.protocol import TdmaScheduler
+from repro.mac.rate_adapt import default_profile
+
+
+@pytest.fixture(scope="module")
+def scheduler() -> TdmaScheduler:
+    return TdmaScheduler(default_profile(), payload_bytes=32)
+
+
+class TestAirtime:
+    def test_includes_overhead(self, scheduler):
+        choice = scheduler.profile.best_choice(60.0)
+        airtime = scheduler.frame_airtime_s(choice)
+        assert airtime > scheduler.overhead_s
+        payload_time = 32 * 8 / (choice.coding.code_rate * choice.rate.rate_bps)
+        assert airtime == pytest.approx(scheduler.overhead_s + payload_time)
+
+    def test_coding_inflates_airtime(self, scheduler):
+        profile = scheduler.profile
+        rate = profile.rates[-1]
+        from repro.mac.rate_adapt import CodingOption, RateChoice
+
+        raw = RateChoice(rate, CodingOption(255, 255), 0.0)
+        coded = RateChoice(rate, CodingOption(255, 127), 0.0)
+        assert scheduler.frame_airtime_s(coded) > scheduler.frame_airtime_s(raw)
+
+
+class TestRoundRobin:
+    def test_outcome_accounting(self, scheduler):
+        profile = scheduler.profile
+        assignments = {
+            0: (profile.best_choice(60.0), 60.0),
+            1: (profile.best_choice(20.0), 20.0),
+        }
+        outcomes = scheduler.run_round_robin(assignments, frames_per_tag=10, rng=1)
+        tags = {o.tag_id for o in outcomes}
+        assert tags == {0, 1}
+        for tag in tags:
+            delivered = sum(o.success for o in outcomes if o.tag_id == tag)
+            assert delivered <= 10
+
+    def test_good_link_rarely_retransmits(self, scheduler):
+        profile = scheduler.profile
+        assignments = {0: (profile.best_choice(65.0), 65.0)}
+        outcomes = scheduler.run_round_robin(assignments, frames_per_tag=20, rng=2)
+        assert len(outcomes) <= 22  # nearly one attempt per frame
+
+    def test_bad_link_retransmits(self, scheduler):
+        profile = scheduler.profile
+        # Assign a rate far above what this SNR supports.
+        choice = profile.best_choice(60.0)
+        assignments = {0: (choice, 5.0)}
+        outcomes = scheduler.run_round_robin(assignments, frames_per_tag=5, rng=3)
+        assert len(outcomes) == 5 * scheduler.arq.max_attempts
+        assert not any(o.success for o in outcomes)

@@ -1,0 +1,43 @@
+"""Closed-loop rate adaptation over the real PHY in both directions."""
+
+import pytest
+
+from repro.mac.session import LinkSession
+
+
+@pytest.mark.slow
+class TestLinkSession:
+    def test_near_tag_converges_high(self):
+        """At 1.5 m (huge SNR) the loop must climb well past the probe rate."""
+        session = LinkSession(distance_m=1.5, payload_bytes=12, raise_after=1, rng=3)
+        stats = session.run(n_rounds=8)
+        assert stats.final_rate_bps >= 8000
+        assert stats.delivered >= 6
+
+    def test_far_tag_stays_low(self):
+        """At 12 m only the slow rates survive; the loop must not camp on a
+        failing fast rate."""
+        session = LinkSession(distance_m=12.0, payload_bytes=12, rng=4)
+        stats = session.run(n_rounds=8)
+        assert stats.final_rate_bps <= 4000
+
+    def test_goodput_accounting(self):
+        session = LinkSession(distance_m=2.0, payload_bytes=12, raise_after=1, rng=5)
+        stats = session.run(n_rounds=6)
+        assert stats.goodput_bps(12) > 0
+        assert len(stats.rounds) == 6
+
+    def test_polls_actually_travel_the_downlink(self):
+        session = LinkSession(distance_m=2.0, payload_bytes=12, rng=6)
+        stats = session.run(n_rounds=4)
+        assert any(r.poll_delivered for r in stats.rounds)
+
+    def test_tag_keeps_rate_on_lost_poll(self):
+        """A corrupted poll must leave the tag at its previous rate."""
+        session = LinkSession(distance_m=2.0, payload_bytes=12, rng=7)
+        # Sabotage the downlink: drown it in noise.
+        session._downlink.snr_ref_db = -40.0
+        stats = session.run(n_rounds=4)
+        assert not any(r.poll_delivered for r in stats.rounds)
+        # Tag never moves off the probe rate.
+        assert all(r.tag_rate_bps == stats.rounds[0].tag_rate_bps for r in stats.rounds)

@@ -1,0 +1,123 @@
+"""Decision-feedback equalizer: correctness, beam width, merging."""
+
+import numpy as np
+import pytest
+
+from repro.channel.awgn import add_awgn
+from repro.modem.dfe import DFEDemodulator
+from repro.modem.references import assemble_waveform
+
+
+def emit_and_demod(bank, config, levels, k_branches=8, snr_db=None, rng=None, merge=True):
+    """Assemble a waveform (zero priming) and decode it back."""
+    li, lq = levels
+    prime_n = config.tail_memory * config.dsm_order
+    zeros = np.zeros(prime_n, dtype=int)
+    full_i = np.concatenate([zeros, li])
+    full_q = np.concatenate([zeros, lq])
+    wave = assemble_waveform(bank, full_i, full_q)
+    if snr_db is not None:
+        wave = add_awgn(wave, snr_db, reference_power=1.0, rng=rng)
+    z = wave[prime_n * config.samples_per_slot :]
+    dfe = DFEDemodulator(bank, k_branches=k_branches, merge=merge)
+    return dfe.demodulate(z, li.size, prime_levels=(zeros, zeros))
+
+
+def random_levels(config, n, seed):
+    rng = np.random.default_rng(seed)
+    m = config.levels_per_axis
+    return rng.integers(0, m, n), rng.integers(0, m, n)
+
+
+class TestNoiselessDecoding:
+    def test_exact_recovery(self, fast_bank, fast_config):
+        levels = random_levels(fast_config, 24, seed=1)
+        res = emit_and_demod(fast_bank, fast_config, levels)
+        np.testing.assert_array_equal(res.levels_i, levels[0])
+        np.testing.assert_array_equal(res.levels_q, levels[1])
+        assert res.mse < 1e-6
+
+    def test_default_config_exact_recovery(self, default_bank, default_config):
+        levels = random_levels(default_config, 32, seed=2)
+        res = emit_and_demod(default_bank, default_config, levels, k_branches=16)
+        np.testing.assert_array_equal(res.levels_i, levels[0])
+        np.testing.assert_array_equal(res.levels_q, levels[1])
+
+    def test_single_branch_noiseless_ok(self, fast_bank, fast_config):
+        """With zero noise even K=1 walks the right path."""
+        levels = random_levels(fast_config, 16, seed=3)
+        res = emit_and_demod(fast_bank, fast_config, levels, k_branches=1)
+        np.testing.assert_array_equal(res.levels_i, levels[0])
+
+
+class TestNoise:
+    def test_high_snr_error_free(self, fast_bank, fast_config):
+        levels = random_levels(fast_config, 40, seed=4)
+        res = emit_and_demod(fast_bank, fast_config, levels, snr_db=35.0, rng=5)
+        errors = np.count_nonzero(res.levels_i != levels[0]) + np.count_nonzero(
+            res.levels_q != levels[1]
+        )
+        assert errors == 0
+
+    def test_low_snr_makes_errors(self, fast_bank, fast_config):
+        levels = random_levels(fast_config, 60, seed=6)
+        res = emit_and_demod(fast_bank, fast_config, levels, snr_db=-10.0, rng=7)
+        errors = np.count_nonzero(res.levels_i != levels[0])
+        assert errors > 0
+
+    def test_wider_beam_no_worse(self, default_bank, default_config):
+        """K=16 must match or beat K=1 at moderate SNR (Fig 17a)."""
+        total = {1: 0, 16: 0}
+        for seed in range(4):
+            levels = random_levels(default_config, 48, seed=100 + seed)
+            for k in (1, 16):
+                res = emit_and_demod(
+                    default_bank, default_config, levels, k_branches=k,
+                    snr_db=21.0, rng=200 + seed,
+                )
+                total[k] += int(np.count_nonzero(res.levels_i != levels[0]))
+                total[k] += int(np.count_nonzero(res.levels_q != levels[1]))
+        assert total[16] <= total[1]
+
+
+class TestPriming:
+    def test_prime_levels_respected(self, fast_bank, fast_config):
+        """Decoding mid-stream works when primed with the true history."""
+        cfg = fast_config
+        m = cfg.levels_per_axis
+        rng = np.random.default_rng(8)
+        prime_n = cfg.tail_memory * cfg.dsm_order
+        pre = (rng.integers(0, m, prime_n), rng.integers(0, m, prime_n))
+        payload = random_levels(cfg, 20, seed=9)
+        full_i = np.concatenate([pre[0], payload[0]])
+        full_q = np.concatenate([pre[1], payload[1]])
+        wave = assemble_waveform(fast_bank, full_i, full_q)
+        z = wave[prime_n * cfg.samples_per_slot :]
+        dfe = DFEDemodulator(fast_bank, k_branches=8)
+        res = dfe.demodulate(z, payload[0].size, prime_levels=pre)
+        np.testing.assert_array_equal(res.levels_i, payload[0])
+        np.testing.assert_array_equal(res.levels_q, payload[1])
+
+    def test_wrong_prime_length_rejected(self, fast_bank, fast_config):
+        dfe = DFEDemodulator(fast_bank)
+        z = np.zeros(fast_config.samples_per_slot * 4, dtype=complex)
+        bad = (np.zeros(3, dtype=int), np.zeros(3, dtype=int))
+        with pytest.raises(ValueError):
+            dfe.demodulate(z, 4, prime_levels=bad)
+
+    def test_short_input_rejected(self, fast_bank):
+        dfe = DFEDemodulator(fast_bank)
+        with pytest.raises(ValueError):
+            dfe.demodulate(np.zeros(5, dtype=complex), 100)
+
+
+class TestMerging:
+    def test_merge_equals_no_merge_noiseless(self, fast_bank, fast_config):
+        levels = random_levels(fast_config, 20, seed=10)
+        a = emit_and_demod(fast_bank, fast_config, levels, merge=True)
+        b = emit_and_demod(fast_bank, fast_config, levels, merge=False)
+        np.testing.assert_array_equal(a.levels_i, b.levels_i)
+
+    def test_bad_k_rejected(self, fast_bank):
+        with pytest.raises(ValueError):
+            DFEDemodulator(fast_bank, k_branches=0)

@@ -1,0 +1,132 @@
+"""Property-based invariants of the equalizer and reference machinery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.channel.awgn import add_awgn
+from repro.modem.config import ModemConfig
+from repro.modem.dfe import DFEDemodulator
+from repro.modem.references import ReferenceBank, assemble_waveform
+
+# One small bank per (L, P) pair, collected lazily and reused.
+_BANKS: dict[tuple[int, int], ReferenceBank] = {}
+
+
+def bank_for(l_order: int, pqam: int) -> ReferenceBank:
+    key = (l_order, pqam)
+    if key not in _BANKS:
+        config = ModemConfig(
+            dsm_order=l_order,
+            pqam_order=pqam,
+            slot_s=4e-3 / l_order,
+            fs=l_order * 2.5e3,  # 10 samples per slot
+            tail_memory=2,
+        )
+        _BANKS[key] = ReferenceBank.nominal(config)
+    return _BANKS[key]
+
+
+def roundtrip(bank, levels_i, levels_q, k_branches=8, snr_db=None, rng=None):
+    cfg = bank.config
+    prime_n = cfg.tail_memory * cfg.dsm_order
+    zeros = np.zeros(prime_n, dtype=int)
+    wave = assemble_waveform(
+        bank,
+        np.concatenate([zeros, levels_i]),
+        np.concatenate([zeros, levels_q]),
+    )
+    if snr_db is not None:
+        wave = add_awgn(wave, snr_db, reference_power=1.0, rng=rng)
+    z = wave[prime_n * cfg.samples_per_slot :]
+    dfe = DFEDemodulator(bank, k_branches=k_branches)
+    return dfe.demodulate(z, levels_i.size, prime_levels=(zeros, zeros))
+
+
+class TestNoiselessRoundTrip:
+    @settings(max_examples=12, deadline=None)
+    @given(
+        l_order=st.sampled_from([2, 4]),
+        pqam=st.sampled_from([4, 16]),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_any_config_any_data(self, l_order, pqam, seed):
+        """Noiseless self-consistent decode is exact for every operating
+        point and data sequence."""
+        bank = bank_for(l_order, pqam)
+        m = bank.config.levels_per_axis
+        rng = np.random.default_rng(seed)
+        li = rng.integers(0, m, 3 * l_order + 1)
+        lq = rng.integers(0, m, 3 * l_order + 1)
+        res = roundtrip(bank, li, lq)
+        np.testing.assert_array_equal(res.levels_i, li)
+        np.testing.assert_array_equal(res.levels_q, lq)
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_beam_width_irrelevant_without_noise(self, seed):
+        bank = bank_for(2, 4)
+        m = bank.config.levels_per_axis
+        rng = np.random.default_rng(seed)
+        li = rng.integers(0, m, 10)
+        lq = rng.integers(0, m, 10)
+        narrow = roundtrip(bank, li, lq, k_branches=1)
+        wide = roundtrip(bank, li, lq, k_branches=16)
+        np.testing.assert_array_equal(narrow.levels_i, wide.levels_i)
+        np.testing.assert_array_equal(narrow.levels_q, wide.levels_q)
+
+
+class TestReferenceLinearity:
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_waveform_superposition(self, seed):
+        """Channel-I-only plus channel-Q-only equals joint (linearity of
+        the superimposed pulses, the paper's core physical assumption)."""
+        bank = bank_for(2, 4)
+        cfg = bank.config
+        m = cfg.levels_per_axis
+        rng = np.random.default_rng(seed)
+        n = 8
+        li = rng.integers(0, m, n)
+        lq = rng.integers(0, m, n)
+        zeros = np.zeros(n, dtype=int)
+        joint = assemble_waveform(bank, li, lq)
+        only_i = assemble_waveform(bank, li, zeros)
+        only_q = assemble_waveform(bank, zeros, lq)
+        rest = assemble_waveform(bank, zeros, zeros)
+        np.testing.assert_allclose(joint, only_i + only_q - rest, atol=1e-12)
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        scale=st.floats(min_value=0.2, max_value=3.0),
+    )
+    def test_coefficient_scaling(self, seed, scale):
+        """Scaling every group coefficient scales the whole waveform."""
+        config = ModemConfig(dsm_order=2, pqam_order=4, slot_s=2e-3, fs=5e3)
+        bank = ReferenceBank.nominal(config)
+        m = config.levels_per_axis
+        rng = np.random.default_rng(seed)
+        li = rng.integers(0, m, 6)
+        lq = rng.integers(0, m, 6)
+        base = assemble_waveform(bank, li, lq)
+        bank.set_coefficients(
+            {(ch, gi): scale for ch in (0, 1) for gi in range(config.dsm_order)}
+        )
+        scaled = assemble_waveform(bank, li, lq)
+        np.testing.assert_allclose(scaled, scale * base, atol=1e-9)
+
+
+class TestGrayRobustness:
+    def test_single_level_error_costs_one_bit(self):
+        """Nearest-neighbour level slips cost exactly one payload bit."""
+        from repro.modem.symbols import PQAMConstellation
+
+        c = PQAMConstellation(16)
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            li, lq = c.random_levels(1, rng)
+            bits = c.levels_to_bits(li, lq)
+            slip = int(li[0]) + (1 if li[0] < 3 else -1)
+            bits2 = c.levels_to_bits(np.array([slip]), lq)
+            assert int(np.sum(bits != bits2)) == 1

@@ -1,0 +1,59 @@
+"""Basic (non-overlapped) DSM."""
+
+import numpy as np
+import pytest
+
+from repro.channel.awgn import add_awgn
+from repro.lcm.array import LCMArray
+from repro.modem.dsm import BasicDSMModem, basic_dsm_rate
+
+
+@pytest.fixture(scope="module")
+def modem() -> BasicDSMModem:
+    return BasicDSMModem(LCMArray.build(4, 4), slot_s=0.5e-3, tau0_s=3.5e-3, fs=20e3)
+
+
+class TestRateFormula:
+    def test_paper_formula(self):
+        """rate = L / (L*T + tau0)."""
+        assert basic_dsm_rate(8, 0.5e-3, 3.5e-3) == pytest.approx(8 / 7.5e-3)
+
+    def test_rate_converges_to_slot_rate(self):
+        """For large L the tau0 overhead amortises toward 1/T."""
+        assert basic_dsm_rate(1000, 0.5e-3, 3.5e-3) == pytest.approx(2000.0, rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            basic_dsm_rate(0, 1e-3, 1e-3)
+
+    def test_modem_rate(self, modem):
+        # L=4, T=0.5 ms, guard ceil(3.5/0.5)=7 slots -> 4 bits / 5.5 ms.
+        assert modem.rate_bps == pytest.approx(4 / 5.5e-3)
+
+
+class TestRoundTrip:
+    def test_noiseless(self, modem):
+        rng = np.random.default_rng(0)
+        bits = rng.integers(0, 2, 24, dtype=np.uint8)
+        x = modem.modulate(bits)
+        np.testing.assert_array_equal(modem.demodulate(x, bits.size), bits)
+
+    def test_all_ones(self, modem):
+        bits = np.ones(8, dtype=np.uint8)
+        x = modem.modulate(bits)
+        np.testing.assert_array_equal(modem.demodulate(x, 8), bits)
+
+    def test_all_zeros(self, modem):
+        bits = np.zeros(8, dtype=np.uint8)
+        x = modem.modulate(bits)
+        np.testing.assert_array_equal(modem.demodulate(x, 8), bits)
+
+    def test_with_noise(self, modem):
+        rng = np.random.default_rng(1)
+        bits = rng.integers(0, 2, 24, dtype=np.uint8)
+        x = add_awgn(modem.modulate(bits), 25.0, reference_power=1.0, rng=rng)
+        assert np.count_nonzero(modem.demodulate(x, bits.size) != bits) == 0
+
+    def test_non_multiple_rejected(self, modem):
+        with pytest.raises(ValueError):
+            modem.modulate(np.ones(5, dtype=np.uint8))

@@ -1,0 +1,103 @@
+"""DSM-PQAM drive-schedule generation."""
+
+import numpy as np
+import pytest
+
+from repro.lcm.array import LCMArray
+from repro.modem.dsm_pqam import DsmPqamModulator
+
+
+@pytest.fixture(scope="module")
+def modulator(fast_config, fast_array) -> DsmPqamModulator:
+    return DsmPqamModulator(fast_config, fast_array)
+
+
+class TestScheduleStructure:
+    def test_one_group_fires_per_slot_per_channel(self, modulator, fast_config):
+        m = fast_config.levels_per_axis
+        n = 8
+        levels = np.full(n, m - 1)
+        drive = modulator.drive_for_levels(levels, levels)
+        array = modulator.array
+        cfg = fast_config
+        for slot in range(n):
+            for channel in ("I", "Q"):
+                for g in array.groups_on(channel):
+                    rows = array.pixel_slice(g)
+                    fired = drive[rows, slot].any()
+                    assert fired == (slot % cfg.dsm_order == g.index)
+
+    def test_level_selects_binary_subset(self, modulator, fast_config):
+        levels_i = np.array([1, 0])
+        levels_q = np.array([0, 0])
+        drive = modulator.drive_for_levels(levels_i, levels_q)
+        g0 = modulator.array.groups_on("I")[0]
+        rows = modulator.array.pixel_slice(g0)
+        np.testing.assert_array_equal(drive[rows, 0], g0.level_to_drive(1))
+
+    def test_level_zero_means_idle(self, modulator):
+        drive = modulator.drive_for_levels(np.zeros(6, dtype=int), np.zeros(6, dtype=int))
+        assert not drive.any()
+
+    def test_each_pixel_charges_at_most_one_slot_per_round(self, modulator, fast_config):
+        rng = np.random.default_rng(0)
+        m = fast_config.levels_per_axis
+        n = 4 * fast_config.dsm_order
+        drive = modulator.drive_for_levels(
+            rng.integers(0, m, n), rng.integers(0, m, n)
+        )
+        # Every pixel gets exactly one charging opportunity per L slots.
+        for row in drive:
+            for start in range(0, n, fast_config.dsm_order):
+                assert row[start : start + fast_config.dsm_order].sum() <= 1
+
+    def test_level_out_of_range_rejected(self, modulator, fast_config):
+        m = fast_config.levels_per_axis
+        with pytest.raises(ValueError):
+            modulator.drive_for_levels(np.array([m]), np.array([0]))
+
+    def test_mismatched_lengths_rejected(self, modulator):
+        with pytest.raises(ValueError):
+            modulator.drive_for_levels(np.array([0, 1]), np.array([0]))
+
+
+class TestConstruction:
+    def test_wrong_group_count_rejected(self, fast_config):
+        from repro.modem.config import ModemConfig
+
+        big = ModemConfig(dsm_order=4, pqam_order=4, slot_s=1e-3, fs=20e3)
+        array = LCMArray.build(fast_config.dsm_order, fast_config.levels_per_axis)
+        with pytest.raises(ValueError):
+            DsmPqamModulator(big, array)
+
+    def test_wrong_levels_rejected(self, fast_config):
+        array16 = LCMArray.build(fast_config.dsm_order, 16)
+        with pytest.raises(ValueError):
+            DsmPqamModulator(fast_config, array16)
+
+
+class TestWaveform:
+    def test_waveform_length(self, modulator, fast_config):
+        u = modulator.waveform_for_levels(np.zeros(10, dtype=int), np.zeros(10, dtype=int))
+        assert u.size == 10 * fast_config.samples_per_slot
+
+    def test_modulate_bits_round_count(self, modulator, fast_config):
+        bits = np.zeros(4 * fast_config.bits_per_symbol, dtype=np.uint8)
+        u = modulator.modulate_bits(bits)
+        assert u.size == 4 * fast_config.samples_per_slot
+
+    def test_slots_for_bits(self, modulator, fast_config):
+        assert modulator.slots_for_bits(4 * fast_config.bits_per_symbol) == 4
+        with pytest.raises(ValueError):
+            modulator.slots_for_bits(fast_config.bits_per_symbol + 1)
+
+    def test_higher_level_stronger_signal(self):
+        from repro.modem.config import ModemConfig
+
+        cfg = ModemConfig(dsm_order=2, pqam_order=16, slot_s=2.0e-3, fs=10e3)
+        modulator = DsmPqamModulator(cfg, LCMArray.build(2, 4))
+        zeros = np.zeros(4, dtype=int)
+        rest = modulator.waveform_for_levels(zeros, zeros)
+        lo = modulator.waveform_for_levels(np.array([1, 0, 0, 0]), zeros)
+        hi = modulator.waveform_for_levels(np.array([3, 0, 0, 0]), zeros)
+        assert np.abs(hi - rest).max() > 1.5 * np.abs(lo - rest).max()

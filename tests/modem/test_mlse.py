@@ -1,0 +1,81 @@
+"""Viterbi/MLSE: equivalence with the merged wide-beam DFE."""
+
+import numpy as np
+import pytest
+
+from repro.channel.awgn import add_awgn
+from repro.modem.config import ModemConfig
+from repro.modem.dfe import DFEDemodulator
+from repro.modem.mlse import ViterbiDemodulator
+from repro.modem.references import ReferenceBank, assemble_waveform
+
+
+@pytest.fixture(scope="module")
+def small_config() -> ModemConfig:
+    # V=1, L=2, P=4 -> 4^1 = 4 trellis states: tiny but a genuine trellis.
+    return ModemConfig(dsm_order=2, pqam_order=4, slot_s=2.0e-3, fs=10e3, tail_memory=1)
+
+
+@pytest.fixture(scope="module")
+def small_bank(small_config) -> ReferenceBank:
+    return ReferenceBank.nominal(small_config)
+
+
+def run(demod, bank, config, levels, snr_db, rng):
+    li, lq = levels
+    prime_n = max(config.tail_memory, 1) * config.dsm_order
+    zeros = np.zeros(prime_n, dtype=int)
+    wave = assemble_waveform(
+        bank, np.concatenate([zeros, li]), np.concatenate([zeros, lq])
+    )
+    noisy = add_awgn(wave, snr_db, reference_power=1.0, rng=rng)
+    z = noisy[prime_n * config.samples_per_slot :]
+    return demod.demodulate(z, li.size, prime_levels=(zeros, zeros))
+
+
+class TestConstruction:
+    def test_state_count(self, small_bank):
+        v = ViterbiDemodulator(small_bank)
+        assert v.n_states == 4
+
+    def test_oversized_config_rejected(self, default_bank):
+        """The paper's point: exact Viterbi is intractable at P=16, L=8."""
+        with pytest.raises(ValueError):
+            ViterbiDemodulator(default_bank)
+
+
+class TestOptimality:
+    def test_noiseless_exact(self, small_bank, small_config):
+        rng = np.random.default_rng(1)
+        m = small_config.levels_per_axis
+        levels = (rng.integers(0, m, 30), rng.integers(0, m, 30))
+        res = run(ViterbiDemodulator(small_bank), small_bank, small_config, levels, 80.0, 2)
+        np.testing.assert_array_equal(res.levels_i, levels[0])
+
+    def test_viterbi_equals_exhaustive_dfe(self, small_bank, small_config):
+        """K = P^memory merged DFE *is* Viterbi — identical decisions."""
+        rng = np.random.default_rng(3)
+        m = small_config.levels_per_axis
+        for seed in range(3):
+            levels = (rng.integers(0, m, 24), rng.integers(0, m, 24))
+            vit = run(
+                ViterbiDemodulator(small_bank), small_bank, small_config, levels, 8.0, 40 + seed
+            )
+            wide = run(
+                DFEDemodulator(small_bank, k_branches=4, merge=True, merge_memory=1),
+                small_bank, small_config, levels, 8.0, 40 + seed,
+            )
+            np.testing.assert_array_equal(vit.levels_i, wide.levels_i)
+            np.testing.assert_array_equal(vit.levels_q, wide.levels_q)
+
+    def test_viterbi_no_worse_than_single_branch(self, small_bank, small_config):
+        rng = np.random.default_rng(5)
+        m = small_config.levels_per_axis
+        vit_err = dfe_err = 0
+        for seed in range(5):
+            levels = (rng.integers(0, m, 40), rng.integers(0, m, 40))
+            vit = run(ViterbiDemodulator(small_bank), small_bank, small_config, levels, 6.0, seed)
+            one = run(DFEDemodulator(small_bank, k_branches=1), small_bank, small_config, levels, 6.0, seed)
+            vit_err += int(np.count_nonzero(vit.levels_i != levels[0]))
+            dfe_err += int(np.count_nonzero(one.levels_i != levels[0]))
+        assert vit_err <= dfe_err

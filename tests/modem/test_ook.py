@@ -1,0 +1,52 @@
+"""Trend-OOK baseline."""
+
+import numpy as np
+import pytest
+
+from repro.channel.awgn import add_awgn
+from repro.lcm.array import LCMArray
+from repro.modem.ook import TrendOOKModem
+
+
+@pytest.fixture(scope="module")
+def modem() -> TrendOOKModem:
+    return TrendOOKModem(LCMArray.build(2, 4), symbol_s=4e-3, fs=10e3)
+
+
+class TestRate:
+    def test_paper_baseline_rate(self, modem):
+        """250 bps at 4 ms symbols — the 32x/128x reference point."""
+        assert modem.rate_bps == pytest.approx(250.0)
+
+    def test_bad_symbol_duration(self):
+        with pytest.raises(ValueError):
+            TrendOOKModem(LCMArray.build(2, 4), symbol_s=0.0)
+
+
+class TestRoundTrip:
+    def test_alternating_bits(self, modem):
+        bits = np.array([1, 0, 1, 0, 1, 0, 1, 0], dtype=np.uint8)
+        x = modem.modulate(bits)
+        np.testing.assert_array_equal(modem.demodulate(x, bits.size), bits)
+
+    def test_runs_of_identical_bits(self, modem):
+        bits = np.array([1, 1, 1, 0, 0, 0, 1, 1, 0], dtype=np.uint8)
+        x = modem.modulate(bits)
+        np.testing.assert_array_equal(modem.demodulate(x, bits.size), bits)
+
+    def test_random_bits_noiseless(self, modem):
+        rng = np.random.default_rng(0)
+        bits = rng.integers(0, 2, 40, dtype=np.uint8)
+        x = modem.modulate(bits)
+        np.testing.assert_array_equal(modem.demodulate(x, bits.size), bits)
+
+    def test_moderate_noise_ok(self, modem):
+        rng = np.random.default_rng(1)
+        bits = rng.integers(0, 2, 40, dtype=np.uint8)
+        x = add_awgn(modem.modulate(bits), 20.0, reference_power=2.0, rng=rng)
+        out = modem.demodulate(x, bits.size)
+        assert np.count_nonzero(out != bits) <= 1
+
+    def test_short_input_rejected(self, modem):
+        with pytest.raises(ValueError):
+            modem.demodulate(np.zeros(10, dtype=complex), 100)

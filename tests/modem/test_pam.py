@@ -1,0 +1,71 @@
+"""Multi-pixel PAM baseline."""
+
+import numpy as np
+import pytest
+
+from repro.channel.awgn import add_awgn
+from repro.lcm.array import LCMArray
+from repro.modem.pam import MultiPixelPAMModem
+
+
+@pytest.fixture(scope="module")
+def modem() -> MultiPixelPAMModem:
+    return MultiPixelPAMModem(LCMArray.build(2, 16), symbol_s=4e-3, fs=10e3)
+
+
+class TestRate:
+    def test_rate_formula(self, modem):
+        """M bits per W: 4 bits / 4 ms = 1 Kbps for 16 levels."""
+        assert modem.bits_per_symbol == 4
+        assert modem.rate_bps == pytest.approx(1000.0)
+
+    def test_beats_ook_spectral_efficiency(self, modem):
+        assert modem.rate_bps > 250.0
+
+
+class TestCalibration:
+    def test_levels_monotone(self, modem):
+        table = modem.calibrate()
+        assert np.all(np.diff(table) > 0)
+
+    def test_extremes_span_group_swing(self, modem):
+        """One group of the two on the axis swings half the channel range:
+        from both-at-rest (-1) to one-fully-charged (0)."""
+        table = modem.calibrate()
+        assert table[0] == pytest.approx(-1.0, abs=0.05)
+        assert table[-1] == pytest.approx(0.0, abs=0.05)
+        assert table[-1] - table[0] > 0.8
+
+
+class TestRoundTrip:
+    def test_all_levels_noiseless(self, modem):
+        levels = np.arange(16)
+        x = modem.modulate_levels(levels)
+        m = modem.bits_per_symbol
+        bits = modem.demodulate(x, levels.size)
+        decoded = bits.reshape(-1, m) @ (1 << np.arange(m - 1, -1, -1))
+        np.testing.assert_array_equal(decoded, levels)
+
+    def test_bits_round_trip(self, modem):
+        rng = np.random.default_rng(0)
+        bits = rng.integers(0, 2, 48, dtype=np.uint8)
+        x = modem.modulate(bits)
+        np.testing.assert_array_equal(modem.demodulate(x, 12), bits)
+
+    def test_high_snr_with_noise(self, modem):
+        rng = np.random.default_rng(1)
+        bits = rng.integers(0, 2, 32, dtype=np.uint8)
+        x = add_awgn(modem.modulate(bits), 35.0, reference_power=0.5, rng=rng)
+        assert np.count_nonzero(modem.demodulate(x, 8) != bits) == 0
+
+    def test_wrong_bit_count_rejected(self, modem):
+        with pytest.raises(ValueError):
+            modem.modulate(np.ones(5, dtype=np.uint8))
+
+    def test_channel_q_uses_other_axis(self):
+        modem_q = MultiPixelPAMModem(LCMArray.build(2, 16), symbol_s=4e-3, fs=10e3, channel="Q")
+        levels = np.array([0, 15, 7])
+        x = modem_q.modulate_levels(levels)
+        bits = modem_q.demodulate(x, 3)
+        decoded = bits.reshape(-1, 4) @ (1 << np.arange(3, -1, -1))
+        np.testing.assert_array_equal(decoded, levels)

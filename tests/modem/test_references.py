@@ -1,0 +1,125 @@
+"""Reference bank: pulse assembly must match ground-truth emission."""
+
+import numpy as np
+import pytest
+
+from repro.lcm.array import LCMArray
+from repro.modem.dsm_pqam import DsmPqamModulator
+from repro.modem.references import ReferenceBank, assemble_waveform, collect_unit_table
+
+
+class TestUnitTable:
+    def test_complete(self, fast_config):
+        table = collect_unit_table(fast_config)
+        assert table.is_complete()
+        assert table.chunk_len == fast_config.samples_per_symbol
+
+    def test_zero_context_is_rest(self, fast_config):
+        table = collect_unit_table(fast_config)
+        np.testing.assert_allclose(table.chunks[0], -1.0, atol=0.01)
+
+
+class TestPulseAssembly:
+    def test_cache_returns_same_object(self, fast_bank):
+        a = fast_bank.pulse(0, 0, 1, ())
+        b = fast_bank.pulse(0, 0, 1, ())
+        assert a is b
+
+    def test_pulse_length(self, fast_bank, fast_config):
+        assert fast_bank.pulse(0, 0, 1, ()).size == fast_config.samples_per_symbol
+
+    def test_q_channel_rotated_by_j(self, fast_bank):
+        """Paper §4.2.3: p_I(t) and p_Q(t) differ by the factor j."""
+        pi = fast_bank.pulse(0, 0, 1, ())
+        pq = fast_bank.pulse(1, 0, 1, ())
+        np.testing.assert_allclose(pq, 1j * pi, atol=1e-12)
+
+    def test_level_zero_pulse_is_rest(self, fast_bank, fast_config):
+        pulse = fast_bank.pulse(0, 0, 0, (0,) * (fast_config.tail_memory - 1))
+        group_rest = -sum(fast_bank.group(0, 0).area_fracs)
+        np.testing.assert_allclose(pulse, group_rest, atol=0.01)
+
+    def test_history_changes_pulse(self, fast_bank, fast_config):
+        m = fast_config.levels_per_axis
+        fresh = fast_bank.pulse(0, 0, m - 1, (0,))
+        reused = fast_bank.pulse(0, 0, m - 1, (m - 1,))
+        assert not np.allclose(fresh, reused, atol=1e-4)
+
+    def test_pulse_stack_consistent(self, fast_bank, fast_config):
+        stack = fast_bank.pulse_stack(0, 0, (0,))
+        for lvl in range(fast_config.levels_per_axis):
+            np.testing.assert_array_equal(stack[lvl], fast_bank.pulse(0, 0, lvl, (0,)))
+
+    def test_set_coefficients_scales(self, fast_config):
+        bank = ReferenceBank.nominal(fast_config)
+        before = bank.pulse(0, 0, 1, ()).copy()
+        bank.set_coefficients({(0, 0): 2.0 + 0.0j})
+        np.testing.assert_allclose(bank.pulse(0, 0, 1, ()), 2.0 * before)
+
+
+class TestAssembleWaveform:
+    def test_matches_ground_truth_emission(self, fast_config, fast_bank, fast_array):
+        """The fingerprint-model waveform tracks the ODE waveform closely."""
+        modulator = DsmPqamModulator(fast_config, fast_array)
+        rng = np.random.default_rng(3)
+        m = fast_config.levels_per_axis
+        n = 12 * fast_config.dsm_order
+        li = rng.integers(0, m, n)
+        lq = rng.integers(0, m, n)
+        truth = modulator.waveform_for_levels(li, lq)
+        approx = assemble_waveform(fast_bank, li, lq)
+        err = np.sqrt(np.mean(np.abs(truth - approx) ** 2))
+        assert err < 0.02
+
+    def test_rest_sequence_is_pedestal(self, fast_bank):
+        z = assemble_waveform(
+            fast_bank, np.zeros(8, dtype=int), np.zeros(8, dtype=int)
+        )
+        np.testing.assert_allclose(z, -1.0 - 1.0j, atol=0.03)
+
+    def test_preceding_levels_change_start(self, fast_bank, fast_config):
+        m = fast_config.levels_per_axis
+        li = np.zeros(4, dtype=int)
+        cold = assemble_waveform(fast_bank, li, li)
+        pre = (np.full(2 * fast_config.dsm_order, m - 1), np.full(2 * fast_config.dsm_order, m - 1))
+        warm = assemble_waveform(fast_bank, li, li, preceding=pre)
+        assert not np.allclose(cold[: fast_config.samples_per_slot], warm[: fast_config.samples_per_slot], atol=1e-3)
+
+    def test_mismatched_levels_rejected(self, fast_bank):
+        with pytest.raises(ValueError):
+            assemble_waveform(fast_bank, np.zeros(3, dtype=int), np.zeros(4, dtype=int))
+
+
+class TestGenie:
+    def test_genie_matches_heterogeneous_array(self, fast_config):
+        from repro.lcm.heterogeneity import HeterogeneityModel
+
+        array = LCMArray.build(
+            fast_config.dsm_order,
+            fast_config.levels_per_axis,
+            heterogeneity=HeterogeneityModel(),
+            rng=5,
+        )
+        bank = ReferenceBank.genie(fast_config, array)
+        modulator = DsmPqamModulator(fast_config, array)
+        rng = np.random.default_rng(6)
+        m = fast_config.levels_per_axis
+        n = 8 * fast_config.dsm_order
+        li = rng.integers(0, m, n)
+        lq = rng.integers(0, m, n)
+        truth = modulator.waveform_for_levels(li, lq)
+        approx = assemble_waveform(bank, li, lq)
+        err = np.sqrt(np.mean(np.abs(truth - approx) ** 2))
+        assert err < 0.02
+
+
+class TestValidation:
+    def test_wrong_group_count_rejected(self, fast_config, fast_bank):
+        groups = fast_bank.groups[:-1]
+        with pytest.raises(ValueError):
+            ReferenceBank(fast_config, groups)
+
+    def test_duplicate_group_rejected(self, fast_config, fast_bank):
+        groups = fast_bank.groups[:-1] + [fast_bank.groups[0]]
+        with pytest.raises(ValueError):
+            ReferenceBank(fast_config, groups)

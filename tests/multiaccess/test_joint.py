@@ -1,0 +1,94 @@
+"""Joint receiver: sounding, zero-forcing, concurrent decoding."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.multiaccess import concurrent_uplink_study
+from repro.modem.config import ModemConfig
+from repro.modem.references import ReferenceBank
+from repro.multiaccess.joint import JointReceiver
+
+FAST = ModemConfig(dsm_order=2, pqam_order=4, slot_s=2.0e-3, fs=10e3)
+
+
+@pytest.fixture(scope="module")
+def bank():
+    return ReferenceBank.nominal(FAST)
+
+
+@pytest.fixture(scope="module")
+def receiver(bank):
+    return JointReceiver([bank, bank], k_branches=8)
+
+
+class TestSeparation:
+    def test_identity_channel_passthrough(self, receiver):
+        y = np.stack([np.ones(10, dtype=complex), 2j * np.ones(10, dtype=complex)])
+        u = receiver.separate(y, np.eye(2, dtype=complex))
+        np.testing.assert_allclose(u, y)
+
+    def test_inverts_known_mixing(self, receiver):
+        h = np.array([[1.0, 0.5], [0.2, 1.5], [0.9, 0.9j]], dtype=complex)
+        u_true = np.stack(
+            [np.exp(1j * np.arange(20) / 3), np.exp(-1j * np.arange(20) / 5)]
+        )
+        u_hat = receiver.separate(h @ u_true, h)
+        np.testing.assert_allclose(u_hat, u_true, atol=1e-9)
+
+    def test_underdetermined_rejected(self, receiver):
+        with pytest.raises(ValueError):
+            receiver.separate(np.ones((1, 10), dtype=complex), np.ones((1, 2), dtype=complex))
+
+
+class TestSounding:
+    def test_bursts_distinct_per_tag(self, receiver):
+        bursts = receiver.sounding_waveforms(n_slots=8)
+        assert len(bursts) == 2
+        assert not np.allclose(bursts[0], bursts[1])
+
+    def test_channel_estimate_accuracy(self, receiver):
+        from repro.multiaccess.channel import MultiAccessChannel
+
+        h_true = np.array([[1.0, 0.3], [0.4, 0.9], [0.8, 0.5]], dtype=complex) * np.exp(0.4j)
+        channel = MultiAccessChannel(h=h_true, snr_db=60.0)
+        bursts = receiver.sounding_waveforms(n_slots=8)
+        rest = np.full(bursts[0].size, -1.0 - 1.0j)
+        captures = []
+        for m in range(2):
+            waves = np.stack([bursts[m] if k == m else rest for k in range(2)])
+            captures.append(channel.transmit(waves, rng=m))
+        h_est = receiver.estimate_channel(captures, bursts)
+        assert np.linalg.norm(h_est - h_true) / np.linalg.norm(h_true) < 0.02
+
+    def test_capture_count_validated(self, receiver):
+        with pytest.raises(ValueError):
+            receiver.estimate_channel([np.zeros((2, 10))], [np.zeros(10)] * 2)
+
+
+class TestEndToEnd:
+    def test_two_tags_decoded_concurrently(self):
+        result = concurrent_uplink_study(
+            n_tags=2, n_apertures=3, snr_db=45.0, n_symbols=48, config=FAST, k_branches=8, rng=71
+        )
+        assert all(b == 0.0 for b in result.per_tag_ber)
+        assert result.channel_error < 0.05
+        assert result.aggregate_rate_multiple == 2.0
+
+    def test_three_tags_with_four_apertures(self):
+        result = concurrent_uplink_study(
+            n_tags=3, n_apertures=4, snr_db=50.0, n_symbols=32, config=FAST, k_branches=8, rng=72
+        )
+        assert all(b < 0.05 for b in result.per_tag_ber)
+
+    def test_low_snr_degrades(self):
+        good = concurrent_uplink_study(
+            n_tags=2, n_apertures=3, snr_db=45.0, n_symbols=48, config=FAST, k_branches=8, rng=73
+        )
+        bad = concurrent_uplink_study(
+            n_tags=2, n_apertures=3, snr_db=0.0, n_symbols=48, config=FAST, k_branches=8, rng=73
+        )
+        assert sum(bad.per_tag_ber) > sum(good.per_tag_ber)
+
+    def test_empty_banks_rejected(self):
+        with pytest.raises(ValueError):
+            JointReceiver([])

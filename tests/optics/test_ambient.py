@@ -1,0 +1,71 @@
+"""Ambient light and human-mobility models."""
+
+import numpy as np
+import pytest
+
+from repro.optics.ambient import AMBIENT_PRESETS, AmbientLight, HumanMobility, MOBILITY_CASES
+
+
+class TestAmbientLight:
+    def test_presets_match_paper_lux(self):
+        assert AMBIENT_PRESETS["dark"].lux == 20.0
+        assert AMBIENT_PRESETS["night"].lux == 200.0
+        assert AMBIENT_PRESETS["day"].lux == 1000.0
+
+    def test_noise_factor_grows_with_lux(self):
+        assert (
+            AMBIENT_PRESETS["day"].noise_power_factor()
+            > AMBIENT_PRESETS["dark"].noise_power_factor()
+        )
+
+    def test_penalty_is_small_indoors(self):
+        """Fig 16d: BER flat across indoor conditions -> sub-dB penalties."""
+        assert AMBIENT_PRESETS["day"].snr_penalty_db() < 1.5
+
+    def test_zero_lux_no_penalty(self):
+        assert AmbientLight(lux=0.0).snr_penalty_db() == pytest.approx(0.0)
+
+    def test_indoor_never_saturates(self):
+        assert not AMBIENT_PRESETS["day"].saturated
+
+    def test_direct_sun_saturates(self):
+        assert AmbientLight(lux=100_000).saturated
+
+    def test_negative_lux_rejected(self):
+        with pytest.raises(ValueError):
+            AmbientLight(lux=-1.0)
+
+
+class TestHumanMobility:
+    def test_no_human_profile_flat(self):
+        p = MOBILITY_CASES["no_human"].amplitude_profile(1000, 1e3, rng=1)
+        np.testing.assert_array_equal(p, np.ones(1000))
+
+    def test_profile_bounded(self):
+        for case in MOBILITY_CASES.values():
+            p = case.amplitude_profile(40_000, 40e3, rng=2)
+            assert p.min() >= 1.0 - case.depth - 1e-9
+            assert p.max() <= 1.0
+
+    def test_shadowing_episodes_occur(self):
+        case = MOBILITY_CASES["three_walk_around_los"]
+        p = case.amplitude_profile(400_000, 40e3, rng=3)  # 10 s
+        assert p.min() < 1.0
+
+    def test_dips_are_shallow(self):
+        """Retroreflective links only graze: all Table 4 cases < 15% dips."""
+        for case in MOBILITY_CASES.values():
+            assert case.depth < 0.15
+
+    def test_bad_depth_rejected(self):
+        with pytest.raises(ValueError):
+            HumanMobility(depth=1.0)
+
+    def test_deterministic_profile(self):
+        case = MOBILITY_CASES["walk_10cm_off_los"]
+        a = case.amplitude_profile(10_000, 40e3, rng=5)
+        b = case.amplitude_profile(10_000, 40e3, rng=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_five_paper_cases_present(self):
+        assert len(MOBILITY_CASES) == 5

@@ -1,0 +1,81 @@
+"""Link geometry: FoV, yaw gain cliff, per-packet yaw spread."""
+
+import numpy as np
+import pytest
+
+from repro.optics.geometry import LinkGeometry
+
+
+class TestValidation:
+    def test_zero_distance_rejected(self):
+        with pytest.raises(ValueError):
+            LinkGeometry(distance_m=0.0)
+
+    def test_bad_fov_rejected(self):
+        with pytest.raises(ValueError):
+            LinkGeometry(distance_m=1.0, fov_rad=0.0)
+
+
+class TestFov:
+    def test_on_axis_in_fov(self):
+        assert LinkGeometry(distance_m=1.0).in_fov
+
+    def test_off_axis_outside(self):
+        g = LinkGeometry(distance_m=1.0, off_axis_rad=np.deg2rad(15))
+        assert not g.in_fov
+
+    def test_wide_fov_contains(self):
+        g = LinkGeometry(
+            distance_m=1.0, off_axis_rad=np.deg2rad(15), fov_rad=np.deg2rad(25)
+        )
+        assert g.in_fov
+
+
+class TestYawGain:
+    def test_zero_yaw_full_gain(self):
+        assert LinkGeometry(distance_m=1.0).yaw_gain() == pytest.approx(1.0, abs=0.01)
+
+    def test_gain_monotone_decreasing(self):
+        gains = [
+            LinkGeometry(distance_m=1.0, yaw_rad=np.deg2rad(y)).yaw_gain()
+            for y in range(0, 90, 5)
+        ]
+        assert all(a >= b for a, b in zip(gains, gains[1:]))
+
+    def test_40deg_still_usable(self):
+        """Paper: +-40deg tolerated."""
+        g = LinkGeometry(distance_m=1.0, yaw_rad=np.deg2rad(40))
+        assert g.yaw_gain() > 0.4
+
+    def test_cliff_past_55deg(self):
+        """Paper: detection fails beyond ~55deg."""
+        g65 = LinkGeometry(distance_m=1.0, yaw_rad=np.deg2rad(68))
+        assert g65.yaw_gain() < 0.1
+
+    def test_90deg_zero(self):
+        assert LinkGeometry(distance_m=1.0, yaw_rad=np.pi / 2).yaw_gain() == 0.0
+
+    def test_symmetric_in_sign(self):
+        a = LinkGeometry(distance_m=1.0, yaw_rad=np.deg2rad(30)).yaw_gain()
+        b = LinkGeometry(distance_m=1.0, yaw_rad=np.deg2rad(-30)).yaw_gain()
+        assert a == pytest.approx(b)
+
+
+class TestYawSpread:
+    def test_zero_yaw_no_spread(self):
+        g = LinkGeometry(distance_m=1.0)
+        np.testing.assert_array_equal(g.sample_yaw_pixel_gains(8, rng=1), np.ones(8))
+
+    def test_spread_grows_with_yaw(self):
+        small = LinkGeometry(distance_m=1.0, yaw_rad=np.deg2rad(10))
+        large = LinkGeometry(distance_m=1.0, yaw_rad=np.deg2rad(45))
+        assert large.yaw_pixel_gain_sigma() > small.yaw_pixel_gain_sigma()
+
+    def test_gains_positive(self):
+        g = LinkGeometry(distance_m=1.0, yaw_rad=np.deg2rad(50))
+        assert np.all(g.sample_yaw_pixel_gains(64, rng=2) > 0)
+
+
+def test_constellation_rotation_matches_roll():
+    g = LinkGeometry(distance_m=1.0, roll_rad=np.deg2rad(22.5))
+    assert g.constellation_rotation() == pytest.approx(np.exp(1j * np.pi / 4))

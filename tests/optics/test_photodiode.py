@@ -1,0 +1,42 @@
+"""Photodiode element: gain, noise, saturation."""
+
+import numpy as np
+import pytest
+
+from repro.optics.photodiode import PhotodiodeModel
+
+
+class TestSense:
+    def test_noiseless_linear(self):
+        pd = PhotodiodeModel(responsivity=2.0, noise_floor=0.0)
+        out = pd.sense(np.array([0.0, 0.5, 1.0]))
+        np.testing.assert_allclose(out, [0.0, 1.0, 2.0])
+
+    def test_saturation_clips(self):
+        pd = PhotodiodeModel(responsivity=1.0, noise_floor=0.0, saturation_level=1.5)
+        out = pd.sense(np.array([1.0, 2.0, 5.0]))
+        np.testing.assert_allclose(out, [1.0, 1.5, 1.5])
+
+    def test_noise_level_scales(self):
+        pd = PhotodiodeModel(noise_floor=0.01)
+        quiet = pd.sense(np.zeros(20_000), noise_factor=1.0, rng=1)
+        loud = pd.sense(np.zeros(20_000), noise_factor=4.0, rng=1)
+        assert loud.std() == pytest.approx(2 * quiet.std(), rel=0.1)
+
+    def test_noise_std_matches_floor(self):
+        pd = PhotodiodeModel(noise_floor=0.02)
+        out = pd.sense(np.zeros(50_000), rng=2)
+        assert out.std() == pytest.approx(0.02, rel=0.05)
+
+    def test_negative_intensity_rejected(self):
+        pd = PhotodiodeModel()
+        with pytest.raises(ValueError):
+            pd.sense(np.array([-0.5]))
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(ValueError):
+            PhotodiodeModel(responsivity=0.0)
+        with pytest.raises(ValueError):
+            PhotodiodeModel(noise_floor=-1.0)
+        with pytest.raises(ValueError):
+            PhotodiodeModel(saturation_level=0.0)

@@ -1,0 +1,95 @@
+"""Polarization algebra: Malus's law, PQAM orthogonality, rotation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.optics.polarization import (
+    basis_vector,
+    channel_coefficient,
+    constellation_rotation,
+    malus_intensity,
+    received_intensity,
+)
+
+angles = st.floats(min_value=-np.pi, max_value=np.pi)
+
+
+class TestMalus:
+    def test_aligned_passes_everything(self):
+        assert malus_intensity(1.0, 0.0) == pytest.approx(1.0)
+
+    def test_crossed_blocks_everything(self):
+        assert malus_intensity(1.0, np.pi / 2) == pytest.approx(0.0, abs=1e-12)
+
+    def test_45deg_halves(self):
+        assert malus_intensity(2.0, np.pi / 4) == pytest.approx(1.0)
+
+    def test_negative_intensity_rejected(self):
+        with pytest.raises(ValueError):
+            malus_intensity(-1.0, 0.0)
+
+    @given(angles)
+    def test_bounded(self, delta):
+        out = malus_intensity(1.0, delta)
+        assert 0.0 <= out <= 1.0
+
+
+class TestReceivedIntensity:
+    def test_paper_equation(self):
+        """I = rho*cos2(dtheta)*I0 + sin^2(dtheta)*I0 (paper §4.2.1)."""
+        rho, tt, tr = 0.3, 0.2, 0.5
+        expected = rho * np.cos(2 * (tt - tr)) + np.sin(tt - tr) ** 2
+        assert received_intensity(rho, tt, tr) == pytest.approx(expected)
+
+    @given(st.floats(min_value=0, max_value=1), angles, angles)
+    def test_linear_in_rho_with_cos2_slope(self, rho, tt, tr):
+        i0 = received_intensity(0.0, tt, tr)
+        i1 = received_intensity(1.0, tt, tr)
+        interp = i0 + rho * (i1 - i0)
+        assert received_intensity(rho, tt, tr) == pytest.approx(interp, abs=1e-9)
+        assert (i1 - i0) == pytest.approx(channel_coefficient(tt, tr), abs=1e-9)
+
+    def test_rho_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            received_intensity(1.2, 0.0, 0.0)
+
+
+class TestOrthogonality:
+    @given(angles)
+    def test_45deg_transmitters_orthogonal(self, theta):
+        """The paper's key identity: bases 45deg apart are orthogonal."""
+        dot = float(basis_vector(theta) @ basis_vector(theta + np.pi / 4))
+        assert dot == pytest.approx(0.0, abs=1e-9)
+
+    @given(angles)
+    def test_basis_unit_norm(self, theta):
+        assert np.linalg.norm(basis_vector(theta)) == pytest.approx(1.0)
+
+    @given(angles)
+    def test_90deg_is_antipodal(self, theta):
+        np.testing.assert_allclose(
+            basis_vector(theta + np.pi / 2), -basis_vector(theta), atol=1e-9
+        )
+
+    @given(angles, angles)
+    def test_coefficient_is_basis_inner_product(self, tt, tr):
+        dot = float(basis_vector(tt) @ basis_vector(tr))
+        assert channel_coefficient(tt, tr) == pytest.approx(dot, abs=1e-9)
+
+
+class TestRotation:
+    @given(angles)
+    def test_double_angle(self, roll):
+        """Physical roll of dtheta rotates the constellation by 2*dtheta."""
+        z = constellation_rotation(roll)
+        assert np.angle(z) == pytest.approx(
+            np.angle(np.exp(2j * roll)), abs=1e-9
+        )
+
+    def test_unit_magnitude(self):
+        for roll in np.linspace(0, np.pi, 7):
+            assert abs(constellation_rotation(roll)) == pytest.approx(1.0)
+
+    def test_180deg_roll_is_identity(self):
+        assert constellation_rotation(np.pi) == pytest.approx(1.0 + 0.0j)

@@ -1,0 +1,55 @@
+"""Retroreflective link budget."""
+
+import numpy as np
+import pytest
+
+from repro.optics.retroreflector import LinkBudget
+
+
+class TestBasics:
+    def test_snr_at_reference(self):
+        b = LinkBudget(snr_ref_db=60.0, d_ref_m=1.0, exponent=5.0)
+        assert b.snr_db(1.0) == pytest.approx(60.0)
+
+    def test_decade_slope(self):
+        b = LinkBudget(snr_ref_db=60.0, d_ref_m=1.0, exponent=5.0)
+        assert b.snr_db(10.0) == pytest.approx(10.0)
+
+    def test_monotone_decreasing(self):
+        b = LinkBudget.experimental()
+        d = np.linspace(0.5, 12.0, 50)
+        snr = b.snr_db(d)
+        assert np.all(np.diff(snr) < 0)
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            LinkBudget.experimental().snr_db(-1.0)
+
+    def test_range_for_snr_inverts(self):
+        b = LinkBudget.experimental()
+        for snr in [20.0, 35.0, 50.0]:
+            assert b.snr_db(b.range_for_snr(snr)) == pytest.approx(snr)
+
+
+class TestAnchors:
+    def test_fit_through_anchors(self):
+        b = LinkBudget.from_anchors(1.0, 65.0, 4.3, 14.0)
+        assert b.snr_db(1.0) == pytest.approx(65.0)
+        assert b.snr_db(4.3) == pytest.approx(14.0)
+
+    def test_wide_fov_preset_matches_paper(self):
+        """Fig 18c quotes 65 dB @ 1 m and 14 dB @ 4.3 m."""
+        b = LinkBudget.wide_fov()
+        assert b.snr_db(1.0) == pytest.approx(65.0)
+        assert b.snr_db(4.3) == pytest.approx(14.0, abs=0.1)
+
+    def test_degenerate_anchors_rejected(self):
+        with pytest.raises(ValueError):
+            LinkBudget.from_anchors(1.0, 65.0, 1.0, 14.0)
+        with pytest.raises(ValueError):
+            LinkBudget.from_anchors(1.0, 14.0, 4.3, 65.0)
+
+    def test_retroreflective_decay_faster_than_free_space(self):
+        """Folded path: exponent well above the free-space 2."""
+        assert LinkBudget.experimental().exponent > 4.0
+        assert LinkBudget.wide_fov().exponent > 4.0

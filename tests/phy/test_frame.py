@@ -1,0 +1,99 @@
+"""Frame format: layout invariants and payload processing."""
+
+import numpy as np
+import pytest
+
+from repro.modem.config import ModemConfig
+from repro.phy.frame import FrameFormat
+
+
+@pytest.fixture(scope="module")
+def frame(fast_config) -> FrameFormat:
+    return FrameFormat(fast_config, payload_bytes=8)
+
+
+class TestLayout:
+    def test_sections_multiple_of_l(self, frame, fast_config):
+        l_order = fast_config.dsm_order
+        assert frame.guard_slots % l_order == 0
+        assert frame.preamble_slots % l_order == 0
+        assert frame.training.n_slots % l_order == 0
+        assert frame.payload_start_slot % l_order == 0
+
+    def test_total_slots(self, frame):
+        assert frame.total_slots == (
+            frame.guard_slots
+            + frame.preamble_slots
+            + frame.training.n_slots
+            + frame.payload_slots
+        )
+
+    def test_durations_sum(self, frame, fast_config):
+        d = frame.section_durations()
+        assert sum(d.values()) == pytest.approx(frame.duration_s)
+
+    def test_payload_bits_cover_crc(self, frame):
+        assert frame.payload_bits_on_air >= (frame.payload_bytes + 2) * 8
+
+    def test_payload_bits_whole_symbols(self, frame, fast_config):
+        assert frame.payload_bits_on_air % fast_config.bits_per_symbol == 0
+
+    def test_bad_guard_rejected(self, fast_config):
+        with pytest.raises(ValueError):
+            FrameFormat(fast_config, payload_bytes=8, guard_slots=3)
+
+    def test_paper_default_timing(self):
+        cfg = ModemConfig()
+        frame = FrameFormat.paper_default(cfg)
+        d = frame.section_durations()
+        assert d["preamble"] == pytest.approx(50e-3, rel=0.1)
+        assert d["training"] == pytest.approx(80e-3, rel=0.2)
+        # 128-byte payload at 8 Kbps: ~130 ms of payload airtime.
+        assert d["payload"] == pytest.approx(0.130, rel=0.05)
+
+
+class TestPayloadCoding:
+    def test_round_trip(self, frame):
+        payload = bytes(range(8))
+        levels = frame.encode_payload(payload)
+        decoded, ok = frame.decode_payload(*levels)
+        assert decoded == payload
+        assert ok
+
+    def test_crc_detects_level_corruption(self, frame):
+        payload = bytes(range(8))
+        li, lq = frame.encode_payload(payload)
+        li = li.copy()
+        li[0] = (li[0] + 1) % frame.constellation.levels_per_axis
+        _, ok = frame.decode_payload(li, lq)
+        assert not ok
+
+    def test_wrong_payload_length_rejected(self, frame):
+        with pytest.raises(ValueError):
+            frame.encode_payload(b"short")
+
+    def test_scrambling_randomises_levels(self, frame):
+        """An all-zero payload must still produce level activity."""
+        li, lq = frame.encode_payload(bytes(8))
+        assert li.max() > 0 or lq.max() > 0
+
+    def test_frame_levels_structure(self, frame, fast_config):
+        li, lq = frame.frame_levels(bytes(8))
+        assert li.size == frame.total_slots
+        np.testing.assert_array_equal(li[: frame.guard_slots], 0)
+
+    def test_prime_levels_cover_v_rounds(self, frame, fast_config):
+        pi, pq = frame.prime_levels()
+        need = fast_config.tail_memory * fast_config.dsm_order
+        assert pi.size == need == pq.size
+
+
+class TestSizing:
+    def test_minimum_payload(self, fast_config):
+        with pytest.raises(ValueError):
+            FrameFormat(fast_config, payload_bytes=0)
+
+    def test_preamble_rounded_up(self, fast_config):
+        f = FrameFormat(fast_config, payload_bytes=8, preamble_slots=9)
+        assert f.preamble_slots % fast_config.dsm_order == 0
+        assert f.preamble_slots >= 9

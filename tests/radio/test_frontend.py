@@ -1,0 +1,69 @@
+"""Reader digital front-end: AGC, quantisation, decimation."""
+
+import numpy as np
+import pytest
+
+from repro.radio.frontend import ReaderFrontend
+
+
+@pytest.fixture(scope="module")
+def fe() -> ReaderFrontend:
+    return ReaderFrontend()
+
+
+class TestAgc:
+    def test_gain_targets_peak(self, fe):
+        x = np.array([0.1 + 0.0j, -0.2 + 0.05j])
+        g = fe.agc_gain(x)
+        assert np.max(np.abs((x * g).real)) == pytest.approx(fe.agc_target, rel=1e-6)
+
+    def test_zero_signal_unit_gain(self, fe):
+        assert fe.agc_gain(np.zeros(4, dtype=complex)) == 1.0
+
+
+class TestQuantise:
+    def test_quantisation_grid(self):
+        fe = ReaderFrontend(adc_bits=8)
+        step = 2.0 / 256
+        y = fe.quantise(np.array([0.1234 + 0.0j]))
+        assert float(y[0].real) % step == pytest.approx(0.0, abs=1e-12)
+
+    def test_clipping_at_full_scale(self, fe):
+        y = fe.quantise(np.array([10.0 + 10.0j, -10.0 - 10.0j]))
+        assert np.max(np.abs(y.real)) <= fe.full_scale
+        assert np.max(np.abs(y.imag)) <= fe.full_scale
+
+    def test_error_bounded_by_half_lsb(self, fe):
+        rng = np.random.default_rng(0)
+        x = (rng.uniform(-0.9, 0.9, 500) + 1j * rng.uniform(-0.9, 0.9, 500))
+        y = fe.quantise(x)
+        lsb = 2.0 * fe.full_scale / (1 << fe.adc_bits)
+        assert np.max(np.abs(y.real - x.real)) <= lsb / 2 + 1e-12
+
+    def test_more_bits_less_error(self):
+        rng = np.random.default_rng(1)
+        x = rng.uniform(-0.9, 0.9, 1000) + 0j
+        err8 = np.abs(ReaderFrontend(adc_bits=8).quantise(x) - x).std()
+        err12 = np.abs(ReaderFrontend(adc_bits=12).quantise(x) - x).std()
+        assert err12 < err8 / 8
+
+
+class TestProcess:
+    def test_returns_gain(self, fe):
+        x = 0.01 * np.exp(1j * np.arange(100) / 10)
+        y, gain = fe.process(x, fs_in=40e3)
+        assert gain > 1.0
+        assert y.size == x.size
+
+    def test_decimation(self, fe):
+        x = np.exp(1j * np.arange(400) / 40)
+        y, _ = fe.process(x, fs_in=80e3, fs_out=40e3)
+        assert y.size == 200
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReaderFrontend(adc_bits=2)
+        with pytest.raises(ValueError):
+            ReaderFrontend(agc_target=0.0)
+        with pytest.raises(ValueError):
+            ReaderFrontend(full_scale=-1.0)

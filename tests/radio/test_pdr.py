@@ -1,0 +1,90 @@
+"""PDR: the four-photodiode path must equal the complex convention."""
+
+import numpy as np
+import pytest
+
+from repro.lcm.array import LCMArray
+from repro.lcm.response import LCResponseModel
+from repro.optics.photodiode import PhotodiodeModel
+from repro.radio.pdr import PDRReceiver
+
+
+@pytest.fixture(scope="module")
+def receiver() -> PDRReceiver:
+    return PDRReceiver(photodiode=PhotodiodeModel(noise_floor=0.0))
+
+
+class TestComplexEquivalence:
+    def test_single_pixel_charged(self, receiver):
+        """Fully charged pixel at theta -> exp(j*2*theta)."""
+        for theta in [0.0, np.pi / 8, np.pi / 4, np.pi / 3]:
+            x = receiver.receive(
+                mixtures=np.array([[1.0]]),
+                angles_rad=np.array([theta]),
+                amplitudes=np.array([1.0]),
+            )
+            assert x[0] == pytest.approx(np.exp(2j * theta), abs=1e-12)
+
+    def test_single_pixel_relaxed(self, receiver):
+        """Fully relaxed pixel -> -exp(j*2*theta)."""
+        x = receiver.receive(
+            mixtures=np.array([[0.0]]),
+            angles_rad=np.array([0.0]),
+            amplitudes=np.array([1.0]),
+        )
+        assert x[0] == pytest.approx(-1.0 + 0.0j, abs=1e-12)
+
+    def test_matches_array_emit(self, receiver):
+        """The whole-array complex waveform equals the explicit 4-PD path."""
+        array = LCMArray.build(2, 4)
+        rng = np.random.default_rng(0)
+        drive = rng.integers(0, 2, (array.n_pixels, 6), dtype=np.uint8)
+        slot, fs = 0.5e-3, 20e3
+        u = array.emit(drive, slot, fs)
+        phi = LCResponseModel(array.params).simulate(
+            drive, slot, fs, time_scale=np.array([p.time_scale for p in array.pixels])
+        )
+        mixtures = LCResponseModel.transmit_fraction(phi)
+        angles = np.array([p.angle_rad for p in array.pixels])
+        # Amplitudes with the same per-channel normalisation emit() uses.
+        chan_area = {ch: sum(g.nominal_area for g in array.groups_on(ch)) for ch in ("I", "Q")}
+        amplitudes = np.array(
+            [p.amplitude / chan_area["I" if abs(p.angle_rad) < np.pi / 8 else "Q"] for p in array.pixels]
+        )
+        x = receiver.receive(mixtures, angles, amplitudes)
+        np.testing.assert_allclose(x, u, atol=1e-9)
+
+
+class TestAmbientCancellation:
+    def test_unpolarized_ambient_cancels(self, receiver):
+        quiet = receiver.receive(
+            mixtures=np.full((1, 50), 0.7),
+            angles_rad=np.array([0.3]),
+            amplitudes=np.array([1.0]),
+            ambient=0.0,
+        )
+        lit = receiver.receive(
+            mixtures=np.full((1, 50), 0.7),
+            angles_rad=np.array([0.3]),
+            amplitudes=np.array([1.0]),
+            ambient=5.0,
+        )
+        np.testing.assert_allclose(lit, quiet, atol=1e-9)
+
+
+class TestNoise:
+    def test_noise_adds_on_both_rails(self):
+        rx = PDRReceiver(photodiode=PhotodiodeModel(noise_floor=0.01))
+        x = rx.receive(
+            mixtures=np.full((1, 20_000), 0.5),
+            angles_rad=np.array([0.0]),
+            amplitudes=np.array([1.0]),
+            rng=1,
+        )
+        # Differential of two photodiodes doubles the noise power per rail.
+        assert x.real.std() == pytest.approx(0.01 * np.sqrt(2), rel=0.1)
+        assert x.imag.std() == pytest.approx(0.01 * np.sqrt(2), rel=0.1)
+
+    def test_bad_intensity_shape_rejected(self, receiver):
+        with pytest.raises(ValueError):
+            receiver.combine(np.zeros((3, 10)))

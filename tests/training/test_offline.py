@@ -1,0 +1,85 @@
+"""Offline training: union-set vectors and KL basis extraction."""
+
+import numpy as np
+import pytest
+
+from repro.lcm.fingerprint import FingerprintTable
+from repro.modem.references import collect_unit_table
+from repro.training.offline import OfflineTrainer, table_to_vector, vector_to_table
+
+
+class TestVectorRoundTrip:
+    def test_round_trip(self, fast_config):
+        table = collect_unit_table(fast_config)
+        vec = table_to_vector(table)
+        back = vector_to_table(vec, table.order, table.tick_s, table.fs)
+        for ctx in range(table.n_contexts):
+            np.testing.assert_array_equal(back.chunks[ctx], table.chunks[ctx])
+
+    def test_incomplete_table_rejected(self, fast_config):
+        t = FingerprintTable(order=2, tick_s=1e-3, fs=10e3)
+        t.chunks = {0: np.zeros(10)}
+        with pytest.raises(ValueError):
+            table_to_vector(t)
+
+    def test_wrong_vector_size_rejected(self):
+        with pytest.raises(ValueError):
+            vector_to_table(np.zeros(7), order=2, tick_s=1e-3, fs=10e3)
+
+
+class TestBasisExtraction:
+    @pytest.fixture(scope="class")
+    def trainer(self, fast_config):
+        return OfflineTrainer(fast_config)
+
+    @pytest.fixture(scope="class")
+    def tables(self, trainer):
+        return trainer.collect_condition_tables(time_scales=[0.9, 1.0, 1.1])
+
+    def test_rank_one_captures_mean_shape(self, trainer, tables):
+        bases, s = trainer.extract_bases(tables, n_bases=1)
+        assert len(bases) == 1
+        assert s.size == len(tables)
+        # The first basis correlates strongly with each condition table.
+        b = table_to_vector(bases[0])
+        for t in tables:
+            v = table_to_vector(t)
+            corr = abs(np.dot(b, v)) / (np.linalg.norm(b) * np.linalg.norm(v))
+            assert corr > 0.99
+
+    def test_spectrum_decays(self, trainer, tables):
+        _, s = trainer.extract_bases(tables, n_bases=1)
+        assert s[0] > 10 * s[1]
+
+    def test_rank_matches_conditions(self, trainer, tables):
+        """Three distinct conditions: full rank reconstructs exactly."""
+        bases, _ = trainer.extract_bases(tables, n_bases=3)
+        b = np.stack([table_to_vector(t) for t in bases], axis=1)
+        target = table_to_vector(tables[1])
+        coef, *_ = np.linalg.lstsq(b, target, rcond=None)
+        np.testing.assert_allclose(b @ coef, target, atol=1e-8)
+
+    def test_truncation_improves_with_rank(self, trainer, tables):
+        target = table_to_vector(tables[0])
+
+        def residual(n_bases):
+            bases, _ = trainer.extract_bases(tables, n_bases=n_bases)
+            b = np.stack([table_to_vector(t) for t in bases], axis=1)
+            coef, *_ = np.linalg.lstsq(b, target, rcond=None)
+            return float(np.linalg.norm(b @ coef - target))
+
+        assert residual(2) <= residual(1) + 1e-12
+
+    def test_bad_rank_rejected(self, trainer, tables):
+        with pytest.raises(ValueError):
+            trainer.extract_bases(tables, n_bases=0)
+        with pytest.raises(ValueError):
+            trainer.extract_bases(tables, n_bases=5)
+
+    def test_empty_tables_rejected(self, trainer):
+        with pytest.raises(ValueError):
+            trainer.extract_bases([], n_bases=1)
+
+    def test_condition_count_validated(self, trainer):
+        with pytest.raises(ValueError):
+            trainer.collect_condition_tables(time_scales=[1.0], params_list=[None, None])

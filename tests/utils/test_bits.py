@@ -1,0 +1,76 @@
+"""Bit packing/unpacking helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.bits import (
+    bit_errors,
+    bits_to_bytes,
+    bits_to_int,
+    bytes_to_bits,
+    int_to_bits,
+    random_bits,
+)
+
+
+class TestByteConversions:
+    def test_known_byte(self):
+        np.testing.assert_array_equal(
+            bytes_to_bits(b"\xa5"), [1, 0, 1, 0, 0, 1, 0, 1]
+        )
+
+    def test_msb_first(self):
+        np.testing.assert_array_equal(bytes_to_bits(b"\x80"), [1, 0, 0, 0, 0, 0, 0, 0])
+
+    @given(st.binary(min_size=0, max_size=64))
+    def test_round_trip(self, data):
+        assert bits_to_bytes(bytes_to_bits(data)) == data
+
+    def test_non_multiple_of_8_raises(self):
+        with pytest.raises(ValueError):
+            bits_to_bytes(np.array([1, 0, 1], dtype=np.uint8))
+
+    def test_non_binary_raises(self):
+        with pytest.raises(ValueError):
+            bits_to_bytes(np.array([2] * 8, dtype=np.uint8))
+
+
+class TestIntConversions:
+    def test_known_value(self):
+        np.testing.assert_array_equal(int_to_bits(5, 4), [0, 1, 0, 1])
+
+    def test_width_overflow_raises(self):
+        with pytest.raises(ValueError):
+            int_to_bits(16, 4)
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            int_to_bits(-1, 4)
+
+    @given(st.integers(min_value=0, max_value=2**16 - 1))
+    def test_round_trip(self, value):
+        assert bits_to_int(int_to_bits(value, 16)) == value
+
+
+class TestRandomAndErrors:
+    def test_random_bits_deterministic_by_seed(self):
+        np.testing.assert_array_equal(random_bits(32, rng=1), random_bits(32, rng=1))
+
+    def test_random_bits_binary(self):
+        bits = random_bits(1000, rng=2)
+        assert set(np.unique(bits)) <= {0, 1}
+
+    def test_bit_errors_counts(self):
+        a = np.array([0, 1, 1, 0], dtype=np.uint8)
+        b = np.array([1, 1, 0, 0], dtype=np.uint8)
+        assert bit_errors(a, b) == 2
+
+    def test_bit_errors_length_mismatch(self):
+        with pytest.raises(ValueError):
+            bit_errors(np.array([1]), np.array([1, 0]))
+
+    @given(st.integers(min_value=0, max_value=256))
+    def test_self_distance_zero(self, n):
+        bits = random_bits(n, rng=3)
+        assert bit_errors(bits, bits) == 0

@@ -1,0 +1,47 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.rate == 8000
+        assert args.distance == 3.0
+
+    def test_sweep_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "fig99"])
+
+
+class TestCommands:
+    def test_materials(self, capsys):
+        assert main(["materials"]) == 0
+        out = capsys.readouterr().out
+        assert "ferroelectric" in out
+        assert "Mbps" in out
+
+    def test_simulate_small(self, capsys):
+        code = main([
+            "simulate", "--distance", "2.0", "--packets", "1",
+            "--payload", "8", "--rate", "1000",
+        ])
+        assert code == 0
+        assert "BER" in capsys.readouterr().out
+
+    def test_analyze(self, capsys):
+        assert main(["analyze", "--rate", "4000", "--contexts", "1"]) == 0
+        assert "optimal" in capsys.readouterr().out
+
+    def test_analyze_infeasible_rate(self, capsys):
+        assert main(["analyze", "--rate", "5000"]) == 1
+
+    def test_network(self, capsys):
+        assert main(["network", "--tags", "5"]) == 0
+        assert "gain" in capsys.readouterr().out

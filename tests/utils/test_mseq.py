@@ -1,0 +1,82 @@
+"""Maximum-length sequences: the window property everything relies on."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.utils.mseq import LFSR, max_length_sequence, mls_taps
+
+
+class TestTaps:
+    def test_known_orders_present(self):
+        for order in range(2, 21):
+            taps = mls_taps(order)
+            assert max(taps) == order
+
+    def test_unknown_order_raises(self):
+        with pytest.raises(ValueError):
+            mls_taps(25)
+
+
+class TestLFSR:
+    def test_zero_seed_rejected(self):
+        with pytest.raises(ValueError):
+            LFSR(4, seed=0)
+
+    def test_oversized_seed_rejected(self):
+        with pytest.raises(ValueError):
+            LFSR(4, seed=16)
+
+    def test_bad_taps_rejected(self):
+        with pytest.raises(ValueError):
+            LFSR(4, taps=(5, 1))
+
+    def test_never_reaches_zero_state(self):
+        lfsr = LFSR(6)
+        for _ in range(200):
+            lfsr.step()
+            assert lfsr.state != 0
+
+    def test_run_length(self):
+        assert LFSR(5).run(17).size == 17
+
+
+class TestMaxLengthSequence:
+    @pytest.mark.parametrize("order", range(2, 13))
+    def test_period(self, order):
+        s = max_length_sequence(order)
+        assert s.size == (1 << order) - 1
+
+    @pytest.mark.parametrize("order", range(2, 13))
+    def test_window_property(self, order):
+        """Every nonzero order-bit window appears exactly once per period."""
+        s = max_length_sequence(order)
+        ext = np.concatenate([s, s[: order - 1]])
+        windows = set()
+        for i in range(s.size):
+            key = 0
+            for b in ext[i : i + order]:
+                key = (key << 1) | int(b)
+            windows.add(key)
+        assert len(windows) == s.size
+        assert 0 not in windows
+
+    @pytest.mark.parametrize("order", range(2, 13))
+    def test_balance(self, order):
+        """m-sequences have exactly 2^(n-1) ones per period."""
+        s = max_length_sequence(order)
+        assert int(s.sum()) == 1 << (order - 1)
+
+    @settings(max_examples=20)
+    @given(
+        order=st.integers(min_value=2, max_value=10),
+        seed=st.integers(min_value=1, max_value=3),
+    )
+    def test_seed_only_rotates(self, order, seed):
+        """Different seeds yield cyclic shifts of the same sequence."""
+        a = max_length_sequence(order, seed=1)
+        b = max_length_sequence(order, seed=seed)
+        doubled = np.concatenate([a, a])
+        assert any(
+            np.array_equal(doubled[k : k + a.size], b) for k in range(a.size)
+        )

@@ -1,0 +1,30 @@
+"""RNG normalisation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import ensure_rng
+
+
+def test_none_gives_generator():
+    assert isinstance(ensure_rng(None), np.random.Generator)
+
+
+def test_int_seed_deterministic():
+    a = ensure_rng(42).integers(0, 1000, 10)
+    b = ensure_rng(42).integers(0, 1000, 10)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_generator_passes_through():
+    gen = np.random.default_rng(7)
+    assert ensure_rng(gen) is gen
+
+
+def test_numpy_integer_accepted():
+    assert isinstance(ensure_rng(np.int64(3)), np.random.Generator)
+
+
+def test_bad_type_raises():
+    with pytest.raises(TypeError):
+        ensure_rng("seed")

@@ -1,0 +1,87 @@
+"""Sample-rate helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.sampling import (
+    linear_resample,
+    moving_average,
+    samples_for_duration,
+    time_vector,
+)
+
+
+class TestSamplesForDuration:
+    def test_exact(self):
+        assert samples_for_duration(1.0, 1000.0) == 1000
+
+    def test_rounding(self):
+        assert samples_for_duration(0.5e-3, 40e3) == 20
+
+    def test_no_cumulative_drift(self):
+        """Repeated slot layout matches single multiplication."""
+        fs, slot = 40e3, 0.5e-3
+        boundaries = np.round(np.arange(101) * slot * fs).astype(int)
+        assert boundaries[-1] == samples_for_duration(100 * slot, fs)
+
+    def test_negative_duration_raises(self):
+        with pytest.raises(ValueError):
+            samples_for_duration(-1.0, 100.0)
+
+    def test_bad_rate_raises(self):
+        with pytest.raises(ValueError):
+            samples_for_duration(1.0, 0.0)
+
+
+class TestTimeVector:
+    def test_values(self):
+        np.testing.assert_allclose(time_vector(3, 10.0), [0.0, 0.1, 0.2])
+
+    def test_offset(self):
+        np.testing.assert_allclose(time_vector(2, 10.0, t0=1.0), [1.0, 1.1])
+
+
+class TestLinearResample:
+    def test_identity(self):
+        x = np.sin(np.arange(100) / 10.0)
+        np.testing.assert_allclose(linear_resample(x, 100.0, 100.0), x)
+
+    def test_downsample_length(self):
+        x = np.arange(100, dtype=float)
+        y = linear_resample(x, 100.0, 50.0)
+        assert y.size == 50
+
+    def test_preserves_linear_ramp(self):
+        x = np.arange(100, dtype=float)
+        y = linear_resample(x, 100.0, 25.0)
+        # A linear ramp stays linear under linear interpolation.
+        diffs = np.diff(y)
+        np.testing.assert_allclose(diffs, diffs[0])
+
+    def test_complex_passthrough(self):
+        x = np.exp(1j * np.arange(50) / 5.0)
+        y = linear_resample(x, 50.0, 100.0)
+        assert np.iscomplexobj(y)
+        assert y.size == 100
+
+    def test_empty(self):
+        assert linear_resample(np.array([]), 10.0, 5.0).size == 0
+
+
+class TestMovingAverage:
+    def test_window_one_is_identity(self):
+        x = np.random.default_rng(0).normal(size=20)
+        np.testing.assert_allclose(moving_average(x, 1), x)
+
+    def test_constant_preserved(self):
+        x = np.full(50, 2.5)
+        np.testing.assert_allclose(moving_average(x, 7), x)
+
+    def test_smooths_noise(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=1000)
+        assert moving_average(x, 21).std() < 0.5 * x.std()
+
+    def test_bad_window_raises(self):
+        with pytest.raises(ValueError):
+            moving_average(np.ones(5), 0)

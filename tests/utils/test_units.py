@@ -1,0 +1,67 @@
+"""Unit conversions and power measures."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.units import (
+    db_to_linear,
+    linear_to_db,
+    rms,
+    signal_power,
+    snr_db,
+)
+
+
+class TestDbConversions:
+    def test_known_values(self):
+        assert linear_to_db(10.0) == pytest.approx(10.0)
+        assert linear_to_db(100.0) == pytest.approx(20.0)
+        assert linear_to_db(1.0) == pytest.approx(0.0)
+        assert db_to_linear(30.0) == pytest.approx(1000.0)
+
+    def test_zero_maps_to_neg_inf(self):
+        assert linear_to_db(0.0) == -np.inf
+
+    def test_negative_clamps_to_neg_inf(self):
+        assert linear_to_db(-5.0) == -np.inf
+
+    def test_array_input(self):
+        out = linear_to_db(np.array([1.0, 10.0, 100.0]))
+        np.testing.assert_allclose(out, [0.0, 10.0, 20.0])
+
+    @given(st.floats(min_value=-100.0, max_value=100.0))
+    def test_round_trip(self, db):
+        assert linear_to_db(db_to_linear(db)) == pytest.approx(db, abs=1e-9)
+
+    @given(st.floats(min_value=1e-10, max_value=1e10))
+    def test_inverse_round_trip(self, ratio):
+        assert db_to_linear(linear_to_db(ratio)) == pytest.approx(ratio, rel=1e-9)
+
+    def test_scalar_returns_float(self):
+        assert isinstance(linear_to_db(2.0), float)
+        assert isinstance(db_to_linear(3.0), float)
+
+
+class TestPowerMeasures:
+    def test_power_of_constant(self):
+        assert signal_power(np.full(100, 3.0)) == pytest.approx(9.0)
+
+    def test_power_of_complex(self):
+        x = np.full(10, 1.0 + 1.0j)
+        assert signal_power(x) == pytest.approx(2.0)
+
+    def test_rms(self):
+        assert rms(np.array([3.0, -3.0, 3.0, -3.0])) == pytest.approx(3.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            signal_power(np.array([]))
+
+    def test_snr_db(self):
+        sig = np.full(1000, 10.0)
+        noise = np.full(1000, 1.0)
+        assert snr_db(sig, noise) == pytest.approx(20.0)
+
+    def test_snr_zero_noise_is_inf(self):
+        assert snr_db(np.ones(5), np.zeros(5)) == np.inf
