@@ -23,6 +23,8 @@ Quickstart::
 """
 
 from repro.channel.link import OpticalLink
+from repro.errors import FailureReason, FailureStage, ReproError
+from repro.faults import FaultPlan, scenario, scenario_names
 from repro.modem.config import ModemConfig, RATE_PRESETS, preset_for_rate
 from repro.optics.geometry import LinkGeometry
 from repro.phy.pipeline import PacketResult, PacketSimulator, measure_ber
@@ -30,13 +32,19 @@ from repro.phy.pipeline import PacketResult, PacketSimulator, measure_ber
 __version__ = "1.0.0"
 
 __all__ = [
+    "FailureReason",
+    "FailureStage",
+    "FaultPlan",
     "LinkGeometry",
     "ModemConfig",
     "OpticalLink",
     "PacketResult",
     "PacketSimulator",
     "RATE_PRESETS",
+    "ReproError",
     "__version__",
     "measure_ber",
     "preset_for_rate",
+    "scenario",
+    "scenario_names",
 ]

@@ -1,0 +1,90 @@
+"""Exception taxonomy and failure classification for the whole stack.
+
+Every failure the receiver or MAC can produce is either a typed exception
+(for programming/configuration errors that should surface immediately) or a
+structured :class:`FailureReason` carried on the result object (for channel-
+induced losses that a production system must count, log and degrade
+through).  The invariant the integration suite enforces: a packet outcome is
+either a clean decode or a *classified* failure — never an anonymous
+traceback, never a silently-wrong success.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = [
+    "ConfigError",
+    "DetectionError",
+    "EqualizationError",
+    "FailureReason",
+    "FailureStage",
+    "ReproError",
+    "StageEvent",
+    "TrainingError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every library-raised error."""
+
+
+class ConfigError(ReproError):
+    """Invalid configuration or frame-format combination."""
+
+
+class DetectionError(ReproError):
+    """Preamble search could not produce a usable packet start."""
+
+
+class TrainingError(ReproError):
+    """Online channel training failed or produced an unusable bank."""
+
+
+class EqualizationError(ReproError):
+    """The equalizer/demodulator could not process the payload section."""
+
+
+class FailureStage(str, Enum):
+    """Which pipeline stage a failure is attributed to."""
+
+    CAPTURE = "capture"
+    DETECTION = "detection"
+    TRAINING = "training"
+    EQUALIZATION = "equalization"
+    DECODE = "decode"
+    MAC = "mac"
+    CONFIG = "config"
+
+
+@dataclass(frozen=True)
+class FailureReason:
+    """A classified failure: which stage gave up, and why.
+
+    ``code`` is a short, stable, machine-matchable identifier (e.g.
+    ``"preamble_not_found"``); ``detail`` is free-form human context.
+    """
+
+    stage: FailureStage
+    code: str
+    detail: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        base = f"{self.stage.value}:{self.code}"
+        return f"{base} ({self.detail})" if self.detail else base
+
+
+@dataclass(frozen=True)
+class StageEvent:
+    """One receiver-stage outcome record (the degradation audit trail).
+
+    ``status`` is one of ``"ok"``, ``"retried"``, ``"fallback"`` or
+    ``"failed"`` — a recovered stage records how it recovered, so tests and
+    operators can distinguish a clean decode from a degraded-but-successful
+    one.
+    """
+
+    stage: FailureStage
+    status: str
+    detail: str = ""

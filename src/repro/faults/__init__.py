@@ -1,0 +1,40 @@
+"""Fault-injection subsystem: seeded, composable link impairments.
+
+The robustness counterpart of the happy-path simulator: everything needed
+to hurt a link on purpose — impairment injectors
+(:mod:`repro.faults.injectors`), composition and frame-aware positioning
+(:mod:`repro.faults.plan`), and the named scenario matrix the integration
+suite sweeps (:mod:`repro.faults.scenarios`).  Wired into
+:class:`repro.phy.pipeline.PacketSimulator` through its ``fault_plan=``
+hook.
+"""
+
+from repro.faults.injectors import (
+    AmbientFlash,
+    CaptureTruncation,
+    GainStep,
+    InterferenceBurst,
+    PixelDropout,
+    PreambleCorruption,
+    SampleClockDrift,
+    StuckPixel,
+)
+from repro.faults.plan import FaultContext, FaultInjector, FaultPlan
+from repro.faults.scenarios import SCENARIOS, scenario, scenario_names
+
+__all__ = [
+    "AmbientFlash",
+    "CaptureTruncation",
+    "FaultContext",
+    "FaultInjector",
+    "FaultPlan",
+    "GainStep",
+    "InterferenceBurst",
+    "PixelDropout",
+    "PreambleCorruption",
+    "SCENARIOS",
+    "SampleClockDrift",
+    "StuckPixel",
+    "scenario",
+    "scenario_names",
+]

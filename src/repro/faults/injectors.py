@@ -1,0 +1,239 @@
+"""The impairment catalog: concrete fault injectors.
+
+Each injector models one way a real visible-light backscatter link gets
+hurt (Retro-VLC §measurements, paper §4.3/§8): transient optical
+interference, ambient flashes, tag pixel defects, receiver clock error,
+capture truncation, AGC/gain steps and preamble corruption.  All of them
+are deterministic under a seeded RNG and compose freely inside a
+:class:`repro.faults.plan.FaultPlan`.
+
+Capture-stage injectors position themselves with fractional coordinates
+relative to a frame section (``section="payload"``, ``start_frac=0.25``,
+``duration_frac=0.5`` hits the middle half of the payload), so the same
+scenario definition works across frame formats and sample rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.faults.plan import FaultContext, FaultInjector
+from repro.utils.sampling import linear_resample
+
+__all__ = [
+    "AmbientFlash",
+    "CaptureTruncation",
+    "GainStep",
+    "InterferenceBurst",
+    "PixelDropout",
+    "PreambleCorruption",
+    "SampleClockDrift",
+    "StuckPixel",
+]
+
+
+def _span(ctx: FaultContext, section: str, start_frac: float, duration_frac: float) -> tuple[int, int]:
+    """Sample range covering a fractional window of a frame section."""
+    if not 0.0 <= start_frac <= 1.0:
+        raise ConfigError("start_frac must be in [0, 1]")
+    if not 0.0 < duration_frac <= 1.0:
+        raise ConfigError("duration_frac must be in (0, 1]")
+    lo, hi = ctx.section(section)
+    length = hi - lo
+    start = lo + int(round(start_frac * length))
+    stop = min(hi, start + max(int(round(duration_frac * length)), 1))
+    return start, stop
+
+
+@dataclass
+class InterferenceBurst(FaultInjector):
+    """Additive interference over part of the capture.
+
+    ``kind="noise"`` is a broadband burst (another modulated light source,
+    arc noise); ``kind="cw"`` a coherent tone (a flickering lamp at
+    ``freq_hz``).  ``amplitude`` is quoted against the unit-normalised
+    signal scale of :mod:`repro.channel.link`.
+    """
+
+    section: str = "payload"
+    start_frac: float = 0.0
+    duration_frac: float = 1.0
+    amplitude: float = 1.0
+    kind: str = "noise"
+    freq_hz: float = 120.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("noise", "cw"):
+            raise ConfigError(f"kind must be 'noise' or 'cw', got {self.kind!r}")
+        if self.amplitude < 0:
+            raise ConfigError("amplitude must be non-negative")
+
+    def apply_to_capture(self, samples, ctx, rng):
+        start, stop = _span(ctx, self.section, self.start_frac, self.duration_frac)
+        n = stop - start
+        if n <= 0:
+            return samples
+        out = samples.copy()
+        if self.kind == "noise":
+            burst = (rng.normal(size=n) + 1j * rng.normal(size=n)) * (self.amplitude / np.sqrt(2.0))
+        else:
+            t = np.arange(n) / ctx.fs
+            phase = rng.uniform(0.0, 2.0 * np.pi)
+            burst = self.amplitude * np.exp(1j * (2.0 * np.pi * self.freq_hz * t + phase))
+        out[start:stop] += burst
+        return out
+
+
+@dataclass
+class AmbientFlash(FaultInjector):
+    """A sudden ambient-light step (camera flash, door opening).
+
+    Unpolarised ambient light leaks as a common-mode pedestal plus extra
+    shot noise over the flash window — a DC offset on both rails and a
+    raised noise floor.
+    """
+
+    section: str = "all"
+    start_frac: float = 0.3
+    duration_frac: float = 0.4
+    dc_level: float = 0.5
+    noise_level: float = 0.2
+
+    def apply_to_capture(self, samples, ctx, rng):
+        start, stop = _span(ctx, self.section, self.start_frac, self.duration_frac)
+        n = stop - start
+        if n <= 0:
+            return samples
+        out = samples.copy()
+        out[start:stop] += self.dc_level * (1.0 + 1.0j)
+        if self.noise_level > 0:
+            out[start:stop] += (rng.normal(size=n) + 1j * rng.normal(size=n)) * (
+                self.noise_level / np.sqrt(2.0)
+            )
+        return out
+
+
+@dataclass
+class GainStep(FaultInjector):
+    """A step change in received amplitude mid-capture (AGC re-lock,
+    partial shadowing settling) — breaks the head-of-packet static-channel
+    assumption from the step onward."""
+
+    at_frac: float = 0.5
+    factor: float = 0.5
+    section: str = "all"
+
+    def __post_init__(self) -> None:
+        if self.factor <= 0:
+            raise ConfigError("gain factor must be positive")
+
+    def apply_to_capture(self, samples, ctx, rng):
+        lo, hi = ctx.section(self.section)
+        at = lo + int(round(self.at_frac * (hi - lo)))
+        out = samples.copy()
+        out[at:] *= self.factor
+        return out
+
+
+@dataclass
+class SampleClockDrift(FaultInjector):
+    """Receiver sample clock running fast/slow by ``ppm`` parts-per-million.
+
+    Implemented as a resample of the capture: a fast receiver clock takes
+    more samples per real second, stretching the waveform it records.
+    """
+
+    ppm: float = 200.0
+
+    def apply_to_capture(self, samples, ctx, rng):
+        factor = 1.0 + self.ppm * 1e-6
+        if factor <= 0:
+            raise ConfigError("clock drift must leave a positive rate")
+        return linear_resample(samples, ctx.fs, ctx.fs * factor)
+
+
+@dataclass
+class CaptureTruncation(FaultInjector):
+    """The capture ends early (buffer overrun, host stall): keep only the
+    leading ``keep_frac`` of the samples."""
+
+    keep_frac: float = 0.6
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.keep_frac <= 1.0:
+            raise ConfigError("keep_frac must be in (0, 1]")
+
+    def apply_to_capture(self, samples, ctx, rng):
+        return samples[: max(int(samples.size * self.keep_frac), 1)].copy()
+
+
+@dataclass
+class PreambleCorruption(FaultInjector):
+    """Strong noise obliterating the leading part of the preamble — the
+    burst the paper's single head-of-packet search is most fragile to."""
+
+    fraction: float = 0.4
+    amplitude: float = 3.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.fraction <= 1.0:
+            raise ConfigError("fraction must be in (0, 1]")
+
+    def apply_to_capture(self, samples, ctx, rng):
+        start, stop = _span(ctx, "preamble", 0.0, self.fraction)
+        n = stop - start
+        if n <= 0:
+            return samples
+        out = samples.copy()
+        out[start:stop] = (rng.normal(size=n) + 1j * rng.normal(size=n)) * (
+            self.amplitude / np.sqrt(2.0)
+        )
+        return out
+
+
+@dataclass
+class PixelDropout(FaultInjector):
+    """Dead LCM pixels: driver disconnects / shattered cells.  Picks
+    ``n_pixels`` at random and collapses their gain to ``residual_gain``."""
+
+    n_pixels: int = 1
+    residual_gain: float = 1e-4
+
+    def __post_init__(self) -> None:
+        if self.n_pixels < 1:
+            raise ConfigError("n_pixels must be >= 1")
+        if self.residual_gain <= 0:
+            raise ConfigError("residual_gain must be positive (pixel model requires > 0)")
+
+    def apply_to_array(self, array, rng) -> bool:
+        n = min(self.n_pixels, array.n_pixels)
+        picks = rng.choice(array.n_pixels, size=n, replace=False)
+        for idx in picks:
+            array.pixels[int(idx)].gain = self.residual_gain
+        return n > 0
+
+
+@dataclass
+class StuckPixel(FaultInjector):
+    """Sluggish/stuck LCM pixels: the LC cell barely responds, pinning its
+    optical state near rest.  Modelled by dilating the pixel's response
+    time scale by ``slowdown``."""
+
+    n_pixels: int = 1
+    slowdown: float = 50.0
+
+    def __post_init__(self) -> None:
+        if self.n_pixels < 1:
+            raise ConfigError("n_pixels must be >= 1")
+        if self.slowdown <= 1.0:
+            raise ConfigError("slowdown must exceed 1.0")
+
+    def apply_to_array(self, array, rng) -> bool:
+        n = min(self.n_pixels, array.n_pixels)
+        picks = rng.choice(array.n_pixels, size=n, replace=False)
+        for idx in picks:
+            array.pixels[int(idx)].time_scale *= self.slowdown
+        return n > 0

@@ -1,0 +1,133 @@
+"""Fault plans: composable, seeded impairment injection for simulations.
+
+A :class:`FaultPlan` bundles a list of :class:`FaultInjector` instances and
+applies them at the two points a real link gets hurt:
+
+* **tag stage** — permanent hardware defects (dead pixels, sluggish LC
+  cells) mutate the tag's pixel array once, before any packet is sent;
+* **capture stage** — transient events (interference bursts, ambient
+  flashes, gain steps, clock drift, truncation) transform the receiver's
+  sample stream per packet, positioned against the frame layout carried in
+  a :class:`FaultContext`.
+
+Plans are deterministic when seeded: a plan with ``seed=N`` produces the
+same impairment realisation on every packet, independent of the packet's
+own noise RNG — so a failing scenario is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.utils.rng import ensure_rng
+
+__all__ = ["FaultContext", "FaultInjector", "FaultPlan"]
+
+
+@dataclass(frozen=True)
+class FaultContext:
+    """Frame geometry of one capture, for positioning capture-stage faults.
+
+    All indices are sample offsets into the capture handed to the receiver;
+    ``frame_start`` is where the transmitted frame (guard section) begins
+    after the random idle lead.
+    """
+
+    fs: float
+    samples_per_slot: int
+    frame_start: int
+    preamble_start: int
+    preamble_end: int
+    training_start: int
+    training_end: int
+    payload_start: int
+    payload_end: int
+    n_samples: int
+
+    def section(self, name: str) -> tuple[int, int]:
+        """(start, stop) sample range of a named section of the capture."""
+        ranges = {
+            "all": (0, self.n_samples),
+            "frame": (self.frame_start, min(self.payload_end, self.n_samples)),
+            "preamble": (self.preamble_start, self.preamble_end),
+            "training": (self.training_start, self.training_end),
+            "payload": (self.payload_start, self.payload_end),
+        }
+        if name not in ranges:
+            raise ConfigError(f"unknown capture section {name!r}; pick from {sorted(ranges)}")
+        start, stop = ranges[name]
+        return max(start, 0), min(max(stop, 0), self.n_samples)
+
+
+class FaultInjector:
+    """Base class: one impairment, applied at one stage.
+
+    Subclasses override :meth:`apply_to_array` (tag stage, return ``True``
+    when the array was mutated) and/or :meth:`apply_to_capture` (capture
+    stage, return the transformed sample stream).  The default
+    implementations are no-ops so an injector only needs to implement the
+    stage it acts on.
+    """
+
+    @property
+    def name(self) -> str:
+        """Stable identifier used in logs and scenario listings."""
+        return type(self).__name__
+
+    def apply_to_array(self, array, rng: np.random.Generator) -> bool:
+        """Mutate the tag's pixel array in place; return True if changed."""
+        return False
+
+    def apply_to_capture(
+        self, samples: np.ndarray, ctx: FaultContext, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Transform the receiver's sample stream."""
+        return samples
+
+
+@dataclass
+class FaultPlan:
+    """An ordered, optionally seeded composition of fault injectors."""
+
+    injectors: list[FaultInjector] = field(default_factory=list)
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        for inj in self.injectors:
+            if not isinstance(inj, FaultInjector):
+                raise ConfigError(f"{inj!r} is not a FaultInjector")
+
+    @property
+    def names(self) -> list[str]:
+        """Injector names, in application order."""
+        return [inj.name for inj in self.injectors]
+
+    def _rng(self, rng: np.random.Generator | int | None) -> np.random.Generator:
+        """The plan's own generator when seeded, else the caller's."""
+        if self.seed is not None:
+            return ensure_rng(self.seed)
+        return ensure_rng(rng)
+
+    def apply_tag(self, array, rng: np.random.Generator | int | None = None) -> bool:
+        """Run every tag-stage injector against the array; True if mutated."""
+        gen = self._rng(rng)
+        mutated = False
+        for inj in self.injectors:
+            mutated |= bool(inj.apply_to_array(array, gen))
+        return mutated
+
+    def apply_capture(
+        self,
+        samples: np.ndarray,
+        ctx: FaultContext,
+        rng: np.random.Generator | int | None = None,
+    ) -> np.ndarray:
+        """Run every capture-stage injector over the sample stream."""
+        gen = self._rng(rng)
+        out = np.asarray(samples, dtype=complex)
+        for inj in self.injectors:
+            out = inj.apply_to_capture(out, ctx, gen)
+        return out

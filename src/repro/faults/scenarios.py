@@ -1,0 +1,80 @@
+"""Named fault scenarios: the standard robustness test matrix.
+
+Each scenario is a factory producing a fresh, seeded
+:class:`~repro.faults.plan.FaultPlan`; the integration suite runs every one
+of them through the full pipeline and asserts the outcome is classified
+(clean decode, or a typed :class:`~repro.errors.FailureReason` — never an
+unhandled exception, never a false ``crc_ok``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ConfigError
+from repro.faults.injectors import (
+    AmbientFlash,
+    CaptureTruncation,
+    GainStep,
+    InterferenceBurst,
+    PixelDropout,
+    PreambleCorruption,
+    SampleClockDrift,
+    StuckPixel,
+)
+from repro.faults.plan import FaultPlan
+
+__all__ = ["SCENARIOS", "scenario", "scenario_names"]
+
+SCENARIOS: dict[str, Callable[[], FaultPlan]] = {
+    # Transient optical interference over the payload section.
+    "payload_burst": lambda: FaultPlan([InterferenceBurst(section="payload", amplitude=1.5)]),
+    # Coherent flicker (mains-harmonic lamp) across the whole capture.
+    "cw_flicker": lambda: FaultPlan(
+        [InterferenceBurst(section="all", amplitude=0.4, kind="cw", freq_hz=100.0)]
+    ),
+    # Strong burst confined to the training section: poisons online
+    # training while leaving detection and payload clean.
+    "training_burst": lambda: FaultPlan(
+        [InterferenceBurst(section="training", amplitude=4.0)]
+    ),
+    # Camera-flash ambient step mid-capture.
+    "ambient_flash": lambda: FaultPlan([AmbientFlash(dc_level=0.6, noise_level=0.3)]),
+    # Tag hardware defects.
+    "pixel_dropout": lambda: FaultPlan([PixelDropout(n_pixels=2)]),
+    "stuck_pixel": lambda: FaultPlan([StuckPixel(n_pixels=1, slowdown=50.0)]),
+    # Receiver sample-clock error.
+    "clock_drift": lambda: FaultPlan([SampleClockDrift(ppm=300.0)]),
+    # Capture cut short before the payload completes.
+    "truncation": lambda: FaultPlan([CaptureTruncation(keep_frac=0.55)]),
+    # AGC/shadowing gain step halfway through the capture.
+    "gain_step": lambda: FaultPlan([GainStep(at_frac=0.5, factor=0.45)]),
+    # The leading preamble samples obliterated by a noise burst.
+    "preamble_corruption": lambda: FaultPlan(
+        [PreambleCorruption(fraction=0.4, amplitude=3.0)]
+    ),
+    # Compound worst case: flash + gain step + payload burst together.
+    "compound": lambda: FaultPlan(
+        [
+            AmbientFlash(start_frac=0.5, duration_frac=0.3, dc_level=0.4, noise_level=0.2),
+            GainStep(at_frac=0.7, factor=0.6),
+            InterferenceBurst(section="payload", start_frac=0.2, duration_frac=0.4, amplitude=1.0),
+        ]
+    ),
+}
+
+
+def scenario_names() -> list[str]:
+    """Every named scenario, sorted for stable parametrisation."""
+    return sorted(SCENARIOS)
+
+
+def scenario(name: str, seed: int | None = 0) -> FaultPlan:
+    """Build a named scenario's fault plan, seeded for reproducibility."""
+    try:
+        factory = SCENARIOS[name]
+    except KeyError:
+        raise ConfigError(f"unknown fault scenario {name!r}; pick from {scenario_names()}") from None
+    plan = factory()
+    plan.seed = seed
+    return plan

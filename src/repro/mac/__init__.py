@@ -2,8 +2,9 @@
 
 A thin master/slave TDMA MAC: RFID-style tag discovery, per-tag SNR
 measurement, a profiled database mapping SNR to the goodput-maximising
-(bit rate, Reed-Solomon coding rate) pair, and stop-and-wait ARQ triggered
-by CRC failure.
+(bit rate, Reed-Solomon coding rate) pair, stop-and-wait ARQ triggered
+by CRC failure, and a link watchdog degrading through exponential backoff
+and rate fallback when CRC failures streak.
 """
 
 from repro.mac.arq import ArqStats, StopAndWaitARQ
@@ -18,6 +19,7 @@ from repro.mac.rate_adapt import (
     RateOption,
     default_profile,
 )
+from repro.mac.watchdog import LinkWatchdog, WatchdogAction, WatchdogStats
 
 __all__ = [
     "ArqStats",
@@ -26,6 +28,7 @@ __all__ = [
     "FramedSlottedDiscovery",
     "LinkProfile",
     "LinkSession",
+    "LinkWatchdog",
     "MacPacketOutcome",
     "NetworkResult",
     "NetworkSimulator",
@@ -36,5 +39,7 @@ __all__ = [
     "StopAndWaitARQ",
     "TagDeployment",
     "TdmaScheduler",
+    "WatchdogAction",
+    "WatchdogStats",
     "default_profile",
 ]

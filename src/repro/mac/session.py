@@ -28,6 +28,7 @@ from repro.downlink.frame import PollMessage
 from repro.downlink.link import DownlinkChannel
 from repro.downlink.modem import ManchesterOOKModem
 from repro.mac.rate_adapt import LinkProfile, default_profile
+from repro.mac.watchdog import LinkWatchdog
 from repro.modem.config import RATE_PRESETS, preset_for_rate
 from repro.optics.geometry import LinkGeometry
 from repro.phy.pipeline import PacketSimulator
@@ -56,6 +57,8 @@ class SessionStats:
     """Aggregate session outcome."""
 
     rounds: list[RoundRecord] = field(default_factory=list)
+    total_backoff_s: float = 0.0
+    """Airtime spent in watchdog retransmission backoff (0 without one)."""
 
     @property
     def delivered(self) -> int:
@@ -86,12 +89,16 @@ class LinkSession:
         profile: LinkProfile | None = None,
         payload_bytes: int = 16,
         raise_after: int = 3,
+        watchdog: LinkWatchdog | None = None,
         rng: np.random.Generator | int | None = None,
     ):
         self.distance_m = distance_m
         self.profile = profile or default_profile()
         self.payload_bytes = payload_bytes
         self.raise_after = raise_after
+        if watchdog is not None and watchdog.ladder != sorted(RATE_PRESETS):
+            raise ValueError("watchdog rate ladder must match the session's RATE_PRESETS")
+        self.watchdog = watchdog
         self._rng = ensure_rng(rng)
         self._ladder = sorted(RATE_PRESETS)
         self._simulators: dict[int, PacketSimulator] = {}
@@ -161,7 +168,21 @@ class LinkSession:
                 assigned = min(int(seeded), self._ladder[-1])
                 success_streak = 0
                 continue
-            if result.crc_ok:
+            if self.watchdog is not None:
+                # Watchdog-supervised failure path: consecutive-CRC
+                # tracking drives exponential backoff and rate fallback.
+                self.watchdog.observe_rate(tag_rate)
+                action = self.watchdog.record(result.crc_ok)
+                stats.total_backoff_s += action.backoff_s
+                if result.crc_ok:
+                    success_streak += 1
+                    if success_streak >= self.raise_after:
+                        assigned = self._step_rate(tag_rate, up=True)
+                        success_streak = 0
+                else:
+                    assigned = action.rate_bps
+                    success_streak = 0
+            elif result.crc_ok:
                 success_streak += 1
                 if success_streak >= self.raise_after:
                     assigned = self._step_rate(tag_rate, up=True)

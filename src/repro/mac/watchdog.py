@@ -1,0 +1,210 @@
+"""MAC link watchdog: consecutive-CRC-failure tracking and degradation.
+
+The last rung of the stack's degradation ladder (retry -> fallback bank ->
+**rate drop** -> give up): the reader tracks CRC outcomes per link; a run
+of consecutive failures triggers exponential-backoff retransmission and,
+at the failure threshold, a fallback down the PHY rate ladder — the same
+ladder :mod:`repro.mac.rate_adapt` selects from and
+:class:`repro.mac.arq.StopAndWaitARQ` retransmits over.  A success resets
+the backoff; a link that keeps failing at the lowest rate is declared
+down (the session should re-discover / give up rather than spin).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.mac.arq import StopAndWaitARQ
+from repro.utils.logging import get_logger
+from repro.utils.rng import ensure_rng
+
+__all__ = ["LinkWatchdog", "WatchdogAction", "WatchdogStats"]
+
+log = get_logger(__name__)
+
+
+@dataclass(frozen=True)
+class WatchdogAction:
+    """What the MAC should do after one CRC outcome was recorded.
+
+    ``reason`` is one of ``"ok"``, ``"retry"``, ``"rate_fallback"`` or
+    ``"link_down"``.
+    """
+
+    retransmit: bool
+    backoff_s: float
+    rate_bps: int
+    reason: str
+
+
+@dataclass
+class WatchdogStats:
+    """Aggregate outcome of a watchdog-driven transfer simulation."""
+
+    delivered: int = 0
+    gave_up: int = 0
+    attempts: int = 0
+    total_backoff_s: float = 0.0
+    rate_trace: list[int] = field(default_factory=list)
+
+    @property
+    def final_rate_bps(self) -> int:
+        """Rate in force after the last frame."""
+        return self.rate_trace[-1] if self.rate_trace else 0
+
+
+class LinkWatchdog:
+    """Consecutive-failure tracker driving backoff and rate fallback.
+
+    Parameters
+    ----------
+    rates:
+        The PHY rate ladder (bits/s, any order; kept sorted).  Defaults to
+        the library's :data:`repro.modem.config.RATE_PRESETS`.
+    initial_rate_bps:
+        Starting rate; defaults to the highest rung.
+    fail_threshold:
+        Consecutive CRC failures that trigger one rate fallback.
+    base_backoff_s / backoff_factor / max_backoff_s:
+        Exponential retransmission backoff: the k-th consecutive failure
+        waits ``base * factor**k`` seconds, capped at ``max_backoff_s``.
+    """
+
+    def __init__(
+        self,
+        rates: list[int] | None = None,
+        initial_rate_bps: int | None = None,
+        fail_threshold: int = 3,
+        base_backoff_s: float = 0.05,
+        backoff_factor: float = 2.0,
+        max_backoff_s: float = 2.0,
+    ):
+        if rates is None:
+            from repro.modem.config import RATE_PRESETS
+
+            rates = sorted(RATE_PRESETS)
+        if not rates:
+            raise ConfigError("watchdog needs a non-empty rate ladder")
+        if fail_threshold < 1:
+            raise ConfigError("fail_threshold must be >= 1")
+        if base_backoff_s < 0 or max_backoff_s < base_backoff_s:
+            raise ConfigError("need 0 <= base_backoff_s <= max_backoff_s")
+        if backoff_factor < 1.0:
+            raise ConfigError("backoff_factor must be >= 1")
+        self.ladder = sorted(int(r) for r in rates)
+        self.fail_threshold = fail_threshold
+        self.base_backoff_s = base_backoff_s
+        self.backoff_factor = backoff_factor
+        self.max_backoff_s = max_backoff_s
+        start = initial_rate_bps if initial_rate_bps is not None else self.ladder[-1]
+        if start not in self.ladder:
+            raise ConfigError(f"initial rate {start} not on the ladder {self.ladder}")
+        self.current_rate_bps = start
+        self.consecutive_failures = 0
+        self._backoff_exponent = 0
+
+    # ------------------------------------------------------------ tracking
+
+    def observe_rate(self, rate_bps: int) -> None:
+        """Sync the watchdog to an externally assigned rate."""
+        if rate_bps not in self.ladder:
+            raise ConfigError(f"rate {rate_bps} not on the ladder {self.ladder}")
+        self.current_rate_bps = rate_bps
+
+    def reset(self) -> None:
+        """Forget all failure state (e.g. after re-discovery)."""
+        self.consecutive_failures = 0
+        self._backoff_exponent = 0
+
+    def _next_backoff(self) -> float:
+        backoff = self.base_backoff_s * self.backoff_factor**self._backoff_exponent
+        self._backoff_exponent += 1
+        return min(backoff, self.max_backoff_s)
+
+    def record(self, crc_ok: bool) -> WatchdogAction:
+        """Record one CRC outcome and return the MAC's next move."""
+        if crc_ok:
+            self.consecutive_failures = 0
+            self._backoff_exponent = 0
+            return WatchdogAction(
+                retransmit=False, backoff_s=0.0, rate_bps=self.current_rate_bps, reason="ok"
+            )
+        self.consecutive_failures += 1
+        backoff = self._next_backoff()
+        if self.consecutive_failures < self.fail_threshold:
+            return WatchdogAction(
+                retransmit=True,
+                backoff_s=backoff,
+                rate_bps=self.current_rate_bps,
+                reason="retry",
+            )
+        # Threshold hit: fall back one rung (if any remain).
+        self.consecutive_failures = 0
+        idx = self.ladder.index(self.current_rate_bps)
+        if idx > 0:
+            self.current_rate_bps = self.ladder[idx - 1]
+            log.warning(
+                "link watchdog: %d consecutive CRC failures, rate fallback to %d bps",
+                self.fail_threshold,
+                self.current_rate_bps,
+            )
+            return WatchdogAction(
+                retransmit=True,
+                backoff_s=backoff,
+                rate_bps=self.current_rate_bps,
+                reason="rate_fallback",
+            )
+        log.warning("link watchdog: link down at lowest rate %d bps", self.current_rate_bps)
+        return WatchdogAction(
+            retransmit=True,
+            backoff_s=min(self.max_backoff_s, backoff),
+            rate_bps=self.current_rate_bps,
+            reason="link_down",
+        )
+
+    # ---------------------------------------------------------- simulation
+
+    def simulate(
+        self,
+        success_probability,
+        n_frames: int,
+        arq: StopAndWaitARQ | None = None,
+        rng: np.random.Generator | int | None = None,
+    ) -> WatchdogStats:
+        """Monte-Carlo a watchdog-supervised transfer.
+
+        ``success_probability`` maps a rate in bits/s to the per-attempt
+        CRC success probability (a callable, or a dict over the ladder).
+        Each frame gets the stop-and-wait attempt budget of ``arq``; every
+        attempt's outcome feeds the watchdog, so rate fallback and backoff
+        accumulate exactly as they would against the real PHY.
+        """
+        if n_frames < 0:
+            raise ConfigError("n_frames must be non-negative")
+        arq = arq or StopAndWaitARQ()
+        gen = ensure_rng(rng)
+        if callable(success_probability):
+            p_of = success_probability
+        else:
+            table = dict(success_probability)
+            p_of = lambda rate: table[rate]  # noqa: E731
+        stats = WatchdogStats()
+        for _ in range(n_frames):
+            delivered = False
+            for _attempt in range(arq.max_attempts):
+                stats.attempts += 1
+                ok = gen.random() < float(p_of(self.current_rate_bps))
+                action = self.record(ok)
+                stats.total_backoff_s += action.backoff_s
+                if ok:
+                    delivered = True
+                    break
+            if delivered:
+                stats.delivered += 1
+            else:
+                stats.gave_up += 1
+            stats.rate_trace.append(self.current_rate_bps)
+        return stats

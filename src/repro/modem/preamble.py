@@ -126,6 +126,7 @@ class Preamble:
         search_stop: int | None = None,
         coarse_stride: int | None = None,
         cost_threshold: float = 0.25,
+        reference_tail_slots: int | None = None,
     ) -> PreambleDetection:
         """Find the packet start in ``x`` and fit the rotation corrector.
 
@@ -134,13 +135,29 @@ class Preamble:
 
         ``cost_threshold`` is the normalised residual (residual power /
         reference power) above which the detection is flagged unreliable.
+
+        ``reference_tail_slots`` restricts the matched reference to the
+        *last* N preamble slots — the hardened receiver's fallback when a
+        burst obliterated the preamble's head.  The returned ``offset`` is
+        always the preamble start, whichever slice was matched.
         """
         if self.reference is None:
             raise RuntimeError("no reference installed; call record_reference() first")
+        ts = self.config.samples_per_slot
+        if reference_tail_slots is None:
+            skip = 0
+            y = self.reference
+        else:
+            if not 2 * self.config.dsm_order <= reference_tail_slots <= self.n_slots:
+                raise ValueError(
+                    "reference_tail_slots must cover at least two DSM symbols "
+                    "and at most the whole preamble"
+                )
+            skip = (self.n_slots - reference_tail_slots) * ts
+            y = self.reference[skip:]
         x = np.asarray(x, dtype=complex)
-        y = self.reference
         k = y.size
-        last = x.size - k
+        last = x.size - k - skip
         if last < 0:
             raise ValueError("received waveform shorter than the preamble reference")
         stop = last if search_stop is None else min(search_stop, last)
@@ -150,7 +167,8 @@ class Preamble:
         ref_power = float(np.mean(np.abs(y) ** 2))
 
         def cost_at(offset: int) -> tuple[RotationCorrector, float]:
-            corrector, res_power = self._solve_regression(x[offset : offset + k], y)
+            lo = offset + skip
+            corrector, res_power = self._solve_regression(x[lo : lo + k], y)
             return corrector, res_power / ref_power
 
         coarse_offsets = range(search_start, stop + 1, stride)
@@ -164,7 +182,7 @@ class Preamble:
             if cost < best[0]:
                 best = (cost, off, corrector)
         cost, offset, corrector = best
-        fitted = corrector.apply(x[offset : offset + k])
+        fitted = corrector.apply(x[offset + skip : offset + skip + k])
         snr = estimate_snr_db(y, fitted - y)
         return PreambleDetection(
             offset=offset,

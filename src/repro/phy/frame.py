@@ -20,10 +20,11 @@ from repro.modem.preamble import Preamble
 from repro.modem.symbols import PQAMConstellation
 from repro.training.online import TrainingSequence
 
-__all__ = ["FrameFormat"]
+__all__ = ["FrameFormat", "round_up"]
 
 
-def _round_up(n: int, multiple: int) -> int:
+def round_up(n: int, multiple: int) -> int:
+    """Smallest multiple of ``multiple`` that is >= ``n``."""
     return ((n + multiple - 1) // multiple) * multiple
 
 
@@ -67,7 +68,7 @@ class FrameFormat:
         if self.payload_bytes < 1:
             raise ValueError("payload must be at least one byte")
         wanted = self.preamble_slots if self.preamble_slots is not None else 40
-        self.preamble_slots = _round_up(max(wanted, 2 * cfg.dsm_order), cfg.dsm_order)
+        self.preamble_slots = round_up(max(wanted, 2 * cfg.dsm_order), cfg.dsm_order)
         self.guard_slots = self.guard_slots if self.guard_slots is not None else cfg.dsm_order
         if self.guard_slots % cfg.dsm_order:
             raise ValueError("guard_slots must be a multiple of the DSM order")
@@ -116,7 +117,7 @@ class FrameFormat:
     @property
     def payload_bits_on_air(self) -> int:
         """Scrambled on-air bits, padded to a whole number of symbols."""
-        return _round_up(self.on_air_bytes * 8, self.config.bits_per_symbol)
+        return round_up(self.on_air_bytes * 8, self.config.bits_per_symbol)
 
     @property
     def payload_slots(self) -> int:

@@ -13,6 +13,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.channel.link import OpticalLink
+from repro.errors import FailureReason, StageEvent
+from repro.faults.plan import FaultContext, FaultPlan
 from repro.lcm.array import LCMArray
 from repro.lcm.heterogeneity import HeterogeneityModel
 from repro.modem.config import ModemConfig
@@ -29,7 +31,12 @@ __all__ = ["PacketResult", "PacketSimulator", "measure_ber"]
 
 @dataclass
 class PacketResult:
-    """Outcome of one simulated packet."""
+    """Outcome of one simulated packet.
+
+    A lost packet (undetected, truncated, demodulator failure) is scored
+    as *all bits errored* and carries the receiver's classified
+    ``failure`` — it is never silently scored against fabricated padding.
+    """
 
     ber: float
     n_bit_errors: int
@@ -39,6 +46,13 @@ class PacketResult:
     snr_link_db: float
     snr_est_db: float
     equalizer_mse: float
+    failure: FailureReason | None = None
+    events: list[StageEvent] = field(repr=False, default_factory=list)
+
+    @property
+    def lost(self) -> bool:
+        """True when no payload was recovered at all."""
+        return self.n_bit_errors == self.n_bits and not self.crc_ok
 
 
 @dataclass
@@ -83,6 +97,15 @@ class PacketSimulator:
         KL basis count S for ``"trained"`` mode.
     k_branches:
         DFE beam width.
+    fault_plan:
+        Optional :class:`repro.faults.plan.FaultPlan`.  Tag-stage injectors
+        (dead/stuck pixels) mutate the tag once at construction; capture-
+        stage injectors impair every packet's sample stream before the
+        receiver sees it.
+    hardened:
+        Passed through to :class:`repro.phy.receiver.PhyReceiver`; disable
+        to run the original fragile receiver (for ablation/regression
+        comparisons).
     rng:
         Seeds the tag's heterogeneity draw and yaw illumination spread.
     """
@@ -99,6 +122,8 @@ class PacketSimulator:
         n_bases: int = 2,
         k_branches: int = 16,
         codec=None,
+        fault_plan: FaultPlan | None = None,
+        hardened: bool = True,
         rng: np.random.Generator | int | None = None,
     ):
         if bank_mode not in ("trained", "nominal", "genie"):
@@ -111,6 +136,7 @@ class PacketSimulator:
             link = OpticalLink(geometry=LinkGeometry(distance_m=2.0))
         self.link = link
         self.bank_mode = bank_mode
+        self.fault_plan = fault_plan
         het = heterogeneity if heterogeneity is not None else HeterogeneityModel()
 
         # --- tag under test (heterogeneous, yaw-perturbed) ---------------
@@ -123,6 +149,10 @@ class PacketSimulator:
         yaw_gains = link.geometry.sample_yaw_pixel_gains(self.array.n_pixels, gen)
         for pixel, g in zip(self.array.pixels, yaw_gains):
             pixel.gain *= float(g)
+        # Permanent tag hardware defects (dead/stuck pixels) apply here so
+        # the transmitter and any genie bank see the faulted hardware.
+        if fault_plan is not None:
+            fault_plan.apply_tag(self.array, gen)
         # Rebuild the cached amplitude vectors after mutating gains.
         self.array = LCMArray(self.array.groups, params=self.array.params)
 
@@ -146,11 +176,14 @@ class PacketSimulator:
 
         offline = OfflineTrainer(self.config)
         if bank_mode == "trained" and n_bases > 1:
-            tables = offline.collect_condition_tables()
+            scales = [0.85, 0.95, 1.0, 1.05, 1.15]
+            tables = offline.collect_condition_tables(time_scales=scales)
             bases, _ = offline.extract_bases(tables, n_bases=n_bases)
+            fallback = [tables[scales.index(1.0)]]
         else:
             tables = offline.collect_condition_tables(time_scales=[1.0])
             bases = tables
+            fallback = tables
 
         fixed_bank = ReferenceBank.genie(self.config, self.array) if bank_mode == "genie" else None
         self.receiver = PhyReceiver(
@@ -159,6 +192,8 @@ class PacketSimulator:
             k_branches=k_branches,
             online_training=(bank_mode == "trained"),
             fixed_bank=fixed_bank,
+            fallback_tables=fallback,
+            hardened=hardened,
         )
         if bank_mode == "genie":
             # Perfect channel knowledge includes the tag's own preamble
@@ -188,13 +223,22 @@ class PacketSimulator:
         lead = np.full(offset, u[0], dtype=complex)
         tail = np.full(2 * ts, u[-1], dtype=complex)
         out = self.link.transmit(np.concatenate([lead, u, tail]), self.config.fs, gen)
+        samples = out.samples
+        if self.fault_plan is not None:
+            samples = self.fault_plan.apply_capture(samples, self._fault_context(offset, samples), gen)
         guard_samples = self.frame.guard_slots * ts
         search_stop = offset + guard_samples + 2 * ts
-        rx = self.receiver.receive(out.samples, search_start=0, search_stop=search_stop)
+        rx = self.receiver.receive(samples, search_start=0, search_stop=search_stop)
 
         sent_bits = bytes_to_bits(payload)
-        got_bits = bytes_to_bits(rx.payload.ljust(len(payload), b"\0")[: len(payload)])
-        errors = bit_errors(sent_bits, got_bits)
+        if len(rx.payload) == len(payload) and rx.detection.detected:
+            got_bits = bytes_to_bits(rx.payload)
+            errors = bit_errors(sent_bits, got_bits)
+        else:
+            # Lost packet (no detection, or a classified receiver failure
+            # with no recovered bytes): every bit counts as errored — never
+            # score fabricated zero padding as received data.
+            errors = int(sent_bits.size)
         return PacketResult(
             ber=errors / sent_bits.size,
             n_bit_errors=errors,
@@ -204,6 +248,29 @@ class PacketSimulator:
             snr_link_db=out.snr_db,
             snr_est_db=rx.snr_est_db,
             equalizer_mse=rx.equalizer_mse,
+            failure=rx.failure,
+            events=rx.events,
+        )
+
+    def _fault_context(self, frame_start: int, samples: np.ndarray) -> FaultContext:
+        """Frame geometry of this capture, for capture-stage injectors."""
+        frame = self.frame
+        ts = self.config.samples_per_slot
+        preamble_start = frame_start + frame.guard_slots * ts
+        preamble_end = preamble_start + frame.preamble_slots * ts
+        training_end = preamble_end + frame.training.n_slots * ts
+        payload_end = training_end + frame.payload_slots * ts
+        return FaultContext(
+            fs=self.config.fs,
+            samples_per_slot=ts,
+            frame_start=frame_start,
+            preamble_start=preamble_start,
+            preamble_end=preamble_end,
+            training_start=preamble_end,
+            training_end=training_end,
+            payload_start=training_end,
+            payload_end=payload_end,
+            n_samples=samples.size,
         )
 
     def measure_ber(

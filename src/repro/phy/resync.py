@@ -26,7 +26,7 @@ from repro.lcm.fingerprint import FingerprintTable
 from repro.modem.dfe import DFEDemodulator
 from repro.modem.preamble import PreambleDetection, RotationCorrector
 from repro.modem.references import ReferenceBank, assemble_waveform
-from repro.phy.frame import FrameFormat, _round_up
+from repro.phy.frame import FrameFormat, round_up
 from repro.phy.receiver import ReceiverOutput
 from repro.training.online import OnlineTrainer
 from repro.utils.mseq import LFSR
@@ -58,9 +58,9 @@ class ResyncFrameFormat(FrameFormat):
     ):
         super().__init__(config, payload_bytes=payload_bytes, **kwargs)
         l_order = config.dsm_order
-        self.sync_interval_slots = _round_up(max(sync_interval_slots, l_order), l_order)
+        self.sync_interval_slots = round_up(max(sync_interval_slots, l_order), l_order)
         wanted_sync = sync_slots if sync_slots is not None else config.tail_memory * l_order
-        self.sync_slots = _round_up(max(wanted_sync, config.tail_memory * l_order), l_order)
+        self.sync_slots = round_up(max(wanted_sync, config.tail_memory * l_order), l_order)
         self._sync_levels = self._build_sync_levels()
 
     def _build_sync_levels(self) -> tuple[np.ndarray, np.ndarray]:

@@ -12,6 +12,8 @@ rotation residue and yaw-induced illumination spread in one shot.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 from scipy.linalg import hadamard
 
@@ -19,7 +21,33 @@ from repro.lcm.fingerprint import FingerprintTable
 from repro.modem.config import ModemConfig
 from repro.modem.references import GroupReference, ReferenceBank
 
-__all__ = ["OnlineTrainer", "TrainingSequence"]
+__all__ = ["OnlineTrainer", "TrainingDiagnostics", "TrainingSequence"]
+
+
+@dataclass(frozen=True)
+class TrainingDiagnostics:
+    """Quality indicators of one online least-squares solve.
+
+    ``residual_ratio`` is the fit's residual power over the training
+    segment's power — close to the noise-to-signal ratio for a healthy
+    solve, and far above it when the training section was corrupted or the
+    system was ill-conditioned.
+    """
+
+    residual_ratio: float
+    rank: int
+    n_columns: int
+    max_coefficient: float
+
+    @property
+    def rank_deficient(self) -> bool:
+        """True when the design matrix lost rank (degenerate solve)."""
+        return self.rank < self.n_columns
+
+    @property
+    def finite(self) -> bool:
+        """True when every solved coefficient is a finite number."""
+        return bool(np.isfinite(self.max_coefficient))
 
 
 def _next_pow2(n: int) -> int:
@@ -176,13 +204,35 @@ class OnlineTrainer:
 
         Returns ``{(channel, index): theta}`` with ``theta`` of length S.
         """
+        coefficients, _ = self.solve_with_diagnostics(z_training)
+        return coefficients
+
+    def solve_with_diagnostics(
+        self, z_training: np.ndarray
+    ) -> tuple[dict[tuple[int, int], np.ndarray], TrainingDiagnostics]:
+        """Like :meth:`solve`, plus fit-quality diagnostics.
+
+        The hardened receiver uses the diagnostics to decide whether the
+        trained bank is trustworthy or whether it should fall back to the
+        nominal reference bank.
+        """
         z = np.asarray(z_training, dtype=complex)
         if z.size < self.sequence.n_samples:
             raise ValueError(
                 f"training segment has {z.size} samples; need {self.sequence.n_samples}"
             )
         a = self.design_matrix()
-        theta, *_ = np.linalg.lstsq(a, z[: self.sequence.n_samples], rcond=None)
+        z = z[: self.sequence.n_samples]
+        theta, _, rank, _ = np.linalg.lstsq(a, z, rcond=None)
+        residual = z - a @ theta
+        signal_power = float(np.mean(np.abs(z) ** 2))
+        residual_power = float(np.mean(np.abs(residual) ** 2))
+        diagnostics = TrainingDiagnostics(
+            residual_ratio=residual_power / signal_power if signal_power > 0 else float("inf"),
+            rank=int(rank),
+            n_columns=a.shape[1],
+            max_coefficient=float(np.max(np.abs(theta))) if theta.size else 0.0,
+        )
         cfg = self.config
         n_groups = 2 * cfg.dsm_order
         out: dict[tuple[int, int], np.ndarray] = {}
@@ -190,7 +240,7 @@ class OnlineTrainer:
             for gi in range(cfg.dsm_order):
                 g = ch * cfg.dsm_order + gi
                 out[(ch, gi)] = theta[np.arange(self.n_bases) * n_groups + g]
-        return out
+        return out, diagnostics
 
     # ------------------------------------------------------------- compose
 

@@ -1,0 +1,64 @@
+"""Structured logging for degradation events (off by default).
+
+The library logs receiver fallbacks, retries and MAC watchdog actions under
+the ``"repro"`` logger hierarchy through the stdlib :mod:`logging` module.
+Nothing is emitted unless the host application (or a test) opts in with
+:func:`enable_logging`; the root ``repro`` logger carries a
+``NullHandler`` so an un-configured import stays silent.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import IO
+
+__all__ = ["disable_logging", "enable_logging", "get_logger"]
+
+_ROOT_NAME = "repro"
+_FORMAT = "%(asctime)s %(name)s %(levelname)s %(message)s"
+
+_root = logging.getLogger(_ROOT_NAME)
+_root.addHandler(logging.NullHandler())
+
+_installed_handler: logging.Handler | None = None
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """Logger under the ``repro`` hierarchy (``repro.<name>``).
+
+    Passing a fully-qualified name that already starts with ``repro`` uses
+    it verbatim, so module-level ``get_logger(__name__)`` does the right
+    thing.
+    """
+    if name is None:
+        return _root
+    if name == _ROOT_NAME or name.startswith(_ROOT_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def enable_logging(level: int = logging.INFO, stream: IO[str] | None = None) -> logging.Handler:
+    """Attach a stream handler to the ``repro`` logger and set its level.
+
+    Idempotent: calling again replaces the previously installed handler
+    (so tests can redirect the stream freely).  Returns the handler.
+    """
+    global _installed_handler
+    if _installed_handler is not None:
+        _root.removeHandler(_installed_handler)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(logging.Formatter(_FORMAT))
+    _root.addHandler(handler)
+    _root.setLevel(level)
+    _installed_handler = handler
+    return handler
+
+
+def disable_logging() -> None:
+    """Remove the handler installed by :func:`enable_logging`."""
+    global _installed_handler
+    if _installed_handler is not None:
+        _root.removeHandler(_installed_handler)
+        _installed_handler = None
+    _root.setLevel(logging.NOTSET)

@@ -1,0 +1,191 @@
+"""Unit tests for the fault-injector catalog and plan machinery."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults import (
+    AmbientFlash,
+    CaptureTruncation,
+    FaultContext,
+    FaultPlan,
+    GainStep,
+    InterferenceBurst,
+    PixelDropout,
+    PreambleCorruption,
+    SampleClockDrift,
+    StuckPixel,
+    scenario,
+    scenario_names,
+)
+from repro.lcm.array import LCMArray
+
+
+def make_ctx(n: int = 1000) -> FaultContext:
+    """A simple synthetic frame layout: four equal 200-sample sections."""
+    return FaultContext(
+        fs=10e3,
+        samples_per_slot=20,
+        frame_start=100,
+        preamble_start=200,
+        preamble_end=400,
+        training_start=400,
+        training_end=600,
+        payload_start=600,
+        payload_end=800,
+        n_samples=n,
+    )
+
+
+def make_samples(n: int = 1000) -> np.ndarray:
+    return np.ones(n, dtype=complex)
+
+
+class TestContext:
+    def test_sections(self):
+        ctx = make_ctx()
+        assert ctx.section("all") == (0, 1000)
+        assert ctx.section("preamble") == (200, 400)
+        assert ctx.section("training") == (400, 600)
+        assert ctx.section("payload") == (600, 800)
+        assert ctx.section("frame") == (100, 800)
+
+    def test_sections_clamp_to_capture(self):
+        ctx = make_ctx(n=700)
+        assert ctx.section("payload") == (600, 700)
+
+    def test_unknown_section_rejected(self):
+        with pytest.raises(ConfigError):
+            make_ctx().section("nope")
+
+
+class TestCaptureInjectors:
+    def test_burst_hits_only_its_window(self):
+        inj = InterferenceBurst(section="payload", start_frac=0.0, duration_frac=0.5, amplitude=2.0)
+        out = inj.apply_to_capture(make_samples(), make_ctx(), np.random.default_rng(0))
+        changed = np.flatnonzero(out != 1.0)
+        assert changed.min() >= 600
+        assert changed.max() < 700
+
+    def test_cw_burst_is_a_tone(self):
+        inj = InterferenceBurst(section="payload", kind="cw", amplitude=1.0, freq_hz=120.0)
+        out = inj.apply_to_capture(make_samples(), make_ctx(), np.random.default_rng(0))
+        tone = out[600:800] - 1.0
+        assert np.allclose(np.abs(tone), 1.0)
+
+    def test_ambient_flash_adds_dc(self):
+        inj = AmbientFlash(section="payload", start_frac=0.0, duration_frac=1.0, dc_level=0.5, noise_level=0.0)
+        out = inj.apply_to_capture(make_samples(), make_ctx(), np.random.default_rng(0))
+        assert np.allclose(out[600:800], 1.0 + 0.5 * (1 + 1j))
+        assert np.allclose(out[:600], 1.0)
+
+    def test_gain_step_scales_tail(self):
+        inj = GainStep(at_frac=0.5, factor=0.25)
+        out = inj.apply_to_capture(make_samples(), make_ctx(), np.random.default_rng(0))
+        assert np.allclose(out[:500], 1.0)
+        assert np.allclose(out[500:], 0.25)
+
+    def test_clock_drift_changes_length(self):
+        fast = SampleClockDrift(ppm=10_000)  # exaggerated so the resample is visible
+        out = fast.apply_to_capture(make_samples(), make_ctx(), np.random.default_rng(0))
+        assert out.size > 1000
+
+    def test_truncation_keeps_leading_fraction(self):
+        inj = CaptureTruncation(keep_frac=0.6)
+        out = inj.apply_to_capture(make_samples(), make_ctx(), np.random.default_rng(0))
+        assert out.size == 600
+
+    def test_preamble_corruption_replaces_head(self):
+        inj = PreambleCorruption(fraction=0.5, amplitude=3.0)
+        out = inj.apply_to_capture(make_samples(), make_ctx(), np.random.default_rng(0))
+        assert not np.allclose(out[200:300], 1.0)
+        assert np.allclose(out[300:400], 1.0)  # tail of the preamble survives
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            InterferenceBurst(kind="laser")
+        with pytest.raises(ConfigError):
+            InterferenceBurst(amplitude=-1.0)
+        with pytest.raises(ConfigError):
+            CaptureTruncation(keep_frac=0.0)
+        with pytest.raises(ConfigError):
+            GainStep(factor=0.0)
+        with pytest.raises(ConfigError):
+            PreambleCorruption(fraction=1.5)
+
+
+class TestTagInjectors:
+    def make_array(self) -> LCMArray:
+        return LCMArray.build(groups_per_channel=2, levels_per_group=16)
+
+    def test_dropout_collapses_gain(self):
+        array = self.make_array()
+        assert PixelDropout(n_pixels=3, residual_gain=1e-4).apply_to_array(
+            array, np.random.default_rng(1)
+        )
+        dead = [p for p in array.pixels if p.gain == 1e-4]
+        assert len(dead) == 3
+
+    def test_stuck_pixel_dilates_time_scale(self):
+        array = self.make_array()
+        assert StuckPixel(n_pixels=2, slowdown=50.0).apply_to_array(array, np.random.default_rng(1))
+        stuck = [p for p in array.pixels if p.time_scale >= 50.0]
+        assert len(stuck) == 2
+
+    def test_dropout_is_seeded_deterministic(self):
+        a, b = self.make_array(), self.make_array()
+        PixelDropout(n_pixels=2).apply_to_array(a, np.random.default_rng(7))
+        PixelDropout(n_pixels=2).apply_to_array(b, np.random.default_rng(7))
+        assert [p.gain for p in a.pixels] == [p.gain for p in b.pixels]
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            PixelDropout(n_pixels=0)
+        with pytest.raises(ConfigError):
+            PixelDropout(residual_gain=0.0)
+        with pytest.raises(ConfigError):
+            StuckPixel(slowdown=1.0)
+
+
+class TestPlan:
+    def test_seeded_plan_is_reproducible(self):
+        plan = FaultPlan([InterferenceBurst(section="payload", amplitude=1.0)], seed=5)
+        a = plan.apply_capture(make_samples(), make_ctx(), rng=np.random.default_rng(1))
+        b = plan.apply_capture(make_samples(), make_ctx(), rng=np.random.default_rng(99))
+        np.testing.assert_array_equal(a, b)  # plan seed overrides the caller's rng
+
+    def test_unseeded_plan_follows_caller_rng(self):
+        plan = FaultPlan([InterferenceBurst(section="payload", amplitude=1.0)])
+        a = plan.apply_capture(make_samples(), make_ctx(), rng=1)
+        b = plan.apply_capture(make_samples(), make_ctx(), rng=2)
+        assert not np.array_equal(a, b)
+
+    def test_injectors_apply_in_order(self):
+        plan = FaultPlan([GainStep(at_frac=0.0, factor=2.0), CaptureTruncation(keep_frac=0.5)])
+        out = plan.apply_capture(make_samples(), make_ctx(), rng=0)
+        assert out.size == 500
+        assert np.allclose(out, 2.0)
+
+    def test_names_and_tag_stage(self):
+        plan = FaultPlan([PixelDropout(), GainStep()], seed=3)
+        assert plan.names == ["PixelDropout", "GainStep"]
+        array = LCMArray.build(groups_per_channel=2, levels_per_group=16)
+        assert plan.apply_tag(array)
+
+    def test_non_injector_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultPlan([object()])
+
+
+class TestScenarios:
+    def test_catalog_is_sorted_and_buildable(self):
+        names = scenario_names()
+        assert names == sorted(names)
+        for name in names:
+            plan = scenario(name, seed=0)
+            assert plan.seed == 0
+            assert plan.injectors
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigError):
+            scenario("not_a_scenario")

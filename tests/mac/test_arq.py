@@ -1,6 +1,8 @@
 """Stop-and-wait ARQ."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.mac.arq import StopAndWaitARQ
 
@@ -50,3 +52,51 @@ class TestMonteCarlo:
             StopAndWaitARQ().simulate(1.5, 10)
         with pytest.raises(ValueError):
             StopAndWaitARQ().simulate(0.5, -1)
+
+
+class TestEdgeCases:
+    def test_success_probability_zero(self):
+        """A dead link burns the whole attempt budget on every frame."""
+        arq = StopAndWaitARQ(max_attempts=5)
+        stats = arq.simulate(0.0, n_frames=50, rng=1)
+        assert stats.delivered == 0
+        assert stats.gave_up == 50
+        assert stats.attempts == 50 * 5
+        assert stats.efficiency() == 0.0
+
+    def test_success_probability_one(self):
+        """A perfect link delivers every frame on the first attempt."""
+        arq = StopAndWaitARQ(max_attempts=5)
+        stats = arq.simulate(1.0, n_frames=50, rng=1)
+        assert stats.delivered == 50
+        assert stats.gave_up == 0
+        assert stats.attempts == 50
+        assert stats.mean_attempts == pytest.approx(1.0)
+
+    def test_single_attempt_budget(self):
+        """max_attempts=1 degenerates to plain (un-ARQ'd) transmission."""
+        arq = StopAndWaitARQ(max_attempts=1)
+        stats = arq.simulate(0.5, n_frames=1000, rng=2)
+        assert stats.attempts == 1000
+        assert stats.delivered + stats.gave_up == 1000
+        assert arq.expected_attempts(0.5) == pytest.approx(1.0)
+        assert arq.delivery_probability(0.5) == pytest.approx(0.5)
+
+    def test_zero_frames(self):
+        stats = StopAndWaitARQ().simulate(0.5, n_frames=0, rng=3)
+        assert stats.delivered == stats.attempts == stats.gave_up == 0
+        assert stats.mean_attempts == 0.0
+
+    @settings(deadline=None, max_examples=40)
+    @given(
+        p=st.floats(min_value=0.0, max_value=1.0),
+        n_frames=st.integers(min_value=0, max_value=200),
+        max_attempts=st.integers(min_value=1, max_value=10),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_every_frame_is_accounted_for(self, p, n_frames, max_attempts, seed):
+        """Invariant: delivered + gave_up == n_frames, attempts bounded."""
+        arq = StopAndWaitARQ(max_attempts=max_attempts)
+        stats = arq.simulate(p, n_frames=n_frames, rng=seed)
+        assert stats.delivered + stats.gave_up == n_frames
+        assert n_frames <= stats.attempts <= n_frames * max_attempts or n_frames == 0

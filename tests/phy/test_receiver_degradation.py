@@ -1,0 +1,110 @@
+"""Hardened-receiver recovery: faults that kill the seed receiver decode.
+
+Two scenarios the original (``hardened=False``) receiver demonstrably
+fails — a corrupted leading preamble and a poisoned online-training
+section — must decode cleanly through the hardened degradation ladder
+(tail-reference re-search; nominal-bank fallback).  A third, capture
+truncation, crashes the seed receiver and must be *classified* instead.
+"""
+
+import pytest
+
+from repro.channel.link import OpticalLink
+from repro.errors import FailureStage
+from repro.faults import scenario
+from repro.lcm.heterogeneity import HeterogeneityModel
+from repro.modem.config import ModemConfig
+from repro.optics.geometry import LinkGeometry
+from repro.phy.pipeline import PacketSimulator
+
+FAST = ModemConfig(dsm_order=2, pqam_order=4, slot_s=2.0e-3, fs=10e3)
+
+
+def make_sim(hardened: bool, plan_name: str, seed: int = 3, **kwargs) -> PacketSimulator:
+    defaults = dict(
+        config=FAST,
+        link=OpticalLink(geometry=LinkGeometry(distance_m=2.0)),
+        payload_bytes=8,
+        rng=7,
+        hardened=hardened,
+        fault_plan=scenario(plan_name, seed=seed),
+    )
+    defaults.update(kwargs)
+    return PacketSimulator(**defaults)
+
+
+class TestPreambleCorruptionRecovery:
+    """A burst obliterating the preamble's head (corrupted first search)."""
+
+    def test_seed_receiver_loses_the_packet(self):
+        result = make_sim(hardened=False, plan_name="preamble_corruption").run_packet(rng=11)
+        assert not result.detected
+        assert not result.crc_ok
+
+    def test_hardened_receiver_recovers_cleanly(self):
+        result = make_sim(hardened=True, plan_name="preamble_corruption").run_packet(rng=11)
+        assert result.detected
+        assert result.crc_ok
+        assert result.n_bit_errors == 0
+        retried = [e for e in result.events if e.stage == FailureStage.DETECTION and e.status == "retried"]
+        assert retried, "recovery must be recorded in the stage audit trail"
+
+
+class TestTrainingBurstRecovery:
+    """Interference over the training section (ill-conditioned training)."""
+
+    def test_seed_receiver_decodes_garbage(self):
+        result = make_sim(hardened=False, plan_name="training_burst").run_packet(rng=11)
+        assert result.detected
+        assert not result.crc_ok
+        assert result.n_bit_errors > 0
+
+    def test_hardened_receiver_falls_back_to_nominal_bank(self):
+        result = make_sim(hardened=True, plan_name="training_burst").run_packet(rng=11)
+        assert result.crc_ok
+        assert result.n_bit_errors == 0
+        fallbacks = [e for e in result.events if e.stage == FailureStage.TRAINING and e.status == "fallback"]
+        assert fallbacks, "the nominal-bank fallback must be recorded"
+
+    def test_fallback_works_from_kl_bases(self):
+        """The fallback bank must be the true nominal table, not KL basis 0."""
+        result = make_sim(
+            hardened=True,
+            plan_name="training_burst",
+            heterogeneity=HeterogeneityModel.ideal(),
+            n_bases=2,
+        ).run_packet(rng=11)
+        assert result.crc_ok
+        assert result.n_bit_errors == 0
+
+
+class TestTruncationClassification:
+    """A truncated capture: seed crashes, hardened classifies."""
+
+    def test_seed_receiver_raises(self):
+        with pytest.raises(ValueError, match="truncated"):
+            make_sim(hardened=False, plan_name="truncation").run_packet(rng=11)
+
+    def test_hardened_receiver_classifies(self):
+        result = make_sim(hardened=True, plan_name="truncation").run_packet(rng=11)
+        assert not result.crc_ok
+        assert result.failure is not None
+        assert result.failure.stage == FailureStage.CAPTURE
+        assert result.failure.code == "truncated_capture"
+        assert result.ber == 1.0
+
+
+class TestCleanPathUnchanged:
+    def test_hardened_receiver_identical_on_clean_link(self):
+        """Hardening must not perturb the happy path at all."""
+        clean = dict(
+            config=FAST,
+            link=OpticalLink(geometry=LinkGeometry(distance_m=2.0)),
+            payload_bytes=8,
+            rng=7,
+        )
+        a = PacketSimulator(hardened=True, **clean).run_packet(rng=5)
+        b = PacketSimulator(hardened=False, **clean).run_packet(rng=5)
+        assert a.ber == b.ber == 0.0
+        assert a.crc_ok and b.crc_ok
+        assert a.snr_est_db == pytest.approx(b.snr_est_db)

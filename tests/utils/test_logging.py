@@ -1,0 +1,43 @@
+"""Structured logging helpers: off by default, one switch to turn on."""
+
+import io
+import logging
+
+from repro.utils.logging import disable_logging, enable_logging, get_logger
+
+
+class TestLogging:
+    def teardown_method(self):
+        disable_logging()
+
+    def test_silent_by_default(self):
+        log = get_logger("repro.test.silent")
+        root = logging.getLogger("repro")
+        assert log.name.startswith("repro")
+        assert all(isinstance(h, logging.NullHandler) for h in root.handlers)
+
+    def test_enable_emits_and_disable_silences(self):
+        stream = io.StringIO()
+        enable_logging(level=logging.INFO, stream=stream)
+        get_logger("repro.test.emit").info("hello %d", 42)
+        assert "hello 42" in stream.getvalue()
+        disable_logging()
+        get_logger("repro.test.emit").info("after disable")
+        assert "after disable" not in stream.getvalue()
+
+    def test_enable_is_idempotent(self):
+        stream = io.StringIO()
+        enable_logging(stream=stream)
+        enable_logging(stream=stream)
+        get_logger("repro.test.idem").warning("once")
+        assert stream.getvalue().count("once") == 1
+
+    def test_level_filtering(self):
+        stream = io.StringIO()
+        enable_logging(level=logging.WARNING, stream=stream)
+        log = get_logger("repro.test.level")
+        log.debug("too quiet")
+        log.warning("loud enough")
+        out = stream.getvalue()
+        assert "too quiet" not in out
+        assert "loud enough" in out
