@@ -7,13 +7,15 @@ output capture.
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
+from repro.experiments.batch import BatchRunner, GridTask
 from repro.experiments.common import format_table
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
-__all__ = ["emit", "format_table"]
+__all__ = ["BatchRunner", "GridTask", "emit", "emit_json", "format_table"]
 
 
 def emit(name: str, text: str) -> None:
@@ -21,3 +23,16 @@ def emit(name: str, text: str) -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
     print(f"\n{text}\n")
+
+
+def emit_json(name: str, payload: dict) -> Path:
+    """Persist a machine-readable benchmark artifact under benchmarks/results/.
+
+    Used for committed performance records (e.g. ``BENCH_dfe.json``) where a
+    rendered table is not enough: the artifact carries both the recorded
+    baseline and the fresh measurement so regressions are diffable.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

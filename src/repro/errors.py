@@ -42,8 +42,14 @@ class TrainingError(ReproError):
     """Online channel training failed or produced an unusable bank."""
 
 
-class EqualizationError(ReproError):
-    """The equalizer/demodulator could not process the payload section."""
+class EqualizationError(ReproError, ValueError):
+    """The equalizer/demodulator could not process the payload section.
+
+    Also a :class:`ValueError`: demodulator input validation predates the
+    taxonomy and callers (and tests) legitimately catch ``ValueError`` for
+    bad-argument errors — the dual base keeps that contract while letting
+    the hardened receiver classify equalization failures by type.
+    """
 
 
 class FailureStage(str, Enum):

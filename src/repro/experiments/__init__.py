@@ -6,19 +6,28 @@ textual rendering mirroring what the paper reports, so benchmark runs read
 as paper-versus-measured comparisons.
 """
 
-from repro.experiments.common import SweepPoint, format_table, make_simulator
+from repro.experiments.batch import BatchRunner, GridTask, make_grid, rows_to_sweeps
+from repro.experiments.common import (
+    SweepPoint,
+    format_table,
+    make_simulator,
+    simulate_grid_task,
+)
 from repro.experiments.fig16 import (
     ambient_sweep,
     rate_vs_distance,
+    rate_vs_distance_grid,
     roll_sweep,
     working_range,
     yaw_sweep,
 )
-from repro.experiments.fig17 import dfe_comparison, training_memory_sweep
+from repro.experiments.fig17 import dfe_comparison, dfe_comparison_grid, training_memory_sweep
 from repro.experiments.fig18 import (
     coding_goodput_sweep,
     emulated_ber_vs_snr,
+    emulated_ber_vs_snr_batched,
     emulated_packet_ber,
+    emulated_packet_bers_block,
     profile_from_waterfalls,
     rate_adaptation_gain,
     waterfall_threshold,
@@ -33,18 +42,24 @@ from repro.experiments.multiaccess import ConcurrentUplinkResult, concurrent_upl
 from repro.experiments.table4 import mobility_study
 
 __all__ = [
+    "BatchRunner",
     "ConcurrentUplinkResult",
+    "GridTask",
     "MobileLinkSimulator",
     "SweepPoint",
     "ambient_sweep",
     "coding_goodput_sweep",
     "concurrent_uplink_study",
     "dfe_comparison",
+    "dfe_comparison_grid",
     "emulated_ber_vs_snr",
+    "emulated_ber_vs_snr_batched",
     "emulated_packet_ber",
+    "emulated_packet_bers_block",
     "format_table",
     "headline_rate_gain",
     "latency_report",
+    "make_grid",
     "make_simulator",
     "mobility_resync_sweep",
     "mobility_study",
@@ -52,7 +67,10 @@ __all__ = [
     "profile_from_waterfalls",
     "rate_adaptation_gain",
     "rate_vs_distance",
+    "rate_vs_distance_grid",
     "roll_sweep",
+    "rows_to_sweeps",
+    "simulate_grid_task",
     "training_memory_sweep",
     "waterfall_threshold",
     "working_range",

@@ -1,0 +1,142 @@
+"""Batched packet-grid engine: fan (scheme x sweep x seed) cells over workers.
+
+Every figure harness ultimately evaluates the same object — a grid of
+independent packet experiments, each fully determined by its condition
+parameters and a seed.  :class:`BatchRunner` makes that structure explicit:
+the grid is a list of :class:`GridTask` cells, every cell gets its own child
+generator spawned from one root :class:`numpy.random.SeedSequence`, and the
+cells execute either serially or across a ``concurrent.futures`` process
+pool.  Because the child seeds are derived from the cell *index* — never
+from execution order — results are bit-identical for any worker count, and
+``n_workers=1`` is exactly the serial loop.
+
+The task callable must be a module-level function (process pools pickle it)
+with signature ``fn(task, rng) -> Mapping[str, Any]``; the runner merges its
+output into a result row carrying the grid coordinates.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable, Iterable, Mapping, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+__all__ = ["BatchRunner", "GridTask", "make_grid", "rows_to_sweeps"]
+
+#: Result-row keys the runner itself guarantees (tests pin this schema).
+ROW_KEYS = ("scheme", "x", "index", "root_seed")
+
+
+@dataclass(frozen=True)
+class GridTask:
+    """One grid cell: a labelled sweep coordinate plus task parameters.
+
+    ``params`` is a sorted tuple of ``(key, value)`` pairs rather than a
+    dict so tasks stay hashable and cheaply picklable.
+    """
+
+    scheme: str
+    x: float
+    params: tuple[tuple[str, Any], ...] = ()
+
+    @property
+    def kwargs(self) -> dict[str, Any]:
+        return dict(self.params)
+
+
+def make_grid(
+    schemes: Mapping[str, Mapping[str, Any]],
+    xs: Iterable[float],
+    x_key: str,
+) -> list[GridTask]:
+    """Cartesian scheme x sweep grid.
+
+    Each cell's parameters are the scheme's parameters plus ``x_key``
+    bound to the swept value, so the task callable only ever reads
+    ``task.kwargs``.
+    """
+    tasks = []
+    for scheme, params in schemes.items():
+        for x in xs:
+            merged = dict(params)
+            merged[x_key] = x
+            tasks.append(
+                GridTask(scheme=scheme, x=float(x), params=tuple(sorted(merged.items())))
+            )
+    return tasks
+
+
+def _execute(fn, task: GridTask, seed_seq: np.random.SeedSequence) -> dict[str, Any]:
+    """Worker body: fresh child generator, then the task callable."""
+    rng = np.random.default_rng(seed_seq)
+    return dict(fn(task, rng))
+
+
+class BatchRunner:
+    """Execute a grid of tasks with per-cell seeded generators.
+
+    Parameters
+    ----------
+    fn:
+        Module-level callable ``fn(task, rng) -> Mapping[str, Any]``.
+    n_workers:
+        1 (default) runs the plain serial loop; ``None`` uses the CPU
+        count; anything larger fans the grid across a process pool.
+    root_seed:
+        Seeds the :class:`~numpy.random.SeedSequence` whose spawned
+        children drive the individual cells.
+    """
+
+    def __init__(
+        self,
+        fn: Callable[[GridTask, np.random.Generator], Mapping[str, Any]],
+        n_workers: int | None = 1,
+        root_seed: int = 0,
+    ):
+        if n_workers is not None and n_workers < 1:
+            raise ValueError("n_workers must be >= 1 (or None for the CPU count)")
+        self.fn = fn
+        self.n_workers = n_workers if n_workers is not None else (os.cpu_count() or 1)
+        self.root_seed = int(root_seed)
+
+    def child_seeds(self, n: int) -> list[np.random.SeedSequence]:
+        """The per-cell seed sequences (index-derived, order-independent)."""
+        return np.random.SeedSequence(self.root_seed).spawn(n)
+
+    def run(self, tasks: Sequence[GridTask]) -> list[dict[str, Any]]:
+        """Execute every cell and return one result row per task, in order."""
+        tasks = list(tasks)
+        children = self.child_seeds(len(tasks))
+        if self.n_workers == 1:
+            outputs = [_execute(self.fn, t, s) for t, s in zip(tasks, children)]
+        else:
+            with ProcessPoolExecutor(max_workers=self.n_workers) as pool:
+                futures = [
+                    pool.submit(_execute, self.fn, t, s) for t, s in zip(tasks, children)
+                ]
+                outputs = [f.result() for f in futures]
+        rows = []
+        for i, (task, out) in enumerate(zip(tasks, outputs)):
+            row = {"scheme": task.scheme, "x": task.x, "index": i, "root_seed": self.root_seed}
+            row.update(out)
+            rows.append(row)
+        return rows
+
+
+def rows_to_sweeps(rows: Iterable[Mapping[str, Any]]) -> dict[str, list]:
+    """Group result rows back into per-scheme SweepPoint lists."""
+    from repro.experiments.common import SweepPoint
+
+    out: dict[str, list] = {}
+    for row in rows:
+        extras = {
+            k: v for k, v in row.items() if k not in ROW_KEYS and k != "ber"
+        }
+        out.setdefault(row["scheme"], []).append(
+            SweepPoint(x=row["x"], ber=row["ber"], extras=extras)
+        )
+    return out

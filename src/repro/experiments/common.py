@@ -13,7 +13,7 @@ from repro.optics.geometry import LinkGeometry
 from repro.optics.retroreflector import LinkBudget
 from repro.phy.pipeline import PacketSimulator
 
-__all__ = ["SweepPoint", "format_table", "make_simulator"]
+__all__ = ["SweepPoint", "format_table", "make_simulator", "simulate_grid_task"]
 
 
 @dataclass
@@ -74,6 +74,25 @@ def make_simulator(
         rng=rng,
         **kwargs,
     )
+
+
+def simulate_grid_task(task, rng) -> dict:
+    """BatchRunner task body shared by the figure harnesses.
+
+    ``task.kwargs`` are :func:`make_simulator` keywords plus an optional
+    ``n_packets``; the per-cell generator drives both simulator construction
+    and the packet draws, so a cell's result depends only on its own seed.
+    """
+    params = task.kwargs
+    n_packets = params.pop("n_packets", 4)
+    sim = make_simulator(rng=rng, **params)
+    m = sim.measure_ber(n_packets=n_packets, rng=rng)
+    return {
+        "ber": m.ber,
+        "packet_error_rate": m.packet_error_rate,
+        "n_bits": m.n_bits,
+        "snr_db": sim.link.effective_snr_db(),
+    }
 
 
 def format_table(headers: list[str], rows: list[tuple], title: str | None = None) -> str:

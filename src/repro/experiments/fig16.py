@@ -12,7 +12,14 @@ from repro.experiments.common import SweepPoint, make_simulator
 from repro.optics.ambient import AMBIENT_PRESETS
 from repro.utils.rng import ensure_rng
 
-__all__ = ["ambient_sweep", "rate_vs_distance", "roll_sweep", "working_range", "yaw_sweep"]
+__all__ = [
+    "ambient_sweep",
+    "rate_vs_distance",
+    "rate_vs_distance_grid",
+    "roll_sweep",
+    "working_range",
+    "yaw_sweep",
+]
 
 
 def rate_vs_distance(
@@ -37,6 +44,38 @@ def rate_vs_distance(
             )
         out[rate] = points
     return out
+
+
+def rate_vs_distance_grid(
+    rates_bps: list[float] | None = None,
+    distances_m: list[float] | None = None,
+    n_packets: int = 6,
+    payload_bytes: int = 24,
+    n_workers: int | None = 1,
+    root_seed: int = 11,
+) -> dict[float, list[SweepPoint]]:
+    """Fig 16a through the batched packet engine.
+
+    Unlike :func:`rate_vs_distance` (one shared generator threaded through
+    the sweep), every (rate, distance) cell gets its own spawned seed, so the
+    grid is order-independent and can fan across workers.
+    """
+    from repro.experiments.batch import BatchRunner, make_grid, rows_to_sweeps
+    from repro.experiments.common import simulate_grid_task
+
+    rates_bps = rates_bps or [4000, 8000]
+    distances_m = distances_m or [1.0, 3.0, 5.0, 6.5, 7.5, 8.5, 10.0, 11.5]
+    schemes = {
+        f"{rate:g}": {
+            "rate_bps": rate,
+            "n_packets": n_packets,
+            "payload_bytes": payload_bytes,
+        }
+        for rate in rates_bps
+    }
+    tasks = make_grid(schemes, distances_m, x_key="distance_m")
+    rows = BatchRunner(simulate_grid_task, n_workers=n_workers, root_seed=root_seed).run(tasks)
+    return {float(scheme): points for scheme, points in rows_to_sweeps(rows).items()}
 
 
 def working_range(points: list[SweepPoint], ber_limit: float = 0.01) -> float:

@@ -19,7 +19,7 @@ from repro.experiments.common import SweepPoint, make_simulator
 from repro.modem.config import ModemConfig
 from repro.utils.rng import ensure_rng
 
-__all__ = ["dfe_comparison", "training_memory_sweep"]
+__all__ = ["dfe_comparison", "dfe_comparison_grid", "training_memory_sweep"]
 
 #: Reduced operating point at which exact Viterbi is tractable.
 VITERBI_CONFIG = ModemConfig(dsm_order=4, pqam_order=4, slot_s=1.0e-3, tail_memory=1)
@@ -49,6 +49,33 @@ def dfe_comparison(
             points.append(SweepPoint(x=d, ber=m.ber))
         out[label] = points
     return out
+
+
+def dfe_comparison_grid(
+    distances_m: list[float] | None = None,
+    n_packets: int = 4,
+    config: ModemConfig | None = None,
+    n_workers: int | None = 1,
+    root_seed: int = 21,
+) -> dict[str, list[SweepPoint]]:
+    """Fig 17a through the batched packet engine (per-cell spawned seeds)."""
+    from repro.experiments.batch import BatchRunner, make_grid, rows_to_sweeps
+    from repro.experiments.common import simulate_grid_task
+
+    config = config or VITERBI_CONFIG
+    distances_m = distances_m or [6.0, 8.0, 10.0, 11.0, 12.0, 13.0]
+    viterbi_k = config.pqam_order ** (
+        (config.tail_memory - 1) * config.dsm_order + config.dsm_order - 1
+    )
+    if viterbi_k > 65_536:
+        raise ValueError("config too large for exact Viterbi; reduce P/L/V")
+    schemes = {
+        label: {"config": config, "k_branches": k, "n_packets": n_packets}
+        for label, k in (("dfe_1", 1), ("dfe_16", 16), ("viterbi", viterbi_k))
+    }
+    tasks = make_grid(schemes, distances_m, x_key="distance_m")
+    rows = BatchRunner(simulate_grid_task, n_workers=n_workers, root_seed=root_seed).run(tasks)
+    return rows_to_sweeps(rows)
 
 
 def training_memory_sweep(

@@ -1,0 +1,227 @@
+"""Reference (scalar) K-branch DFE — the executable specification.
+
+This is the original, deliberately simple beam-search implementation the
+vectorized :class:`repro.modem.dfe.DFEDemodulator` must match *bit-exactly*:
+per-branch pulse lookups through :meth:`ReferenceBank.pulse_stack`, a Python
+merge loop over byte-packed keys, and explicit history arrays.  It is kept
+(a) as the oracle for the golden-vector and hypothesis equivalence suites in
+``tests/golden`` and ``tests/modem/test_dfe_equivalence.py``, and (b) as the
+readable statement of the search semantics (paper §4.3.2, Fig 10).
+
+Do not optimise this module; optimise ``repro.modem.dfe`` against it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.modem.dfe import DFEResult
+from repro.modem.references import ReferenceBank
+
+__all__ = ["ReferenceDFEDemodulator"]
+
+
+class _SearchState:
+    """Mutable beam-search state (arrays indexed by branch)."""
+
+    def __init__(self, n_branches: int, dsm_order: int, tail_memory: int, w_samples: int):
+        v_prev = max(tail_memory - 1, 0)
+        self.hist = np.zeros((n_branches, 2, dsm_order, v_prev), dtype=np.int16)
+        self.buffer = np.zeros((n_branches, w_samples), dtype=complex)
+        self.costs = np.zeros(n_branches, dtype=float)
+        # Rolling window of recent decisions for merge keys: (K, depth, 2).
+        self.recent: np.ndarray | None = None
+
+
+class ReferenceDFEDemodulator:
+    """Beam-search DFE over a :class:`ReferenceBank` (scalar reference).
+
+    Parameters
+    ----------
+    bank:
+        Reference pulses (offline + online trained).
+    k_branches:
+        Beam width ``K``; 1 = plain DFE, 16 = paper default.
+    merge:
+        Merge branches with identical future-relevant state (keeps the
+        search from wasting the beam on equivalent histories; required for
+        Viterbi equivalence).
+    merge_memory:
+        How many recent symbol pairs constitute "future-relevant state".
+        Defaults to ``(V - 1) * L + (L - 1)`` which is exact for the
+        fingerprint model's memory.
+    """
+
+    def __init__(
+        self,
+        bank: ReferenceBank,
+        k_branches: int = 16,
+        merge: bool = True,
+        merge_memory: int | None = None,
+    ):
+        if k_branches < 1:
+            raise ValueError("k_branches must be >= 1")
+        self.bank = bank
+        self.config = bank.config
+        self.k_branches = k_branches
+        self.merge = merge
+        cfg = self.config
+        default_mem = (cfg.tail_memory - 1) * cfg.dsm_order + (cfg.dsm_order - 1)
+        self.merge_memory = default_mem if merge_memory is None else merge_memory
+
+    # -------------------------------------------------------------- pulses
+
+    def _candidate_pulses(self, state: _SearchState, gi: int, channel: int) -> np.ndarray:
+        """Stack of reference pulses (K, m, W) for every branch x level."""
+        k_now = state.costs.size
+        stacks = [
+            self.bank.pulse_stack(channel, gi, tuple(int(v) for v in state.hist[k, channel, gi]))
+            for k in range(k_now)
+        ]
+        return np.stack(stacks)
+
+    # ------------------------------------------------------------- priming
+
+    def _advance_known(self, state: _SearchState, gi: int, level_i: int, level_q: int) -> None:
+        """Deterministically apply a known symbol (no scoring, no branching)."""
+        ts = self.config.samples_per_slot
+        w = self.config.samples_per_symbol
+        for channel, level in ((0, level_i), (1, level_q)):
+            for k in range(state.costs.size):
+                prev = tuple(int(v) for v in state.hist[k, channel, gi])
+                pulse = self.bank.pulse(channel, gi, level, prev)
+                state.buffer[k] += pulse
+            if state.hist.shape[-1]:
+                state.hist[:, channel, gi, 1:] = state.hist[:, channel, gi, :-1]
+                state.hist[:, channel, gi, 0] = level
+        # Consume one slot: shift the prediction window.
+        state.buffer[:, : w - ts] = state.buffer[:, ts:]
+        state.buffer[:, w - ts :] = 0.0
+        if state.recent is not None:
+            state.recent[:, 1:] = state.recent[:, :-1]
+            state.recent[:, 0, 0] = level_i
+            state.recent[:, 0, 1] = level_q
+
+    # ---------------------------------------------------------------- main
+
+    def demodulate(
+        self,
+        z: np.ndarray,
+        n_symbols: int,
+        prime_levels: tuple[np.ndarray, np.ndarray] | None = None,
+    ) -> DFEResult:
+        """Decode ``n_symbols`` PQAM symbols from corrected samples ``z``.
+
+        ``z`` must start exactly at the first payload slot.  ``prime_levels``
+        are the known level pairs transmitted *immediately before* the
+        payload (training tail); their count must be a multiple of ``L`` so
+        the group rotation stays aligned.  Without priming the channel is
+        assumed idle (all groups fully relaxed) before the payload.
+        """
+        cfg = self.config
+        ts = cfg.samples_per_slot
+        w = cfg.samples_per_symbol
+        m = cfg.levels_per_axis
+        z = np.asarray(z, dtype=complex)
+        if z.size < n_symbols * ts:
+            raise ValueError(f"need {n_symbols * ts} samples for {n_symbols} symbols, got {z.size}")
+
+        state = _SearchState(1, cfg.dsm_order, cfg.tail_memory, w)
+        if self.merge and self.merge_memory > 0:
+            state.recent = np.zeros((1, self.merge_memory, 2), dtype=np.int16)
+
+        if prime_levels is not None:
+            pi, pq = np.asarray(prime_levels[0], dtype=int), np.asarray(prime_levels[1], dtype=int)
+            if pi.size != pq.size:
+                raise ValueError("prime level arrays must be equal length")
+            if pi.size % cfg.dsm_order:
+                raise ValueError("prime length must be a multiple of the DSM order")
+            for n in range(pi.size):
+                self._advance_known(state, n % cfg.dsm_order, int(pi[n]), int(pq[n]))
+        else:
+            # Idle channel: one full round of level-0 firings settles the
+            # buffer at every group's rest pedestal.
+            for n in range(cfg.dsm_order):
+                self._advance_known(state, n, 0, 0)
+
+        parents: list[np.ndarray] = []
+        choices: list[np.ndarray] = []
+
+        for n in range(n_symbols):
+            gi = n % cfg.dsm_order
+            z_slot = z[n * ts : (n + 1) * ts]
+            pulses_i = self._candidate_pulses(state, gi, 0)
+            pulses_q = self._candidate_pulses(state, gi, 1)
+            base = z_slot[None, :] - state.buffer[:, :ts]
+            diff = (
+                base[:, None, None, :]
+                - pulses_i[:, :, None, :ts]
+                - pulses_q[:, None, :, :ts]
+            )
+            inc = np.sum(diff.real**2 + diff.imag**2, axis=-1)
+            total = state.costs[:, None, None] + inc
+            flat = total.ravel()
+
+            order = np.argsort(flat, kind="stable")
+            sel_k, sel_a, sel_b = np.unravel_index(order, total.shape)
+
+            if self.merge and state.recent is not None and self.merge_memory > 0:
+                keep_idx: list[int] = []
+                seen: set[bytes] = set()
+                for idx in range(order.size):
+                    k = sel_k[idx]
+                    key_tail = state.recent[k, : self.merge_memory - 1].tobytes() if self.merge_memory > 1 else b""
+                    key = bytes((int(sel_a[idx]), int(sel_b[idx]))) + key_tail
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    keep_idx.append(idx)
+                    if len(keep_idx) >= self.k_branches:
+                        break
+                chosen = np.array(keep_idx, dtype=int)
+            else:
+                chosen = np.arange(min(self.k_branches, order.size))
+
+            k_sel = sel_k[chosen]
+            a_sel = sel_a[chosen].astype(np.int16)
+            b_sel = sel_b[chosen].astype(np.int16)
+            k_new = chosen.size
+
+            parents.append(k_sel.copy())
+            choices.append(np.stack([a_sel, b_sel], axis=1))
+
+            new_state = _SearchState(k_new, cfg.dsm_order, cfg.tail_memory, w)
+            new_state.costs = flat[order[chosen]].copy()
+            new_state.buffer[:, : w - ts] = (
+                state.buffer[k_sel, ts:]
+                + pulses_i[k_sel, a_sel, ts:]
+                + pulses_q[k_sel, b_sel, ts:]
+            )
+            new_state.hist = state.hist[k_sel].copy()
+            if new_state.hist.shape[-1]:
+                new_state.hist[:, 0, gi, 1:] = state.hist[k_sel, 0, gi, :-1]
+                new_state.hist[:, 0, gi, 0] = a_sel
+                new_state.hist[:, 1, gi, 1:] = state.hist[k_sel, 1, gi, :-1]
+                new_state.hist[:, 1, gi, 0] = b_sel
+            if state.recent is not None:
+                new_state.recent = np.empty((k_new, self.merge_memory, 2), dtype=np.int16)
+                new_state.recent[:, 1:] = state.recent[k_sel, :-1]
+                new_state.recent[:, 0, 0] = a_sel
+                new_state.recent[:, 0, 1] = b_sel
+            state = new_state
+
+        # Traceback from the cheapest surviving branch.
+        best = int(np.argmin(state.costs))
+        levels_i = np.empty(n_symbols, dtype=int)
+        levels_q = np.empty(n_symbols, dtype=int)
+        k = best
+        for n in range(n_symbols - 1, -1, -1):
+            levels_i[n], levels_q[n] = choices[n][k]
+            k = int(parents[n][k])
+        mse = float(state.costs[best] / max(n_symbols * ts, 1))
+        return DFEResult(
+            levels_i=levels_i,
+            levels_q=levels_q,
+            mse=mse,
+            n_branches=self.k_branches,
+        )

@@ -220,8 +220,8 @@ class ReferenceBank:
     def pulse_stack(self, channel: int, index: int, prev_levels: tuple[int, ...]) -> np.ndarray:
         """All candidate pulses ``(levels_per_axis, W)`` for one history.
 
-        The demodulator's hot path: one cached array per (group, history)
-        covering every candidate level at once.
+        One cached array per (group, history) covering every candidate level
+        at once — the gather unit of the demodulator's sparse fallback path.
         """
         v = self.config.tail_memory
         hist = list(prev_levels[: v - 1])
@@ -235,6 +235,111 @@ class ReferenceBank:
         stack = np.stack([self.pulse(channel, index, lvl, tuple(hist)) for lvl in range(m)])
         self._pulse_cache[cache_key] = stack
         return stack
+
+    # --------------------------------------------------------- dense tables
+
+    @property
+    def n_history_states(self) -> int:
+        """``m**(V-1)`` — quantized history states per group."""
+        m = self.config.levels_per_axis
+        return m ** max(self.config.tail_memory - 1, 0)
+
+    def history_code(self, prev_levels: tuple[int, ...]) -> int:
+        """Pack a most-recent-first level history into a dense-table index.
+
+        ``code = sum_j prev_levels[j] * m**j`` over the first ``V - 1``
+        entries (missing history counts as level 0) — the row index into
+        :meth:`dense_split` tables.
+        """
+        m = self.config.levels_per_axis
+        v_prev = max(self.config.tail_memory - 1, 0)
+        code = 0
+        for j in range(v_prev):
+            level = int(prev_levels[j]) if j < len(prev_levels) else 0
+            code += level * m**j
+        return code
+
+    def dense_split(self, channel: int, index: int, split: int) -> tuple[np.ndarray, np.ndarray]:
+        """Dense reference table of one group, split at sample ``split``.
+
+        Returns ``(head, tail)`` with shapes ``(S, m, split)`` and
+        ``(S, m, W - split)`` where ``S = m**(V-1)`` indexes the quantized
+        firing history (packed per :meth:`history_code`) and the second axis
+        the candidate level.  ``head`` is the portion a candidate firing
+        contributes to the *current* slot (the cost update), ``tail`` the
+        prediction it pushes into future slots.  Rows are exactly
+        :meth:`pulse_stack` outputs, so gathering from these tables is
+        bit-identical to per-branch lookups.  Built once per bank (cached,
+        invalidated with the pulse cache on :meth:`set_coefficients`).
+        """
+        cache_key = (channel, index, "dense", split)
+        cached = self._pulse_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        cfg = self.config
+        m = cfg.levels_per_axis
+        v_prev = max(cfg.tail_memory - 1, 0)
+        s_states = self.n_history_states
+        w = cfg.samples_per_symbol
+        head = np.empty((s_states, m, split), dtype=complex)
+        tail = np.empty((s_states, m, w - split), dtype=complex)
+        for code in range(s_states):
+            hist = tuple((code // m**j) % m for j in range(v_prev))
+            stack = self.pulse_stack(channel, index, hist)
+            head[code] = stack[:, :split]
+            tail[code] = stack[:, split:]
+        self._pulse_cache[cache_key] = (head, tail)
+        return head, tail
+
+    def dense_split_planes(
+        self, channel: int, index: int, split: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """:meth:`dense_split` as contiguous float planes.
+
+        Returns ``(head_re, head_im, tail_re, tail_im)`` — the same tables
+        with real and imaginary parts stored as separate contiguous float64
+        arrays.  Complex addition and subtraction are exactly componentwise
+        in IEEE arithmetic, so consumers operating plane-by-plane produce
+        bit-identical numbers while every inner loop runs contiguous (the
+        strided ``.real``/``.imag`` views of a complex array defeat SIMD).
+        """
+        cache_key = (channel, index, "planes", split)
+        cached = self._pulse_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        head, tail = self.dense_split(channel, index, split)
+        planes = (
+            np.ascontiguousarray(head.real),
+            np.ascontiguousarray(head.imag),
+            np.ascontiguousarray(tail.real),
+            np.ascontiguousarray(tail.imag),
+        )
+        self._pulse_cache[cache_key] = planes
+        return planes
+
+    def dense_split_head_planes_t(
+        self, channel: int, index: int, split: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Head planes of :meth:`dense_split_planes`, level-major.
+
+        Returns ``(head_re_t, head_im_t)`` with shape ``(m, S, split)`` —
+        the head tables transposed so that fixing the candidate level yields
+        a contiguous ``(S, split)`` slab.  Gathering through these produces
+        level-major pulse stacks whose per-level slices are fully contiguous,
+        which lets the demodulator's cost loop run long SIMD inner loops.
+        Same float values as :meth:`dense_split_planes`, just relaid.
+        """
+        cache_key = (channel, index, "planes_t", split)
+        cached = self._pulse_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        head_re, head_im, _, _ = self.dense_split_planes(channel, index, split)
+        planes_t = (
+            np.ascontiguousarray(head_re.transpose(1, 0, 2)),
+            np.ascontiguousarray(head_im.transpose(1, 0, 2)),
+        )
+        self._pulse_cache[cache_key] = planes_t
+        return planes_t
 
     # ------------------------------------------------------------- factory
 

@@ -32,7 +32,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.errors import FailureReason, FailureStage, StageEvent
+from repro.errors import EqualizationError, FailureReason, FailureStage, StageEvent
 from repro.lcm.fingerprint import FingerprintTable
 from repro.modem.dfe import DFEDemodulator
 from repro.modem.preamble import PreambleDetection
@@ -347,12 +347,15 @@ class PhyReceiver:
                 prime_levels=frame.prime_levels(),
             )
             payload, crc_ok = frame.decode_payload(result.levels_i, result.levels_q)
-        except (ValueError, np.linalg.LinAlgError) as exc:
+        except (EqualizationError, ValueError, np.linalg.LinAlgError) as exc:
             if not self.hardened:
                 raise
+            code = (
+                "equalization_error" if isinstance(exc, EqualizationError) else "demodulator_error"
+            )
             return self._failure_output(
                 detection,
-                FailureReason(FailureStage.EQUALIZATION, "demodulator_error", str(exc)),
+                FailureReason(FailureStage.EQUALIZATION, code, str(exc)),
                 events,
             )
         events.append(StageEvent(FailureStage.EQUALIZATION, "ok"))

@@ -1,0 +1,107 @@
+"""Loaders and comparison helpers for the golden-vector regression suite.
+
+The fixtures under ``cases/`` freeze received waveforms together with the
+demodulator outputs they produced at generation time (see
+``make_goldens.py``).  Tests replay the stored waveform through the current
+implementation and demand *bit-exact* agreement; the helpers here turn a
+failure into an actionable diff (which indices flipped, to what) instead of
+a bare boolean.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.modem.config import ModemConfig
+from repro.modem.dfe import DFEDemodulator
+from repro.modem.mlse import ViterbiDemodulator
+from repro.modem.references import ReferenceBank
+
+CASES_DIR = Path(__file__).parent / "cases"
+MANIFEST_PATH = CASES_DIR / "manifest.json"
+
+
+def pytest_generate_tests(metafunc):
+    """Parametrize golden tests straight from the committed manifest, so a
+    newly frozen case is picked up without touching the test module."""
+    manifest = load_manifest()
+    if "dsm_case" in metafunc.fixturenames:
+        names = [n for n, meta in manifest.items() if meta["kind"] == "dsm_pqam"]
+        metafunc.parametrize("dsm_case", names or [pytest.param(None, marks=pytest.mark.skip)])
+    if "baseband_case" in metafunc.fixturenames:
+        names = [n for n, meta in manifest.items() if meta["kind"] in ("ook", "pam")]
+        metafunc.parametrize(
+            "baseband_case", names or [pytest.param(None, marks=pytest.mark.skip)]
+        )
+
+
+@pytest.fixture(scope="session")
+def golden():
+    """Handle to this module's loader/compare helpers for the test files."""
+    import sys
+
+    return sys.modules[__name__]
+
+
+def load_manifest() -> dict[str, dict]:
+    """The committed case index: ``{case_name: metadata}``."""
+    if not MANIFEST_PATH.exists():
+        return {}
+    return json.loads(MANIFEST_PATH.read_text())
+
+
+def load_case(name: str) -> dict[str, np.ndarray]:
+    """All frozen arrays of one case, materialised out of the npz archive."""
+    with np.load(CASES_DIR / f"{name}.npz") as data:
+        return {key: data[key] for key in data.files}
+
+
+def dsm_setup(meta: dict):
+    """Rebuild (config, bank, demodulator) exactly as the generator did."""
+    config = ModemConfig(**meta["config"])
+    bank = ReferenceBank.nominal(config)
+    if meta["viterbi"]:
+        demod = ViterbiDemodulator(bank)
+    else:
+        demod = DFEDemodulator(bank, k_branches=meta["k_branches"])
+    return config, bank, demod
+
+
+def prime_zeros(config: ModemConfig) -> np.ndarray:
+    """The generator's all-zero priming sequence (one per training slot)."""
+    return np.zeros(config.tail_memory * config.dsm_order, dtype=int)
+
+
+def assert_arrays_equal(expected, actual, *, case: str, field: str) -> None:
+    """Bit-exact integer/bit array comparison with an index-level diff."""
+    expected = np.asarray(expected)
+    actual = np.asarray(actual)
+    if expected.shape != actual.shape:
+        pytest.fail(
+            f"{case}.{field}: shape mismatch, expected {expected.shape} got {actual.shape}"
+        )
+    bad = np.nonzero(expected.ravel() != actual.ravel())[0]
+    if bad.size:
+        exp_flat, act_flat = expected.ravel(), actual.ravel()
+        head = ", ".join(
+            f"[{i}] expected {exp_flat[i]} got {act_flat[i]}" for i in bad[:8]
+        )
+        tail = ", ..." if bad.size > 8 else ""
+        pytest.fail(
+            f"{case}.{field}: {bad.size}/{expected.size} entries differ: {head}{tail}"
+        )
+
+
+def assert_scalar_equal(expected, actual, *, case: str, field: str) -> None:
+    """Bit-exact scalar comparison (golden floats must match exactly)."""
+    if not expected == actual:
+        msg = f"{case}.{field}: expected {expected!r} got {actual!r}"
+        try:
+            msg += f" (difference {actual - expected!r})"
+        except TypeError:
+            pass
+        pytest.fail(msg)

@@ -1,0 +1,182 @@
+"""Regenerate the golden-vector fixtures under ``tests/golden/cases/``.
+
+Each case freezes a deterministic received waveform plus the demodulator's
+exact output (bits / levels / MSE) at the moment of generation.  The suite in
+``test_golden_vectors.py`` then asserts the current implementation reproduces
+those outputs *bit-exactly* — the regression wall behind which the DFE/MLSE
+hot path can be rewritten.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tests/golden/make_goldens.py          # refuses if fixtures exist
+    PYTHONPATH=src python tests/golden/make_goldens.py --force  # explicit regeneration
+
+Regenerating *moves the wall*: only do it deliberately (a knowing behaviour
+change), never to make a red test green.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.channel.awgn import add_awgn
+from repro.lcm.array import LCMArray
+from repro.modem.config import ModemConfig, preset_for_rate
+from repro.modem.dfe import DFEDemodulator
+from repro.modem.mlse import ViterbiDemodulator
+from repro.modem.ook import TrendOOKModem
+from repro.modem.pam import MultiPixelPAMModem
+from repro.modem.references import ReferenceBank, assemble_waveform
+from repro.modem.symbols import PQAMConstellation
+
+CASES_DIR = Path(__file__).parent / "cases"
+MANIFEST = CASES_DIR / "manifest.json"
+
+#: DSM-PQAM rate-ladder rungs (bps) frozen as golden cases, mirroring the
+#: paper's sweep points up to the 16 Kbps hardware ceiling (footnote 7).
+DSM_LADDER = [1_000, 2_000, 4_000, 8_000, 16_000]
+
+
+def _config_params(config: ModemConfig) -> dict:
+    return {
+        "dsm_order": config.dsm_order,
+        "pqam_order": config.pqam_order,
+        "slot_s": config.slot_s,
+        "fs": config.fs,
+        "tail_memory": config.tail_memory,
+    }
+
+
+def make_ook_case() -> tuple[dict, dict]:
+    """Trend-OOK baseline: noisy waveform -> expected bit decisions."""
+    modem = TrendOOKModem(LCMArray.build(2, 16), symbol_s=4e-3, fs=20e3)
+    rng = np.random.default_rng(101)
+    tx_bits = rng.integers(0, 2, 48, dtype=np.uint8)
+    x = add_awgn(modem.modulate(tx_bits), 35.0, reference_power=2.0, rng=rng)
+    bits = modem.demodulate(x, tx_bits.size)
+    meta = {"kind": "ook", "symbol_s": 4e-3, "fs": 20e3, "n_bits": int(tx_bits.size)}
+    return meta, {"x": x, "tx_bits": tx_bits, "bits": bits}
+
+
+def make_pam_case() -> tuple[dict, dict]:
+    """Multi-pixel PAM baseline: noisy waveform -> expected bit decisions."""
+    modem = MultiPixelPAMModem(LCMArray.build(2, 16), symbol_s=4e-3, fs=20e3)
+    rng = np.random.default_rng(102)
+    tx_bits = rng.integers(0, 2, 64, dtype=np.uint8)
+    n_symbols = tx_bits.size // modem.bits_per_symbol
+    x = add_awgn(modem.modulate(tx_bits), 35.0, reference_power=0.5, rng=rng)
+    bits = modem.demodulate(x, n_symbols)
+    meta = {"kind": "pam", "symbol_s": 4e-3, "fs": 20e3, "n_symbols": int(n_symbols)}
+    return meta, {"x": x, "tx_bits": tx_bits, "bits": bits}
+
+
+def _dsm_pqam_arrays(
+    config: ModemConfig,
+    k_branches: int,
+    n_symbols: int,
+    snr_db: float,
+    seed: int,
+    viterbi: bool = False,
+) -> tuple[dict, dict]:
+    bank = ReferenceBank.nominal(config)
+    constellation = PQAMConstellation(config.pqam_order)
+    rng = np.random.default_rng(seed)
+    prime_n = config.tail_memory * config.dsm_order
+    zeros = np.zeros(prime_n, dtype=int)
+    tx_i, tx_q = constellation.random_levels(n_symbols, rng)
+    wave = assemble_waveform(
+        bank, np.concatenate([zeros, tx_i]), np.concatenate([zeros, tx_q])
+    )
+    noisy = add_awgn(wave, snr_db, reference_power=1.0, rng=rng)
+    z = noisy[prime_n * config.samples_per_slot :]
+    if viterbi:
+        demod = ViterbiDemodulator(bank)
+    else:
+        demod = DFEDemodulator(bank, k_branches=k_branches)
+    res = demod.demodulate(z, n_symbols, prime_levels=(zeros, zeros))
+    bits = constellation.levels_to_bits(res.levels_i, res.levels_q)
+    meta = {
+        "kind": "dsm_pqam",
+        "config": _config_params(config),
+        "k_branches": int(k_branches),
+        "viterbi": bool(viterbi),
+        "n_symbols": int(n_symbols),
+        "snr_db": float(snr_db),
+        "seed": int(seed),
+    }
+    arrays = {
+        "z": z,
+        "tx_levels_i": tx_i,
+        "tx_levels_q": tx_q,
+        "levels_i": res.levels_i,
+        "levels_q": res.levels_q,
+        "bits": bits,
+        "mse": np.float64(res.mse),
+        "n_branches": np.int64(res.n_branches),
+    }
+    return meta, arrays
+
+
+def build_cases() -> dict[str, tuple[dict, dict]]:
+    cases: dict[str, tuple[dict, dict]] = {
+        "ook_35db": make_ook_case(),
+        "pam_35db": make_pam_case(),
+    }
+    # The DSM-PQAM rate ladder at the paper's K=16 operating point.
+    for rate in DSM_LADDER:
+        config = preset_for_rate(rate)
+        cases[f"dsm_pqam_{rate // 1000}k_k16"] = _dsm_pqam_arrays(
+            config, k_branches=16, n_symbols=64, snr_db=30.0, seed=200 + rate // 1000
+        )
+    # Merge-path edge cases: the plain K=1 DFE and the exact Viterbi trellis.
+    cases["dsm_pqam_8k_k1"] = _dsm_pqam_arrays(
+        preset_for_rate(8_000), k_branches=1, n_symbols=64, snr_db=30.0, seed=301
+    )
+    small = ModemConfig(dsm_order=2, pqam_order=4, slot_s=2.0e-3, fs=10e3, tail_memory=1)
+    cases["dsm_pqam_small_viterbi"] = _dsm_pqam_arrays(
+        small, k_branches=0, n_symbols=48, snr_db=8.0, seed=302, viterbi=True
+    )
+    # A low-SNR case where the equalizer *makes* level errors: freezes the
+    # exact error pattern, not just the easy clean decode.
+    cases["dsm_pqam_8k_k16_noisy"] = _dsm_pqam_arrays(
+        preset_for_rate(8_000), k_branches=16, n_symbols=64, snr_db=14.0, seed=303
+    )
+    return cases
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--force",
+        action="store_true",
+        help="overwrite existing fixtures (moves the regression wall!)",
+    )
+    args = parser.parse_args(argv)
+
+    if MANIFEST.exists() and not args.force:
+        print(
+            f"refusing to overwrite {MANIFEST}\n"
+            "golden fixtures already exist; pass --force to regenerate "
+            "(only for a deliberate behaviour change)",
+            file=sys.stderr,
+        )
+        return 1
+
+    CASES_DIR.mkdir(parents=True, exist_ok=True)
+    manifest: dict[str, dict] = {}
+    for name, (meta, arrays) in build_cases().items():
+        np.savez(CASES_DIR / f"{name}.npz", **arrays)
+        manifest[name] = meta
+        print(f"wrote {name}: {', '.join(sorted(arrays))}")
+    MANIFEST.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {MANIFEST} ({len(manifest)} cases)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,113 @@
+"""Golden-vector regression wall for the demodulator stack.
+
+Every test replays a frozen received waveform through the *current*
+implementation and demands bit-exact agreement with the outputs recorded at
+freeze time.  This is the contract that let the DFE/MLSE hot path be
+rewritten: any deviation — one flipped level, one ulp of MSE — fails loudly
+with an index-level diff.
+
+Fixtures live in ``cases/`` and are regenerated only deliberately via
+``make_goldens.py --force`` (a knowing behaviour change, never to silence a
+red test).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lcm.array import LCMArray
+from repro.modem.dfe import DFEDemodulator
+from repro.modem.ook import TrendOOKModem
+from repro.modem.pam import MultiPixelPAMModem
+from repro.modem.symbols import PQAMConstellation
+
+
+def _replay_dsm(golden, name):
+    meta = golden.load_manifest()[name]
+    arrays = golden.load_case(name)
+    config, bank, demod = golden.dsm_setup(meta)
+    zeros = golden.prime_zeros(config)
+    res = demod.demodulate(arrays["z"], meta["n_symbols"], prime_levels=(zeros, zeros))
+    return meta, arrays, config, res
+
+
+def test_manifest_covers_all_fixture_files(golden):
+    manifest = golden.load_manifest()
+    assert manifest, "golden manifest missing — run tests/golden/make_goldens.py"
+    on_disk = {p.stem for p in golden.CASES_DIR.glob("*.npz")}
+    assert on_disk == set(manifest), "manifest and npz fixtures out of sync"
+
+
+def test_dsm_levels_bit_exact(golden, dsm_case):
+    meta, arrays, config, res = _replay_dsm(golden, dsm_case)
+    golden.assert_arrays_equal(arrays["levels_i"], res.levels_i, case=dsm_case, field="levels_i")
+    golden.assert_arrays_equal(arrays["levels_q"], res.levels_q, case=dsm_case, field="levels_q")
+
+
+def test_dsm_bits_mse_branches_bit_exact(golden, dsm_case):
+    meta, arrays, config, res = _replay_dsm(golden, dsm_case)
+    bits = PQAMConstellation(config.pqam_order).levels_to_bits(res.levels_i, res.levels_q)
+    golden.assert_arrays_equal(arrays["bits"], bits, case=dsm_case, field="bits")
+    golden.assert_scalar_equal(float(arrays["mse"]), res.mse, case=dsm_case, field="mse")
+    golden.assert_scalar_equal(
+        int(arrays["n_branches"]), res.n_branches, case=dsm_case, field="n_branches"
+    )
+
+
+def test_dsm_block_single_row_matches_golden(golden, dsm_case):
+    """The batched engine, fed one-row blocks, must sit on the same wall."""
+    meta = golden.load_manifest()[dsm_case]
+    if meta["viterbi"]:
+        return  # the trellis detector has no block entry point
+    arrays = golden.load_case(dsm_case)
+    config, bank, demod = golden.dsm_setup(meta)
+    zeros = golden.prime_zeros(config)
+    (res,) = demod.demodulate_block(
+        arrays["z"][None, :], meta["n_symbols"], prime_levels=(zeros, zeros)
+    )
+    golden.assert_arrays_equal(arrays["levels_i"], res.levels_i, case=dsm_case, field="levels_i")
+    golden.assert_arrays_equal(arrays["levels_q"], res.levels_q, case=dsm_case, field="levels_q")
+    golden.assert_scalar_equal(float(arrays["mse"]), res.mse, case=dsm_case, field="mse")
+
+
+def test_dsm_block_mixed_batch_matches_golden(golden):
+    """A 16-row mixed-SNR batch (the lag-fold fast path) against the wall.
+
+    Interleaves the clean and the errorful 8 Kbps cases so the batch decodes
+    *different* data per row — a transposed-row bug or any cross-packet
+    leakage shows up as a diff against the per-case goldens.
+    """
+    manifest = golden.load_manifest()
+    names = ["dsm_pqam_8k_k16", "dsm_pqam_8k_k16_noisy"]
+    metas = [manifest[n] for n in names]
+    cases = [golden.load_case(n) for n in names]
+    assert metas[0]["config"] == metas[1]["config"]
+    config, bank, demod = golden.dsm_setup(metas[0])
+    zeros = golden.prime_zeros(config)
+    rows = [cases[i % 2]["z"] for i in range(16)]
+    results = demod.demodulate_block(
+        np.stack(rows), metas[0]["n_symbols"], prime_levels=(zeros, zeros)
+    )
+    for i, res in enumerate(results):
+        name, arrays = names[i % 2], cases[i % 2]
+        golden.assert_arrays_equal(
+            arrays["levels_i"], res.levels_i, case=f"{name}[row {i}]", field="levels_i"
+        )
+        golden.assert_arrays_equal(
+            arrays["levels_q"], res.levels_q, case=f"{name}[row {i}]", field="levels_q"
+        )
+        golden.assert_scalar_equal(
+            float(arrays["mse"]), res.mse, case=f"{name}[row {i}]", field="mse"
+        )
+
+
+def test_baseband_bits_bit_exact(golden, baseband_case):
+    meta = golden.load_manifest()[baseband_case]
+    arrays = golden.load_case(baseband_case)
+    if meta["kind"] == "ook":
+        modem = TrendOOKModem(LCMArray.build(2, 16), symbol_s=meta["symbol_s"], fs=meta["fs"])
+        bits = modem.demodulate(arrays["x"], meta["n_bits"])
+    else:
+        modem = MultiPixelPAMModem(LCMArray.build(2, 16), symbol_s=meta["symbol_s"], fs=meta["fs"])
+        bits = modem.demodulate(arrays["x"], meta["n_symbols"])
+    golden.assert_arrays_equal(arrays["bits"], bits, case=baseband_case, field="bits")

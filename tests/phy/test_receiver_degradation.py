@@ -7,6 +7,7 @@ section — must decode cleanly through the hardened degradation ladder
 truncation, crashes the seed receiver and must be *classified* instead.
 """
 
+import numpy as np
 import pytest
 
 from repro.channel.link import OpticalLink
@@ -92,6 +93,67 @@ class TestTruncationClassification:
         assert result.failure.stage == FailureStage.CAPTURE
         assert result.failure.code == "truncated_capture"
         assert result.ber == 1.0
+
+
+class TestEqualizationErrorClassification:
+    """An equalizer refusal mid-packet: seed crashes, hardened classifies
+    it as an EQUALIZATION-stage failure with the dedicated error code."""
+
+    @staticmethod
+    def _clean_sim(hardened: bool) -> PacketSimulator:
+        return PacketSimulator(
+            config=FAST,
+            link=OpticalLink(geometry=LinkGeometry(distance_m=2.0)),
+            payload_bytes=8,
+            rng=7,
+            hardened=hardened,
+        )
+
+    @staticmethod
+    def _raising(monkeypatch, exc):
+        from repro.modem.dfe import DFEDemodulator
+
+        def boom(self, *args, **kwargs):
+            raise exc
+
+        monkeypatch.setattr(DFEDemodulator, "demodulate", boom)
+
+    def test_seed_receiver_raises(self, monkeypatch):
+        from repro.errors import EqualizationError
+
+        self._raising(monkeypatch, EqualizationError("forced"))
+        with pytest.raises(EqualizationError, match="forced"):
+            self._clean_sim(hardened=False).run_packet(rng=11)
+
+    def test_hardened_receiver_classifies_equalization_error(self, monkeypatch):
+        from repro.errors import EqualizationError
+
+        self._raising(monkeypatch, EqualizationError("forced"))
+        result = self._clean_sim(hardened=True).run_packet(rng=11)
+        assert not result.crc_ok
+        assert result.failure is not None
+        assert result.failure.stage == FailureStage.EQUALIZATION
+        assert result.failure.code == "equalization_error"
+
+    def test_hardened_receiver_distinguishes_generic_errors(self, monkeypatch):
+        """A plain ValueError out of the demodulator is *not* an
+        equalization refusal and must keep its own code."""
+        self._raising(monkeypatch, ValueError("singular"))
+        result = self._clean_sim(hardened=True).run_packet(rng=11)
+        assert result.failure is not None
+        assert result.failure.stage == FailureStage.EQUALIZATION
+        assert result.failure.code == "demodulator_error"
+
+    def test_short_input_raises_equalization_error(self, fast_bank):
+        """The block engine's own validation speaks EqualizationError."""
+        from repro.errors import EqualizationError
+        from repro.modem.dfe import DFEDemodulator
+
+        demod = DFEDemodulator(fast_bank, k_branches=4)
+        with pytest.raises(EqualizationError, match="need"):
+            demod.demodulate_block(np.zeros((2, 10)), n_symbols=64)
+        with pytest.raises(EqualizationError, match="2-D"):
+            demod.demodulate_block(np.zeros(10), n_symbols=1)
 
 
 class TestCleanPathUnchanged:
