@@ -1,11 +1,11 @@
 #!/usr/bin/env python3
-"""Quickstart: send one RetroTurbo packet across a simulated room.
+"""Quickstart: send RetroTurbo packets across a simulated room.
 
 Builds the paper's default 8 Kbps link (DSM L=8, T=0.5 ms, 16-PQAM),
-places the tag 3 m from the reader with a 25deg roll misalignment, pushes a
-payload through the full pipeline — LC physics, polarization optics,
-preamble detection, online channel training, 16-branch DFE — and prints
-what happened.
+places the tag 3 m from the reader with a 25deg roll misalignment, runs
+the full pipeline — LC physics, polarization optics, preamble detection,
+online channel training, 16-branch DFE — through the unified run API,
+and prints what happened.
 
 Run:  python examples/quickstart.py
 """
@@ -14,30 +14,42 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import LinkGeometry, ModemConfig, OpticalLink, PacketSimulator
+from repro import (
+    LinkGeometry,
+    ModemConfig,
+    OpticalLink,
+    PacketSimulator,
+    ScenarioSpec,
+    Session,
+)
 
 
 def main() -> None:
+    # The one-stop path: a validated spec, an observed session, a report.
+    spec = ScenarioSpec(distance_m=3.0, roll_deg=25.0, payload_bytes=32)
+    report = Session(spec).run(n_packets=10)
+    s = report.summary
+    print(f"scenario        : {spec.describe()}")
+    print(f"link SNR        : {s['snr_db']:.1f} dB at 3.0 m, roll 25 deg")
+    print(f"10-packet BER   : {s['ber']:.4%}  (PER {s['packet_error_rate']:.0%}, "
+          f"detection {s['detection_rate']:.0%})")
+    print(f"stages traced   : {', '.join(sorted(report.span_names()))}")
+    print(f"metric series   : {len(report.metric_names())}  "
+          f"(report.write('run.json') saves the full artifact)")
+
+    # The lower-level objects are still there when you need one packet's story.
     config = ModemConfig()  # the paper's default 8 Kbps operating point
     link = OpticalLink(
         geometry=LinkGeometry(distance_m=3.0, roll_rad=np.deg2rad(25.0))
     )
-    print(f"operating point : {config.describe()}")
-    print(f"link SNR        : {link.effective_snr_db():.1f} dB at 3.0 m, roll 25 deg")
-
     sim = PacketSimulator(config=config, link=link, payload_bytes=32, rng=7)
+    result = sim.measure_ber(n_packets=1, rng=1, keep_results=True).results[0]
+    print(f"one packet      : detected={result.detected}, "
+          f"SNR estimate {result.snr_est_db:.1f} dB, "
+          f"{result.n_bit_errors} bit errors in {result.n_bits} bits, "
+          f"CRC {'ok' if result.crc_ok else 'FAILED'}")
 
     payload = b"hello from a sub-milliwatt tag!!"
-    result = sim.run_packet(payload=payload, rng=1)
-    print(f"preamble        : detected={result.detected}, "
-          f"SNR estimate {result.snr_est_db:.1f} dB")
-    print(f"payload         : {result.n_bit_errors} bit errors in {result.n_bits} bits "
-          f"(BER {result.ber:.2%}), CRC {'ok' if result.crc_ok else 'FAILED'}")
-
-    point = sim.measure_ber(n_packets=10, rng=2)
-    print(f"10-packet BER   : {point.ber:.4%}  "
-          f"({'reliable' if point.reliable else 'unreliable'} by the paper's <1% bar)")
-
     power = sim.transmitter.transmit_power_w(payload)
     print(f"tag power       : {power * 1e3:.2f} mW (paper: ~0.8 mW)")
 

@@ -26,22 +26,30 @@ from repro.channel.link import OpticalLink
 from repro.errors import FailureReason, FailureStage, ReproError
 from repro.faults import FaultPlan, scenario, scenario_names
 from repro.modem.config import ModemConfig, RATE_PRESETS, preset_for_rate
+from repro.obs import MetricsRegistry, Observer, RunReport
 from repro.optics.geometry import LinkGeometry
 from repro.phy.pipeline import PacketResult, PacketSimulator, measure_ber
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+from repro.api import ScenarioSpec, Session  # noqa: E402  (needs the names above)
 
 __all__ = [
     "FailureReason",
     "FailureStage",
     "FaultPlan",
     "LinkGeometry",
+    "MetricsRegistry",
     "ModemConfig",
+    "Observer",
     "OpticalLink",
     "PacketResult",
     "PacketSimulator",
     "RATE_PRESETS",
     "ReproError",
+    "RunReport",
+    "ScenarioSpec",
+    "Session",
     "__version__",
     "measure_ber",
     "preset_for_rate",

@@ -1,0 +1,290 @@
+"""The unified run API: one validated spec, one entry point, one artifact.
+
+Before this module the library had four scattered ways to run an
+experiment — ``PacketSimulator.run_packet``, ``MobileLinkSimulator.
+run_packet``, ``StopAndWaitARQ.simulate`` and ``LinkWatchdog.simulate`` —
+plus the ``make_simulator(**kwargs)`` factory that silently forwarded any
+typo'd keyword.  They are now deprecated shims over this facade::
+
+    from repro import ScenarioSpec, Session
+
+    spec = ScenarioSpec(kind="packet", distance_m=3.0, rate_bps=8000)
+    report = Session(spec).run(n_packets=10)
+    print(report.summary["ber"], sorted(report.metric_names()))
+    report.write("run.json")            # schema-validated RunReport
+
+* :class:`ScenarioSpec` is a frozen dataclass that validates every field
+  at construction (unknown keywords are a ``TypeError``, out-of-range
+  values a ``ValueError``) and renders itself with :meth:`ScenarioSpec.
+  describe` — that dict becomes the report's ``scenario`` section.
+* :class:`Session` owns an :class:`~repro.obs.Observer` (metrics +
+  span tracing + optional profiling), installs it as the ambient observer
+  for the run, and returns a :class:`~repro.obs.RunReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+import numpy as np
+
+from repro.obs import Observer, RunReport, ensure_observer, use_observer
+from repro.utils.rng import ensure_rng
+
+__all__ = ["SCENARIO_KINDS", "ScenarioSpec", "Session"]
+
+#: Scenario families the facade can run (each maps to one harness).
+SCENARIO_KINDS = ("packet", "mobility", "arq", "watchdog")
+
+_BANK_MODES = ("trained", "nominal")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A validated, self-describing experimental condition.
+
+    Common fields apply to the PHY kinds (``packet``, ``mobility``);
+    ``success_probability`` / ``max_attempts`` / ``fail_threshold`` drive
+    the analytic MAC kinds (``arq``, ``watchdog``).  Anything the spec
+    does not name is rejected at construction — there is no silent
+    keyword passthrough.
+    """
+
+    kind: str = "packet"
+    rate_bps: float = 8000.0
+    distance_m: float = 2.0
+    roll_deg: float = 0.0
+    yaw_deg: float = 0.0
+    payload_bytes: int = 24
+    bank_mode: str = "trained"
+    k_branches: int = 16
+    ambient: str | None = None
+    seed: int = 7
+    # mobility-only knobs
+    roll_rate_deg_s: float = 0.0
+    sync_interval_slots: int = 64
+    resync: bool = True
+    # arq / watchdog-only knobs
+    success_probability: float | None = None
+    max_attempts: int = 8
+    fail_threshold: int = 3
+
+    def __post_init__(self):
+        problems = []
+        if self.kind not in SCENARIO_KINDS:
+            problems.append(f"kind {self.kind!r} not in {SCENARIO_KINDS}")
+        if self.rate_bps <= 0:
+            problems.append("rate_bps must be positive")
+        if self.distance_m <= 0:
+            problems.append("distance_m must be positive")
+        if self.payload_bytes < 1:
+            problems.append("payload_bytes must be >= 1")
+        if self.bank_mode not in _BANK_MODES:
+            problems.append(f"bank_mode {self.bank_mode!r} not in {_BANK_MODES}")
+        if self.k_branches < 1:
+            problems.append("k_branches must be >= 1")
+        if self.ambient is not None:
+            from repro.optics.ambient import AMBIENT_PRESETS
+
+            if self.ambient not in AMBIENT_PRESETS:
+                problems.append(
+                    f"ambient {self.ambient!r} not in {sorted(AMBIENT_PRESETS)}"
+                )
+        if self.sync_interval_slots < 1:
+            problems.append("sync_interval_slots must be >= 1")
+        if self.success_probability is not None and not (
+            0.0 <= self.success_probability <= 1.0
+        ):
+            problems.append("success_probability must be in [0, 1]")
+        if self.kind in ("arq", "watchdog") and self.success_probability is None:
+            problems.append(f"kind={self.kind!r} requires success_probability")
+        if self.max_attempts < 1:
+            problems.append("max_attempts must be >= 1")
+        if self.fail_threshold < 1:
+            problems.append("fail_threshold must be >= 1")
+        if problems:
+            raise ValueError("invalid ScenarioSpec: " + "; ".join(problems))
+
+    # ------------------------------------------------------------ describe
+
+    def describe(self) -> dict:
+        """The spec as a JSON-ready dict (the report's ``scenario`` block).
+
+        Only the fields that matter for :attr:`kind` are included, so two
+        specs describing the same physical condition render identically.
+        """
+        base = {"kind": self.kind, "seed": self.seed}
+        if self.kind in ("packet", "mobility"):
+            base.update(
+                rate_bps=self.rate_bps,
+                distance_m=self.distance_m,
+                payload_bytes=self.payload_bytes,
+                k_branches=self.k_branches,
+            )
+        if self.kind == "packet":
+            base.update(
+                roll_deg=self.roll_deg,
+                yaw_deg=self.yaw_deg,
+                bank_mode=self.bank_mode,
+                ambient=self.ambient,
+            )
+        if self.kind == "mobility":
+            base.update(
+                roll_rate_deg_s=self.roll_rate_deg_s,
+                sync_interval_slots=self.sync_interval_slots,
+                resync=self.resync,
+            )
+        if self.kind in ("arq", "watchdog"):
+            base.update(
+                success_probability=self.success_probability,
+                max_attempts=self.max_attempts,
+            )
+        if self.kind == "watchdog":
+            base["fail_threshold"] = self.fail_threshold
+        return base
+
+    def replace(self, **changes) -> "ScenarioSpec":
+        """A copy with fields changed (re-validated)."""
+        current = {f.name: getattr(self, f.name) for f in fields(self)}
+        current.update(changes)
+        return ScenarioSpec(**current)
+
+    # --------------------------------------------------------------- build
+
+    def build(self, observer=None):
+        """The underlying harness object for this spec's kind."""
+        observer = ensure_observer(observer)
+        if self.kind == "packet":
+            from repro.experiments.common import _make_simulator
+            from repro.optics.ambient import AMBIENT_PRESETS
+
+            return _make_simulator(
+                rate_bps=self.rate_bps,
+                distance_m=self.distance_m,
+                roll_deg=self.roll_deg,
+                yaw_deg=self.yaw_deg,
+                ambient=AMBIENT_PRESETS[self.ambient] if self.ambient else None,
+                payload_bytes=self.payload_bytes,
+                bank_mode=self.bank_mode,
+                k_branches=self.k_branches,
+                rng=self.seed,
+                observer=observer,
+            )
+        if self.kind == "mobility":
+            from repro.channel.dynamics import ChannelDrift
+            from repro.experiments.mobility import MobileLinkSimulator
+
+            return MobileLinkSimulator(
+                distance_m=self.distance_m,
+                drift=ChannelDrift(
+                    roll_rate_rad_s=float(np.deg2rad(self.roll_rate_deg_s))
+                ),
+                payload_bytes=self.payload_bytes,
+                sync_interval_slots=self.sync_interval_slots,
+                resync=self.resync,
+                k_branches=self.k_branches,
+                rng=self.seed,
+                observer=observer,
+            )
+        if self.kind == "arq":
+            from repro.mac.arq import StopAndWaitARQ
+
+            return StopAndWaitARQ(max_attempts=self.max_attempts)
+        # watchdog
+        from repro.mac.watchdog import LinkWatchdog
+
+        return LinkWatchdog(fail_threshold=self.fail_threshold, observer=observer)
+
+
+class Session:
+    """One observed run of a :class:`ScenarioSpec`.
+
+    The session installs its observer as the *ambient* observer for the
+    duration of :meth:`run`, so every instrumented layer underneath —
+    receiver stages, DFE, training solves, MAC outcomes — records into
+    the same registry and span forest, which :meth:`run` returns as a
+    :class:`~repro.obs.RunReport`.
+    """
+
+    def __init__(self, spec: ScenarioSpec, observer: Observer | None = None):
+        if not isinstance(spec, ScenarioSpec):
+            raise TypeError(f"Session needs a ScenarioSpec, got {type(spec).__name__}")
+        self.spec = spec
+        self.observer = observer if observer is not None else Observer()
+        if not self.observer.enabled:
+            raise ValueError("Session requires an enabled Observer (it emits a RunReport)")
+
+    def run(self, n_packets: int = 4, rng=None) -> RunReport:
+        """Run ``n_packets`` packets (frames, for the MAC kinds).
+
+        Returns the :class:`~repro.obs.RunReport`; write it with
+        ``report.write(path)`` or inspect ``report.summary`` directly.
+        """
+        if n_packets < 1:
+            raise ValueError("n_packets must be >= 1")
+        obs = self.observer
+        runner = getattr(self, f"_run_{self.spec.kind}")
+        with use_observer(obs):
+            with obs.span("session", kind=self.spec.kind, n_packets=n_packets):
+                summary = runner(n_packets, rng)
+        return obs.run_report(self.spec.kind, scenario=self.spec.describe(), summary=summary)
+
+    # ------------------------------------------------------- kind runners
+
+    def _run_packet(self, n_packets: int, rng) -> dict:
+        sim = self.spec.build(self.observer)
+        m = sim.measure_ber(
+            n_packets=n_packets, rng=self.spec.seed + 1 if rng is None else rng
+        )
+        return {
+            "ber": m.ber,
+            "packet_error_rate": m.packet_error_rate,
+            "detection_rate": m.detection_rate,
+            "n_packets": m.n_packets,
+            "n_bits": m.n_bits,
+            "snr_db": sim.link.effective_snr_db(),
+        }
+
+    def _run_mobility(self, n_packets: int, rng) -> dict:
+        sim = self.spec.build(self.observer)
+        gen = ensure_rng(self.spec.seed + 1 if rng is None else rng)
+        bers, crcs = zip(*(sim._run_packet(rng=gen) for _ in range(n_packets)))
+        return {
+            "ber": float(np.mean(bers)),
+            "crc_ok_rate": float(np.mean(crcs)),
+            "n_packets": n_packets,
+        }
+
+    def _run_arq(self, n_frames: int, rng) -> dict:
+        arq = self.spec.build(self.observer)
+        stats = arq._simulate(
+            self.spec.success_probability,
+            n_frames,
+            rng=self.spec.seed if rng is None else rng,
+        )
+        return {
+            "delivered": stats.delivered,
+            "gave_up": stats.gave_up,
+            "attempts": stats.attempts,
+            "mean_attempts": stats.mean_attempts,
+            "efficiency": stats.efficiency(),
+            "expected_attempts": arq.expected_attempts(self.spec.success_probability),
+        }
+
+    def _run_watchdog(self, n_frames: int, rng) -> dict:
+        from repro.mac.arq import StopAndWaitARQ
+
+        dog = self.spec.build(self.observer)
+        stats = dog._simulate(
+            lambda rate: self.spec.success_probability,
+            n_frames,
+            arq=StopAndWaitARQ(max_attempts=self.spec.max_attempts),
+            rng=self.spec.seed if rng is None else rng,
+        )
+        return {
+            "delivered": stats.delivered,
+            "gave_up": stats.gave_up,
+            "attempts": stats.attempts,
+            "total_backoff_s": stats.total_backoff_s,
+            "final_rate_bps": stats.final_rate_bps,
+        }

@@ -15,34 +15,49 @@ from __future__ import annotations
 import argparse
 import sys
 
-import numpy as np
+
+def _print_spans(spans: list[dict], indent: int = 0) -> None:
+    for span in spans:
+        ms = span["duration_s"] * 1e3
+        status = "" if span["status"] == "ok" else f"  [{span['status']}]"
+        print(f"{'  ' * indent}{span['name']:<{24 - 2 * min(indent, 8)}} {ms:9.3f} ms{status}")
+        _print_spans(span.get("children", []), indent + 1)
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    from repro import LinkGeometry, OpticalLink, PacketSimulator
-    from repro.modem.config import preset_for_rate
+    from repro.api import ScenarioSpec, Session
+    from repro.obs import Observer, SpanProfiler
 
-    link = OpticalLink(
-        geometry=LinkGeometry(
-            distance_m=args.distance,
-            roll_rad=float(np.deg2rad(args.roll)),
-            yaw_rad=float(np.deg2rad(args.yaw)),
-        )
-    )
-    sim = PacketSimulator(
-        config=preset_for_rate(args.rate),
-        link=link,
+    spec = ScenarioSpec(
+        kind="packet",
+        rate_bps=args.rate,
+        distance_m=args.distance,
+        roll_deg=args.roll,
+        yaw_deg=args.yaw,
         payload_bytes=args.payload,
-        rng=args.seed,
+        seed=args.seed,
     )
-    print(f"config : {sim.config.describe()}")
-    print(f"link   : {link.effective_snr_db():.1f} dB at {args.distance} m "
+    profiler = SpanProfiler(targets=("equalize",)) if args.profile else None
+    observer = Observer(profiler=profiler)
+    report = Session(spec, observer=observer).run(n_packets=args.packets)
+    s = report.summary
+    print(f"scenario : {spec.describe()}")
+    print(f"link     : {s['snr_db']:.1f} dB at {args.distance} m "
           f"(roll {args.roll} deg, yaw {args.yaw} deg)")
-    point = sim.measure_ber(n_packets=args.packets, rng=args.seed + 1)
-    print(f"BER    : {point.ber:.4%} over {point.n_packets} packets "
-          f"({'reliable' if point.reliable else 'unreliable'} at the 1% bar)")
-    print(f"PER    : {point.packet_error_rate:.1%}   detection {point.detection_rate:.0%}   "
-          f"mean SNR estimate {point.mean_snr_est_db:.1f} dB")
+    reliable = "reliable" if s["ber"] < 0.01 else "unreliable"
+    print(f"BER      : {s['ber']:.4%} over {s['n_packets']} packets "
+          f"({reliable} at the 1% bar)")
+    print(f"PER      : {s['packet_error_rate']:.1%}   detection {s['detection_rate']:.0%}   "
+          f"{len(report.metric_names())} metric series recorded")
+    if args.trace:
+        print("stage trace:")
+        _print_spans(report.spans)
+    if args.profile:
+        for name, text in report.profiles.items():
+            print(f"profile [{name}]:\n{text}")
+    if args.metrics_out:
+        path = report.write(args.metrics_out)
+        print(f"metrics  : RunReport written to {path}")
     return 0
 
 
@@ -58,13 +73,22 @@ _SWEEPS = {
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     import repro.experiments as ex
+    from repro.obs import Observer, use_observer
 
     name = args.figure
     if name not in _SWEEPS:
         print(f"unknown sweep {name!r}; choose from {', '.join(sorted(_SWEEPS))}")
         return 2
     harness = getattr(ex, _SWEEPS[name])
-    out = harness()
+    if args.metrics_out:
+        # The harnesses build their simulators through the ambient
+        # observer, so wrapping the call is all the plumbing needed.
+        with use_observer(Observer(trace=False)) as obs:
+            out = harness()
+        obs.run_report("sweep", scenario={"figure": name}).write(args.metrics_out)
+        print(f"RunReport written to {args.metrics_out}")
+    else:
+        out = harness()
     if isinstance(out, dict):
         for key, points in out.items():
             if hasattr(points, "__iter__") and not hasattr(points, "ber"):
@@ -151,10 +175,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--packets", type=int, default=5)
     p.add_argument("--payload", type=int, default=32)
     p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--trace", action="store_true", help="print the per-stage span tree")
+    p.add_argument("--profile", action="store_true",
+                   help="cProfile the DFE hot path (equalize span)")
+    p.add_argument("--metrics-out", default=None, metavar="PATH",
+                   help="write the run's RunReport JSON here")
     p.set_defaults(func=_cmd_simulate)
 
     p = sub.add_parser("sweep", help="run a paper-figure sweep")
     p.add_argument("figure", choices=sorted(_SWEEPS))
+    p.add_argument("--metrics-out", default=None, metavar="PATH",
+                   help="write a sweep-wide RunReport JSON here")
     p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser("analyze", help="optimal (L, P) search at a rate")

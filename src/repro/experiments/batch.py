@@ -25,6 +25,8 @@ from typing import Any
 
 import numpy as np
 
+from repro.obs import ensure_observer
+
 __all__ = ["BatchRunner", "GridTask", "make_grid", "rows_to_sweeps"]
 
 #: Result-row keys the runner itself guarantees (tests pin this schema).
@@ -70,10 +72,30 @@ def make_grid(
     return tasks
 
 
-def _execute(fn, task: GridTask, seed_seq: np.random.SeedSequence) -> dict[str, Any]:
-    """Worker body: fresh child generator, then the task callable."""
+def _execute(
+    fn,
+    task: GridTask,
+    seed_seq: np.random.SeedSequence,
+    collect_metrics: bool = False,
+) -> tuple[dict[str, Any], dict | None]:
+    """Worker body: fresh child generator, then the task callable.
+
+    With ``collect_metrics`` the body runs under a worker-local ambient
+    :class:`~repro.obs.Observer` (metrics only — span forests don't merge
+    across processes) and ships its registry snapshot back with the row;
+    the runner merges snapshots, so pool and serial runs aggregate the
+    same totals.  Metric collection never touches ``rng``, so rows stay
+    bit-identical with and without an observer.
+    """
     rng = np.random.default_rng(seed_seq)
-    return dict(fn(task, rng))
+    if not collect_metrics:
+        return dict(fn(task, rng)), None
+    from repro.obs import Observer, use_observer
+
+    obs = Observer(trace=False)
+    with use_observer(obs):
+        row = dict(fn(task, rng))
+    return row, obs.metrics.snapshot()
 
 
 class BatchRunner:
@@ -89,6 +111,10 @@ class BatchRunner:
     root_seed:
         Seeds the :class:`~numpy.random.SeedSequence` whose spawned
         children drive the individual cells.
+    observer:
+        Optional :class:`~repro.obs.Observer`.  Cell bodies run under a
+        worker-local registry whose snapshot is merged back here, so the
+        observer sees sweep-wide totals regardless of worker count.
     """
 
     def __init__(
@@ -96,12 +122,14 @@ class BatchRunner:
         fn: Callable[[GridTask, np.random.Generator], Mapping[str, Any]],
         n_workers: int | None = 1,
         root_seed: int = 0,
+        observer=None,
     ):
         if n_workers is not None and n_workers < 1:
             raise ValueError("n_workers must be >= 1 (or None for the CPU count)")
         self.fn = fn
         self.n_workers = n_workers if n_workers is not None else (os.cpu_count() or 1)
         self.root_seed = int(root_seed)
+        self._obs = ensure_observer(observer)
 
     def child_seeds(self, n: int) -> list[np.random.SeedSequence]:
         """The per-cell seed sequences (index-derived, order-independent)."""
@@ -109,21 +137,31 @@ class BatchRunner:
 
     def run(self, tasks: Sequence[GridTask]) -> list[dict[str, Any]]:
         """Execute every cell and return one result row per task, in order."""
+        obs = self._obs
         tasks = list(tasks)
         children = self.child_seeds(len(tasks))
-        if self.n_workers == 1:
-            outputs = [_execute(self.fn, t, s) for t, s in zip(tasks, children)]
-        else:
-            with ProcessPoolExecutor(max_workers=self.n_workers) as pool:
-                futures = [
-                    pool.submit(_execute, self.fn, t, s) for t, s in zip(tasks, children)
-                ]
-                outputs = [f.result() for f in futures]
+        collect = obs.enabled
+        with obs.span("batch_run", n_tasks=len(tasks), n_workers=self.n_workers):
+            if self.n_workers == 1:
+                outputs = [_execute(self.fn, t, s, collect) for t, s in zip(tasks, children)]
+            else:
+                with ProcessPoolExecutor(max_workers=self.n_workers) as pool:
+                    futures = [
+                        pool.submit(_execute, self.fn, t, s, collect)
+                        for t, s in zip(tasks, children)
+                    ]
+                    outputs = [f.result() for f in futures]
         rows = []
         for i, (task, out) in enumerate(zip(tasks, outputs)):
+            result, snap = out
+            if snap is not None:
+                obs.metrics.merge_snapshot(snap)
             row = {"scheme": task.scheme, "x": task.x, "index": i, "root_seed": self.root_seed}
-            row.update(out)
+            row.update(result)
             rows.append(row)
+        if collect:
+            obs.count("batch.cells_total", len(tasks))
+            obs.gauge("batch.n_workers", self.n_workers)
         return rows
 
 

@@ -8,12 +8,20 @@ import numpy as np
 
 from repro.channel.link import OpticalLink
 from repro.modem.config import ModemConfig, preset_for_rate
+from repro.obs import get_observer
 from repro.optics.ambient import AmbientLight
 from repro.optics.geometry import LinkGeometry
 from repro.optics.retroreflector import LinkBudget
 from repro.phy.pipeline import PacketSimulator
+from repro.utils.deprecation import warn_once
 
-__all__ = ["SweepPoint", "format_table", "make_simulator", "simulate_grid_task"]
+__all__ = [
+    "SweepPoint",
+    "emit_sweep_report",
+    "format_table",
+    "make_simulator",
+    "simulate_grid_task",
+]
 
 
 @dataclass
@@ -29,7 +37,22 @@ class SweepPoint:
         yield self.ber
 
 
-def make_simulator(
+def make_simulator(*args, **kwargs) -> PacketSimulator:
+    """A PacketSimulator at a named experimental condition.
+
+    .. deprecated:: the kwarg grab-bag is replaced by the validated
+       :class:`repro.api.ScenarioSpec`; build one and call ``.build()``
+       (or run it through :class:`repro.api.Session`).
+    """
+    warn_once(
+        "make_simulator",
+        "make_simulator(**kwargs) is deprecated; construct a validated "
+        "repro.api.ScenarioSpec and use Session(spec).run() or spec.build()",
+    )
+    return _make_simulator(*args, **kwargs)
+
+
+def _make_simulator(
     rate_bps: float = 8000,
     distance_m: float = 2.0,
     roll_deg: float = 0.0,
@@ -42,14 +65,19 @@ def make_simulator(
     k_branches: int = 16,
     config: ModemConfig | None = None,
     rng=7,
+    observer=None,
     **kwargs,
 ) -> PacketSimulator:
-    """A PacketSimulator at a named experimental condition.
+    """Implementation behind the :func:`make_simulator` shim.
 
     Experiment defaults (payload, seeds) are sized for shape-faithful but
     tractable sweeps; pass ``payload_bytes=128`` etc. for paper-exact
-    dimensions.
+    dimensions.  ``observer=None`` falls back to the *ambient* observer
+    (:func:`repro.obs.get_observer`), so sweeps wrapped in
+    ``use_observer(...)`` are instrumented without parameter threading.
     """
+    if observer is None:
+        observer = get_observer()
     geometry = LinkGeometry(
         distance_m=distance_m,
         roll_rad=float(np.deg2rad(roll_deg)),
@@ -72,6 +100,7 @@ def make_simulator(
         bank_mode=bank_mode,
         k_branches=k_branches,
         rng=rng,
+        observer=observer,
         **kwargs,
     )
 
@@ -85,7 +114,7 @@ def simulate_grid_task(task, rng) -> dict:
     """
     params = task.kwargs
     n_packets = params.pop("n_packets", 4)
-    sim = make_simulator(rng=rng, **params)
+    sim = _make_simulator(rng=rng, **params)
     m = sim.measure_ber(n_packets=n_packets, rng=rng)
     return {
         "ber": m.ber,
@@ -93,6 +122,20 @@ def simulate_grid_task(task, rng) -> dict:
         "n_bits": m.n_bits,
         "snr_db": sim.link.effective_snr_db(),
     }
+
+
+def emit_sweep_report(observer, metrics_out, scenario: dict, summary: dict):
+    """Write a ``kind="sweep"`` RunReport if a path was requested.
+
+    Shared tail of the batched figure harnesses: no-op unless
+    ``metrics_out`` is set, in which case the observer's state is
+    assembled, schema-validated and written to that path.
+    """
+    if metrics_out is None:
+        return None
+    report = observer.run_report("sweep", scenario=scenario, summary=summary)
+    report.write(metrics_out)
+    return report
 
 
 def format_table(headers: list[str], rows: list[tuple], title: str | None = None) -> str:

@@ -8,7 +8,7 @@ flat across dark/night/day illumination (16d).
 
 from __future__ import annotations
 
-from repro.experiments.common import SweepPoint, make_simulator
+from repro.experiments.common import SweepPoint, _make_simulator
 from repro.optics.ambient import AMBIENT_PRESETS
 from repro.utils.rng import ensure_rng
 
@@ -37,7 +37,7 @@ def rate_vs_distance(
     for rate in rates_bps:
         points = []
         for d in distances_m:
-            sim = make_simulator(rate_bps=rate, distance_m=d, payload_bytes=payload_bytes, rng=gen)
+            sim = _make_simulator(rate_bps=rate, distance_m=d, payload_bytes=payload_bytes, rng=gen)
             m = sim.measure_ber(n_packets=n_packets, rng=gen)
             points.append(
                 SweepPoint(x=d, ber=m.ber, extras={"snr_db": sim.link.effective_snr_db()})
@@ -53,15 +53,23 @@ def rate_vs_distance_grid(
     payload_bytes: int = 24,
     n_workers: int | None = 1,
     root_seed: int = 11,
+    observer=None,
+    metrics_out=None,
 ) -> dict[float, list[SweepPoint]]:
     """Fig 16a through the batched packet engine.
 
     Unlike :func:`rate_vs_distance` (one shared generator threaded through
     the sweep), every (rate, distance) cell gets its own spawned seed, so the
-    grid is order-independent and can fan across workers.
+    grid is order-independent and can fan across workers.  Pass an
+    ``observer`` (or just ``metrics_out``) for sweep-wide metrics and a
+    written RunReport.
     """
     from repro.experiments.batch import BatchRunner, make_grid, rows_to_sweeps
-    from repro.experiments.common import simulate_grid_task
+    from repro.experiments.common import emit_sweep_report, simulate_grid_task
+    from repro.obs import Observer
+
+    if observer is None and metrics_out is not None:
+        observer = Observer()
 
     rates_bps = rates_bps or [4000, 8000]
     distances_m = distances_m or [1.0, 3.0, 5.0, 6.5, 7.5, 8.5, 10.0, 11.5]
@@ -74,8 +82,22 @@ def rate_vs_distance_grid(
         for rate in rates_bps
     }
     tasks = make_grid(schemes, distances_m, x_key="distance_m")
-    rows = BatchRunner(simulate_grid_task, n_workers=n_workers, root_seed=root_seed).run(tasks)
-    return {float(scheme): points for scheme, points in rows_to_sweeps(rows).items()}
+    runner = BatchRunner(
+        simulate_grid_task, n_workers=n_workers, root_seed=root_seed, observer=observer
+    )
+    rows = runner.run(tasks)
+    out = {float(scheme): points for scheme, points in rows_to_sweeps(rows).items()}
+    if observer is not None:
+        emit_sweep_report(
+            observer,
+            metrics_out,
+            scenario={"figure": "16a", "rates_bps": rates_bps, "distances_m": distances_m},
+            summary={
+                f"{rate:g}": {"working_range_m": working_range(points)}
+                for rate, points in out.items()
+            },
+        )
+    return out
 
 
 def working_range(points: list[SweepPoint], ber_limit: float = 0.01) -> float:
@@ -95,7 +117,7 @@ def roll_sweep(
     gen = ensure_rng(rng)
     points = []
     for roll in roll_degs:
-        sim = make_simulator(distance_m=distance_m, roll_deg=roll, rng=gen)
+        sim = _make_simulator(distance_m=distance_m, roll_deg=roll, rng=gen)
         m = sim.measure_ber(n_packets=n_packets, rng=gen)
         points.append(SweepPoint(x=roll, ber=m.ber))
     return points
@@ -114,7 +136,7 @@ def yaw_sweep(
     gen = ensure_rng(rng)
     points = []
     for yaw in yaw_degs:
-        sim = make_simulator(
+        sim = _make_simulator(
             distance_m=distance_m,
             yaw_deg=yaw,
             bank_mode="trained" if online_training else "nominal",
@@ -136,7 +158,7 @@ def ambient_sweep(
     gen = ensure_rng(rng)
     out: dict[str, SweepPoint] = {}
     for name, ambient in AMBIENT_PRESETS.items():
-        sim = make_simulator(distance_m=distance_m, ambient=ambient, rng=gen)
+        sim = _make_simulator(distance_m=distance_m, ambient=ambient, rng=gen)
         m = sim.measure_ber(n_packets=n_packets, rng=gen)
         out[name] = SweepPoint(x=ambient.lux, ber=m.ber)
     return out

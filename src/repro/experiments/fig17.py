@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from dataclasses import replace
 
-from repro.experiments.common import SweepPoint, make_simulator
+from repro.experiments.common import SweepPoint, _make_simulator
 from repro.modem.config import ModemConfig
 from repro.utils.rng import ensure_rng
 
@@ -44,7 +44,7 @@ def dfe_comparison(
     for label, k in (("dfe_1", 1), ("dfe_16", 16), ("viterbi", viterbi_k)):
         points = []
         for d in distances_m:
-            sim = make_simulator(config=config, distance_m=d, k_branches=k, rng=gen)
+            sim = _make_simulator(config=config, distance_m=d, k_branches=k, rng=gen)
             m = sim.measure_ber(n_packets=n_packets, rng=gen)
             points.append(SweepPoint(x=d, ber=m.ber))
         out[label] = points
@@ -57,10 +57,16 @@ def dfe_comparison_grid(
     config: ModemConfig | None = None,
     n_workers: int | None = 1,
     root_seed: int = 21,
+    observer=None,
+    metrics_out=None,
 ) -> dict[str, list[SweepPoint]]:
     """Fig 17a through the batched packet engine (per-cell spawned seeds)."""
     from repro.experiments.batch import BatchRunner, make_grid, rows_to_sweeps
-    from repro.experiments.common import simulate_grid_task
+    from repro.experiments.common import emit_sweep_report, simulate_grid_task
+    from repro.obs import Observer
+
+    if observer is None and metrics_out is not None:
+        observer = Observer()
 
     config = config or VITERBI_CONFIG
     distances_m = distances_m or [6.0, 8.0, 10.0, 11.0, 12.0, 13.0]
@@ -74,8 +80,22 @@ def dfe_comparison_grid(
         for label, k in (("dfe_1", 1), ("dfe_16", 16), ("viterbi", viterbi_k))
     }
     tasks = make_grid(schemes, distances_m, x_key="distance_m")
-    rows = BatchRunner(simulate_grid_task, n_workers=n_workers, root_seed=root_seed).run(tasks)
-    return rows_to_sweeps(rows)
+    runner = BatchRunner(
+        simulate_grid_task, n_workers=n_workers, root_seed=root_seed, observer=observer
+    )
+    rows = runner.run(tasks)
+    out = rows_to_sweeps(rows)
+    if observer is not None:
+        emit_sweep_report(
+            observer,
+            metrics_out,
+            scenario={"figure": "17a", "distances_m": distances_m},
+            summary={
+                label: {"mean_ber": float(sum(p.ber for p in pts) / len(pts))}
+                for label, pts in out.items()
+            },
+        )
+    return out
 
 
 def training_memory_sweep(
@@ -94,7 +114,7 @@ def training_memory_sweep(
         config = replace(base, tail_memory=v)
         points = []
         for d in distances_m:
-            sim = make_simulator(config=config, distance_m=d, rng=gen)
+            sim = _make_simulator(config=config, distance_m=d, rng=gen)
             m = sim.measure_ber(n_packets=n_packets, rng=gen)
             points.append(SweepPoint(x=d, ber=m.ber))
         out[v] = points

@@ -114,7 +114,9 @@ def emulated_packet_bers_block(
         noisy = wave + complex_awgn(wave.size, sigma, gen)
         z_rows.append(noisy[prime_n * config.samples_per_slot :])
         sent_bits.append(constellation.levels_to_bits(pay_i, pay_q))
-    dfe = DFEDemodulator(bank, k_branches=k_branches)
+    from repro.obs import get_observer
+
+    dfe = DFEDemodulator(bank, k_branches=k_branches, observer=get_observer())
     results = dfe.demodulate_block(np.stack(z_rows), n_symbols, prime_levels=(zeros, zeros))
     return np.array(
         [
@@ -148,6 +150,8 @@ def emulated_ber_vs_snr_batched(
     k_branches: int = 16,
     n_workers: int | None = 1,
     root_seed: int = 31,
+    observer=None,
+    metrics_out=None,
 ) -> dict[float, list[SweepPoint]]:
     """Fig 18a through the batched packet engine.
 
@@ -156,6 +160,11 @@ def emulated_ber_vs_snr_batched(
     (per-cell spawned seeds), so the grid can fan across workers.
     """
     from repro.experiments.batch import BatchRunner, make_grid, rows_to_sweeps
+    from repro.experiments.common import emit_sweep_report
+    from repro.obs import Observer
+
+    if observer is None and metrics_out is not None:
+        observer = Observer()
 
     rates_bps = rates_bps or [2000, 8000, 16000, 32000]
     snrs_db = snrs_db or [5, 10, 15, 20, 25, 30, 35, 40, 45, 50, 55]
@@ -169,9 +178,26 @@ def emulated_ber_vs_snr_batched(
         for rate in rates_bps
     }
     tasks = make_grid(schemes, snrs_db, x_key="snr_db")
-    rows = BatchRunner(_emulated_grid_task, n_workers=n_workers, root_seed=root_seed).run(tasks)
+    runner = BatchRunner(
+        _emulated_grid_task, n_workers=n_workers, root_seed=root_seed, observer=observer
+    )
+    rows = runner.run(tasks)
     sweeps = rows_to_sweeps(rows)
-    return {float(scheme): points for scheme, points in sweeps.items()}
+    out = {float(scheme): points for scheme, points in sweeps.items()}
+    if observer is not None:
+        emit_sweep_report(
+            observer,
+            metrics_out,
+            scenario={"figure": "18a", "rates_bps": rates_bps, "snrs_db": snrs_db},
+            summary={
+                f"{rate:g}": {
+                    # inf (never decodes) is not valid JSON; report null.
+                    "threshold_snr_db": th if np.isfinite(th := waterfall_threshold(points)) else None
+                }
+                for rate, points in out.items()
+            },
+        )
+    return out
 
 
 def emulated_ber_vs_snr(

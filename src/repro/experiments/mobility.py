@@ -18,11 +18,13 @@ from repro.lcm.array import LCMArray
 from repro.lcm.heterogeneity import HeterogeneityModel
 from repro.modem.config import ModemConfig
 from repro.modem.dsm_pqam import DsmPqamModulator
+from repro.obs import ensure_observer
 from repro.optics.geometry import LinkGeometry
 from repro.phy.resync import MobileReceiver, ResyncFrameFormat
 from repro.phy.transmitter import PhyTransmitter
 from repro.training.offline import OfflineTrainer
 from repro.utils.bits import bit_errors, bytes_to_bits
+from repro.utils.deprecation import warn_once
 from repro.utils.rng import ensure_rng
 
 __all__ = ["MobileLinkSimulator", "mobility_resync_sweep"]
@@ -43,8 +45,10 @@ class MobileLinkSimulator:
         n_bases: int = 2,
         k_branches: int = 16,
         rng=None,
+        observer=None,
     ):
         gen = ensure_rng(rng)
+        self._obs = ensure_observer(observer)
         self.config = config or ModemConfig()
         self.link = OpticalLink(
             geometry=LinkGeometry(distance_m=distance_m),
@@ -73,25 +77,48 @@ class MobileLinkSimulator:
         self.frame.preamble.record_reference(DsmPqamModulator(self.config, nominal))
 
     def run_packet(self, payload: bytes | None = None, rng=None) -> tuple[float, bool]:
-        """One packet; returns (BER, crc_ok)."""
+        """One packet; returns (BER, crc_ok).
+
+        .. deprecated:: use ``repro.api.Session(ScenarioSpec(kind="mobility",
+           ...)).run()`` as the public entry point.
+        """
+        warn_once(
+            "MobileLinkSimulator.run_packet",
+            "MobileLinkSimulator.run_packet is deprecated as a public entry point; "
+            "use repro.api.Session(ScenarioSpec(kind='mobility', ...)).run() instead",
+        )
+        return self._run_packet(payload=payload, rng=rng)
+
+    def _run_packet(self, payload: bytes | None = None, rng=None) -> tuple[float, bool]:
+        obs = self._obs
         gen = ensure_rng(rng)
         if payload is None:
             payload = gen.integers(0, 256, self.frame.payload_bytes, dtype=np.uint8).tobytes()
-        u = self.transmitter.transmit(payload)
-        ts = self.config.samples_per_slot
-        tail = np.full(2 * ts, u[-1], dtype=complex)
-        out = self.link.transmit(np.concatenate([u, tail]), self.config.fs, gen)
-        rx, _ = self.receiver.receive(
-            out.samples, search_stop=(self.frame.guard_slots + 2) * ts
-        )
-        sent = bytes_to_bits(payload)
-        got = bytes_to_bits(rx.payload.ljust(len(payload), b"\0")[: len(payload)])
-        return bit_errors(sent, got) / sent.size, rx.crc_ok
+        with obs.span("packet", harness="mobility") as span:
+            with obs.span("transmit"):
+                u = self.transmitter.transmit(payload)
+            ts = self.config.samples_per_slot
+            tail = np.full(2 * ts, u[-1], dtype=complex)
+            with obs.span("channel"):
+                out = self.link.transmit(np.concatenate([u, tail]), self.config.fs, gen)
+            with obs.span("receive"):
+                rx, _ = self.receiver.receive(
+                    out.samples, search_stop=(self.frame.guard_slots + 2) * ts
+                )
+            sent = bytes_to_bits(payload)
+            got = bytes_to_bits(rx.payload.ljust(len(payload), b"\0")[: len(payload)])
+            ber = bit_errors(sent, got) / sent.size
+            if obs.enabled:
+                obs.count("phy.packets_total", crc="ok" if rx.crc_ok else "fail")
+                obs.count("phy.bits_total", sent.size)
+                obs.observe("phy.packet_ber", ber)
+                span.annotate(crc_ok=rx.crc_ok, ber=ber)
+        return ber, rx.crc_ok
 
     def measure_ber(self, n_packets: int = 4, rng=None) -> float:
         """Mean BER over packets."""
         gen = ensure_rng(rng)
-        return float(np.mean([self.run_packet(rng=gen)[0] for _ in range(n_packets)]))
+        return float(np.mean([self._run_packet(rng=gen)[0] for _ in range(n_packets)]))
 
 
 def mobility_resync_sweep(

@@ -6,6 +6,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.utils.deprecation import warn_once
 from repro.utils.rng import ensure_rng
 
 __all__ = ["ArqStats", "StopAndWaitARQ"]
@@ -46,7 +47,27 @@ class StopAndWaitARQ:
         n_frames: int,
         rng: np.random.Generator | int | None = None,
     ) -> ArqStats:
-        """Monte-Carlo ARQ over frames with i.i.d. block success."""
+        """Monte-Carlo ARQ over frames with i.i.d. block success.
+
+        .. deprecated:: use ``repro.api.Session(ScenarioSpec(kind="arq",
+           ...)).run()`` as the public entry point.
+        """
+        warn_once(
+            "StopAndWaitARQ.simulate",
+            "StopAndWaitARQ.simulate is deprecated as a public entry point; "
+            "use repro.api.Session(ScenarioSpec(kind='arq', ...)).run() instead",
+        )
+        return self._simulate(success_probability, n_frames, rng=rng)
+
+    def _simulate(
+        self,
+        success_probability: float,
+        n_frames: int,
+        rng: np.random.Generator | int | None = None,
+    ) -> ArqStats:
+        from repro.obs import get_observer
+
+        obs = get_observer()
         if not 0.0 <= success_probability <= 1.0:
             raise ValueError("success probability must be in [0, 1]")
         if n_frames < 0:
@@ -61,6 +82,10 @@ class StopAndWaitARQ:
                     break
             else:
                 gave_up += 1
+        if obs.enabled:
+            obs.count("arq.frames_total", delivered, outcome="delivered")
+            obs.count("arq.frames_total", gave_up, outcome="gave_up")
+            obs.count("arq.attempts_total", attempts)
         return ArqStats(delivered=delivered, attempts=attempts, gave_up=gave_up)
 
     def expected_attempts(self, success_probability: float) -> float:

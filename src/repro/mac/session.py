@@ -29,6 +29,7 @@ from repro.downlink.link import DownlinkChannel
 from repro.downlink.modem import ManchesterOOKModem
 from repro.mac.rate_adapt import LinkProfile, default_profile
 from repro.mac.watchdog import LinkWatchdog
+from repro.obs import ensure_observer
 from repro.modem.config import RATE_PRESETS, preset_for_rate
 from repro.optics.geometry import LinkGeometry
 from repro.phy.pipeline import PacketSimulator
@@ -91,13 +92,17 @@ class LinkSession:
         raise_after: int = 3,
         watchdog: LinkWatchdog | None = None,
         rng: np.random.Generator | int | None = None,
+        observer=None,
     ):
+        self._obs = ensure_observer(observer)
         self.distance_m = distance_m
         self.profile = profile or default_profile()
         self.payload_bytes = payload_bytes
         self.raise_after = raise_after
         if watchdog is not None and watchdog.ladder != sorted(RATE_PRESETS):
             raise ValueError("watchdog rate ladder must match the session's RATE_PRESETS")
+        if watchdog is not None and not watchdog._obs.enabled:
+            watchdog._obs = self._obs  # session's observer sees watchdog outcomes
         self.watchdog = watchdog
         self._rng = ensure_rng(rng)
         self._ladder = sorted(RATE_PRESETS)
@@ -115,6 +120,7 @@ class LinkSession:
                 link=OpticalLink(geometry=LinkGeometry(distance_m=self.distance_m)),
                 payload_bytes=self.payload_bytes,
                 rng=self._tag_seed,  # same physical tag at every rate
+                observer=self._obs,
             )
         return self._simulators[rate_bps]
 
@@ -140,54 +146,66 @@ class LinkSession:
 
     def run(self, n_rounds: int = 12) -> SessionStats:
         """Run the closed loop for ``n_rounds`` poll+packet rounds."""
+        obs = self._obs
         stats = SessionStats()
         # Probe at the most robust rate; its preamble SNR seeds the table.
         tag_rate = self._ladder[0]
         assigned = tag_rate
         success_streak = 0
         for n in range(n_rounds):
-            poll_ok = self._send_poll(assigned)
-            if poll_ok:
-                tag_rate = assigned
-            result = self._simulator(tag_rate).run_packet(rng=self._rng)
-            stats.rounds.append(
-                RoundRecord(
-                    round_index=n,
-                    assigned_rate_bps=assigned,
-                    poll_delivered=poll_ok,
-                    tag_rate_bps=tag_rate,
-                    crc_ok=result.crc_ok,
-                    ber=result.ber,
-                    snr_est_db=result.snr_est_db,
+            with obs.span("mac_round", index=n):
+                with obs.span("poll"):
+                    poll_ok = self._send_poll(assigned)
+                if poll_ok:
+                    tag_rate = assigned
+                if obs.enabled:
+                    obs.count(
+                        "mac.polls_total", outcome="delivered" if poll_ok else "lost"
+                    )
+                    obs.gauge("mac.assigned_rate_bps", assigned)
+                result = self._simulator(tag_rate)._run_packet(rng=self._rng)
+                if obs.enabled:
+                    obs.count(
+                        "mac.rounds_total", crc="ok" if result.crc_ok else "fail"
+                    )
+                stats.rounds.append(
+                    RoundRecord(
+                        round_index=n,
+                        assigned_rate_bps=assigned,
+                        poll_delivered=poll_ok,
+                        tag_rate_bps=tag_rate,
+                        crc_ok=result.crc_ok,
+                        ber=result.ber,
+                        snr_est_db=result.snr_est_db,
+                    )
                 )
-            )
-            if n == 0 and result.detected and np.isfinite(result.snr_est_db):
-                # Database seed from the measured SNR (conservative: the
-                # estimate carries the model-error floor).
-                seeded = self.profile.best_choice(result.snr_est_db).rate.rate_bps
-                assigned = min(int(seeded), self._ladder[-1])
-                success_streak = 0
-                continue
-            if self.watchdog is not None:
-                # Watchdog-supervised failure path: consecutive-CRC
-                # tracking drives exponential backoff and rate fallback.
-                self.watchdog.observe_rate(tag_rate)
-                action = self.watchdog.record(result.crc_ok)
-                stats.total_backoff_s += action.backoff_s
-                if result.crc_ok:
+                if n == 0 and result.detected and np.isfinite(result.snr_est_db):
+                    # Database seed from the measured SNR (conservative: the
+                    # estimate carries the model-error floor).
+                    seeded = self.profile.best_choice(result.snr_est_db).rate.rate_bps
+                    assigned = min(int(seeded), self._ladder[-1])
+                    success_streak = 0
+                    continue
+                if self.watchdog is not None:
+                    # Watchdog-supervised failure path: consecutive-CRC
+                    # tracking drives exponential backoff and rate fallback.
+                    self.watchdog.observe_rate(tag_rate)
+                    action = self.watchdog.record(result.crc_ok)
+                    stats.total_backoff_s += action.backoff_s
+                    if result.crc_ok:
+                        success_streak += 1
+                        if success_streak >= self.raise_after:
+                            assigned = self._step_rate(tag_rate, up=True)
+                            success_streak = 0
+                    else:
+                        assigned = action.rate_bps
+                        success_streak = 0
+                elif result.crc_ok:
                     success_streak += 1
                     if success_streak >= self.raise_after:
                         assigned = self._step_rate(tag_rate, up=True)
                         success_streak = 0
                 else:
-                    assigned = action.rate_bps
+                    assigned = self._step_rate(tag_rate, up=False)
                     success_streak = 0
-            elif result.crc_ok:
-                success_streak += 1
-                if success_streak >= self.raise_after:
-                    assigned = self._step_rate(tag_rate, up=True)
-                    success_streak = 0
-            else:
-                assigned = self._step_rate(tag_rate, up=False)
-                success_streak = 0
         return stats

@@ -18,6 +18,8 @@ import numpy as np
 
 from repro.errors import ConfigError
 from repro.mac.arq import StopAndWaitARQ
+from repro.obs import ensure_observer
+from repro.utils.deprecation import warn_once
 from repro.utils.logging import get_logger
 from repro.utils.rng import ensure_rng
 
@@ -81,7 +83,9 @@ class LinkWatchdog:
         base_backoff_s: float = 0.05,
         backoff_factor: float = 2.0,
         max_backoff_s: float = 2.0,
+        observer=None,
     ):
+        self._obs = ensure_observer(observer)
         if rates is None:
             from repro.modem.config import RATE_PRESETS
 
@@ -126,6 +130,14 @@ class LinkWatchdog:
 
     def record(self, crc_ok: bool) -> WatchdogAction:
         """Record one CRC outcome and return the MAC's next move."""
+        action = self._record(crc_ok)
+        if self._obs.enabled:
+            self._obs.count("mac.watchdog.actions_total", reason=action.reason)
+            self._obs.count("mac.watchdog.crc_total", crc="ok" if crc_ok else "fail")
+            self._obs.gauge("mac.watchdog.rate_bps", action.rate_bps)
+        return action
+
+    def _record(self, crc_ok: bool) -> WatchdogAction:
         if crc_ok:
             self.consecutive_failures = 0
             self._backoff_exponent = 0
@@ -181,7 +193,24 @@ class LinkWatchdog:
         Each frame gets the stop-and-wait attempt budget of ``arq``; every
         attempt's outcome feeds the watchdog, so rate fallback and backoff
         accumulate exactly as they would against the real PHY.
+
+        .. deprecated:: use ``repro.api.Session(ScenarioSpec(kind="watchdog",
+           ...)).run()`` as the public entry point.
         """
+        warn_once(
+            "LinkWatchdog.simulate",
+            "LinkWatchdog.simulate is deprecated as a public entry point; "
+            "use repro.api.Session(ScenarioSpec(kind='watchdog', ...)).run() instead",
+        )
+        return self._simulate(success_probability, n_frames, arq=arq, rng=rng)
+
+    def _simulate(
+        self,
+        success_probability,
+        n_frames: int,
+        arq: StopAndWaitARQ | None = None,
+        rng: np.random.Generator | int | None = None,
+    ) -> WatchdogStats:
         if n_frames < 0:
             raise ConfigError("n_frames must be non-negative")
         arq = arq or StopAndWaitARQ()
@@ -192,6 +221,16 @@ class LinkWatchdog:
             table = dict(success_probability)
             p_of = lambda rate: table[rate]  # noqa: E731
         stats = WatchdogStats()
+        obs = self._obs
+        with obs.span("watchdog_transfer", n_frames=n_frames):
+            self._simulate_frames(stats, p_of, n_frames, arq, gen)
+        if obs.enabled:
+            obs.count("mac.watchdog.frames_total", stats.delivered, outcome="delivered")
+            obs.count("mac.watchdog.frames_total", stats.gave_up, outcome="gave_up")
+            obs.observe("mac.watchdog.backoff_s", stats.total_backoff_s)
+        return stats
+
+    def _simulate_frames(self, stats, p_of, n_frames, arq, gen) -> None:
         for _ in range(n_frames):
             delivered = False
             for _attempt in range(arq.max_attempts):
@@ -207,4 +246,3 @@ class LinkWatchdog:
             else:
                 stats.gave_up += 1
             stats.rate_trace.append(self.current_rate_bps)
-        return stats

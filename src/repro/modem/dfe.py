@@ -96,9 +96,13 @@ class DFEDemodulator:
         k_branches: int = 16,
         merge: bool = True,
         merge_memory: int | None = None,
+        observer=None,
     ):
         if k_branches < 1:
             raise ValueError("k_branches must be >= 1")
+        from repro.obs import ensure_observer
+
+        self._obs = ensure_observer(observer)
         self.bank = bank
         self.config = bank.config
         self.k_branches = k_branches
@@ -403,9 +407,17 @@ class DFEDemodulator:
         choices_a: list[np.ndarray] = []
         choices_b: list[np.ndarray] = []
 
+        track_obs = self._obs.enabled
+        occ_sum = 0
+        occ_peak = 0
+
         for n in range(n_symbols):
             gi = n % dsm_order
             k_now = codes.shape[1]
+            if track_obs:
+                occ_sum += k_now
+                if k_now > occ_peak:
+                    occ_peak = k_now
             n_cand = k_now * mm
             codes_i = codes[:, :, 0, gi]
             codes_q = codes[:, :, 1, gi]
@@ -805,6 +817,13 @@ class DFEDemodulator:
             codes = new_codes
             sig = new_sig
 
+        if track_obs:
+            m = self._obs.metrics
+            m.count("dfe.symbols_total", n_symbols * n_packets)
+            m.count("dfe.blocks_total")
+            m.observe("dfe.branch_occupancy_mean", occ_sum / max(n_symbols, 1))
+            m.gauge("dfe.branch_occupancy_peak", occ_peak)
+
         # Traceback from each packet's cheapest surviving branch.
         best = np.argmin(costs, axis=1)
         levels_i = np.empty((n_packets, n_symbols), dtype=int)
@@ -815,7 +834,7 @@ class DFEDemodulator:
             levels_q[:, n] = choices_b[n][b_idx, k]
             k = parents[n][b_idx, k]
         denom = max(n_symbols * ts, 1)
-        return [
+        results = [
             DFEResult(
                 levels_i=levels_i[b],
                 levels_q=levels_q[b],
@@ -824,3 +843,7 @@ class DFEDemodulator:
             )
             for b in range(n_packets)
         ]
+        if track_obs:
+            for r in results:
+                self._obs.observe("dfe.winner_mse", r.mse)
+        return results

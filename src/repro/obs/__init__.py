@@ -1,0 +1,173 @@
+"""Observability subsystem: metrics + stage tracing + profiling hooks.
+
+One object — the :class:`Observer` — bundles the three concerns every
+instrumented layer needs:
+
+* ``observer.metrics`` — a :class:`~repro.obs.metrics.MetricsRegistry`
+  (counters / gauges / histograms with labels, pool-mergeable snapshots);
+* ``observer.span(name)`` — nested stage tracing with monotonic timing
+  (:mod:`repro.obs.tracing`), optionally bracketed by a cProfile capture
+  when a :class:`~repro.obs.profiling.SpanProfiler` targets the name;
+* :class:`~repro.obs.export.RunReport` — the schema-versioned JSON artifact
+  assembled from an observer's state.
+
+**The disabled path is the default and must stay near-free.**  Every
+instrumented constructor takes ``observer=None`` and resolves it through
+:func:`ensure_observer` to :data:`NULL_OBSERVER`, whose verbs are no-ops
+and whose spans are one shared allocation-free object.  Hot loops guard
+any extra work with ``if obs.enabled:``.  The budget (< 3% on the DFE
+hot path) is enforced by ``benchmarks/bench_obs_overhead.py``.
+
+An *ambient* observer is also available through a context variable, so
+deep call chains (e.g. pool-worker task bodies) can pick up the active
+observer without threading it through every signature::
+
+    with use_observer(Observer()) as obs:
+        run_things()          # anything calling get_observer() records here
+    report = RunReport.from_observer("sweep", obs)
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+
+from repro.obs.export import (
+    RUN_REPORT_SCHEMA_VERSION,
+    ReportSchemaError,
+    RunReport,
+    load_run_report,
+    validate_run_report,
+    write_jsonl,
+)
+from repro.obs.metrics import NULL_METRICS, MetricSeries, MetricsRegistry, NullMetricsRegistry
+from repro.obs.profiling import ProfiledSpan, SpanProfiler
+from repro.obs.tracing import NULL_SPAN, NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "NULL_OBSERVER",
+    "Observer",
+    "MetricSeries",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "NullObserver",
+    "NullTracer",
+    "ReportSchemaError",
+    "RunReport",
+    "RUN_REPORT_SCHEMA_VERSION",
+    "Span",
+    "SpanProfiler",
+    "Tracer",
+    "ensure_observer",
+    "get_observer",
+    "load_run_report",
+    "use_observer",
+    "validate_run_report",
+    "write_jsonl",
+]
+
+
+class Observer:
+    """Metrics registry + tracer + optional profiler, as one handle."""
+
+    __slots__ = ("metrics", "tracer", "profiler")
+
+    enabled = True
+
+    def __init__(
+        self,
+        metrics: MetricsRegistry | None = None,
+        tracer: Tracer | NullTracer | None = None,
+        profiler: SpanProfiler | None = None,
+        trace: bool = True,
+    ):
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        if tracer is None:
+            tracer = Tracer() if trace else NULL_TRACER
+        self.tracer = tracer
+        self.profiler = profiler
+
+    # ------------------------------------------------------------- tracing
+
+    def span(self, name: str, **attributes):
+        """A stage span; profiled when the profiler targets ``name``."""
+        span = self.tracer.span(name, **attributes)
+        if self.profiler is not None and self.profiler.wants(name):
+            return ProfiledSpan(span, self.profiler, name)
+        return span
+
+    # ------------------------------------------------------------- metrics
+
+    def count(self, name: str, value: float = 1.0, **labels) -> None:
+        self.metrics.count(name, value, **labels)
+
+    def gauge(self, name: str, value: float, **labels) -> None:
+        self.metrics.gauge(name, value, **labels)
+
+    def observe(self, name: str, value: float, **labels) -> None:
+        self.metrics.observe(name, value, **labels)
+
+    # -------------------------------------------------------------- report
+
+    def run_report(
+        self,
+        kind: str,
+        scenario: dict | None = None,
+        summary: dict | None = None,
+        meta: dict | None = None,
+    ) -> RunReport:
+        return RunReport.from_observer(kind, self, scenario=scenario, summary=summary, meta=meta)
+
+
+class NullObserver(Observer):
+    """The disabled singleton: no-op verbs, shared no-op span, no state."""
+
+    __slots__ = ()
+
+    enabled = False
+
+    def __init__(self):
+        super().__init__(metrics=NULL_METRICS, tracer=NULL_TRACER)
+
+    def span(self, name: str, **attributes):
+        return NULL_SPAN
+
+    def count(self, name, value=1.0, **labels):
+        pass
+
+    def gauge(self, name, value, **labels):
+        pass
+
+    def observe(self, name, value, **labels):
+        pass
+
+    def run_report(self, kind, scenario=None, summary=None, meta=None):
+        raise TypeError("NULL_OBSERVER records nothing; build a report from a real Observer")
+
+
+NULL_OBSERVER = NullObserver()
+
+
+def ensure_observer(observer: Observer | None) -> Observer:
+    """``None`` -> the no-op singleton; anything else passes through."""
+    return NULL_OBSERVER if observer is None else observer
+
+
+_current: contextvars.ContextVar[Observer] = contextvars.ContextVar(
+    "repro_observer", default=NULL_OBSERVER
+)
+
+
+def get_observer() -> Observer:
+    """The ambient observer (NULL_OBSERVER unless inside :func:`use_observer`)."""
+    return _current.get()
+
+
+@contextlib.contextmanager
+def use_observer(observer: Observer):
+    """Install ``observer`` as the ambient observer for the with-block."""
+    token = _current.set(observer)
+    try:
+        yield observer
+    finally:
+        _current.reset(token)

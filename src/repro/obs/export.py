@@ -1,0 +1,279 @@
+"""RunReport assembly, JSON/JSONL export, and schema validation.
+
+A :class:`RunReport` is the one artifact every harness emits — the unified
+``Session`` facade, the batched figure sweeps, the MAC session/watchdog
+simulations and the ``retroturbo`` CLI all converge on this structure::
+
+    {
+      "meta":     {"schema_version": 1, "generator": "...", "kind": "..."},
+      "scenario": {...},            # ScenarioSpec.describe() or harness params
+      "summary":  {...},            # headline aggregates (ber, per, ...)
+      "metrics":  {"series": [...]},# MetricsRegistry.snapshot()
+      "spans":    [...],            # nested span dicts (may be empty)
+      "profiles": {"equalize": "...pstats text..."}
+    }
+
+``validate_run_report`` is the golden schema the test suite pins: a
+hand-rolled structural check (no external jsonschema dependency) that
+raises :class:`ReportSchemaError` listing *every* violation, so a report
+that drifts fails loudly in CI rather than silently in a dashboard.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.obs.metrics import METRIC_KINDS
+
+__all__ = [
+    "RUN_REPORT_SCHEMA_VERSION",
+    "ReportSchemaError",
+    "RunReport",
+    "load_run_report",
+    "validate_run_report",
+    "write_jsonl",
+]
+
+RUN_REPORT_SCHEMA_VERSION = 1
+
+#: Report kinds the schema admits (one per emitting harness family).
+REPORT_KINDS = ("packet", "mobility", "arq", "watchdog", "mac_session", "sweep", "bench")
+
+
+class ReportSchemaError(ValueError):
+    """A RunReport dict violated the schema; ``errors`` lists every issue."""
+
+    def __init__(self, errors: list[str]):
+        self.errors = errors
+        super().__init__("invalid RunReport: " + "; ".join(errors))
+
+
+@dataclass
+class RunReport:
+    """The unified, schema-versioned output of one instrumented run."""
+
+    kind: str
+    scenario: dict = field(default_factory=dict)
+    summary: dict = field(default_factory=dict)
+    metrics: dict = field(default_factory=lambda: {"series": []})
+    spans: list = field(default_factory=list)
+    profiles: dict = field(default_factory=dict)
+    meta: dict = field(default_factory=dict)
+
+    @classmethod
+    def from_observer(
+        cls,
+        kind: str,
+        observer,
+        scenario: dict | None = None,
+        summary: dict | None = None,
+        meta: dict | None = None,
+    ) -> "RunReport":
+        """Assemble a report from an :class:`~repro.obs.Observer`'s state."""
+        from repro import __version__
+
+        full_meta = {
+            "schema_version": RUN_REPORT_SCHEMA_VERSION,
+            "generator": f"repro {__version__}",
+            "kind": kind,
+        }
+        if meta:
+            full_meta.update(meta)
+        profiler = getattr(observer, "profiler", None)
+        return cls(
+            kind=kind,
+            scenario=dict(scenario or {}),
+            summary=dict(summary or {}),
+            metrics=observer.metrics.snapshot(),
+            spans=observer.tracer.to_dicts(),
+            profiles=dict(profiler.reports) if profiler is not None else {},
+            meta=full_meta,
+        )
+
+    # ------------------------------------------------------------- queries
+
+    def metric_names(self) -> set[str]:
+        """Distinct metric series names in the report."""
+        return {entry["name"] for entry in self.metrics.get("series", [])}
+
+    def span_names(self) -> set[str]:
+        """Every span name anywhere in the forest."""
+        names: set[str] = set()
+
+        def walk(spans):
+            for s in spans:
+                names.add(s.get("name", ""))
+                walk(s.get("children", []))
+
+        walk(self.spans)
+        return names
+
+    # -------------------------------------------------------------- export
+
+    def to_dict(self) -> dict:
+        return {
+            "meta": self.meta,
+            "scenario": self.scenario,
+            "summary": self.summary,
+            "metrics": self.metrics,
+            "spans": self.spans,
+            "profiles": self.profiles,
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True, default=_json_default)
+
+    def write(self, path: str | Path, validate: bool = True) -> Path:
+        """Serialise to ``path``; schema-check first unless told not to."""
+        d = json.loads(self.to_json())
+        if validate:
+            validate_run_report(d)
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(d, indent=2, sort_keys=True) + "\n")
+        return path
+
+    def write_spans_jsonl(self, path: str | Path) -> Path:
+        """Flatten the span forest to one-JSON-object-per-line (JSONL)."""
+        rows: list[dict] = []
+
+        def walk(spans, parent: str | None, depth: int):
+            for s in spans:
+                row = {k: v for k, v in s.items() if k != "children"}
+                row["parent"] = parent
+                row["depth"] = depth
+                rows.append(row)
+                walk(s.get("children", []), s.get("name"), depth + 1)
+
+        walk(self.spans, None, 0)
+        return write_jsonl(rows, path)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "RunReport":
+        validate_run_report(d)
+        return cls(
+            kind=d["meta"]["kind"],
+            scenario=d["scenario"],
+            summary=d["summary"],
+            metrics=d["metrics"],
+            spans=d["spans"],
+            profiles=d["profiles"],
+            meta=d["meta"],
+        )
+
+
+def _json_default(obj: Any):
+    """Best-effort coercion for numpy scalars and other stragglers."""
+    for attr in ("item",):  # numpy scalars
+        if hasattr(obj, attr):
+            return getattr(obj, attr)()
+    return str(obj)
+
+
+def write_jsonl(rows: list[dict], path: str | Path) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as fh:
+        for row in rows:
+            fh.write(json.dumps(row, sort_keys=True, default=_json_default) + "\n")
+    return path
+
+
+def load_run_report(path: str | Path) -> RunReport:
+    """Read + schema-validate a report file."""
+    return RunReport.from_dict(json.loads(Path(path).read_text()))
+
+
+# --------------------------------------------------------------- validation
+
+
+def _check(errors: list[str], cond: bool, msg: str) -> bool:
+    if not cond:
+        errors.append(msg)
+    return cond
+
+
+def _validate_series(entry: Any, i: int, errors: list[str]) -> None:
+    ctx = f"metrics.series[{i}]"
+    if not _check(errors, isinstance(entry, dict), f"{ctx} is not an object"):
+        return
+    _check(errors, isinstance(entry.get("name"), str) and entry.get("name"),
+           f"{ctx}.name missing or not a string")
+    _check(errors, entry.get("kind") in METRIC_KINDS,
+           f"{ctx}.kind {entry.get('kind')!r} not in {METRIC_KINDS}")
+    labels = entry.get("labels", {})
+    ok = isinstance(labels, dict) and all(
+        isinstance(k, str) and isinstance(v, str) for k, v in labels.items()
+    )
+    _check(errors, ok, f"{ctx}.labels must map str -> str")
+    _check(errors, isinstance(entry.get("count"), int) and entry["count"] >= 0
+           if "count" in entry else False, f"{ctx}.count missing or not a non-negative int")
+    if entry.get("kind") in ("counter", "gauge"):
+        _check(errors, isinstance(entry.get("value"), (int, float)),
+               f"{ctx}.value missing or not numeric")
+    if entry.get("kind") in ("gauge", "histogram"):
+        for key in ("total", "mean", "min", "max"):
+            v = entry.get(key, "absent")
+            _check(errors, v is None or isinstance(v, (int, float)),
+                   f"{ctx}.{key} missing or not numeric/null")
+
+
+def _validate_span(span: Any, path: str, errors: list[str], depth: int = 0) -> None:
+    if depth > 32:
+        errors.append(f"{path}: span nesting deeper than 32")
+        return
+    if not _check(errors, isinstance(span, dict), f"{path} is not an object"):
+        return
+    _check(errors, isinstance(span.get("name"), str) and span.get("name"),
+           f"{path}.name missing or not a string")
+    _check(errors, isinstance(span.get("status"), str), f"{path}.status missing")
+    for key in ("t_start_s", "duration_s"):
+        _check(errors, isinstance(span.get(key), (int, float)) and span.get(key, -1) >= 0,
+               f"{path}.{key} missing or negative")
+    children = span.get("children", [])
+    if _check(errors, isinstance(children, list), f"{path}.children not a list"):
+        for j, child in enumerate(children):
+            _validate_span(child, f"{path}.children[{j}]", errors, depth + 1)
+
+
+def validate_run_report(d: Any) -> dict:
+    """Structural schema check; raises :class:`ReportSchemaError` on failure.
+
+    Returns the input dict unchanged on success so callers can chain.
+    """
+    errors: list[str] = []
+    if not isinstance(d, dict):
+        raise ReportSchemaError(["report is not an object"])
+    for key, typ in (
+        ("meta", dict), ("scenario", dict), ("summary", dict),
+        ("metrics", dict), ("spans", list), ("profiles", dict),
+    ):
+        _check(errors, isinstance(d.get(key), typ), f"{key} missing or not {typ.__name__}")
+    meta = d.get("meta", {})
+    if isinstance(meta, dict):
+        _check(errors, meta.get("schema_version") == RUN_REPORT_SCHEMA_VERSION,
+               f"meta.schema_version must be {RUN_REPORT_SCHEMA_VERSION}")
+        _check(errors, isinstance(meta.get("generator"), str),
+               "meta.generator missing or not a string")
+        _check(errors, meta.get("kind") in REPORT_KINDS,
+               f"meta.kind {meta.get('kind')!r} not in {REPORT_KINDS}")
+    metrics = d.get("metrics", {})
+    if isinstance(metrics, dict):
+        series = metrics.get("series")
+        if _check(errors, isinstance(series, list), "metrics.series missing or not a list"):
+            for i, entry in enumerate(series):
+                _validate_series(entry, i, errors)
+    if isinstance(d.get("spans"), list):
+        for i, span in enumerate(d["spans"]):
+            _validate_span(span, f"spans[{i}]", errors)
+    profiles = d.get("profiles", {})
+    if isinstance(profiles, dict):
+        for k, v in profiles.items():
+            _check(errors, isinstance(k, str) and isinstance(v, str),
+                   f"profiles[{k!r}] must map str -> str")
+    if errors:
+        raise ReportSchemaError(errors)
+    return d

@@ -1,0 +1,252 @@
+"""Metric primitives: labeled counters, gauges and histograms.
+
+The registry is deliberately tiny — a flat ``(name, labels) -> series`` map
+with three write verbs — because every layer of the stack records into it
+from hot-ish code.  Design rules:
+
+* **One kind per name.**  Recording ``count()`` and ``observe()`` against
+  the same series name is a programming error and raises immediately.
+* **Labels are cheap.**  A label set is a sorted tuple of ``(key, str)``
+  pairs; series identity is ``(name, labels)``.
+* **Histograms are moment sketches**, not bucketed: ``count / total /
+  min / max / sum of squares`` is enough for the mean/std/extremes the
+  reports need, merges exactly across process-pool workers, and costs a
+  few float adds per observation.
+* **Merging is lossless** for counters and histograms (plain sums).  For
+  gauges the *last merged* value wins and min/max/count accumulate — the
+  right semantics for "same quantity observed by many workers".
+
+The disabled path is :data:`NULL_METRICS`, a no-op singleton whose verbs
+are empty methods — the overhead budget (DESIGN.md §9) is enforced by
+``benchmarks/bench_obs_overhead.py``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = [
+    "METRIC_KINDS",
+    "MetricSeries",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "NullMetricsRegistry",
+]
+
+METRIC_KINDS = ("counter", "gauge", "histogram")
+
+
+def _label_key(labels: dict) -> tuple[tuple[str, str], ...]:
+    """Canonical, hashable form of a label set (values coerced to str)."""
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+@dataclass
+class MetricSeries:
+    """One labeled time-series aggregate.
+
+    ``value`` is the running sum for counters and the last-set value for
+    gauges; histograms aggregate into ``count/total/sq_total/min/max``.
+    """
+
+    name: str
+    kind: str
+    labels: tuple[tuple[str, str], ...] = ()
+    count: int = 0
+    value: float = 0.0
+    total: float = 0.0
+    sq_total: float = 0.0
+    min: float = math.inf
+    max: float = -math.inf
+
+    # ------------------------------------------------------------ recording
+
+    def record(self, v: float) -> None:
+        v = float(v)
+        self.count += 1
+        if self.kind == "counter":
+            self.value += v
+            return
+        self.value = v
+        self.total += v
+        self.sq_total += v * v
+        if v < self.min:
+            self.min = v
+        if v > self.max:
+            self.max = v
+
+    # ----------------------------------------------------------- aggregates
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else float("nan")
+
+    @property
+    def std(self) -> float:
+        if not self.count:
+            return float("nan")
+        var = self.sq_total / self.count - self.mean**2
+        return math.sqrt(max(var, 0.0))
+
+    # -------------------------------------------------------------- merging
+
+    def merge(self, other: "MetricSeries") -> None:
+        """Fold another series (same identity) into this one."""
+        if (other.name, other.kind, other.labels) != (self.name, self.kind, self.labels):
+            raise ValueError(
+                f"cannot merge series {other.name}/{other.kind}{other.labels} "
+                f"into {self.name}/{self.kind}{self.labels}"
+            )
+        self.count += other.count
+        if self.kind == "counter":
+            self.value += other.value
+            return
+        if other.count:
+            self.value = other.value  # last-merged gauge wins
+        self.total += other.total
+        self.sq_total += other.sq_total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+    # ------------------------------------------------------- serialisation
+
+    def to_dict(self) -> dict:
+        out: dict = {"name": self.name, "kind": self.kind, "labels": dict(self.labels)}
+        out["count"] = self.count
+        if self.kind == "counter":
+            out["value"] = self.value
+            return out
+        if self.kind == "gauge":
+            out["value"] = self.value
+        out.update(
+            total=self.total,
+            sq_total=self.sq_total,
+            min=self.min if self.count else None,
+            max=self.max if self.count else None,
+            mean=self.mean if self.count else None,
+        )
+        return out
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "MetricSeries":
+        s = cls(name=d["name"], kind=d["kind"], labels=_label_key(d.get("labels", {})))
+        s.count = int(d.get("count", 0))
+        s.value = float(d.get("value", 0.0))
+        s.total = float(d.get("total", 0.0))
+        s.sq_total = float(d.get("sq_total", 0.0))
+        s.min = math.inf if d.get("min") is None else float(d["min"])
+        s.max = -math.inf if d.get("max") is None else float(d["max"])
+        return s
+
+
+@dataclass
+class MetricsRegistry:
+    """Flat registry of :class:`MetricSeries`, keyed by (name, labels)."""
+
+    enabled: bool = True
+    _series: dict[tuple, MetricSeries] = field(default_factory=dict, repr=False)
+
+    # ---------------------------------------------------------- write verbs
+
+    def _get(self, name: str, kind: str, labels: dict) -> MetricSeries:
+        key = (name, _label_key(labels))
+        series = self._series.get(key)
+        if series is None:
+            series = MetricSeries(name=name, kind=kind, labels=key[1])
+            self._series[key] = series
+        elif series.kind != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as {series.kind!r}, not {kind!r}"
+            )
+        return series
+
+    def count(self, name: str, value: float = 1.0, **labels) -> None:
+        """Increment a monotonic counter."""
+        self._get(name, "counter", labels).record(value)
+
+    def gauge(self, name: str, value: float, **labels) -> None:
+        """Set a point-in-time value (last write wins)."""
+        self._get(name, "gauge", labels).record(value)
+
+    def observe(self, name: str, value: float, **labels) -> None:
+        """Record one sample into a histogram series."""
+        self._get(name, "histogram", labels).record(value)
+
+    # --------------------------------------------------------------- access
+
+    def get(self, name: str, **labels) -> MetricSeries | None:
+        return self._series.get((name, _label_key(labels)))
+
+    def series(self, name: str | None = None) -> list[MetricSeries]:
+        if name is None:
+            return list(self._series.values())
+        return [s for s in self._series.values() if s.name == name]
+
+    def names(self) -> set[str]:
+        """Distinct series names (labels collapsed)."""
+        return {s.name for s in self._series.values()}
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+    def clear(self) -> None:
+        self._series.clear()
+
+    # -------------------------------------------------------------- merging
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's series into this one (pool-worker join)."""
+        self.merge_snapshot(other.snapshot())
+
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Fold a :meth:`snapshot` dict (e.g. shipped from a pool worker)."""
+        for entry in snapshot.get("series", []):
+            incoming = MetricSeries.from_dict(entry)
+            key = (incoming.name, incoming.labels)
+            mine = self._series.get(key)
+            if mine is None:
+                self._series[key] = incoming
+            else:
+                mine.merge(incoming)
+
+    # ------------------------------------------------------- serialisation
+
+    def snapshot(self) -> dict:
+        """JSON-able dump of every series (stable ordering)."""
+        entries = sorted(self._series.values(), key=lambda s: (s.name, s.labels))
+        return {"series": [s.to_dict() for s in entries]}
+
+    @classmethod
+    def from_snapshot(cls, snapshot: dict) -> "MetricsRegistry":
+        reg = cls()
+        reg.merge_snapshot(snapshot)
+        return reg
+
+
+class NullMetricsRegistry(MetricsRegistry):
+    """Disabled registry: every verb is a no-op, every read is empty.
+
+    A process-wide singleton (:data:`NULL_METRICS`); instrumented code may
+    call its verbs unconditionally without measurable cost.
+    """
+
+    def __init__(self):
+        super().__init__(enabled=False)
+
+    def count(self, name, value=1.0, **labels):  # noqa: D102 - no-op
+        pass
+
+    def gauge(self, name, value, **labels):
+        pass
+
+    def observe(self, name, value, **labels):
+        pass
+
+    def merge_snapshot(self, snapshot):
+        raise TypeError("NULL_METRICS is immutable; merge into a real MetricsRegistry")
+
+
+NULL_METRICS = NullMetricsRegistry()

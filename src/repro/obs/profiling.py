@@ -1,0 +1,88 @@
+"""Opt-in profiling hooks: cProfile capture scoped to named spans.
+
+Span timing itself is always on (``perf_counter`` in :mod:`.tracing`); this
+module adds the heavyweight option — a deterministic :mod:`cProfile`
+capture around chosen spans (by default the DFE hot path, the ``equalize``
+stage).  It is strictly opt-in: a :class:`SpanProfiler` only exists when a
+caller asked for one, so the disabled cost is an attribute-is-None check.
+
+cProfile cannot nest, so if a targeted span opens inside another targeted
+span the inner capture is skipped (the outer one already covers it).
+Reports are rendered to bounded ``pstats`` text (top-N by cumulative time)
+so they can ride along inside a JSON :class:`~repro.obs.export.RunReport`.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+
+__all__ = ["SpanProfiler"]
+
+
+class SpanProfiler:
+    """Capture cProfile stats for spans whose name is in ``targets``.
+
+    Parameters
+    ----------
+    targets:
+        Span names to profile (default: the DFE hot path, ``equalize``).
+    top:
+        Rows of the rendered ``pstats`` table to keep per span name.
+    """
+
+    def __init__(self, targets: tuple[str, ...] = ("equalize",), top: int = 25):
+        self.targets = frozenset(targets)
+        self.top = int(top)
+        self.reports: dict[str, str] = {}
+        self.capture_counts: dict[str, int] = {}
+        self._active = False
+
+    def wants(self, name: str) -> bool:
+        return name in self.targets and not self._active
+
+    # ------------------------------------------------------------- capture
+
+    def start(self, name: str) -> cProfile.Profile | None:
+        if not self.wants(name):
+            return None
+        self._active = True
+        profile = cProfile.Profile()
+        profile.enable()
+        return profile
+
+    def stop(self, name: str, profile: cProfile.Profile | None) -> None:
+        if profile is None:
+            return
+        profile.disable()
+        self._active = False
+        self.capture_counts[name] = self.capture_counts.get(name, 0) + 1
+        self.reports[name] = self._render(profile)
+
+    def _render(self, profile: cProfile.Profile) -> str:
+        buf = io.StringIO()
+        stats = pstats.Stats(profile, stream=buf)
+        stats.sort_stats("cumulative").print_stats(self.top)
+        return buf.getvalue()
+
+
+class ProfiledSpan:
+    """A span wrapper that brackets the span body with a cProfile capture."""
+
+    __slots__ = ("_span", "_profiler", "_name", "_profile")
+
+    def __init__(self, span, profiler: SpanProfiler, name: str):
+        self._span = span
+        self._profiler = profiler
+        self._name = name
+        self._profile = None
+
+    def __enter__(self):
+        span = self._span.__enter__()
+        self._profile = self._profiler.start(self._name)
+        return span
+
+    def __exit__(self, exc_type, exc, tb):
+        self._profiler.stop(self._name, self._profile)
+        return self._span.__exit__(exc_type, exc, tb)

@@ -1,0 +1,202 @@
+"""Span-based stage tracing with monotonic timing and parent/child nesting.
+
+A :class:`Span` is a context manager::
+
+    with tracer.span("equalize", n_symbols=96) as span:
+        ...
+        span.annotate(branches=16)
+
+Entering a span pushes it on the tracer's stack, so spans opened inside it
+become its children — the receiver's ``preamble`` / ``rotation`` /
+``training`` / ``equalize`` / ``decode`` stages nest naturally under the
+per-packet span without any explicit threading.  Timing uses
+``time.perf_counter`` (monotonic); ``t_start_s`` is relative to the
+tracer's creation so span trees are self-consistent within one run.
+
+Spans subsume the receiver's ad-hoc ``StageEvent`` audit trail: a stage
+records its outcome on its span (``set_status("fallback", detail)``), and
+the exporter serialises the whole tree.  An exception propagating out of a
+span marks it ``status="error"`` (and is re-raised).
+
+The disabled path is :data:`NULL_TRACER` / :data:`NULL_SPAN` — a single
+reusable no-op span object, so a disabled ``with obs.span(...)`` costs two
+constant-time method calls and no allocation.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["NULL_SPAN", "NULL_TRACER", "NullTracer", "Span", "Tracer"]
+
+
+class Span:
+    """One timed stage; use as a context manager via :meth:`Tracer.span`."""
+
+    __slots__ = (
+        "name",
+        "status",
+        "detail",
+        "attributes",
+        "children",
+        "t_start_s",
+        "duration_s",
+        "_tracer",
+        "_t0",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, attributes: dict | None = None):
+        self.name = name
+        self.status = "ok"
+        self.detail = ""
+        self.attributes = attributes or {}
+        self.children: list[Span] = []
+        self.t_start_s = 0.0
+        self.duration_s = 0.0
+        self._tracer = tracer
+        self._t0 = 0.0
+
+    def __enter__(self) -> "Span":
+        self._tracer._push(self)
+        self._t0 = time.perf_counter()
+        self.t_start_s = self._t0 - self._tracer._t_ref
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.duration_s = time.perf_counter() - self._t0
+        if exc_type is not None:
+            self.status = "error"
+            self.detail = f"{exc_type.__name__}: {exc}"
+        self._tracer._pop(self)
+        return False
+
+    # ------------------------------------------------------------ recording
+
+    def annotate(self, **attributes) -> None:
+        """Attach key/value context to the span."""
+        self.attributes.update(attributes)
+
+    def set_status(self, status: str, detail: str = "") -> None:
+        """Record the stage outcome (``ok``/``retried``/``fallback``/``failed``)."""
+        self.status = status
+        if detail:
+            self.detail = detail
+
+    # -------------------------------------------------------- serialisation
+
+    def to_dict(self) -> dict:
+        out = {
+            "name": self.name,
+            "status": self.status,
+            "t_start_s": self.t_start_s,
+            "duration_s": self.duration_s,
+        }
+        if self.detail:
+            out["detail"] = self.detail
+        if self.attributes:
+            out["attributes"] = {str(k): v for k, v in self.attributes.items()}
+        if self.children:
+            out["children"] = [c.to_dict() for c in self.children]
+        return out
+
+
+class Tracer:
+    """Collects a forest of spans for one run (single-threaded by design).
+
+    Process-pool workers each build their own tracer; only metric snapshots
+    cross process boundaries (span trees stay with the worker that made
+    them), which keeps the merge story trivial.
+    """
+
+    enabled = True
+
+    def __init__(self):
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+        self._t_ref = time.perf_counter()
+
+    def span(self, name: str, **attributes) -> Span:
+        """Create a span; attach it on ``__enter__``."""
+        return Span(self, name, attributes or None)
+
+    # ----------------------------------------------------------- internals
+
+    def _push(self, span: Span) -> None:
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        # Tolerate a mismatched pop (a span __exit__ skipped by a hard
+        # failure elsewhere) by unwinding to the span being closed.
+        while self._stack:
+            if self._stack.pop() is span:
+                break
+
+    # -------------------------------------------------------------- access
+
+    @property
+    def depth(self) -> int:
+        return len(self._stack)
+
+    def to_dicts(self) -> list[dict]:
+        return [s.to_dict() for s in self.roots]
+
+    def clear(self) -> None:
+        self.roots.clear()
+        self._stack.clear()
+
+
+class _NullSpan:
+    """Reusable no-op span: context manager + recording verbs, zero state."""
+
+    __slots__ = ()
+    name = ""
+    status = "ok"
+    detail = ""
+    children: tuple = ()
+    duration_s = 0.0
+    t_start_s = 0.0
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+    def annotate(self, **attributes):
+        pass
+
+    def set_status(self, status, detail=""):
+        pass
+
+    def to_dict(self):
+        return {}
+
+
+NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Disabled tracer: hands out the shared no-op span."""
+
+    enabled = False
+    roots: tuple = ()
+
+    def span(self, name: str, **attributes):
+        return NULL_SPAN
+
+    @property
+    def depth(self) -> int:
+        return 0
+
+    def to_dicts(self) -> list:
+        return []
+
+    def clear(self) -> None:
+        pass
+
+
+NULL_TRACER = NullTracer()

@@ -19,11 +19,13 @@ from repro.lcm.array import LCMArray
 from repro.lcm.heterogeneity import HeterogeneityModel
 from repro.modem.config import ModemConfig
 from repro.modem.references import ReferenceBank
+from repro.obs import ensure_observer
 from repro.phy.frame import FrameFormat
 from repro.phy.receiver import PhyReceiver
 from repro.phy.transmitter import PhyTransmitter
 from repro.training.offline import OfflineTrainer
 from repro.utils.bits import bit_errors, bytes_to_bits
+from repro.utils.deprecation import warn_once
 from repro.utils.rng import ensure_rng
 
 __all__ = ["PacketResult", "PacketSimulator", "measure_ber"]
@@ -106,6 +108,10 @@ class PacketSimulator:
         Passed through to :class:`repro.phy.receiver.PhyReceiver`; disable
         to run the original fragile receiver (for ablation/regression
         comparisons).
+    observer:
+        Optional :class:`repro.obs.Observer`; when given, every packet
+        records per-stage spans and the metric series catalogued in
+        DESIGN.md §9.  ``None`` (default) is the no-op singleton.
     rng:
         Seeds the tag's heterogeneity draw and yaw illumination spread.
     """
@@ -124,11 +130,13 @@ class PacketSimulator:
         codec=None,
         fault_plan: FaultPlan | None = None,
         hardened: bool = True,
+        observer=None,
         rng: np.random.Generator | int | None = None,
     ):
         if bank_mode not in ("trained", "nominal", "genie"):
             raise ValueError(f"unknown bank_mode {bank_mode!r}")
         gen = ensure_rng(rng)
+        self._obs = ensure_observer(observer)
         self.config = config or ModemConfig()
         if link is None:
             from repro.optics.geometry import LinkGeometry
@@ -174,7 +182,7 @@ class PacketSimulator:
 
         nominal_modulator = DsmPqamModulator(self.config, nominal_array)
 
-        offline = OfflineTrainer(self.config)
+        offline = OfflineTrainer(self.config, observer=self._obs)
         if bank_mode == "trained" and n_bases > 1:
             scales = [0.85, 0.95, 1.0, 1.05, 1.15]
             tables = offline.collect_condition_tables(time_scales=scales)
@@ -194,6 +202,7 @@ class PacketSimulator:
             fixed_bank=fixed_bank,
             fallback_tables=fallback,
             hardened=hardened,
+            observer=self._obs,
         )
         if bank_mode == "genie":
             # Perfect channel knowledge includes the tag's own preamble
@@ -210,35 +219,76 @@ class PacketSimulator:
         rng: np.random.Generator | int | None = None,
         lead_slots: int = 4,
     ) -> PacketResult:
-        """Simulate one packet end to end and score it."""
+        """Simulate one packet end to end and score it.
+
+        .. deprecated:: 1.1
+            Prefer :meth:`repro.api.Session.run`, which wraps this loop in
+            the unified run API and returns a :class:`repro.obs.RunReport`.
+        """
+        warn_once(
+            "PacketSimulator.run_packet",
+            "PacketSimulator.run_packet is deprecated as a public entry point; "
+            "use repro.api.Session(ScenarioSpec(...)).run(n_packets=1) instead",
+        )
+        return self._run_packet(payload=payload, rng=rng, lead_slots=lead_slots)
+
+    def _run_packet(
+        self,
+        payload: bytes | None = None,
+        rng: np.random.Generator | int | None = None,
+        lead_slots: int = 4,
+    ) -> PacketResult:
+        """One packet end to end (internal, non-deprecated implementation)."""
+        obs = self._obs
         gen = ensure_rng(rng)
         if payload is None:
             payload = gen.integers(0, 256, size=self.frame.payload_bytes, dtype=np.uint8).tobytes()
-        u = self.transmitter.transmit(payload)
-        # Random start offset: the reader sees some idle pedestal first.
-        # A short trailing stretch keeps slightly-late detections (noisy
-        # timing) inside the capture instead of truncating the packet.
-        ts = self.config.samples_per_slot
-        offset = int(gen.integers(0, max(lead_slots, 1))) * ts + int(gen.integers(0, ts))
-        lead = np.full(offset, u[0], dtype=complex)
-        tail = np.full(2 * ts, u[-1], dtype=complex)
-        out = self.link.transmit(np.concatenate([lead, u, tail]), self.config.fs, gen)
-        samples = out.samples
-        if self.fault_plan is not None:
-            samples = self.fault_plan.apply_capture(samples, self._fault_context(offset, samples), gen)
-        guard_samples = self.frame.guard_slots * ts
-        search_stop = offset + guard_samples + 2 * ts
-        rx = self.receiver.receive(samples, search_start=0, search_stop=search_stop)
+        with obs.span("packet") as packet_span:
+            with obs.span("transmit"):
+                u = self.transmitter.transmit(payload)
+            # Random start offset: the reader sees some idle pedestal first.
+            # A short trailing stretch keeps slightly-late detections (noisy
+            # timing) inside the capture instead of truncating the packet.
+            ts = self.config.samples_per_slot
+            offset = int(gen.integers(0, max(lead_slots, 1))) * ts + int(gen.integers(0, ts))
+            lead = np.full(offset, u[0], dtype=complex)
+            tail = np.full(2 * ts, u[-1], dtype=complex)
+            with obs.span("channel"):
+                out = self.link.transmit(np.concatenate([lead, u, tail]), self.config.fs, gen)
+                samples = out.samples
+                if self.fault_plan is not None:
+                    samples = self.fault_plan.apply_capture(
+                        samples, self._fault_context(offset, samples), gen
+                    )
+            guard_samples = self.frame.guard_slots * ts
+            search_stop = offset + guard_samples + 2 * ts
+            rx = self.receiver.receive(samples, search_start=0, search_stop=search_stop)
 
-        sent_bits = bytes_to_bits(payload)
-        if len(rx.payload) == len(payload) and rx.detection.detected:
-            got_bits = bytes_to_bits(rx.payload)
-            errors = bit_errors(sent_bits, got_bits)
-        else:
-            # Lost packet (no detection, or a classified receiver failure
-            # with no recovered bytes): every bit counts as errored — never
-            # score fabricated zero padding as received data.
-            errors = int(sent_bits.size)
+            sent_bits = bytes_to_bits(payload)
+            if len(rx.payload) == len(payload) and rx.detection.detected:
+                got_bits = bytes_to_bits(rx.payload)
+                errors = bit_errors(sent_bits, got_bits)
+            else:
+                # Lost packet (no detection, or a classified receiver failure
+                # with no recovered bytes): every bit counts as errored — never
+                # score fabricated zero padding as received data.
+                errors = int(sent_bits.size)
+            if obs.enabled:
+                m = obs.metrics
+                m.count("phy.packets_total", crc="ok" if rx.crc_ok else "fail")
+                m.count("phy.bits_total", sent_bits.size)
+                m.count("phy.bit_errors_total", errors)
+                m.observe("phy.packet_ber", errors / sent_bits.size)
+                m.observe("link.snr_db", out.snr_db)
+                if np.isfinite(rx.snr_est_db):
+                    m.observe("phy.snr_est_db", rx.snr_est_db)
+                if np.isfinite(rx.equalizer_mse):
+                    m.observe("phy.equalizer_mse", rx.equalizer_mse)
+                packet_span.annotate(
+                    crc_ok=rx.crc_ok, ber=errors / sent_bits.size, detected=rx.detection.detected
+                )
+                if rx.failure is not None:
+                    packet_span.set_status("failed", str(rx.failure))
         return PacketResult(
             ber=errors / sent_bits.size,
             n_bit_errors=errors,
@@ -277,25 +327,46 @@ class PacketSimulator:
         self,
         n_packets: int = 30,
         rng: np.random.Generator | int | None = None,
+        keep_results: bool = False,
     ) -> BERMeasurement:
-        """The paper's data-point procedure: aggregate BER over packets."""
+        """The paper's data-point procedure: aggregate BER over packets.
+
+        ``keep_results=False`` (the default) aggregates incrementally and
+        returns an empty ``results`` list — a large sweep then holds one
+        packet's result (and its event list) at a time instead of all of
+        them.  Pass ``keep_results=True`` to retain every
+        :class:`PacketResult` for per-packet inspection.
+        """
         gen = ensure_rng(rng)
-        results = [self.run_packet(rng=gen) for _ in range(n_packets)]
-        n_bits = sum(r.n_bits for r in results)
-        n_errors = sum(r.n_bit_errors for r in results)
-        snrs = [r.snr_est_db for r in results if np.isfinite(r.snr_est_db)]
+        results: list[PacketResult] = []
+        n_bits = n_errors = n_crc_fail = n_detected = 0
+        snr_sum = 0.0
+        snr_n = 0
+        for _ in range(n_packets):
+            r = self._run_packet(rng=gen)
+            n_bits += r.n_bits
+            n_errors += r.n_bit_errors
+            n_crc_fail += not r.crc_ok
+            n_detected += r.detected
+            if np.isfinite(r.snr_est_db):
+                snr_sum += r.snr_est_db
+                snr_n += 1
+            if keep_results:
+                results.append(r)
         return BERMeasurement(
             ber=n_errors / n_bits if n_bits else 1.0,
             n_packets=n_packets,
             n_bits=n_bits,
             n_bit_errors=n_errors,
-            packet_error_rate=sum(not r.crc_ok for r in results) / max(n_packets, 1),
-            detection_rate=sum(r.detected for r in results) / max(n_packets, 1),
-            mean_snr_est_db=float(np.mean(snrs)) if snrs else float("-inf"),
+            packet_error_rate=n_crc_fail / max(n_packets, 1),
+            detection_rate=n_detected / max(n_packets, 1),
+            mean_snr_est_db=snr_sum / snr_n if snr_n else float("-inf"),
             results=results,
         )
 
 
-def measure_ber(simulator: PacketSimulator, n_packets: int = 30, rng=None) -> BERMeasurement:
+def measure_ber(
+    simulator: PacketSimulator, n_packets: int = 30, rng=None, keep_results: bool = False
+) -> BERMeasurement:
     """Function-style alias of :meth:`PacketSimulator.measure_ber`."""
-    return simulator.measure_ber(n_packets=n_packets, rng=rng)
+    return simulator.measure_ber(n_packets=n_packets, rng=rng, keep_results=keep_results)

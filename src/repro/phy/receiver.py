@@ -37,6 +37,7 @@ from repro.lcm.fingerprint import FingerprintTable
 from repro.modem.dfe import DFEDemodulator
 from repro.modem.preamble import PreambleDetection
 from repro.modem.references import ReferenceBank
+from repro.obs import ensure_observer
 from repro.phy.frame import FrameFormat
 from repro.training.online import OnlineTrainer
 from repro.utils.logging import get_logger
@@ -113,6 +114,7 @@ class PhyReceiver:
         max_detection_retries: int = 2,
         training_residual_factor: float = 10.0,
         training_residual_floor: float = 0.02,
+        observer=None,
     ):
         self.frame = frame
         self.config = frame.config
@@ -124,11 +126,13 @@ class PhyReceiver:
         self.max_detection_retries = max_detection_retries
         self.training_residual_factor = training_residual_factor
         self.training_residual_floor = training_residual_floor
+        self._obs = ensure_observer(observer)
         self._trainer = OnlineTrainer(
             self.config,
             basis_tables,
             frame.training,
             preceding_levels=frame.preamble.levels,
+            observer=self._obs,
         )
         nominal_source = (fallback_tables or basis_tables)[0]
         self._nominal_bank = ReferenceBank.from_unit_table(self.config, nominal_source)
@@ -138,6 +142,21 @@ class PhyReceiver:
         self.frame.preamble.install_reference(preamble_reference)
 
     # ----------------------------------------------------------- internals
+
+    def _event(
+        self,
+        events: list[StageEvent],
+        stage: FailureStage,
+        status: str,
+        detail: str = "",
+    ) -> None:
+        """Record one stage outcome on the audit trail *and* the metrics.
+
+        The span tracer carries timing; this counter series carries the
+        outcome taxonomy (the labelled successor of raw StageEvent lists).
+        """
+        events.append(StageEvent(stage, status, detail))
+        self._obs.count("phy.stage_events_total", stage=stage.value, status=status)
 
     def _frame_samples_after_offset(self) -> int:
         """Samples needed from the preamble start to the payload's end."""
@@ -152,7 +171,7 @@ class PhyReceiver:
         events: list[StageEvent],
     ) -> ReceiverOutput:
         """A classified loss: no payload bytes, never zero-padding."""
-        events.append(StageEvent(failure.stage, "failed", failure.code))
+        self._event(events, failure.stage, "failed", failure.code)
         log.info("packet lost: %s", failure)
         return ReceiverOutput(
             payload=b"",
@@ -178,7 +197,7 @@ class PhyReceiver:
         detection = frame.preamble.detect(x, search_start=search_start, search_stop=search_stop)
         if detection.detected or not self.hardened:
             if detection.detected:
-                events.append(StageEvent(FailureStage.DETECTION, "ok"))
+                self._event(events, FailureStage.DETECTION, "ok")
             return detection
 
         retries = []
@@ -199,7 +218,7 @@ class PhyReceiver:
             except ValueError:
                 continue
             if retry.detected:
-                events.append(StageEvent(FailureStage.DETECTION, "retried", detail))
+                self._event(events, FailureStage.DETECTION, "retried", detail)
                 log.info("preamble recovered via %s at offset %d", detail, retry.offset)
                 return retry
         return detection
@@ -219,28 +238,26 @@ class PhyReceiver:
         try:
             coefficients, diag = self._trainer.solve_with_diagnostics(segment)
         except (ValueError, np.linalg.LinAlgError) as exc:
-            events.append(StageEvent(FailureStage.TRAINING, "fallback", f"solve failed: {exc}"))
+            self._event(events, FailureStage.TRAINING, "fallback", f"solve failed: {exc}")
             log.warning("online training failed (%s); using nominal bank", exc)
             return self._nominal_bank
         noise_ratio = 10.0 ** (-snr_db / 10.0) if np.isfinite(snr_db) else 1.0
         limit = self.training_residual_factor * (noise_ratio + self.training_residual_floor)
         if not diag.finite or diag.rank_deficient:
-            events.append(
-                StageEvent(
-                    FailureStage.TRAINING,
-                    "fallback",
-                    f"ill-conditioned solve (rank {diag.rank}/{diag.n_columns})",
-                )
+            self._event(
+                events,
+                FailureStage.TRAINING,
+                "fallback",
+                f"ill-conditioned solve (rank {diag.rank}/{diag.n_columns})",
             )
             log.warning("online training ill-conditioned; using nominal bank")
             return self._nominal_bank
         if diag.residual_ratio > limit:
-            events.append(
-                StageEvent(
-                    FailureStage.TRAINING,
-                    "fallback",
-                    f"residual {diag.residual_ratio:.3g} above limit {limit:.3g}",
-                )
+            self._event(
+                events,
+                FailureStage.TRAINING,
+                "fallback",
+                f"residual {diag.residual_ratio:.3g} above limit {limit:.3g}",
             )
             log.warning(
                 "online training residual %.3g exceeds limit %.3g; using nominal bank",
@@ -248,7 +265,7 @@ class PhyReceiver:
                 limit,
             )
             return self._nominal_bank
-        events.append(StageEvent(FailureStage.TRAINING, "ok"))
+        self._event(events, FailureStage.TRAINING, "ok")
         return self._trainer.build_bank(coefficients)
 
     # ------------------------------------------------------------- receive
@@ -265,7 +282,17 @@ class PhyReceiver:
         ts = cfg.samples_per_slot
         x = np.asarray(x, dtype=complex)
         events: list[StageEvent] = []
-        detection = self._detect_with_retries(x, search_start, search_stop, events)
+        obs = self._obs
+        with obs.span("preamble") as det_span:
+            detection = self._detect_with_retries(x, search_start, search_stop, events)
+            if obs.enabled:
+                det_span.annotate(detected=detection.detected, offset=int(detection.offset))
+                obs.count(
+                    "phy.preamble.searches_total",
+                    outcome="hit" if detection.detected else "miss",
+                )
+                if not detection.detected:
+                    det_span.set_status("failed", "preamble_not_found")
         if self.hardened and not detection.detected:
             return self._failure_output(
                 detection,
@@ -319,13 +346,12 @@ class PhyReceiver:
                     ),
                     events,
                 )
-            events.append(
-                StageEvent(FailureStage.DETECTION, "retried", "fit-constrained re-search")
-            )
+            self._event(events, FailureStage.DETECTION, "retried", "fit-constrained re-search")
             log.info("frame overran capture; re-detected at offset %d", recovered.offset)
             detection = recovered
 
-        corrected = detection.corrector.apply(x)
+        with obs.span("rotation"):
+            corrected = detection.corrector.apply(x)
         preamble_end = detection.offset + frame.preamble_slots * ts
         training_end = preamble_end + frame.training.n_slots * ts
         payload_end = training_end + frame.payload_slots * ts
@@ -333,20 +359,27 @@ class PhyReceiver:
         if self.fixed_bank is not None:
             bank = self.fixed_bank
         elif self.online_training:
-            bank = self._train_bank(
-                corrected, preamble_end, training_end, detection.snr_db, events
-            )
+            with obs.span("training") as train_span:
+                bank = self._train_bank(
+                    corrected, preamble_end, training_end, detection.snr_db, events
+                )
+                if obs.enabled and bank is self._nominal_bank:
+                    train_span.set_status("fallback", "nominal bank")
         else:
             bank = self._nominal_bank
 
         try:
-            dfe = DFEDemodulator(bank, k_branches=self.k_branches)
-            result = dfe.demodulate(
-                corrected[training_end:payload_end],
-                frame.payload_slots,
-                prime_levels=frame.prime_levels(),
-            )
-            payload, crc_ok = frame.decode_payload(result.levels_i, result.levels_q)
+            with obs.span("equalize") as eq_span:
+                dfe = DFEDemodulator(bank, k_branches=self.k_branches, observer=obs)
+                result = dfe.demodulate(
+                    corrected[training_end:payload_end],
+                    frame.payload_slots,
+                    prime_levels=frame.prime_levels(),
+                )
+                if obs.enabled:
+                    eq_span.annotate(mse=result.mse, n_branches=result.n_branches)
+            with obs.span("decode"):
+                payload, crc_ok = frame.decode_payload(result.levels_i, result.levels_q)
         except (EqualizationError, ValueError, np.linalg.LinAlgError) as exc:
             if not self.hardened:
                 raise
@@ -358,13 +391,13 @@ class PhyReceiver:
                 FailureReason(FailureStage.EQUALIZATION, code, str(exc)),
                 events,
             )
-        events.append(StageEvent(FailureStage.EQUALIZATION, "ok"))
+        self._event(events, FailureStage.EQUALIZATION, "ok")
         failure = None
         if not crc_ok:
             failure = FailureReason(FailureStage.DECODE, "crc_mismatch")
-            events.append(StageEvent(FailureStage.DECODE, "failed", "crc_mismatch"))
+            self._event(events, FailureStage.DECODE, "failed", "crc_mismatch")
         else:
-            events.append(StageEvent(FailureStage.DECODE, "ok"))
+            self._event(events, FailureStage.DECODE, "ok")
         return ReceiverOutput(
             payload=payload,
             crc_ok=crc_ok,

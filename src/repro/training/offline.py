@@ -50,8 +50,11 @@ def vector_to_table(vector: np.ndarray, order: int, tick_s: float, fs: float) ->
 class OfflineTrainer:
     """Collects condition-diverse unit tables and extracts KL bases."""
 
-    def __init__(self, config: ModemConfig):
+    def __init__(self, config: ModemConfig, observer=None):
+        from repro.obs import ensure_observer
+
         self.config = config
+        self._obs = ensure_observer(observer)
 
     def collect_condition_tables(
         self,
@@ -69,10 +72,13 @@ class OfflineTrainer:
         params = params_list if params_list is not None else [None] * len(scales)
         if len(params) != len(scales):
             raise ValueError("params_list must match time_scales in length")
-        return [
-            collect_unit_table(self.config, params=p, time_scale=s)
-            for p, s in zip(params, scales)
-        ]
+        with self._obs.span("offline_training", n_conditions=len(scales)):
+            tables = [
+                collect_unit_table(self.config, params=p, time_scale=s)
+                for p, s in zip(params, scales)
+            ]
+        self._obs.count("training.offline_tables_total", len(tables))
+        return tables
 
     def extract_bases(
         self,

@@ -117,9 +117,13 @@ class OnlineTrainer:
         basis_tables: list[FingerprintTable],
         sequence: TrainingSequence | None = None,
         preceding_levels: tuple[np.ndarray, np.ndarray] | None = None,
+        observer=None,
     ):
         if not basis_tables:
             raise ValueError("need at least one basis table")
+        from repro.obs import ensure_observer
+
+        self._obs = ensure_observer(observer)
         self.config = config
         self.basis_tables = basis_tables
         self.sequence = sequence or TrainingSequence(config)
@@ -223,7 +227,7 @@ class OnlineTrainer:
             )
         a = self.design_matrix()
         z = z[: self.sequence.n_samples]
-        theta, _, rank, _ = np.linalg.lstsq(a, z, rcond=None)
+        theta, _, rank, sv = np.linalg.lstsq(a, z, rcond=None)
         residual = z - a @ theta
         signal_power = float(np.mean(np.abs(z) ** 2))
         residual_power = float(np.mean(np.abs(residual) ** 2))
@@ -233,6 +237,15 @@ class OnlineTrainer:
             n_columns=a.shape[1],
             max_coefficient=float(np.max(np.abs(theta))) if theta.size else 0.0,
         )
+        if self._obs.enabled:
+            m = self._obs.metrics
+            m.count("training.solves_total")
+            m.observe("training.residual_ratio", diagnostics.residual_ratio)
+            m.gauge("training.rank", diagnostics.rank)
+            # lstsq already paid for the singular values; their ratio is the
+            # design matrix's 2-norm condition number.
+            if sv.size and sv[-1] > 0:
+                m.observe("training.condition_number", float(sv[0] / sv[-1]))
         cfg = self.config
         n_groups = 2 * cfg.dsm_order
         out: dict[tuple[int, int], np.ndarray] = {}

@@ -1,0 +1,33 @@
+"""One-shot deprecation warnings for the legacy entry points.
+
+The PR-3 API redesign funnels the four scattered run entry points
+(``PacketSimulator.run_packet``, ``MobileLinkSimulator.run_packet``,
+``StopAndWaitARQ.simulate``, ``LinkWatchdog.simulate``) and the kwarg
+grab-bag ``make_simulator`` behind ``repro.api.Session`` /
+``ScenarioSpec``.  The old names keep working as thin shims, but each
+emits exactly **one** ``DeprecationWarning`` per process (not one per
+packet — sweeps call these thousands of times), pointing at the
+replacement.  Internal callers use the underscored implementations and
+never warn.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+__all__ = ["reset_warned", "warn_once"]
+
+_warned: set[str] = set()
+
+
+def warn_once(key: str, message: str, stacklevel: int = 3) -> None:
+    """Emit ``DeprecationWarning`` for ``key`` the first time only."""
+    if key in _warned:
+        return
+    _warned.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)
+
+
+def reset_warned() -> None:
+    """Forget emitted warnings (test helper)."""
+    _warned.clear()

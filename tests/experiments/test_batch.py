@@ -93,7 +93,7 @@ class TestSeedDeterminism:
         expected = [
             dict(
                 {"scheme": t.scheme, "x": t.x, "index": i, "root_seed": 7},
-                **_execute(echo_task, t, s),
+                **_execute(echo_task, t, s)[0],
             )
             for i, (t, s) in enumerate(zip(tasks, runner.child_seeds(len(tasks))))
         ]

@@ -97,7 +97,7 @@ class TestComposition:
     def test_measure_ber_survives_fault_sweep(self):
         """Aggregation over a faulted link never raises and stays honest."""
         sim = make_sim(fault_plan=scenario("payload_burst", seed=3))
-        m = sim.measure_ber(n_packets=3, rng=8)
+        m = sim.measure_ber(n_packets=3, rng=8, keep_results=True)
         assert m.n_packets == 3
         assert 0.0 <= m.ber <= 1.0
         for r in m.results:

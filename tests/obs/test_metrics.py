@@ -1,0 +1,106 @@
+"""Metrics registry: kinds, labels, merging, and the disabled no-op path."""
+
+import pytest
+
+from repro.obs import NULL_METRICS, MetricsRegistry
+from repro.obs.metrics import MetricSeries
+
+
+class TestVerbs:
+    def test_counter_accumulates(self):
+        m = MetricsRegistry()
+        m.count("packets")
+        m.count("packets", 4)
+        s = m.get("packets")
+        assert s.kind == "counter"
+        assert s.value == 5
+        assert s.count == 2
+
+    def test_gauge_keeps_last_and_extremes(self):
+        m = MetricsRegistry()
+        for v in (3.0, 9.0, 1.0):
+            m.gauge("depth", v)
+        s = m.get("depth")
+        assert s.value == 1.0
+        assert s.min == 1.0
+        assert s.max == 9.0
+
+    def test_histogram_moments(self):
+        m = MetricsRegistry()
+        for v in (1.0, 2.0, 3.0):
+            m.observe("latency", v)
+        s = m.get("latency")
+        assert s.count == 3
+        assert s.mean == pytest.approx(2.0)
+        assert s.min == 1.0 and s.max == 3.0
+
+    def test_kind_conflict_rejected(self):
+        m = MetricsRegistry()
+        m.count("x")
+        with pytest.raises(ValueError):
+            m.gauge("x", 1.0)
+
+
+class TestLabels:
+    def test_labels_split_series(self):
+        m = MetricsRegistry()
+        m.count("crc", crc="ok")
+        m.count("crc", crc="ok")
+        m.count("crc", crc="fail")
+        assert m.get("crc", crc="ok").value == 2
+        assert m.get("crc", crc="fail").value == 1
+        assert len(list(m.series("crc"))) == 2
+
+    def test_label_order_irrelevant(self):
+        m = MetricsRegistry()
+        m.count("s", a="1", b="2")
+        m.count("s", b="2", a="1")
+        assert m.get("s", a="1", b="2").value == 2
+
+
+class TestMerge:
+    def test_merge_snapshot_across_workers(self):
+        """Pool semantics: per-worker registries merge into sweep totals."""
+        workers = []
+        for w in range(3):
+            m = MetricsRegistry()
+            m.count("cells", 2)
+            m.observe("ber", 0.01 * (w + 1))
+            workers.append(m.snapshot())
+        total = MetricsRegistry()
+        for snap in workers:
+            total.merge_snapshot(snap)
+        assert total.get("cells").value == 6
+        ber = total.get("ber")
+        assert ber.count == 3
+        assert ber.min == pytest.approx(0.01)
+        assert ber.max == pytest.approx(0.03)
+
+    def test_snapshot_roundtrip(self):
+        m = MetricsRegistry()
+        m.count("a", 2, lane="x")
+        m.gauge("b", 7.5)
+        back = MetricsRegistry.from_snapshot(m.snapshot())
+        assert back.get("a", lane="x").value == 2
+        assert back.get("b").value == 7.5
+
+    def test_series_dict_roundtrip(self):
+        m = MetricsRegistry()
+        m.observe("h", 4.0)
+        d = m.get("h").to_dict()
+        s = MetricSeries.from_dict(d)
+        assert s.kind == "histogram"
+        assert s.mean == pytest.approx(4.0)
+
+
+class TestDisabled:
+    def test_null_registry_is_a_noop(self):
+        assert not NULL_METRICS.enabled
+        NULL_METRICS.count("x")
+        NULL_METRICS.gauge("y", 1.0)
+        NULL_METRICS.observe("z", 2.0)
+        assert len(NULL_METRICS) == 0
+
+    def test_null_registry_rejects_merge(self):
+        with pytest.raises(TypeError):
+            NULL_METRICS.merge_snapshot({"series": []})

@@ -1,0 +1,116 @@
+"""RunReport golden schema: structure, validation, round trips, exporters."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    Observer,
+    ReportSchemaError,
+    RunReport,
+    SpanProfiler,
+    load_run_report,
+    validate_run_report,
+)
+
+
+def _sample_observer() -> Observer:
+    obs = Observer()
+    with obs.span("session", kind="packet"):
+        with obs.span("packet"):
+            obs.count("phy.packets_total", crc="ok")
+            obs.observe("phy.packet_ber", 0.0)
+            obs.gauge("dfe.branch_occupancy_peak", 16)
+    return obs
+
+
+class TestGoldenSchema:
+    """The report layout downstream dashboards/tests can rely on."""
+
+    def test_top_level_keys(self):
+        d = _sample_observer().run_report("packet").to_dict()
+        assert set(d) == {"meta", "scenario", "summary", "metrics", "spans", "profiles"}
+        assert d["meta"]["schema_version"] == 1
+        assert d["meta"]["kind"] == "packet"
+        assert d["meta"]["generator"].startswith("repro ")
+
+    def test_series_entries_carry_kind_labels_count(self):
+        d = _sample_observer().run_report("packet").to_dict()
+        by_name = {e["name"]: e for e in d["metrics"]["series"]}
+        assert by_name["phy.packets_total"]["kind"] == "counter"
+        assert by_name["phy.packets_total"]["labels"] == {"crc": "ok"}
+        assert by_name["phy.packet_ber"]["kind"] == "histogram"
+        assert all(e["count"] >= 1 for e in by_name.values())
+
+    def test_span_tree_schema(self):
+        d = _sample_observer().run_report("packet").to_dict()
+        root = d["spans"][0]
+        assert root["name"] == "session"
+        assert root["status"] == "ok"
+        assert root["duration_s"] >= 0.0
+        assert root["children"][0]["name"] == "packet"
+
+    def test_validate_passes_on_emitted_report(self):
+        report = _sample_observer().run_report("packet", summary={"ber": 0.0})
+        validate_run_report(json.loads(report.to_json()))
+
+
+class TestValidationFailures:
+    def test_all_violations_collected(self):
+        bad = {
+            "meta": {"schema_version": 99, "kind": "nope", "generator": 3},
+            "scenario": {},
+            "summary": {},
+            "metrics": {"series": [{"name": "", "kind": "bogus"}]},
+            "spans": [{"name": "x"}],
+            "profiles": {},
+        }
+        with pytest.raises(ReportSchemaError) as exc:
+            validate_run_report(bad)
+        messages = "; ".join(exc.value.errors)
+        assert "schema_version" in messages
+        assert "kind" in messages
+        assert "generator" in messages
+        assert len(exc.value.errors) >= 5
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(ReportSchemaError):
+            validate_run_report([1, 2, 3])
+
+    def test_missing_sections_rejected(self):
+        with pytest.raises(ReportSchemaError):
+            validate_run_report({"meta": {}})
+
+
+class TestRoundTrips:
+    def test_write_and_load(self, tmp_path):
+        report = _sample_observer().run_report("packet", scenario={"distance_m": 2.0})
+        path = report.write(tmp_path / "run.json")
+        back = load_run_report(path)
+        assert back.kind == "packet"
+        assert back.scenario == {"distance_m": 2.0}
+        assert back.metric_names() == report.metric_names()
+
+    def test_write_refuses_invalid(self, tmp_path):
+        report = RunReport(kind="packet", meta={"schema_version": 2})
+        with pytest.raises(ReportSchemaError):
+            report.write(tmp_path / "bad.json")
+
+    def test_spans_jsonl_flattens_depth(self, tmp_path):
+        report = _sample_observer().run_report("packet")
+        path = report.write_spans_jsonl(tmp_path / "spans.jsonl")
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [r["name"] for r in rows] == ["session", "packet"]
+        assert [r["depth"] for r in rows] == [0, 1]
+        assert rows[1]["parent"] == "session"
+
+
+class TestProfiles:
+    def test_profiled_span_text_lands_in_report(self):
+        obs = Observer(profiler=SpanProfiler(targets=("equalize",), top=5))
+        with obs.span("equalize"):
+            sum(i * i for i in range(2000))
+        report = obs.run_report("packet")
+        assert "equalize" in report.profiles
+        assert "cumulative" in report.profiles["equalize"]
+        validate_run_report(json.loads(report.to_json()))

@@ -1,0 +1,91 @@
+"""Span tracing: nesting, timing, status, and the null fast path."""
+
+import pytest
+
+from repro.obs import NULL_SPAN, NULL_TRACER, Observer, Tracer
+
+
+class TestNesting:
+    def test_parent_child_structure(self):
+        t = Tracer()
+        with t.span("packet"):
+            with t.span("equalize"):
+                pass
+            with t.span("decode"):
+                pass
+        forest = t.to_dicts()
+        assert len(forest) == 1
+        root = forest[0]
+        assert root["name"] == "packet"
+        assert [c["name"] for c in root["children"]] == ["equalize", "decode"]
+
+    def test_depth_tracks_stack(self):
+        t = Tracer()
+        assert t.depth == 0
+        with t.span("a"):
+            assert t.depth == 1
+            with t.span("b"):
+                assert t.depth == 2
+        assert t.depth == 0
+
+    def test_durations_monotonic(self):
+        t = Tracer()
+        with t.span("outer"):
+            with t.span("inner"):
+                pass
+        outer = t.to_dicts()[0]
+        inner = outer["children"][0]
+        assert outer["duration_s"] >= inner["duration_s"] >= 0.0
+        assert outer["t_start_s"] <= inner["t_start_s"]
+
+
+class TestStatus:
+    def test_exception_marks_error(self):
+        t = Tracer()
+        with pytest.raises(RuntimeError):
+            with t.span("boom"):
+                raise RuntimeError("no")
+        span = t.to_dicts()[0]
+        assert span["status"] == "error"
+        # The span still closed: duration recorded, stack unwound.
+        assert span["duration_s"] >= 0.0
+        assert t.depth == 0
+
+    def test_set_status_and_annotate(self):
+        t = Tracer()
+        with t.span("training", bank="trained") as span:
+            span.annotate(condition_number=42.0)
+            span.set_status("fallback", "nominal bank")
+        d = t.to_dicts()[0]
+        assert d["status"] == "fallback"
+        assert d["attributes"]["bank"] == "trained"
+        assert d["attributes"]["condition_number"] == 42.0
+
+
+class TestNullPath:
+    def test_null_tracer_shares_one_span(self):
+        a = NULL_TRACER.span("x")
+        b = NULL_TRACER.span("y", k=1)
+        assert a is b is NULL_SPAN
+        with a as s:
+            s.annotate(ignored=True)
+            s.set_status("error")
+        assert NULL_TRACER.to_dicts() == []
+
+    def test_null_observer_spans_record_nothing(self):
+        from repro.obs import NULL_OBSERVER
+
+        with NULL_OBSERVER.span("equalize") as s:
+            s.annotate(mse=0.1)
+        assert not NULL_OBSERVER.enabled
+
+
+class TestObserverIntegration:
+    def test_observer_span_forest_reaches_report(self):
+        obs = Observer()
+        with obs.span("session"):
+            with obs.span("packet"):
+                obs.count("phy.packets_total", crc="ok")
+        report = obs.run_report("packet")
+        assert report.span_names() == {"session", "packet"}
+        assert "phy.packets_total" in report.metric_names()

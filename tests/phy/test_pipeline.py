@@ -86,9 +86,15 @@ class TestMeasurement:
         assert m.detection_rate == 1.0
         assert m.reliable
 
-    def test_results_kept(self):
-        m = make_sim().measure_ber(n_packets=2, rng=9)
+    def test_results_kept_on_request(self):
+        m = make_sim().measure_ber(n_packets=2, rng=9, keep_results=True)
         assert len(m.results) == 2
+
+    def test_results_dropped_by_default(self):
+        """Large sweeps aggregate only; per-packet records are opt-in."""
+        m = make_sim().measure_ber(n_packets=2, rng=9)
+        assert m.results == []
+        assert m.n_packets == 2
 
     def test_bad_bank_mode_rejected(self):
         with pytest.raises(ValueError):
