@@ -99,6 +99,10 @@ class LCMArray:
         )
         self._bases = np.array([p.basis for p in self.pixels], dtype=complex)
         self._time_scales = np.array([p.time_scale for p in self.pixels])
+        # Per-pixel complex mixing weights, hoisted out of emit(): they only
+        # change when the array is rebuilt (e.g. after fault-plan gain
+        # mutation, which reconstructs the array from its mutated pixels).
+        self._weights = self._amplitudes[:, None] * self._bases[:, None]
 
     def _pixel_channel(self, pixel: LCMPixel) -> str:
         for g in self.groups:
@@ -136,7 +140,8 @@ class LCMArray:
         roll_rad: float = 0.0,
         initial_phi: float | np.ndarray = 0.0,
         initial_psi: float | np.ndarray = 0.0,
-    ) -> np.ndarray:
+        return_state: bool = False,
+    ) -> np.ndarray | tuple[np.ndarray, tuple[np.ndarray, np.ndarray]]:
         """Complex baseband waveform for a per-pixel drive schedule.
 
         Parameters
@@ -149,22 +154,31 @@ class LCMArray:
         roll_rad:
             Physical roll misalignment of the whole tag; enters as a
             ``exp(j * 2 * roll)`` constellation rotation.
+        return_state:
+            When True also return the end-of-schedule per-pixel
+            ``(phi, psi)`` state, so a later schedule can resume exactly
+            where this one stopped (used to synthesise a frame in cached
+            prefix + payload segments).
         """
         drive = np.asarray(drive)
         if drive.shape[0] != self.n_pixels:
             raise ValueError(f"drive has {drive.shape[0]} rows for {self.n_pixels} pixels")
-        phi = self._model.simulate(
+        result = self._model.simulate(
             drive,
             tick_s,
             fs,
             phi0=initial_phi,
             psi0=initial_psi,
             time_scale=self._time_scales,
+            return_state=return_state,
         )
+        phi, state = result if return_state else (result, None)
         s = LCResponseModel.optical_amplitude(phi)
-        weights = self._amplitudes[:, None] * self._bases[:, None]
-        u = (weights * s).sum(axis=0)
-        return u * np.exp(2j * roll_rad)
+        u = (self._weights * s).sum(axis=0)
+        u = u * np.exp(2j * roll_rad)
+        if return_state:
+            return u, state
+        return u
 
     # ------------------------------------------------------------- factory
 

@@ -1,0 +1,65 @@
+"""Frozen scalar reference for the LC waveform integrator.
+
+This module preserves the original per-tick segment-wise ``simulate`` loop
+— evaluating both the charge and discharge closed forms over every sample
+of every tick and masking per pixel — exactly as it shipped before the
+two-pass vectorized engine replaced it in :mod:`repro.lcm.response`.  It is
+the executable specification the vectorized engine is tested against: the
+golden-equivalence suite (``tests/lcm/test_response_equivalence.py``) and
+the in-run assert of ``benchmarks/bench_txchain_speed.py`` require
+agreement to <= 1e-12 max abs error (in practice the engines agree
+bitwise, because both evaluate the same elementwise map arithmetic).
+
+Do not optimise this module; optimise ``LCResponseModel.simulate`` against
+it.  The only deliberate deviation from the historical loop is the tick
+boundary table: both engines share :func:`repro.lcm.response.tick_sample_boundaries`
+(the exact-proration fix that bans zero-length sample spans), so the suite
+compares *integrators*, not grid rounding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lcm.response import LCResponseModel, tick_sample_boundaries
+
+__all__ = ["ReferenceLCResponseModel"]
+
+
+class ReferenceLCResponseModel(LCResponseModel):
+    """The original interpreter-style integrator, kept verbatim as a spec."""
+
+    def simulate(
+        self,
+        drive: np.ndarray,
+        tick_s: float,
+        fs: float,
+        phi0: np.ndarray | float = 0.0,
+        psi0: np.ndarray | float = 0.0,
+        time_scale: np.ndarray | None = None,
+        return_state: bool = False,
+    ) -> np.ndarray | tuple[np.ndarray, tuple[np.ndarray, np.ndarray]]:
+        """Per-tick reference integration (see module docstring)."""
+        drive = np.atleast_2d(np.asarray(drive))
+        n_pixels, n_ticks = drive.shape
+        phi = np.broadcast_to(np.asarray(phi0, dtype=float), (n_pixels,)).copy()
+        psi = np.broadcast_to(np.asarray(psi0, dtype=float), (n_pixels,)).copy()
+        boundaries = tick_sample_boundaries(n_ticks, tick_s, fs)
+        out = np.empty((n_pixels, boundaries[-1]), dtype=float)
+        for j in range(n_ticks):
+            lo, hi = boundaries[j], boundaries[j + 1]
+            n_here = hi - lo
+            # Sample instants inside this tick, then the end-of-tick state.
+            t_samples = (np.arange(n_here) + 1.0) / fs
+            t_eval = np.concatenate([t_samples, [tick_s]])
+            on_phi, on_psi = self.charge(phi, psi, t_eval, time_scale)
+            off_phi, off_psi = self.discharge(phi, psi, t_eval, time_scale)
+            mask = drive[:, j].astype(bool)[:, None]
+            seg_phi = np.where(mask, on_phi, off_phi)
+            seg_psi = np.where(mask, on_psi, off_psi)
+            out[:, lo:hi] = seg_phi[:, :n_here]
+            phi = seg_phi[:, -1]
+            psi = seg_psi[:, -1]
+        if return_state:
+            return out, (phi, psi)
+        return out

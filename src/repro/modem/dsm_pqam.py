@@ -79,8 +79,14 @@ class DsmPqamModulator:
         roll_rad: float = 0.0,
         initial_phi: float | np.ndarray = 0.0,
         initial_psi: float | np.ndarray = 0.0,
+        return_state: bool = False,
     ) -> np.ndarray:
-        """Complex baseband waveform for a level-pair sequence."""
+        """Complex baseband waveform for a level-pair sequence.
+
+        With ``return_state=True`` also returns the end-of-sequence
+        ``(phi, psi)`` pixel states so a follow-on call can resume exactly
+        where this one left off.
+        """
         drive = self.drive_for_levels(levels_i, levels_q)
         return self.array.emit(
             drive,
@@ -89,6 +95,7 @@ class DsmPqamModulator:
             roll_rad=roll_rad,
             initial_phi=initial_phi,
             initial_psi=initial_psi,
+            return_state=return_state,
         )
 
     # ---------------------------------------------------------------- bits

@@ -24,6 +24,7 @@ import numpy as np
 from repro.lcm.fingerprint import FingerprintTable, collect_fingerprints
 from repro.lcm.response import LCParams, LCResponseModel
 from repro.modem.config import ModemConfig
+from repro.utils.opcache import fingerprint_config, fingerprint_params, resolve_opcache
 
 __all__ = ["GroupReference", "ReferenceBank", "assemble_waveform", "collect_unit_table"]
 
@@ -36,6 +37,7 @@ def collect_unit_table(
     config: ModemConfig,
     params: LCParams | None = None,
     time_scale: float = 1.0,
+    opcache=None,
 ) -> FingerprintTable:
     """Collect the unit (single-pixel) firing fingerprint table.
 
@@ -44,8 +46,24 @@ def collect_unit_table(
     *firing* bits, and records W-long chunks per V-bit firing history.
     Chunks are the raw bipolar optical amplitude (including the -1 rest
     level), so sums over pixels reproduce absolute waveforms.
+
+    The table is fully determined by ``(config, params, time_scale)``;
+    with ``opcache`` (an :class:`~repro.utils.opcache.OpCache`, or True
+    for the process-global one) the MLS sweep runs once per operating
+    point and repeat collections share the stored table.  Consumers treat
+    tables as immutable (composition builds new tables), so sharing is
+    safe.
     """
-    model = LCResponseModel(params or LCParams())
+    cache = resolve_opcache(opcache)
+    resolved = params or LCParams()
+    if cache is not None:
+        key = (fingerprint_config(config), fingerprint_params(resolved), float(time_scale))
+        return cache.get(
+            "unit_table",
+            key,
+            lambda: collect_unit_table(config, params=resolved, time_scale=time_scale),
+        )
+    model = LCResponseModel(resolved)
     cfg = config
 
     def waveform_fn(firing_bits: np.ndarray) -> np.ndarray:
@@ -378,14 +396,15 @@ class ReferenceBank:
         config: ModemConfig,
         params: LCParams | None = None,
         levels_per_axis: int | None = None,
+        opcache=None,
     ) -> "ReferenceBank":
         """Bank built from one shared nominal unit table (offline training
         under ideal conditions; per-group spread left to online training)."""
-        unit = collect_unit_table(config, params=params)
+        unit = collect_unit_table(config, params=params, opcache=opcache)
         return cls.from_unit_table(config, unit, levels_per_axis=levels_per_axis)
 
     @classmethod
-    def genie(cls, config: ModemConfig, array) -> "ReferenceBank":
+    def genie(cls, config: ModemConfig, array, opcache=None) -> "ReferenceBank":
         """Bank with exact per-pixel fingerprints of a *specific* array.
 
         Collects each pixel's true response (including its heterogeneity)
@@ -401,7 +420,9 @@ class ReferenceBank:
                 bases = []
                 for p in g.pixels:
                     tables.append(
-                        collect_unit_table(config, params=p.params, time_scale=p.time_scale)
+                        collect_unit_table(
+                            config, params=p.params, time_scale=p.time_scale, opcache=opcache
+                        )
                     )
                     fracs.append(p.area * p.gain / channel_area)
                     bases.append(np.exp(2j * p.angle_rad))

@@ -193,15 +193,29 @@ class FrameFormat:
         payload, ok = stream[:-2], crc16_check(stream)
         return payload, ok
 
-    def frame_levels(self, payload: bytes) -> tuple[np.ndarray, np.ndarray]:
-        """Level sequences for the complete frame (guard..payload)."""
-        cfg = self.config
+    def prefix_levels(self) -> tuple[np.ndarray, np.ndarray]:
+        """Level sequences of the payload-independent frame prefix.
+
+        Guard, preamble and training are fixed per frame format — the same
+        ``payload_start_slot`` slots precede every payload, which is what
+        lets a transmitter synthesise (and cache) the prefix waveform once
+        per operating point.
+        """
         guard = np.zeros(self.guard_slots, dtype=int)
         pre_i, pre_q = self.preamble.levels
         trn_i, trn_q = self.training.levels()
+        levels_i = np.concatenate([guard, pre_i, trn_i])
+        levels_q = np.concatenate([guard, pre_q, trn_q])
+        assert levels_i.size == self.payload_start_slot
+        return levels_i, levels_q
+
+    def frame_levels(self, payload: bytes) -> tuple[np.ndarray, np.ndarray]:
+        """Level sequences for the complete frame (guard..payload)."""
+        cfg = self.config
+        pre_i, pre_q = self.prefix_levels()
         pay_i, pay_q = self.encode_payload(payload)
-        levels_i = np.concatenate([guard, pre_i, trn_i, pay_i])
-        levels_q = np.concatenate([guard, pre_q, trn_q, pay_q])
+        levels_i = np.concatenate([pre_i, pay_i])
+        levels_q = np.concatenate([pre_q, pay_q])
         assert levels_i.size == self.total_slots
         assert self.payload_start_slot % cfg.dsm_order == 0
         return levels_i, levels_q

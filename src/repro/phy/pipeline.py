@@ -26,6 +26,7 @@ from repro.phy.transmitter import PhyTransmitter
 from repro.training.offline import OfflineTrainer
 from repro.utils.bits import bit_errors, bytes_to_bits
 from repro.utils.deprecation import warn_once
+from repro.utils.opcache import fingerprint, fingerprint_array, fingerprint_config, resolve_opcache
 from repro.utils.rng import ensure_rng
 
 __all__ = ["PacketResult", "PacketSimulator", "measure_ber"]
@@ -114,6 +115,15 @@ class PacketSimulator:
         DESIGN.md §9.  ``None`` (default) is the no-op singleton.
     rng:
         Seeds the tag's heterogeneity draw and yaw illumination spread.
+    opcache:
+        Operating-point artifact cache (:mod:`repro.utils.opcache`).
+        ``True`` (default) shares the process-global cache — repeated
+        simulators at the same operating point reuse unit tables, the TX
+        prefix waveform, the preamble reference, and the training
+        factorization.  ``False``/``None`` disables caching; an
+        :class:`~repro.utils.opcache.OpCache` instance scopes it.  Results
+        are bit-identical either way (keys are content fingerprints and
+        cached artifacts are replayed, not approximated).
     """
 
     def __init__(
@@ -132,11 +142,13 @@ class PacketSimulator:
         hardened: bool = True,
         observer=None,
         rng: np.random.Generator | int | None = None,
+        opcache=True,
     ):
         if bank_mode not in ("trained", "nominal", "genie"):
             raise ValueError(f"unknown bank_mode {bank_mode!r}")
         gen = ensure_rng(rng)
         self._obs = ensure_observer(observer)
+        self._opcache = resolve_opcache(opcache)
         self.config = config or ModemConfig()
         if link is None:
             from repro.optics.geometry import LinkGeometry
@@ -160,7 +172,14 @@ class PacketSimulator:
         # Permanent tag hardware defects (dead/stuck pixels) apply here so
         # the transmitter and any genie bank see the faulted hardware.
         if fault_plan is not None:
+            pre_fault_fp = (
+                fingerprint_array(self.array) if self._opcache is not None else None
+            )
             fault_plan.apply_tag(self.array, gen)
+            if self._opcache is not None:
+                # Content keys already make stale hits impossible; this
+                # sweeps the pre-fault array's artifacts out of capacity.
+                self._opcache.invalidate(token=pre_fault_fp)
         # Rebuild the cached amplitude vectors after mutating gains.
         self.array = LCMArray(self.array.groups, params=self.array.params)
 
@@ -171,7 +190,7 @@ class PacketSimulator:
             training_rounds=training_rounds,
             codec=codec,
         )
-        self.transmitter = PhyTransmitter(self.frame, self.array)
+        self.transmitter = PhyTransmitter(self.frame, self.array, opcache=self._opcache)
 
         # --- reader-side offline artifacts (nominal tag) ------------------
         nominal_array = LCMArray.build(
@@ -182,7 +201,7 @@ class PacketSimulator:
 
         nominal_modulator = DsmPqamModulator(self.config, nominal_array)
 
-        offline = OfflineTrainer(self.config, observer=self._obs)
+        offline = OfflineTrainer(self.config, observer=self._obs, opcache=self._opcache)
         if bank_mode == "trained" and n_bases > 1:
             scales = [0.85, 0.95, 1.0, 1.05, 1.15]
             tables = offline.collect_condition_tables(time_scales=scales)
@@ -193,7 +212,11 @@ class PacketSimulator:
             bases = tables
             fallback = tables
 
-        fixed_bank = ReferenceBank.genie(self.config, self.array) if bank_mode == "genie" else None
+        fixed_bank = (
+            ReferenceBank.genie(self.config, self.array, opcache=self._opcache)
+            if bank_mode == "genie"
+            else None
+        )
         self.receiver = PhyReceiver(
             self.frame,
             basis_tables=bases,
@@ -203,11 +226,26 @@ class PacketSimulator:
             fallback_tables=fallback,
             hardened=hardened,
             observer=self._obs,
+            opcache=self._opcache,
         )
         if bank_mode == "genie":
             # Perfect channel knowledge includes the tag's own preamble
             # waveform; the corrector then only undoes roll/AGC/offset.
             self.frame.preamble.record_reference(self.transmitter.modulator)
+        elif self._opcache is not None:
+            # The nominal preamble reference depends only on the operating
+            # point (config + the canonical nominal array), not on this
+            # simulator's heterogeneous tag.
+            pre_i, pre_q = self.frame.preamble.levels
+            key = (fingerprint_config(self.config), fingerprint([pre_i, pre_q]))
+            ref = self._opcache.get(
+                "preamble_reference",
+                key,
+                lambda: nominal_modulator.waveform_for_levels(pre_i, pre_q)[
+                    : self.frame.preamble.n_samples
+                ],
+            )
+            self.frame.preamble.install_reference(ref)
         else:
             self.frame.preamble.record_reference(nominal_modulator)
 

@@ -100,6 +100,10 @@ class PhyReceiver:
         The trained bank is rejected when the solve's residual ratio
         exceeds ``factor * (10^(-snr/10) + floor)`` — i.e. far above the
         noise floor the detection SNR predicts.
+    opcache:
+        Operating-point artifact cache (:mod:`repro.utils.opcache`),
+        forwarded to the online trainer so the training design matrix and
+        its factorization are derived once per operating point.
     """
 
     def __init__(
@@ -115,6 +119,7 @@ class PhyReceiver:
         training_residual_factor: float = 10.0,
         training_residual_floor: float = 0.02,
         observer=None,
+        opcache=None,
     ):
         self.frame = frame
         self.config = frame.config
@@ -133,6 +138,7 @@ class PhyReceiver:
             frame.training,
             preceding_levels=frame.preamble.levels,
             observer=self._obs,
+            opcache=opcache,
         )
         nominal_source = (fallback_tables or basis_tables)[0]
         self._nominal_bank = ReferenceBank.from_unit_table(self.config, nominal_source)

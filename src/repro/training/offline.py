@@ -50,11 +50,13 @@ def vector_to_table(vector: np.ndarray, order: int, tick_s: float, fs: float) ->
 class OfflineTrainer:
     """Collects condition-diverse unit tables and extracts KL bases."""
 
-    def __init__(self, config: ModemConfig, observer=None):
+    def __init__(self, config: ModemConfig, observer=None, opcache=None):
         from repro.obs import ensure_observer
+        from repro.utils.opcache import resolve_opcache
 
         self.config = config
         self._obs = ensure_observer(observer)
+        self._opcache = resolve_opcache(opcache)
 
     def collect_condition_tables(
         self,
@@ -74,7 +76,7 @@ class OfflineTrainer:
             raise ValueError("params_list must match time_scales in length")
         with self._obs.span("offline_training", n_conditions=len(scales)):
             tables = [
-                collect_unit_table(self.config, params=p, time_scale=s)
+                collect_unit_table(self.config, params=p, time_scale=s, opcache=self._opcache)
                 for p, s in zip(params, scales)
             ]
         self._obs.count("training.offline_tables_total", len(tables))

@@ -20,6 +20,7 @@ from scipy.linalg import hadamard
 from repro.lcm.fingerprint import FingerprintTable
 from repro.modem.config import ModemConfig
 from repro.modem.references import GroupReference, ReferenceBank
+from repro.utils.opcache import fingerprint, fingerprint_config, fingerprint_table, resolve_opcache
 
 __all__ = ["OnlineTrainer", "TrainingDiagnostics", "TrainingSequence"]
 
@@ -118,6 +119,7 @@ class OnlineTrainer:
         sequence: TrainingSequence | None = None,
         preceding_levels: tuple[np.ndarray, np.ndarray] | None = None,
         observer=None,
+        opcache=None,
     ):
         if not basis_tables:
             raise ValueError("need at least one basis table")
@@ -133,6 +135,9 @@ class OnlineTrainer:
             ReferenceBank.from_unit_table(config, table) for table in basis_tables
         ]
         self._design_cache: np.ndarray | None = None
+        self._factor_cache: tuple[np.ndarray, np.ndarray, np.ndarray, int] | None = None
+        self._opcache = resolve_opcache(opcache)
+        self._key_cache: tuple | None = None
 
     @property
     def n_bases(self) -> int:
@@ -185,21 +190,82 @@ class OnlineTrainer:
             out[lo:hi] += pulse[lo - start : hi - start]
         return out
 
+    def _artifact_key(self) -> tuple:
+        """Content key of everything the design matrix derives from.
+
+        Computed once per trainer: the config, each basis table's content
+        fingerprint, the training-sequence length, and the preceding
+        levels.  Two trainers over physically identical operating points
+        produce equal keys regardless of object identity, which is what
+        lets per-packet trainer instances share design/factorization
+        artifacts through an :class:`~repro.utils.opcache.OpCache`.
+        """
+        if self._key_cache is None:
+            pre = None
+            if self.preceding_levels is not None:
+                pre = fingerprint(list(self.preceding_levels))
+            self._key_cache = (
+                fingerprint_config(self.config),
+                tuple(fingerprint_table(t) for t in self.basis_tables),
+                self.sequence.n_rounds,
+                pre,
+            )
+        return self._key_cache
+
     def design_matrix(self) -> np.ndarray:
         """Columns: one per (group, basis), over the training samples.
 
-        Constant per (sequence, bases, preceding levels); cached.
+        Constant per (sequence, bases, preceding levels); cached in the
+        instance and, when an opcache is attached, shared across trainer
+        instances at the same operating point.
         """
         if self._design_cache is not None:
             return self._design_cache
+        if self._opcache is not None:
+            self._design_cache = self._opcache.get(
+                "training_design", self._artifact_key(), self._build_design
+            )
+        else:
+            self._design_cache = self._build_design()
+        return self._design_cache
+
+    def _build_design(self) -> np.ndarray:
         cfg = self.config
         cols = []
         for bank in self._basis_banks:
             for ch in (0, 1):
                 for gi in range(cfg.dsm_order):
                     cols.append(self._group_column(bank, ch, gi))
-        self._design_cache = np.stack(cols, axis=1)
-        return self._design_cache
+        return np.stack(cols, axis=1)
+
+    def _factorization(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+        """Thin SVD of the design matrix plus its numerical rank.
+
+        The old solver let ``np.linalg.lstsq`` redo a full SVD for every
+        packet even though the design matrix is operating-point constant.
+        The factorization is now computed once (per trainer, or per
+        operating point when an opcache is attached) and every solve just
+        applies the pseudoinverse.  The rank rule replicates
+        ``lstsq(rcond=None)``: singular values at or below
+        ``max(M, N) * eps * s_max`` are treated as zero.
+        """
+        if self._factor_cache is not None:
+            return self._factor_cache
+        if self._opcache is not None:
+            self._factor_cache = self._opcache.get(
+                "training_factorization", self._artifact_key(), self._build_factorization
+            )
+        else:
+            self._factor_cache = self._build_factorization()
+        return self._factor_cache
+
+    def _build_factorization(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+        a = self.design_matrix()
+        u, s, vh = np.linalg.svd(a, full_matrices=False)
+        rcond = max(a.shape) * np.finfo(s.dtype).eps
+        cutoff = rcond * (float(s[0]) if s.size else 0.0)
+        rank = int(np.count_nonzero(s > cutoff))
+        return u, s, vh, rank
 
     # -------------------------------------------------------------- solve
 
@@ -227,7 +293,15 @@ class OnlineTrainer:
             )
         a = self.design_matrix()
         z = z[: self.sequence.n_samples]
-        theta, _, rank, sv = np.linalg.lstsq(a, z, rcond=None)
+        # Minimum-norm least squares via the cached pseudoinverse factors —
+        # the same solution (to machine precision) and the same rank /
+        # singular-value semantics as lstsq(rcond=None), without re-running
+        # an SVD per packet.
+        u, sv, vh, rank = self._factorization()
+        inv = np.zeros(sv.shape, dtype=float)
+        if rank:
+            inv[:rank] = 1.0 / sv[:rank]
+        theta = vh.conj().T @ ((u.conj().T @ z) * inv)
         residual = z - a @ theta
         signal_power = float(np.mean(np.abs(z) ** 2))
         residual_power = float(np.mean(np.abs(residual) ** 2))

@@ -1,0 +1,277 @@
+"""Keyed LRU cache for operating-point-constant artifacts.
+
+Large parts of the per-packet work in the PHY pipeline — the online
+training design matrix and its SVD factorization, the guard/preamble/
+training prefix waveform, :class:`~repro.modem.references.ReferenceBank`
+unit-pulse tables — depend only on the *operating point*: the
+:class:`~repro.modem.config.ModemConfig` plus the physical state of the
+:class:`~repro.lcm.array.LCMArray`.  ``measure_ber`` grids and
+``BatchRunner`` sweeps evaluate thousands of packets at a handful of
+operating points, re-deriving identical artifacts every time.
+
+:class:`OpCache` memoises those artifacts under explicit content keys:
+
+* **Keys are content fingerprints**, never object identities —
+  :func:`fingerprint` hashes the actual values (config fields, pixel
+  areas/gains/angles/time-scales, ndarray bytes), so two independently
+  constructed but physically identical operating points share entries,
+  and any physical difference, however small, misses.
+* **Entries must be immutable** (or treated as such by every consumer).
+  The cache returns the stored object itself; builders that hand out
+  mutable state must copy on the way in or out.
+* **Invalidation is explicit.**  When a fault plan mutates LCM hardware
+  mid-run, the mutating site calls :meth:`OpCache.invalidate` with the
+  stale array's fingerprint token; every kind of artifact derived from
+  that token drops.  (Because keys are content fingerprints, forgetting
+  to invalidate is a *memory* bug, not a correctness bug — a mutated
+  array fingerprints differently and can never *hit* a stale entry.  The
+  explicit call keeps dead entries from occupying capacity.)
+
+Hits and misses are counted through the ambient :mod:`repro.obs`
+observer as ``opcache.hits`` / ``opcache.misses``, labelled by artifact
+``kind``, so sweeps can assert cache effectiveness from a metrics
+snapshot.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from collections import OrderedDict
+from collections.abc import Callable
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "OpCache",
+    "fingerprint",
+    "fingerprint_array",
+    "fingerprint_config",
+    "fingerprint_params",
+    "fingerprint_table",
+    "get_global_opcache",
+    "resolve_opcache",
+    "set_global_opcache",
+]
+
+
+# --------------------------------------------------------------------------
+# Content fingerprints
+
+
+def _feed(h, value: Any) -> None:
+    """Feed one value into the hash with an unambiguous type/shape prefix."""
+    if value is None:
+        h.update(b"N")
+    elif isinstance(value, bool):
+        h.update(b"B1" if value else b"B0")
+    elif isinstance(value, int):
+        data = str(value).encode()
+        h.update(b"I%d:" % len(data) + data)
+    elif isinstance(value, float):
+        data = value.hex().encode()
+        h.update(b"F%d:" % len(data) + data)
+    elif isinstance(value, complex):
+        _feed(h, value.real)
+        _feed(h, value.imag)
+    elif isinstance(value, str):
+        data = value.encode()
+        h.update(b"S%d:" % len(data) + data)
+    elif isinstance(value, bytes):
+        h.update(b"Y%d:" % len(value) + value)
+    elif isinstance(value, np.ndarray):
+        arr = np.ascontiguousarray(value)
+        head = f"A{arr.dtype.str}{arr.shape}".encode()
+        h.update(head)
+        h.update(arr.tobytes())
+    elif isinstance(value, np.generic):
+        _feed(h, value.item())
+    elif isinstance(value, (tuple, list)):
+        h.update(b"T%d:" % len(value))
+        for item in value:
+            _feed(h, item)
+    elif isinstance(value, dict):
+        h.update(b"D%d:" % len(value))
+        for key in sorted(value):
+            _feed(h, key)
+            _feed(h, value[key])
+    elif dataclasses.is_dataclass(value) and not isinstance(value, type):
+        h.update(b"C" + type(value).__name__.encode())
+        for field in dataclasses.fields(value):
+            _feed(h, field.name)
+            _feed(h, getattr(value, field.name))
+    else:
+        raise TypeError(f"cannot fingerprint {type(value).__name__!r} values")
+
+
+def fingerprint(*parts: Any) -> str:
+    """Stable content hash of the given values (hex digest).
+
+    Supports None, bool, int, float (hashed via ``hex()`` — exact bits),
+    complex, str, bytes, ndarrays (dtype + shape + raw bytes), sequences,
+    dicts, and dataclasses (recursively by field).  Two values fingerprint
+    equal iff their contents are identical — object identity never enters.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    for part in parts:
+        _feed(h, part)
+    return h.hexdigest()
+
+
+def fingerprint_config(config) -> str:
+    """Fingerprint of a :class:`~repro.modem.config.ModemConfig`."""
+    return fingerprint(config)
+
+
+def fingerprint_params(params) -> str:
+    """Fingerprint of an :class:`~repro.lcm.response.LCParams`."""
+    return fingerprint(params)
+
+
+def fingerprint_array(array) -> str:
+    """Fingerprint of the full physical state of an ``LCMArray``.
+
+    Covers the shared :class:`~repro.lcm.response.LCParams`, the group
+    layout, and every per-pixel quantity entering synthesis (area, angle,
+    gain, time-scale, per-pixel params) — i.e. everything a fault-plan
+    hardware mutation can touch.  A mutated array therefore fingerprints
+    differently and can never alias a pre-fault cache entry.
+    """
+    parts: list[Any] = [fingerprint_params(array.params)]
+    for group in array.groups:
+        parts.append((group.channel, group.index, len(group.pixels)))
+        for pixel in group.pixels:
+            parts.append(
+                (
+                    pixel.area,
+                    pixel.angle_rad,
+                    pixel.gain,
+                    pixel.time_scale,
+                    fingerprint_params(pixel.params),
+                )
+            )
+    return fingerprint(parts)
+
+
+def fingerprint_table(table) -> str:
+    """Fingerprint of a unit-pulse table (``UnitPulseTable``)."""
+    return fingerprint(
+        table.order,
+        table.tick_s,
+        table.fs,
+        sorted(table.chunks.keys()),
+        [table.chunks[k] for k in sorted(table.chunks.keys())],
+    )
+
+
+# --------------------------------------------------------------------------
+# The cache
+
+
+class OpCache:
+    """A small keyed LRU for operating-point artifacts.
+
+    Entries live under ``(kind, key)`` where ``kind`` names the artifact
+    class (``"unit_table"``, ``"training_design"``, ...) and ``key`` is a
+    content-fingerprint tuple from the helpers above.  ``capacity`` bounds
+    the total entry count across kinds; least-recently-used entries are
+    evicted first.  ``capacity=0`` disables storage (every lookup misses)
+    without disabling the API.
+    """
+
+    def __init__(self, capacity: int = 128):
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        self.capacity = int(capacity)
+        self._entries: OrderedDict[tuple, Any] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, kind: str, key: tuple, build: Callable[[], Any]) -> Any:
+        """The artifact under ``(kind, key)``, building (and storing) on miss.
+
+        The stored object is returned as-is — callers must treat it as
+        immutable.  Hit/miss counts go to the ambient observer labelled by
+        ``kind``.
+        """
+        from repro.obs import get_observer
+
+        full_key = (kind, key)
+        entry = self._entries.get(full_key, _MISSING)
+        obs = get_observer()
+        if entry is not _MISSING:
+            self._entries.move_to_end(full_key)
+            self.hits += 1
+            if obs.enabled:
+                obs.count("opcache.hits", kind=kind)
+            return entry
+        self.misses += 1
+        if obs.enabled:
+            obs.count("opcache.misses", kind=kind)
+        value = build()
+        if self.capacity:
+            self._entries[full_key] = value
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+        return value
+
+    def invalidate(self, kind: str | None = None, token: str | None = None) -> int:
+        """Drop entries; returns how many were removed.
+
+        ``kind`` restricts to one artifact class; ``token`` drops every
+        entry whose key tuple contains the given fingerprint string (the
+        convention: artifact keys include the fingerprints of everything
+        they derive from, so an array's fingerprint token sweeps out all
+        artifacts built from that array).  With neither, the cache clears.
+        """
+        if kind is None and token is None:
+            removed = len(self._entries)
+            self._entries.clear()
+            return removed
+        doomed = [
+            full_key
+            for full_key in self._entries
+            if (kind is None or full_key[0] == kind)
+            and (token is None or token in full_key[1])
+        ]
+        for full_key in doomed:
+            del self._entries[full_key]
+        return len(doomed)
+
+
+_MISSING = object()
+
+_GLOBAL: OpCache | None = None
+
+
+def get_global_opcache() -> OpCache:
+    """The process-wide default cache (created on first use)."""
+    global _GLOBAL
+    if _GLOBAL is None:
+        _GLOBAL = OpCache()
+    return _GLOBAL
+
+
+def set_global_opcache(cache: OpCache | None) -> None:
+    """Replace (or, with None, reset) the process-wide default cache."""
+    global _GLOBAL
+    _GLOBAL = cache
+
+
+def resolve_opcache(opcache: "OpCache | bool | None") -> OpCache | None:
+    """Normalise the ``opcache=`` convention used across constructors.
+
+    ``True`` → the global cache; ``False``/``None`` → no caching;
+    an :class:`OpCache` instance → itself.
+    """
+    if opcache is True:
+        return get_global_opcache()
+    if opcache is False or opcache is None:
+        return None
+    if isinstance(opcache, OpCache):
+        return opcache
+    raise TypeError("opcache must be an OpCache, True, False, or None")

@@ -1,0 +1,112 @@
+"""Pinning tests: the cached-SVD solve must replicate lstsq(rcond=None).
+
+``solve_with_diagnostics`` used to call ``np.linalg.lstsq`` per packet; it
+now solves through a cached SVD factorization of the design matrix.  These
+tests pin the contract: identical coefficients and diagnostics (rank
+*exactly*, floats to machine precision), ``rank_deficient`` semantics
+preserved, and the SVD genuinely computed once across repeated solves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.modem.references import ReferenceBank, assemble_waveform
+from repro.training.online import OnlineTrainer, TrainingSequence
+from repro.utils.opcache import OpCache
+
+
+def _training_capture(fast_config, fast_bank, noise_seed=None):
+    seq = TrainingSequence(fast_config)
+    li, lq = seq.levels()
+    z = assemble_waveform(fast_bank, li, lq)
+    if noise_seed is not None:
+        rng = np.random.default_rng(noise_seed)
+        z = z + 0.01 * (rng.normal(size=z.size) + 1j * rng.normal(size=z.size))
+    return seq, z
+
+
+class TestLstsqReplication:
+    @pytest.mark.parametrize("noise_seed", [None, 5])
+    def test_matches_fresh_lstsq(self, fast_config, fast_bank, noise_seed):
+        seq, z = _training_capture(fast_config, fast_bank, noise_seed)
+        unit = fast_bank.group(0, 0).unit_tables[0]
+        trainer = OnlineTrainer(fast_config, [unit], seq)
+        coefs, diag = trainer.solve_with_diagnostics(z)
+
+        a = trainer.design_matrix()
+        zc = np.asarray(z, dtype=complex)[: seq.n_samples]
+        theta_ref, _, rank_ref, sv_ref = np.linalg.lstsq(a, zc, rcond=None)
+        assert diag.rank == rank_ref  # exact, not approximate
+        assert not diag.rank_deficient
+        # reassemble the flat theta from the per-group dict
+        n_groups = 2 * fast_config.dsm_order
+        theta = np.empty(a.shape[1], dtype=complex)
+        for (ch, gi), c in coefs.items():
+            theta[np.arange(trainer.n_bases) * n_groups + ch * fast_config.dsm_order + gi] = c
+        np.testing.assert_allclose(theta, theta_ref, rtol=1e-9, atol=1e-12)
+        res_ref = zc - a @ theta_ref
+        ratio_ref = float(np.mean(np.abs(res_ref) ** 2) / np.mean(np.abs(zc) ** 2))
+        assert diag.residual_ratio == pytest.approx(ratio_ref, rel=1e-7, abs=1e-15)
+
+    def test_rank_deficient_semantics_preserved(self, fast_config, fast_bank):
+        """Duplicated basis tables collapse the column space; rank must drop."""
+        seq, z = _training_capture(fast_config, fast_bank)
+        unit = fast_bank.group(0, 0).unit_tables[0]
+        trainer = OnlineTrainer(fast_config, [unit, unit], seq)
+        _, diag = trainer.solve_with_diagnostics(z)
+        a = trainer.design_matrix()
+        _, _, rank_ref, _ = np.linalg.lstsq(a, z[: seq.n_samples].astype(complex), rcond=None)
+        assert diag.rank == rank_ref
+        assert diag.rank_deficient  # rank < n_columns
+
+    def test_svd_runs_once_across_solves(self, fast_config, fast_bank, monkeypatch):
+        seq, z = _training_capture(fast_config, fast_bank)
+        unit = fast_bank.group(0, 0).unit_tables[0]
+        trainer = OnlineTrainer(fast_config, [unit], seq)
+        calls = []
+        real_svd = np.linalg.svd
+
+        def counting_svd(*args, **kwargs):
+            calls.append(1)
+            return real_svd(*args, **kwargs)
+
+        monkeypatch.setattr(np.linalg, "svd", counting_svd)
+        first = trainer.solve_with_diagnostics(z)
+        for _ in range(3):
+            again = trainer.solve_with_diagnostics(z)
+            assert again[1].rank == first[1].rank
+        assert len(calls) == 1
+
+    def test_opcache_shares_factorization_between_trainers(self, fast_config, fast_bank, monkeypatch):
+        seq, z = _training_capture(fast_config, fast_bank)
+        unit = fast_bank.group(0, 0).unit_tables[0]
+        cache = OpCache()
+        t1 = OnlineTrainer(fast_config, [unit], seq, opcache=cache)
+        t2 = OnlineTrainer(fast_config, [unit], seq, opcache=cache)
+        calls = []
+        real_svd = np.linalg.svd
+
+        def counting_svd(*args, **kwargs):
+            calls.append(1)
+            return real_svd(*args, **kwargs)
+
+        monkeypatch.setattr(np.linalg, "svd", counting_svd)
+        c1, d1 = t1.solve_with_diagnostics(z)
+        c2, d2 = t2.solve_with_diagnostics(z)
+        assert len(calls) == 1  # second trainer hit the shared cache
+        assert d1.rank == d2.rank
+        for key in c1:
+            np.testing.assert_array_equal(c1[key], c2[key])
+
+    def test_cached_and_uncached_solutions_identical(self, fast_config, fast_bank):
+        seq, z = _training_capture(fast_config, fast_bank, noise_seed=9)
+        unit = fast_bank.group(0, 0).unit_tables[0]
+        plain = OnlineTrainer(fast_config, [unit], seq)
+        cached = OnlineTrainer(fast_config, [unit], seq, opcache=OpCache())
+        ca, da = plain.solve_with_diagnostics(z)
+        cb, db = cached.solve_with_diagnostics(z)
+        assert da == db
+        for key in ca:
+            np.testing.assert_array_equal(ca[key], cb[key])

@@ -1,0 +1,118 @@
+"""OpCache unit tests: fingerprints, LRU behaviour, metrics, invalidation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.lcm.response import LCParams
+from repro.modem.config import ModemConfig
+from repro.obs import Observer, use_observer
+from repro.utils.opcache import (
+    OpCache,
+    fingerprint,
+    fingerprint_config,
+    fingerprint_params,
+    get_global_opcache,
+    resolve_opcache,
+    set_global_opcache,
+)
+
+
+class TestFingerprint:
+    def test_content_not_identity(self):
+        a = np.arange(10.0)
+        b = np.arange(10.0)
+        assert a is not b
+        assert fingerprint(a) == fingerprint(b)
+
+    def test_sensitive_to_value_dtype_shape(self):
+        a = np.arange(10.0)
+        assert fingerprint(a) != fingerprint(a + 1e-300)
+        assert fingerprint(a) != fingerprint(a.astype(np.float32))
+        assert fingerprint(a) != fingerprint(a.reshape(2, 5))
+
+    def test_float_bits_exact(self):
+        assert fingerprint(0.1) != fingerprint(0.1 + 2**-55)
+        assert fingerprint(1.0) != fingerprint(1)  # typed prefixes disambiguate
+
+    def test_dataclasses_recursively(self):
+        assert fingerprint_params(LCParams()) == fingerprint_params(LCParams())
+        assert fingerprint_params(LCParams()) != fingerprint_params(LCParams().scaled(1.01))
+        assert fingerprint_config(ModemConfig()) == fingerprint_config(ModemConfig())
+
+    def test_container_types(self):
+        assert fingerprint([1, 2]) == fingerprint((1, 2))  # sequences hash alike
+        assert fingerprint({"a": 1, "b": 2}) == fingerprint({"b": 2, "a": 1})
+        assert fingerprint(None) != fingerprint(0)
+
+    def test_unfingerprintable_raises(self):
+        with pytest.raises(TypeError, match="cannot fingerprint"):
+            fingerprint(object())
+
+
+class TestOpCache:
+    def test_hit_miss_counts_and_metrics_by_kind(self):
+        cache = OpCache()
+        obs = Observer()
+        with use_observer(obs):
+            assert cache.get("unit_table", ("k1",), lambda: "built1") == "built1"
+            assert cache.get("unit_table", ("k1",), lambda: "NOT") == "built1"
+            assert cache.get("tx_prefix", ("k2",), lambda: "built2") == "built2"
+        assert cache.hits == 1 and cache.misses == 2
+        hits = obs.metrics.get("opcache.hits", kind="unit_table")
+        assert hits is not None and hits.value == 1
+        misses_ut = obs.metrics.get("opcache.misses", kind="unit_table")
+        misses_tx = obs.metrics.get("opcache.misses", kind="tx_prefix")
+        assert misses_ut.value == 1 and misses_tx.value == 1
+
+    def test_no_metrics_without_observer(self):
+        cache = OpCache()
+        cache.get("a", ("k",), lambda: 1)
+        cache.get("a", ("k",), lambda: 1)
+        assert cache.hits == 1 and cache.misses == 1  # counters still work
+
+    def test_lru_eviction_under_small_capacity(self):
+        cache = OpCache(capacity=2)
+        cache.get("a", ("k1",), lambda: 1)
+        cache.get("a", ("k2",), lambda: 2)
+        assert cache.get("a", ("k1",), lambda: 0) == 1  # touch k1 -> k2 is LRU
+        cache.get("a", ("k3",), lambda: 3)  # evicts k2, keeps k1
+        assert len(cache) == 2
+        assert cache.get("a", ("k1",), lambda: 0) == 1  # survived
+        assert cache.get("a", ("k2",), lambda: 99) == 99  # was evicted, rebuilt
+
+    def test_capacity_zero_disables_storage(self):
+        cache = OpCache(capacity=0)
+        assert cache.get("a", ("k",), lambda: 1) == 1
+        assert cache.get("a", ("k",), lambda: 2) == 2  # never stored
+        assert len(cache) == 0 and cache.misses == 2
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            OpCache(capacity=-1)
+
+    def test_invalidate_by_kind_and_token(self):
+        cache = OpCache()
+        cache.get("unit_table", ("cfg1", "arr1"), lambda: 1)
+        cache.get("tx_prefix", ("cfg1", "arr1", "lvl"), lambda: 2)
+        cache.get("tx_prefix", ("cfg1", "arr2", "lvl"), lambda: 3)
+        assert cache.invalidate(kind="unit_table") == 1
+        assert cache.invalidate(token="arr1") == 1  # only the arr1 tx_prefix left
+        assert len(cache) == 1
+        assert cache.invalidate() == 1  # clear-all
+        assert len(cache) == 0
+
+    def test_global_cache_resolution(self):
+        saved = get_global_opcache()
+        try:
+            fresh = OpCache()
+            set_global_opcache(fresh)
+            assert resolve_opcache(True) is fresh
+            assert resolve_opcache(False) is None
+            assert resolve_opcache(None) is None
+            assert resolve_opcache(fresh) is fresh
+            with pytest.raises(TypeError):
+                resolve_opcache("yes")
+        finally:
+            set_global_opcache(saved)
