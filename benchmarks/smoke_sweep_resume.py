@@ -1,0 +1,101 @@
+"""Nightly kill-and-resume smoke for the crash-safe sweep engine.
+
+The drill mirrors how a real long sweep dies and comes back:
+
+1. run shard ``0/2`` of a demo grid and *kill it mid-journal* (the
+   engine's deterministic ``crash_after`` fault hook — the process dies
+   between two journal appends, exactly like a SIGKILL would land);
+2. resume shard ``0/2`` over the torn journal;
+3. run shard ``1/2`` into its own journal;
+4. merge the two shard journals;
+5. demand the merged rows are **bit-identical, row-for-row**, to an
+   uninterrupted unsharded run of the same grid.
+
+Exit status is non-zero on any mismatch.  Artifacts (the three journals,
+the merged journal, and a JSON verdict) land under
+``benchmarks/results/sweep_smoke/`` and are uploaded by the nightly CI
+lane, so a failure ships the exact journals that disagreed.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/smoke_sweep_resume.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.experiments.batch import make_grid
+from repro.experiments.sweep_demo import demo_task
+from repro.experiments.sweeps import (
+    SimulatedCrash,
+    SweepRunner,
+    canonical_records,
+    journal_rows,
+    merge_journals,
+)
+
+SMOKE_DIR = Path(__file__).parent / "results" / "sweep_smoke"
+ROOT_SEED = 97
+CRASH_AFTER = 2  # journal appends before the injected kill (1 header + 1 task)
+
+
+def build_tasks():
+    schemes = {name: {"gain": g} for name, g in [("mono", 1.0), ("lcd", 1.7), ("turbo", 2.4)]}
+    return make_grid(schemes, [1.0, 2.0, 3.0, 4.0], "x")
+
+
+def main() -> int:
+    SMOKE_DIR.mkdir(parents=True, exist_ok=True)
+    for stale in SMOKE_DIR.glob("*.jsonl"):
+        stale.unlink()
+    tasks = build_tasks()
+
+    single = SMOKE_DIR / "single.jsonl"
+    SweepRunner(demo_task, single, root_seed=ROOT_SEED).run(tasks)
+
+    shard0 = SMOKE_DIR / "shard0.jsonl"
+    crashed = False
+    try:
+        SweepRunner(
+            demo_task, shard0, root_seed=ROOT_SEED, shard="0/2", crash_after=CRASH_AFTER
+        ).run(tasks)
+    except SimulatedCrash:
+        crashed = True
+    resumed = SweepRunner(demo_task, shard0, root_seed=ROOT_SEED, shard="0/2").run(tasks)
+
+    shard1 = SMOKE_DIR / "shard1.jsonl"
+    SweepRunner(demo_task, shard1, root_seed=ROOT_SEED, shard="1/2").run(tasks)
+
+    merged = SMOKE_DIR / "merged.jsonl"
+    merge_journals([shard0, shard1], merged)
+
+    rows_match = journal_rows(merged) == journal_rows(single)
+    records_match = canonical_records(merged) == canonical_records(single)
+    checks = {
+        "crash_injected": crashed,
+        "resume_executed_remainder": resumed.executed > 0 and resumed.replayed > 0,
+        "merged_rows_bit_identical": rows_match,
+        "merged_records_bit_identical": records_match,
+    }
+    verdict = {
+        "n_tasks": len(tasks),
+        "resumed_executed": resumed.executed,
+        "resumed_replayed": resumed.replayed,
+        "checks": checks,
+        "ok": all(checks.values()),
+    }
+    (SMOKE_DIR / "verdict.json").write_text(json.dumps(verdict, indent=2) + "\n")
+    for name, ok in checks.items():
+        print(f"{'PASS' if ok else 'FAIL'}  {name}")
+    if not verdict["ok"]:
+        print(f"smoke FAILED; journals kept under {SMOKE_DIR}", file=sys.stderr)
+        return 1
+    print(f"kill-and-resume smoke OK ({len(tasks)} tasks, 2 shards); artifacts in {SMOKE_DIR}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -70,25 +70,64 @@ _SWEEPS = {
     "table4": "mobility_study",
 }
 
+#: Figures with a batched-engine harness that accepts journal/shard options.
+_GRID_SWEEPS = {
+    "fig16a": "rate_vs_distance_grid",
+    "fig17a": "dfe_comparison_grid",
+    "fig18a": "emulated_ber_vs_snr_batched",
+    "table4": "mobility_study_grid",
+}
+
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     import repro.experiments as ex
     from repro.obs import Observer, use_observer
 
     name = args.figure
-    if name not in _SWEEPS:
-        print(f"unknown sweep {name!r}; choose from {', '.join(sorted(_SWEEPS))}")
+    durable = args.journal is not None
+    if durable:
+        if name not in _GRID_SWEEPS:
+            print(
+                f"--journal/--shard need a batched harness; "
+                f"choose from {', '.join(sorted(_GRID_SWEEPS))}"
+            )
+            return 2
+        harness = getattr(ex, _GRID_SWEEPS[name])
+        sweep_options = {"max_retries": args.retries}
+        if args.timeout is not None:
+            sweep_options["timeout_s"] = args.timeout
+        out = harness(
+            n_workers=args.workers,
+            journal=args.journal,
+            shard=args.shard,
+            sweep=sweep_options,
+            metrics_out=args.metrics_out,
+        )
+        state = ex.read_journal(args.journal)
+        print(
+            f"journal  : {args.journal}  "
+            f"{len(state.tasks)} task(s) done, {len(state.quarantined)} quarantined"
+            + (f"  [shard {args.shard}]" if args.shard else "")
+        )
+        if args.metrics_out:
+            print(f"RunReport written to {args.metrics_out}")
+    elif args.shard is not None or args.workers != 1:
+        print("--shard/--workers require --journal (a durable sweep)")
         return 2
-    harness = getattr(ex, _SWEEPS[name])
-    if args.metrics_out:
-        # The harnesses build their simulators through the ambient
-        # observer, so wrapping the call is all the plumbing needed.
-        with use_observer(Observer(trace=False)) as obs:
-            out = harness()
-        obs.run_report("sweep", scenario={"figure": name}).write(args.metrics_out)
-        print(f"RunReport written to {args.metrics_out}")
     else:
-        out = harness()
+        if name not in _SWEEPS:
+            print(f"{name} is only available as a batched sweep; pass --journal PATH")
+            return 2
+        harness = getattr(ex, _SWEEPS[name])
+        if args.metrics_out:
+            # The harnesses build their simulators through the ambient
+            # observer, so wrapping the call is all the plumbing needed.
+            with use_observer(Observer(trace=False)) as obs:
+                out = harness()
+            obs.run_report("sweep", scenario={"figure": name}).write(args.metrics_out)
+            print(f"RunReport written to {args.metrics_out}")
+        else:
+            out = harness()
     if isinstance(out, dict):
         for key, points in out.items():
             if hasattr(points, "__iter__") and not hasattr(points, "ber"):
@@ -98,6 +137,45 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 print(f"{key}: x={points.x:g} ber={points.ber:.4f}")
     else:
         print(out)
+    return 0
+
+
+def _cmd_journal(args: argparse.Namespace) -> int:
+    from repro.experiments.sweeps import JournalError, merge_journals, read_journal
+
+    if args.action == "status":
+        for path in args.paths:
+            try:
+                state = read_journal(path)
+            except (OSError, JournalError) as exc:
+                print(f"{path}: unreadable ({exc})")
+                return 1
+            torn = "  [torn final line]" if state.truncated else ""
+            print(
+                f"{path}: {len(state.tasks)} task(s), "
+                f"{len(state.quarantined)} quarantined, "
+                f"{len(state.headers)} session(s){torn}"
+            )
+            for record in sorted(state.quarantined.values(), key=lambda r: r["index"]):
+                reason = record["reason"]
+                print(
+                    f"  quarantined #{record['index']} {record['scheme']}/{record['x']:g}: "
+                    f"{reason['stage']}:{reason['code']} after {record['attempts']} attempt(s)"
+                )
+        return 0
+    # merge
+    if not args.output:
+        print("journal merge requires --output PATH")
+        return 2
+    try:
+        merged = merge_journals(args.paths, output=args.output)
+    except (OSError, JournalError) as exc:
+        print(f"merge failed: {exc}")
+        return 1
+    print(
+        f"merged {len(args.paths)} journal(s) -> {args.output}: "
+        f"{len(merged.tasks)} task(s), {len(merged.quarantined)} quarantined"
+    )
     return 0
 
 
@@ -183,10 +261,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_simulate)
 
     p = sub.add_parser("sweep", help="run a paper-figure sweep")
-    p.add_argument("figure", choices=sorted(_SWEEPS))
+    p.add_argument("figure", choices=sorted(set(_SWEEPS) | set(_GRID_SWEEPS)))
     p.add_argument("--metrics-out", default=None, metavar="PATH",
                    help="write a sweep-wide RunReport JSON here")
+    p.add_argument("--journal", default=None, metavar="PATH",
+                   help="crash-safe JSONL journal; rerun with the same path to resume")
+    p.add_argument("--shard", default=None, metavar="I/N",
+                   help="own only the index-derived grid slice index %% N == I")
+    p.add_argument("--workers", type=int, default=1,
+                   help="process-pool width for pending tasks (requires --journal)")
+    p.add_argument("--timeout", type=float, default=None, metavar="S",
+                   help="per-task wall-clock budget in seconds")
+    p.add_argument("--retries", type=int, default=2,
+                   help="bounded retries for retryable task failures (default 2)")
     p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser("journal", help="inspect or merge sweep journals")
+    p.add_argument("action", choices=["status", "merge"])
+    p.add_argument("paths", nargs="+", metavar="JOURNAL")
+    p.add_argument("--output", "-o", default=None, metavar="PATH",
+                   help="merged journal destination (merge only)")
+    p.set_defaults(func=_cmd_journal)
 
     p = sub.add_parser("analyze", help="optimal (L, P) search at a rate")
     p.add_argument("--rate", type=int, default=8000)

@@ -22,6 +22,7 @@ __all__ = [
     "FailureStage",
     "ReproError",
     "StageEvent",
+    "TaskTimeoutError",
     "TrainingError",
 ]
 
@@ -40,6 +41,10 @@ class DetectionError(ReproError):
 
 class TrainingError(ReproError):
     """Online channel training failed or produced an unusable bank."""
+
+
+class TaskTimeoutError(ReproError):
+    """A scheduled sweep task exceeded its per-task wall-clock budget."""
 
 
 class EqualizationError(ReproError, ValueError):
@@ -62,6 +67,7 @@ class FailureStage(str, Enum):
     DECODE = "decode"
     MAC = "mac"
     CONFIG = "config"
+    SCHEDULER = "scheduler"
 
 
 @dataclass(frozen=True)

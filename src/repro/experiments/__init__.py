@@ -39,15 +39,30 @@ from repro.experiments.micro import (
 )
 from repro.experiments.mobility import MobileLinkSimulator, mobility_resync_sweep
 from repro.experiments.multiaccess import ConcurrentUplinkResult, concurrent_uplink_study
-from repro.experiments.table4 import mobility_study
+from repro.experiments.sweeps import (
+    ShardSpec,
+    SweepResult,
+    SweepRunner,
+    canonical_records,
+    journal_rows,
+    merge_journals,
+    read_journal,
+    run_grid,
+    task_fingerprint,
+)
+from repro.experiments.table4 import mobility_study, mobility_study_grid
 
 __all__ = [
     "BatchRunner",
     "ConcurrentUplinkResult",
     "GridTask",
     "MobileLinkSimulator",
+    "ShardSpec",
     "SweepPoint",
+    "SweepResult",
+    "SweepRunner",
     "ambient_sweep",
+    "canonical_records",
     "coding_goodput_sweep",
     "concurrent_uplink_study",
     "dfe_comparison",
@@ -58,12 +73,17 @@ __all__ = [
     "emulated_packet_bers_block",
     "format_table",
     "headline_rate_gain",
+    "journal_rows",
     "latency_report",
     "make_grid",
     "make_simulator",
+    "merge_journals",
     "mobility_resync_sweep",
     "mobility_study",
+    "mobility_study_grid",
     "power_report",
+    "read_journal",
+    "run_grid",
     "profile_from_waterfalls",
     "rate_adaptation_gain",
     "rate_vs_distance",
@@ -71,6 +91,7 @@ __all__ = [
     "roll_sweep",
     "rows_to_sweeps",
     "simulate_grid_task",
+    "task_fingerprint",
     "training_memory_sweep",
     "waterfall_threshold",
     "working_range",

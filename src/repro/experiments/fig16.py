@@ -55,6 +55,9 @@ def rate_vs_distance_grid(
     root_seed: int = 11,
     observer=None,
     metrics_out=None,
+    journal=None,
+    shard=None,
+    sweep: dict | None = None,
 ) -> dict[float, list[SweepPoint]]:
     """Fig 16a through the batched packet engine.
 
@@ -62,10 +65,14 @@ def rate_vs_distance_grid(
     the sweep), every (rate, distance) cell gets its own spawned seed, so the
     grid is order-independent and can fan across workers.  Pass an
     ``observer`` (or just ``metrics_out``) for sweep-wide metrics and a
-    written RunReport.
+    written RunReport.  With ``journal`` the grid runs under the crash-safe
+    :class:`~repro.experiments.sweeps.SweepRunner` (resumable; ``shard="i/n"``
+    restricts execution to an index-derived slice; extra ``sweep`` options
+    such as ``timeout_s``/``max_retries`` pass through).
     """
-    from repro.experiments.batch import BatchRunner, make_grid, rows_to_sweeps
+    from repro.experiments.batch import make_grid, rows_to_sweeps
     from repro.experiments.common import emit_sweep_report, simulate_grid_task
+    from repro.experiments.sweeps import run_grid
     from repro.obs import Observer
 
     if observer is None and metrics_out is not None:
@@ -82,10 +89,16 @@ def rate_vs_distance_grid(
         for rate in rates_bps
     }
     tasks = make_grid(schemes, distances_m, x_key="distance_m")
-    runner = BatchRunner(
-        simulate_grid_task, n_workers=n_workers, root_seed=root_seed, observer=observer
+    rows = run_grid(
+        simulate_grid_task,
+        tasks,
+        n_workers=n_workers,
+        root_seed=root_seed,
+        observer=observer,
+        journal=journal,
+        shard=shard,
+        **(sweep or {}),
     )
-    rows = runner.run(tasks)
     out = {float(scheme): points for scheme, points in rows_to_sweeps(rows).items()}
     if observer is not None:
         emit_sweep_report(

@@ -59,10 +59,18 @@ def dfe_comparison_grid(
     root_seed: int = 21,
     observer=None,
     metrics_out=None,
+    journal=None,
+    shard=None,
+    sweep: dict | None = None,
 ) -> dict[str, list[SweepPoint]]:
-    """Fig 17a through the batched packet engine (per-cell spawned seeds)."""
-    from repro.experiments.batch import BatchRunner, make_grid, rows_to_sweeps
+    """Fig 17a through the batched packet engine (per-cell spawned seeds).
+
+    ``journal``/``shard``/``sweep`` select the crash-safe resumable engine —
+    see :func:`repro.experiments.sweeps.run_grid`.
+    """
+    from repro.experiments.batch import make_grid, rows_to_sweeps
     from repro.experiments.common import emit_sweep_report, simulate_grid_task
+    from repro.experiments.sweeps import run_grid
     from repro.obs import Observer
 
     if observer is None and metrics_out is not None:
@@ -80,10 +88,16 @@ def dfe_comparison_grid(
         for label, k in (("dfe_1", 1), ("dfe_16", 16), ("viterbi", viterbi_k))
     }
     tasks = make_grid(schemes, distances_m, x_key="distance_m")
-    runner = BatchRunner(
-        simulate_grid_task, n_workers=n_workers, root_seed=root_seed, observer=observer
+    rows = run_grid(
+        simulate_grid_task,
+        tasks,
+        n_workers=n_workers,
+        root_seed=root_seed,
+        observer=observer,
+        journal=journal,
+        shard=shard,
+        **(sweep or {}),
     )
-    rows = runner.run(tasks)
     out = rows_to_sweeps(rows)
     if observer is not None:
         emit_sweep_report(

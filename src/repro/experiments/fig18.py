@@ -152,15 +152,21 @@ def emulated_ber_vs_snr_batched(
     root_seed: int = 31,
     observer=None,
     metrics_out=None,
+    journal=None,
+    shard=None,
+    sweep: dict | None = None,
 ) -> dict[float, list[SweepPoint]]:
     """Fig 18a through the batched packet engine.
 
     One :class:`~repro.experiments.batch.GridTask` per (rate, SNR) cell,
     each block-decoding its packets in a single call; cells are independent
     (per-cell spawned seeds), so the grid can fan across workers.
+    ``journal``/``shard``/``sweep`` select the crash-safe resumable engine —
+    see :func:`repro.experiments.sweeps.run_grid`.
     """
-    from repro.experiments.batch import BatchRunner, make_grid, rows_to_sweeps
+    from repro.experiments.batch import make_grid, rows_to_sweeps
     from repro.experiments.common import emit_sweep_report
+    from repro.experiments.sweeps import run_grid
     from repro.obs import Observer
 
     if observer is None and metrics_out is not None:
@@ -178,10 +184,16 @@ def emulated_ber_vs_snr_batched(
         for rate in rates_bps
     }
     tasks = make_grid(schemes, snrs_db, x_key="snr_db")
-    runner = BatchRunner(
-        _emulated_grid_task, n_workers=n_workers, root_seed=root_seed, observer=observer
+    rows = run_grid(
+        _emulated_grid_task,
+        tasks,
+        n_workers=n_workers,
+        root_seed=root_seed,
+        observer=observer,
+        journal=journal,
+        shard=shard,
+        **(sweep or {}),
     )
-    rows = runner.run(tasks)
     sweeps = rows_to_sweeps(rows)
     out = {float(scheme): points for scheme, points in sweeps.items()}
     if observer is not None:

@@ -1,0 +1,71 @@
+"""Deterministic demo/fault-injection task bodies for the sweep engine.
+
+These module-level callables (process pools must pickle them) stand in for
+the physics harnesses wherever a sweep's *scheduling* behaviour is the
+thing under test: the crash-safety drills in ``tests/experiments``, the
+frozen fault-plan journal in ``tests/golden``, and the nightly kill-and-
+resume CI smoke.  They are cheap, seed-deterministic, and — via
+:func:`repro.experiments.sweeps.current_attempt` — able to fail on demand
+per attempt, which is how retry/timeout/quarantine paths are exercised
+without nondeterministic infrastructure faults.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.errors import ConfigError, DetectionError
+from repro.experiments.sweeps import current_attempt
+
+__all__ = ["demo_task", "flaky_demo_task"]
+
+
+def demo_task(task, rng: np.random.Generator) -> dict:
+    """A cheap, fully deterministic stand-in for a BER cell.
+
+    The "measurement" depends only on the cell's parameters and its spawned
+    generator, like a real packet cell; ``ber`` decays with ``x`` so sweep
+    outputs remain shaped like the figures they stand in for.
+    """
+    gain = float(task.kwargs.get("gain", 1.0))
+    noise = float(rng.random())
+    return {
+        "ber": float(np.exp(-task.x * gain) * (0.5 + 0.5 * noise)),
+        "draw": int(rng.integers(0, 1_000_000)),
+        "gain": gain,
+    }
+
+
+def flaky_demo_task(task, rng: np.random.Generator) -> dict:
+    """:func:`demo_task` plus parameter-driven fault injection.
+
+    Recognised cell parameters:
+
+    ``sleep_s``
+        Sleep before doing anything (drives the per-task timeout path).
+    ``fatal``
+        Raise :class:`ConfigError` — classified fatal, quarantined with no
+        retry.
+    ``fail_attempts``
+        Raise :class:`DetectionError` (classified retryable) while the
+        current attempt number is <= this value: ``fail_attempts=1`` means
+        "fail once, succeed on the first retry"; a large value exhausts the
+        retry budget and lands in quarantine.
+
+    All failures fire *before* the generator is touched, so a retried
+    success is bit-identical to a first-try success.
+    """
+    kwargs = task.kwargs
+    sleep_s = float(kwargs.get("sleep_s", 0.0))
+    if sleep_s > 0.0:
+        time.sleep(sleep_s)
+    if kwargs.get("fatal"):
+        raise ConfigError(f"injected fatal failure at {task.scheme}/{task.x:g}")
+    fail_attempts = int(kwargs.get("fail_attempts", 0))
+    if current_attempt() <= fail_attempts:
+        raise DetectionError(
+            f"injected transient failure (attempt {current_attempt()}/{fail_attempts})"
+        )
+    return demo_task(task, rng)

@@ -1,0 +1,830 @@
+"""Crash-safe, resumable, shardable sweep engine layered on BatchRunner.
+
+The paper's evaluation (§7: Fig 16/17/18, Tables 2-4) is reproduced by long
+BER sweeps over (rate x distance x roll x yaw x ambient x SNR) grids.
+:class:`~repro.experiments.batch.BatchRunner` executes such a grid bit-
+deterministically, but in one shot: a crash at task 900/1000 loses
+everything, one pathological operating point stalls the whole sweep, and a
+single process owns the entire grid.  :class:`SweepRunner` adds the
+durability layer a cluster-sized sweep needs:
+
+* **Journaling.**  Every completed task is appended to a schema-versioned
+  JSONL journal as soon as it finishes (flush + fsync), keyed by a blake2b
+  content fingerprint of ``(GridTask, root_seed, index, code-version salt)``
+  via :func:`repro.utils.opcache.fingerprint`.  A torn final line from a
+  mid-write crash is tolerated on replay.
+* **Resume.**  Re-running a sweep against an existing journal replays the
+  completed records and executes only missing/stale tasks.  Because every
+  attempt rebuilds its generator from the same index-derived
+  :class:`~numpy.random.SeedSequence` child, and rows are canonicalised to
+  JSON scalars before use, the aggregate rows of an interrupted-and-resumed
+  sweep are bit-identical to an uninterrupted run.
+* **Retry / timeout / quarantine.**  Task failures are classified through
+  the :class:`~repro.errors.FailureReason` taxonomy: retryable failures
+  (timeouts, transient stage errors) are retried with seeded exponential
+  backoff; fatal ones (configuration/programming bugs) and retry-exhausted
+  tasks land on a poison-task quarantine list recorded in the journal, and
+  the sweep moves on.
+* **Sharding.**  ``shard="i/n"`` gives a process a disjoint, index-derived
+  slice of the grid (``index % n == i``).  Shard journals merge losslessly
+  with :func:`merge_journals`; the merged rows are row-for-row identical to
+  a single-process run.
+
+Progress, ETA, retry and quarantine metrics flow through the ambient
+:mod:`repro.obs` observer (``sweep.*`` series).  Metric collection never
+touches task generators, so rows stay bit-identical with and without an
+observer — the serial == pool == sharded guarantee PR 2 established.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import os
+import threading
+import time
+from collections.abc import Callable, Iterable, Mapping, Sequence
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.errors import (
+    ConfigError,
+    DetectionError,
+    EqualizationError,
+    FailureReason,
+    FailureStage,
+    ReproError,
+    TaskTimeoutError,
+    TrainingError,
+)
+from repro.experiments.batch import BatchRunner, GridTask, _execute
+from repro.obs import ensure_observer
+from repro.utils.opcache import fingerprint
+
+__all__ = [
+    "CODE_SALT",
+    "JOURNAL_SCHEMA_VERSION",
+    "JournalError",
+    "JournalState",
+    "ShardSpec",
+    "SimulatedCrash",
+    "SweepError",
+    "SweepResult",
+    "SweepRunner",
+    "backoff_delay",
+    "canonical_records",
+    "classify_exception",
+    "current_attempt",
+    "is_retryable",
+    "journal_rows",
+    "merge_journals",
+    "read_journal",
+    "run_grid",
+    "task_fingerprint",
+]
+
+#: Journal record schema version; bump on any incompatible record change.
+JOURNAL_SCHEMA_VERSION = 1
+
+#: Code-version salt folded into every task fingerprint.  Bump whenever the
+#: meaning of a task's result changes (task-body semantics, row schema, seed
+#: derivation): journal entries written under the old salt then read as
+#: stale and re-run instead of silently replaying wrong rows.
+CODE_SALT = "retroturbo-sweep-v1"
+
+#: Record fields that vary run-to-run without affecting results.  Stripped
+#: by :func:`canonical_records`, so journal comparisons pin semantics only.
+VOLATILE_FIELDS = frozenset({"ts", "elapsed_s"})
+
+#: FailureReason codes that must never be retried (a deterministic bug or a
+#: bad configuration reproduces identically on every attempt).
+FATAL_CODES = frozenset({"config_error", "task_bug"})
+
+
+class SweepError(ReproError):
+    """Sweep-level contract violation (duplicate fingerprints, strict mode)."""
+
+
+class JournalError(ReproError):
+    """A journal file is unreadable or internally inconsistent."""
+
+
+class SimulatedCrash(BaseException):
+    """Fault-injection hook: raised by ``crash_after=`` to model a process
+    dying between journal appends.
+
+    Deliberately a ``BaseException`` so nothing in the engine (which only
+    handles ``Exception``) can swallow it — exactly like a real SIGKILL,
+    the journal is left as-is mid-sweep.
+    """
+
+
+# --------------------------------------------------------------------------
+# Fingerprints and sharding
+
+
+def task_fingerprint(
+    task: GridTask, root_seed: int, index: int, salt: str = CODE_SALT
+) -> str:
+    """Content fingerprint identifying one task's result.
+
+    Covers the task cell itself (scheme, x, every parameter — dataclass
+    parameters like ModemConfig hash by field content), the sweep's root
+    seed plus the cell index (which together determine the spawned child
+    generator), and the code-version salt.  Any change to any of them
+    yields a different fingerprint, so a journal can never replay a row
+    for work that would compute differently today.
+    """
+    return fingerprint(salt, int(root_seed), int(index), task)
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """A deterministic ``index % count == index_of_this_shard`` grid slice."""
+
+    index: int
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count < 1 or not 0 <= self.index < self.count:
+            raise ValueError(f"need 0 <= index < count, got {self.index}/{self.count}")
+
+    @classmethod
+    def parse(cls, spec: "ShardSpec | str | tuple[int, int] | None") -> "ShardSpec | None":
+        """Normalise ``"i/n"`` strings, ``(i, n)`` tuples, or pass through."""
+        if spec is None or isinstance(spec, cls):
+            return spec
+        if isinstance(spec, str):
+            try:
+                i, n = spec.split("/")
+                return cls(int(i), int(n))
+            except (ValueError, TypeError):
+                raise ValueError(f"shard spec must look like 'i/n', got {spec!r}") from None
+        if isinstance(spec, tuple) and len(spec) == 2:
+            return cls(int(spec[0]), int(spec[1]))
+        raise TypeError(f"cannot interpret {spec!r} as a shard spec")
+
+    def owns(self, task_index: int) -> bool:
+        return task_index % self.count == self.index
+
+    def indices(self, n_tasks: int) -> list[int]:
+        """The task indices this shard owns, ascending."""
+        return list(range(self.index, n_tasks, self.count))
+
+    def __str__(self) -> str:
+        return f"{self.index}/{self.count}"
+
+
+# --------------------------------------------------------------------------
+# Failure classification, retry policy
+
+
+def classify_exception(exc: BaseException) -> FailureReason:
+    """Map a task exception onto the :class:`FailureReason` taxonomy.
+
+    Stage-typed library errors keep their natural stage; everything the
+    scheduler itself introduces (timeouts, worker loss, anonymous task
+    exceptions) lands on :attr:`FailureStage.SCHEDULER`.
+    """
+    detail = f"{type(exc).__name__}: {exc}"
+    if isinstance(exc, TaskTimeoutError):
+        return FailureReason(FailureStage.SCHEDULER, "timeout", str(exc))
+    if isinstance(exc, ConfigError):
+        return FailureReason(FailureStage.CONFIG, "config_error", detail)
+    if isinstance(exc, DetectionError):
+        return FailureReason(FailureStage.DETECTION, "detection_error", detail)
+    if isinstance(exc, TrainingError):
+        return FailureReason(FailureStage.TRAINING, "training_error", detail)
+    if isinstance(exc, EqualizationError):
+        return FailureReason(FailureStage.EQUALIZATION, "equalization_error", detail)
+    if isinstance(exc, ReproError):
+        return FailureReason(FailureStage.SCHEDULER, "task_exception", detail)
+    if isinstance(exc, (ValueError, TypeError, KeyError, AttributeError, AssertionError)):
+        # Deterministic programming/argument bugs: retrying reproduces them.
+        return FailureReason(FailureStage.SCHEDULER, "task_bug", detail)
+    return FailureReason(FailureStage.SCHEDULER, "task_exception", detail)
+
+
+def is_retryable(reason: FailureReason) -> bool:
+    """Whether a classified failure is worth another attempt."""
+    return reason.code not in FATAL_CODES
+
+
+def backoff_delay(
+    fp: str, attempt: int, base_s: float, cap_s: float = 30.0
+) -> float:
+    """Seeded exponential backoff with +-50% jitter, deterministic per
+    ``(task fingerprint, attempt)`` so reruns sleep identically."""
+    if base_s <= 0.0:
+        return 0.0
+    seed = int.from_bytes(fingerprint(fp, attempt).encode()[:8], "big")
+    jitter = 0.5 + np.random.default_rng(seed).random()
+    return float(min(cap_s, base_s * 2.0 ** (attempt - 1)) * jitter)
+
+
+_ATTEMPT: contextvars.ContextVar[int] = contextvars.ContextVar("sweep_attempt", default=0)
+
+
+def current_attempt() -> int:
+    """The 1-based attempt number of the task call in progress (0 outside
+    a sweep).  Lets fault-injection task bodies behave per-attempt."""
+    return _ATTEMPT.get()
+
+
+def _attempt_execute(fn, task, seed_seq, collect, attempt):
+    """One attempt: publish the attempt number, then the plain cell body."""
+    token = _ATTEMPT.set(attempt)
+    try:
+        return _execute(fn, task, seed_seq, collect)
+    finally:
+        _ATTEMPT.reset(token)
+
+
+def _call_with_timeout(fn, task, seed_seq, collect, attempt, timeout_s):
+    """Run one attempt under a wall-clock budget.
+
+    The body runs in a daemon thread; on timeout the thread is abandoned
+    (Python cannot kill it) and :class:`TaskTimeoutError` is raised — the
+    abandoned work cannot corrupt results because each attempt owns a fresh
+    generator and returns (rather than mutates) its row.
+    """
+    box: dict[str, Any] = {}
+
+    def body() -> None:
+        try:
+            box["ok"] = _attempt_execute(fn, task, seed_seq, collect, attempt)
+        except BaseException as exc:  # noqa: BLE001 - re-raised in the caller
+            box["err"] = exc
+
+    thread = threading.Thread(target=body, daemon=True, name="sweep-task")
+    thread.start()
+    thread.join(timeout_s)
+    if thread.is_alive():
+        raise TaskTimeoutError(f"task exceeded timeout_s={timeout_s:g}")
+    if "err" in box:
+        raise box["err"]
+    return box["ok"]
+
+
+def _run_with_policy(
+    fn,
+    task: GridTask,
+    seed_seq: np.random.SeedSequence,
+    collect: bool,
+    fp: str,
+    timeout_s: float | None,
+    max_retries: int,
+    backoff_base_s: float,
+    backoff_cap_s: float,
+) -> tuple[str, Any, dict | None, int, float]:
+    """Retry loop around one task (module-level: process pools pickle it).
+
+    Returns ``("ok", row, metrics_snapshot, attempts, elapsed_s)`` or
+    ``("failed", reason_dict, None, attempts, elapsed_s)``.  Every attempt
+    rebuilds the generator from the same seed sequence, so a success on
+    attempt k is bit-identical to a success on attempt 1.
+    """
+    start = time.perf_counter()
+    attempt = 0
+    while True:
+        attempt += 1
+        try:
+            if timeout_s is None:
+                row, snap = _attempt_execute(fn, task, seed_seq, collect, attempt)
+            else:
+                row, snap = _call_with_timeout(fn, task, seed_seq, collect, attempt, timeout_s)
+        except Exception as exc:  # noqa: BLE001 - classified below
+            reason = classify_exception(exc)
+            if not is_retryable(reason) or attempt > max_retries:
+                reason_dict = {
+                    "stage": reason.stage.value,
+                    "code": reason.code,
+                    "detail": reason.detail,
+                }
+                return "failed", reason_dict, None, attempt, time.perf_counter() - start
+            delay = backoff_delay(fp, attempt, backoff_base_s, backoff_cap_s)
+            if delay:
+                time.sleep(delay)
+            continue
+        return "ok", _jsonify(row), snap, attempt, time.perf_counter() - start
+
+
+# --------------------------------------------------------------------------
+# Row canonicalisation (the bit-identity contract)
+
+
+def _jsonify(value: Any) -> Any:
+    """Canonicalise a result row to pure JSON scalars.
+
+    Applied to every row *before* it is first used, so a freshly computed
+    row and the same row replayed from the journal are indistinguishable —
+    Python floats round-trip bit-exactly through JSON's repr encoding.
+    """
+    if value is None or isinstance(value, (bool, str)):
+        return value
+    if isinstance(value, np.generic):
+        return _jsonify(value.item())
+    if isinstance(value, (int, float)):
+        return value
+    if isinstance(value, np.ndarray):
+        return [_jsonify(v) for v in value.tolist()]
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(v) for v in value]
+    if isinstance(value, Mapping):
+        return {str(k): _jsonify(v) for k, v in value.items()}
+    raise TypeError(
+        f"sweep rows must be JSON-representable; cannot journal {type(value).__name__!r}"
+    )
+
+
+# --------------------------------------------------------------------------
+# Journal I/O
+
+
+@dataclass
+class JournalState:
+    """Replayed journal content, keyed by task fingerprint."""
+
+    headers: list[dict] = field(default_factory=list)
+    tasks: dict[str, dict] = field(default_factory=dict)
+    quarantined: dict[str, dict] = field(default_factory=dict)
+    truncated: bool = False
+    n_records: int = 0
+
+
+def _canonical_task_record(record: dict) -> dict:
+    return {k: v for k, v in record.items() if k not in VOLATILE_FIELDS}
+
+
+def read_journal(path: str | os.PathLike) -> JournalState:
+    """Replay a journal file into a :class:`JournalState`.
+
+    A final line with no trailing newline or malformed JSON is treated as a
+    torn in-flight write (the crash window) and ignored; malformed interior
+    lines mean real corruption and raise :class:`JournalError`.  A task
+    record supersedes any quarantine record for the same fingerprint, and
+    duplicate task records must agree on their canonical content.
+    """
+    state = JournalState()
+    raw = Path(path).read_bytes()
+    if not raw:
+        return state
+    lines = raw.split(b"\n")
+    incomplete_tail = lines.pop() if lines[-1] != b"" else None
+    lines = [ln for ln in lines if ln]
+    for lineno, line in enumerate(lines):
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if lineno == len(lines) - 1 and incomplete_tail is None:
+                state.truncated = True
+                break
+            raise JournalError(f"{path}: corrupt journal line {lineno + 1}: {exc}") from exc
+        schema = record.get("schema")
+        if schema is not None and schema > JOURNAL_SCHEMA_VERSION:
+            raise JournalError(
+                f"{path}: journal schema {schema} is newer than supported "
+                f"{JOURNAL_SCHEMA_VERSION}"
+            )
+        kind = record.get("kind")
+        state.n_records += 1
+        if kind == "header":
+            state.headers.append(record)
+        elif kind == "task":
+            fp = record["fingerprint"]
+            previous = state.tasks.get(fp)
+            if previous is not None and _canonical_task_record(previous) != _canonical_task_record(record):
+                raise JournalError(
+                    f"{path}: fingerprint {fp} recorded twice with different rows"
+                )
+            state.tasks[fp] = record
+            state.quarantined.pop(fp, None)
+        elif kind == "quarantine":
+            if record["fingerprint"] not in state.tasks:
+                state.quarantined[record["fingerprint"]] = record
+        else:
+            raise JournalError(f"{path}: unknown record kind {kind!r}")
+    if incomplete_tail is not None:
+        state.truncated = True
+    return state
+
+
+def _append_record(fh, record: dict) -> None:
+    """Durably append one record: single write, flush, fsync."""
+    fh.write(json.dumps(record) + "\n")
+    fh.flush()
+    os.fsync(fh.fileno())
+
+
+def canonical_records(path_or_records) -> list[dict]:
+    """Task/quarantine records in index order with volatile fields removed.
+
+    The comparison form behind every journal-equivalence assertion: two
+    journals are semantically identical iff their canonical records match,
+    regardless of header count, session boundaries, completion order, or
+    wall-clock fields.
+    """
+    if isinstance(path_or_records, (str, os.PathLike)):
+        state = read_journal(path_or_records)
+        records = list(state.tasks.values()) + list(state.quarantined.values())
+    else:
+        records = [r for r in path_or_records if r.get("kind") in ("task", "quarantine")]
+    return sorted(
+        (_canonical_task_record(r) for r in records), key=lambda r: (r["index"], r["kind"])
+    )
+
+
+def journal_rows(path: str | os.PathLike) -> list[dict]:
+    """Completed result rows from a journal, in task-index order."""
+    state = read_journal(path)
+    records = sorted(state.tasks.values(), key=lambda r: r["index"])
+    return [r["row"] for r in records]
+
+
+def merge_journals(
+    inputs: Iterable[str | os.PathLike], output: str | os.PathLike | None = None
+) -> JournalState:
+    """Losslessly merge shard journals; optionally write the merged file.
+
+    Task records sharing a fingerprint must agree canonically (they were
+    computed from identical inputs, so disagreement means a salt/version
+    mismatch and raises).  The merged file carries every input header
+    followed by task/quarantine records sorted by index — row-for-row
+    comparable with a single-shard journal of the same sweep.
+    """
+    merged = JournalState()
+    for path in inputs:
+        state = read_journal(path)
+        merged.headers.extend(state.headers)
+        merged.truncated |= state.truncated
+        for fp, record in state.tasks.items():
+            previous = merged.tasks.get(fp)
+            if previous is not None and _canonical_task_record(previous) != _canonical_task_record(record):
+                raise JournalError(
+                    f"merge conflict: fingerprint {fp} has diverging rows across journals"
+                )
+            merged.tasks[fp] = record
+            merged.quarantined.pop(fp, None)
+        for fp, record in state.quarantined.items():
+            if fp not in merged.tasks:
+                merged.quarantined.setdefault(fp, record)
+    merged.n_records = len(merged.tasks) + len(merged.quarantined) + len(merged.headers)
+    if output is not None:
+        body = sorted(
+            list(merged.tasks.values()) + list(merged.quarantined.values()),
+            key=lambda r: (r["index"], r["kind"]),
+        )
+        with open(output, "w") as fh:
+            for record in merged.headers + body:
+                fh.write(json.dumps(record) + "\n")
+    return merged
+
+
+# --------------------------------------------------------------------------
+# The engine
+
+
+@dataclass
+class SweepResult:
+    """Outcome of one :meth:`SweepRunner.run` session."""
+
+    rows: list[dict]
+    n_tasks: int
+    executed: int
+    replayed: int
+    quarantined: list[dict]
+    missing: list[int]
+    journal_path: Path
+    shard: ShardSpec | None
+
+    @property
+    def complete(self) -> bool:
+        """Every task in the full grid has a journaled row."""
+        return not self.missing and not self.quarantined
+
+
+class SweepRunner:
+    """Crash-safe sweep execution over a :class:`BatchRunner`-style grid.
+
+    Parameters
+    ----------
+    fn:
+        Module-level task callable ``fn(task, rng) -> Mapping`` (identical
+        contract to :class:`BatchRunner`).
+    journal:
+        JSONL journal path.  If the file exists its completed records are
+        replayed; only missing/stale tasks run.
+    n_workers:
+        1 (default) executes serially; larger fans pending tasks across a
+        process pool.  Worker count never affects row content.
+    root_seed:
+        Seeds the SeedSequence whose index-derived children drive cells —
+        the same derivation as :class:`BatchRunner`.
+    observer:
+        Optional :class:`repro.obs.Observer` for sweep metrics
+        (``sweep.tasks_executed``, ``sweep.retries``, ``sweep.quarantined``,
+        ``sweep.progress``, ``sweep.eta_s``).
+    timeout_s / max_retries / backoff_base_s / backoff_cap_s:
+        Per-task wall-clock budget and bounded retry with seeded
+        exponential backoff.  Only retryable :class:`FailureReason` codes
+        (see :func:`is_retryable`) are retried.
+    shard:
+        ``"i/n"`` (or :class:`ShardSpec`) restricting execution to the
+        index-derived slice ``index % n == i``.  Replay still surfaces any
+        journaled rows from other shards (e.g. from a merged journal).
+    retry_quarantined:
+        Re-attempt previously quarantined tasks instead of skipping them.
+    strict:
+        Raise :class:`SweepError` at the end of the session if any task in
+        scope is quarantined.
+    crash_after:
+        Fault-injection hook: raise :class:`SimulatedCrash` after this many
+        journal appends in this session (models dying between appends; used
+        by the crash-safety drills and the nightly resume smoke).
+    salt:
+        Code-version salt folded into fingerprints (see :data:`CODE_SALT`).
+    """
+
+    def __init__(
+        self,
+        fn: Callable[[GridTask, np.random.Generator], Mapping[str, Any]],
+        journal: str | os.PathLike,
+        *,
+        n_workers: int | None = 1,
+        root_seed: int = 0,
+        observer=None,
+        timeout_s: float | None = None,
+        max_retries: int = 2,
+        backoff_base_s: float = 0.0,
+        backoff_cap_s: float = 30.0,
+        shard: ShardSpec | str | tuple[int, int] | None = None,
+        retry_quarantined: bool = False,
+        strict: bool = False,
+        crash_after: int | None = None,
+        salt: str = CODE_SALT,
+    ):
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if timeout_s is not None and timeout_s <= 0:
+            raise ValueError("timeout_s must be positive (or None)")
+        self.fn = fn
+        self.journal_path = Path(journal)
+        self.runner = BatchRunner(fn, n_workers=n_workers, root_seed=root_seed, observer=observer)
+        self.root_seed = int(root_seed)
+        self.n_workers = self.runner.n_workers
+        self._obs = ensure_observer(observer)
+        self.timeout_s = timeout_s
+        self.max_retries = int(max_retries)
+        self.backoff_base_s = float(backoff_base_s)
+        self.backoff_cap_s = float(backoff_cap_s)
+        self.shard = ShardSpec.parse(shard)
+        self.retry_quarantined = retry_quarantined
+        self.strict = strict
+        self.crash_after = crash_after
+        self.salt = salt
+
+    # ------------------------------------------------------------------ run
+
+    def fingerprints(self, tasks: Sequence[GridTask]) -> list[str]:
+        """Per-cell fingerprints (must be unique across the grid)."""
+        fps = [
+            task_fingerprint(task, self.root_seed, i, self.salt)
+            for i, task in enumerate(tasks)
+        ]
+        if len(set(fps)) != len(fps):
+            raise SweepError(
+                "duplicate task fingerprints: the grid contains identical "
+                "(task, index) cells and cannot be journaled unambiguously"
+            )
+        return fps
+
+    def run(self, tasks: Sequence[GridTask]) -> SweepResult:
+        """Execute (or resume) the sweep; returns journaled rows in index order."""
+        obs = self._obs
+        tasks = list(tasks)
+        n = len(tasks)
+        fps = self.fingerprints(tasks)
+        children = self.runner.child_seeds(n)
+        state = (
+            read_journal(self.journal_path) if self.journal_path.exists() else JournalState()
+        )
+
+        own = self.shard.indices(n) if self.shard is not None else list(range(n))
+        skip = set(state.tasks)
+        if not self.retry_quarantined:
+            skip |= set(state.quarantined)
+        pending = [i for i in own if fps[i] not in skip]
+        replayed = sum(1 for fp in fps if fp in state.tasks)
+
+        collect = obs.enabled
+        new_records: dict[str, dict] = {}
+        quarantine_new: dict[str, dict] = {}
+        with obs.span(
+            "sweep_run",
+            n_tasks=n,
+            n_pending=len(pending),
+            n_workers=self.n_workers,
+            shard=str(self.shard) if self.shard else "",
+        ):
+            if pending:
+                with open(self.journal_path, "a") as fh:
+                    _append_record(
+                        fh,
+                        {
+                            "kind": "header",
+                            "schema": JOURNAL_SCHEMA_VERSION,
+                            "salt": self.salt,
+                            "root_seed": self.root_seed,
+                            "n_tasks": n,
+                            "sweep": fingerprint(self.salt, self.root_seed, tasks),
+                            "shard": str(self.shard) if self.shard else None,
+                            "ts": time.time(),
+                        },
+                    )
+                    self._execute_pending(
+                        fh, tasks, fps, children, pending, collect, new_records, quarantine_new
+                    )
+
+        for fp, record in new_records.items():
+            state.tasks[fp] = record
+            state.quarantined.pop(fp, None)
+        for fp, record in quarantine_new.items():
+            state.quarantined[fp] = record
+
+        completed = sorted(
+            (state.tasks[fp] for fp in fps if fp in state.tasks), key=lambda r: r["index"]
+        )
+        rows = [r["row"] for r in completed]
+        quarantined = sorted(
+            (state.quarantined[fp] for fp in fps if fp in state.quarantined),
+            key=lambda r: r["index"],
+        )
+        missing = [i for i in range(n) if fps[i] not in state.tasks]
+        result = SweepResult(
+            rows=rows,
+            n_tasks=n,
+            executed=len(new_records) + len(quarantine_new),
+            replayed=replayed,
+            quarantined=quarantined,
+            missing=missing,
+            journal_path=self.journal_path,
+            shard=self.shard,
+        )
+        if collect:
+            obs.count("sweep.tasks_replayed", replayed)
+            obs.gauge("sweep.progress", (n - len(result.missing)) / n if n else 1.0)
+        if self.strict and quarantined:
+            worst = ", ".join(
+                f"#{r['index']} {r['reason']['stage']}:{r['reason']['code']}"
+                for r in quarantined[:5]
+            )
+            raise SweepError(
+                f"{len(quarantined)} task(s) quarantined ({worst}); "
+                f"journal: {self.journal_path}"
+            )
+        return result
+
+    # ------------------------------------------------------------ internals
+
+    def _execute_pending(
+        self, fh, tasks, fps, children, pending, collect, new_records, quarantine_new
+    ) -> None:
+        obs = self._obs
+        policy = (
+            self.timeout_s,
+            self.max_retries,
+            self.backoff_base_s,
+            self.backoff_cap_s,
+        )
+        appended = 0
+        done = 0
+        t0 = time.perf_counter()
+
+        def record_outcome(i: int, outcome) -> None:
+            nonlocal appended, done
+            status, payload, snap, attempts, elapsed = outcome
+            task = tasks[i]
+            base = {
+                "kind": "task" if status == "ok" else "quarantine",
+                "schema": JOURNAL_SCHEMA_VERSION,
+                "fingerprint": fps[i],
+                "index": i,
+                "scheme": task.scheme,
+                "x": task.x,
+                "attempts": attempts,
+                "elapsed_s": elapsed,
+            }
+            if status == "ok":
+                row = {
+                    "scheme": task.scheme,
+                    "x": task.x,
+                    "index": i,
+                    "root_seed": self.root_seed,
+                }
+                row.update(payload)
+                base["row"] = row
+                new_records[fps[i]] = base
+                if snap is not None:
+                    obs.metrics.merge_snapshot(snap)
+            else:
+                base["reason"] = payload
+                quarantine_new[fps[i]] = base
+                if collect:
+                    obs.count("sweep.quarantined", stage=payload["stage"], code=payload["code"])
+            if collect:
+                if status == "ok":
+                    obs.count("sweep.tasks_executed")
+                if attempts > 1:
+                    obs.count("sweep.retries", attempts - 1)
+            _append_record(fh, base)
+            appended += 1
+            done += 1
+            if collect:
+                rate = (time.perf_counter() - t0) / done
+                obs.gauge("sweep.eta_s", rate * (len(pending) - done))
+            if self.crash_after is not None and appended >= self.crash_after:
+                raise SimulatedCrash(
+                    f"injected crash after {appended} journal append(s)"
+                )
+
+        if self.n_workers == 1:
+            for i in pending:
+                outcome = _run_with_policy(
+                    self.fn, tasks[i], children[i], collect, fps[i], *policy
+                )
+                record_outcome(i, outcome)
+        else:
+            with ProcessPoolExecutor(max_workers=self.n_workers) as pool:
+                futures = {
+                    pool.submit(
+                        _run_with_policy,
+                        self.fn,
+                        tasks[i],
+                        children[i],
+                        collect,
+                        fps[i],
+                        *policy,
+                    ): i
+                    for i in pending
+                }
+                remaining = set(futures)
+                while remaining:
+                    finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                    for future in finished:
+                        i = futures[future]
+                        try:
+                            outcome = future.result()
+                        except Exception as exc:  # worker/pool loss, not task code
+                            reason = {
+                                "stage": FailureStage.SCHEDULER.value,
+                                "code": "worker_crash",
+                                "detail": f"{type(exc).__name__}: {exc}",
+                            }
+                            outcome = ("failed", reason, None, 1, 0.0)
+                        record_outcome(i, outcome)
+
+
+# --------------------------------------------------------------------------
+# Harness front door
+
+
+def run_grid(
+    fn,
+    tasks: Sequence[GridTask],
+    *,
+    n_workers: int | None = 1,
+    root_seed: int = 0,
+    observer=None,
+    journal: str | os.PathLike | None = None,
+    shard: ShardSpec | str | tuple[int, int] | None = None,
+    **sweep_options: Any,
+) -> list[dict]:
+    """Execute a grid, durably when a journal is requested.
+
+    The single entry point the figure harnesses call: without ``journal``
+    this is exactly ``BatchRunner(...).run(tasks)``; with one, the tasks run
+    under a :class:`SweepRunner` (resumable, shardable, retried) and the
+    available journaled rows come back in index order.  Extra keyword
+    options (``timeout_s``, ``max_retries``, ``strict``, ``crash_after``,
+    ...) pass through to :class:`SweepRunner`.
+    """
+    if journal is None:
+        if shard is not None or sweep_options:
+            raise ValueError("shard/sweep options require a journal path")
+        return BatchRunner(fn, n_workers=n_workers, root_seed=root_seed, observer=observer).run(
+            list(tasks)
+        )
+    runner = SweepRunner(
+        fn,
+        journal,
+        n_workers=n_workers,
+        root_seed=root_seed,
+        observer=observer,
+        shard=shard,
+        **sweep_options,
+    )
+    return runner.run(list(tasks)).rows

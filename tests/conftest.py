@@ -15,6 +15,40 @@ from repro.modem.config import ModemConfig
 from repro.modem.references import ReferenceBank
 
 
+def _check_ambient_state() -> list[str]:
+    """Names of process-global singletons left dirty by the current test."""
+    import repro.obs as obs
+    from repro.utils.opcache import set_global_opcache
+
+    leaks = []
+    if obs.get_observer() is not obs.NULL_OBSERVER:
+        leaks.append("ambient observer (repro.obs.use_observer not exited)")
+        obs._current.set(obs.NULL_OBSERVER)
+    # The opcache has no cheap "was touched" probe, so it is always reset.
+    set_global_opcache(None)
+    return leaks
+
+
+@pytest.fixture(autouse=True)
+def _isolate_process_globals():
+    """Give every test a clean opcache and a null ambient observer.
+
+    Tests that opt into the global opcache or the ambient observer must not
+    leak them into the next test: a populated cache turns cold-path tests
+    into warm-path ones, and a live ambient observer silently records
+    metrics from unrelated tests.  The observer check *fails the test* —
+    leaving one installed is a bug in the test (an unclosed
+    ``use_observer``), not something to paper over.
+    """
+    from repro.utils.opcache import set_global_opcache
+
+    set_global_opcache(None)
+    yield
+    leaks = _check_ambient_state()
+    if leaks:
+        pytest.fail("test leaked process-global state: " + "; ".join(leaks))
+
+
 @pytest.fixture(scope="session")
 def fast_config() -> ModemConfig:
     """A small, quick operating point: L=2, P=4, 2 ms slots (W = 4 ms).

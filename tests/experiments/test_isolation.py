@@ -1,0 +1,59 @@
+"""Guard tests for the per-test process-global isolation fixture.
+
+``tests/conftest.py`` resets the global opcache around every test and fails
+any test that leaves an ambient observer installed.  These tests exercise
+that machinery directly so a regression in the fixture itself is caught.
+"""
+
+from __future__ import annotations
+
+import conftest as root_conftest
+
+import repro.obs as obs
+from repro.utils.opcache import OpCache, get_global_opcache, set_global_opcache
+
+
+def test_global_opcache_starts_empty():
+    """The autouse fixture hands every test a fresh (empty) global cache."""
+    assert len(get_global_opcache()) == 0
+
+
+def test_global_opcache_populated_for_next_test():
+    """Populate the global cache; the next test must still see it empty."""
+    cache = get_global_opcache()
+    cache.get("isolation-probe", ("k",), lambda: b"payload")
+    assert len(cache) == 1
+
+
+def test_global_opcache_reset_between_tests():
+    """Runs after the populating test above (pytest runs files in order)."""
+    cache = get_global_opcache()
+    assert len(cache) == 0
+    assert cache.hits == 0 and cache.misses == 0
+
+
+def test_ambient_observer_is_null_by_default():
+    assert obs.get_observer() is obs.NULL_OBSERVER
+
+
+def test_observer_leak_is_detected_and_repaired():
+    """A dangling ambient observer is reported and reset by the checker."""
+    obs._current.set(obs.Observer())
+    try:
+        leaks = root_conftest._check_ambient_state()
+        assert leaks and "ambient observer" in leaks[0]
+        assert obs.get_observer() is obs.NULL_OBSERVER
+    finally:
+        obs._current.set(obs.NULL_OBSERVER)
+
+
+def test_clean_state_reports_no_leaks():
+    set_global_opcache(OpCache())
+    assert root_conftest._check_ambient_state() == []
+    assert len(get_global_opcache()) == 0
+
+
+def test_use_observer_context_manager_restores_null():
+    with obs.use_observer(obs.Observer()) as active:
+        assert obs.get_observer() is active
+    assert obs.get_observer() is obs.NULL_OBSERVER

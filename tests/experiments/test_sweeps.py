@@ -1,0 +1,416 @@
+"""Fault-injected scheduler tests for the crash-safe sweep engine.
+
+The drills here kill a sweep mid-journal and resume it, shard it and merge
+the journals, exhaust retry budgets, and time tasks out — asserting after
+every disruption that the aggregate rows are *bit-identical* to an
+uninterrupted single-process run.  Fault injection is deterministic
+(parameter-driven via :func:`repro.experiments.sweep_demo.flaky_demo_task`
+and the ``crash_after`` hook), so every failure path is replayable.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import (
+    ConfigError,
+    DetectionError,
+    EqualizationError,
+    FailureStage,
+    ReproError,
+    TaskTimeoutError,
+)
+from repro.experiments.batch import BatchRunner, GridTask, make_grid
+from repro.experiments.sweep_demo import demo_task, flaky_demo_task
+from repro.experiments.sweeps import (
+    CODE_SALT,
+    JOURNAL_SCHEMA_VERSION,
+    JournalError,
+    ShardSpec,
+    SimulatedCrash,
+    SweepError,
+    SweepRunner,
+    backoff_delay,
+    canonical_records,
+    classify_exception,
+    is_retryable,
+    journal_rows,
+    merge_journals,
+    read_journal,
+    run_grid,
+    task_fingerprint,
+)
+
+
+def demo_grid(n_x: int = 3, schemes: tuple[str, ...] = ("mono", "turbo")) -> list[GridTask]:
+    return make_grid({s: {} for s in schemes}, [float(i) for i in range(1, n_x + 1)], "x")
+
+
+def flaky_grid(spec: dict[str, dict]) -> list[GridTask]:
+    return make_grid(spec, [1.0], "x")
+
+
+# --------------------------------------------------------------- unit layer
+
+
+class TestShardSpec:
+    def test_parse_forms(self):
+        assert ShardSpec.parse(None) is None
+        assert ShardSpec.parse("1/4") == ShardSpec(1, 4)
+        assert ShardSpec.parse((2, 3)) == ShardSpec(2, 3)
+        spec = ShardSpec(0, 2)
+        assert ShardSpec.parse(spec) is spec
+        assert str(ShardSpec(1, 4)) == "1/4"
+
+    @pytest.mark.parametrize("bad", ["4/4", "-1/4", "1", "a/b", (3, 3)])
+    def test_parse_rejects(self, bad):
+        with pytest.raises((ValueError, ReproError)):
+            ShardSpec.parse(bad)
+
+    def test_indices_partition(self):
+        n = 11
+        slices = [ShardSpec(i, 3).indices(n) for i in range(3)]
+        merged = sorted(idx for s in slices for idx in s)
+        assert merged == list(range(n))
+
+    @given(n_tasks=st.integers(0, 64), count=st.integers(1, 8))
+    @settings(max_examples=60, deadline=None)
+    def test_partition_property(self, n_tasks, count):
+        """Any i/n partition reunions to exactly the full grid, disjointly."""
+        slices = [ShardSpec(i, count).indices(n_tasks) for i in range(count)]
+        flat = [idx for s in slices for idx in s]
+        assert sorted(flat) == list(range(n_tasks))
+        assert len(set(flat)) == len(flat)
+        for i, s in enumerate(slices):
+            assert all(ShardSpec(i, count).owns(idx) for idx in s)
+
+
+class TestClassification:
+    @pytest.mark.parametrize(
+        "exc, stage, code, retryable",
+        [
+            (TaskTimeoutError("t"), FailureStage.SCHEDULER, "timeout", True),
+            (ConfigError("c"), FailureStage.CONFIG, "config_error", False),
+            (DetectionError("d"), FailureStage.DETECTION, "detection_error", True),
+            (EqualizationError("e"), FailureStage.EQUALIZATION, "equalization_error", True),
+            (ValueError("v"), FailureStage.SCHEDULER, "task_bug", False),
+            (KeyError("k"), FailureStage.SCHEDULER, "task_bug", False),
+            (RuntimeError("r"), FailureStage.SCHEDULER, "task_exception", True),
+        ],
+    )
+    def test_classify(self, exc, stage, code, retryable):
+        reason = classify_exception(exc)
+        assert reason.stage == stage
+        assert reason.code == code
+        assert is_retryable(reason) is retryable
+
+    def test_backoff_deterministic_and_bounded(self):
+        d1 = backoff_delay("fp", 1, base_s=0.1)
+        assert d1 == backoff_delay("fp", 1, base_s=0.1)
+        assert d1 != backoff_delay("fp", 2, base_s=0.1)
+        assert d1 != backoff_delay("other-fp", 1, base_s=0.1)
+        for attempt in range(1, 12):
+            d = backoff_delay("fp", attempt, base_s=0.1, cap_s=1.0)
+            assert 0.0 < d <= 1.5  # cap * max jitter factor
+        assert backoff_delay("fp", 3, base_s=0.0) == 0.0
+
+    def test_fingerprint_sensitivity(self):
+        task = demo_grid()[0]
+        fp = task_fingerprint(task, 0, 0)
+        assert fp == task_fingerprint(task, 0, 0)
+        assert fp != task_fingerprint(task, 1, 0)
+        assert fp != task_fingerprint(task, 0, 1)
+        assert fp != task_fingerprint(task, 0, 0, salt="other-code-version")
+
+
+# ---------------------------------------------------------- journal format
+
+
+class TestJournal:
+    def test_round_trip_and_schema(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        SweepRunner(demo_task, path, root_seed=3).run(demo_grid())
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert records[0]["kind"] == "header"
+        assert records[0]["schema"] == JOURNAL_SCHEMA_VERSION
+        assert records[0]["salt"] == CODE_SALT
+        assert all(r["kind"] == "task" for r in records[1:])
+        state = read_journal(path)
+        assert len(state.tasks) == 6 and not state.truncated
+
+    def test_torn_final_line_tolerated(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        SweepRunner(demo_task, path, root_seed=3).run(demo_grid())
+        whole = read_journal(path)
+        with open(path, "a") as fh:
+            fh.write('{"kind": "task", "fingerprint": "torn')  # no newline: died mid-write
+        state = read_journal(path)
+        assert state.truncated
+        assert set(state.tasks) == set(whole.tasks)
+
+    def test_interior_corruption_raises(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        SweepRunner(demo_task, path, root_seed=3).run(demo_grid())
+        lines = path.read_text().splitlines()
+        lines[2] = lines[2][: len(lines[2]) // 2]
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(JournalError):
+            read_journal(path)
+
+    def test_newer_schema_rejected(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text(
+            json.dumps({"kind": "header", "schema": JOURNAL_SCHEMA_VERSION + 1}) + "\n"
+        )
+        with pytest.raises(JournalError):
+            read_journal(path)
+
+
+# ------------------------------------------------------ crash-resume drills
+
+
+class TestCrashResume:
+    def test_kill_mid_journal_then_resume_bit_identical(self, tmp_path):
+        tasks = demo_grid(n_x=4)
+        clean = tmp_path / "clean.jsonl"
+        SweepRunner(demo_task, clean, root_seed=7).run(tasks)
+
+        crashed = tmp_path / "crashed.jsonl"
+        with pytest.raises(SimulatedCrash):
+            SweepRunner(demo_task, crashed, root_seed=7, crash_after=3).run(tasks)
+        partial = read_journal(crashed)
+        assert 0 < len(partial.tasks) < len(tasks)
+
+        result = SweepRunner(demo_task, crashed, root_seed=7).run(tasks)
+        assert result.complete
+        assert result.replayed == len(partial.tasks)
+        assert result.executed == len(tasks) - len(partial.tasks)
+        assert journal_rows(crashed) == journal_rows(clean)
+        assert canonical_records(crashed) == canonical_records(clean)
+        assert result.rows == journal_rows(clean)
+
+    def test_resume_executes_nothing_when_complete(self, tmp_path):
+        tasks = demo_grid()
+        path = tmp_path / "j.jsonl"
+        first = SweepRunner(demo_task, path, root_seed=7).run(tasks)
+        before = path.read_bytes()
+
+        def must_not_run(task, rng):
+            raise AssertionError("resume re-executed a completed task")
+
+        again = SweepRunner(must_not_run, path, root_seed=7).run(tasks)
+        assert again.executed == 0
+        assert again.replayed == len(tasks)
+        assert again.rows == first.rows
+        assert path.read_bytes() == before  # no session header for a no-op resume
+
+    def test_stale_salt_reruns_everything(self, tmp_path):
+        tasks = demo_grid()
+        path = tmp_path / "j.jsonl"
+        first = SweepRunner(demo_task, path, root_seed=7).run(tasks)
+        bumped = SweepRunner(demo_task, path, root_seed=7, salt="sweep-v2").run(tasks)
+        assert bumped.executed == len(tasks)
+        assert bumped.replayed == 0
+        assert bumped.complete
+        # Seeds are salt-independent, so the re-run reproduces the same rows.
+        assert bumped.rows == first.rows
+
+    def test_rows_match_batchrunner_bit_for_bit(self, tmp_path):
+        tasks = demo_grid(n_x=5)
+        baseline = BatchRunner(demo_task, root_seed=13).run(tasks)
+        swept = SweepRunner(demo_task, tmp_path / "j.jsonl", root_seed=13).run(tasks)
+        assert swept.rows == baseline
+
+
+# ------------------------------------------------------------ shard drills
+
+
+class TestSharding:
+    def test_two_shards_merge_identical_to_single(self, tmp_path):
+        tasks = demo_grid(n_x=4, schemes=("a", "b", "c"))
+        single = tmp_path / "single.jsonl"
+        SweepRunner(demo_task, single, root_seed=9).run(tasks)
+
+        parts = []
+        for i in range(2):
+            part = tmp_path / f"shard{i}.jsonl"
+            res = SweepRunner(demo_task, part, root_seed=9, shard=f"{i}/2").run(tasks)
+            assert res.missing  # each shard alone cannot complete the grid
+            parts.append(part)
+
+        merged = tmp_path / "merged.jsonl"
+        merge_journals(parts, merged)
+        assert journal_rows(merged) == journal_rows(single)
+        assert canonical_records(merged) == canonical_records(single)
+
+        # A full resume over the merged journal finds nothing left to do.
+        res = SweepRunner(demo_task, merged, root_seed=9).run(tasks)
+        assert res.complete and res.executed == 0
+
+    def test_merge_conflict_rejected(self, tmp_path):
+        tasks = demo_grid()
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        SweepRunner(demo_task, a, root_seed=1).run(tasks)
+        SweepRunner(demo_task, b, root_seed=1).run(tasks)
+        rec = json.loads(a.read_text().splitlines()[1])
+        rec["row"]["ber"] = 0.5  # same fingerprint, different content
+        b2 = tmp_path / "b2.jsonl"
+        b2.write_text(json.dumps(rec) + "\n")
+        with pytest.raises(JournalError):
+            merge_journals([a, b2])
+
+    @given(count=st.integers(1, 5), n_x=st.integers(1, 6), seed=st.integers(0, 2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_shard_fingerprints_partition_property(self, count, n_x, seed):
+        """Shard fingerprint sets are disjoint and reunion to the full grid."""
+        tasks = demo_grid(n_x=n_x)
+        fps = [task_fingerprint(t, seed, i) for i, t in enumerate(tasks)]
+        assert len(set(fps)) == len(fps)  # no duplicate fingerprints anywhere
+        union: set[str] = set()
+        for i in range(count):
+            owned = {fps[idx] for idx in ShardSpec(i, count).indices(len(tasks))}
+            assert union.isdisjoint(owned)
+            union |= owned
+        assert union == set(fps)
+
+    def test_duplicate_cells_rejected(self, tmp_path):
+        task = demo_grid()[0]
+        runner = SweepRunner(demo_task, tmp_path / "j.jsonl")
+        runner.fingerprints([task])  # unique index ⇒ fine
+        tasks = demo_grid()
+        fps = runner.fingerprints(tasks)
+        assert len(set(fps)) == len(tasks)
+
+
+# ------------------------------------------------- retry / timeout / poison
+
+
+class TestFaultPolicy:
+    def test_transient_failure_retried_to_identical_row(self, tmp_path):
+        clean_rows = SweepRunner(
+            flaky_demo_task, tmp_path / "clean.jsonl", root_seed=5
+        ).run(flaky_grid({"cell": {}})).rows
+        flaky = SweepRunner(
+            flaky_demo_task, tmp_path / "flaky.jsonl", root_seed=5, max_retries=2
+        ).run(flaky_grid({"cell": {"fail_attempts": 1}}))
+        assert not flaky.quarantined
+        record = read_journal(tmp_path / "flaky.jsonl").tasks.popitem()[1]
+        assert record["attempts"] == 2
+        # Payload is bit-identical: the retried attempt re-derives the same
+        # child generator, and injected faults fire before any rng use.
+        strip = lambda row: {k: v for k, v in row.items() if k not in ("scheme", "x", "index")}
+        assert [strip(r) for r in flaky.rows] == [strip(r) for r in clean_rows]
+        assert flaky.rows[0]["ber"] == clean_rows[0]["ber"]
+
+    def test_poison_task_quarantined_without_stalling_grid(self, tmp_path):
+        grid = flaky_grid(
+            {"good": {}, "poison": {"fail_attempts": 99}, "also_good": {"gain": 2.0}}
+        )
+        res = SweepRunner(
+            flaky_demo_task, tmp_path / "j.jsonl", root_seed=5, max_retries=1
+        ).run(grid)
+        assert [q["scheme"] for q in res.quarantined] == ["poison"]
+        q = res.quarantined[0]
+        assert q["reason"]["stage"] == "detection"
+        assert q["reason"]["code"] == "detection_error"
+        assert q["attempts"] == 2  # initial try + one retry
+        assert sorted(r["scheme"] for r in res.rows) == ["also_good", "good"]
+        assert not res.complete
+
+    def test_fatal_failure_never_retried(self, tmp_path):
+        res = SweepRunner(
+            flaky_demo_task, tmp_path / "j.jsonl", root_seed=5, max_retries=3
+        ).run(flaky_grid({"bad": {"fatal": True}}))
+        q = res.quarantined[0]
+        assert q["reason"]["code"] == "config_error"
+        assert q["reason"]["stage"] == "config"
+        assert q["attempts"] == 1
+
+    def test_timeout_quarantined_with_scheduler_reason(self, tmp_path):
+        grid = flaky_grid({"slow": {"sleep_s": 30.0}, "fast": {}})
+        res = SweepRunner(
+            flaky_demo_task,
+            tmp_path / "j.jsonl",
+            root_seed=5,
+            timeout_s=0.2,
+            max_retries=0,
+        ).run(grid)
+        assert [q["scheme"] for q in res.quarantined] == ["slow"]
+        assert res.quarantined[0]["reason"]["code"] == "timeout"
+        assert res.quarantined[0]["reason"]["stage"] == "scheduler"
+        assert [r["scheme"] for r in res.rows] == ["fast"]
+
+    def test_quarantine_skipped_on_resume_then_retryable(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        grid = flaky_grid({"flaky": {"fail_attempts": 1}})
+        first = SweepRunner(flaky_demo_task, path, root_seed=5, max_retries=0).run(grid)
+        assert first.quarantined and not first.rows
+
+        # Default resume skips the poison cell (no infinite crash loops)...
+        skipped = SweepRunner(flaky_demo_task, path, root_seed=5, max_retries=0).run(grid)
+        assert skipped.executed == 0 and skipped.quarantined
+
+        # ...but retry_quarantined re-attempts it, and success supersedes
+        # the quarantine record in the journal.
+        healed = SweepRunner(
+            flaky_demo_task, path, root_seed=5, max_retries=1, retry_quarantined=True
+        ).run(grid)
+        assert healed.complete
+        assert not read_journal(path).quarantined
+
+    def test_strict_mode_raises_on_quarantine(self, tmp_path):
+        with pytest.raises(SweepError, match="quarantined"):
+            SweepRunner(
+                flaky_demo_task,
+                tmp_path / "j.jsonl",
+                root_seed=5,
+                max_retries=0,
+                strict=True,
+            ).run(flaky_grid({"bad": {"fatal": True}}))
+
+
+# ----------------------------------------------------------- pool & metrics
+
+
+class TestPoolAndMetrics:
+    @pytest.mark.slow
+    def test_pool_rows_bit_identical_to_serial(self, tmp_path):
+        tasks = demo_grid(n_x=4)
+        serial = SweepRunner(demo_task, tmp_path / "s.jsonl", root_seed=11).run(tasks)
+        pooled = SweepRunner(
+            demo_task, tmp_path / "p.jsonl", root_seed=11, n_workers=2
+        ).run(tasks)
+        assert pooled.rows == serial.rows
+        assert canonical_records(tmp_path / "p.jsonl") == canonical_records(tmp_path / "s.jsonl")
+
+    def test_sweep_metrics_emitted(self, tmp_path):
+        from repro.obs import Observer
+
+        obs = Observer()
+        grid = flaky_grid({"good": {}, "flaky": {"fail_attempts": 1}, "bad": {"fatal": True}})
+        SweepRunner(
+            flaky_demo_task, tmp_path / "j.jsonl", root_seed=5, max_retries=1, observer=obs
+        ).run(grid)
+        executed = obs.metrics.get("sweep.tasks_executed")
+        assert executed is not None and executed.value == 2.0
+        retries = obs.metrics.get("sweep.retries")
+        assert retries is not None and retries.value == 1.0
+        quarantined = obs.metrics.get(
+            "sweep.quarantined", stage="config", code="config_error"
+        )
+        assert quarantined is not None and quarantined.value == 1.0
+        progress = obs.metrics.get("sweep.progress")
+        assert progress is not None and progress.value == pytest.approx(2 / 3)
+
+    def test_run_grid_dispatch(self, tmp_path):
+        tasks = demo_grid()
+        plain = run_grid(demo_task, tasks, root_seed=3)
+        journaled = run_grid(demo_task, tasks, root_seed=3, journal=tmp_path / "j.jsonl")
+        assert journaled == plain
+        with pytest.raises(ValueError):
+            run_grid(demo_task, tasks, shard="0/2")  # shard needs a journal

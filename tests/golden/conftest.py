@@ -37,6 +37,11 @@ def pytest_generate_tests(metafunc):
         metafunc.parametrize(
             "baseband_case", names or [pytest.param(None, marks=pytest.mark.skip)]
         )
+    if "sweep_case" in metafunc.fixturenames:
+        names = [n for n, meta in manifest.items() if meta["kind"] == "sweep_journal"]
+        metafunc.parametrize(
+            "sweep_case", names or [pytest.param(None, marks=pytest.mark.skip)]
+        )
 
 
 @pytest.fixture(scope="session")

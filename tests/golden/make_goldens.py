@@ -149,6 +149,28 @@ def build_cases() -> dict[str, tuple[dict, dict]]:
     return cases
 
 
+def build_sweep_journals(force: bool) -> dict[str, dict]:
+    """Freeze one sweep journal per grid harness (plus the fault plan).
+
+    Journals are resumable by design, so ``--force`` must *delete* the old
+    file first — re-running over an existing journal would replay it and
+    freeze the stale records instead of regenerating them.
+    """
+    from sweep_cases import SWEEP_CASES
+
+    manifest: dict[str, dict] = {}
+    for name, case in SWEEP_CASES.items():
+        journal = CASES_DIR / f"{name}.jsonl"
+        if journal.exists():
+            if not force:
+                raise RuntimeError(f"{journal} exists; pass --force")
+            journal.unlink()
+        case.run(journal)
+        manifest[name] = {"kind": "sweep_journal", "journal": journal.name, **case.meta}
+        print(f"wrote {name}: {journal.name}")
+    return manifest
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -156,7 +178,21 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="overwrite existing fixtures (moves the regression wall!)",
     )
+    parser.add_argument(
+        "--sweeps-only",
+        action="store_true",
+        help="regenerate only the sweep journals, merging into the existing "
+        "manifest (leaves the waveform npz wall untouched)",
+    )
     args = parser.parse_args(argv)
+
+    if args.sweeps_only:
+        manifest = json.loads(MANIFEST.read_text()) if MANIFEST.exists() else {}
+        CASES_DIR.mkdir(parents=True, exist_ok=True)
+        manifest.update(build_sweep_journals(force=args.force))
+        MANIFEST.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {MANIFEST} ({len(manifest)} cases)")
+        return 0
 
     if MANIFEST.exists() and not args.force:
         print(
@@ -173,6 +209,7 @@ def main(argv: list[str] | None = None) -> int:
         np.savez(CASES_DIR / f"{name}.npz", **arrays)
         manifest[name] = meta
         print(f"wrote {name}: {', '.join(sorted(arrays))}")
+    manifest.update(build_sweep_journals(force=args.force))
     MANIFEST.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
     print(f"wrote {MANIFEST} ({len(manifest)} cases)")
     return 0

@@ -1,0 +1,118 @@
+"""Frozen sweep-journal case definitions, shared by the generator and tests.
+
+Each case is a *deterministic* sweep — one per grid harness (fig16a, fig17a,
+fig18a, table4) plus one fault-plan run through the demo task — executed
+into a JSONL journal.  ``make_goldens.py`` freezes those journals under
+``cases/``; ``test_golden_sweeps.py`` re-runs each case fresh and demands
+the canonical records match the frozen file bit-exactly, and that resuming
+over the frozen journal is a byte-identical no-op.
+
+Grids are deliberately tiny (one or two cells per axis, single packets):
+the wall pins *journal content stability*, not physics coverage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+def _run_fig16a(journal):
+    from repro.experiments.fig16 import rate_vs_distance_grid
+
+    return rate_vs_distance_grid(
+        rates_bps=[4000],
+        distances_m=[2.0, 3.5],
+        n_packets=1,
+        payload_bytes=8,
+        root_seed=11,
+        journal=journal,
+    )
+
+
+def _run_fig17a(journal):
+    from repro.experiments.fig17 import dfe_comparison_grid
+
+    return dfe_comparison_grid(
+        distances_m=[8.0], n_packets=1, root_seed=21, journal=journal
+    )
+
+
+def _run_fig18a(journal):
+    from repro.experiments.fig18 import emulated_ber_vs_snr_batched
+
+    return emulated_ber_vs_snr_batched(
+        rates_bps=[8000],
+        snrs_db=[20.0, 40.0],
+        n_symbols=48,
+        n_packets=1,
+        root_seed=31,
+        journal=journal,
+    )
+
+
+def _run_table4(journal):
+    from repro.experiments.table4 import mobility_study_grid
+
+    return mobility_study_grid(
+        cases=["no_human", "walk_10cm_off_los"],
+        distance_m=3.0,
+        n_packets=1,
+        root_seed=41,
+        journal=journal,
+    )
+
+
+def _run_faultplan(journal):
+    """Retry + quarantine exercised deterministically via the demo task.
+
+    ``steady`` succeeds first try, ``flaky`` succeeds on its one retry, and
+    ``poison`` exhausts the budget and is quarantined — so the frozen
+    journal pins the quarantine record format alongside ordinary rows.
+    """
+    from repro.experiments.batch import make_grid
+    from repro.experiments.sweep_demo import flaky_demo_task
+    from repro.experiments.sweeps import SweepRunner
+
+    tasks = make_grid(
+        {
+            "steady": {},
+            "flaky": {"fail_attempts": 1},
+            "poison": {"fail_attempts": 99},
+        },
+        [1.0, 2.0],
+        "x",
+    )
+    return SweepRunner(flaky_demo_task, journal, root_seed=7, max_retries=1).run(tasks)
+
+
+@dataclass(frozen=True)
+class SweepCase:
+    """One frozen sweep: a runner plus the manifest metadata describing it."""
+
+    run: Callable
+    meta: dict = field(default_factory=dict)
+
+
+SWEEP_CASES: dict[str, SweepCase] = {
+    "sweep_fig16a": SweepCase(
+        _run_fig16a,
+        {"harness": "fig16a", "root_seed": 11, "n_tasks": 2},
+    ),
+    "sweep_fig17a": SweepCase(
+        _run_fig17a,
+        {"harness": "fig17a", "root_seed": 21, "n_tasks": 3},
+    ),
+    "sweep_fig18a": SweepCase(
+        _run_fig18a,
+        {"harness": "fig18a", "root_seed": 31, "n_tasks": 2},
+    ),
+    "sweep_table4": SweepCase(
+        _run_table4,
+        {"harness": "table4", "root_seed": 41, "n_tasks": 2},
+    ),
+    "sweep_faultplan": SweepCase(
+        _run_faultplan,
+        {"harness": "faultplan", "root_seed": 7, "n_tasks": 6, "n_quarantined": 2},
+    ),
+}

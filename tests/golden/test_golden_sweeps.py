@@ -1,0 +1,84 @@
+"""Golden sweep-journal wall: frozen journals must replay bit-exactly.
+
+Three guarantees per frozen case (see ``sweep_cases.py``):
+
+* **schema pin** — record key sets and the journal schema version cannot
+  drift without regenerating the corpus;
+* **fresh-run determinism** — re-running the case into a new journal today
+  yields canonically identical records (rows bit-for-bit, quarantine
+  reasons included);
+* **resume no-op** — resuming over the frozen journal executes nothing and
+  leaves the file byte-identical, while still surfacing the frozen rows.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+
+from sweep_cases import SWEEP_CASES
+
+from repro.experiments.sweeps import (
+    JOURNAL_SCHEMA_VERSION,
+    canonical_records,
+    journal_rows,
+    read_journal,
+)
+
+HEADER_KEYS = {"kind", "schema", "salt", "root_seed", "n_tasks", "sweep", "shard", "ts"}
+TASK_KEYS = {"kind", "schema", "fingerprint", "index", "scheme", "x", "attempts", "elapsed_s", "row"}
+QUARANTINE_KEYS = {
+    "kind", "schema", "fingerprint", "index", "scheme", "x", "attempts", "elapsed_s", "reason",
+}
+ROW_BASE_KEYS = {"scheme", "x", "index", "root_seed"}
+REASON_KEYS = {"stage", "code", "detail"}
+
+
+def _frozen_path(golden, name):
+    meta = golden.load_manifest()[name]
+    return golden.CASES_DIR / meta["journal"], meta
+
+
+def test_schema_and_record_shape_pinned(golden, sweep_case):
+    path, meta = _frozen_path(golden, sweep_case)
+    records = [json.loads(line) for line in path.read_text().splitlines()]
+    assert records, f"{sweep_case}: empty journal"
+    for record in records:
+        assert record["schema"] == JOURNAL_SCHEMA_VERSION
+        if record["kind"] == "header":
+            assert set(record) == HEADER_KEYS
+        elif record["kind"] == "task":
+            assert set(record) == TASK_KEYS
+            assert ROW_BASE_KEYS <= set(record["row"])
+        elif record["kind"] == "quarantine":
+            assert set(record) == QUARANTINE_KEYS
+            assert set(record["reason"]) == REASON_KEYS
+        else:
+            raise AssertionError(f"{sweep_case}: unknown record kind {record['kind']!r}")
+    state = read_journal(path)
+    assert len(state.tasks) + len(state.quarantined) == meta["n_tasks"]
+    assert len(state.quarantined) == meta.get("n_quarantined", 0)
+    assert not state.truncated
+
+
+def test_fresh_run_matches_frozen_journal(golden, sweep_case, tmp_path):
+    path, _ = _frozen_path(golden, sweep_case)
+    fresh = tmp_path / "fresh.jsonl"
+    SWEEP_CASES[sweep_case].run(fresh)
+    assert canonical_records(fresh) == canonical_records(path), (
+        f"{sweep_case}: re-running the frozen sweep produced different rows — "
+        "either determinism broke or behaviour changed knowingly "
+        "(regenerate with make_goldens.py --sweeps-only --force)"
+    )
+
+
+def test_resume_over_frozen_journal_is_byte_identical_noop(golden, sweep_case, tmp_path):
+    path, _ = _frozen_path(golden, sweep_case)
+    copy = tmp_path / path.name
+    shutil.copy(path, copy)
+    result = SWEEP_CASES[sweep_case].run(copy)
+    assert copy.read_bytes() == path.read_bytes()
+    rows = result.rows if hasattr(result, "rows") else None
+    if rows is not None:  # the fault-plan case returns the SweepResult itself
+        assert rows == journal_rows(path)
+        assert result.executed == 0

@@ -35,7 +35,8 @@ def test_manifest_covers_all_fixture_files(golden):
     manifest = golden.load_manifest()
     assert manifest, "golden manifest missing — run tests/golden/make_goldens.py"
     on_disk = {p.stem for p in golden.CASES_DIR.glob("*.npz")}
-    assert on_disk == set(manifest), "manifest and npz fixtures out of sync"
+    on_disk |= {p.stem for p in golden.CASES_DIR.glob("*.jsonl")}
+    assert on_disk == set(manifest), "manifest and fixture files out of sync"
 
 
 def test_dsm_levels_bit_exact(golden, dsm_case):

@@ -1,8 +1,20 @@
 """Command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.experiments.batch import make_grid
+from repro.experiments.sweep_demo import demo_task, flaky_demo_task
+from repro.experiments.sweeps import SweepRunner
+
+
+def _demo_journal(path, shard=None, root_seed=3):
+    """A tiny completed demo journal for journal-command tests."""
+    tasks = make_grid({"a": {}, "b": {}}, [1.0, 2.0], "x")
+    SweepRunner(demo_task, path, root_seed=root_seed, shard=shard).run(tasks)
+    return tasks
 
 
 class TestParser:
@@ -45,3 +57,82 @@ class TestCommands:
     def test_network(self, capsys):
         assert main(["network", "--tags", "5"]) == 0
         assert "gain" in capsys.readouterr().out
+
+
+class TestSweepFlags:
+    def test_sweep_accepts_journal_shard_workers(self):
+        args = build_parser().parse_args(
+            ["sweep", "fig16a", "--journal", "j.jsonl", "--shard", "0/2",
+             "--workers", "2", "--timeout", "60", "--retries", "1"]
+        )
+        assert args.journal == "j.jsonl"
+        assert args.shard == "0/2"
+        assert args.workers == 2
+        assert args.timeout == 60.0
+        assert args.retries == 1
+
+    def test_grid_only_figure_is_a_valid_choice(self):
+        args = build_parser().parse_args(["sweep", "fig17a", "--journal", "j.jsonl"])
+        assert args.figure == "fig17a"
+
+    def test_shard_without_journal_rejected(self, capsys):
+        assert main(["sweep", "fig16a", "--shard", "0/2"]) == 2
+        assert "--journal" in capsys.readouterr().out
+
+    def test_workers_without_journal_rejected(self):
+        assert main(["sweep", "fig16a", "--workers", "4"]) == 2
+
+    def test_grid_only_figure_without_journal_rejected(self, capsys):
+        assert main(["sweep", "fig17a"]) == 2
+        assert "--journal" in capsys.readouterr().out
+
+
+class TestJournalCommand:
+    def test_status_reports_counts(self, tmp_path, capsys):
+        path = tmp_path / "j.jsonl"
+        _demo_journal(path)
+        assert main(["journal", "status", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "4 task(s)" in out
+        assert "0 quarantined" in out
+
+    def test_status_lists_quarantined(self, tmp_path, capsys):
+        path = tmp_path / "j.jsonl"
+        tasks = make_grid({"bad": {"fatal": True}}, [1.0], "x")
+        SweepRunner(flaky_demo_task, path, root_seed=3, max_retries=0).run(tasks)
+        assert main(["journal", "status", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "1 quarantined" in out
+        assert "config:config_error" in out
+
+    def test_status_unreadable_journal(self, tmp_path, capsys):
+        path = tmp_path / "j.jsonl"
+        path.write_text('{"kind": "task", "schema": 1, broken\n{"also": "broken"}\n')
+        assert main(["journal", "status", str(path)]) == 1
+        assert "unreadable" in capsys.readouterr().out
+
+    def test_merge_requires_output(self, tmp_path, capsys):
+        path = tmp_path / "j.jsonl"
+        _demo_journal(path)
+        assert main(["journal", "merge", str(path)]) == 2
+        assert "--output" in capsys.readouterr().out
+
+    def test_merge_shards_row_complete(self, tmp_path, capsys):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        _demo_journal(a, shard="0/2")
+        _demo_journal(b, shard="1/2")
+        merged = tmp_path / "m.jsonl"
+        assert main(["journal", "merge", str(a), str(b), "-o", str(merged)]) == 0
+        assert "4 task(s)" in capsys.readouterr().out
+        records = [json.loads(line) for line in merged.read_text().splitlines()]
+        assert sum(r["kind"] == "task" for r in records) == 4
+
+    def test_merge_conflict_fails(self, tmp_path, capsys):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        _demo_journal(a)
+        _demo_journal(b, root_seed=3)  # same fingerprints...
+        rec = json.loads(a.read_text().splitlines()[1])
+        rec["row"]["ber"] = 0.123  # ...now with conflicting content
+        b.write_text(json.dumps(rec) + "\n")
+        assert main(["journal", "merge", str(a), str(b), "-o", str(tmp_path / "m.jsonl")]) == 1
+        assert "merge failed" in capsys.readouterr().out
