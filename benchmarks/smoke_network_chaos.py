@@ -1,0 +1,106 @@
+"""Nightly chaos-soak smoke for the multi-reader fleet layer.
+
+The drill is the issue's acceptance scenario, run as an operational gate:
+
+1. sweep a seeded ``network_scale`` grid (baseline + every named chaos
+   scenario, including the reader-crash plan that kills 1 of N readers
+   mid-run) through the crash-safe journal engine with metrics on;
+2. demand **full tag recovery** — zero orphaned tags and zero contract
+   violations in every cell;
+3. demand **bounded degradation** — each chaos cell keeps at least
+   ``MIN_GOODPUT_RATIO`` of its baseline cell's goodput (no upper cap:
+   a chaos run is a different sample path, so mild upside is noise);
+4. demand **determinism** — a second serial pass over the same grid is
+   row-for-row bit-identical (timeline digests included).
+
+Exit status is non-zero on any violation.  Artifacts (the sweep journal,
+the metrics RunReport, and a JSON verdict) land under
+``benchmarks/results/network_chaos/`` and are uploaded by the nightly CI
+lane, so a failure ships the exact journal that disagreed.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/smoke_network_chaos.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.experiments.network_scale import network_scale_grid
+from repro.faults.network import network_scenario_names
+
+SMOKE_DIR = Path(__file__).parent / "results" / "network_chaos"
+ROOT_SEED = 43
+N_TAGS = [6, 12]
+DURATION_S = 20.0
+#: Chaos may cost goodput, but never more than this fraction of baseline.
+MIN_GOODPUT_RATIO = 0.35
+
+
+def run_grid(journal: Path | None, metrics_out: Path | None = None):
+    return network_scale_grid(
+        scenarios=["none", *network_scenario_names()],
+        n_tags_list=N_TAGS,
+        duration_s=DURATION_S,
+        root_seed=ROOT_SEED,
+        journal=journal,
+        metrics_out=metrics_out,
+    )
+
+
+def main() -> int:
+    SMOKE_DIR.mkdir(parents=True, exist_ok=True)
+    for stale in SMOKE_DIR.glob("*.jsonl"):
+        stale.unlink()
+
+    journal = SMOKE_DIR / "chaos.jsonl"
+    out = run_grid(journal, metrics_out=SMOKE_DIR / "metrics.json")
+    replay = run_grid(None)
+
+    orphan_cells = [
+        (name, row["x"])
+        for name, rows in out.items()
+        for row in rows
+        if row["orphaned_tags"] or row["contract_violation"]
+    ]
+    baseline = {row["x"]: row["goodput_bps"] for row in out["none"]}
+    ratio_cells = []
+    for name, rows in out.items():
+        if name == "none":
+            continue
+        for row in rows:
+            ratio = row["goodput_bps"] / baseline[row["x"]]
+            if ratio <= MIN_GOODPUT_RATIO:
+                ratio_cells.append((name, row["x"], round(ratio, 3)))
+
+    checks = {
+        "full_tag_recovery": not orphan_cells,
+        "bounded_degradation": not ratio_cells,
+        "deterministic_replay": out == replay,
+    }
+    verdict = {
+        "checks": checks,
+        "orphan_cells": orphan_cells,
+        "ratio_violations": ratio_cells,
+        "goodput_bps": {
+            name: {str(r["x"]): round(r["goodput_bps"], 1) for r in rows}
+            for name, rows in out.items()
+        },
+    }
+    (SMOKE_DIR / "verdict.json").write_text(json.dumps(verdict, indent=2) + "\n")
+
+    for name, ok in checks.items():
+        print(f"{'PASS' if ok else 'FAIL'}  {name}")
+    if not all(checks.values()):
+        print(json.dumps(verdict, indent=2))
+        return 1
+    print(f"chaos soak clean: {sum(len(r) for r in out.values())} cells, "
+          f"journal at {journal}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

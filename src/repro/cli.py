@@ -76,6 +76,7 @@ _GRID_SWEEPS = {
     "fig17a": "dfe_comparison_grid",
     "fig18a": "emulated_ber_vs_snr_batched",
     "table4": "mobility_study_grid",
+    "network_scale": "network_scale_grid",
 }
 
 
@@ -130,7 +131,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             out = harness()
     if isinstance(out, dict):
         for key, points in out.items():
-            if hasattr(points, "__iter__") and not hasattr(points, "ber"):
+            if isinstance(points, list) and points and isinstance(points[0], dict):
+                # Fleet-scale rows: n_tags -> goodput (orphans flagged).
+                series = " ".join(
+                    f"{r['x']:g}:{r['goodput_bps'] / 1000:.2f}kbps"
+                    + (f"[{r['orphaned_tags']} orphaned!]" if r.get("orphaned_tags") else "")
+                    for r in points
+                )
+                print(f"{key}: {series}")
+            elif hasattr(points, "__iter__") and not hasattr(points, "ber"):
                 series = " ".join(f"{p.x:g}:{p.ber:.4f}" for p in points)
                 print(f"{key}: {series}")
             else:
@@ -204,6 +213,38 @@ def _cmd_network(args: argparse.Namespace) -> int:
           f"baseline {result.baseline_throughput_bps / 1000:.2f} kbps "
           f"-> gain {result.gain:.2f}x "
           f"(discovery used {result.discovery_slots} slots)")
+    return 0
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.faults.network import network_scenario
+    from repro.network import FleetConfig, FleetSimulator
+
+    config = FleetConfig(
+        n_readers=args.readers, n_tags=args.tags, duration_s=args.duration
+    )
+    plan = None
+    if args.scenario != "none":
+        plan = network_scenario(args.scenario, config.duration_s)
+    result = FleetSimulator(config, fault_plan=plan, root_seed=args.seed).run()
+    row = result.row()
+    chaos = f"  [chaos: {args.scenario}]" if plan is not None else ""
+    print(f"fleet    : {args.readers} readers x {args.tags} tags, "
+          f"{args.duration:g} s{chaos}")
+    print(f"goodput  : {row['goodput_bps'] / 1000:.2f} kbps  "
+          f"({row['delivered']} delivered, {row['abandoned']} abandoned, "
+          f"{row['attempts']} attempts)")
+    print(f"handoffs : {row['handoffs']} "
+          f"(mean latency {row['handoff_latency_mean_s']:.2f} s), "
+          f"{row['detaches']} detach(es), {row['transitions']} health transition(s)")
+    print(f"shedding : {row['shed_associations']} association(s), "
+          f"{row['shed_discovery']} discovery request(s)")
+    violation = result.check_contract()
+    if violation is not None:
+        print(f"contract : VIOLATED - {violation}")
+        return 1
+    print(f"contract : ok - zero orphaned tags "
+          f"({row['unassociated_tags']} unassociated at end)")
     return 0
 
 
@@ -293,6 +334,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--tags", type=int, default=20)
     p.add_argument("--seed", type=int, default=5)
     p.set_defaults(func=_cmd_network)
+
+    p = sub.add_parser("fleet", help="multi-reader fleet sim under chaos")
+    from repro.faults.network import network_scenario_names
+
+    p.add_argument("--readers", type=int, default=3)
+    p.add_argument("--tags", type=int, default=12)
+    p.add_argument("--duration", type=float, default=30.0, metavar="S")
+    p.add_argument("--scenario", default="none",
+                   choices=["none", *network_scenario_names()],
+                   help="named network chaos scenario (default: no faults)")
+    p.add_argument("--seed", type=int, default=7)
+    p.set_defaults(func=_cmd_fleet)
 
     p = sub.add_parser("materials", help="rate ladder across LC materials")
     p.set_defaults(func=_cmd_materials)

@@ -68,6 +68,7 @@ class FailureStage(str, Enum):
     MAC = "mac"
     CONFIG = "config"
     SCHEDULER = "scheduler"
+    NETWORK = "network"
 
 
 @dataclass(frozen=True)

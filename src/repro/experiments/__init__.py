@@ -39,6 +39,7 @@ from repro.experiments.micro import (
 )
 from repro.experiments.mobility import MobileLinkSimulator, mobility_resync_sweep
 from repro.experiments.multiaccess import ConcurrentUplinkResult, concurrent_uplink_study
+from repro.experiments.network_scale import fleet_scale_task, network_scale_grid
 from repro.experiments.sweeps import (
     ShardSpec,
     SweepResult,
@@ -78,9 +79,11 @@ __all__ = [
     "make_grid",
     "make_simulator",
     "merge_journals",
+    "fleet_scale_task",
     "mobility_resync_sweep",
     "mobility_study",
     "mobility_study_grid",
+    "network_scale_grid",
     "power_report",
     "read_journal",
     "run_grid",

@@ -98,7 +98,9 @@ CODE_SALT = "retroturbo-sweep-v1"
 
 #: Record fields that vary run-to-run without affecting results.  Stripped
 #: by :func:`canonical_records`, so journal comparisons pin semantics only.
-VOLATILE_FIELDS = frozenset({"ts", "elapsed_s"})
+#: ``shard`` is provenance (which shard wrote the record), not semantics:
+#: the same grid sharded differently must still compare canonically equal.
+VOLATILE_FIELDS = frozenset({"ts", "elapsed_s", "shard"})
 
 #: FailureReason codes that must never be retried (a deterministic bug or a
 #: bad configuration reproduces identically on every attempt).
@@ -455,6 +457,13 @@ def merge_journals(
     mismatch and raises).  The merged file carries every input header
     followed by task/quarantine records sorted by index — row-for-row
     comparable with a single-shard journal of the same sweep.
+
+    Quarantine records carry their provenance (``shard``: which shard
+    condemned the task, ``attempts``: after how many tries) through the
+    merge verbatim; when several shards quarantined the same fingerprint
+    the first input's record wins, provenance intact.  ``shard`` is a
+    volatile field, so canonical comparison across shard layouts is
+    unaffected.
     """
     merged = JournalState()
     for path in inputs:
@@ -732,6 +741,10 @@ class SweepRunner:
                     obs.metrics.merge_snapshot(snap)
             else:
                 base["reason"] = payload
+                # Provenance: which shard (and after how many attempts —
+                # already in ``attempts``) condemned this task.  Volatile:
+                # canonical comparisons ignore it, merge keeps it.
+                base["shard"] = str(self.shard) if self.shard is not None else None
                 quarantine_new[fps[i]] = base
                 if collect:
                     obs.count("sweep.quarantined", stage=payload["stage"], code=payload["code"])

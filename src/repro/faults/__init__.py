@@ -19,22 +19,42 @@ from repro.faults.injectors import (
     SampleClockDrift,
     StuckPixel,
 )
+from repro.faults.network import (
+    NETWORK_SCENARIOS,
+    DiscoveryStorm,
+    NetworkFault,
+    NetworkFaultPlan,
+    ReaderCrash,
+    ReaderOcclusion,
+    ScheduleCorruption,
+    network_scenario,
+    network_scenario_names,
+)
 from repro.faults.plan import FaultContext, FaultInjector, FaultPlan
 from repro.faults.scenarios import SCENARIOS, scenario, scenario_names
 
 __all__ = [
     "AmbientFlash",
     "CaptureTruncation",
+    "DiscoveryStorm",
     "FaultContext",
     "FaultInjector",
     "FaultPlan",
     "GainStep",
     "InterferenceBurst",
+    "NETWORK_SCENARIOS",
+    "NetworkFault",
+    "NetworkFaultPlan",
     "PixelDropout",
     "PreambleCorruption",
+    "ReaderCrash",
+    "ReaderOcclusion",
     "SCENARIOS",
     "SampleClockDrift",
+    "ScheduleCorruption",
     "StuckPixel",
+    "network_scenario",
+    "network_scenario_names",
     "scenario",
     "scenario_names",
 ]

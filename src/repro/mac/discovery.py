@@ -5,14 +5,21 @@ The reader broadcasts a QUERY carrying a frame size; each undiscovered tag
 picks a uniform slot and backscatters its ID there.  Singleton slots
 discover a tag; collided and empty slots waste airtime; the reader re-frames
 (doubling on heavy collision, Q-algorithm style) until every tag is found.
+
+Discovery is bounded: a population the re-frame loop cannot resolve (for
+example duplicate tag IDs, whose replies the reader can never tell apart,
+or a frame cap far below the population) gives up after ``max_rounds``
+with a classified :class:`~repro.errors.FailureReason` on the result —
+never an unbounded loop, never an anonymous crash.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.errors import FailureReason, FailureStage
 from repro.utils.rng import ensure_rng
 
 __all__ = ["DiscoveryResult", "FramedSlottedDiscovery"]
@@ -20,12 +27,25 @@ __all__ = ["DiscoveryResult", "FramedSlottedDiscovery"]
 
 @dataclass
 class DiscoveryResult:
-    """Outcome of a discovery session."""
+    """Outcome of a discovery session.
+
+    ``failure`` is ``None`` on full convergence; a give-up (rounds
+    exhausted with tags still outstanding) carries a classified
+    ``mac:discovery_exhausted`` reason and lists the ``undiscovered`` tags
+    so the caller can quarantine, re-seed or escalate instead of spinning.
+    """
 
     discovered: list[int]
     rounds: int
     slots_used: int
     collisions: int
+    undiscovered: list[int] = field(default_factory=list)
+    failure: FailureReason | None = None
+
+    @property
+    def complete(self) -> bool:
+        """Every tag in the population was discovered."""
+        return not self.undiscovered and self.failure is None
 
     @property
     def efficiency(self) -> float:
@@ -47,7 +67,16 @@ class FramedSlottedDiscovery:
         tag_ids: list[int],
         rng: np.random.Generator | int | None = None,
     ) -> DiscoveryResult:
-        """Discover every tag in ``tag_ids``; raises if rounds run out."""
+        """Discover the tags in ``tag_ids``; bounded by ``max_rounds``.
+
+        Returns a :class:`DiscoveryResult`; when the re-frame loop runs out
+        of rounds the result carries a ``mac:discovery_exhausted``
+        :class:`~repro.errors.FailureReason` plus the undiscovered tags
+        instead of raising.  Duplicate tag IDs are never resolvable (two
+        tags answering with the same ID are indistinguishable, and an ID
+        already acknowledged cannot be acknowledged again), so populations
+        containing them always end in a classified give-up.
+        """
         gen = ensure_rng(rng)
         remaining = list(tag_ids)
         discovered: list[int] = []
@@ -55,9 +84,18 @@ class FramedSlottedDiscovery:
         rounds = slots_used = collisions = 0
         while remaining:
             if rounds >= self.max_rounds:
-                raise RuntimeError(
-                    f"discovery did not converge in {self.max_rounds} rounds "
-                    f"({len(remaining)} tags left)"
+                return DiscoveryResult(
+                    discovered=discovered,
+                    rounds=rounds,
+                    slots_used=slots_used,
+                    collisions=collisions,
+                    undiscovered=sorted(remaining),
+                    failure=FailureReason(
+                        FailureStage.MAC,
+                        "discovery_exhausted",
+                        f"{len(remaining)} tag(s) undiscovered after "
+                        f"{self.max_rounds} rounds",
+                    ),
                 )
             rounds += 1
             slots_used += frame
@@ -66,9 +104,12 @@ class FramedSlottedDiscovery:
             collided = 0
             for slot in range(frame):
                 here = [tag for tag, c in zip(remaining, choices) if c == slot]
-                if len(here) == 1:
+                if len(here) == 1 and here[0] not in discovered and here[0] not in newly:
                     newly.append(here[0])
-                elif len(here) > 1:
+                elif len(here) >= 1:
+                    # Collided slot — or a reply from an ID the reader has
+                    # already acknowledged (a duplicate tag), which it can
+                    # neither distinguish nor re-acknowledge.
                     collided += 1
             collisions += collided
             for tag in newly:

@@ -194,7 +194,9 @@ class LinkSession:
                     stats.total_backoff_s += action.backoff_s
                     if result.crc_ok:
                         success_streak += 1
-                        if success_streak >= self.raise_after:
+                        # Recovery hysteresis: after a fallback the watchdog
+                        # demands its own clean streak before a raise.
+                        if success_streak >= self.raise_after and self.watchdog.recovery_ready:
                             assigned = self._step_rate(tag_rate, up=True)
                             success_streak = 0
                     else:

@@ -32,8 +32,8 @@ log = get_logger(__name__)
 class WatchdogAction:
     """What the MAC should do after one CRC outcome was recorded.
 
-    ``reason`` is one of ``"ok"``, ``"retry"``, ``"rate_fallback"`` or
-    ``"link_down"``.
+    ``reason`` is one of ``"ok"``, ``"recovered"``, ``"retry"``,
+    ``"rate_fallback"`` or ``"link_down"``.
     """
 
     retransmit: bool
@@ -73,6 +73,13 @@ class LinkWatchdog:
     base_backoff_s / backoff_factor / max_backoff_s:
         Exponential retransmission backoff: the k-th consecutive failure
         waits ``base * factor**k`` seconds, capped at ``max_backoff_s``.
+    recover_after:
+        Recovery hysteresis: after a rate fallback the link must deliver
+        this many *consecutive* CRC-clean frames before
+        :attr:`recovery_ready` turns true again — the gate rate-raising
+        policies (e.g. :class:`repro.mac.session.LinkSession`) consult, so
+        a flapping link settles on its working rung instead of
+        oscillating up and down the ladder.
     """
 
     def __init__(
@@ -83,6 +90,7 @@ class LinkWatchdog:
         base_backoff_s: float = 0.05,
         backoff_factor: float = 2.0,
         max_backoff_s: float = 2.0,
+        recover_after: int = 3,
         observer=None,
     ):
         self._obs = ensure_observer(observer)
@@ -98,17 +106,22 @@ class LinkWatchdog:
             raise ConfigError("need 0 <= base_backoff_s <= max_backoff_s")
         if backoff_factor < 1.0:
             raise ConfigError("backoff_factor must be >= 1")
+        if recover_after < 1:
+            raise ConfigError("recover_after must be >= 1")
         self.ladder = sorted(int(r) for r in rates)
         self.fail_threshold = fail_threshold
         self.base_backoff_s = base_backoff_s
         self.backoff_factor = backoff_factor
         self.max_backoff_s = max_backoff_s
+        self.recover_after = recover_after
         start = initial_rate_bps if initial_rate_bps is not None else self.ladder[-1]
         if start not in self.ladder:
             raise ConfigError(f"initial rate {start} not on the ladder {self.ladder}")
         self.current_rate_bps = start
         self.consecutive_failures = 0
+        self.consecutive_successes = 0
         self._backoff_exponent = 0
+        self._fallback_active = False
 
     # ------------------------------------------------------------ tracking
 
@@ -118,10 +131,22 @@ class LinkWatchdog:
             raise ConfigError(f"rate {rate_bps} not on the ladder {self.ladder}")
         self.current_rate_bps = rate_bps
 
+    @property
+    def recovery_ready(self) -> bool:
+        """Whether a rate raise is allowed right now.
+
+        False from the moment of a rate fallback until ``recover_after``
+        consecutive CRC-clean frames have been recorded — the hysteresis
+        that stops a flapping link from oscillating between rungs.
+        """
+        return not self._fallback_active
+
     def reset(self) -> None:
         """Forget all failure state (e.g. after re-discovery)."""
         self.consecutive_failures = 0
+        self.consecutive_successes = 0
         self._backoff_exponent = 0
+        self._fallback_active = False
 
     def _next_backoff(self) -> float:
         backoff = self.base_backoff_s * self.backoff_factor**self._backoff_exponent
@@ -141,10 +166,16 @@ class LinkWatchdog:
         if crc_ok:
             self.consecutive_failures = 0
             self._backoff_exponent = 0
+            self.consecutive_successes += 1
+            reason = "ok"
+            if self._fallback_active and self.consecutive_successes >= self.recover_after:
+                self._fallback_active = False
+                reason = "recovered"
             return WatchdogAction(
-                retransmit=False, backoff_s=0.0, rate_bps=self.current_rate_bps, reason="ok"
+                retransmit=False, backoff_s=0.0, rate_bps=self.current_rate_bps, reason=reason
             )
         self.consecutive_failures += 1
+        self.consecutive_successes = 0
         backoff = self._next_backoff()
         if self.consecutive_failures < self.fail_threshold:
             return WatchdogAction(
@@ -153,8 +184,11 @@ class LinkWatchdog:
                 rate_bps=self.current_rate_bps,
                 reason="retry",
             )
-        # Threshold hit: fall back one rung (if any remain).
+        # Threshold hit: fall back one rung (if any remain).  Either way the
+        # link enters recovery hysteresis: no raise until recover_after
+        # consecutive clean frames.
         self.consecutive_failures = 0
+        self._fallback_active = True
         idx = self.ladder.index(self.current_rate_bps)
         if idx > 0:
             self.current_rate_bps = self.ladder[idx - 1]

@@ -1,0 +1,583 @@
+"""Multi-reader fleet simulator: tags, readers, chaos — deterministically.
+
+This is the network layer's integration point.  A :class:`FleetSimulator`
+hosts ``n_readers`` readers and ``n_tags`` tags on one discrete-event
+timeline (:mod:`repro.network.core`), drives per-tag link adaptation
+through :class:`~repro.network.link.TagLinkState`, and plays a
+:class:`~repro.faults.network.NetworkFaultPlan` against the deployment.
+
+The fault-tolerance contract it implements:
+
+* **Heartbeat-missed detection** — a tag that has not heard its reader's
+  beacon for ``heartbeat_miss_threshold`` round intervals detaches and
+  starts re-association.
+* **Seeded-exponential-backoff re-association** — retry delays are drawn
+  from the *tag's own* SeedSequence stream, so recovery timing is a pure
+  function of the root seed.
+* **Handoff without state loss** — the tag's :class:`TagLinkState`
+  (rate rung, ARQ window, watchdog hysteresis) migrates untouched to the
+  new reader; only discovery latency is paid.
+* **Admission control / load shedding** — bounded schedules and discovery
+  queues shed deterministically (shed-new) instead of collapsing.
+* **Graceful degradation** — a RECOVERING reader serves at a reduced
+  airtime duty; DEGRADED readers serve with SNR/collision impairments.
+
+Determinism: every random draw comes from an index-derived per-entity
+stream (:func:`~repro.network.core.spawn_streams`); event ties resolve by
+scheduling order; metrics never touch RNG.  A run is therefore a pure
+function of ``(config, fault_plan, root_seed)`` — the property the
+handoff-determinism and sweep bit-identity tests pin.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigError, FailureReason, FailureStage
+from repro.faults.network import NetworkFaultPlan
+from repro.mac.rate_adapt import LinkProfile, default_profile
+from repro.network.core import Event, EventQueue, spawn_streams
+from repro.network.link import TagLinkState
+from repro.network.reader import Reader, ReaderHealth
+from repro.obs import Observer, ensure_observer
+from repro.optics.retroreflector import LinkBudget
+from repro.utils.opcache import fingerprint
+
+__all__ = ["FleetConfig", "FleetResult", "FleetSimulator", "TagState"]
+
+#: Minimum tag-reader distance fed to the link budget (tags directly under
+#: a luminaire still see a finite SNR, not a singularity).
+_MIN_DISTANCE_M = 0.5
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Deployment geometry, MAC timing, and fault-tolerance knobs."""
+
+    n_readers: int = 3
+    n_tags: int = 12
+    duration_s: float = 30.0
+    #: TDMA round cadence per reader; also the beacon (heartbeat) period.
+    round_interval_s: float = 1.0
+    reader_spacing_m: float = 3.0
+
+    # Fault-tolerance contract.
+    heartbeat_miss_threshold: int = 3
+    reassoc_backoff_base_s: float = 0.25
+    reassoc_backoff_factor: float = 2.0
+    reassoc_backoff_cap_s: float = 2.0
+
+    # Admission control.
+    queue_capacity: int = 16
+    discovery_queue_cap: int = 64
+    discovery_budget_frac: float = 0.25
+    discovery_cost_s: float = 0.005
+
+    # Service model.
+    airtime_duty: float = 0.5
+    recovering_duty_factor: float = 0.5
+    payload_bytes: int = 32
+    overhead_s: float = 0.01
+    raise_after: int = 3
+    fail_threshold: int = 3
+    recover_after: int = 3
+
+    def __post_init__(self) -> None:
+        if self.n_readers < 1:
+            raise ConfigError("n_readers must be >= 1")
+        if self.n_tags < 1:
+            raise ConfigError("n_tags must be >= 1")
+        if self.duration_s <= 0:
+            raise ConfigError("duration_s must be positive")
+        if self.round_interval_s <= 0:
+            raise ConfigError("round_interval_s must be positive")
+        if self.reader_spacing_m <= 0:
+            raise ConfigError("reader_spacing_m must be positive")
+        if self.heartbeat_miss_threshold < 1:
+            raise ConfigError("heartbeat_miss_threshold must be >= 1")
+        if self.reassoc_backoff_base_s <= 0:
+            raise ConfigError("reassoc_backoff_base_s must be positive")
+        if self.reassoc_backoff_factor < 1.0:
+            raise ConfigError("reassoc_backoff_factor must be >= 1")
+        if self.reassoc_backoff_cap_s < self.reassoc_backoff_base_s:
+            raise ConfigError("reassoc_backoff_cap_s must be >= base")
+        if not 0.0 < self.airtime_duty <= 1.0:
+            raise ConfigError("airtime_duty must be in (0, 1]")
+        if not 0.0 < self.recovering_duty_factor <= 1.0:
+            raise ConfigError("recovering_duty_factor must be in (0, 1]")
+        if not 0.0 <= self.discovery_budget_frac <= 1.0:
+            raise ConfigError("discovery_budget_frac must be in [0, 1]")
+        if self.discovery_cost_s <= 0:
+            raise ConfigError("discovery_cost_s must be positive")
+
+    @property
+    def span_m(self) -> float:
+        """Deployment extent: readers at ``(i + 0.5) * spacing``."""
+        return self.n_readers * self.reader_spacing_m
+
+
+@dataclass
+class TagState:
+    """Fleet-side view of one tag: placement, association, link state."""
+
+    tag_id: int
+    position_m: float
+    link: TagLinkState
+    #: Current reader, or None while detached / re-associating.
+    reader_id: int | None = None
+    #: Last time this tag heard its reader's beacon.
+    last_heard: float = 0.0
+    #: When the (now lost) reader was last heard — handoff latency anchor.
+    silent_since: float | None = None
+    #: The reader lost most recently (-1: never associated).
+    prev_reader: int = -1
+    reassoc_attempts: int = 0
+    handoffs: int = 0
+    detaches: int = 0
+    handoff_latencies: list[float] = field(default_factory=list)
+
+
+@dataclass
+class FleetResult:
+    """Everything a fleet run produced, plus a flat ``row()`` for sweeps."""
+
+    config: FleetConfig
+    root_seed: int
+    fault_names: list[str]
+    tags: list[TagState]
+    readers: list[Reader]
+    #: Reader health transitions: ``(time, reader_id, old, new)``.
+    transitions: list[tuple[float, int, str, str]]
+    #: Handoffs: ``(time, tag_id, from_reader, to_reader, latency_s)``.
+    handoff_log: list[tuple[float, int, int, int, float]]
+    events_processed: int
+
+    # ------------------------------------------------------------ aggregates
+
+    @property
+    def delivered(self) -> int:
+        return sum(t.link.delivered for t in self.tags)
+
+    @property
+    def abandoned(self) -> int:
+        return sum(t.link.abandoned for t in self.tags)
+
+    @property
+    def attempts(self) -> int:
+        return sum(t.link.attempts for t in self.tags)
+
+    @property
+    def goodput_bps(self) -> float:
+        """Aggregate delivered payload rate over the whole run."""
+        bits = self.delivered * self.config.payload_bytes * 8
+        return bits / self.config.duration_s
+
+    @property
+    def handoffs(self) -> int:
+        return sum(t.handoffs for t in self.tags)
+
+    @property
+    def unassociated_tags(self) -> list[int]:
+        """Tags without a reader when the run ended."""
+        return [t.tag_id for t in self.tags if t.reader_id is None]
+
+    @property
+    def orphaned_tags(self) -> list[int]:
+        """The contract violation: tags left unassociated at end of run
+        while at least one HEALTHY reader had schedule room.  Tags shed by
+        a *full* fleet are load shedding (bounded overload), not orphans —
+        the invariant is "no tag starves while capacity exists"."""
+        if not any(
+            r.health is ReaderHealth.HEALTHY and len(r.schedule) < r.capacity
+            for r in self.readers
+        ):
+            return []
+        return self.unassociated_tags
+
+    def check_contract(self) -> FailureReason | None:
+        """Classified violation of the no-orphans invariant, or None."""
+        orphans = self.orphaned_tags
+        if orphans:
+            return FailureReason(
+                FailureStage.NETWORK,
+                "orphaned_tags",
+                f"{len(orphans)} tag(s) permanently orphaned with a "
+                f"HEALTHY reader available: {orphans}",
+            )
+        return None
+
+    def row(self) -> dict:
+        """Flat JSON-safe scalars — the sweep/journal record for this run.
+
+        Includes a ``timeline_digest`` fingerprint of the transition and
+        handoff logs so bit-identity tests can compare full dynamics, not
+        just endpoint counters, across worker counts and resume."""
+        latencies = [lat for t in self.tags for lat in t.handoff_latencies]
+        return {
+            "n_readers": self.config.n_readers,
+            "n_tags": self.config.n_tags,
+            "duration_s": self.config.duration_s,
+            "root_seed": self.root_seed,
+            "faults": ",".join(self.fault_names),
+            "delivered": self.delivered,
+            "abandoned": self.abandoned,
+            "attempts": self.attempts,
+            "goodput_bps": self.goodput_bps,
+            "airtime_s": sum(r.airtime_s for r in self.readers),
+            "frames_served": sum(r.frames_served for r in self.readers),
+            "handoffs": self.handoffs,
+            "detaches": sum(t.detaches for t in self.tags),
+            "handoff_latency_mean_s": (
+                float(sum(latencies) / len(latencies)) if latencies else 0.0
+            ),
+            "handoff_latency_max_s": float(max(latencies)) if latencies else 0.0,
+            "shed_associations": sum(r.shed_associations for r in self.readers),
+            "shed_discovery": sum(r.shed_discovery for r in self.readers),
+            "discovery_served": sum(r.discovery_served for r in self.readers),
+            "orphaned_tags": len(self.orphaned_tags),
+            "unassociated_tags": len(self.unassociated_tags),
+            "transitions": len(self.transitions),
+            "events_processed": self.events_processed,
+            "timeline_digest": fingerprint(self.transitions, self.handoff_log),
+        }
+
+
+class FleetSimulator:
+    """N readers x M tags under a seeded chaos plan, bit-reproducibly.
+
+    Parameters
+    ----------
+    config:
+        Deployment + contract knobs.
+    fault_plan:
+        Network-level chaos to play against the fleet (default: none).
+    root_seed:
+        Root of the SeedSequence tree; the *only* source of randomness.
+    profile / budget:
+        PHY rate ladder and distance->SNR model shared by every link.
+    observer:
+        Metrics sink; ``None`` means the no-op singleton.  Metrics are
+        side-band only — enabling them never changes a single bit of the
+        simulation (no RNG draws, no control flow).
+    """
+
+    def __init__(
+        self,
+        config: FleetConfig | None = None,
+        fault_plan: NetworkFaultPlan | None = None,
+        root_seed: int = 0,
+        profile: LinkProfile | None = None,
+        budget: LinkBudget | None = None,
+        observer: Observer | None = None,
+    ):
+        self.config = config if config is not None else FleetConfig()
+        self.fault_plan = fault_plan if fault_plan is not None else NetworkFaultPlan()
+        if self.fault_plan.max_reader_id() >= self.config.n_readers:
+            raise ConfigError(
+                f"fault plan targets reader {self.fault_plan.max_reader_id()} "
+                f"but the fleet has only {self.config.n_readers} readers"
+            )
+        self.root_seed = int(root_seed)
+        self.profile = profile if profile is not None else default_profile()
+        self.budget = budget if budget is not None else LinkBudget.wide_fov()
+        self.obs = ensure_observer(observer)
+
+    # ----------------------------------------------------------------- setup
+
+    def _build(self) -> None:
+        cfg = self.config
+        self._tag_rngs, self._reader_rngs, self._fault_rng, deploy = spawn_streams(
+            self.root_seed, cfg.n_tags, cfg.n_readers
+        )
+        self.readers = [
+            Reader(
+                reader_id=i,
+                position_m=(i + 0.5) * cfg.reader_spacing_m,
+                capacity=cfg.queue_capacity,
+                discovery_queue_cap=cfg.discovery_queue_cap,
+            )
+            for i in range(cfg.n_readers)
+        ]
+        positions = deploy.uniform(0.0, cfg.span_m, size=cfg.n_tags)
+        self.tags = [
+            TagState(
+                tag_id=i,
+                position_m=float(positions[i]),
+                link=TagLinkState(
+                    self.profile,
+                    payload_bytes=cfg.payload_bytes,
+                    overhead_s=cfg.overhead_s,
+                    raise_after=cfg.raise_after,
+                    fail_threshold=cfg.fail_threshold,
+                    recover_after=cfg.recover_after,
+                ),
+            )
+            for i in range(cfg.n_tags)
+        ]
+        # Static SNR matrix: geometry never changes mid-run; impairments
+        # (occlusion dB) are applied per-frame on top.
+        self._snr = np.empty((cfg.n_tags, cfg.n_readers))
+        for t in self.tags:
+            for r in self.readers:
+                d = max(abs(t.position_m - r.position_m), _MIN_DISTANCE_M)
+                self._snr[t.tag_id, r.reader_id] = self.budget.snr_db(d)
+        self.transitions: list[tuple[float, int, str, str]] = []
+        self.handoff_log: list[tuple[float, int, int, int, float]] = []
+        self._events_processed = 0
+        #: Per-reader discovery service cost (a storm can override it).
+        self._discovery_cost = [cfg.discovery_cost_s] * cfg.n_readers
+
+    def _schedule(self, queue: EventQueue) -> None:
+        """Fixed-layout upfront schedule: faults, then rounds, then checks.
+
+        Everything is pushed before the loop starts, in a deterministic
+        order, so equal-time ties always resolve the same way: fault
+        events fire before the poll round at the same instant."""
+        cfg = self.config
+        for t, kind, payload in self.fault_plan.events():
+            if t <= cfg.duration_s:
+                queue.push(t, kind, **payload)
+        n_rounds = int(math.floor(cfg.duration_s / cfg.round_interval_s))
+        for k in range(1, n_rounds + 1):
+            t = k * cfg.round_interval_s
+            for r in self.readers:
+                queue.push(t, "poll_round", reader_id=r.reader_id)
+        for k in range(1, n_rounds + 1):
+            t = (k + 0.5) * cfg.round_interval_s
+            if t <= cfg.duration_s:
+                queue.push(t, "tag_check")
+
+    def _associate_initial(self) -> None:
+        """Best-SNR admission in tag-id order at t=0; shed tags enter the
+        re-association loop immediately (their backoff starts at zero
+        attempts, drawn from their own stream in the event loop)."""
+        for tag in self.tags:
+            if not self._try_associate(tag, now=0.0, initial=True):
+                tag.silent_since = 0.0
+
+    # -------------------------------------------------------------- run loop
+
+    def run(self) -> FleetResult:
+        """Execute the timeline; returns the full :class:`FleetResult`."""
+        self._build()
+        queue = EventQueue()
+        self._schedule(queue)
+        self._associate_initial()
+        # Shed tags from initial association retry via the event loop.
+        for tag in self.tags:
+            if tag.reader_id is None:
+                self._schedule_reassoc(tag, now=0.0, queue=queue)
+        while len(queue):
+            event = queue.pop()
+            if event.time > self.config.duration_s:
+                continue
+            self._dispatch(event, queue)
+            self._events_processed += 1
+        result = FleetResult(
+            config=self.config,
+            root_seed=self.root_seed,
+            fault_names=self.fault_plan.names,
+            tags=self.tags,
+            readers=self.readers,
+            transitions=self.transitions,
+            handoff_log=self.handoff_log,
+            events_processed=self._events_processed,
+        )
+        if self.obs.enabled:
+            self.obs.gauge("network.orphaned_tags", len(result.orphaned_tags))
+            self.obs.gauge("network.unassociated_tags", len(result.unassociated_tags))
+            for r in self.readers:
+                self.obs.gauge(
+                    "network.reader_queue_depth", len(r.schedule), reader=str(r.reader_id)
+                )
+                self.obs.gauge(
+                    "network.reader_airtime_s", r.airtime_s, reader=str(r.reader_id)
+                )
+        return result
+
+    def _dispatch(self, event: Event, queue: EventQueue) -> None:
+        kind, p, now = event.kind, event.payload, event.time
+        if kind == "poll_round":
+            self._poll_round(self.readers[p["reader_id"]], now)
+        elif kind == "tag_check":
+            self._tag_check(now, queue)
+        elif kind == "reassoc":
+            self._reassoc_attempt(self.tags[p["tag_id"]], now, queue)
+        elif kind == "reader_crash":
+            self._with_transition(p["reader_id"], now, Reader.crash)
+        elif kind == "reader_restart":
+            self._with_transition(p["reader_id"], now, Reader.restart)
+        elif kind == "reader_recovered":
+            self._with_transition(p["reader_id"], now, Reader.recovered)
+        elif kind == "corruption_start":
+            self._impair(p["reader_id"], now, collision_prob=p["collision_prob"])
+        elif kind == "corruption_end":
+            self._impair(p["reader_id"], now, collision_prob=0.0)
+        elif kind == "occlusion_start":
+            self._impair(p["reader_id"], now, occlusion_db=p["snr_penalty_db"])
+        elif kind == "occlusion_end":
+            self._impair(p["reader_id"], now, occlusion_db=0.0)
+        elif kind == "discovery_storm":
+            self._discovery_storm(p, now)
+        else:  # pragma: no cover - schedule bug, not reachable from API
+            raise RuntimeError(f"unknown event kind {kind!r}")
+
+    # ------------------------------------------------------------- handlers
+
+    def _with_transition(self, reader_id: int, now: float, action) -> None:
+        reader = self.readers[reader_id]
+        old = reader.health
+        action(reader)
+        if reader.health is not old:
+            self.transitions.append((now, reader_id, old.value, reader.health.value))
+            if self.obs.enabled:
+                self.obs.count(
+                    "network.reader_transitions_total",
+                    reader=str(reader_id),
+                    to=reader.health.value,
+                )
+
+    def _impair(self, reader_id: int, now: float, **fields) -> None:
+        def apply(reader: Reader) -> None:
+            for name, value in fields.items():
+                setattr(reader, name, value)
+            reader.settle_health()
+
+        self._with_transition(reader_id, now, apply)
+
+    def _discovery_storm(self, payload: dict, now: float) -> None:
+        reader = self.readers[payload["reader_id"]]
+        self._discovery_cost[reader.reader_id] = payload["request_cost_s"]
+        queued, shed = reader.admit_discovery(payload["n_requests"])
+        if self.obs.enabled:
+            self.obs.count(
+                "network.discovery_requests_total",
+                queued,
+                reader=str(reader.reader_id),
+                outcome="queued",
+            )
+            if shed:
+                self.obs.count(
+                    "network.shed_total", shed, kind="discovery", reader=str(reader.reader_id)
+                )
+        del now
+
+    def _poll_round(self, reader: Reader, now: float) -> None:
+        """One TDMA round: beacon, serve discovery backlog, serve data."""
+        if not reader.beaconing:
+            return
+        cfg = self.config
+        budget_s = cfg.airtime_duty * cfg.round_interval_s
+        if reader.health is ReaderHealth.RECOVERING:
+            budget_s *= cfg.recovering_duty_factor
+        # Beacon: every scheduled tag hears its heartbeat.
+        for tag_id in reader.schedule:
+            self.tags[tag_id].last_heard = now
+        used = 0.0
+        # Discovery backlog first, capped so a storm cannot starve data.
+        if reader.pending_discovery:
+            cost = self._discovery_cost[reader.reader_id]
+            disc_budget = cfg.discovery_budget_frac * budget_s
+            n = min(reader.pending_discovery, int(disc_budget / cost))
+            reader.pending_discovery -= n
+            reader.discovery_served += n
+            used += n * cost
+        # Data slots, round-robin from the rotation point, until budget.
+        served = 0
+        for tag_id in reader.service_order():
+            tag = self.tags[tag_id]
+            airtime = tag.link.frame_airtime_s()
+            if used + airtime > budget_s:
+                break
+            snr = float(self._snr[tag_id, reader.reader_id]) - reader.occlusion_db
+            outcome = tag.link.attempt_frame(
+                snr, self._tag_rngs[tag_id], extra_fail_prob=reader.collision_prob
+            )
+            used += outcome.airtime_s
+            served += 1
+            if self.obs.enabled:
+                label = "delivered" if outcome.delivered else (
+                    "abandoned" if outcome.abandoned else "retry"
+                )
+                self.obs.count(
+                    "network.frames_total", outcome=label, reader=str(reader.reader_id)
+                )
+        reader.advance_rotation(served)
+        reader.frames_served += served
+        reader.airtime_s += used
+
+    def _tag_check(self, now: float, queue: EventQueue) -> None:
+        """Heartbeat-missed detection, in tag-id order."""
+        cfg = self.config
+        deadline = cfg.heartbeat_miss_threshold * cfg.round_interval_s
+        for tag in self.tags:
+            if tag.reader_id is None:
+                continue
+            if now - tag.last_heard <= deadline:
+                continue
+            # Reader lost: detach and start re-association.
+            self.readers[tag.reader_id].drop(tag.tag_id)
+            tag.silent_since = tag.last_heard
+            tag.prev_reader = tag.reader_id
+            tag.reader_id = None
+            tag.reassoc_attempts = 0
+            tag.detaches += 1
+            if self.obs.enabled:
+                self.obs.count("network.detach_total")
+            self._schedule_reassoc(tag, now, queue)
+
+    def _schedule_reassoc(self, tag: TagState, now: float, queue: EventQueue) -> None:
+        """Seeded exponential backoff from the tag's own stream."""
+        cfg = self.config
+        nominal = min(
+            cfg.reassoc_backoff_cap_s,
+            cfg.reassoc_backoff_base_s * cfg.reassoc_backoff_factor**tag.reassoc_attempts,
+        )
+        jitter = 0.5 + self._tag_rngs[tag.tag_id].random()  # in [0.5, 1.5)
+        t = now + nominal * jitter
+        if t <= cfg.duration_s:
+            queue.push(t, "reassoc", tag_id=tag.tag_id)
+
+    def _reassoc_attempt(self, tag: TagState, now: float, queue: EventQueue) -> None:
+        if tag.reader_id is not None:
+            return
+        if self._try_associate(tag, now):
+            return
+        tag.reassoc_attempts += 1
+        self._schedule_reassoc(tag, now, queue)
+
+    def _try_associate(self, tag: TagState, now: float, initial: bool = False) -> bool:
+        """Admit at the best-SNR beaconing reader; handoff bookkeeping.
+
+        Candidate order is ``(-effective_snr, reader_id)`` — fully
+        deterministic.  The tag's :class:`TagLinkState` is untouched:
+        handoff migrates it."""
+        candidates = sorted(
+            (r for r in self.readers if r.beaconing),
+            key=lambda r: (
+                -(float(self._snr[tag.tag_id, r.reader_id]) - r.occlusion_db),
+                r.reader_id,
+            ),
+        )
+        for reader in candidates:
+            if reader.admit(tag.tag_id):
+                tag.reader_id = reader.reader_id
+                tag.last_heard = now
+                if not initial:
+                    latency = now - (tag.silent_since if tag.silent_since is not None else now)
+                    tag.handoffs += 1
+                    tag.handoff_latencies.append(latency)
+                    self.handoff_log.append(
+                        (now, tag.tag_id, tag.prev_reader, reader.reader_id, latency)
+                    )
+                    if self.obs.enabled:
+                        self.obs.count("network.handoffs_total")
+                        self.obs.observe("network.handoff_latency_s", latency)
+                tag.silent_since = None
+                return True
+        if self.obs.enabled and not initial:
+            self.obs.count("network.reassoc_failures_total")
+        return False

@@ -1,0 +1,189 @@
+"""Per-tag link state: the object a handoff migrates, never resets.
+
+The paper's single-reader MAC closes its adaptation loop inside
+:class:`repro.mac.session.LinkSession`; at fleet scale each tag carries the
+same adaptation state — watchdog-supervised rate position on the PHY
+ladder, success streak, and the stop-and-wait ARQ window — in a compact,
+migration-safe :class:`TagLinkState`.  When a tag hands off to a neighbor
+reader the *state object moves with it*: the ARQ attempt count of the
+in-flight frame, the rate rung, and the recovery-hysteresis position all
+survive, so a handoff costs discovery latency but never replays delivered
+frames or re-probes the ladder from scratch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.mac.arq import StopAndWaitARQ
+from repro.mac.rate_adapt import CodingOption, LinkProfile, RateOption
+from repro.mac.watchdog import LinkWatchdog
+
+__all__ = ["FrameOutcome", "TagLinkState"]
+
+
+@dataclass(frozen=True)
+class FrameOutcome:
+    """One served TDMA slot, as accounted by the scheduler."""
+
+    delivered: bool
+    abandoned: bool
+    rate_bps: int
+    airtime_s: float
+
+
+class TagLinkState:
+    """Watchdog + ARQ + rate-streak state for one tag, reader-agnostic.
+
+    Parameters
+    ----------
+    profile:
+        The rate/coding database the ladder is built from.
+    coding:
+        Fixed Reed-Solomon option applied to every frame (fleet-scale runs
+        pin the coding and adapt the PHY rate; per-frame coding adaptation
+        stays a :class:`~repro.mac.session.LinkSession` concern).
+    payload_bytes / overhead_s:
+        Frame airtime model: ``overhead + payload_bits / rate``.
+    raise_after / fail_threshold / recover_after:
+        The adaptation loop's streak thresholds; ``recover_after`` is the
+        watchdog's recovery hysteresis (no raise after a fallback until
+        that many consecutive clean frames).
+    arq:
+        Stop-and-wait policy; the in-flight frame's attempt count is part
+        of this state and survives handoff.
+    """
+
+    def __init__(
+        self,
+        profile: LinkProfile,
+        coding: CodingOption | None = None,
+        payload_bytes: int = 32,
+        overhead_s: float = 0.01,
+        raise_after: int = 3,
+        fail_threshold: int = 3,
+        recover_after: int = 3,
+        arq: StopAndWaitARQ | None = None,
+    ):
+        if payload_bytes < 1:
+            raise ConfigError("payload_bytes must be >= 1")
+        if overhead_s < 0:
+            raise ConfigError("overhead_s must be non-negative")
+        if raise_after < 1:
+            raise ConfigError("raise_after must be >= 1")
+        self.profile = profile
+        self.coding = coding if coding is not None else CodingOption(255, 223)
+        self.payload_bytes = payload_bytes
+        self.overhead_s = overhead_s
+        self.raise_after = raise_after
+        self.arq = arq or StopAndWaitARQ()
+        ladder = [int(r.rate_bps) for r in profile.rates]
+        self._rate_by_bps: dict[int, RateOption] = {
+            int(r.rate_bps): r for r in profile.rates
+        }
+        self.watchdog = LinkWatchdog(
+            rates=ladder,
+            initial_rate_bps=ladder[0],  # probe at the most robust rung
+            fail_threshold=fail_threshold,
+            recover_after=recover_after,
+            base_backoff_s=0.0,  # fleet airtime is charged by the scheduler
+        )
+        self.success_streak = 0
+        #: Attempts already spent on the in-flight frame (ARQ window).
+        self.pending_attempts = 0
+        # Counters.
+        self.delivered = 0
+        self.abandoned = 0
+        self.attempts = 0
+
+    # -------------------------------------------------------------- queries
+
+    @property
+    def rate_bps(self) -> int:
+        """The rung currently assigned to this tag."""
+        return self.watchdog.current_rate_bps
+
+    def success_probability(self, snr_db: float, extra_fail_prob: float = 0.0) -> float:
+        """Per-attempt CRC success probability at an effective SNR.
+
+        ``extra_fail_prob`` models schedule-corruption slot collisions —
+        an independent failure mode multiplied into the PHY's block
+        success."""
+        rate = self._rate_by_bps[self.rate_bps]
+        p = self.coding.block_success(rate.ber(snr_db))
+        return p * (1.0 - extra_fail_prob)
+
+    def frame_airtime_s(self, rate_bps: int | None = None) -> float:
+        """Airtime of one attempt at a rate (default: the current rung)."""
+        rate = self.rate_bps if rate_bps is None else rate_bps
+        bits_on_air = self.payload_bytes * 8 / self.coding.code_rate
+        return self.overhead_s + bits_on_air / rate
+
+    # ------------------------------------------------------------ adaptation
+
+    def attempt_frame(
+        self,
+        snr_db: float,
+        rng: np.random.Generator,
+        extra_fail_prob: float = 0.0,
+    ) -> FrameOutcome:
+        """One served TDMA slot: draw the CRC outcome, adapt, account ARQ.
+
+        Exactly one random draw per attempt, from the *tag's* stream — so
+        a tag's outcome sequence depends only on its own seed and how many
+        slots it was served, never on other tags or readers.
+        """
+        rate = self.rate_bps
+        airtime = self.frame_airtime_s(rate)
+        p = self.success_probability(snr_db, extra_fail_prob)
+        ok = bool(rng.random() < p)
+        self.attempts += 1
+        action = self.watchdog.record(ok)
+        abandoned = False
+        if ok:
+            self.delivered += 1
+            self.pending_attempts = 0
+            self.success_streak += 1
+            if self.success_streak >= self.raise_after and self.watchdog.recovery_ready:
+                self._raise_rate()
+                self.success_streak = 0
+        else:
+            self.success_streak = 0
+            self.pending_attempts += 1
+            if self.pending_attempts >= self.arq.max_attempts:
+                # ARQ budget exhausted: the frame is abandoned and the
+                # window opens for the next one.
+                self.abandoned += 1
+                self.pending_attempts = 0
+                abandoned = True
+            # Rate fallback already applied by the watchdog via `action`.
+            del action
+        return FrameOutcome(
+            delivered=ok, abandoned=abandoned, rate_bps=rate, airtime_s=airtime
+        )
+
+    def _raise_rate(self) -> None:
+        ladder = self.watchdog.ladder
+        idx = ladder.index(self.rate_bps)
+        if idx + 1 < len(ladder):
+            self.watchdog.observe_rate(ladder[idx + 1])
+
+    # ---------------------------------------------------------- persistence
+
+    def snapshot(self) -> dict:
+        """Plain-data view of the migration-relevant state (tests pin
+        that handoff preserves every field here)."""
+        return {
+            "rate_bps": self.rate_bps,
+            "pending_attempts": self.pending_attempts,
+            "success_streak": self.success_streak,
+            "consecutive_failures": self.watchdog.consecutive_failures,
+            "consecutive_successes": self.watchdog.consecutive_successes,
+            "recovery_ready": self.watchdog.recovery_ready,
+            "delivered": self.delivered,
+            "abandoned": self.abandoned,
+            "attempts": self.attempts,
+        }

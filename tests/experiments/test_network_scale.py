@@ -1,0 +1,102 @@
+"""Fleet-scale sweep harness: handoff determinism across pools and resume.
+
+Satellite drill from the issue: kill a reader mid-sim (the
+``reader_crash`` scenario) and assert the journaled rows — including each
+run's ``timeline_digest`` — are bit-identical between ``n_workers=1`` and
+a process pool, and between a crashed-and-resumed sweep and an
+uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.network_scale import fleet_scale_task, network_scale_grid
+from repro.experiments.sweeps import SimulatedCrash, canonical_records
+
+SMALL = dict(
+    scenarios=["reader_crash"],
+    n_tags_list=[4, 8],
+    duration_s=8.0,
+    root_seed=11,
+)
+
+
+class TestGrid:
+    def test_rows_grouped_by_scenario(self):
+        out = network_scale_grid(
+            scenarios=["none", "reader_crash"],
+            n_tags_list=[4],
+            duration_s=6.0,
+            root_seed=2,
+        )
+        assert set(out) == {"none", "reader_crash"}
+        assert [r["x"] for r in out["none"]] == [4.0]
+        for rows in out.values():
+            for row in rows:
+                assert row["orphaned_tags"] == 0
+                assert row["contract_violation"] == ""
+                assert "timeline_digest" in row
+
+    def test_chaos_column_degrades_but_survives(self):
+        out = network_scale_grid(
+            scenarios=["none", "reader_crash"],
+            n_tags_list=[8],
+            duration_s=10.0,
+            root_seed=4,
+        )
+        base = out["none"][0]
+        chaos = out["reader_crash"][0]
+        assert 0.0 < chaos["goodput_bps"] < base["goodput_bps"]
+        assert chaos["transitions"] >= 1
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError, match="unknown network scenario"):
+            network_scale_grid(scenarios=["bogus"])
+
+
+class TestHandoffDeterminism:
+    """The handoff-determinism satellite: reader dies, bits must not."""
+
+    def test_serial_vs_pool_bit_identical(self, tmp_path):
+        serial = network_scale_grid(
+            **SMALL, n_workers=1, journal=tmp_path / "serial.jsonl"
+        )
+        pooled = network_scale_grid(
+            **SMALL, n_workers=2, journal=tmp_path / "pooled.jsonl"
+        )
+        assert serial == pooled
+        assert canonical_records(tmp_path / "serial.jsonl") == canonical_records(
+            tmp_path / "pooled.jsonl"
+        )
+
+    def test_resume_bit_identical_to_uninterrupted(self, tmp_path):
+        clean = network_scale_grid(**SMALL, journal=tmp_path / "clean.jsonl")
+        # Crash the sweep after the first journal append...
+        with pytest.raises(SimulatedCrash):
+            network_scale_grid(
+                **SMALL,
+                journal=tmp_path / "crashed.jsonl",
+                sweep={"crash_after": 1},
+            )
+        # ...and resume: replayed + fresh rows must equal the clean run.
+        resumed = network_scale_grid(**SMALL, journal=tmp_path / "crashed.jsonl")
+        assert resumed == clean
+        assert canonical_records(tmp_path / "crashed.jsonl") == canonical_records(
+            tmp_path / "clean.jsonl"
+        )
+
+    def test_task_is_pure_in_grid_index(self):
+        """Same cell + same spawned seed -> identical row, digest included."""
+        import numpy as np
+
+        from repro.experiments.batch import make_grid
+
+        (task,) = make_grid(
+            {"reader_crash": {"scenario": "reader_crash", "duration_s": 8.0}},
+            [6],
+            x_key="n_tags",
+        )
+        a = fleet_scale_task(task, np.random.default_rng(3))
+        b = fleet_scale_task(task, np.random.default_rng(3))
+        assert a == b

@@ -414,3 +414,88 @@ class TestPoolAndMetrics:
         assert journaled == plain
         with pytest.raises(ValueError):
             run_grid(demo_task, tasks, shard="0/2")  # shard needs a journal
+
+
+# ------------------------------------------------- quarantine provenance
+
+
+class TestQuarantineProvenance:
+    """Quarantine records carry which shard condemned a task, schema-pinned,
+    and the provenance survives :func:`merge_journals` verbatim."""
+
+    #: The journal schema for a quarantine record.  Additive changes only:
+    #: ``shard`` rode in without a schema bump (it is optional + volatile).
+    QUARANTINE_KEYS = {
+        "kind",
+        "schema",
+        "fingerprint",
+        "index",
+        "scheme",
+        "x",
+        "attempts",
+        "elapsed_s",
+        "reason",
+        "shard",
+    }
+
+    def poison_grid(self):
+        return flaky_grid({"good": {}, "poison": {"fatal": True}})
+
+    def test_schema_pinned(self, tmp_path):
+        SweepRunner(
+            flaky_demo_task, tmp_path / "j.jsonl", root_seed=5, max_retries=0
+        ).run(self.poison_grid())
+        (record,) = read_journal(tmp_path / "j.jsonl").quarantined.values()
+        assert set(record) == self.QUARANTINE_KEYS
+        assert record["schema"] == JOURNAL_SCHEMA_VERSION == 1
+
+    def test_unsharded_run_records_null_shard(self, tmp_path):
+        SweepRunner(
+            flaky_demo_task, tmp_path / "j.jsonl", root_seed=5, max_retries=0
+        ).run(self.poison_grid())
+        (record,) = read_journal(tmp_path / "j.jsonl").quarantined.values()
+        assert record["shard"] is None
+        assert record["attempts"] == 1
+
+    def test_sharded_run_records_owning_shard(self, tmp_path):
+        tasks = self.poison_grid()
+        parts = []
+        by_shard = {}
+        for i in range(2):
+            part = tmp_path / f"shard{i}.jsonl"
+            SweepRunner(
+                flaky_demo_task, part, root_seed=5, max_retries=0, shard=f"{i}/2"
+            ).run(tasks)
+            parts.append(part)
+            for record in read_journal(part).quarantined.values():
+                by_shard[record["shard"]] = record
+        # The poison cell is index 1, owned by shard 1/2.
+        assert set(by_shard) == {"1/2"}
+        assert by_shard["1/2"]["index"] == 1
+
+        # Provenance survives the merge verbatim.
+        merged = tmp_path / "merged.jsonl"
+        merge_journals(parts, merged)
+        (record,) = read_journal(merged).quarantined.values()
+        assert record["shard"] == "1/2"
+        assert record["attempts"] == 1
+        assert record["reason"]["code"] == "config_error"
+
+    def test_shard_is_volatile_for_canonical_comparison(self, tmp_path):
+        """The same grid quarantined sharded vs unsharded compares equal
+        canonically: provenance is metadata, not semantics."""
+        tasks = self.poison_grid()
+        single = tmp_path / "single.jsonl"
+        SweepRunner(flaky_demo_task, single, root_seed=5, max_retries=0).run(tasks)
+        parts = []
+        for i in range(2):
+            part = tmp_path / f"s{i}.jsonl"
+            SweepRunner(
+                flaky_demo_task, part, root_seed=5, max_retries=0, shard=f"{i}/2"
+            ).run(tasks)
+            parts.append(part)
+        merged = tmp_path / "merged.jsonl"
+        merge_journals(parts, merged)
+        assert canonical_records(merged) == canonical_records(single)
+        for record in canonical_records(merged):
+            assert "shard" not in record and "ts" not in record

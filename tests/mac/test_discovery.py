@@ -1,7 +1,6 @@
 """Framed slotted-ALOHA tag discovery."""
 
-import pytest
-
+from repro.errors import FailureStage
 from repro.mac.discovery import FramedSlottedDiscovery
 
 
@@ -38,7 +37,43 @@ class TestDiscovery:
         b = FramedSlottedDiscovery().run(list(range(20)), rng=6)
         assert a.slots_used == b.slots_used
 
-    def test_non_convergence_raises(self):
+    def test_complete_flag_on_convergence(self):
+        result = FramedSlottedDiscovery().run(list(range(10)), rng=8)
+        assert result.complete
+        assert result.failure is None
+        assert result.undiscovered == []
+
+
+class TestBoundedGiveUp:
+    """The re-frame loop is bounded: give-ups are classified, not raised."""
+
+    def test_non_convergence_gives_up_classified(self):
         d = FramedSlottedDiscovery(initial_frame=2, max_rounds=1, max_frame=2)
-        with pytest.raises(RuntimeError):
-            d.run(list(range(50)), rng=7)
+        result = d.run(list(range(50)), rng=7)
+        assert not result.complete
+        assert result.failure is not None
+        assert result.failure.stage is FailureStage.MAC
+        assert result.failure.code == "discovery_exhausted"
+        assert result.rounds == 1
+        assert len(result.discovered) + len(result.undiscovered) == 50
+
+    def test_duplicate_tag_ids_never_resolve(self):
+        """Two tags sharing an ID are indistinguishable: the reader can
+        acknowledge the ID once, after which every further reply from the
+        twin reads as an unresolvable collision — bounded give-up, not an
+        infinite re-frame loop."""
+        d = FramedSlottedDiscovery(max_rounds=32)
+        result = d.run([7, 7], rng=9)
+        assert result.failure is not None
+        assert result.failure.code == "discovery_exhausted"
+        assert result.rounds == 32
+        assert result.discovered == [7]
+        assert result.undiscovered == [7]
+
+    def test_give_up_is_deterministic(self):
+        d = FramedSlottedDiscovery(max_rounds=16)
+        a = d.run([1, 1, 2], rng=11)
+        b = d.run([1, 1, 2], rng=11)
+        assert a.slots_used == b.slots_used
+        assert a.discovered == b.discovered
+        assert a.undiscovered == b.undiscovered

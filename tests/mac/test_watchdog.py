@@ -120,6 +120,89 @@ class TestSimulation:
         assert len(stats.rate_trace) == 200
 
 
+class TestRecoveryHysteresis:
+    """After a fallback, K consecutive clean frames must precede any raise."""
+
+    def test_fresh_watchdog_is_recovery_ready(self):
+        assert make_watchdog().recovery_ready
+
+    def test_fallback_arms_hysteresis(self):
+        wd = make_watchdog()
+        for _ in range(3):
+            wd.record(False)
+        assert not wd.recovery_ready
+
+    def test_recovers_after_k_consecutive_successes(self):
+        wd = make_watchdog(recover_after=4)
+        for _ in range(3):
+            wd.record(False)
+        reasons = [wd.record(True).reason for _ in range(4)]
+        assert reasons == ["ok", "ok", "ok", "recovered"]
+        assert wd.recovery_ready
+        assert wd.consecutive_successes == 4
+
+    def test_flap_restarts_the_clean_streak(self):
+        """A failure mid-streak resets the recovery counter entirely."""
+        wd = make_watchdog(recover_after=3)
+        for _ in range(3):
+            wd.record(False)
+        wd.record(True)
+        wd.record(True)
+        wd.record(False)  # flap: streak torn down
+        assert not wd.recovery_ready
+        reasons = [wd.record(True).reason for _ in range(3)]
+        assert reasons[-1] == "recovered"
+
+    def test_link_down_also_arms_hysteresis(self):
+        wd = make_watchdog(initial_rate_bps=1_000)
+        for _ in range(3):
+            wd.record(False)  # link_down at the bottom rung
+        assert not wd.recovery_ready
+
+    def test_reset_clears_hysteresis(self):
+        wd = make_watchdog()
+        for _ in range(3):
+            wd.record(False)
+        wd.reset()
+        assert wd.recovery_ready
+        assert wd.consecutive_successes == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            make_watchdog(recover_after=0)
+
+    def test_hysteresis_property(self):
+        """For any outcome sequence: recovery_ready is false iff a fallback
+        happened and fewer than recover_after successes followed it
+        uninterrupted (trailing-streak invariant)."""
+        from hypothesis import given, strategies as st
+
+        @given(
+            st.lists(st.booleans(), max_size=60),
+            st.integers(min_value=1, max_value=5),
+            st.integers(min_value=1, max_value=4),
+        )
+        def check(outcomes, recover_after, fail_threshold):
+            wd = make_watchdog(recover_after=recover_after, fail_threshold=fail_threshold)
+            fallback_seen = False
+            trailing_successes = 0
+            for ok in outcomes:
+                action = wd.record(ok)
+                if action.reason in ("rate_fallback", "link_down"):
+                    fallback_seen = True
+                    trailing_successes = 0
+                elif ok:
+                    trailing_successes += 1
+                else:
+                    trailing_successes = 0
+                if action.reason == "recovered":
+                    fallback_seen = False
+                expect_ready = (not fallback_seen) or trailing_successes >= recover_after
+                assert wd.recovery_ready == expect_ready
+
+        check()
+
+
 class TestSessionIntegration:
     def test_session_accepts_watchdog_and_tracks_backoff(self):
         """The closed loop runs with a watchdog and accounts its backoff."""

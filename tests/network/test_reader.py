@@ -1,0 +1,123 @@
+"""Reader health lifecycle, admission control, and round-robin rotation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.network.reader import Reader, ReaderHealth
+
+
+def make_reader(**kwargs) -> Reader:
+    kwargs.setdefault("reader_id", 0)
+    kwargs.setdefault("position_m", 0.0)
+    return Reader(**kwargs)
+
+
+class TestLifecycle:
+    def test_starts_healthy_and_beaconing(self):
+        r = make_reader()
+        assert r.health is ReaderHealth.HEALTHY and r.beaconing
+
+    def test_crash_silences_and_wipes_schedule(self):
+        r = make_reader()
+        r.admit(1), r.admit(2)
+        r.pending_discovery = 5
+        r.crash()
+        assert r.health is ReaderHealth.DOWN
+        assert not r.beaconing
+        assert r.schedule == [] and r.pending_discovery == 0
+
+    def test_restart_recover_path(self):
+        r = make_reader()
+        r.crash()
+        r.restart()
+        assert r.health is ReaderHealth.RECOVERING and r.beaconing
+        r.recovered()
+        assert r.health is ReaderHealth.HEALTHY
+
+    def test_restart_only_from_down(self):
+        r = make_reader()
+        r.restart()
+        assert r.health is ReaderHealth.HEALTHY  # no-op
+
+    def test_impairment_degrades_and_clears(self):
+        r = make_reader()
+        r.occlusion_db = 10.0
+        r.settle_health()
+        assert r.health is ReaderHealth.DEGRADED
+        r.occlusion_db = 0.0
+        r.settle_health()
+        assert r.health is ReaderHealth.HEALTHY
+
+    def test_settle_never_revives_a_down_reader(self):
+        r = make_reader()
+        r.crash()
+        r.collision_prob = 0.5
+        r.settle_health()
+        assert r.health is ReaderHealth.DOWN
+
+    def test_recovered_lands_degraded_under_active_impairment(self):
+        r = make_reader()
+        r.occlusion_db = 5.0
+        r.crash()
+        r.restart()
+        r.recovered()
+        assert r.health is ReaderHealth.DEGRADED
+
+
+class TestAdmission:
+    def test_bounded_queue_sheds_new(self):
+        r = make_reader(capacity=2)
+        assert r.admit(1) and r.admit(2)
+        assert not r.admit(3)
+        assert r.shed_associations == 1
+        assert r.schedule == [1, 2]
+
+    def test_admit_idempotent_for_scheduled_tag(self):
+        r = make_reader(capacity=1)
+        assert r.admit(7)
+        assert r.admit(7)
+        assert r.schedule == [7] and r.shed_associations == 0
+
+    def test_down_reader_admits_nothing(self):
+        r = make_reader()
+        r.crash()
+        assert not r.admit(1)
+
+    def test_discovery_queue_bounded(self):
+        r = make_reader(discovery_queue_cap=10)
+        queued, shed = r.admit_discovery(25)
+        assert (queued, shed) == (10, 15)
+        assert r.pending_discovery == 10 and r.shed_discovery == 15
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            make_reader(capacity=0)
+        with pytest.raises(ConfigError):
+            make_reader(discovery_queue_cap=-1)
+
+
+class TestRotation:
+    def test_service_order_rotates(self):
+        r = make_reader()
+        for t in (1, 2, 3):
+            r.admit(t)
+        assert r.service_order() == [1, 2, 3]
+        r.advance_rotation(2)
+        assert r.service_order() == [3, 1, 2]
+
+    def test_drop_keeps_rotation_aligned(self):
+        r = make_reader()
+        for t in (1, 2, 3, 4):
+            r.admit(t)
+        r.advance_rotation(2)  # next is 3
+        r.drop(1)  # removing an already-served tag must not skip 3
+        assert r.service_order()[0] == 3
+
+    def test_drop_to_empty(self):
+        r = make_reader()
+        r.admit(1)
+        r.advance_rotation(1)
+        r.drop(1)
+        assert r.service_order() == [] and r.next_slot == 0
