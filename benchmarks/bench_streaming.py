@@ -1,0 +1,210 @@
+"""Streaming receiver throughput versus the one-shot batch receiver.
+
+The committed artifact ``benchmarks/results/BENCH_streaming.json`` records,
+from the *same run over the same capture grid*, the batch receiver's
+sustained packet rate and the streaming receiver's rate at several chunk
+sizes.  The streaming path exists for incremental ingest, not speed — but it
+must not tax the pipeline either: the gate is that streaming at the default
+chunk size sustains at least **0.9x** of batch throughput.
+
+Protocol (mirrors ``bench_dfe_speed.py``):
+
+* **Sustained workload**: one pass decodes every capture in the grid;
+  throughput is packets over wall-clock for the pass.
+* **Median of passes** after a shared warm-up.
+* **Bit-exactness is asserted in the same run** — every streamed record must
+  equal the batch record field-for-field before any timing is trusted.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_streaming.py            # full artifact
+    PYTHONPATH=src python -m pytest benchmarks/bench_streaming.py  # slow-lane smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import platform
+import statistics
+import time
+
+import numpy as np
+import pytest
+
+from _common import emit, emit_json, format_table
+
+from repro.modem.config import ModemConfig
+from repro.phy.pipeline import PacketSimulator
+from repro.phy.streaming import StreamingReceiver
+
+#: Chunk sizes measured per pass; the first is the gated default.
+CHUNK_SIZES = (256, 1024, 4096)
+
+#: Throughput floor for the gated (default) chunk size, vs batch.
+MIN_RELATIVE_THROUGHPUT = 0.9
+
+
+def build_grid(n_packets: int, seed: int):
+    """Deterministic captures from one trained simulator."""
+    config = ModemConfig(dsm_order=2, pqam_order=4, slot_s=2.0e-3, fs=10e3, tail_memory=2)
+    sim = PacketSimulator(config=config, payload_bytes=6, rng=seed)
+    gen = np.random.default_rng(seed + 1)
+    captures = [sim.make_capture(rng=gen) for _ in range(n_packets)]
+    return sim, captures
+
+
+def batch_pass(sim, captures):
+    return [
+        sim.receiver.receive(cap.samples, search_stop=cap.search_stop)
+        for cap in captures
+    ]
+
+
+def streaming_pass(sim, captures, chunk: int):
+    outs = []
+    for cap in captures:
+        rx = StreamingReceiver(sim.receiver, search_stop=cap.search_stop)
+        for lo in range(0, cap.samples.size, chunk):
+            outs.extend(rx.push(cap.samples[lo : lo + chunk]))
+        outs.extend(rx.close())
+    return outs
+
+
+def assert_bit_identical(batch_outs, stream_outs, chunk: int) -> None:
+    assert len(batch_outs) == len(stream_outs)
+    for p, (b, s) in enumerate(zip(batch_outs, stream_outs)):
+        tag = f"chunk={chunk} packet={p}"
+        assert b.payload == s.payload, tag
+        assert b.crc_ok == s.crc_ok, tag
+        assert b.equalizer_mse == s.equalizer_mse, tag
+        assert b.detection.offset == s.detection.offset, tag
+        np.testing.assert_array_equal(b.levels_i, s.levels_i, err_msg=tag)
+        np.testing.assert_array_equal(b.levels_q, s.levels_q, err_msg=tag)
+
+
+def _timed_passes(run_pass, n_packets: int, n_passes: int):
+    rates = []
+    for _ in range(n_passes):
+        t0 = time.perf_counter()
+        run_pass()
+        rates.append(n_packets / (time.perf_counter() - t0))
+    return statistics.median(rates), rates
+
+
+def run_benchmark(n_packets: int = 24, n_passes: int = 3, seed: int = 13) -> dict:
+    sim, captures = build_grid(n_packets, seed)
+    total_samples = int(sum(cap.samples.size for cap in captures))
+
+    # Correctness first (doubles as warm-up for both engines).
+    batch_outs = batch_pass(sim, captures)
+    for chunk in CHUNK_SIZES:
+        assert_bit_identical(batch_outs, streaming_pass(sim, captures, chunk), chunk)
+
+    batch_pps, batch_raw = _timed_passes(
+        lambda: batch_pass(sim, captures), n_packets, n_passes
+    )
+    stream_rates = {}
+    stream_raw = {}
+    for chunk in CHUNK_SIZES:
+        pps, raw = _timed_passes(
+            lambda: streaming_pass(sim, captures, chunk), n_packets, n_passes
+        )
+        stream_rates[chunk] = pps
+        stream_raw[chunk] = raw
+
+    default_chunk = CHUNK_SIZES[0]
+    return {
+        "benchmark": "streaming_receiver",
+        "operating_point": {
+            "n_packets": int(n_packets),
+            "payload_bytes": 6,
+            "total_samples": total_samples,
+            "chunk_sizes": list(CHUNK_SIZES),
+            "gated_chunk": int(default_chunk),
+            "seed": int(seed),
+        },
+        "protocol": {
+            "kind": "sustained full-grid decode, median of passes",
+            "n_passes": int(n_passes),
+            "bit_exact_checked": True,
+            "min_relative_throughput": MIN_RELATIVE_THROUGHPUT,
+        },
+        "machine": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "processor": platform.machine(),
+        },
+        "batch_pkt_per_s": round(batch_pps, 2),
+        "streaming_pkt_per_s": {
+            str(chunk): round(pps, 2) for chunk, pps in stream_rates.items()
+        },
+        "relative_throughput": {
+            str(chunk): round(pps / batch_pps, 3) for chunk, pps in stream_rates.items()
+        },
+        "passes_pkt_per_s": {
+            "batch": [round(r, 2) for r in batch_raw],
+            **{
+                f"streaming_{chunk}": [round(r, 2) for r in raw]
+                for chunk, raw in stream_raw.items()
+            },
+        },
+    }
+
+
+def render(payload: dict) -> str:
+    op = payload["operating_point"]
+    rows = [("batch (one-shot)", payload["batch_pkt_per_s"], 1.0)]
+    for chunk in op["chunk_sizes"]:
+        rows.append(
+            (
+                f"streaming, chunk={chunk}",
+                payload["streaming_pkt_per_s"][str(chunk)],
+                payload["relative_throughput"][str(chunk)],
+            )
+        )
+    return format_table(
+        ["engine", "packets/s", "vs batch"],
+        rows,
+        title=(
+            f"Streaming receiver - {op['n_packets']} captures, "
+            f"{op['total_samples']} samples, bit-exact vs batch"
+        ),
+    )
+
+
+@pytest.mark.slow
+def test_bench_streaming():
+    """Slow-lane smoke: regenerate BENCH_streaming.json and gate throughput.
+
+    Bit-identity is asserted inside :func:`run_benchmark` for every chunk
+    size before any rate is recorded; the gate then demands the default
+    chunk size stays within 10% of batch throughput.
+    """
+    payload = run_benchmark()
+    emit("BENCH_streaming_table", render(payload))
+    path = emit_json("BENCH_streaming", payload)
+    assert path.exists()
+    gated = str(payload["operating_point"]["gated_chunk"])
+    assert payload["relative_throughput"][gated] >= MIN_RELATIVE_THROUGHPUT, (
+        f"streaming at chunk={gated} fell below "
+        f"{MIN_RELATIVE_THROUGHPUT}x batch: {payload['relative_throughput']}"
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--packets", type=int, default=24)
+    parser.add_argument("--passes", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=13)
+    args = parser.parse_args(argv)
+    payload = run_benchmark(
+        n_packets=args.packets, n_passes=args.passes, seed=args.seed
+    )
+    emit("BENCH_streaming_table", render(payload))
+    path = emit_json("BENCH_streaming", payload)
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

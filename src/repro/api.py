@@ -34,7 +34,7 @@ from repro.utils.rng import ensure_rng
 __all__ = ["SCENARIO_KINDS", "ScenarioSpec", "Session"]
 
 #: Scenario families the facade can run (each maps to one harness).
-SCENARIO_KINDS = ("packet", "mobility", "arq", "watchdog")
+SCENARIO_KINDS = ("packet", "mobility", "arq", "watchdog", "stream")
 
 _BANK_MODES = ("trained", "nominal")
 
@@ -68,6 +68,9 @@ class ScenarioSpec:
     success_probability: float | None = None
     max_attempts: int = 8
     fail_threshold: int = 3
+    # stream-only knobs
+    chunk_samples: int = 256
+    max_buffered_samples: int | None = None
 
     def __post_init__(self):
         problems = []
@@ -102,6 +105,10 @@ class ScenarioSpec:
             problems.append("max_attempts must be >= 1")
         if self.fail_threshold < 1:
             problems.append("fail_threshold must be >= 1")
+        if self.chunk_samples < 1:
+            problems.append("chunk_samples must be >= 1")
+        if self.max_buffered_samples is not None and self.max_buffered_samples < 1:
+            problems.append("max_buffered_samples must be >= 1 (or None)")
         if problems:
             raise ValueError("invalid ScenarioSpec: " + "; ".join(problems))
 
@@ -114,19 +121,24 @@ class ScenarioSpec:
         specs describing the same physical condition render identically.
         """
         base = {"kind": self.kind, "seed": self.seed}
-        if self.kind in ("packet", "mobility"):
+        if self.kind in ("packet", "mobility", "stream"):
             base.update(
                 rate_bps=self.rate_bps,
                 distance_m=self.distance_m,
                 payload_bytes=self.payload_bytes,
                 k_branches=self.k_branches,
             )
-        if self.kind == "packet":
+        if self.kind in ("packet", "stream"):
             base.update(
                 roll_deg=self.roll_deg,
                 yaw_deg=self.yaw_deg,
                 bank_mode=self.bank_mode,
                 ambient=self.ambient,
+            )
+        if self.kind == "stream":
+            base.update(
+                chunk_samples=self.chunk_samples,
+                max_buffered_samples=self.max_buffered_samples,
             )
         if self.kind == "mobility":
             base.update(
@@ -154,7 +166,7 @@ class ScenarioSpec:
     def build(self, observer=None):
         """The underlying harness object for this spec's kind."""
         observer = ensure_observer(observer)
-        if self.kind == "packet":
+        if self.kind in ("packet", "stream"):
             from repro.experiments.common import _make_simulator
             from repro.optics.ambient import AMBIENT_PRESETS
 
@@ -229,7 +241,66 @@ class Session:
                 summary = runner(n_packets, rng)
         return obs.run_report(self.spec.kind, scenario=self.spec.describe(), summary=summary)
 
+    def stream(self, n_packets: int = 4, rng=None, chunk_samples: int | None = None):
+        """Generator over live streaming decodes (``kind="stream"`` only).
+
+        Synthesizes ``n_packets`` captures through the spec's link, feeds
+        each to a :class:`~repro.phy.streaming.StreamingReceiver` in
+        ``chunk_samples``-sized chunks, and yields ``(capture, output)``
+        pairs — the :class:`~repro.phy.pipeline.CaptureSpec` (ground
+        truth: sent payload, true offset) alongside each
+        :class:`~repro.phy.receiver.ReceiverOutput` as it is emitted.
+        The session observer is ambient for the duration, so
+        ``stream.*`` gauges and the usual ``phy.*`` metrics accumulate in
+        its registry; call :meth:`run` instead for a summarised report.
+        """
+        if self.spec.kind != "stream":
+            raise ValueError(f"Session.stream() needs kind='stream', got {self.spec.kind!r}")
+        if n_packets < 1:
+            raise ValueError("n_packets must be >= 1")
+        size = self.spec.chunk_samples if chunk_samples is None else int(chunk_samples)
+        if size < 1:
+            raise ValueError("chunk_samples must be >= 1")
+        obs = self.observer
+        with use_observer(obs):
+            sim = self.spec.build(obs)
+            gen = ensure_rng(self.spec.seed + 1 if rng is None else rng)
+            for _ in range(n_packets):
+                cap = sim.make_capture(rng=gen)
+                rx = sim.make_streaming_receiver(
+                    search_stop=cap.search_stop,
+                    max_buffered_samples=self.spec.max_buffered_samples,
+                    observer=obs,
+                )
+                for lo in range(0, cap.samples.size, size):
+                    for out in rx.push(cap.samples[lo : lo + size]):
+                        yield cap, out
+                for out in rx.close():
+                    yield cap, out
+
     # ------------------------------------------------------- kind runners
+
+    def _run_stream(self, n_packets: int, rng) -> dict:
+        from repro.utils.bits import bit_errors, bytes_to_bits
+
+        outputs = []
+        errors = bits = 0
+        for cap, out in self.stream(n_packets=n_packets, rng=rng):
+            outputs.append(out)
+            sent = bytes_to_bits(cap.payload)
+            if out.crc_ok and out.payload:
+                errors += int(bit_errors(sent, bytes_to_bits(out.payload)))
+            else:
+                errors += sent.size
+            bits += sent.size
+        n_ok = sum(1 for out in outputs if out.crc_ok)
+        return {
+            "ber": errors / bits if bits else 0.0,
+            "crc_ok_rate": n_ok / len(outputs) if outputs else 0.0,
+            "n_packets": len(outputs),
+            "n_bits": bits,
+            "chunk_samples": self.spec.chunk_samples,
+        }
 
     def _run_packet(self, n_packets: int, rng) -> dict:
         sim = self.spec.build(self.observer)

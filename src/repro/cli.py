@@ -61,6 +61,49 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stream(args: argparse.Namespace) -> int:
+    from repro.api import ScenarioSpec, Session
+
+    spec = ScenarioSpec(
+        kind="stream",
+        rate_bps=args.rate,
+        distance_m=args.distance,
+        roll_deg=args.roll,
+        yaw_deg=args.yaw,
+        payload_bytes=args.payload,
+        chunk_samples=args.chunk,
+        max_buffered_samples=args.max_buffered,
+        seed=args.seed,
+    )
+    session = Session(spec)
+    if args.live:
+        # Per-packet live view, driven by the same generator run() uses.
+        for i, (cap, out) in enumerate(session.stream(n_packets=args.packets)):
+            status = "ok " if out.crc_ok else (
+                out.failure.code if out.failure is not None else "crc!"
+            )
+            match = "match" if out.payload == cap.payload else "DIFFERS"
+            print(f"packet {i}: {status:<18} offset {out.detection.offset:>5} "
+                  f"(lead {cap.offset:>5})  payload {match}")
+        report = session.observer.run_report("stream", scenario=spec.describe(), summary={})
+    else:
+        report = session.run(n_packets=args.packets)
+        s = report.summary
+        print(f"scenario : {spec.describe()}")
+        print(f"BER      : {s['ber']:.4%} over {s['n_packets']} packets "
+              f"(crc ok rate {s['crc_ok_rate']:.0%})")
+    for entry in sorted(report.metrics.get("series", []), key=lambda e: e["name"]):
+        if not entry["name"].startswith("stream."):
+            continue
+        value = entry.get("value", entry.get("mean"))
+        if value is not None:
+            print(f"{entry['name']:<30} {value:g}")
+    if args.metrics_out:
+        path = report.write(args.metrics_out)
+        print(f"metrics  : RunReport written to {path}")
+    return 0
+
+
 _SWEEPS = {
     "fig16a": "rate_vs_distance",
     "fig16b": "roll_sweep",
@@ -300,6 +343,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics-out", default=None, metavar="PATH",
                    help="write the run's RunReport JSON here")
     p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser("stream", help="decode packets through the chunked streaming receiver")
+    p.add_argument("--distance", type=float, default=3.0)
+    p.add_argument("--rate", type=int, default=8000)
+    p.add_argument("--roll", type=float, default=0.0, help="degrees")
+    p.add_argument("--yaw", type=float, default=0.0, help="degrees")
+    p.add_argument("--packets", type=int, default=5)
+    p.add_argument("--payload", type=int, default=32)
+    p.add_argument("--chunk", type=int, default=256, metavar="SAMPLES",
+                   help="samples per pushed chunk (default 256)")
+    p.add_argument("--max-buffered", type=int, default=None, metavar="SAMPLES",
+                   help="backpressure bound; captures exceeding it are dropped")
+    p.add_argument("--live", action="store_true",
+                   help="print each packet as it decodes instead of a summary")
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--metrics-out", default=None, metavar="PATH",
+                   help="write the run's RunReport JSON here")
+    p.set_defaults(func=_cmd_stream)
 
     p = sub.add_parser("sweep", help="run a paper-figure sweep")
     p.add_argument("figure", choices=sorted(set(_SWEEPS) | set(_GRID_SWEEPS)))

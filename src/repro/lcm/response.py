@@ -46,6 +46,8 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
+from repro.utils.backend import active_backend
+
 __all__ = [
     "LCParams",
     "LCResponseModel",
@@ -118,61 +120,66 @@ def is_uniform_tick_grid(n_ticks: int, tick_s: float, fs: float) -> bool:
 
 def _charge_phi(p: "LCParams", phi0, t):
     """Alignment after driving ON for ``t`` (logistic closed form)."""
+    xp = active_backend().xp
     a = p.charge_softness
     rate = (1.0 + a) / p.tau_charge
     # Logistic solution through (phi + a)/(1 - phi) = C * exp(rate * t).
-    ratio0 = (phi0 + a) / np.maximum(1.0 - phi0, 1e-12)
-    ratio = ratio0 * np.exp(rate * t)
+    ratio0 = (phi0 + a) / xp.maximum(1.0 - phi0, 1e-12)
+    ratio = ratio0 * xp.exp(rate * t)
     phi = (ratio - a) / (ratio + 1.0)
-    return np.clip(phi, 0.0, 1.0)
+    return xp.clip(phi, 0.0, 1.0)
 
 
 def _charge_psi(p: "LCParams", psi0, t):
     """Stress after driving ON for ``t``."""
-    psi = 1.0 - (1.0 - psi0) * np.exp(-t / p.tau_stress)
-    return np.clip(psi, 0.0, 1.0)
+    xp = active_backend().xp
+    psi = 1.0 - (1.0 - psi0) * xp.exp(-t / p.tau_stress)
+    return xp.clip(psi, 0.0, 1.0)
 
 
 def _discharge_phi(p: "LCParams", phi0, psi0, t):
     """Alignment after relaxing for ``t`` from state ``(phi0, psi0)``."""
+    backend = active_backend()
+    xp = backend.xp
     # Gate-opening instant per pixel: psi(t*) == psi_gate.
-    with np.errstate(divide="ignore"):
-        t_open = np.where(
+    with backend.errstate(divide="ignore"):
+        t_open = xp.where(
             psi0 > p.psi_gate,
-            p.tau_plateau * np.log(np.maximum(psi0, 1e-12) / p.psi_gate),
+            p.tau_plateau * xp.log(xp.maximum(psi0, 1e-12) / p.psi_gate),
             0.0,
         )
     # Integral of the gated relaxation rate max(0, 1 - psi/psi_gate)
     # from 0 to t.  Before t_open the integrand is zero; after, with
     # u = t - t_open and psi = psi_gate * exp(-u/tau_plateau):
     #   integral = u - tau_plateau * (1 - exp(-u/tau_plateau)).
-    u = np.maximum(t - t_open, 0.0)
-    gated = u - p.tau_plateau * (1.0 - np.exp(-u / p.tau_plateau))
+    u = xp.maximum(t - t_open, 0.0)
+    gated = u - p.tau_plateau * (1.0 - xp.exp(-u / p.tau_plateau))
     # Pixels that start below the gate integrate from their own psi0:
     # rate = 1 - (psi0/psi_gate) exp(-s/tau_plateau) (always positive
     # once psi0 < gate), integral = t - (psi0/psi_gate)*tau_plateau*(1-exp(-t/tau_p)).
     below = psi0 <= p.psi_gate
-    gated_below = t - (psi0 / p.psi_gate) * p.tau_plateau * (1.0 - np.exp(-t / p.tau_plateau))
-    gated = np.where(below, gated_below, gated)
+    gated_below = t - (psi0 / p.psi_gate) * p.tau_plateau * (1.0 - xp.exp(-t / p.tau_plateau))
+    gated = xp.where(below, gated_below, gated)
     exponent = (gated + p.leak * t) / p.tau_discharge
-    phi = phi0 * np.exp(-exponent)
-    return np.clip(phi, 0.0, 1.0)
+    phi = phi0 * xp.exp(-exponent)
+    return xp.clip(phi, 0.0, 1.0)
 
 
 def _discharge_phi_above(p: "LCParams", phi0, psi0, t):
     """The ``psi0 > psi_gate`` lane of :func:`_discharge_phi`, alone.
 
-    ``np.where`` evaluates both lanes everywhere; when a caller already
+    ``where`` evaluates both lanes everywhere; when a caller already
     knows every row sits above the gate, evaluating only the selected
     lane produces the same bits while skipping the other lane's
     exponentials.  Callers must guarantee ``psi0 > psi_gate`` per row.
     """
-    t_open = p.tau_plateau * np.log(np.maximum(psi0, 1e-12) / p.psi_gate)
-    u = np.maximum(t - t_open, 0.0)
-    gated = u - p.tau_plateau * (1.0 - np.exp(-u / p.tau_plateau))
+    xp = active_backend().xp
+    t_open = p.tau_plateau * xp.log(xp.maximum(psi0, 1e-12) / p.psi_gate)
+    u = xp.maximum(t - t_open, 0.0)
+    gated = u - p.tau_plateau * (1.0 - xp.exp(-u / p.tau_plateau))
     exponent = (gated + p.leak * t) / p.tau_discharge
-    phi = phi0 * np.exp(-exponent)
-    return np.clip(phi, 0.0, 1.0)
+    phi = phi0 * xp.exp(-exponent)
+    return xp.clip(phi, 0.0, 1.0)
 
 
 def _discharge_phi_below(p: "LCParams", phi0, psi0, t):
@@ -182,16 +189,18 @@ def _discharge_phi_below(p: "LCParams", phi0, psi0, t):
     the gate.  When ``t`` is a shared in-tick offset vector the lane's
     only exponential collapses to that vector's length.
     """
-    gated = t - (psi0 / p.psi_gate) * p.tau_plateau * (1.0 - np.exp(-t / p.tau_plateau))
+    xp = active_backend().xp
+    gated = t - (psi0 / p.psi_gate) * p.tau_plateau * (1.0 - xp.exp(-t / p.tau_plateau))
     exponent = (gated + p.leak * t) / p.tau_discharge
-    phi = phi0 * np.exp(-exponent)
-    return np.clip(phi, 0.0, 1.0)
+    phi = phi0 * xp.exp(-exponent)
+    return xp.clip(phi, 0.0, 1.0)
 
 
 def _discharge_psi(p: "LCParams", psi0, t):
     """Stress after relaxing for ``t``."""
-    psi = psi0 * np.exp(-t / p.tau_plateau)
-    return np.clip(psi, 0.0, 1.0)
+    xp = active_backend().xp
+    psi = psi0 * xp.exp(-t / p.tau_plateau)
+    return xp.clip(psi, 0.0, 1.0)
 
 
 @dataclass(frozen=True)
@@ -383,22 +392,24 @@ class LCResponseModel:
         ``(phi_samples, (phi_end, psi_end))``.
         """
         p = self.params
-        drive = np.atleast_2d(np.asarray(drive))
+        backend = active_backend()
+        xp = backend.xp
+        drive = xp.atleast_2d(xp.asarray(drive))
         n_pixels, n_ticks = drive.shape
         on = drive.astype(bool)
         boundaries = tick_sample_boundaries(n_ticks, tick_s, fs)
         n_samples = int(boundaries[-1])
-        phi = np.broadcast_to(np.asarray(phi0, dtype=float), (n_pixels,)).copy()
-        psi = np.broadcast_to(np.asarray(psi0, dtype=float), (n_pixels,)).copy()
+        phi = xp.broadcast_to(xp.asarray(phi0, dtype=float), (n_pixels,)).copy()
+        psi = xp.broadcast_to(xp.asarray(psi0, dtype=float), (n_pixels,)).copy()
         if time_scale is not None:
-            scale = np.atleast_1d(np.asarray(time_scale, dtype=float))
-            if np.any(scale <= 0):
+            scale = xp.atleast_1d(xp.asarray(time_scale, dtype=float))
+            if backend.scalar(xp.any(scale <= 0)):
                 raise ValueError("time_scale entries must be positive")
-            scale = np.broadcast_to(scale, (n_pixels,))
+            scale = xp.broadcast_to(scale, (n_pixels,))
             t_end = tick_s / scale
         else:
             scale = None
-            t_end = np.full(n_pixels, float(tick_s))
+            t_end = xp.full(n_pixels, float(tick_s))
 
         # ---- pass 1: end-of-tick boundary states -------------------------
         # Tick-major (n_ticks, n_pixels) layout keeps every per-tick row
@@ -406,10 +417,10 @@ class LCResponseModel:
         # tick duration is hoisted out of the recurrences.
         a = p.charge_softness
         rate = (1.0 + a) / p.tau_charge
-        e_charge = np.exp(rate * t_end)
-        e_stress = np.exp(-t_end / p.tau_stress)
-        e_plateau = np.exp(-t_end / p.tau_plateau)
-        on_t = np.ascontiguousarray(on.T)
+        e_charge = xp.exp(rate * t_end)
+        e_stress = xp.exp(-t_end / p.tau_stress)
+        e_plateau = xp.exp(-t_end / p.tau_plateau)
+        on_t = xp.ascontiguousarray(on.T)
         n_on = on.sum(axis=0)
         # With state starting inside [0, 1] and the hoisted exponentials on
         # the contracting side of 1, the stress maps cannot leave [0, 1]
@@ -420,9 +431,9 @@ class LCResponseModel:
         # values are bitwise those of the reference.
         psi_clips_identity = (
             n_ticks > 0
-            and bool(np.all((psi >= 0.0) & (psi <= 1.0)))
-            and float(np.max(e_stress)) <= 1.0
-            and float(np.max(e_plateau)) <= 1.0
+            and bool(backend.scalar(xp.all((psi >= 0.0) & (psi <= 1.0))))
+            and float(backend.scalar(xp.max(e_stress))) <= 1.0
+            and float(backend.scalar(xp.max(e_plateau))) <= 1.0
         )
 
         # Pass 1a — stress chain.  psi never depends on phi, so its
@@ -430,26 +441,26 @@ class LCResponseModel:
         # run entirely in preallocated scratch (out=/copyto) — the same
         # IEEE operations as the reference maps, minus every allocation.
         n_on_list = n_on.tolist()
-        psi_start_t = np.empty((n_ticks, n_pixels))
-        b1 = np.empty(n_pixels)
-        b2 = np.empty(n_pixels)
+        psi_start_t = xp.empty((n_ticks, n_pixels))
+        b1 = xp.empty(n_pixels)
+        b2 = xp.empty(n_pixels)
         for j in range(n_ticks):
             psi_start_t[j] = psi
             k = n_on_list[j]
             if k:
-                np.subtract(1.0, psi, out=b1)
-                np.multiply(b1, e_stress, out=b1)
-                np.subtract(1.0, b1, out=b1)
+                xp.subtract(1.0, psi, out=b1)
+                xp.multiply(b1, e_stress, out=b1)
+                xp.subtract(1.0, b1, out=b1)
             if k == n_pixels:
                 tgt = b1
             else:
-                np.multiply(psi, e_plateau, out=b2)
+                xp.multiply(psi, e_plateau, out=b2)
                 tgt = b2
                 if k:
-                    np.copyto(b2, b1, where=on_t[j])
+                    xp.copyto(b2, b1, where=on_t[j])
             if not psi_clips_identity:
-                np.maximum(tgt, 0.0, out=tgt)
-                np.minimum(tgt, 1.0, out=tgt)
+                xp.maximum(tgt, 0.0, out=tgt)
+                xp.minimum(tgt, 1.0, out=tgt)
             psi, b1, b2 = tgt, psi, (b1 if tgt is b2 else b2)
 
         # Pass 1b — with every tick-start stress known, the discharge-phi
@@ -458,19 +469,19 @@ class LCResponseModel:
         # (same elementwise arithmetic as _discharge_phi).
         t_mat = t_end[None, :]
         s0 = psi_start_t
-        with np.errstate(divide="ignore"):
-            t_open = np.where(
+        with backend.errstate(divide="ignore"):
+            t_open = xp.where(
                 s0 > p.psi_gate,
-                p.tau_plateau * np.log(np.maximum(s0, 1e-12) / p.psi_gate),
+                p.tau_plateau * xp.log(xp.maximum(s0, 1e-12) / p.psi_gate),
                 0.0,
             )
-        u = np.maximum(t_mat - t_open, 0.0)
-        gated = u - p.tau_plateau * (1.0 - np.exp(-u / p.tau_plateau))
+        u = xp.maximum(t_mat - t_open, 0.0)
+        gated = u - p.tau_plateau * (1.0 - xp.exp(-u / p.tau_plateau))
         gated_below = t_mat - (s0 / p.psi_gate) * p.tau_plateau * (
-            1.0 - np.exp(-t_mat / p.tau_plateau)
+            1.0 - xp.exp(-t_mat / p.tau_plateau)
         )
-        gated = np.where(s0 <= p.psi_gate, gated_below, gated)
-        decay_t = np.exp(-((gated + p.leak * t_mat) / p.tau_discharge))
+        gated = xp.where(s0 <= p.psi_gate, gated_below, gated)
+        decay_t = xp.exp(-((gated + p.leak * t_mat) / p.tau_discharge))
 
         # Pass 1c — alignment chain: a Moebius step for charging pixels,
         # one multiply by the precomputed factor for discharging ones.
@@ -481,38 +492,38 @@ class LCResponseModel:
         # directly instead of argued from parameters.
         phi_clips_identity = (
             n_ticks > 0
-            and bool(np.all((phi >= 0.0) & (phi <= 1.0)))
-            and float(np.min(e_charge)) >= 1.0
-            and bool(np.all((decay_t >= 0.0) & (decay_t <= 1.0)))
+            and bool(backend.scalar(xp.all((phi >= 0.0) & (phi <= 1.0))))
+            and float(backend.scalar(xp.min(e_charge))) >= 1.0
+            and bool(backend.scalar(xp.all((decay_t >= 0.0) & (decay_t <= 1.0))))
         )
-        phi_start_t = np.empty((n_ticks, n_pixels))
-        c1 = np.empty(n_pixels)
-        c2 = np.empty(n_pixels)
-        c3 = np.empty(n_pixels)
+        phi_start_t = xp.empty((n_ticks, n_pixels))
+        c1 = xp.empty(n_pixels)
+        c2 = xp.empty(n_pixels)
+        c3 = xp.empty(n_pixels)
         for j in range(n_ticks):
             phi_start_t[j] = phi
             k = n_on_list[j]
             if k:
                 # ratio = ((phi + a) / max(1 - phi, 1e-12)) * e_charge,
                 # charged = (ratio - a) / (ratio + 1) — reference op order.
-                np.add(phi, a, out=c1)
-                np.subtract(1.0, phi, out=c2)
-                np.maximum(c2, 1e-12, out=c2)
-                np.divide(c1, c2, out=c1)
-                np.multiply(c1, e_charge, out=c1)
-                np.subtract(c1, a, out=c2)
-                np.add(c1, 1.0, out=c1)
-                np.divide(c2, c1, out=c2)
+                xp.add(phi, a, out=c1)
+                xp.subtract(1.0, phi, out=c2)
+                xp.maximum(c2, 1e-12, out=c2)
+                xp.divide(c1, c2, out=c1)
+                xp.multiply(c1, e_charge, out=c1)
+                xp.subtract(c1, a, out=c2)
+                xp.add(c1, 1.0, out=c1)
+                xp.divide(c2, c1, out=c2)
             if k == n_pixels:
                 tgt = c2
             else:
-                np.multiply(phi, decay_t[j], out=c3)
+                xp.multiply(phi, decay_t[j], out=c3)
                 tgt = c3
                 if k:
-                    np.copyto(c3, c2, where=on_t[j])
+                    xp.copyto(c3, c2, where=on_t[j])
             if not phi_clips_identity:
-                np.maximum(tgt, 0.0, out=tgt)
-                np.minimum(tgt, 1.0, out=tgt)
+                xp.maximum(tgt, 0.0, out=tgt)
+                xp.minimum(tgt, 1.0, out=tgt)
             if tgt is c2:
                 phi, c2 = c2, phi
             else:
@@ -520,7 +531,7 @@ class LCResponseModel:
 
         # ---- pass 2: expand boundary states to samples -------------------
         if n_samples == 0:
-            out = np.empty((n_pixels, 0), dtype=float)
+            out = xp.empty((n_pixels, 0), dtype=float)
         elif n_samples % n_ticks == 0:
             # Uniform grid (every shipped operating point: boundaries are
             # then exact multiples of the per-tick sample count).  Expand on
@@ -531,8 +542,8 @@ class LCResponseModel:
             # exponentials collapse to spt-sized vectors.
             spt = n_samples // n_ticks
             # Identical arithmetic to the reference's (arange(n) + 1.0)/fs.
-            t_local = (np.arange(spt) + 1.0) / fs
-            out = np.empty((n_pixels, n_samples), dtype=float)
+            t_local = (xp.arange(spt) + 1.0) / fs
+            out = xp.empty((n_pixels, n_samples), dtype=float)
             out3 = out.reshape(n_pixels, n_ticks, spt)
             ph = phi_start_t.T
             ps = psi_start_t.T
@@ -564,7 +575,7 @@ class LCResponseModel:
                     out3[:] = _charge_phi(p, ph[:, :, None], t_pix[:, None, :])
                 else:
                     off = ~on
-                    pix = np.broadcast_to(np.arange(n_pixels)[:, None], on.shape)
+                    pix = xp.broadcast_to(xp.arange(n_pixels)[:, None], on.shape)
                     if on.any():
                         out3[on] = _charge_phi(p, ph[on][:, None], t_pix[pix[on]])
                     below = ps <= p.psi_gate
@@ -579,19 +590,19 @@ class LCResponseModel:
         else:
             # Non-uniform boundary table: flat (pixel, sample) expansion
             # with per-sample tick gathers.
-            spans = np.diff(boundaries)
-            tick_of = np.repeat(np.arange(n_ticks), spans)
+            spans = xp.diff(xp.asarray(boundaries))
+            tick_of = xp.repeat(xp.arange(n_ticks), spans)
             # Per-sample offset into its tick: identical arithmetic to the
             # reference's per-tick (arange(n_here) + 1.0) / fs.
-            t_row = (np.arange(n_samples) - boundaries[tick_of] + 1.0) / fs
+            t_row = (xp.arange(n_samples) - xp.asarray(boundaries)[tick_of] + 1.0) / fs
             if scale is not None:
                 t_grid = t_row[None, :] / scale[:, None]
             else:
-                t_grid = np.broadcast_to(t_row, (n_pixels, n_samples))
+                t_grid = xp.broadcast_to(t_row, (n_pixels, n_samples))
             grid_on = on[:, tick_of]
-            phi0_grid = np.ascontiguousarray(phi_start_t.T[:, tick_of])
+            phi0_grid = xp.ascontiguousarray(phi_start_t.T[:, tick_of])
             psi0_grid = psi_start_t.T[:, tick_of]
-            out = np.empty((n_pixels, n_samples), dtype=float)
+            out = xp.empty((n_pixels, n_samples), dtype=float)
             if grid_on.all():
                 out[:] = _charge_phi(p, phi0_grid, t_grid)
             elif not grid_on.any():

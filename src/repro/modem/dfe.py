@@ -39,6 +39,22 @@ equivalence suite).  Four rewrites carry the speedup:
   ``B`` separate :meth:`demodulate` calls (a property the equivalence suite
   asserts).  ``demodulate`` itself is the ``B = 1`` special case.
 
+Two structural properties ride on top of the same arithmetic:
+
+* **Resumable sessions** — the per-symbol loop lives in
+  :class:`DFEBlockSession`, whose state (prediction planes, packed merge
+  keys, the lag-fold carry snapshot, traceback arrays) persists across
+  :meth:`DFEBlockSession.feed` calls.  Feeding the payload in arbitrary
+  chunks — down to single samples, split anywhere including mid-slot — is
+  bit-identical to one whole-buffer call, because each symbol step reads the
+  same float64 slot slice wherever its samples arrived from.  This is the
+  carry machinery the streaming receiver (:mod:`repro.phy.streaming`)
+  decodes behind.
+* **Array-backend seam** — every kernel op dispatches through the active
+  :mod:`repro.utils.backend` namespace (``xp``), captured once per session.
+  Under the default numpy backend ``xp is numpy`` and the arithmetic is
+  unchanged; a CuPy/JAX-style module slots in without kernel edits.
+
 Histories too large for a dense table (``m**(V-1)`` blows past the memory
 gate) fall back to per-unique-history gathers through
 :meth:`ReferenceBank.pulse_stack` — same numbers, reference-like speed.
@@ -52,8 +68,9 @@ import numpy as np
 
 from repro.errors import EqualizationError
 from repro.modem.references import ReferenceBank
+from repro.utils.backend import active_backend
 
-__all__ = ["DFEDemodulator", "DFEResult"]
+__all__ = ["DFEBlockSession", "DFEDemodulator", "DFEResult"]
 
 #: Dense-table gate: total complex elements across all groups above which the
 #: bank is gathered sparsely instead (keeps worst-case memory ~128 MB).
@@ -143,15 +160,17 @@ class DFEDemodulator:
 
     # -------------------------------------------------------------- gathers
 
-    def _sparse_stacks(self, channel: int, gi: int, codes: np.ndarray) -> np.ndarray:
+    def _sparse_stacks(self, xp, channel: int, gi: int, codes) -> np.ndarray:
         """Fallback gather: ``codes.shape + (m, W)`` stacks via per-unique-history lookups."""
         m = self._m
         v_prev = self._v_prev
-        uniq, inverse = np.unique(codes, return_inverse=True)
-        rows = np.stack(
+        uniq, inverse = xp.unique(codes, return_inverse=True)
+        rows = xp.stack(
             [
-                self.bank.pulse_stack(
-                    channel, gi, tuple(int(code // m**j) % m for j in range(v_prev))
+                xp.asarray(
+                    self.bank.pulse_stack(
+                        channel, gi, tuple(int(code // m**j) % m for j in range(v_prev))
+                    )
                 )
                 for code in uniq
             ]
@@ -160,7 +179,7 @@ class DFEDemodulator:
 
     # ------------------------------------------------------------- priming
 
-    def _advance_known(self, state: dict, gi: int, level_i: int, level_q: int) -> None:
+    def _advance_known(self, xp, state: dict, gi: int, level_i: int, level_q: int) -> None:
         """Deterministically apply a known symbol (no scoring, no branching).
 
         The prediction buffer lives as separate real/imag float planes
@@ -177,15 +196,15 @@ class DFEDemodulator:
         for channel, level in ((0, level_i), (1, level_q)):
             ch_codes = codes[:, :, channel, gi]
             if self._dense:
-                head_re, head_im, tail_re, tail_im = self.bank.dense_split_planes(
-                    channel, gi, ts
+                head_re, head_im, tail_re, tail_im = (
+                    xp.asarray(p) for p in self.bank.dense_split_planes(channel, gi, ts)
                 )
                 buf_re[:, :, :ts] += head_re[ch_codes, level]
                 buf_im[:, :, :ts] += head_im[ch_codes, level]
                 buf_re[:, :, ts:] += tail_re[ch_codes, level]
                 buf_im[:, :, ts:] += tail_im[ch_codes, level]
             else:
-                stacks = self._sparse_stacks(channel, gi, ch_codes)
+                stacks = self._sparse_stacks(xp, channel, gi, ch_codes)
                 buf_re += stacks[:, :, level].real
                 buf_im += stacks[:, :, level].imag
             if self._v_prev:
@@ -197,9 +216,9 @@ class DFEDemodulator:
         buf_im[:, :, w - ts :] = 0.0
         if state["sig"] is not None:
             flat = state["sig"].reshape(-1, self._key_words)
-            self._shift_in_pair(flat, level_i * m + level_q, out=flat)
+            self._shift_in_pair(xp, flat, level_i * m + level_q, out=flat)
 
-    def _shift_in_pair(self, sig: np.ndarray, pair, out: np.ndarray | None = None) -> np.ndarray:
+    def _shift_in_pair(self, xp, sig, pair, out=None):
         """Shift a new level pair into packed recent-window words.
 
         ``sig`` is ``(N, n_words)``; ``pair`` may be a scalar or ``(N,)``.
@@ -209,7 +228,7 @@ class DFEDemodulator:
         """
         pair_base = self._m * self._m
         if out is None:
-            out = np.empty_like(sig)
+            out = xp.empty_like(sig)
         carry = pair
         for t, cap in enumerate(self._word_caps):
             word = sig[:, t]
@@ -222,7 +241,7 @@ class DFEDemodulator:
                 carry = dropped
         return out
 
-    def _group_ids(self, sig: np.ndarray) -> np.ndarray:
+    def _group_ids(self, xp, sig):
         """``(B, K)`` int ids equal iff two branches share a *truncated* window.
 
         The truncated window (the recent window minus its oldest pair) is the
@@ -243,15 +262,15 @@ class DFEDemodulator:
         # number the distinct rows, scatter the numbering back.
         cols = [sig[:, :, t].ravel() for t in range(n_words - 1)]
         cols.append((sig[:, :, -1] % div).ravel())
-        cols.append(np.repeat(np.arange(n_packets), k_now))
-        rows = np.stack(cols, axis=1)
-        perm = np.lexsort(cols)
+        cols.append(xp.repeat(xp.arange(n_packets), k_now))
+        rows = xp.stack(cols, axis=1)
+        perm = xp.lexsort(cols)
         srt = rows[perm]
-        new = np.empty(perm.size, dtype=bool)
+        new = xp.empty(perm.size, dtype=bool)
         new[0] = True
-        np.any(srt[1:] != srt[:-1], axis=1, out=new[1:])
-        gid_sorted = np.cumsum(new) - 1
-        gid = np.empty(perm.size, dtype=np.int64)
+        xp.any(srt[1:] != srt[:-1], axis=1, out=new[1:])
+        gid_sorted = xp.cumsum(new) - 1
+        gid = xp.empty(perm.size, dtype=xp.int64)
         gid[perm] = gid_sorted
         return gid.reshape(n_packets, k_now)
 
@@ -271,7 +290,8 @@ class DFEDemodulator:
         the group rotation stays aligned.  Without priming the channel is
         assumed idle (all groups fully relaxed) before the payload.
         """
-        z = np.asarray(z, dtype=complex)
+        xp = active_backend().xp
+        z = xp.asarray(z, dtype=complex)
         if z.ndim != 1:
             raise EqualizationError(f"z must be 1-D, got shape {z.shape}")
         return self.demodulate_block(z[None, :], n_symbols, prime_levels)[0]
@@ -290,14 +310,9 @@ class DFEDemodulator:
         with ``B`` separate :meth:`demodulate` calls — the batching only
         amortizes per-symbol dispatch overhead across packets.
         """
-        cfg = self.config
-        ts = cfg.samples_per_slot
-        w = cfg.samples_per_symbol
-        wt = w - ts
-        m = self._m
-        mm = m * m
-        dsm_order = cfg.dsm_order
-        z_block = np.asarray(z_block, dtype=complex)
+        xp = active_backend().xp
+        ts = self.config.samples_per_slot
+        z_block = xp.asarray(z_block, dtype=complex)
         if z_block.ndim != 2:
             raise EqualizationError(f"z_block must be 2-D, got shape {z_block.shape}")
         n_packets = z_block.shape[0]
@@ -307,60 +322,121 @@ class DFEDemodulator:
             raise EqualizationError(
                 f"need {n_symbols * ts} samples for {n_symbols} symbols, got {z_block.shape[1]}"
             )
+        session = self.begin_block(n_packets, n_symbols, prime_levels)
+        session.feed(z_block)
+        return session.finish()
 
-        merging = self.merge and self.merge_memory > 0
+    def begin_block(
+        self,
+        n_packets: int,
+        n_symbols: int,
+        prime_levels: tuple[np.ndarray, np.ndarray] | None = None,
+    ) -> "DFEBlockSession":
+        """Open a resumable block-decode session (see :class:`DFEBlockSession`).
+
+        The returned session accepts payload samples in arbitrary chunks via
+        :meth:`DFEBlockSession.feed` and is bit-exact with a single
+        :meth:`demodulate_block` call over the concatenation — the streaming
+        receiver's block-wise decode entry point.
+        """
+        if n_packets < 1:
+            raise EqualizationError("a block session needs at least one packet row")
+        return DFEBlockSession(self, n_packets, n_symbols, prime_levels)
+
+
+class DFEBlockSession:
+    """Resumable state of one lockstep block decode.
+
+    Construction primes the prediction state exactly as
+    :meth:`DFEDemodulator.demodulate_block` does; each :meth:`feed` consumes
+    whole slots out of the (chunk-boundary-free) sample stream and advances
+    the beam one symbol per slot.  Samples may arrive in any partition —
+    a slot split across chunks is re-joined into the identical float64 slice
+    before it is scored, so the decode is bit-exact with the whole-buffer
+    path for every chunking.  :meth:`finish` runs the traceback.
+
+    The active array backend (:mod:`repro.utils.backend`) is captured at
+    construction; all per-symbol kernels dispatch through its ``xp``
+    namespace.
+    """
+
+    def __init__(
+        self,
+        demod: DFEDemodulator,
+        n_packets: int,
+        n_symbols: int,
+        prime_levels: tuple[np.ndarray, np.ndarray] | None = None,
+    ):
+        xp = active_backend().xp
+        self._xp = xp
+        self._demod = demod
+        self.n_packets = n_packets
+        self.n_symbols = n_symbols
+        self._prime_levels = prime_levels
+        cfg = demod.config
+        self._ts = cfg.samples_per_slot
+        self._w = cfg.samples_per_symbol
+        self._wt = self._w - self._ts
+        self._dsm_order = cfg.dsm_order
+        self._n = 0
+
+        merging = demod.merge and demod.merge_memory > 0
+        w = self._w
         state = {
-            "buf_re": np.zeros((n_packets, 1, w), dtype=np.float64),
-            "buf_im": np.zeros((n_packets, 1, w), dtype=np.float64),
-            "codes": np.zeros((n_packets, 1, 2, dsm_order), dtype=np.int64),
-            "sig": np.zeros((n_packets, 1, self._key_words), dtype=np.int64) if merging else None,
+            "buf_re": xp.zeros((n_packets, 1, w), dtype=xp.float64),
+            "buf_im": xp.zeros((n_packets, 1, w), dtype=xp.float64),
+            "codes": xp.zeros((n_packets, 1, 2, self._dsm_order), dtype=xp.int64),
+            "sig": (
+                xp.zeros((n_packets, 1, demod._key_words), dtype=xp.int64) if merging else None
+            ),
         }
+        self._merging = merging
 
         if prime_levels is not None:
-            pi = np.asarray(prime_levels[0], dtype=int)
-            pq = np.asarray(prime_levels[1], dtype=int)
+            pi = xp.asarray(prime_levels[0], dtype=int)
+            pq = xp.asarray(prime_levels[1], dtype=int)
             if pi.size != pq.size:
                 raise EqualizationError("prime level arrays must be equal length")
-            if pi.size % dsm_order:
+            if pi.size % self._dsm_order:
                 raise EqualizationError("prime length must be a multiple of the DSM order")
             for n in range(pi.size):
-                self._advance_known(state, n % dsm_order, int(pi[n]), int(pq[n]))
+                demod._advance_known(xp, state, n % self._dsm_order, int(pi[n]), int(pq[n]))
         else:
             # Idle channel: one full round of level-0 firings settles the
             # buffer at every group's rest pedestal.
-            for n in range(dsm_order):
-                self._advance_known(state, n, 0, 0)
+            for n in range(self._dsm_order):
+                demod._advance_known(xp, state, n, 0, 0)
 
-        buf_re = state["buf_re"]
-        buf_im = state["buf_im"]
-        codes = state["codes"]
-        sig = state["sig"]
-        # Contiguous real/imag planes of the received block: complex add/sub
-        # is componentwise, so the plane-wise pipeline below is bit-identical
-        # to the reference's complex arithmetic while keeping every inner
-        # loop contiguous float64.
-        z_re = np.ascontiguousarray(z_block.real)
-        z_im = np.ascontiguousarray(z_block.imag)
-        costs = np.zeros((n_packets, 1), dtype=float)
-        k_target = self.k_branches
-        hist_mod = self._hist_mod
-        dense = self._dense
-        hist_update = self._v_prev > 0
-        key_words = self._key_words
-        b_idx = np.arange(n_packets)
-        b_col = b_idx[:, None]
+        self.buf_re = state["buf_re"]
+        self.buf_im = state["buf_im"]
+        self.codes = state["codes"]
+        self.sig = state["sig"]
+        self.costs = xp.zeros((n_packets, 1), dtype=float)
+        self._b_idx = xp.arange(n_packets)
+        self._b_col = self._b_idx[:, None]
 
+        dense = demod._dense
+        ts = self._ts
+        wt = self._wt
+        dsm_order = self._dsm_order
+        m = demod._m
         if dense:
-            planes = [
-                [self.bank.dense_split_planes(ch, gi, ts) for gi in range(dsm_order)]
+            self._planes = [
+                [
+                    tuple(xp.asarray(p) for p in demod.bank.dense_split_planes(ch, gi, ts))
+                    for gi in range(dsm_order)
+                ]
                 for ch in (0, 1)
             ]
             # Flat (code*m + level, wt) row views of every tail table: the
             # lag fold below addresses them with per-branch row indices.
-            tails2d = (
+            self._tails2d = (
                 [
                     [
-                        (planes[ch][gi][2].reshape(-1, wt), planes[ch][gi][3].reshape(-1, wt))
+                        (
+                            self._planes[ch][gi][2].reshape(-1, wt),
+                            self._planes[ch][gi][3].reshape(-1, wt),
+                        )
                         for gi in range(dsm_order)
                     ]
                     for ch in (0, 1)
@@ -368,22 +444,33 @@ class DFEDemodulator:
                 if wt
                 else None
             )
+        else:
+            self._planes = None
+            self._tails2d = None
         # Chain strategy: the broadcast cost update's inner SIMD runs are only
         # ``ts`` samples long (the level axes force strided operands), so for
         # big batches a per-(a, b) loop over fully contiguous (B, K, ts)
         # slabs is faster despite m² extra dispatches.  For small batches the
         # dispatch overhead dominates and the broadcast form wins.
-        loop_chain = dense and mm <= 64 and n_packets >= 16
-        if loop_chain:
-            planes_t = [
-                [self.bank.dense_split_head_planes_t(ch, gi, ts) for gi in range(dsm_order)]
+        self._loop_chain = dense and m * m <= 64 and n_packets >= 16
+        if self._loop_chain:
+            self._planes_t = [
+                [
+                    tuple(
+                        xp.asarray(p)
+                        for p in demod.bank.dense_split_head_planes_t(ch, gi, ts)
+                    )
+                    for gi in range(dsm_order)
+                ]
                 for ch in (0, 1)
             ]
+        else:
+            self._planes_t = None
         # Steady-state scratch: once the beam is at full width every per-symbol
         # tensor has a fixed shape, so all intermediates are written into
         # preallocated buffers (np.empty of a few hundred KB per symbol is
         # mmap + page faults, which dominates the arithmetic otherwise).
-        scratch: dict[str, np.ndarray] | None = None
+        self._scratch: dict | None = None
 
         # Ancestry-indexed prediction state ("lag fold", fast path only).
         # While the beam sits at full width the (B, K, w) prediction buffers
@@ -398,452 +485,587 @@ class DFEDemodulator:
         # Like ``loop_chain`` it only pays for big batches: at small B the
         # ~6L extra ufunc dispatches per symbol outweigh the saved traffic,
         # so small batches keep the in-place buffer update instead.
-        use_lag = dense and n_packets >= 16
-        lag_entries: list[tuple[np.ndarray, np.ndarray, int]] | None = None
-        carry_re2 = carry_im2 = carry_flat = None
-        carry_age = 0
+        self._use_lag = dense and n_packets >= 16
+        self._lag_entries: list | None = None
+        self._carry_re2 = self._carry_im2 = self._carry_flat = None
+        self._carry_age = 0
 
-        parents: list[np.ndarray] = []
-        choices_a: list[np.ndarray] = []
-        choices_b: list[np.ndarray] = []
+        self.parents: list = []
+        self.choices_a: list = []
+        self.choices_b: list = []
 
-        track_obs = self._obs.enabled
-        occ_sum = 0
-        occ_peak = 0
+        self._track_obs = demod._obs.enabled
+        self._occ_sum = 0
+        self._occ_peak = 0
 
-        for n in range(n_symbols):
-            gi = n % dsm_order
-            k_now = codes.shape[1]
-            if track_obs:
-                occ_sum += k_now
-                if k_now > occ_peak:
-                    occ_peak = k_now
-            n_cand = k_now * mm
-            codes_i = codes[:, :, 0, gi]
-            codes_q = codes[:, :, 1, gi]
-            fast = dense and k_now == k_target
-            if fast and use_lag and lag_entries is None:
-                lag_entries = []
-                carry_re2 = np.ascontiguousarray(buf_re).reshape(-1, w)
-                carry_im2 = np.ascontiguousarray(buf_im).reshape(-1, w)
-                carry_flat = (b_col * k_now + np.arange(k_now)).ravel()
-                carry_age = 0
-            if fast and scratch is None:
-                kk = k_target
-                scratch = {
-                    "base_re": np.empty((n_packets, kk, ts)),
-                    "base_im": np.empty((n_packets, kk, ts)),
-                    "inc": np.empty((n_packets, kk, m, m)),
-                }
-                if use_lag:
-                    scratch.update(
-                        {
-                            "acc_re": np.empty((n_packets, kk, ts)),
-                            "acc_im": np.empty((n_packets, kk, ts)),
-                            "tmp_re": np.empty((n_packets, kk, ts)),
-                            "tmp_im": np.empty((n_packets, kk, ts)),
-                        }
-                    )
-                else:
-                    scratch.update(
-                        {
-                            "pb_re": np.empty((n_packets, kk, w)),
-                            "pb_im": np.empty((n_packets, kk, w)),
-                            "tg_re": np.empty((n_packets, kk, wt)),
-                            "tg_im": np.empty((n_packets, kk, wt)),
-                        }
-                    )
-                if loop_chain:
-                    scratch.update(
-                        {
-                            "piT_re": np.empty((m, n_packets, kk, ts)),
-                            "piT_im": np.empty((m, n_packets, kk, ts)),
-                            "pqT_re": np.empty((m, n_packets, kk, ts)),
-                            "pqT_im": np.empty((m, n_packets, kk, ts)),
-                            "pa_re": np.empty((n_packets, kk, ts)),
-                            "pa_im": np.empty((n_packets, kk, ts)),
-                            "db_re": np.empty((n_packets, kk, ts)),
-                            "db_im": np.empty((n_packets, kk, ts)),
-                        }
-                    )
-                else:
-                    scratch.update(
-                        {
-                            "pi_re": np.empty((n_packets, kk, m, ts)),
-                            "pi_im": np.empty((n_packets, kk, m, ts)),
-                            "pq_re": np.empty((n_packets, kk, m, ts)),
-                            "pq_im": np.empty((n_packets, kk, m, ts)),
-                            "part_re": np.empty((n_packets, kk, m, ts)),
-                            "part_im": np.empty((n_packets, kk, m, ts)),
-                            "d_re": np.empty((n_packets, kk, m, m, ts)),
-                            "d_im": np.empty((n_packets, kk, m, m, ts)),
-                        }
-                    )
+        # Unconsumed sample planes (the chunk-boundary re-join buffer) and
+        # the fed-chunk log backing the defensive row-by-row fallback.
+        self._rem_re = None
+        self._rem_im = None
+        self._fed: list = []
+        self._fallback_rows = False
+        self._finished = False
 
-            # Broadcasted cost update over all B packets x K branches x m x m
-            # extensions, in the reference's exact operation order:
-            # (base - p_i) - p_q, evaluated per plane.  The fast path is the
-            # same arithmetic routed through the preallocated scratch
-            # (x**2 == multiply(x, x); in-place ufuncs change no values).
-            zv_re = z_re[:, None, n * ts : (n + 1) * ts]
-            zv_im = z_im[:, None, n * ts : (n + 1) * ts]
-            if fast:
-                s = scratch
-                hi_re, hi_im, ti_re, ti_im = planes[0][gi]
-                hq_re, hq_im, tq_re, tq_im = planes[1][gi]
-                # First-slot fold: carry slice first, then (oldest symbol
-                # first) each lagged symbol's I tail followed by its Q tail —
-                # the reference's exact per-element add chain.  Once the
-                # carry has aged out, the oldest term is written by take()
-                # instead of the reference's 0.0 + x; that can only flip the
-                # sign of a zero, and the residual is squared before any
-                # value leaves the kernel, so costs are unchanged bit-wise.
-                if lag_entries is not None:
-                    acc_re, acc_im = s["acc_re"], s["acc_im"]
-                    a2r = acc_re.reshape(-1, ts)
-                    a2i = acc_im.reshape(-1, ts)
-                    t2r = s["tmp_re"].reshape(-1, ts)
-                    t2i = s["tmp_im"].reshape(-1, ts)
-                    take, add = np.take, np.add
-                    begun = False
-                    if carry_age < dsm_order:
-                        off = carry_age * ts
-                        take(
-                            carry_re2[:, off : off + ts], carry_flat, axis=0, out=a2r, mode="clip"
-                        )
-                        take(
-                            carry_im2[:, off : off + ts], carry_flat, axis=0, out=a2i, mode="clip"
-                        )
-                        begun = True
-                    for j in range(len(lag_entries) - 1, -1, -1):
-                        fi_j, fq_j, g_j = lag_entries[j]
-                        lo = j * ts
-                        sl = slice(lo, lo + ts)
-                        ti2r, ti2i = tails2d[0][g_j]
-                        tq2r, tq2i = tails2d[1][g_j]
-                        if begun:
-                            take(ti2r[:, sl], fi_j, axis=0, out=t2r, mode="clip")
-                            take(ti2i[:, sl], fi_j, axis=0, out=t2i, mode="clip")
-                            add(a2r, t2r, out=a2r)
-                            add(a2i, t2i, out=a2i)
-                        else:
-                            take(ti2r[:, sl], fi_j, axis=0, out=a2r, mode="clip")
-                            take(ti2i[:, sl], fi_j, axis=0, out=a2i, mode="clip")
-                            begun = True
-                        take(tq2r[:, sl], fq_j, axis=0, out=t2r, mode="clip")
-                        take(tq2i[:, sl], fq_j, axis=0, out=t2i, mode="clip")
+    # ---------------------------------------------------------- properties
+
+    @property
+    def symbols_done(self) -> int:
+        """Symbols decoded so far (``n_symbols`` once complete)."""
+        return self._n
+
+    @property
+    def is_complete(self) -> bool:
+        """True when every requested symbol has been decoded."""
+        return self._n >= self.n_symbols or self._fallback_rows
+
+    @property
+    def pending_samples(self) -> int:
+        """Buffered samples not yet consumed by a whole slot."""
+        return 0 if self._rem_re is None else int(self._rem_re.shape[1])
+
+    # ---------------------------------------------------------------- feed
+
+    def feed(self, z_chunk) -> "DFEBlockSession":
+        """Append ``(B, n)`` payload samples and decode every completed slot.
+
+        Chunks may be any length (including zero or sub-slot); a slot whose
+        samples span chunks is scored only once fully buffered, on exactly
+        the slice a whole-buffer decode would read.
+        """
+        if self._finished:
+            raise EqualizationError("session already finished")
+        xp = self._xp
+        z = xp.asarray(z_chunk, dtype=complex)
+        if z.ndim != 2 or z.shape[0] != self.n_packets:
+            raise EqualizationError(
+                f"chunk must be ({self.n_packets}, n) shaped, got {z.shape}"
+            )
+        self._fed.append(z)
+        if self._fallback_rows:
+            return self
+        # Contiguous real/imag planes of the received chunk: complex add/sub
+        # is componentwise, so the plane-wise pipeline below is bit-identical
+        # to the reference's complex arithmetic while keeping every inner
+        # loop contiguous float64.
+        re = xp.ascontiguousarray(z.real)
+        im = xp.ascontiguousarray(z.imag)
+        if self._rem_re is not None and self._rem_re.shape[1]:
+            re = xp.concatenate([self._rem_re, re], axis=1)
+            im = xp.concatenate([self._rem_im, im], axis=1)
+        ts = self._ts
+        off = 0
+        avail = re.shape[1]
+        while avail - off >= ts and self._n < self.n_symbols and not self._fallback_rows:
+            self._step(re[:, None, off : off + ts], im[:, None, off : off + ts])
+            off += ts
+        self._rem_re = re[:, off:]
+        self._rem_im = im[:, off:]
+        return self
+
+    # ---------------------------------------------------------------- step
+
+    def _step(self, zv_re, zv_im) -> None:
+        """Score one slot's extensions and reselect the beam (one symbol)."""
+        xp = self._xp
+        demod = self._demod
+        n = self._n
+        ts = self._ts
+        w = self._w
+        wt = self._wt
+        m = demod._m
+        mm = m * m
+        dsm_order = self._dsm_order
+        n_packets = self.n_packets
+        k_target = demod.k_branches
+        hist_mod = demod._hist_mod
+        hist_update = demod._v_prev > 0
+        key_words = demod._key_words
+        dense = demod._dense
+        merging = self._merging
+        b_col = self._b_col
+        buf_re = self.buf_re
+        buf_im = self.buf_im
+        codes = self.codes
+        sig = self.sig
+        costs = self.costs
+        planes = self._planes
+        tails2d = self._tails2d
+        loop_chain = self._loop_chain
+        use_lag = self._use_lag
+        scratch = self._scratch
+        lag_entries = self._lag_entries
+        carry_re2 = self._carry_re2
+        carry_im2 = self._carry_im2
+        carry_flat = self._carry_flat
+        carry_age = self._carry_age
+
+        gi = n % dsm_order
+        k_now = codes.shape[1]
+        if self._track_obs:
+            self._occ_sum += k_now
+            if k_now > self._occ_peak:
+                self._occ_peak = k_now
+        n_cand = k_now * mm
+        codes_i = codes[:, :, 0, gi]
+        codes_q = codes[:, :, 1, gi]
+        fast = dense and k_now == k_target
+        if fast and use_lag and lag_entries is None:
+            lag_entries = []
+            carry_re2 = xp.ascontiguousarray(buf_re).reshape(-1, w)
+            carry_im2 = xp.ascontiguousarray(buf_im).reshape(-1, w)
+            carry_flat = (b_col * k_now + xp.arange(k_now)).ravel()
+            carry_age = 0
+        if fast and scratch is None:
+            kk = k_target
+            scratch = {
+                "base_re": xp.empty((n_packets, kk, ts)),
+                "base_im": xp.empty((n_packets, kk, ts)),
+                "inc": xp.empty((n_packets, kk, m, m)),
+            }
+            if use_lag:
+                scratch.update(
+                    {
+                        "acc_re": xp.empty((n_packets, kk, ts)),
+                        "acc_im": xp.empty((n_packets, kk, ts)),
+                        "tmp_re": xp.empty((n_packets, kk, ts)),
+                        "tmp_im": xp.empty((n_packets, kk, ts)),
+                    }
+                )
+            else:
+                scratch.update(
+                    {
+                        "pb_re": xp.empty((n_packets, kk, w)),
+                        "pb_im": xp.empty((n_packets, kk, w)),
+                        "tg_re": xp.empty((n_packets, kk, wt)),
+                        "tg_im": xp.empty((n_packets, kk, wt)),
+                    }
+                )
+            if loop_chain:
+                scratch.update(
+                    {
+                        "piT_re": xp.empty((m, n_packets, kk, ts)),
+                        "piT_im": xp.empty((m, n_packets, kk, ts)),
+                        "pqT_re": xp.empty((m, n_packets, kk, ts)),
+                        "pqT_im": xp.empty((m, n_packets, kk, ts)),
+                        "pa_re": xp.empty((n_packets, kk, ts)),
+                        "pa_im": xp.empty((n_packets, kk, ts)),
+                        "db_re": xp.empty((n_packets, kk, ts)),
+                        "db_im": xp.empty((n_packets, kk, ts)),
+                    }
+                )
+            else:
+                scratch.update(
+                    {
+                        "pi_re": xp.empty((n_packets, kk, m, ts)),
+                        "pi_im": xp.empty((n_packets, kk, m, ts)),
+                        "pq_re": xp.empty((n_packets, kk, m, ts)),
+                        "pq_im": xp.empty((n_packets, kk, m, ts)),
+                        "part_re": xp.empty((n_packets, kk, m, ts)),
+                        "part_im": xp.empty((n_packets, kk, m, ts)),
+                        "d_re": xp.empty((n_packets, kk, m, m, ts)),
+                        "d_im": xp.empty((n_packets, kk, m, m, ts)),
+                    }
+                )
+            self._scratch = scratch
+
+        # Broadcasted cost update over all B packets x K branches x m x m
+        # extensions, in the reference's exact operation order:
+        # (base - p_i) - p_q, evaluated per plane.  The fast path is the
+        # same arithmetic routed through the preallocated scratch
+        # (x**2 == multiply(x, x); in-place ufuncs change no values).
+        if fast:
+            s = scratch
+            hi_re, hi_im, ti_re, ti_im = planes[0][gi]
+            hq_re, hq_im, tq_re, tq_im = planes[1][gi]
+            # First-slot fold: carry slice first, then (oldest symbol
+            # first) each lagged symbol's I tail followed by its Q tail —
+            # the reference's exact per-element add chain.  Once the
+            # carry has aged out, the oldest term is written by take()
+            # instead of the reference's 0.0 + x; that can only flip the
+            # sign of a zero, and the residual is squared before any
+            # value leaves the kernel, so costs are unchanged bit-wise.
+            if lag_entries is not None:
+                acc_re, acc_im = s["acc_re"], s["acc_im"]
+                a2r = acc_re.reshape(-1, ts)
+                a2i = acc_im.reshape(-1, ts)
+                t2r = s["tmp_re"].reshape(-1, ts)
+                t2i = s["tmp_im"].reshape(-1, ts)
+                take, add = xp.take, xp.add
+                begun = False
+                if carry_age < dsm_order:
+                    off = carry_age * ts
+                    take(
+                        carry_re2[:, off : off + ts], carry_flat, axis=0, out=a2r, mode="clip"
+                    )
+                    take(
+                        carry_im2[:, off : off + ts], carry_flat, axis=0, out=a2i, mode="clip"
+                    )
+                    begun = True
+                for j in range(len(lag_entries) - 1, -1, -1):
+                    fi_j, fq_j, g_j = lag_entries[j]
+                    lo = j * ts
+                    sl = slice(lo, lo + ts)
+                    ti2r, ti2i = tails2d[0][g_j]
+                    tq2r, tq2i = tails2d[1][g_j]
+                    if begun:
+                        take(ti2r[:, sl], fi_j, axis=0, out=t2r, mode="clip")
+                        take(ti2i[:, sl], fi_j, axis=0, out=t2i, mode="clip")
                         add(a2r, t2r, out=a2r)
                         add(a2i, t2i, out=a2i)
-                    if not begun:
-                        acc_re.fill(0.0)
-                        acc_im.fill(0.0)
-                    base_re = np.subtract(zv_re, acc_re, out=s["base_re"])
-                    base_im = np.subtract(zv_im, acc_im, out=s["base_im"])
-                else:
-                    base_re = np.subtract(zv_re, buf_re[:, :, :ts], out=s["base_re"])
-                    base_im = np.subtract(zv_im, buf_im[:, :, :ts], out=s["base_im"])
-                if loop_chain:
-                    # Level-major gathers: fixing (a, b) yields contiguous
-                    # (B, K, ts) slabs, so every inner op below is one long
-                    # SIMD run instead of m² short strided ones.  Same values
-                    # and the same per-row pairwise sum as the broadcast form
-                    # (np.sum delegates to np.add.reduce; ufuncs are bound to
-                    # locals because this loop issues ~6m² dispatches).
-                    hiT_re, hiT_im = planes_t[0][gi]
-                    hqT_re, hqT_im = planes_t[1][gi]
-                    piT_re = hiT_re.take(codes_i, axis=1, mode="clip", out=s["piT_re"])
-                    piT_im = hiT_im.take(codes_i, axis=1, mode="clip", out=s["piT_im"])
-                    pqT_re = hqT_re.take(codes_q, axis=1, mode="clip", out=s["pqT_re"])
-                    pqT_im = hqT_im.take(codes_q, axis=1, mode="clip", out=s["pqT_im"])
-                    inc = s["inc"]
-                    pa_re, pa_im = s["pa_re"], s["pa_im"]
-                    db_re, db_im = s["db_re"], s["db_im"]
-                    sub, mul, add = np.subtract, np.multiply, np.add
-                    reduce_add = np.add.reduce
-                    pq_rows = [(pqT_re[b2], pqT_im[b2]) for b2 in range(m)]
-                    inc_rows = inc.reshape(n_packets, k_now, mm)
-                    for a in range(m):
-                        sub(base_re, piT_re[a], out=pa_re)
-                        sub(base_im, piT_im[a], out=pa_im)
-                        am = a * m
-                        for b2 in range(m):
-                            qr, qi = pq_rows[b2]
-                            sub(pa_re, qr, out=db_re)
-                            sub(pa_im, qi, out=db_im)
-                            mul(db_re, db_re, out=db_re)
-                            mul(db_im, db_im, out=db_im)
-                            add(db_re, db_im, out=db_re)
-                            reduce_add(db_re, axis=-1, out=inc_rows[:, :, am + b2])
-                else:
-                    pi_re = np.take(hi_re, codes_i, axis=0, mode="clip", out=s["pi_re"])
-                    pi_im = np.take(hi_im, codes_i, axis=0, mode="clip", out=s["pi_im"])
-                    pq_re = np.take(hq_re, codes_q, axis=0, mode="clip", out=s["pq_re"])
-                    pq_im = np.take(hq_im, codes_q, axis=0, mode="clip", out=s["pq_im"])
-                    part_re = np.subtract(base_re[:, :, None, :], pi_re, out=s["part_re"])
-                    part_im = np.subtract(base_im[:, :, None, :], pi_im, out=s["part_im"])
-                    d_re = np.subtract(
-                        part_re[:, :, :, None, :], pq_re[:, :, None, :, :], out=s["d_re"]
-                    )
-                    d_im = np.subtract(
-                        part_im[:, :, :, None, :], pq_im[:, :, None, :, :], out=s["d_im"]
-                    )
-                    np.multiply(d_re, d_re, out=d_re)
-                    np.multiply(d_im, d_im, out=d_im)
-                    np.add(d_re, d_im, out=d_re)
-                    inc = np.sum(d_re, axis=-1, out=s["inc"])
+                    else:
+                        take(ti2r[:, sl], fi_j, axis=0, out=a2r, mode="clip")
+                        take(ti2i[:, sl], fi_j, axis=0, out=a2i, mode="clip")
+                        begun = True
+                    take(tq2r[:, sl], fq_j, axis=0, out=t2r, mode="clip")
+                    take(tq2i[:, sl], fq_j, axis=0, out=t2i, mode="clip")
+                    add(a2r, t2r, out=a2r)
+                    add(a2i, t2i, out=a2i)
+                if not begun:
+                    acc_re.fill(0.0)
+                    acc_im.fill(0.0)
+                base_re = xp.subtract(zv_re, acc_re, out=s["base_re"])
+                base_im = xp.subtract(zv_im, acc_im, out=s["base_im"])
             else:
-                if dense:
-                    hi_re, hi_im, ti_re, ti_im = planes[0][gi]
-                    hq_re, hq_im, tq_re, tq_im = planes[1][gi]
-                    pi_re = hi_re[codes_i]
-                    pi_im = hi_im[codes_i]
-                    pq_re = hq_re[codes_q]
-                    pq_im = hq_im[codes_q]
-                else:
-                    stacks_i = self._sparse_stacks(0, gi, codes_i)
-                    stacks_q = self._sparse_stacks(1, gi, codes_q)
-                    pi_re = np.ascontiguousarray(stacks_i.real[..., :ts])
-                    pi_im = np.ascontiguousarray(stacks_i.imag[..., :ts])
-                    pq_re = np.ascontiguousarray(stacks_q.real[..., :ts])
-                    pq_im = np.ascontiguousarray(stacks_q.imag[..., :ts])
-                base_re = zv_re - buf_re[:, :, :ts]
-                base_im = zv_im - buf_im[:, :, :ts]
-                part_re = base_re[:, :, None, :] - pi_re
-                part_im = base_im[:, :, None, :] - pi_im
-                d_re = part_re[:, :, :, None, :] - pq_re[:, :, None, :, :]
-                d_im = part_im[:, :, :, None, :] - pq_im[:, :, None, :, :]
-                inc = np.sum(d_re**2 + d_im**2, axis=-1)
-            np.add(costs[:, :, None, None], inc, out=inc)
-            flat = inc.reshape(n_packets, n_cand)
-
-            # Selection only ever consumes a cost-ordered *prefix* of the
-            # candidates, so a full (B, n_cand) stable argsort is overkill:
-            # argpartition isolates the cheapest `chunk0` per packet and a
-            # small stable sort orders them.  Stability (ties broken by
-            # candidate index) is what the reference's argsort guarantees, so
-            # any tie that argpartition could mis-handle — a tie at the
-            # partition boundary, or any tie inside the prefix — falls back
-            # to exact machinery (lexsort on (value, index), or the full
-            # stable argsort).  With continuous-noise costs ties essentially
-            # never occur, so the fast path is the steady state.
-            chunk0 = min(n_cand, max(4 * k_target, 64))
-            order = None
-            prefix = None
-            if n_cand > chunk0:
-                idxp = np.argpartition(flat, chunk0 - 1, axis=-1)[:, :chunk0]
-                valsp = flat[b_col, idxp]
-                v_edge = valsp.max(axis=-1)
-                n_full = np.count_nonzero(flat == v_edge[:, None], axis=-1)
-                n_part = np.count_nonzero(valsp == v_edge[:, None], axis=-1)
-                if np.array_equal(n_full, n_part):
-                    perm0 = np.argsort(valsp, axis=-1, kind="stable")
-                    sv = valsp[b_col, perm0]
-                    if (sv[:, 1:] == sv[:, :-1]).any():
-                        perm0 = np.lexsort((idxp, valsp), axis=-1)
-                    prefix = idxp[b_col, perm0]
-            if prefix is None:
-                order = np.argsort(flat, axis=-1, kind="stable")
-                prefix = order[:, :chunk0]
-
-            if merging:
-                # Dedup each packet's cost-ordered candidate prefix on
-                # (group id, fired pair) keys; widen the prefix in the rare
-                # case K distinct keys need more of it.
-                gid = self._group_ids(sig)
-                chunk = chunk0
-                ord_c = prefix
-                while True:
-                    cand_k, cand_pair = np.divmod(ord_c, mm)
-                    keys = gid[b_col, cand_k] * mm + cand_pair
-                    perm = np.argsort(keys, axis=-1, kind="stable")
-                    sk = keys[b_col, perm]
-                    flag = np.empty(sk.shape, dtype=bool)
-                    flag[:, 0] = True
-                    np.not_equal(sk[:, 1:], sk[:, :-1], out=flag[:, 1:])
-                    # Stable sort => first element of each equal-key run is
-                    # its minimum (cheapest) original position.
-                    mask = np.empty(sk.shape, dtype=bool)
-                    mask[b_col, perm] = flag
-                    csum = np.cumsum(mask, axis=-1)
-                    counts = csum[:, -1]
-                    c_min = int(counts.min())
-                    if c_min >= k_target or chunk == n_cand:
-                        break
-                    chunk = min(n_cand, chunk * 4)
-                    if order is None:
-                        order = np.argsort(flat, axis=-1, kind="stable")
-                    ord_c = order[:, :chunk]
-                k_new = min(k_target, c_min)
-                if c_min < k_target and int(counts.max()) != c_min:
-                    # Packets primed identically grow their beams through the
-                    # same deterministic state sets, so distinct-key counts
-                    # can only differ once every packet already has >= K.
-                    # Defensive fallback: decode rows independently.
-                    return [
-                        self.demodulate(z_block[b], n_symbols, prime_levels)
-                        for b in range(n_packets)
-                    ]
-                sel_mask = mask & (csum <= k_new)
-                pos = np.nonzero(sel_mask)[1].reshape(n_packets, k_new)
-                ord_sel = ord_c[b_col, pos]
-                k_sel = cand_k[b_col, pos]
-                pair_sel = cand_pair[b_col, pos]
-                new_sig = self._shift_in_pair(
-                    sig[b_col, k_sel].reshape(-1, key_words), pair_sel.ravel()
-                ).reshape(n_packets, k_new, key_words)
+                base_re = xp.subtract(zv_re, buf_re[:, :, :ts], out=s["base_re"])
+                base_im = xp.subtract(zv_im, buf_im[:, :, :ts], out=s["base_im"])
+            if loop_chain:
+                # Level-major gathers: fixing (a, b) yields contiguous
+                # (B, K, ts) slabs, so every inner op below is one long
+                # SIMD run instead of m² short strided ones.  Same values
+                # and the same per-row pairwise sum as the broadcast form
+                # (xp.sum delegates to xp.add.reduce; ufuncs are bound to
+                # locals because this loop issues ~6m² dispatches).
+                hiT_re, hiT_im = self._planes_t[0][gi]
+                hqT_re, hqT_im = self._planes_t[1][gi]
+                piT_re = hiT_re.take(codes_i, axis=1, mode="clip", out=s["piT_re"])
+                piT_im = hiT_im.take(codes_i, axis=1, mode="clip", out=s["piT_im"])
+                pqT_re = hqT_re.take(codes_q, axis=1, mode="clip", out=s["pqT_re"])
+                pqT_im = hqT_im.take(codes_q, axis=1, mode="clip", out=s["pqT_im"])
+                inc = s["inc"]
+                pa_re, pa_im = s["pa_re"], s["pa_im"]
+                db_re, db_im = s["db_re"], s["db_im"]
+                sub, mul, add = xp.subtract, xp.multiply, xp.add
+                reduce_add = xp.add.reduce
+                pq_rows = [(pqT_re[b2], pqT_im[b2]) for b2 in range(m)]
+                inc_rows = inc.reshape(n_packets, k_now, mm)
+                for a in range(m):
+                    sub(base_re, piT_re[a], out=pa_re)
+                    sub(base_im, piT_im[a], out=pa_im)
+                    am = a * m
+                    for b2 in range(m):
+                        qr, qi = pq_rows[b2]
+                        sub(pa_re, qr, out=db_re)
+                        sub(pa_im, qi, out=db_im)
+                        mul(db_re, db_re, out=db_re)
+                        mul(db_im, db_im, out=db_im)
+                        add(db_re, db_im, out=db_re)
+                        reduce_add(db_re, axis=-1, out=inc_rows[:, :, am + b2])
             else:
-                k_new = min(k_target, n_cand)
-                ord_sel = prefix[:, :k_new]
-                k_sel, pair_sel = np.divmod(ord_sel, mm)
-                new_sig = None
-            a_sel, b_sel = np.divmod(pair_sel, m)
+                pi_re = xp.take(hi_re, codes_i, axis=0, mode="clip", out=s["pi_re"])
+                pi_im = xp.take(hi_im, codes_i, axis=0, mode="clip", out=s["pi_im"])
+                pq_re = xp.take(hq_re, codes_q, axis=0, mode="clip", out=s["pq_re"])
+                pq_im = xp.take(hq_im, codes_q, axis=0, mode="clip", out=s["pq_im"])
+                part_re = xp.subtract(base_re[:, :, None, :], pi_re, out=s["part_re"])
+                part_im = xp.subtract(base_im[:, :, None, :], pi_im, out=s["part_im"])
+                d_re = xp.subtract(
+                    part_re[:, :, :, None, :], pq_re[:, :, None, :, :], out=s["d_re"]
+                )
+                d_im = xp.subtract(
+                    part_im[:, :, :, None, :], pq_im[:, :, None, :, :], out=s["d_im"]
+                )
+                xp.multiply(d_re, d_re, out=d_re)
+                xp.multiply(d_im, d_im, out=d_im)
+                xp.add(d_re, d_im, out=d_re)
+                inc = xp.sum(d_re, axis=-1, out=s["inc"])
+        else:
+            if dense:
+                hi_re, hi_im, ti_re, ti_im = planes[0][gi]
+                hq_re, hq_im, tq_re, tq_im = planes[1][gi]
+                pi_re = hi_re[codes_i]
+                pi_im = hi_im[codes_i]
+                pq_re = hq_re[codes_q]
+                pq_im = hq_im[codes_q]
+            else:
+                stacks_i = self._demod._sparse_stacks(xp, 0, gi, codes_i)
+                stacks_q = self._demod._sparse_stacks(xp, 1, gi, codes_q)
+                pi_re = xp.ascontiguousarray(stacks_i.real[..., :ts])
+                pi_im = xp.ascontiguousarray(stacks_i.imag[..., :ts])
+                pq_re = xp.ascontiguousarray(stacks_q.real[..., :ts])
+                pq_im = xp.ascontiguousarray(stacks_q.imag[..., :ts])
+            base_re = zv_re - buf_re[:, :, :ts]
+            base_im = zv_im - buf_im[:, :, :ts]
+            part_re = base_re[:, :, None, :] - pi_re
+            part_im = base_im[:, :, None, :] - pi_im
+            d_re = part_re[:, :, :, None, :] - pq_re[:, :, None, :, :]
+            d_im = part_im[:, :, :, None, :] - pq_im[:, :, None, :, :]
+            inc = xp.sum(d_re**2 + d_im**2, axis=-1)
+        xp.add(costs[:, :, None, None], inc, out=inc)
+        flat = inc.reshape(n_packets, n_cand)
 
-            parents.append(k_sel)
-            choices_a.append(a_sel)
-            choices_b.append(b_sel)
+        # Selection only ever consumes a cost-ordered *prefix* of the
+        # candidates, so a full (B, n_cand) stable argsort is overkill:
+        # argpartition isolates the cheapest `chunk0` per packet and a
+        # small stable sort orders them.  Stability (ties broken by
+        # candidate index) is what the reference's argsort guarantees, so
+        # any tie that argpartition could mis-handle — a tie at the
+        # partition boundary, or any tie inside the prefix — falls back
+        # to exact machinery (lexsort on (value, index), or the full
+        # stable argsort).  With continuous-noise costs ties essentially
+        # never occur, so the fast path is the steady state.
+        chunk0 = min(n_cand, max(4 * k_target, 64))
+        order = None
+        prefix = None
+        if n_cand > chunk0:
+            idxp = xp.argpartition(flat, chunk0 - 1, axis=-1)[:, :chunk0]
+            valsp = flat[b_col, idxp]
+            v_edge = valsp.max(axis=-1)
+            n_full = xp.count_nonzero(flat == v_edge[:, None], axis=-1)
+            n_part = xp.count_nonzero(valsp == v_edge[:, None], axis=-1)
+            if xp.array_equal(n_full, n_part):
+                perm0 = xp.argsort(valsp, axis=-1, kind="stable")
+                sv = valsp[b_col, perm0]
+                if (sv[:, 1:] == sv[:, :-1]).any():
+                    perm0 = xp.lexsort((idxp, valsp), axis=-1)
+                prefix = idxp[b_col, perm0]
+        if prefix is None:
+            order = xp.argsort(flat, axis=-1, kind="stable")
+            prefix = order[:, :chunk0]
 
-            sel_codes_i = codes_i[b_col, k_sel]
-            sel_codes_q = codes_q[b_col, k_sel]
-            if fast and k_new == k_target and lag_entries is not None:
-                # Index-only successor update: no (B, K, w) buffer moves.
-                # Surviving per-symbol index arrays are re-aligned to the new
-                # branch order, the just-decided symbol joins the lag window,
-                # and the carry ages one slot towards the fold horizon.
-                if wt and len(lag_entries) == dsm_order - 1:
-                    lag_entries.pop()
-                lag_entries = [
-                    (
-                        fi_j.reshape(n_packets, k_now)[b_col, k_sel].ravel(),
-                        fq_j.reshape(n_packets, k_now)[b_col, k_sel].ravel(),
-                        g_j,
-                    )
-                    for fi_j, fq_j, g_j in lag_entries
-                ]
-                if wt:
-                    flat_i = (sel_codes_i * m + a_sel).ravel()
-                    flat_q = (sel_codes_q * m + b_sel).ravel()
-                    lag_entries.insert(0, (flat_i, flat_q, gi))
+        if merging:
+            # Dedup each packet's cost-ordered candidate prefix on
+            # (group id, fired pair) keys; widen the prefix in the rare
+            # case K distinct keys need more of it.
+            gid = self._demod._group_ids(xp, sig)
+            chunk = chunk0
+            ord_c = prefix
+            while True:
+                cand_k, cand_pair = xp.divmod(ord_c, mm)
+                keys = gid[b_col, cand_k] * mm + cand_pair
+                perm = xp.argsort(keys, axis=-1, kind="stable")
+                sk = keys[b_col, perm]
+                flag = xp.empty(sk.shape, dtype=bool)
+                flag[:, 0] = True
+                xp.not_equal(sk[:, 1:], sk[:, :-1], out=flag[:, 1:])
+                # Stable sort => first element of each equal-key run is
+                # its minimum (cheapest) original position.
+                mask = xp.empty(sk.shape, dtype=bool)
+                mask[b_col, perm] = flag
+                csum = xp.cumsum(mask, axis=-1)
+                counts = csum[:, -1]
+                c_min = int(counts.min())
+                if c_min >= k_target or chunk == n_cand:
+                    break
+                chunk = min(n_cand, chunk * 4)
+                if order is None:
+                    order = xp.argsort(flat, axis=-1, kind="stable")
+                ord_c = order[:, :chunk]
+            k_new = min(k_target, c_min)
+            if c_min < k_target and int(counts.max()) != c_min:
+                # Packets primed identically grow their beams through the
+                # same deterministic state sets, so distinct-key counts
+                # can only differ once every packet already has >= K.
+                # Defensive fallback: decode rows independently (deferred
+                # to finish(), which replays the fed sample log).
+                self._fallback_rows = True
+                return
+            sel_mask = mask & (csum <= k_new)
+            pos = xp.nonzero(sel_mask)[1].reshape(n_packets, k_new)
+            ord_sel = ord_c[b_col, pos]
+            k_sel = cand_k[b_col, pos]
+            pair_sel = cand_pair[b_col, pos]
+            new_sig = self._demod._shift_in_pair(
+                xp, sig[b_col, k_sel].reshape(-1, key_words), pair_sel.ravel()
+            ).reshape(n_packets, k_new, key_words)
+        else:
+            k_new = min(k_target, n_cand)
+            ord_sel = prefix[:, :k_new]
+            k_sel, pair_sel = xp.divmod(ord_sel, mm)
+            new_sig = None
+        a_sel, b_sel = xp.divmod(pair_sel, m)
+
+        self.parents.append(k_sel)
+        self.choices_a.append(a_sel)
+        self.choices_b.append(b_sel)
+
+        sel_codes_i = codes_i[b_col, k_sel]
+        sel_codes_q = codes_q[b_col, k_sel]
+        if fast and k_new == k_target and lag_entries is not None:
+            # Index-only successor update: no (B, K, w) buffer moves.
+            # Surviving per-symbol index arrays are re-aligned to the new
+            # branch order, the just-decided symbol joins the lag window,
+            # and the carry ages one slot towards the fold horizon.
+            if wt and len(lag_entries) == dsm_order - 1:
+                lag_entries.pop()
+            lag_entries = [
+                (
+                    fi_j.reshape(n_packets, k_now)[b_col, k_sel].ravel(),
+                    fq_j.reshape(n_packets, k_now)[b_col, k_sel].ravel(),
+                    g_j,
+                )
+                for fi_j, fq_j, g_j in lag_entries
+            ]
+            if wt:
+                flat_i = (sel_codes_i * m + a_sel).ravel()
+                flat_q = (sel_codes_q * m + b_sel).ravel()
+                lag_entries.insert(0, (flat_i, flat_q, gi))
+            if carry_age < dsm_order:
+                carry_flat = carry_flat.reshape(n_packets, k_now)[b_col, k_sel].ravel()
+            carry_age += 1
+        elif fast and k_new == k_target:
+            # Small-batch in-place successor update: parents gathered
+            # into scratch, the new prediction written back over the (now
+            # consumed) current buffer, (buf + tail_i) + tail_q as the
+            # reference.
+            if wt:
+                s = scratch
+                flat_par = (b_col * k_now + k_sel).ravel()
+                pb_re = xp.take(
+                    buf_re.reshape(-1, w), flat_par, axis=0, mode="clip",
+                    out=s["pb_re"].reshape(-1, w),
+                ).reshape(n_packets, k_new, w)
+                pb_im = xp.take(
+                    buf_im.reshape(-1, w), flat_par, axis=0, mode="clip",
+                    out=s["pb_im"].reshape(-1, w),
+                ).reshape(n_packets, k_new, w)
+                view_re = buf_re[:, :, :wt]
+                view_im = buf_im[:, :, :wt]
+                tg_re = s["tg_re"].reshape(-1, wt)
+                tg_im = s["tg_im"].reshape(-1, wt)
+                flat_i = (sel_codes_i * m + a_sel).ravel()
+                flat_q = (sel_codes_q * m + b_sel).ravel()
+                xp.take(ti_re.reshape(-1, wt), flat_i, axis=0, mode="clip", out=tg_re)
+                xp.take(ti_im.reshape(-1, wt), flat_i, axis=0, mode="clip", out=tg_im)
+                xp.add(pb_re[:, :, ts:], s["tg_re"], out=view_re)
+                xp.add(pb_im[:, :, ts:], s["tg_im"], out=view_im)
+                xp.take(tq_re.reshape(-1, wt), flat_q, axis=0, mode="clip", out=tg_re)
+                xp.take(tq_im.reshape(-1, wt), flat_q, axis=0, mode="clip", out=tg_im)
+                view_re += s["tg_re"]
+                view_im += s["tg_im"]
+            buf_re[:, :, wt:] = 0.0
+            buf_im[:, :, wt:] = 0.0
+        else:
+            if lag_entries is not None:
+                # Leaving the index-only regime (beam narrowed below K):
+                # materialise the full parent buffers once, in the same
+                # chronological fold order as the first-slot fold above,
+                # then fall through to the allocating update.
+                full_re = xp.zeros((n_packets, k_now, w), dtype=xp.float64)
+                full_im = xp.zeros((n_packets, k_now, w), dtype=xp.float64)
+                f2r = full_re.reshape(-1, w)
+                f2i = full_im.reshape(-1, w)
                 if carry_age < dsm_order:
-                    carry_flat = carry_flat.reshape(n_packets, k_now)[b_col, k_sel].ravel()
-                carry_age += 1
-            elif fast and k_new == k_target:
-                # Small-batch in-place successor update: parents gathered
-                # into scratch, the new prediction written back over the (now
-                # consumed) current buffer, (buf + tail_i) + tail_q as the
-                # reference.
-                if wt:
-                    s = scratch
-                    flat_par = (b_col * k_now + k_sel).ravel()
-                    pb_re = np.take(
-                        buf_re.reshape(-1, w), flat_par, axis=0, mode="clip",
-                        out=s["pb_re"].reshape(-1, w),
-                    ).reshape(n_packets, k_new, w)
-                    pb_im = np.take(
-                        buf_im.reshape(-1, w), flat_par, axis=0, mode="clip",
-                        out=s["pb_im"].reshape(-1, w),
-                    ).reshape(n_packets, k_new, w)
-                    view_re = buf_re[:, :, :wt]
-                    view_im = buf_im[:, :, :wt]
-                    tg_re = s["tg_re"].reshape(-1, wt)
-                    tg_im = s["tg_im"].reshape(-1, wt)
-                    flat_i = (sel_codes_i * m + a_sel).ravel()
-                    flat_q = (sel_codes_q * m + b_sel).ravel()
-                    np.take(ti_re.reshape(-1, wt), flat_i, axis=0, mode="clip", out=tg_re)
-                    np.take(ti_im.reshape(-1, wt), flat_i, axis=0, mode="clip", out=tg_im)
-                    np.add(pb_re[:, :, ts:], s["tg_re"], out=view_re)
-                    np.add(pb_im[:, :, ts:], s["tg_im"], out=view_im)
-                    np.take(tq_re.reshape(-1, wt), flat_q, axis=0, mode="clip", out=tg_re)
-                    np.take(tq_im.reshape(-1, wt), flat_q, axis=0, mode="clip", out=tg_im)
-                    view_re += s["tg_re"]
-                    view_im += s["tg_im"]
-                buf_re[:, :, wt:] = 0.0
-                buf_im[:, :, wt:] = 0.0
+                    off = carry_age * ts
+                    f2r[:, : w - off] = carry_re2[:, off:][carry_flat]
+                    f2i[:, : w - off] = carry_im2[:, off:][carry_flat]
+                for j in range(len(lag_entries) - 1, -1, -1):
+                    fi_j, fq_j, g_j = lag_entries[j]
+                    lo = j * ts
+                    ti2r, ti2i = tails2d[0][g_j]
+                    tq2r, tq2i = tails2d[1][g_j]
+                    f2r[:, : wt - lo] += ti2r[:, lo:][fi_j]
+                    f2i[:, : wt - lo] += ti2i[:, lo:][fi_j]
+                    f2r[:, : wt - lo] += tq2r[:, lo:][fq_j]
+                    f2i[:, : wt - lo] += tq2i[:, lo:][fq_j]
+                buf_re, buf_im = full_re, full_im
+                lag_entries = None
+                carry_re2 = carry_im2 = carry_flat = None
+            new_re = xp.empty((n_packets, k_new, w), dtype=xp.float64)
+            new_im = xp.empty((n_packets, k_new, w), dtype=xp.float64)
+            view_re = new_re[:, :, : w - ts]
+            view_im = new_im[:, :, : w - ts]
+            if dense:
+                xp.add(buf_re[b_col, k_sel, ts:], ti_re[sel_codes_i, a_sel], out=view_re)
+                xp.add(buf_im[b_col, k_sel, ts:], ti_im[sel_codes_i, a_sel], out=view_im)
+                view_re += tq_re[sel_codes_q, b_sel]
+                view_im += tq_im[sel_codes_q, b_sel]
             else:
-                if lag_entries is not None:
-                    # Leaving the index-only regime (beam narrowed below K):
-                    # materialise the full parent buffers once, in the same
-                    # chronological fold order as the first-slot fold above,
-                    # then fall through to the allocating update.
-                    full_re = np.zeros((n_packets, k_now, w), dtype=np.float64)
-                    full_im = np.zeros((n_packets, k_now, w), dtype=np.float64)
-                    f2r = full_re.reshape(-1, w)
-                    f2i = full_im.reshape(-1, w)
-                    if carry_age < dsm_order:
-                        off = carry_age * ts
-                        f2r[:, : w - off] = carry_re2[:, off:][carry_flat]
-                        f2i[:, : w - off] = carry_im2[:, off:][carry_flat]
-                    for j in range(len(lag_entries) - 1, -1, -1):
-                        fi_j, fq_j, g_j = lag_entries[j]
-                        lo = j * ts
-                        ti2r, ti2i = tails2d[0][g_j]
-                        tq2r, tq2i = tails2d[1][g_j]
-                        f2r[:, : wt - lo] += ti2r[:, lo:][fi_j]
-                        f2i[:, : wt - lo] += ti2i[:, lo:][fi_j]
-                        f2r[:, : wt - lo] += tq2r[:, lo:][fq_j]
-                        f2i[:, : wt - lo] += tq2i[:, lo:][fq_j]
-                    buf_re, buf_im = full_re, full_im
-                    lag_entries = None
-                    carry_re2 = carry_im2 = carry_flat = None
-                new_re = np.empty((n_packets, k_new, w), dtype=np.float64)
-                new_im = np.empty((n_packets, k_new, w), dtype=np.float64)
-                view_re = new_re[:, :, : w - ts]
-                view_im = new_im[:, :, : w - ts]
-                if dense:
-                    np.add(buf_re[b_col, k_sel, ts:], ti_re[sel_codes_i, a_sel], out=view_re)
-                    np.add(buf_im[b_col, k_sel, ts:], ti_im[sel_codes_i, a_sel], out=view_im)
-                    view_re += tq_re[sel_codes_q, b_sel]
-                    view_im += tq_im[sel_codes_q, b_sel]
-                else:
-                    tails_i = stacks_i[b_col, k_sel, a_sel, ts:]
-                    tails_q = stacks_q[b_col, k_sel, b_sel, ts:]
-                    np.add(buf_re[b_col, k_sel, ts:], tails_i.real, out=view_re)
-                    np.add(buf_im[b_col, k_sel, ts:], tails_i.imag, out=view_im)
-                    view_re += tails_q.real
-                    view_im += tails_q.imag
-                new_re[:, :, w - ts :] = 0.0
-                new_im[:, :, w - ts :] = 0.0
-                buf_re = new_re
-                buf_im = new_im
-            new_codes = codes[b_col, k_sel]
-            if hist_update:
-                if hist_mod == 1:
-                    # (code % 1) * m == 0: the new code is just the level.
-                    new_codes[:, :, 0, gi] = a_sel
-                    new_codes[:, :, 1, gi] = b_sel
-                else:
-                    new_codes[:, :, 0, gi] = a_sel + (sel_codes_i % hist_mod) * m
-                    new_codes[:, :, 1, gi] = b_sel + (sel_codes_q % hist_mod) * m
-            costs = flat[b_col, ord_sel]
-            codes = new_codes
-            sig = new_sig
+                tails_i = stacks_i[b_col, k_sel, a_sel, ts:]
+                tails_q = stacks_q[b_col, k_sel, b_sel, ts:]
+                xp.add(buf_re[b_col, k_sel, ts:], tails_i.real, out=view_re)
+                xp.add(buf_im[b_col, k_sel, ts:], tails_i.imag, out=view_im)
+                view_re += tails_q.real
+                view_im += tails_q.imag
+            new_re[:, :, w - ts :] = 0.0
+            new_im[:, :, w - ts :] = 0.0
+            buf_re = new_re
+            buf_im = new_im
+        new_codes = codes[b_col, k_sel]
+        if hist_update:
+            if hist_mod == 1:
+                # (code % 1) * m == 0: the new code is just the level.
+                new_codes[:, :, 0, gi] = a_sel
+                new_codes[:, :, 1, gi] = b_sel
+            else:
+                new_codes[:, :, 0, gi] = a_sel + (sel_codes_i % hist_mod) * m
+                new_codes[:, :, 1, gi] = b_sel + (sel_codes_q % hist_mod) * m
+        self.costs = flat[b_col, ord_sel]
+        self.codes = new_codes
+        self.sig = new_sig
+        self.buf_re = buf_re
+        self.buf_im = buf_im
+        self._lag_entries = lag_entries
+        self._carry_re2 = carry_re2
+        self._carry_im2 = carry_im2
+        self._carry_flat = carry_flat
+        self._carry_age = carry_age
+        self._n = n + 1
 
-        if track_obs:
-            m = self._obs.metrics
-            m.count("dfe.symbols_total", n_symbols * n_packets)
-            m.count("dfe.blocks_total")
-            m.observe("dfe.branch_occupancy_mean", occ_sum / max(n_symbols, 1))
-            m.gauge("dfe.branch_occupancy_peak", occ_peak)
+    # -------------------------------------------------------------- finish
 
-        # Traceback from each packet's cheapest surviving branch.
-        best = np.argmin(costs, axis=1)
-        levels_i = np.empty((n_packets, n_symbols), dtype=int)
-        levels_q = np.empty((n_packets, n_symbols), dtype=int)
+    def finish(self) -> list[DFEResult]:
+        """Traceback from each packet's cheapest surviving branch.
+
+        Raises :class:`~repro.errors.EqualizationError` if fewer than
+        ``n_symbols`` whole slots have been fed.
+        """
+        xp = self._xp
+        demod = self._demod
+        n_symbols = self.n_symbols
+        n_packets = self.n_packets
+        if self._fallback_rows:
+            # Deferred defensive fallback: decode rows independently from the
+            # fed-chunk log (identical to the whole-buffer defensive path).
+            z_full = xp.concatenate(self._fed, axis=1)
+            self._finished = True
+            return [
+                demod.demodulate(z_full[b], n_symbols, self._prime_levels)
+                for b in range(n_packets)
+            ]
+        if self._n < n_symbols:
+            raise EqualizationError(
+                f"need {n_symbols * self._ts} samples for {n_symbols} symbols, "
+                f"got {self._n * self._ts + self.pending_samples}"
+            )
+        self._finished = True
+        obs = demod._obs
+        if self._track_obs:
+            mets = obs.metrics
+            mets.count("dfe.symbols_total", n_symbols * n_packets)
+            mets.count("dfe.blocks_total")
+            mets.observe("dfe.branch_occupancy_mean", self._occ_sum / max(n_symbols, 1))
+            mets.gauge("dfe.branch_occupancy_peak", self._occ_peak)
+
+        costs = self.costs
+        b_idx = self._b_idx
+        best = xp.argmin(costs, axis=1)
+        levels_i = xp.empty((n_packets, n_symbols), dtype=int)
+        levels_q = xp.empty((n_packets, n_symbols), dtype=int)
         k = best
         for n in range(n_symbols - 1, -1, -1):
-            levels_i[:, n] = choices_a[n][b_idx, k]
-            levels_q[:, n] = choices_b[n][b_idx, k]
-            k = parents[n][b_idx, k]
-        denom = max(n_symbols * ts, 1)
+            levels_i[:, n] = self.choices_a[n][b_idx, k]
+            levels_q[:, n] = self.choices_b[n][b_idx, k]
+            k = self.parents[n][b_idx, k]
+        denom = max(n_symbols * self._ts, 1)
         results = [
             DFEResult(
                 levels_i=levels_i[b],
                 levels_q=levels_q[b],
                 mse=float(costs[b, best[b]] / denom),
-                n_branches=self.k_branches,
+                n_branches=demod.k_branches,
             )
             for b in range(n_packets)
         ]
-        if track_obs:
+        if self._track_obs:
             for r in results:
-                self._obs.observe("dfe.winner_mse", r.mse)
+                obs.observe("dfe.winner_mse", r.mse)
         return results

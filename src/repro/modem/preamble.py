@@ -119,27 +119,22 @@ class Preamble:
         corrector = RotationCorrector(a=complex(theta[0]), b=complex(theta[1]), c=complex(theta[2]))
         return corrector, float(np.mean(np.abs(residual) ** 2))
 
-    def detect(
-        self,
-        x: np.ndarray,
-        search_start: int = 0,
-        search_stop: int | None = None,
-        coarse_stride: int | None = None,
-        cost_threshold: float = 0.25,
-        reference_tail_slots: int | None = None,
-    ) -> PreambleDetection:
-        """Find the packet start in ``x`` and fit the rotation corrector.
+    @property
+    def default_coarse_stride(self) -> int:
+        """The stride :meth:`detect`'s coarse pass uses when none is given."""
+        return max(1, self.config.samples_per_slot // 4)
 
-        A coarse pass strides through candidate offsets, then a fine pass
-        refines around the coarse minimum at single-sample resolution.
+    def matched_reference(
+        self, reference_tail_slots: int | None = None
+    ) -> tuple[np.ndarray, int, float]:
+        """``(y, skip, ref_power)`` of the matched reference slice.
 
-        ``cost_threshold`` is the normalised residual (residual power /
-        reference power) above which the detection is flagged unreliable.
-
-        ``reference_tail_slots`` restricts the matched reference to the
-        *last* N preamble slots — the hardened receiver's fallback when a
-        burst obliterated the preamble's head.  The returned ``offset`` is
-        always the preamble start, whichever slice was matched.
+        ``y`` is the reference waveform actually correlated (possibly a
+        tail slice), ``skip`` the sample offset of that slice from the
+        preamble start, and ``ref_power`` its normalisation constant —
+        exactly the values :meth:`detect` derives internally.  Exposed so an
+        incremental scanner can evaluate :meth:`offset_cost` without paying
+        the derivation per candidate offset.
         """
         if self.reference is None:
             raise RuntimeError("no reference installed; call record_reference() first")
@@ -155,6 +150,58 @@ class Preamble:
                 )
             skip = (self.n_slots - reference_tail_slots) * ts
             y = self.reference[skip:]
+        ref_power = float(np.mean(np.abs(y) ** 2))
+        return y, skip, ref_power
+
+    def offset_cost(
+        self,
+        x: np.ndarray,
+        offset: int,
+        matched: tuple[np.ndarray, int, float] | None = None,
+    ) -> float:
+        """Normalised detection cost at one candidate ``offset``.
+
+        The regression reads only ``x[offset + skip : offset + skip + k]``,
+        so the cost is *slice-local*: any buffer containing those samples —
+        a streaming prefix, the full capture — yields the identical float.
+        That locality is what lets the streaming receiver's incremental
+        coarse scan reproduce :meth:`detect`'s scan bit-for-bit.
+        """
+        y, skip, ref_power = matched if matched is not None else self.matched_reference()
+        lo = offset + skip
+        _, res_power = self._solve_regression(np.asarray(x[lo : lo + y.size], dtype=complex), y)
+        return res_power / ref_power
+
+    def detect(
+        self,
+        x: np.ndarray,
+        search_start: int = 0,
+        search_stop: int | None = None,
+        coarse_stride: int | None = None,
+        cost_threshold: float = 0.25,
+        reference_tail_slots: int | None = None,
+        coarse_offset: int | None = None,
+    ) -> PreambleDetection:
+        """Find the packet start in ``x`` and fit the rotation corrector.
+
+        A coarse pass strides through candidate offsets, then a fine pass
+        refines around the coarse minimum at single-sample resolution.
+
+        ``cost_threshold`` is the normalised residual (residual power /
+        reference power) above which the detection is flagged unreliable.
+
+        ``reference_tail_slots`` restricts the matched reference to the
+        *last* N preamble slots — the hardened receiver's fallback when a
+        burst obliterated the preamble's head.  The returned ``offset`` is
+        always the preamble start, whichever slice was matched.
+
+        ``coarse_offset`` replaces the coarse pass with an
+        already-determined coarse minimum (the streaming receiver's
+        incremental scanner computes it chunk by chunk); only the fine pass
+        around it runs.  Passing the offset the coarse pass would have
+        picked yields the identical detection.
+        """
+        y, skip, ref_power = self.matched_reference(reference_tail_slots)
         x = np.asarray(x, dtype=complex)
         k = y.size
         last = x.size - k - skip
@@ -163,17 +210,21 @@ class Preamble:
         stop = last if search_stop is None else min(search_stop, last)
         if search_start > stop:
             raise ValueError("empty search range")
-        stride = coarse_stride or max(1, self.config.samples_per_slot // 4)
-        ref_power = float(np.mean(np.abs(y) ** 2))
+        stride = coarse_stride or self.default_coarse_stride
 
         def cost_at(offset: int) -> tuple[RotationCorrector, float]:
             lo = offset + skip
             corrector, res_power = self._solve_regression(x[lo : lo + k], y)
             return corrector, res_power / ref_power
 
-        coarse_offsets = range(search_start, stop + 1, stride)
-        coarse = [(cost_at(off)[1], off) for off in coarse_offsets]
-        _, best_off = min(coarse)
+        if coarse_offset is not None:
+            if not search_start <= coarse_offset <= stop:
+                raise ValueError("coarse_offset outside the search range")
+            best_off = coarse_offset
+        else:
+            coarse_offsets = range(search_start, stop + 1, stride)
+            coarse = [(cost_at(off)[1], off) for off in coarse_offsets]
+            _, best_off = min(coarse)
         fine_lo = max(search_start, best_off - stride)
         fine_hi = min(stop, best_off + stride)
         best = (np.inf, best_off, None)

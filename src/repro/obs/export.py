@@ -40,7 +40,16 @@ __all__ = [
 RUN_REPORT_SCHEMA_VERSION = 1
 
 #: Report kinds the schema admits (one per emitting harness family).
-REPORT_KINDS = ("packet", "mobility", "arq", "watchdog", "mac_session", "sweep", "bench")
+REPORT_KINDS = (
+    "packet",
+    "mobility",
+    "arq",
+    "watchdog",
+    "mac_session",
+    "stream",
+    "sweep",
+    "bench",
+)
 
 
 class ReportSchemaError(ValueError):

@@ -29,7 +29,23 @@ from repro.utils.deprecation import warn_once
 from repro.utils.opcache import fingerprint, fingerprint_array, fingerprint_config, resolve_opcache
 from repro.utils.rng import ensure_rng
 
-__all__ = ["PacketResult", "PacketSimulator", "measure_ber"]
+__all__ = ["CaptureSpec", "PacketResult", "PacketSimulator", "measure_ber"]
+
+
+@dataclass
+class CaptureSpec:
+    """One synthesized reader capture, ready for any receive front-end.
+
+    ``samples`` is exactly what :meth:`PacketSimulator._run_packet` hands
+    the batch receiver; ``search_stop`` the preamble window it pairs with.
+    The streaming receiver consumes the same capture chunk-wise.
+    """
+
+    samples: np.ndarray
+    payload: bytes
+    search_stop: int
+    offset: int
+    link_snr_db: float
 
 
 @dataclass
@@ -278,29 +294,13 @@ class PacketSimulator:
     ) -> PacketResult:
         """One packet end to end (internal, non-deprecated implementation)."""
         obs = self._obs
-        gen = ensure_rng(rng)
-        if payload is None:
-            payload = gen.integers(0, 256, size=self.frame.payload_bytes, dtype=np.uint8).tobytes()
         with obs.span("packet") as packet_span:
-            with obs.span("transmit"):
-                u = self.transmitter.transmit(payload)
-            # Random start offset: the reader sees some idle pedestal first.
-            # A short trailing stretch keeps slightly-late detections (noisy
-            # timing) inside the capture instead of truncating the packet.
-            ts = self.config.samples_per_slot
-            offset = int(gen.integers(0, max(lead_slots, 1))) * ts + int(gen.integers(0, ts))
-            lead = np.full(offset, u[0], dtype=complex)
-            tail = np.full(2 * ts, u[-1], dtype=complex)
-            with obs.span("channel"):
-                out = self.link.transmit(np.concatenate([lead, u, tail]), self.config.fs, gen)
-                samples = out.samples
-                if self.fault_plan is not None:
-                    samples = self.fault_plan.apply_capture(
-                        samples, self._fault_context(offset, samples), gen
-                    )
-            guard_samples = self.frame.guard_slots * ts
-            search_stop = offset + guard_samples + 2 * ts
-            rx = self.receiver.receive(samples, search_start=0, search_stop=search_stop)
+            cap = self.make_capture(payload=payload, rng=rng, lead_slots=lead_slots)
+            payload = cap.payload
+            out_snr_db = cap.link_snr_db
+            rx = self.receiver.receive(
+                cap.samples, search_start=0, search_stop=cap.search_stop
+            )
 
             sent_bits = bytes_to_bits(payload)
             if len(rx.payload) == len(payload) and rx.detection.detected:
@@ -317,7 +317,7 @@ class PacketSimulator:
                 m.count("phy.bits_total", sent_bits.size)
                 m.count("phy.bit_errors_total", errors)
                 m.observe("phy.packet_ber", errors / sent_bits.size)
-                m.observe("link.snr_db", out.snr_db)
+                m.observe("link.snr_db", out_snr_db)
                 if np.isfinite(rx.snr_est_db):
                     m.observe("phy.snr_est_db", rx.snr_est_db)
                 if np.isfinite(rx.equalizer_mse):
@@ -333,12 +333,63 @@ class PacketSimulator:
             n_bits=int(sent_bits.size),
             detected=rx.detection.detected,
             crc_ok=rx.crc_ok,
-            snr_link_db=out.snr_db,
+            snr_link_db=out_snr_db,
             snr_est_db=rx.snr_est_db,
             equalizer_mse=rx.equalizer_mse,
             failure=rx.failure,
             events=rx.events,
         )
+
+    def make_capture(
+        self,
+        payload: bytes | None = None,
+        rng: np.random.Generator | int | None = None,
+        lead_slots: int = 4,
+    ) -> CaptureSpec:
+        """Synthesize one reader capture (transmit + channel + faults).
+
+        Extracted from the packet loop so alternative receive front-ends
+        (the streaming receiver, benchmarks) consume byte-identical
+        captures: the RNG draw order matches `_run_packet`'s exactly, so
+        the same seed produces the same capture either way.
+        """
+        obs = self._obs
+        gen = ensure_rng(rng)
+        if payload is None:
+            payload = gen.integers(0, 256, size=self.frame.payload_bytes, dtype=np.uint8).tobytes()
+        with obs.span("transmit"):
+            u = self.transmitter.transmit(payload)
+        # Random start offset: the reader sees some idle pedestal first.
+        # A short trailing stretch keeps slightly-late detections (noisy
+        # timing) inside the capture instead of truncating the packet.
+        ts = self.config.samples_per_slot
+        offset = int(gen.integers(0, max(lead_slots, 1))) * ts + int(gen.integers(0, ts))
+        lead = np.full(offset, u[0], dtype=complex)
+        tail = np.full(2 * ts, u[-1], dtype=complex)
+        with obs.span("channel"):
+            out = self.link.transmit(np.concatenate([lead, u, tail]), self.config.fs, gen)
+            samples = out.samples
+            if self.fault_plan is not None:
+                samples = self.fault_plan.apply_capture(
+                    samples, self._fault_context(offset, samples), gen
+                )
+        guard_samples = self.frame.guard_slots * ts
+        search_stop = offset + guard_samples + 2 * ts
+        return CaptureSpec(
+            samples=samples,
+            payload=payload,
+            search_stop=search_stop,
+            offset=offset,
+            link_snr_db=out.snr_db,
+        )
+
+    def make_streaming_receiver(self, **kwargs):
+        """A :class:`~repro.phy.streaming.StreamingReceiver` over this
+        simulator's configured receiver (chunked front-end; see
+        :mod:`repro.phy.streaming`)."""
+        from repro.phy.streaming import StreamingReceiver
+
+        return StreamingReceiver(self.receiver, **kwargs)
 
     def _fault_context(self, frame_start: int, samples: np.ndarray) -> FaultContext:
         """Frame geometry of this capture, for capture-stage injectors."""

@@ -164,11 +164,20 @@ class PhyReceiver:
         events.append(StageEvent(stage, status, detail))
         self._obs.count("phy.stage_events_total", stage=stage.value, status=status)
 
-    def _frame_samples_after_offset(self) -> int:
-        """Samples needed from the preamble start to the payload's end."""
+    def frame_samples_after_offset(self) -> int:
+        """Samples needed from the preamble start to the payload's end.
+
+        Public because chunked callers (the streaming receiver) must know
+        how far past a detection the buffer has to extend before the decode
+        can complete — the boundary between ``buffer_pending`` (await more
+        chunks) and ``truncated_capture`` (the stream ended short).
+        """
         frame = self.frame
         ts = self.config.samples_per_slot
         return (frame.preamble_slots + frame.training.n_slots + frame.payload_slots) * ts
+
+    # Backwards-compatible private alias.
+    _frame_samples_after_offset = frame_samples_after_offset
 
     def _failure_output(
         self,
@@ -197,10 +206,21 @@ class PhyReceiver:
         search_start: int,
         search_stop: int | None,
         events: list[StageEvent],
+        coarse_offset: int | None = None,
     ) -> PreambleDetection:
-        """First-pass search plus the bounded fallback ladder."""
+        """First-pass search plus the bounded fallback ladder.
+
+        ``coarse_offset`` short-circuits the first pass's coarse scan with a
+        caller-computed coarse minimum (the streaming receiver's incremental
+        scanner); the retry ladder is unaffected.
+        """
         frame = self.frame
-        detection = frame.preamble.detect(x, search_start=search_start, search_stop=search_stop)
+        detection = frame.preamble.detect(
+            x,
+            search_start=search_start,
+            search_stop=search_stop,
+            coarse_offset=coarse_offset,
+        )
         if detection.detected or not self.hardened:
             if detection.detected:
                 self._event(events, FailureStage.DETECTION, "ok")
@@ -231,14 +251,17 @@ class PhyReceiver:
 
     def _train_bank(
         self,
-        corrected: np.ndarray,
-        preamble_end: int,
-        training_end: int,
+        segment: np.ndarray,
         snr_db: float,
         events: list[StageEvent],
     ) -> ReferenceBank:
-        """Online training with the ill-conditioned-solve fallback."""
-        segment = corrected[preamble_end:training_end]
+        """Online training with the ill-conditioned-solve fallback.
+
+        ``segment`` is exactly the corrected training span — callers slice
+        it, so a streaming caller can hand over a span assembled from
+        chunks (bit-identical to a whole-buffer slice, since rotation
+        correction is elementwise).
+        """
         if not self.hardened:
             return self._trainer.train(segment)
         try:
@@ -281,16 +304,62 @@ class PhyReceiver:
         x: np.ndarray,
         search_start: int = 0,
         search_stop: int | None = None,
+        stream_end: bool = True,
+        coarse_offset: int | None = None,
     ) -> ReceiverOutput:
-        """Run the full pipeline on raw receiver samples."""
+        """Run the full pipeline on raw receiver samples.
+
+        ``stream_end`` says whether ``x`` is the *final* extent of this
+        capture.  The whole-buffer call sites leave it True; a chunked
+        caller passes False while more samples may still arrive, turning
+        the "frame overruns the buffer" condition from a terminal
+        ``truncated_capture`` loss (or, unhardened, a ``ValueError``) into
+        a resumable ``buffer_pending`` classification — re-calling with the
+        extended buffer completes the decode.
+
+        ``coarse_offset`` forwards an externally computed coarse-scan
+        minimum to the first preamble search (see
+        :meth:`~repro.modem.preamble.Preamble.detect`).
+        """
         frame = self.frame
         cfg = self.config
         ts = cfg.samples_per_slot
         x = np.asarray(x, dtype=complex)
         events: list[StageEvent] = []
         obs = self._obs
+        if not stream_end and x.size < search_start + frame.preamble.n_samples:
+            # Not even one candidate offset is searchable yet; with the
+            # stream still open that is a wait state, not a detection error.
+            self._event(events, FailureStage.CAPTURE, "pending", "buffer_pending")
+            from repro.modem.preamble import PreambleDetection, RotationCorrector
+
+            placeholder = PreambleDetection(
+                offset=0,
+                corrector=RotationCorrector(1.0 + 0.0j, 0.0j, 0.0j),
+                normalised_cost=float("inf"),
+                snr_db=float("-inf"),
+                detected=False,
+            )
+            return ReceiverOutput(
+                payload=b"",
+                crc_ok=False,
+                detection=placeholder,
+                snr_est_db=placeholder.snr_db,
+                levels_i=np.zeros(0, dtype=int),
+                levels_q=np.zeros(0, dtype=int),
+                equalizer_mse=float("inf"),
+                failure=FailureReason(
+                    FailureStage.CAPTURE,
+                    "buffer_pending",
+                    f"need {search_start + frame.preamble.n_samples} samples "
+                    f"to search, have {x.size}",
+                ),
+                events=events,
+            )
         with obs.span("preamble") as det_span:
-            detection = self._detect_with_retries(x, search_start, search_stop, events)
+            detection = self._detect_with_retries(
+                x, search_start, search_stop, events, coarse_offset
+            )
             if obs.enabled:
                 det_span.annotate(detected=detection.detected, offset=int(detection.offset))
                 obs.count(
@@ -310,8 +379,29 @@ class PhyReceiver:
                 events,
             )
 
-        needed = self._frame_samples_after_offset()
+        needed = self.frame_samples_after_offset()
         if detection.offset + needed > x.size:
+            if not stream_end:
+                # The frame extends past the buffered samples but the stream
+                # has not ended — not a loss, a resumable wait state.  No
+                # fit-constrained re-search either: the honest frame may
+                # simply not have arrived yet.
+                self._event(events, FailureStage.CAPTURE, "pending", "buffer_pending")
+                return ReceiverOutput(
+                    payload=b"",
+                    crc_ok=False,
+                    detection=detection,
+                    snr_est_db=detection.snr_db,
+                    levels_i=np.zeros(0, dtype=int),
+                    levels_q=np.zeros(0, dtype=int),
+                    equalizer_mse=float("inf"),
+                    failure=FailureReason(
+                        FailureStage.CAPTURE,
+                        "buffer_pending",
+                        f"need {detection.offset + needed} samples, have {x.size}",
+                    ),
+                    events=events,
+                )
             if not self.hardened:
                 if detection.detected:
                     raise ValueError(
@@ -367,7 +457,7 @@ class PhyReceiver:
         elif self.online_training:
             with obs.span("training") as train_span:
                 bank = self._train_bank(
-                    corrected, preamble_end, training_end, detection.snr_db, events
+                    corrected[preamble_end:training_end], detection.snr_db, events
                 )
                 if obs.enabled and bank is self._nominal_bank:
                     train_span.set_status("fallback", "nominal bank")

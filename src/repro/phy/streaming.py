@@ -1,0 +1,624 @@
+"""Streaming chunked receiver: §4.3 receive pipeline over a sample stream.
+
+:class:`StreamingReceiver` wraps a :class:`~repro.phy.receiver.PhyReceiver`
+and consumes the capture in arbitrary-sized chunks — down to single samples,
+split anywhere including mid-preamble or mid-training — while emitting the
+*identical* :class:`~repro.phy.receiver.ReceiverOutput` /
+:class:`~repro.errors.FailureReason` / :class:`~repro.errors.StageEvent`
+records the whole-buffer path produces.  That bit-identity is the load-bearing
+contract (pinned by ``tests/phy/test_streaming_equivalence.py`` and the
+streaming golden wall) and it shapes the whole design:
+
+**Capture model.**  A stream is a sequence of *captures* — the unit the
+batch receiver decodes.  Captures are delimited either by a fixed
+``capture_samples`` length (continuous ingest; decode can complete and emit
+mid-push, long before the capture boundary) or by explicit
+:meth:`StreamingReceiver.end_capture` calls.  Each capture yields exactly
+one output, equal to ``receiver.receive(capture, search_start, search_stop)``
+on the concatenated samples.
+
+**Incremental preamble search.**  The batch detector's coarse scan is a
+running ``min`` over slice-local costs (each candidate offset reads only
+``x[off : off + k]`` — see :meth:`~repro.modem.preamble.Preamble.offset_cost`),
+so the scan streams: a rolling ``(cost, offset)`` tuple-min advances as far
+as the buffered samples allow after every chunk, carrying the detector's
+tail state across chunk boundaries.  With a bounded search window the scan
+*commits* mid-stream once every coarse offset and the fine-pass margin are
+buffered — from that point the detection equals the batch detector's by
+construction.  With an unbounded window the coarse minimum still accumulates
+incrementally and is handed to the batch detector at capture end as a
+``coarse_offset`` hint, skipping the re-scan.
+
+**Certainty gating.**  Stage effects (events, metric counts, the training
+solve) are only performed once the batch pipeline is *guaranteed* to perform
+them identically: after a committed confident detection, and once the frame
+is known to fit the capture (immediately, when ``capture_samples`` bounds
+the capture; otherwise once ``offset + frame_samples`` are buffered).  Every
+uncertain or failure path — unconfident detection, truncation, short
+buffers — is finalised by delegating the retained capture buffer to the
+inner ``PhyReceiver.receive``, which reproduces the batch ladder (including
+its raises) verbatim.
+
+**Block-wise DFE.**  The payload decodes through
+:class:`~repro.modem.dfe.DFEBlockSession`, feeding rotation-corrected
+chunks as they arrive; the session's carry machinery makes any chunking
+bit-identical to the whole-buffer demodulate.
+
+**Backpressure.**  By default the capture buffer grows to the capture size
+(memory is O(capture), freed at the boundary).  ``max_buffered_samples``
+arms a drop policy: a capture whose *pre-decode* buffer exceeds the bound is
+abandoned with a ``FailureReason(CAPTURE, "backpressure_drop")`` output and
+counted on ``stream.backpressure_drops`` — by construction this breaks
+equivalence for that capture, so the default is off.
+
+Observability: the wrapped receiver's stage metrics flow unchanged; the
+stream adds ``stream.*`` gauges — buffered samples, backpressure drops,
+sustained emitted pkt/s — plus rolling AGC/normalisation state (running RMS
+and DC estimates of the ingested samples; observational only, so the decode
+stays bit-identical).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.errors import FailureReason, FailureStage, StageEvent
+from repro.modem.dfe import DFEDemodulator
+from repro.obs import ensure_observer
+from repro.phy.receiver import PhyReceiver, ReceiverOutput
+from repro.utils.backend import active_backend
+from repro.utils.logging import get_logger
+
+__all__ = ["StreamingReceiver"]
+
+log = get_logger(__name__)
+
+# Capture-lifecycle states.
+_SCANNING = "scanning"  # pre-detection: incremental coarse scan running
+_DECODING = "decoding"  # committed detection: stages stream as samples land
+_DONE = "done"  # output emitted; draining to the capture boundary
+_DEFER = "defer"  # batch-delegate at capture end (failure/uncertain path)
+
+
+class _GrowBuffer:
+    """An append-only complex sample buffer with amortised O(1) growth.
+
+    Doubling capacity keeps total copy work linear in the capture size even
+    under 1-sample pushes; ``view()`` is a zero-copy window of the valid
+    prefix, which every detector/stage read slices (slice-locality is what
+    makes those reads bit-identical to reads of the final whole buffer).
+    """
+
+    __slots__ = ("_data", "size", "_xp")
+
+    def __init__(self, xp, initial_capacity: int = 4096):
+        self._xp = xp
+        self._data = xp.empty(max(int(initial_capacity), 1), dtype=complex)
+        self.size = 0
+
+    def append(self, chunk) -> None:
+        xp = self._xp
+        chunk = xp.asarray(chunk, dtype=complex)
+        n = int(chunk.size)
+        need = self.size + n
+        if need > self._data.size:
+            cap = self._data.size
+            while cap < need:
+                cap *= 2
+            grown = xp.empty(cap, dtype=complex)
+            grown[: self.size] = self._data[: self.size]
+            self._data = grown
+        self._data[self.size : need] = chunk
+        self.size = need
+
+    def view(self):
+        """Zero-copy view of the buffered samples."""
+        return self._data[: self.size]
+
+
+class StreamingReceiver:
+    """Chunked front-end over a :class:`PhyReceiver` (see module docstring).
+
+    Parameters
+    ----------
+    receiver:
+        The configured batch receiver whose outputs this stream reproduces.
+    capture_samples:
+        Fixed capture length for continuous ingest.  ``None`` means captures
+        are delimited by :meth:`end_capture` calls instead.
+    search_start, search_stop:
+        The per-capture preamble search window, exactly as passed to
+        :meth:`PhyReceiver.receive`.  A bounded ``search_stop`` is what
+        enables mid-stream detection commit.
+    max_buffered_samples:
+        Optional backpressure bound on the pre-decode capture buffer (see
+        module docstring).  ``None`` (default) preserves equivalence.
+    observer:
+        Defaults to the wrapped receiver's observer so stage metrics land
+        in the same registry.
+    """
+
+    def __init__(
+        self,
+        receiver: PhyReceiver,
+        capture_samples: int | None = None,
+        search_start: int = 0,
+        search_stop: int | None = None,
+        max_buffered_samples: int | None = None,
+        observer=None,
+    ):
+        if capture_samples is not None and capture_samples < 1:
+            raise ValueError("capture_samples must be positive")
+        if max_buffered_samples is not None and max_buffered_samples < 1:
+            raise ValueError("max_buffered_samples must be positive")
+        self._inner = receiver
+        self.capture_samples = capture_samples
+        self.search_start = int(search_start)
+        self.search_stop = None if search_stop is None else int(search_stop)
+        self.max_buffered_samples = max_buffered_samples
+        self._obs = ensure_observer(observer) if observer is not None else receiver._obs
+        self._backend = active_backend()
+
+        self.packets_emitted = 0
+        self.captures_completed = 0
+        self._closed = False
+        self._t_first_push: float | None = None
+
+        # Rolling AGC/normalisation state (running first/second moments of
+        # the ingested samples; observational only).
+        self._agc_power_sum = 0.0
+        self._agc_dc_sum = 0.0 + 0.0j
+        self._agc_n = 0
+
+        self._reset_capture()
+
+    # ------------------------------------------------------- capture state
+
+    def _reset_capture(self) -> None:
+        self._buf: _GrowBuffer | None = None
+        self._fill = 0  # samples ingested into the current capture
+        self._state = _SCANNING
+        # Incremental coarse-scan state: the detector tail carried across
+        # chunk boundaries.
+        self._matched = None  # (y, skip, ref_power) of the primary search
+        self._coarse_next = self.search_start
+        self._coarse_best: tuple[float, int] | None = None
+        # Committed-detection decode state.
+        self._detection = None
+        self._events: list[StageEvent] = []
+        self._certain = False
+        self._session = None
+        self._bank = None
+        self._fed_to = 0  # absolute sample index fed into the DFE session
+        self._frame_needed = 0
+        self._output: ReceiverOutput | None = None
+
+    @property
+    def buffered_samples(self) -> int:
+        """Samples currently held for the open capture."""
+        return 0 if self._buf is None else self._buf.size
+
+    # --------------------------------------------------------------- push
+
+    def push(self, chunk) -> list[ReceiverOutput]:
+        """Ingest one chunk (any length, including empty); return any outputs
+        completed by it.
+
+        In fixed-``capture_samples`` mode a chunk may span capture
+        boundaries; each completed capture contributes its output in order.
+        """
+        if self._closed:
+            raise RuntimeError("stream is closed")
+        if self._t_first_push is None:
+            self._t_first_push = time.monotonic()
+        xp = self._backend.xp
+        chunk = xp.asarray(chunk, dtype=complex)
+        if chunk.ndim != 1:
+            raise ValueError(f"chunk must be 1-D, got shape {chunk.shape}")
+        obs = self._obs
+        if obs.enabled:
+            obs.count("stream.chunks_total")
+            self._update_agc(chunk)
+        outputs: list[ReceiverOutput] = []
+        pos = 0
+        n = int(chunk.size)
+        while pos < n:
+            if self.capture_samples is None:
+                take = n - pos
+            else:
+                take = min(n - pos, self.capture_samples - self._fill)
+            self._ingest(chunk[pos : pos + take], outputs)
+            pos += take
+            if self.capture_samples is not None and self._fill >= self.capture_samples:
+                outputs.extend(self._finalize_capture())
+        if obs.enabled:
+            obs.gauge("stream.buffered_samples", self.buffered_samples)
+            self._emit_throughput()
+        return outputs
+
+    def end_capture(self) -> list[ReceiverOutput]:
+        """Close the open capture explicitly and return its output (if any
+        samples were ingested).  Only meaningful without ``capture_samples``.
+        """
+        if self._closed:
+            raise RuntimeError("stream is closed")
+        if self._fill == 0:
+            return []
+        outputs = self._finalize_capture()
+        if self._obs.enabled:
+            self._obs.gauge("stream.buffered_samples", self.buffered_samples)
+            self._emit_throughput()
+        return outputs
+
+    def close(self) -> list[ReceiverOutput]:
+        """End the stream, finalising any partially-ingested capture."""
+        if self._closed:
+            return []
+        outputs = self.end_capture() if self._fill else []
+        self._closed = True
+        return outputs
+
+    def run(self, chunks: Iterable[np.ndarray]) -> Iterator[ReceiverOutput]:
+        """Generator front-end: drive the stream from a chunk iterable and
+        yield outputs as captures complete (the Iris ``Receiver.run`` idiom).
+        """
+        for chunk in chunks:
+            yield from self.push(chunk)
+        yield from self.close()
+
+    def probe(self) -> ReceiverOutput:
+        """Diagnostic: run the batch pipeline on the current partial buffer
+        with ``stream_end=False`` — a frame extending past the buffer is
+        classified ``buffer_pending`` instead of lost.  Does not consume or
+        alter stream state.
+        """
+        if self._buf is None:
+            raise RuntimeError("no samples buffered")
+        return self._inner.receive(
+            self._backend.to_host(self._buf.view()),
+            search_start=self.search_start,
+            search_stop=self.search_stop,
+            stream_end=False,
+        )
+
+    # ------------------------------------------------------------- ingest
+
+    def _ingest(self, piece, outputs: list[ReceiverOutput]) -> None:
+        """Append one capture-local piece and advance the state machine."""
+        self._fill += int(piece.size)
+        if self._state == _DONE:
+            return  # output already emitted; drain to the boundary
+        if self._buf is None:
+            self._buf = _GrowBuffer(self._backend.xp)
+        self._buf.append(piece)
+        if (
+            self.max_buffered_samples is not None
+            and self._state in (_SCANNING, _DEFER)
+            and self._buf.size > self.max_buffered_samples
+        ):
+            self._drop_capture(outputs)
+            return
+        if self._state == _SCANNING:
+            self._advance_scan()
+        if self._state == _DECODING:
+            self._advance_decode(outputs)
+
+    def _update_agc(self, chunk) -> None:
+        """Fold a chunk into the rolling AGC estimate and export gauges."""
+        if chunk.size == 0:
+            return
+        backend = self._backend
+        xp = backend.xp
+        power = float(backend.scalar(xp.sum(chunk.real**2 + chunk.imag**2)))
+        dc = complex(backend.scalar(xp.sum(chunk)))
+        self._agc_power_sum += power
+        self._agc_dc_sum += dc
+        self._agc_n += int(chunk.size)
+        obs = self._obs
+        obs.gauge("stream.agc_rms", (self._agc_power_sum / self._agc_n) ** 0.5)
+        obs.gauge("stream.agc_dc_mag", abs(self._agc_dc_sum / self._agc_n))
+
+    def _emit_throughput(self) -> None:
+        if self.packets_emitted and self._t_first_push is not None:
+            elapsed = time.monotonic() - self._t_first_push
+            if elapsed > 0:
+                self._obs.gauge("stream.sustained_pps", self.packets_emitted / elapsed)
+
+    # ---------------------------------------------------------------- scan
+
+    def _advance_scan(self) -> None:
+        """Advance the incremental coarse scan; commit detection when the
+        batch detector's full first-pass window is buffered."""
+        preamble = self._inner.frame.preamble
+        if self._matched is None:
+            self._matched = preamble.matched_reference()
+        y, _skip, _ref_power = self._matched
+        k = y.size
+        x = self._buf.view()
+        avail = self._buf.size
+        stride = preamble.default_coarse_stride
+        sstop = self.search_stop
+        # The running tuple-min over (cost, offset) is exactly the batch
+        # coarse pass's min(); evaluating each offset as soon as its slice
+        # is buffered gives the same floats (slice-local costs).
+        limit = avail - k
+        while self._coarse_next <= limit and (sstop is None or self._coarse_next <= sstop):
+            cand = (
+                preamble.offset_cost(x, self._coarse_next, self._matched),
+                self._coarse_next,
+            )
+            if self._coarse_best is None or cand < self._coarse_best:
+                self._coarse_best = cand
+            self._coarse_next += stride
+        if sstop is None:
+            return  # unbounded window: can only finalise at capture end
+        if self.search_start > sstop:
+            # Degenerate window: the batch detector raises "empty search
+            # range" — reproduce it through the capture-end delegate.
+            self._state = _DEFER
+            return
+        if self._coarse_next <= sstop or avail < sstop + k:
+            return  # scan or fine-pass margin still incomplete
+        # Commit: the batch first-pass detection over any longer buffer is
+        # now fully determined by the buffered prefix.  The commit itself is
+        # side-effect-free — events/metrics fire at the certainty point (see
+        # _advance_decode), so an eventually-deferred capture emits nothing
+        # the batch delegate would not.
+        inner = self._inner
+        detection = inner.frame.preamble.detect(
+            x,
+            search_start=self.search_start,
+            search_stop=sstop,
+            coarse_offset=self._coarse_best[1],
+        )
+        if not detection.detected and inner.hardened:
+            # The batch ladder retries over the *full* capture; defer.
+            self._state = _DEFER
+            return
+        self._detection = detection
+        self._frame_needed = inner.frame_samples_after_offset()
+        if (
+            self.capture_samples is not None
+            and detection.offset + self._frame_needed > self.capture_samples
+        ):
+            # The frame cannot fit this capture; the batch path will run its
+            # truncation ladder on the full buffer.
+            self._state = _DEFER
+            self._detection = None
+            return
+        self._state = _DECODING
+
+    def _emit_detection_effects(self) -> None:
+        """The batch receive prologue's events/metrics for the committed
+        detection, in its exact order — emitted once the streamed decode is
+        guaranteed to run (so a deferred capture never pre-emits)."""
+        obs = self._obs
+        inner = self._inner
+        detection = self._detection
+        with obs.span("preamble") as det_span:
+            if detection.detected:
+                inner._event(self._events, FailureStage.DETECTION, "ok")
+            if obs.enabled:
+                det_span.annotate(detected=detection.detected, offset=int(detection.offset))
+                obs.count(
+                    "phy.preamble.searches_total",
+                    outcome="hit" if detection.detected else "miss",
+                )
+                if not detection.detected:
+                    det_span.set_status("failed", "preamble_not_found")
+
+    # -------------------------------------------------------------- decode
+
+    def _advance_decode(self, outputs: list[ReceiverOutput]) -> None:
+        """Stream the post-detection stages as far as the buffer allows."""
+        inner = self._inner
+        frame = inner.frame
+        ts = inner.config.samples_per_slot
+        detection = self._detection
+        avail = self._buf.size
+        offset = detection.offset
+        frame_end = offset + self._frame_needed
+        if not self._certain:
+            if self.capture_samples is None and avail < frame_end:
+                return  # open-ended capture: frame fit not yet guaranteed
+            self._certain = True
+            self._emit_detection_effects()
+        obs = self._obs
+        preamble_end = offset + frame.preamble_slots * ts
+        training_end = preamble_end + frame.training.n_slots * ts
+        payload_end = training_end + frame.payload_slots * ts
+        x = self._buf.view()
+        corrector = detection.corrector
+        if self._session is None:
+            if avail < training_end:
+                return
+            # Rotation correction commutes with slicing (elementwise), so
+            # correcting the training span alone matches the batch path's
+            # whole-buffer correction bit-for-bit.
+            with obs.span("rotation"):
+                segment = corrector.apply(self._backend.to_host(x[preamble_end:training_end]))
+            if inner.fixed_bank is not None:
+                bank = inner.fixed_bank
+            elif inner.online_training:
+                with obs.span("training") as train_span:
+                    bank = inner._train_bank(segment, detection.snr_db, self._events)
+                    if obs.enabled and bank is inner._nominal_bank:
+                        train_span.set_status("fallback", "nominal bank")
+            else:
+                bank = inner._nominal_bank
+            self._bank = bank
+            try:
+                dfe = DFEDemodulator(bank, k_branches=inner.k_branches, observer=obs)
+                self._session = dfe.begin_block(
+                    1, frame.payload_slots, prime_levels=frame.prime_levels()
+                )
+            except Exception as exc:  # classified exactly as the batch path
+                if self._classify_decode_error(exc, outputs):
+                    return
+                raise
+            self._fed_to = training_end
+        # Feed every newly-buffered payload sample into the block session.
+        upto = min(avail, payload_end)
+        if upto > self._fed_to:
+            corrected = corrector.apply(self._backend.to_host(x[self._fed_to : upto]))
+            try:
+                self._session.feed(corrected[None, :])
+            except Exception as exc:
+                if self._classify_decode_error(exc, outputs):
+                    return
+                raise
+            self._fed_to = upto
+        if avail < payload_end:
+            return
+        try:
+            with obs.span("equalize") as eq_span:
+                result = self._session.finish()[0]
+                if obs.enabled:
+                    eq_span.annotate(mse=result.mse, n_branches=result.n_branches)
+            with obs.span("decode"):
+                payload, crc_ok = frame.decode_payload(result.levels_i, result.levels_q)
+        except Exception as exc:
+            if self._classify_decode_error(exc, outputs):
+                return
+            raise
+        inner._event(self._events, FailureStage.EQUALIZATION, "ok")
+        failure = None
+        if not crc_ok:
+            failure = FailureReason(FailureStage.DECODE, "crc_mismatch")
+            inner._event(self._events, FailureStage.DECODE, "failed", "crc_mismatch")
+        else:
+            inner._event(self._events, FailureStage.DECODE, "ok")
+        self._emit(
+            ReceiverOutput(
+                payload=payload,
+                crc_ok=crc_ok,
+                detection=detection,
+                snr_est_db=detection.snr_db,
+                levels_i=result.levels_i,
+                levels_q=result.levels_q,
+                equalizer_mse=result.mse,
+                failure=failure,
+                events=self._events,
+            ),
+            outputs,
+        )
+
+    def _classify_decode_error(self, exc: Exception, outputs: list[ReceiverOutput]) -> bool:
+        """Mirror the batch path's equalize/decode exception handling.
+
+        Returns True when the error was converted into a classified-loss
+        output (hardened mode); False to re-raise (unhardened, or an error
+        class the batch path would not catch either).
+        """
+        from repro.errors import EqualizationError
+
+        if not isinstance(exc, (EqualizationError, ValueError, np.linalg.LinAlgError)):
+            return False
+        if not self._inner.hardened:
+            return False
+        code = (
+            "equalization_error" if isinstance(exc, EqualizationError) else "demodulator_error"
+        )
+        self._emit(
+            self._inner._failure_output(
+                self._detection,
+                FailureReason(FailureStage.EQUALIZATION, code, str(exc)),
+                self._events,
+            ),
+            outputs,
+        )
+        return True
+
+    # ----------------------------------------------------------- finalize
+
+    def _emit(self, output: ReceiverOutput, outputs: list[ReceiverOutput]) -> None:
+        """Deliver one capture output and release the capture buffer."""
+        outputs.append(output)
+        self.packets_emitted += 1
+        self._state = _DONE
+        self._buf = None  # bounded memory: the capture buffer dies here
+        self._session = None
+        if self._obs.enabled:
+            self._obs.count("stream.packets_emitted_total")
+
+    def _finalize_capture(self) -> list[ReceiverOutput]:
+        """Capture boundary: emit the deferred batch delegate if the
+        streamed pipeline did not already produce the output."""
+        outputs: list[ReceiverOutput] = []
+        state = self._state
+        if state != _DONE:
+            buf = self._buf.view() if self._buf is not None else None
+            hint = self._coarse_hint()
+            try:
+                outputs.append(
+                    self._inner.receive(
+                        self._backend.to_host(buf),
+                        search_start=self.search_start,
+                        search_stop=self.search_stop,
+                        coarse_offset=hint,
+                    )
+                )
+                self.packets_emitted += 1
+                if self._obs.enabled:
+                    self._obs.count("stream.packets_emitted_total")
+            finally:
+                # A raising delegate (e.g. capture shorter than the
+                # preamble, matching the batch ValueError) still closes the
+                # capture so the stream can continue.
+                self.captures_completed += 1
+                self._reset_capture()
+            return outputs
+        self.captures_completed += 1
+        self._reset_capture()
+        return outputs
+
+    def _coarse_hint(self) -> int | None:
+        """The incremental scan's coarse minimum, iff it covered exactly the
+        offsets the batch first pass will scan (then the hint is an identity
+        optimisation; otherwise the delegate re-scans from scratch)."""
+        if self._coarse_best is None or self._matched is None or self._buf is None:
+            return None
+        y, skip, _ = self._matched
+        stop = self._buf.size - y.size - skip
+        if self.search_stop is not None:
+            stop = min(self.search_stop, stop)
+        if stop < self.search_start:
+            return None
+        best_off = self._coarse_best[1]
+        if self._coarse_next <= stop or not self.search_start <= best_off <= stop:
+            return None
+        return best_off
+
+    def _drop_capture(self, outputs: list[ReceiverOutput]) -> None:
+        """Backpressure: abandon the capture (policy, not equivalence)."""
+        obs = self._obs
+        obs.count("stream.backpressure_drops")
+        log.warning(
+            "backpressure: dropping capture with %d buffered samples (bound %d)",
+            self._buf.size,
+            self.max_buffered_samples,
+        )
+        from repro.modem.preamble import PreambleDetection, RotationCorrector
+
+        placeholder = PreambleDetection(
+            offset=0,
+            corrector=RotationCorrector(1.0 + 0.0j, 0.0j, 0.0j),
+            normalised_cost=float("inf"),
+            snr_db=float("-inf"),
+            detected=False,
+        )
+        self._emit(
+            self._inner._failure_output(
+                placeholder,
+                FailureReason(
+                    FailureStage.CAPTURE,
+                    "backpressure_drop",
+                    f"buffered {self._fill} samples above bound {self.max_buffered_samples}",
+                ),
+                self._events,
+            ),
+            outputs,
+        )

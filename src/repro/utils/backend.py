@@ -1,0 +1,202 @@
+"""Pluggable array backend: the seam between kernels and their ndarray library.
+
+The vectorized hot paths (the DFE block engine in :mod:`repro.modem.dfe`,
+the LC two-pass waveform engine in :mod:`repro.lcm.response`, and the
+streaming receiver in :mod:`repro.phy.streaming`) never import ``numpy``
+directly on their hot path.  They fetch the *active backend* at kernel
+entry and address every array operation through its ``xp`` namespace::
+
+    from repro.utils.backend import active_backend
+    xp = active_backend().xp
+    acc = xp.zeros((b, k, w), dtype=xp.float64)
+
+``xp`` is duck-typed to the numpy module surface (CuPy and ``jax.numpy``
+both mirror it), so a GPU backend slots in by constructing an
+:class:`ArrayBackend` around the drop-in module — no kernel edits.  The
+default backend is numpy and the numpy path compiles to exactly the same
+calls as before the seam existed: ``xp is numpy`` and attribute fetches are
+hoisted into locals inside the kernels, so the seam's steady-state cost is
+one context-variable read per kernel invocation.
+
+Rules of the seam (enforced by ``tests/utils/test_backend.py``):
+
+* Hot-path kernel functions contain no ``np.`` references — every array op
+  goes through ``xp`` (or plain operators, which dispatch on the array
+  type).  A source-level lint walks the registered kernels.
+* Control-flow scalars may be materialised with :meth:`ArrayBackend.scalar`
+  (GPU backends synchronise there; numpy's is free), and host handoff goes
+  through :meth:`ArrayBackend.to_host`.
+* Reference tables built at setup time (banks, unit tables) are host
+  arrays; a device backend adopts them via :meth:`ArrayBackend.asarray`
+  at kernel entry.  Setup code is *not* behind the seam — only kernels.
+
+Backends are process-global with a context-manager override::
+
+    with use_backend(recording):     # tests: count dispatched ops
+        demod.demodulate_block(z, n)
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+
+import numpy as _np
+
+__all__ = [
+    "ArrayBackend",
+    "NUMPY_BACKEND",
+    "RecordingNamespace",
+    "active_backend",
+    "make_recording_backend",
+    "set_backend",
+    "use_backend",
+]
+
+
+class ArrayBackend:
+    """One array library, wrapped for the kernel seam.
+
+    Parameters
+    ----------
+    name:
+        Short identifier (``"numpy"``, ``"cupy"``, ...), surfaced in
+        metrics and benchmark artifacts.
+    xp:
+        The numpy-compatible module (or module-like proxy) kernels
+        address.  Must expose the numpy function/ufunc surface the
+        kernels use; numpy itself, CuPy and ``jax.numpy`` all qualify.
+    to_host:
+        Optional converter returning a *numpy* ndarray from one of this
+        backend's arrays (CuPy: ``cupy.asnumpy``).  Defaults to
+        ``numpy.asarray`` which is a no-copy pass-through for numpy.
+    """
+
+    __slots__ = ("name", "xp", "_to_host")
+
+    def __init__(self, name: str, xp, to_host=None):
+        self.name = name
+        self.xp = xp
+        self._to_host = to_host
+
+    def asarray(self, a, dtype=None):
+        """Adopt a (possibly host) array into this backend's array type."""
+        return self.xp.asarray(a, dtype=dtype) if dtype is not None else self.xp.asarray(a)
+
+    def to_host(self, a):
+        """A numpy ndarray with ``a``'s contents (synchronises on device backends)."""
+        if self._to_host is not None:
+            return self._to_host(a)
+        return _np.asarray(a)
+
+    def scalar(self, a):
+        """A python scalar from a 0-d array (the device-sync point)."""
+        arr = self.to_host(a)
+        return arr.item() if hasattr(arr, "item") else arr
+
+    @contextlib.contextmanager
+    def errstate(self, **kwargs):
+        """Float-error-state guard; numpy semantics, no-op where unsupported."""
+        errstate = getattr(self.xp, "errstate", None)
+        if errstate is None:  # pragma: no cover - non-numpy namespaces
+            yield
+            return
+        with errstate(**kwargs):
+            yield
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return f"ArrayBackend({self.name!r})"
+
+
+#: The default backend: numpy, with pass-through host conversion.
+NUMPY_BACKEND = ArrayBackend("numpy", _np)
+
+_active: contextvars.ContextVar[ArrayBackend] = contextvars.ContextVar(
+    "repro_array_backend", default=NUMPY_BACKEND
+)
+
+
+def active_backend() -> ArrayBackend:
+    """The backend kernels must route through (default: numpy)."""
+    return _active.get()
+
+
+def set_backend(backend: ArrayBackend | None) -> None:
+    """Install ``backend`` process-globally (``None`` restores numpy)."""
+    _active.set(backend if backend is not None else NUMPY_BACKEND)
+
+
+@contextlib.contextmanager
+def use_backend(backend: ArrayBackend):
+    """Scoped backend override (tests, per-request device selection)."""
+    token = _active.set(backend)
+    try:
+        yield backend
+    finally:
+        _active.reset(token)
+
+
+# --------------------------------------------------------------------------
+# Recording proxy: the conformance suite's mock backend.
+# --------------------------------------------------------------------------
+
+
+class _RecordingCallable:
+    """A wrapped ufunc/function that logs each dispatch before delegating.
+
+    Ufunc method attributes (``.reduce``, ``.accumulate``, ...) are wrapped
+    recursively so ``xp.add.reduce(...)`` records as ``"add.reduce"``.
+    """
+
+    __slots__ = ("_target", "_name", "_log")
+
+    def __init__(self, target, name: str, log: list[str]):
+        self._target = target
+        self._name = name
+        self._log = log
+
+    def __call__(self, *args, **kwargs):
+        self._log.append(self._name)
+        return self._target(*args, **kwargs)
+
+    def __getattr__(self, attr):
+        target = getattr(self._target, attr)
+        if callable(target):
+            return _RecordingCallable(target, f"{self._name}.{attr}", self._log)
+        return target
+
+
+class RecordingNamespace:
+    """An ``xp`` proxy that delegates to a base module and logs every op.
+
+    Results are whatever the base module returns, so a kernel run under the
+    recording backend is *bit-identical* to a run under the base backend —
+    the log is pure observation.  Types (dtypes like ``float64``, exception
+    classes) and constants (``pi``) pass through unwrapped so they remain
+    usable as ``dtype=`` arguments and in ``except`` clauses; submodules
+    (``linalg``, ``fft``) are wrapped recursively and log dotted names.
+    """
+
+    def __init__(self, base=_np, log: list[str] | None = None, prefix: str = ""):
+        self._base = base
+        self._prefix = prefix
+        self.op_log: list[str] = log if log is not None else []
+
+    def __getattr__(self, name):
+        import types
+
+        target = getattr(self._base, name)
+        full = f"{self._prefix}{name}"
+        if isinstance(target, types.ModuleType):
+            return RecordingNamespace(target, self.op_log, prefix=f"{full}.")
+        if isinstance(target, type):
+            return target
+        if callable(target):
+            return _RecordingCallable(target, full, self.op_log)
+        return target
+
+
+def make_recording_backend(base: ArrayBackend | None = None) -> ArrayBackend:
+    """A backend whose ``xp`` records dispatched op names onto ``xp.op_log``."""
+    base = base if base is not None else NUMPY_BACKEND
+    return ArrayBackend(f"recording[{base.name}]", RecordingNamespace(base.xp))

@@ -42,6 +42,11 @@ def pytest_generate_tests(metafunc):
         metafunc.parametrize(
             "sweep_case", names or [pytest.param(None, marks=pytest.mark.skip)]
         )
+    if "stream_case" in metafunc.fixturenames:
+        names = [n for n, meta in manifest.items() if meta["kind"] == "stream"]
+        metafunc.parametrize(
+            "stream_case", names or [pytest.param(None, marks=pytest.mark.skip)]
+        )
 
 
 @pytest.fixture(scope="session")

@@ -149,6 +149,143 @@ def build_cases() -> dict[str, tuple[dict, dict]]:
     return cases
 
 
+def _stream_case(
+    name: str,
+    *,
+    sim_seed: int,
+    capture_seed: int,
+    chunk_plan,
+    fault_plan=None,
+    fault_note: str = "none",
+    truncate_to: int | None = None,
+) -> tuple[dict, dict]:
+    """Freeze one streaming decode: capture samples + chunk partition +
+    the exact ReceiverOutput the streaming receiver produced.
+
+    ``chunk_plan(x, batch_offset)`` maps the capture and the batch
+    detection offset to a list of chunk sizes — so a case can pin its
+    seams *relative to the preamble* (split mid-preamble, seam inside a
+    burst) while staying deterministic.
+    """
+    from repro.phy.pipeline import PacketSimulator
+    from repro.phy.streaming import StreamingReceiver
+
+    config = ModemConfig(dsm_order=2, pqam_order=4, slot_s=2.0e-3, fs=10e3, tail_memory=2)
+    sim = PacketSimulator(
+        config=config, payload_bytes=6, fault_plan=fault_plan, rng=sim_seed
+    )
+    cap = sim.make_capture(rng=capture_seed)
+    x = cap.samples
+    if truncate_to is not None:
+        x = x[:truncate_to]
+    batch = sim.receiver.receive(x, search_start=0, search_stop=cap.search_stop)
+    chunk_sizes = chunk_plan(x, batch.detection.offset)
+    assert sum(chunk_sizes) == x.size, f"{name}: chunk plan does not cover the capture"
+
+    rx = StreamingReceiver(sim.receiver, search_stop=cap.search_stop)
+    outs, lo = [], 0
+    for size in chunk_sizes:
+        outs.extend(rx.push(x[lo : lo + size]))
+        lo += size
+    outs.extend(rx.close())
+    (out,) = outs
+    # The streamed record must sit exactly on the batch record before it is
+    # frozen — a golden that disagreed with batch would pin a bug.
+    assert out.payload == batch.payload and out.crc_ok == batch.crc_ok, name
+    assert out.equalizer_mse == batch.equalizer_mse, name
+
+    meta = {
+        "kind": "stream",
+        "config": _config_params(config),
+        "payload_bytes": 6,
+        "sim_seed": int(sim_seed),
+        "capture_seed": int(capture_seed),
+        "search_stop": int(cap.search_stop),
+        "fault": fault_note,
+        "truncate_to": truncate_to,
+        "crc_ok": bool(out.crc_ok),
+        "failure": None
+        if out.failure is None
+        else {
+            "stage": out.failure.stage.value,
+            "code": out.failure.code,
+            "detail": out.failure.detail,
+        },
+        "events": [[e.stage.value, e.status, e.detail] for e in out.events],
+    }
+    arrays = {
+        "x": x,
+        "chunk_sizes": np.asarray(chunk_sizes, dtype=np.int64),
+        "sent_payload": np.frombuffer(cap.payload, dtype=np.uint8),
+        "payload": np.frombuffer(out.payload, dtype=np.uint8),
+        "levels_i": out.levels_i,
+        "levels_q": out.levels_q,
+        "mse": np.float64(out.equalizer_mse),
+        "offset": np.int64(out.detection.offset),
+        "normalised_cost": np.float64(out.detection.normalised_cost),
+        "snr_est_db": np.float64(out.snr_est_db),
+    }
+    return meta, arrays
+
+
+def build_streaming_cases() -> dict[str, tuple[dict, dict]]:
+    """The four frozen streaming decodes (``--streaming``)."""
+    from repro.faults.injectors import InterferenceBurst
+    from repro.faults.plan import FaultPlan
+
+    def uniform(size):
+        return lambda x, off: [
+            min(size, x.size - lo) for lo in range(0, x.size, size)
+        ]
+
+    def preamble_split_3(x, off):
+        # Three seams inside the 800-sample preamble: the coarse scan and
+        # the matched reference both straddle chunk boundaries.
+        cuts = [off + 100, off + 350, off + 620]
+        edges = [0, *cuts, x.size]
+        return [b - a for a, b in zip(edges, edges[1:])]
+
+    def burst_seam(x, off):
+        # A seam planted in the middle of the payload burst window.
+        mid = off + (x.size - off) * 2 // 3
+        edges = [0, off + 900, mid, x.size]
+        return [b - a for a, b in zip(edges, edges[1:])]
+
+    burst = FaultPlan(
+        [
+            InterferenceBurst(
+                section="payload", start_frac=0.25, duration_frac=0.5, amplitude=3.0
+            )
+        ]
+    )
+    return {
+        "stream_clean": _stream_case(
+            "stream_clean", sim_seed=11, capture_seed=501, chunk_plan=uniform(256)
+        ),
+        "stream_preamble_split": _stream_case(
+            "stream_preamble_split",
+            sim_seed=11,
+            capture_seed=502,
+            chunk_plan=preamble_split_3,
+        ),
+        "stream_truncated_final": _stream_case(
+            "stream_truncated_final",
+            sim_seed=11,
+            capture_seed=503,
+            chunk_plan=uniform(400),
+            truncate_to=1500,
+        ),
+        "stream_fault_burst_seam": _stream_case(
+            "stream_fault_burst_seam",
+            sim_seed=11,
+            capture_seed=504,
+            chunk_plan=burst_seam,
+            fault_plan=burst,
+            fault_note="InterferenceBurst(payload, 0.25+0.5, amp 3.0)",
+        ),
+    }
+
+
 def build_sweep_journals(force: bool) -> dict[str, dict]:
     """Freeze one sweep journal per grid harness (plus the fault plan).
 
@@ -184,7 +321,28 @@ def main(argv: list[str] | None = None) -> int:
         help="regenerate only the sweep journals, merging into the existing "
         "manifest (leaves the waveform npz wall untouched)",
     )
+    parser.add_argument(
+        "--streaming",
+        action="store_true",
+        help="regenerate only the streaming goldens, merging into the existing "
+        "manifest (leaves the batch waveform wall and sweep journals untouched)",
+    )
     args = parser.parse_args(argv)
+
+    if args.streaming:
+        manifest = json.loads(MANIFEST.read_text()) if MANIFEST.exists() else {}
+        CASES_DIR.mkdir(parents=True, exist_ok=True)
+        for name, (meta, arrays) in build_streaming_cases().items():
+            target = CASES_DIR / f"{name}.npz"
+            if target.exists() and not args.force:
+                print(f"refusing to overwrite {target}; pass --force", file=sys.stderr)
+                return 1
+            np.savez(target, **arrays)
+            manifest[name] = meta
+            print(f"wrote {name}: {', '.join(sorted(arrays))}")
+        MANIFEST.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {MANIFEST} ({len(manifest)} cases)")
+        return 0
 
     if args.sweeps_only:
         manifest = json.loads(MANIFEST.read_text()) if MANIFEST.exists() else {}
@@ -205,7 +363,7 @@ def main(argv: list[str] | None = None) -> int:
 
     CASES_DIR.mkdir(parents=True, exist_ok=True)
     manifest: dict[str, dict] = {}
-    for name, (meta, arrays) in build_cases().items():
+    for name, (meta, arrays) in {**build_cases(), **build_streaming_cases()}.items():
         np.savez(CASES_DIR / f"{name}.npz", **arrays)
         manifest[name] = meta
         print(f"wrote {name}: {', '.join(sorted(arrays))}")

@@ -179,9 +179,9 @@ class TestDefensiveExitPath:
             orig = type(inst)._group_ids
             calls = []
 
-            def patched(sig):
+            def patched(xp, sig):
                 calls.append(sig.shape[1])
-                gids = orig(inst, sig)
+                gids = orig(inst, xp, sig)
                 return np.zeros_like(gids) if len(calls) > switch_at else gids
 
             return patched, calls
