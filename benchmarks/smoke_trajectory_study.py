@@ -1,0 +1,93 @@
+"""Nightly trajectory-study smoke: shards, merge, and the golden gate.
+
+The scenario-catalog analogue of ``smoke_sweep_resume.py``, run against
+the *real* physics task (every catalog trajectory, three packets per
+cell — the exact grid the golden journal freezes):
+
+1. run the ``trajectory_study`` grid as two shards into separate
+   journals, killing shard ``0/2`` mid-journal and resuming it;
+2. merge the shard journals;
+3. demand the merged canonical records are **bit-identical** to an
+   uninterrupted unsharded run;
+4. demand both match the frozen golden journal
+   ``tests/golden/cases/sweep_trajectory.jsonl`` — the cross-release
+   identity gate: if a physics or spec change moves a row, this trips
+   before the golden wall does in a context with the journals in hand.
+
+Artifacts (all journals plus a JSON verdict) land under
+``benchmarks/results/trajectory_smoke/`` and are uploaded by the nightly
+CI lane.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/smoke_trajectory_study.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.experiments.sweeps import (
+    SimulatedCrash,
+    canonical_records,
+    merge_journals,
+)
+from repro.experiments.trajectory_study import trajectory_study_grid
+
+SMOKE_DIR = Path(__file__).parent / "results" / "trajectory_smoke"
+GOLDEN = Path(__file__).parent.parent / "tests" / "golden" / "cases" / "sweep_trajectory.jsonl"
+# The frozen grid: full catalog, n_packets=[3], root_seed=51.
+GRID = dict(n_packets_list=[3], root_seed=51)
+CRASH_AFTER = 2  # journal appends before the injected kill (1 header + 1 task)
+
+
+def main() -> int:
+    SMOKE_DIR.mkdir(parents=True, exist_ok=True)
+    for stale in SMOKE_DIR.glob("*.jsonl"):
+        stale.unlink()
+
+    single = SMOKE_DIR / "single.jsonl"
+    trajectory_study_grid(**GRID, journal=single)
+
+    shard0 = SMOKE_DIR / "shard0.jsonl"
+    crashed = False
+    try:
+        trajectory_study_grid(
+            **GRID, journal=shard0, shard="0/2", sweep={"crash_after": CRASH_AFTER}
+        )
+    except SimulatedCrash:
+        crashed = True
+    trajectory_study_grid(**GRID, journal=shard0, shard="0/2")
+
+    shard1 = SMOKE_DIR / "shard1.jsonl"
+    trajectory_study_grid(**GRID, journal=shard1, shard="1/2")
+
+    merged = SMOKE_DIR / "merged.jsonl"
+    merge_journals([shard0, shard1], merged)
+
+    merged_records = canonical_records(merged)
+    checks = {
+        "crash_injected": crashed,
+        "merged_matches_unsharded": merged_records == canonical_records(single),
+        "matches_golden_journal": merged_records == canonical_records(GOLDEN),
+    }
+    verdict = {
+        "grid": {k: v for k, v in GRID.items()},
+        "golden": str(GOLDEN),
+        "checks": checks,
+        "ok": all(checks.values()),
+    }
+    (SMOKE_DIR / "verdict.json").write_text(json.dumps(verdict, indent=2) + "\n")
+    for name, ok in checks.items():
+        print(f"{'PASS' if ok else 'FAIL'}  {name}")
+    if not verdict["ok"]:
+        print(f"trajectory smoke FAILED; journals kept under {SMOKE_DIR}", file=sys.stderr)
+        return 1
+    print(f"trajectory-study smoke OK (2 shards + golden gate); artifacts in {SMOKE_DIR}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,159 @@
+"""Per-kind knob groups for the v2 :class:`~repro.api.ScenarioSpec`.
+
+The v1 spec was one flat dataclass: every new scenario kind dumped more
+kind-private knobs into a single namespace, and nothing stopped a caller
+from setting ``roll_rate_deg_s`` on an ARQ run (it was silently ignored).
+v2 groups the knobs by the scenario family that consumes them:
+
+* :class:`PhyKnobs` — static-pose PHY runs (``packet``, ``stream``);
+* :class:`MobilityKnobs` — constant-rate §8 drift (``mobility``);
+* :class:`TrajectoryKnobs` — waypoint-path mobility (``trajectory``);
+* :class:`MacKnobs` — the analytic MAC models (``arq``, ``watchdog``);
+* :class:`StreamKnobs` — chunk-fed streaming delivery (``stream``).
+
+Groups are plain frozen dataclasses.  They do not raise on construction;
+instead :meth:`problems` returns every violation as a string, so the
+owning spec can aggregate all of them (its own and every group's) into
+one ``ValueError`` — the same all-violations contract v1 had.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.channel.trajectory import Trajectory, named_trajectory, trajectory_names
+
+__all__ = [
+    "MacKnobs",
+    "MobilityKnobs",
+    "PhyKnobs",
+    "StreamKnobs",
+    "TrajectoryKnobs",
+]
+
+_BANK_MODES = ("trained", "nominal")
+
+
+@dataclass(frozen=True)
+class PhyKnobs:
+    """Static-pose PHY condition: orientation, basis bank, ambient light."""
+
+    roll_deg: float = 0.0
+    yaw_deg: float = 0.0
+    bank_mode: str = "trained"
+    ambient: str | None = None
+
+    def problems(self) -> list[str]:
+        out = []
+        if self.bank_mode not in _BANK_MODES:
+            out.append(f"bank_mode {self.bank_mode!r} not in {_BANK_MODES}")
+        if self.ambient is not None:
+            from repro.optics.ambient import AMBIENT_PRESETS
+
+            if self.ambient not in AMBIENT_PRESETS:
+                out.append(f"ambient {self.ambient!r} not in {sorted(AMBIENT_PRESETS)}")
+        return out
+
+
+@dataclass(frozen=True)
+class MobilityKnobs:
+    """Constant-rate roll drift with mid-packet re-sync (the §8 study)."""
+
+    roll_rate_deg_s: float = 0.0
+    sync_interval_slots: int = 64
+    resync: bool = True
+
+    def problems(self) -> list[str]:
+        out = []
+        if self.sync_interval_slots < 1:
+            out.append("sync_interval_slots must be >= 1")
+        return out
+
+
+@dataclass(frozen=True)
+class TrajectoryKnobs:
+    """Waypoint-path mobility: which trajectory, and the packet cadence.
+
+    ``trajectory`` is either a preset name from
+    :data:`repro.channel.trajectory.TRAJECTORY_PRESETS` or a full
+    :class:`~repro.channel.trajectory.Trajectory` object;
+    :meth:`resolve` returns the object either way.
+    ``packet_interval_s`` is the idle gap between packet captures — it
+    sets how far along the path consecutive packets land.
+    """
+
+    trajectory: str | Trajectory = "wearable_pedestrian"
+    packet_interval_s: float = 0.05
+    sync_interval_slots: int = 64
+    resync: bool = True
+
+    def problems(self) -> list[str]:
+        out = []
+        if isinstance(self.trajectory, str):
+            if self.trajectory not in trajectory_names():
+                out.append(
+                    f"trajectory {self.trajectory!r} not in {trajectory_names()}"
+                )
+        elif not isinstance(self.trajectory, Trajectory):
+            out.append(
+                "trajectory must be a preset name or a Trajectory, got "
+                f"{type(self.trajectory).__name__}"
+            )
+        if self.packet_interval_s < 0:
+            out.append("packet_interval_s must be >= 0")
+        if self.sync_interval_slots < 1:
+            out.append("sync_interval_slots must be >= 1")
+        return out
+
+    def resolve(self) -> Trajectory:
+        """The trajectory object (preset names are built fresh)."""
+        if isinstance(self.trajectory, str):
+            return named_trajectory(self.trajectory)
+        return self.trajectory
+
+    def describe(self) -> dict:
+        """JSON-ready content — embeds the *full* trajectory geometry so
+        a journal fingerprint changes whenever the path does."""
+        return {
+            "trajectory": self.resolve().describe(),
+            "packet_interval_s": self.packet_interval_s,
+            "sync_interval_slots": self.sync_interval_slots,
+            "resync": self.resync,
+        }
+
+
+@dataclass(frozen=True)
+class MacKnobs:
+    """Analytic MAC models: frame success odds and retry budgets."""
+
+    success_probability: float | None = None
+    max_attempts: int = 8
+    fail_threshold: int = 3
+
+    def problems(self) -> list[str]:
+        out = []
+        if self.success_probability is not None and not (
+            0.0 <= self.success_probability <= 1.0
+        ):
+            out.append("success_probability must be in [0, 1]")
+        if self.max_attempts < 1:
+            out.append("max_attempts must be >= 1")
+        if self.fail_threshold < 1:
+            out.append("fail_threshold must be >= 1")
+        return out
+
+
+@dataclass(frozen=True)
+class StreamKnobs:
+    """Chunk-fed streaming delivery: chunk size and buffering bound."""
+
+    chunk_samples: int = 256
+    max_buffered_samples: int | None = None
+
+    def problems(self) -> list[str]:
+        out = []
+        if self.chunk_samples < 1:
+            out.append("chunk_samples must be >= 1")
+        if self.max_buffered_samples is not None and self.max_buffered_samples < 1:
+            out.append("max_buffered_samples must be >= 1 (or None)")
+        return out

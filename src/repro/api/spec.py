@@ -1,0 +1,412 @@
+"""The v2 :class:`ScenarioSpec`: shared link fields + nested knob groups.
+
+v1 was a single flat dataclass; every kind's private knobs shared one
+namespace, and a knob set on the wrong kind was silently ignored.  v2
+keeps the six fields every harness reads (``kind``, ``rate_bps``,
+``distance_m``, ``payload_bytes``, ``k_branches``, ``seed``) at the top
+level and moves everything else into per-kind groups::
+
+    from repro.api import PhyKnobs, ScenarioSpec, TrajectoryKnobs
+
+    ScenarioSpec(kind="packet", distance_m=3.0, phy=PhyKnobs(roll_deg=25.0))
+    ScenarioSpec(kind="trajectory",
+                 trajectory=TrajectoryKnobs("drive_by_reader",
+                                            packet_interval_s=0.02))
+
+Compatibility: the old flat keyword form (``ScenarioSpec(roll_deg=25.0)``)
+still works — the constructor maps flat knobs into the active kind's
+group and emits one ``DeprecationWarning`` per process.  A flat knob that
+belongs to a group the active kind does not use is a validation error
+(reported alongside every other violation), where v1 silently accepted
+it.  ``describe()`` output is byte-identical to v1 for every v1 kind, so
+no sweep-journal fingerprint moves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace as _dc_replace
+
+from repro.api.knobs import (
+    MacKnobs,
+    MobilityKnobs,
+    PhyKnobs,
+    StreamKnobs,
+    TrajectoryKnobs,
+)
+from repro.channel.trajectory import Trajectory
+from repro.obs import ensure_observer
+from repro.utils.deprecation import warn_once
+
+__all__ = ["KIND_GROUPS", "SCENARIO_KINDS", "ScenarioSpec"]
+
+#: Scenario families the facade can run (each maps to one harness).
+SCENARIO_KINDS = ("packet", "mobility", "trajectory", "arq", "watchdog", "stream")
+
+#: Which knob groups each kind consumes.  Anything else is rejected.
+KIND_GROUPS: dict[str, tuple[str, ...]] = {
+    "packet": ("phy",),
+    "stream": ("phy", "stream"),
+    "mobility": ("mobility",),
+    "trajectory": ("trajectory",),
+    "arq": ("mac",),
+    "watchdog": ("mac",),
+}
+
+_GROUP_TYPES = {
+    "phy": PhyKnobs,
+    "mobility": MobilityKnobs,
+    "trajectory": TrajectoryKnobs,
+    "mac": MacKnobs,
+    "stream": StreamKnobs,
+}
+
+#: Legacy flat knob -> the group(s) that own it (two groups share the
+#: re-sync knobs; the active kind disambiguates).
+_FLAT_KNOBS: dict[str, tuple[str, ...]] = {
+    "roll_deg": ("phy",),
+    "yaw_deg": ("phy",),
+    "bank_mode": ("phy",),
+    "ambient": ("phy",),
+    "roll_rate_deg_s": ("mobility",),
+    "packet_interval_s": ("trajectory",),
+    "sync_interval_slots": ("mobility", "trajectory"),
+    "resync": ("mobility", "trajectory"),
+    "success_probability": ("mac",),
+    "max_attempts": ("mac",),
+    "fail_threshold": ("mac",),
+    "chunk_samples": ("stream",),
+    "max_buffered_samples": ("stream",),
+}
+
+_SHARED_FIELDS = ("kind", "rate_bps", "distance_m", "payload_bytes", "k_branches", "seed")
+_GROUP_FIELDS = tuple(_GROUP_TYPES)
+
+
+@dataclass(frozen=True, init=False)
+class ScenarioSpec:
+    """A validated, self-describing experimental condition (v2 shape).
+
+    Shared fields apply to every kind; per-kind knobs live in the nested
+    groups (:data:`KIND_GROUPS` says which kind reads which).  Unknown
+    keywords are a ``TypeError``; every value violation — the spec's own,
+    each group's, and any knob aimed at an inactive group — is collected
+    and raised as one ``ValueError``.
+    """
+
+    kind: str = "packet"
+    rate_bps: float = 8000.0
+    distance_m: float = 2.0
+    payload_bytes: int = 24
+    k_branches: int = 16
+    seed: int = 7
+    phy: PhyKnobs | None = None
+    mobility: MobilityKnobs | None = None
+    trajectory: TrajectoryKnobs | None = None
+    mac: MacKnobs | None = None
+    stream: StreamKnobs | None = None
+
+    def __init__(
+        self,
+        kind: str = "packet",
+        *,
+        rate_bps: float = 8000.0,
+        distance_m: float = 2.0,
+        payload_bytes: int = 24,
+        k_branches: int = 16,
+        seed: int = 7,
+        phy: PhyKnobs | None = None,
+        mobility: MobilityKnobs | None = None,
+        trajectory: TrajectoryKnobs | Trajectory | str | None = None,
+        mac: MacKnobs | None = None,
+        stream: StreamKnobs | None = None,
+        **flat,
+    ):
+        unknown = [k for k in flat if k not in _FLAT_KNOBS]
+        if unknown:
+            raise TypeError(
+                "ScenarioSpec() got an unexpected keyword argument "
+                f"{unknown[0]!r}"
+            )
+        if flat:
+            warn_once(
+                "ScenarioSpec.flat_kwargs",
+                "flat ScenarioSpec knob kwargs are deprecated; pass nested "
+                "knob groups instead (e.g. phy=PhyKnobs(roll_deg=...), "
+                "mac=MacKnobs(success_probability=...))",
+            )
+        problems: list[str] = []
+        if kind not in SCENARIO_KINDS:
+            problems.append(f"kind {kind!r} not in {SCENARIO_KINDS}")
+        active = KIND_GROUPS.get(kind, ())
+
+        # v2 convenience: kind="trajectory" accepts a bare trajectory
+        # (preset name or Trajectory object) where the group would go.
+        if isinstance(trajectory, (str, Trajectory)):
+            trajectory = TrajectoryKnobs(trajectory=trajectory)
+
+        groups: dict[str, object | None] = {
+            "phy": phy,
+            "mobility": mobility,
+            "trajectory": trajectory,
+            "mac": mac,
+            "stream": stream,
+        }
+        for name, value in groups.items():
+            if value is None:
+                continue
+            expected = _GROUP_TYPES[name]
+            if not isinstance(value, expected):
+                problems.append(
+                    f"{name} must be {expected.__name__}, got {type(value).__name__}"
+                )
+                groups[name] = None
+            elif name not in active:
+                problems.append(f"{name} knobs are not available for kind={kind!r}")
+                groups[name] = None
+
+        # Route legacy flat knobs into the active kind's group.
+        overrides: dict[str, dict] = {}
+        for key, value in flat.items():
+            owners = _FLAT_KNOBS[key]
+            owner = next((g for g in owners if g in active), None)
+            if owner is None:
+                names = " or ".join(_GROUP_TYPES[g].__name__ for g in owners)
+                problems.append(
+                    f"{key!r} belongs to {names} and is not available for "
+                    f"kind={kind!r}"
+                )
+                continue
+            overrides.setdefault(owner, {})[key] = value
+
+        for name in active:
+            base = groups[name] if groups[name] is not None else _GROUP_TYPES[name]()
+            if name in overrides:
+                base = _dc_replace(base, **overrides[name])
+            groups[name] = base
+
+        # ----------------------------------------------------- validation
+        if rate_bps <= 0:
+            problems.append("rate_bps must be positive")
+        if distance_m <= 0:
+            problems.append("distance_m must be positive")
+        if payload_bytes < 1:
+            problems.append("payload_bytes must be >= 1")
+        if k_branches < 1:
+            problems.append("k_branches must be >= 1")
+        for name in active:
+            group = groups[name]
+            if group is not None:
+                problems.extend(group.problems())
+        if kind in ("arq", "watchdog"):
+            mac_group = groups["mac"]
+            if mac_group is not None and mac_group.success_probability is None:
+                problems.append(f"kind={kind!r} requires success_probability")
+        if problems:
+            raise ValueError("invalid ScenarioSpec: " + "; ".join(problems))
+
+        object.__setattr__(self, "kind", kind)
+        object.__setattr__(self, "rate_bps", rate_bps)
+        object.__setattr__(self, "distance_m", distance_m)
+        object.__setattr__(self, "payload_bytes", payload_bytes)
+        object.__setattr__(self, "k_branches", k_branches)
+        object.__setattr__(self, "seed", seed)
+        for name in _GROUP_FIELDS:
+            object.__setattr__(self, name, groups[name])
+
+    # -------------------------------------------------- flat read access
+    # v1 exposed every knob as a top-level attribute; keep reads working
+    # (values come from the active group, or that group's default).
+
+    @property
+    def roll_deg(self) -> float:
+        return (self.phy or PhyKnobs()).roll_deg
+
+    @property
+    def yaw_deg(self) -> float:
+        return (self.phy or PhyKnobs()).yaw_deg
+
+    @property
+    def bank_mode(self) -> str:
+        return (self.phy or PhyKnobs()).bank_mode
+
+    @property
+    def ambient(self) -> str | None:
+        return (self.phy or PhyKnobs()).ambient
+
+    @property
+    def roll_rate_deg_s(self) -> float:
+        return (self.mobility or MobilityKnobs()).roll_rate_deg_s
+
+    @property
+    def sync_interval_slots(self) -> int:
+        group = self.mobility if self.mobility is not None else self.trajectory
+        return group.sync_interval_slots if group is not None else 64
+
+    @property
+    def resync(self) -> bool:
+        group = self.mobility if self.mobility is not None else self.trajectory
+        return group.resync if group is not None else True
+
+    @property
+    def packet_interval_s(self) -> float:
+        return (self.trajectory or TrajectoryKnobs()).packet_interval_s
+
+    @property
+    def success_probability(self) -> float | None:
+        return (self.mac or MacKnobs()).success_probability
+
+    @property
+    def max_attempts(self) -> int:
+        return (self.mac or MacKnobs()).max_attempts
+
+    @property
+    def fail_threshold(self) -> int:
+        return (self.mac or MacKnobs()).fail_threshold
+
+    @property
+    def chunk_samples(self) -> int:
+        return (self.stream or StreamKnobs()).chunk_samples
+
+    @property
+    def max_buffered_samples(self) -> int | None:
+        return (self.stream or StreamKnobs()).max_buffered_samples
+
+    # ------------------------------------------------------------ describe
+
+    def describe(self) -> dict:
+        """The spec as a JSON-ready dict (the report's ``scenario`` block).
+
+        Only the fields that matter for :attr:`kind` are included, so two
+        specs describing the same physical condition render identically.
+        For every v1 kind the output is byte-identical to the v1 flat
+        spec's — frozen sweep-journal fingerprints do not move.
+        """
+        base = {"kind": self.kind, "seed": self.seed}
+        if self.kind in ("packet", "mobility", "stream"):
+            base.update(
+                rate_bps=self.rate_bps,
+                distance_m=self.distance_m,
+                payload_bytes=self.payload_bytes,
+                k_branches=self.k_branches,
+            )
+        if self.kind in ("packet", "stream"):
+            phy = self.phy or PhyKnobs()
+            base.update(
+                roll_deg=phy.roll_deg,
+                yaw_deg=phy.yaw_deg,
+                bank_mode=phy.bank_mode,
+                ambient=phy.ambient,
+            )
+        if self.kind == "stream":
+            stream = self.stream or StreamKnobs()
+            base.update(
+                chunk_samples=stream.chunk_samples,
+                max_buffered_samples=stream.max_buffered_samples,
+            )
+        if self.kind == "mobility":
+            mob = self.mobility or MobilityKnobs()
+            base.update(
+                roll_rate_deg_s=mob.roll_rate_deg_s,
+                sync_interval_slots=mob.sync_interval_slots,
+                resync=mob.resync,
+            )
+        if self.kind == "trajectory":
+            base.update(
+                rate_bps=self.rate_bps,
+                payload_bytes=self.payload_bytes,
+                k_branches=self.k_branches,
+            )
+            base.update((self.trajectory or TrajectoryKnobs()).describe())
+        if self.kind in ("arq", "watchdog"):
+            mac = self.mac or MacKnobs()
+            base.update(
+                success_probability=mac.success_probability,
+                max_attempts=mac.max_attempts,
+            )
+        if self.kind == "watchdog":
+            base["fail_threshold"] = self.fail_threshold
+        return base
+
+    def replace(self, **changes) -> "ScenarioSpec":
+        """A copy with fields changed (re-validated).
+
+        Accepts shared fields, group objects, and legacy flat knob names
+        (routed into the active group, like the constructor).
+        """
+        current: dict = {name: getattr(self, name) for name in _SHARED_FIELDS}
+        current.update({name: getattr(self, name) for name in _GROUP_FIELDS})
+        for key, value in changes.items():
+            if key in current or key in _FLAT_KNOBS:
+                current[key] = value
+            else:
+                raise TypeError(f"ScenarioSpec.replace() got unknown field {key!r}")
+        # Changing kind drops groups the new kind does not read.
+        active = KIND_GROUPS.get(current["kind"], ())
+        for name in _GROUP_FIELDS:
+            if name in current and name not in active and name not in changes:
+                current[name] = None
+        return ScenarioSpec(**current)
+
+    # --------------------------------------------------------------- build
+
+    def build(self, observer=None):
+        """The underlying harness object for this spec's kind."""
+        observer = ensure_observer(observer)
+        if self.kind in ("packet", "stream"):
+            from repro.experiments.common import _make_simulator
+            from repro.optics.ambient import AMBIENT_PRESETS
+
+            phy = self.phy or PhyKnobs()
+            return _make_simulator(
+                rate_bps=self.rate_bps,
+                distance_m=self.distance_m,
+                roll_deg=phy.roll_deg,
+                yaw_deg=phy.yaw_deg,
+                ambient=AMBIENT_PRESETS[phy.ambient] if phy.ambient else None,
+                payload_bytes=self.payload_bytes,
+                bank_mode=phy.bank_mode,
+                k_branches=self.k_branches,
+                rng=self.seed,
+                observer=observer,
+            )
+        if self.kind == "mobility":
+            import numpy as np
+
+            from repro.channel.dynamics import ChannelDrift
+            from repro.experiments.mobility import MobileLinkSimulator
+
+            mob = self.mobility or MobilityKnobs()
+            return MobileLinkSimulator(
+                distance_m=self.distance_m,
+                drift=ChannelDrift(
+                    roll_rate_rad_s=float(np.deg2rad(mob.roll_rate_deg_s))
+                ),
+                payload_bytes=self.payload_bytes,
+                sync_interval_slots=mob.sync_interval_slots,
+                resync=mob.resync,
+                k_branches=self.k_branches,
+                rng=self.seed,
+                observer=observer,
+            )
+        if self.kind == "trajectory":
+            from repro.experiments.mobility import MobileLinkSimulator
+
+            traj = self.trajectory or TrajectoryKnobs()
+            return MobileLinkSimulator(
+                trajectory=traj.resolve(),
+                payload_bytes=self.payload_bytes,
+                sync_interval_slots=traj.sync_interval_slots,
+                resync=traj.resync,
+                k_branches=self.k_branches,
+                packet_interval_s=traj.packet_interval_s,
+                rng=self.seed,
+                observer=observer,
+            )
+        if self.kind == "arq":
+            from repro.mac.arq import StopAndWaitARQ
+
+            return StopAndWaitARQ(max_attempts=self.max_attempts)
+        # watchdog
+        from repro.mac.watchdog import LinkWatchdog
+
+        return LinkWatchdog(fail_threshold=self.fail_threshold, observer=observer)

@@ -1,18 +1,42 @@
 """End-to-end channel simulation: AWGN, the optical link pipeline, SNR
-estimation, and trace record/replay for the paper's §7.3-style emulation."""
+estimation, trace record/replay for the paper's §7.3-style emulation, and
+time-varying dynamics — constant-rate drift (§8) and trajectory-driven
+mobility (waypoint paths, occlusion, shadowing)."""
 
 from repro.channel.awgn import add_awgn, complex_awgn, noise_sigma_for_snr
+from repro.channel.dynamics import ChannelDrift
 from repro.channel.link import ChannelOutput, OpticalLink
 from repro.channel.snr import estimate_snr_db, evm_to_snr_db
 from repro.channel.trace import SignalTrace
+from repro.channel.trajectory import (
+    TRAJECTORY_PRESETS,
+    OcclusionWindow,
+    ShadowingBursts,
+    Trajectory,
+    TrajectoryTrack,
+    TrajectoryWindowDrift,
+    Waypoint,
+    named_trajectory,
+    trajectory_names,
+)
 
 __all__ = [
+    "ChannelDrift",
     "ChannelOutput",
+    "OcclusionWindow",
     "OpticalLink",
+    "ShadowingBursts",
     "SignalTrace",
+    "TRAJECTORY_PRESETS",
+    "Trajectory",
+    "TrajectoryTrack",
+    "TrajectoryWindowDrift",
+    "Waypoint",
     "add_awgn",
     "complex_awgn",
     "estimate_snr_db",
     "evm_to_snr_db",
+    "named_trajectory",
     "noise_sigma_for_snr",
+    "trajectory_names",
 ]

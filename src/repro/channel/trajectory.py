@@ -1,0 +1,537 @@
+"""Trajectory-driven channel dynamics: waypoint paths past a reader.
+
+:class:`~repro.channel.dynamics.ChannelDrift` models §8 mobility as a
+*constant-rate* roll/gain drift — adequate for Table 4's synthetic sweeps
+but not for how deployed retroreflective tags actually move: a wearable
+tag on a pedestrian walking past a doorway reader, a handheld reader
+panning along a warehouse shelf, a vehicle-mounted tag interrogated in a
+drive-by, a static tag in a crowded room with people cutting the beam.
+
+This module generalises the drift model to *trajectories*:
+
+* :class:`Waypoint` — a pose (position in the reader frame, tag roll and
+  yaw) plus the speed toward the next waypoint and an optional dwell;
+* :class:`Trajectory` — a piecewise-linear waypoint path.  ``pose(t)``
+  interpolates a full :class:`~repro.optics.geometry.LinkGeometry`;
+  ``sample(...)`` renders per-slot geometry/gain tracks; and
+  ``window_drift(t0)`` produces a drop-in ``ChannelDrift``-shaped object
+  whose per-sample complex profile follows the *local* geometry change
+  (range ratio, yaw-gain ratio, roll rotation) over one packet window;
+* :class:`OcclusionWindow` — a deterministic reader-blockage episode
+  (deep, scheduled — a person standing in the beam);
+* :class:`ShadowingBursts` — a *seeded* Poisson process of shallow
+  multiplicative dips (arm swings, passers-by grazing the LoS).  Like a
+  :class:`~repro.faults.plan.FaultPlan`, the realisation is fixed by the
+  trajectory's own seed, independent of any packet's noise generator, so
+  a failing scenario replays exactly.
+
+Occlusion and shadowing compose multiplicatively with each other and
+with whatever capture-stage fault plan the simulator carries — they act
+on the channel gain, faults act on the received sample stream.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.optics.geometry import LinkGeometry
+from repro.utils.opcache import fingerprint
+from repro.utils.rng import ensure_rng
+
+__all__ = [
+    "OcclusionWindow",
+    "ShadowingBursts",
+    "TRAJECTORY_PRESETS",
+    "Trajectory",
+    "TrajectoryTrack",
+    "TrajectoryWindowDrift",
+    "Waypoint",
+    "named_trajectory",
+    "trajectory_names",
+]
+
+
+@dataclass(frozen=True)
+class Waypoint:
+    """One pose along a trajectory, in the reader's frame.
+
+    The reader sits at the origin looking down +x; ``y_m`` is lateral
+    offset.  ``speed_mps`` is the travel speed from this waypoint to the
+    next (ignored on the last); ``dwell_s`` pauses *at* this waypoint
+    before moving on.  Roll and yaw interpolate linearly along the leg.
+    """
+
+    x_m: float
+    y_m: float = 0.0
+    speed_mps: float = 1.0
+    roll_deg: float = 0.0
+    yaw_deg: float = 0.0
+    dwell_s: float = 0.0
+
+    def problems(self) -> list[str]:
+        out = []
+        if self.x_m <= 0:
+            out.append(f"waypoint x_m must be positive (reader plane), got {self.x_m}")
+        if self.speed_mps <= 0:
+            out.append(f"waypoint speed_mps must be positive, got {self.speed_mps}")
+        if self.dwell_s < 0:
+            out.append(f"waypoint dwell_s must be >= 0, got {self.dwell_s}")
+        return out
+
+    def describe(self) -> dict:
+        return {
+            "x_m": self.x_m,
+            "y_m": self.y_m,
+            "speed_mps": self.speed_mps,
+            "roll_deg": self.roll_deg,
+            "yaw_deg": self.yaw_deg,
+            "dwell_s": self.dwell_s,
+        }
+
+
+@dataclass(frozen=True)
+class OcclusionWindow:
+    """A scheduled reader-blockage episode (someone standing in the beam).
+
+    The amplitude dips by up to ``depth`` over ``duration_s`` starting at
+    ``start_s``, with raised-cosine edges (bodies do not switch the light
+    like a shutter).  ``depth=1`` blocks the link completely at the dip's
+    centre.
+    """
+
+    start_s: float
+    duration_s: float
+    depth: float
+
+    def problems(self) -> list[str]:
+        out = []
+        if self.start_s < 0:
+            out.append(f"occlusion start_s must be >= 0, got {self.start_s}")
+        if self.duration_s <= 0:
+            out.append(f"occlusion duration_s must be positive, got {self.duration_s}")
+        if not 0.0 < self.depth <= 1.0:
+            out.append(f"occlusion depth must be in (0, 1], got {self.depth}")
+        return out
+
+    def gain(self, t: np.ndarray) -> np.ndarray:
+        """Multiplicative amplitude gain of this window at times ``t``."""
+        tau = (np.asarray(t, dtype=float) - self.start_s) / self.duration_s
+        window = np.where(
+            (tau >= 0.0) & (tau <= 1.0),
+            0.5 * (1.0 - np.cos(2.0 * np.pi * np.clip(tau, 0.0, 1.0))),
+            0.0,
+        )
+        return 1.0 - self.depth * window
+
+    def describe(self) -> dict:
+        return {"start_s": self.start_s, "duration_s": self.duration_s, "depth": self.depth}
+
+
+@dataclass(frozen=True)
+class ShadowingBursts:
+    """Seeded Poisson bursts of shallow shadowing (passers-by, arm swing).
+
+    Episodes arrive with exponential inter-arrival times of mean
+    ``1 / rate_hz``, each dipping the amplitude by ``depth`` for
+    ``duration_s`` with raised-cosine edges.  The realisation over a
+    trajectory's lifetime is drawn once from ``seed`` — deterministic and
+    independent of the packet noise RNG, exactly like a seeded
+    :class:`~repro.faults.plan.FaultPlan`.
+    """
+
+    rate_hz: float
+    depth: float
+    duration_s: float = 0.15
+    seed: int = 0
+
+    def problems(self) -> list[str]:
+        out = []
+        if self.rate_hz <= 0:
+            out.append(f"shadowing rate_hz must be positive, got {self.rate_hz}")
+        if not 0.0 < self.depth < 1.0:
+            out.append(f"shadowing depth must be in (0, 1), got {self.depth}")
+        if self.duration_s <= 0:
+            out.append(f"shadowing duration_s must be positive, got {self.duration_s}")
+        return out
+
+    def episodes(self, horizon_s: float) -> tuple[OcclusionWindow, ...]:
+        """The seeded burst realisation over ``[0, horizon_s]``."""
+        gen = ensure_rng(self.seed)
+        out = []
+        t = 0.0
+        while True:
+            t += float(gen.exponential(1.0 / self.rate_hz))
+            if t >= horizon_s:
+                break
+            # Jitter the depth a little so bursts are not carbon copies.
+            depth = float(self.depth * gen.uniform(0.7, 1.0))
+            out.append(OcclusionWindow(start_s=t, duration_s=self.duration_s, depth=depth))
+        return tuple(out)
+
+    def describe(self) -> dict:
+        return {
+            "rate_hz": self.rate_hz,
+            "depth": self.depth,
+            "duration_s": self.duration_s,
+            "seed": self.seed,
+        }
+
+
+def _yaw_gain(yaw_rad: np.ndarray, cliff_rad: float) -> np.ndarray:
+    """Vectorised :meth:`LinkGeometry.yaw_gain` (projection x logistic cliff)."""
+    yaw = np.abs(np.asarray(yaw_rad, dtype=float))
+    projection = np.cos(np.minimum(yaw, np.pi / 2)) ** 2
+    cliff = 1.0 / (1.0 + np.exp((yaw - cliff_rad) / np.deg2rad(4.0)))
+    return np.where(yaw >= np.pi / 2, 0.0, projection * cliff)
+
+
+@dataclass(frozen=True)
+class TrajectoryTrack:
+    """Per-slot geometry/gain samples of a trajectory window.
+
+    The rendered form of :meth:`Trajectory.sample`: one entry per slot,
+    each a full link pose plus the composite occlusion/shadowing gain —
+    the sequence a slot-synchronous simulator (or a report) consumes.
+    """
+
+    times_s: np.ndarray
+    distance_m: np.ndarray
+    roll_rad: np.ndarray
+    yaw_rad: np.ndarray
+    off_axis_rad: np.ndarray
+    gain: np.ndarray
+    fov_rad: float = float(np.deg2rad(25.0))
+    yaw_cliff_rad: float = float(np.deg2rad(55.0))
+
+    def __len__(self) -> int:
+        return self.times_s.size
+
+    def geometry(self, i: int) -> LinkGeometry:
+        """The :class:`LinkGeometry` of slot ``i``."""
+        return LinkGeometry(
+            distance_m=float(self.distance_m[i]),
+            roll_rad=float(self.roll_rad[i]),
+            yaw_rad=float(self.yaw_rad[i]),
+            fov_rad=self.fov_rad,
+            off_axis_rad=float(self.off_axis_rad[i]),
+            yaw_cliff_rad=self.yaw_cliff_rad,
+        )
+
+    def geometries(self) -> list[LinkGeometry]:
+        """Every slot's geometry, in order."""
+        return [self.geometry(i) for i in range(len(self))]
+
+
+@dataclass(frozen=True)
+class TrajectoryWindowDrift:
+    """A packet-window view of a trajectory, shaped like ``ChannelDrift``.
+
+    Duck-types the two members :class:`~repro.channel.link.OpticalLink`
+    reads from its ``drift`` — :attr:`is_static` and :meth:`profile` — so
+    a trajectory plugs into the existing link pipeline without touching
+    it.  The profile is fully determined by the trajectory (its shadowing
+    process is self-seeded), so the packet RNG argument is ignored.
+    """
+
+    trajectory: "Trajectory"
+    t0_s: float
+
+    @property
+    def is_static(self) -> bool:
+        return False
+
+    def profile(
+        self, n_samples: int, fs: float, rng: np.random.Generator | int | None = None
+    ) -> np.ndarray:
+        return self.trajectory.channel_profile(self.t0_s, n_samples, fs)
+
+
+@dataclass(frozen=True)
+class Trajectory:
+    """A waypoint path with speed profile, occlusions, and shadowing.
+
+    Time starts at waypoint 0: first its dwell elapses, then the leg to
+    waypoint 1 at ``speed_mps``, and so on; the final waypoint's dwell
+    extends the duration.  Past :attr:`duration_s` the pose freezes at
+    the last waypoint (a tag that stopped is still a tag).
+    """
+
+    name: str
+    waypoints: tuple[Waypoint, ...]
+    occlusions: tuple[OcclusionWindow, ...] = ()
+    shadowing: ShadowingBursts | None = None
+    yaw_cliff_deg: float = 55.0
+    #: Reader half field-of-view.  Scenario readers (doorway, handheld,
+    #: roadside) use wider cones than the 10deg bench default.
+    fov_deg: float = 25.0
+    #: Private interpolation knots (times + per-knot pose values).
+    _knots: dict = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        waypoints = tuple(self.waypoints)
+        occlusions = tuple(self.occlusions)
+        object.__setattr__(self, "waypoints", waypoints)
+        object.__setattr__(self, "occlusions", occlusions)
+        problems = []
+        if not self.name:
+            problems.append("name must be non-empty")
+        if len(waypoints) < 2:
+            problems.append(f"need at least 2 waypoints, got {len(waypoints)}")
+        for i, wp in enumerate(waypoints):
+            problems.extend(f"waypoints[{i}]: {p}" for p in wp.problems())
+        for i, occ in enumerate(occlusions):
+            problems.extend(f"occlusions[{i}]: {p}" for p in occ.problems())
+        if self.shadowing is not None:
+            problems.extend(f"shadowing: {p}" for p in self.shadowing.problems())
+        if self.fov_deg <= 0:
+            problems.append(f"fov_deg must be positive, got {self.fov_deg}")
+        if problems:
+            raise ValueError("invalid Trajectory: " + "; ".join(problems))
+        object.__setattr__(self, "_knots", self._build_knots())
+
+    # ----------------------------------------------------------- timeline
+
+    def _build_knots(self) -> dict:
+        """Piecewise-linear interpolation knots over the whole timeline."""
+        times, xs, ys, rolls, yaws = [], [], [], [], []
+
+        def knot(t, wp):
+            times.append(t)
+            xs.append(wp.x_m)
+            ys.append(wp.y_m)
+            rolls.append(np.deg2rad(wp.roll_deg))
+            yaws.append(np.deg2rad(wp.yaw_deg))
+
+        t = 0.0
+        for i, wp in enumerate(self.waypoints):
+            knot(t, wp)
+            if wp.dwell_s > 0.0:
+                t += wp.dwell_s
+                knot(t, wp)
+            if i + 1 < len(self.waypoints):
+                nxt = self.waypoints[i + 1]
+                leg = float(np.hypot(nxt.x_m - wp.x_m, nxt.y_m - wp.y_m))
+                # A zero-length leg still lets roll/yaw snap over an instant.
+                t += leg / wp.speed_mps if leg > 0.0 else 1e-9
+        return {
+            "t": np.asarray(times),
+            "x": np.asarray(xs),
+            "y": np.asarray(ys),
+            "roll": np.asarray(rolls),
+            "yaw": np.asarray(yaws),
+            "duration": t,
+        }
+
+    @property
+    def duration_s(self) -> float:
+        """Total timeline length (travel plus every dwell)."""
+        return float(self._knots["duration"])
+
+    # --------------------------------------------------------------- pose
+
+    def _interp(self, t: np.ndarray) -> tuple[np.ndarray, ...]:
+        k = self._knots
+        t = np.clip(np.asarray(t, dtype=float), 0.0, k["duration"])
+        return (
+            np.interp(t, k["t"], k["x"]),
+            np.interp(t, k["t"], k["y"]),
+            np.interp(t, k["t"], k["roll"]),
+            np.interp(t, k["t"], k["yaw"]),
+        )
+
+    def pose(self, t_s: float) -> LinkGeometry:
+        """The link geometry at time ``t_s`` (clamped to the timeline)."""
+        x, y, roll, yaw = self._interp(np.asarray([t_s]))
+        return LinkGeometry(
+            distance_m=float(max(np.hypot(x[0], y[0]), 1e-6)),
+            roll_rad=float(roll[0]),
+            yaw_rad=float(yaw[0]),
+            fov_rad=float(np.deg2rad(self.fov_deg)),
+            off_axis_rad=float(abs(np.arctan2(y[0], x[0]))),
+            yaw_cliff_rad=float(np.deg2rad(self.yaw_cliff_deg)),
+        )
+
+    # --------------------------------------------------------------- gain
+
+    def _all_windows(self) -> tuple[OcclusionWindow, ...]:
+        shadow = (
+            self.shadowing.episodes(self.duration_s) if self.shadowing is not None else ()
+        )
+        return self.occlusions + shadow
+
+    def gain(self, t) -> np.ndarray:
+        """Composite occlusion/shadowing amplitude gain at times ``t``.
+
+        Deterministic: scheduled occlusions are fixed by construction and
+        the shadowing realisation by the process seed.  Windows compose
+        multiplicatively (two people can block more than one).
+        """
+        t = np.atleast_1d(np.asarray(t, dtype=float))
+        out = np.ones_like(t)
+        for window in self._all_windows():
+            out = out * window.gain(t)
+        return out
+
+    # ---------------------------------------------------------- sampling
+
+    def sample(self, slot_s: float, n_slots: int, t0_s: float = 0.0) -> TrajectoryTrack:
+        """Per-slot geometry/gain track over ``n_slots`` slots from ``t0_s``."""
+        if slot_s <= 0:
+            raise ValueError("slot_s must be positive")
+        if n_slots < 1:
+            raise ValueError("n_slots must be >= 1")
+        t = t0_s + np.arange(n_slots) * slot_s
+        x, y, roll, yaw = self._interp(t)
+        return TrajectoryTrack(
+            times_s=t,
+            distance_m=np.maximum(np.hypot(x, y), 1e-6),
+            roll_rad=roll,
+            yaw_rad=yaw,
+            off_axis_rad=np.abs(np.arctan2(y, x)),
+            gain=self.gain(t),
+            fov_rad=float(np.deg2rad(self.fov_deg)),
+            yaw_cliff_rad=float(np.deg2rad(self.yaw_cliff_deg)),
+        )
+
+    def channel_profile(self, t0_s: float, n_samples: int, fs: float) -> np.ndarray:
+        """Complex per-sample channel multiplier over a packet window.
+
+        Relative to the pose at ``t0_s`` (which sets the packet's static
+        link budget): the amplitude follows the retroreflective range law
+        (``(d0/d)^2`` — intensity falls as ``1/d^4``, amplitude as its
+        square root) and the yaw-gain ratio, the phase the accumulated
+        constellation rotation ``exp(j*2*(roll(t)-roll(t0)))``, and the
+        occlusion/shadowing gain applies absolutely — a packet launched
+        mid-blockage is attenuated from its first sample.
+        """
+        if n_samples < 0:
+            raise ValueError("n_samples must be non-negative")
+        if fs <= 0:
+            raise ValueError("fs must be positive")
+        t = t0_s + np.arange(n_samples) / fs
+        x, y, roll, yaw = self._interp(t)
+        d = np.maximum(np.hypot(x, y), 1e-6)
+        cliff = float(np.deg2rad(self.yaw_cliff_deg))
+        ygain = _yaw_gain(yaw, cliff)
+        x0, y0, roll0, yaw0 = self._interp(np.asarray([t0_s]))
+        d0 = max(float(np.hypot(x0[0], y0[0])), 1e-6)
+        y0gain = float(_yaw_gain(np.asarray([yaw0[0]]), cliff)[0])
+        amp = (d0 / d) ** 2 * (ygain / max(y0gain, 1e-12))
+        phase = np.exp(2j * (roll - roll0[0]))
+        return self.gain(t) * amp * phase
+
+    def window_drift(self, t0_s: float) -> TrajectoryWindowDrift:
+        """A ``ChannelDrift``-shaped view of the window starting at ``t0_s``."""
+        return TrajectoryWindowDrift(trajectory=self, t0_s=float(t0_s))
+
+    # --------------------------------------------------------- provenance
+
+    def describe(self) -> dict:
+        """Full JSON-ready content (the spec/report fingerprint source)."""
+        return {
+            "name": self.name,
+            "waypoints": [wp.describe() for wp in self.waypoints],
+            "occlusions": [occ.describe() for occ in self.occlusions],
+            "shadowing": None if self.shadowing is None else self.shadowing.describe(),
+            "yaw_cliff_deg": self.yaw_cliff_deg,
+            "fov_deg": self.fov_deg,
+        }
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the trajectory (identity for journals)."""
+        return fingerprint(self.describe())
+
+
+# --------------------------------------------------------------------------
+# The preset library (geometry only — link/MAC knobs live on the
+# ScenarioSpec catalog entries in ``repro.api.catalog``).
+
+
+def _warehouse_shelf_scan() -> Trajectory:
+    """Handheld reader panned along a shelf: slow lateral sweep with a
+    dwell in front of the tag; approach and departure sit outside the
+    reader's FoV, so the usable window is the centre of the pan."""
+    return Trajectory(
+        name="warehouse_shelf_scan",
+        waypoints=(
+            Waypoint(x_m=1.2, y_m=-0.45, speed_mps=0.35, yaw_deg=12.0),
+            Waypoint(x_m=1.2, y_m=-0.05, speed_mps=0.2, yaw_deg=4.0, dwell_s=0.8),
+            Waypoint(x_m=1.2, y_m=0.05, speed_mps=0.35, yaw_deg=-4.0),
+            Waypoint(x_m=1.2, y_m=0.45, yaw_deg=-12.0),
+        ),
+        shadowing=ShadowingBursts(rate_hz=0.5, depth=0.15, duration_s=0.2, seed=17),
+    )
+
+
+def _wearable_pedestrian() -> Trajectory:
+    """Wearable tag on a pedestrian walking past a doorway reader at
+    ~1.4 m/s, roll swinging with the gait and shallow arm-swing
+    shadowing bursts."""
+    return Trajectory(
+        name="wearable_pedestrian",
+        waypoints=(
+            Waypoint(x_m=4.0, y_m=-0.6, speed_mps=1.4, roll_deg=-8.0, yaw_deg=9.0),
+            Waypoint(x_m=3.9, y_m=0.0, speed_mps=1.4, roll_deg=6.0, yaw_deg=0.0),
+            Waypoint(x_m=4.0, y_m=0.6, roll_deg=-4.0, yaw_deg=-9.0),
+        ),
+        shadowing=ShadowingBursts(rate_hz=2.0, depth=0.3, duration_s=0.12, seed=29),
+    )
+
+
+def _drive_by_reader() -> Trajectory:
+    """Vehicle-mounted tag interrogated in a drive-by at 6 m/s: a short
+    in-FoV window bracketed by out-of-FoV approach and departure."""
+    return Trajectory(
+        name="drive_by_reader",
+        waypoints=(
+            Waypoint(x_m=6.0, y_m=-2.0, speed_mps=6.0, roll_deg=-3.0, yaw_deg=15.0),
+            Waypoint(x_m=6.0, y_m=0.0, speed_mps=6.0, roll_deg=0.0, yaw_deg=0.0),
+            Waypoint(x_m=6.0, y_m=2.0, roll_deg=3.0, yaw_deg=-15.0),
+        ),
+        fov_deg=15.0,
+    )
+
+
+def _crowded_room_occlusion() -> Trajectory:
+    """Near-static tag in a crowded room: tiny drift, two scheduled deep
+    body blockages, plus frequent shallow passer-by shadowing."""
+    return Trajectory(
+        name="crowded_room_occlusion",
+        waypoints=(
+            Waypoint(x_m=2.5, y_m=0.0, speed_mps=0.05, roll_deg=0.0),
+            Waypoint(x_m=2.8, y_m=0.1, roll_deg=5.0),
+        ),
+        occlusions=(
+            OcclusionWindow(start_s=1.5, duration_s=0.8, depth=0.9),
+            OcclusionWindow(start_s=4.0, duration_s=1.0, depth=0.95),
+        ),
+        shadowing=ShadowingBursts(rate_hz=0.8, depth=0.25, duration_s=0.3, seed=43),
+    )
+
+
+TRAJECTORY_PRESETS: dict[str, Callable[[], Trajectory]] = {
+    "warehouse_shelf_scan": _warehouse_shelf_scan,
+    "wearable_pedestrian": _wearable_pedestrian,
+    "drive_by_reader": _drive_by_reader,
+    "crowded_room_occlusion": _crowded_room_occlusion,
+}
+"""Named trajectory factories — the geometry half of the scenario catalog."""
+
+
+def trajectory_names() -> list[str]:
+    """The named trajectories, sorted."""
+    return sorted(TRAJECTORY_PRESETS)
+
+
+def named_trajectory(name: str) -> Trajectory:
+    """Build the named preset trajectory (fresh instance each call)."""
+    try:
+        factory = TRAJECTORY_PRESETS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown trajectory {name!r}; known: {trajectory_names()}"
+        ) from None
+    return factory()

@@ -5,6 +5,8 @@ Installed as the ``retroturbo`` console script::
 
     retroturbo simulate --distance 3.0 --rate 8000 --packets 10
     retroturbo sweep fig16a
+    retroturbo scenario list
+    retroturbo scenario run drive_by_reader --packets 8
     retroturbo analyze --rate 8000
     retroturbo network --tags 50
     retroturbo materials
@@ -25,17 +27,16 @@ def _print_spans(spans: list[dict], indent: int = 0) -> None:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    from repro.api import ScenarioSpec, Session
+    from repro.api import PhyKnobs, ScenarioSpec, Session
     from repro.obs import Observer, SpanProfiler
 
     spec = ScenarioSpec(
         kind="packet",
         rate_bps=args.rate,
         distance_m=args.distance,
-        roll_deg=args.roll,
-        yaw_deg=args.yaw,
         payload_bytes=args.payload,
         seed=args.seed,
+        phy=PhyKnobs(roll_deg=args.roll, yaw_deg=args.yaw),
     )
     profiler = SpanProfiler(targets=("equalize",)) if args.profile else None
     observer = Observer(profiler=profiler)
@@ -62,18 +63,18 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _cmd_stream(args: argparse.Namespace) -> int:
-    from repro.api import ScenarioSpec, Session
+    from repro.api import PhyKnobs, ScenarioSpec, Session, StreamKnobs
 
     spec = ScenarioSpec(
         kind="stream",
         rate_bps=args.rate,
         distance_m=args.distance,
-        roll_deg=args.roll,
-        yaw_deg=args.yaw,
         payload_bytes=args.payload,
-        chunk_samples=args.chunk,
-        max_buffered_samples=args.max_buffered,
         seed=args.seed,
+        phy=PhyKnobs(roll_deg=args.roll, yaw_deg=args.yaw),
+        stream=StreamKnobs(
+            chunk_samples=args.chunk, max_buffered_samples=args.max_buffered
+        ),
     )
     session = Session(spec)
     if args.live:
@@ -120,7 +121,44 @@ _GRID_SWEEPS = {
     "fig18a": "emulated_ber_vs_snr_batched",
     "table4": "mobility_study_grid",
     "network_scale": "network_scale_grid",
+    "trajectory_study": "trajectory_study_grid",
 }
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    from repro.api import Session, named_scenario, scenario_catalog_names
+
+    if args.action == "list":
+        for name in scenario_catalog_names():
+            spec = named_scenario(name)
+            traj = spec.trajectory.resolve()
+            print(
+                f"{name:<24} {traj.duration_s:6.2f} s path, "
+                f"payload {spec.payload_bytes} B, "
+                f"packet every {spec.trajectory.packet_interval_s:g} s"
+            )
+        return 0
+    # run
+    if args.name is None:
+        print("scenario run requires a scenario name (see: retroturbo scenario list)")
+        return 2
+    try:
+        spec = named_scenario(args.name)
+    except ValueError as exc:
+        print(exc)
+        return 2
+    if args.seed is not None:
+        spec = spec.replace(seed=args.seed)
+    report = Session(spec).run(n_packets=args.packets)
+    s = report.summary
+    print(f"scenario : {args.name} ({s['trajectory_duration_s']:.2f} s path)")
+    print(f"BER      : {s['ber']:.4%} over {s['n_packets']} packets "
+          f"(crc ok rate {s['crc_ok_rate']:.0%})")
+    print(f"goodput  : {s['goodput_bps'] / 1000:.3f} kbps over {s['sim_time_s']:.2f} s simulated")
+    if args.metrics_out:
+        path = report.write(args.metrics_out)
+        print(f"metrics  : RunReport written to {path}")
+    return 0
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -377,6 +415,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--retries", type=int, default=2,
                    help="bounded retries for retryable task failures (default 2)")
     p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser("scenario", help="list or run the trajectory scenario catalog")
+    p.add_argument("action", choices=["list", "run"])
+    p.add_argument("name", nargs="?", default=None,
+                   help="catalog scenario name (run only)")
+    p.add_argument("--packets", type=int, default=8)
+    p.add_argument("--seed", type=int, default=None,
+                   help="override the scenario's pinned seed")
+    p.add_argument("--metrics-out", default=None, metavar="PATH",
+                   help="write the run's RunReport JSON here")
+    p.set_defaults(func=_cmd_scenario)
 
     p = sub.add_parser("journal", help="inspect or merge sweep journals")
     p.add_argument("action", choices=["status", "merge"])

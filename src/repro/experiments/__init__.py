@@ -52,6 +52,11 @@ from repro.experiments.sweeps import (
     task_fingerprint,
 )
 from repro.experiments.table4 import mobility_study, mobility_study_grid
+from repro.experiments.trajectory_study import (
+    format_trajectory_report,
+    trajectory_study_grid,
+    trajectory_task,
+)
 
 __all__ = [
     "BatchRunner",
@@ -73,6 +78,7 @@ __all__ = [
     "emulated_packet_ber",
     "emulated_packet_bers_block",
     "format_table",
+    "format_trajectory_report",
     "headline_rate_gain",
     "journal_rows",
     "latency_report",
@@ -95,6 +101,8 @@ __all__ = [
     "rows_to_sweeps",
     "simulate_grid_task",
     "task_fingerprint",
+    "trajectory_study_grid",
+    "trajectory_task",
     "training_memory_sweep",
     "waterfall_threshold",
     "working_range",

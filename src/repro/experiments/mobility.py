@@ -13,6 +13,7 @@ import numpy as np
 
 from repro.channel.dynamics import ChannelDrift
 from repro.channel.link import OpticalLink
+from repro.channel.trajectory import Trajectory
 from repro.experiments.common import SweepPoint
 from repro.lcm.array import LCMArray
 from repro.lcm.heterogeneity import HeterogeneityModel
@@ -44,16 +45,28 @@ class MobileLinkSimulator:
         heterogeneity: HeterogeneityModel | None = None,
         n_bases: int = 2,
         k_branches: int = 16,
+        trajectory: Trajectory | None = None,
+        packet_interval_s: float = 0.0,
         rng=None,
         observer=None,
     ):
+        if trajectory is not None and drift is not None:
+            raise ValueError("pass either drift= or trajectory=, not both")
+        if packet_interval_s < 0:
+            raise ValueError(f"packet_interval_s must be >= 0, got {packet_interval_s}")
         gen = ensure_rng(rng)
         self._obs = ensure_observer(observer)
         self.config = config or ModemConfig()
-        self.link = OpticalLink(
-            geometry=LinkGeometry(distance_m=distance_m),
-            drift=drift or ChannelDrift(),
-        )
+        self.trajectory = trajectory
+        self.packet_interval_s = float(packet_interval_s)
+        self.t_s = 0.0
+        if trajectory is not None:
+            geometry = trajectory.pose(0.0)
+            link_drift: ChannelDrift | object = trajectory.window_drift(0.0)
+        else:
+            geometry = LinkGeometry(distance_m=distance_m)
+            link_drift = drift or ChannelDrift()
+        self.link = OpticalLink(geometry=geometry, drift=link_drift)
         het = heterogeneity if heterogeneity is not None else HeterogeneityModel()
         self.array = LCMArray.build(
             self.config.dsm_order,
@@ -95,12 +108,23 @@ class MobileLinkSimulator:
         if payload is None:
             payload = gen.integers(0, 256, self.frame.payload_bytes, dtype=np.uint8).tobytes()
         with obs.span("packet", harness="mobility") as span:
+            if self.trajectory is not None:
+                pose = self.trajectory.pose(self.t_s)
+                self.link.geometry = pose
+                self.link.drift = self.trajectory.window_drift(self.t_s)
+                if obs.enabled:
+                    obs.gauge("trajectory.time_s", self.t_s)
+                    obs.gauge("trajectory.distance_m", pose.distance_m)
+                    obs.gauge("trajectory.gain", float(self.trajectory.gain(self.t_s)[0]))
+                    obs.count("trajectory.packets_total", in_fov="yes" if pose.in_fov else "no")
             with obs.span("transmit"):
                 u = self.transmitter.transmit(payload)
             ts = self.config.samples_per_slot
             tail = np.full(2 * ts, u[-1], dtype=complex)
             with obs.span("channel"):
                 out = self.link.transmit(np.concatenate([u, tail]), self.config.fs, gen)
+            if self.trajectory is not None:
+                self.t_s += (u.size + tail.size) / self.config.fs + self.packet_interval_s
             with obs.span("receive"):
                 rx, _ = self.receiver.receive(
                     out.samples, search_stop=(self.frame.guard_slots + 2) * ts

@@ -1,0 +1,129 @@
+"""Trajectory-study sweep: BER and goodput along the scenario catalog.
+
+The trajectory analogue of the figure harnesses: a grid of
+``scenario x n_packets`` cells, each a fresh catalog
+:class:`~repro.api.ScenarioSpec` driven ``n_packets`` along its waypoint
+path through :class:`~repro.experiments.mobility.MobileLinkSimulator`.
+Every cell is a pure function of its grid index and the root seed (the
+spec's own seed is the first draw from the cell's spawned generator), so
+rows are bit-identical across worker counts, shards, and resumes —
+the property the golden journal ``sweep_trajectory.jsonl`` pins.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.batch import GridTask, make_grid
+from repro.experiments.common import format_table
+
+__all__ = ["format_trajectory_report", "trajectory_study_grid", "trajectory_task"]
+
+
+def trajectory_task(task: GridTask, rng: np.random.Generator) -> dict:
+    """One grid cell: ``n_packets`` along one catalog scenario's path.
+
+    Module-level (process pools pickle it).  The catalog spec's seed is
+    replaced by the first draw from the cell's index-derived generator,
+    and the same generator then feeds the packet payload/noise draws via
+    :func:`repro.api.trajectory_summary` — so the row depends only on the
+    cell's own seed, inheriting the engine's bit-identity guarantee.
+    """
+    from repro.api import named_scenario, trajectory_summary
+
+    kwargs = task.kwargs
+    scenario = kwargs["scenario"]
+    spec = named_scenario(scenario).replace(seed=int(rng.integers(2**63)))
+    sim = spec.build()
+    row = trajectory_summary(sim, int(kwargs["n_packets"]), rng)
+    row["scenario"] = scenario
+    return row
+
+
+def trajectory_study_grid(
+    scenarios: list[str] | None = None,
+    n_packets_list: list[int] | None = None,
+    n_workers: int | None = 1,
+    root_seed: int = 51,
+    observer=None,
+    metrics_out=None,
+    journal=None,
+    shard=None,
+    sweep: dict | None = None,
+) -> dict[str, list[dict]]:
+    """BER/goodput matrix: ``scenario x n_packets`` through the engine.
+
+    Returns rows grouped by scenario, each the
+    :func:`~repro.api.trajectory_summary` record plus grid coordinates.
+    ``journal``/``shard``/``sweep`` select the crash-safe resumable
+    engine — see :func:`repro.experiments.sweeps.run_grid`.
+    """
+    from repro.api import scenario_catalog_names
+    from repro.experiments.common import emit_sweep_report
+    from repro.experiments.sweeps import run_grid
+    from repro.obs import Observer
+
+    if observer is None and metrics_out is not None:
+        observer = Observer()
+
+    names = scenarios or scenario_catalog_names()
+    known = set(scenario_catalog_names())
+    unknown = [name for name in names if name not in known]
+    if unknown:
+        raise ValueError(f"unknown scenario(s) {unknown}; known: {sorted(known)}")
+    xs = n_packets_list or [4, 8, 16]
+    schemes = {name: {"scenario": name} for name in names}
+    tasks = make_grid(schemes, xs, x_key="n_packets")
+    rows = run_grid(
+        trajectory_task,
+        tasks,
+        n_workers=n_workers,
+        root_seed=root_seed,
+        observer=observer,
+        journal=journal,
+        shard=shard,
+        **(sweep or {}),
+    )
+    out: dict[str, list[dict]] = {name: [] for name in names}
+    for row in rows:
+        out[row["scheme"]].append(row)
+    if observer is not None:
+        emit_sweep_report(
+            observer,
+            metrics_out,
+            scenario={
+                "figure": "trajectory_study",
+                "scenarios": names,
+                "n_packets": xs,
+            },
+            summary={
+                name: {
+                    "ber": [r["ber"] for r in rows_],
+                    "goodput_bps": [r["goodput_bps"] for r in rows_],
+                    "crc_ok_rate": [r["crc_ok_rate"] for r in rows_],
+                }
+                for name, rows_ in out.items()
+            },
+        )
+    return out
+
+
+def format_trajectory_report(out: dict[str, list[dict]]) -> str:
+    """The BER/goodput-vs-trajectory report as a plain-text table."""
+    rows = [
+        (
+            name,
+            row["n_packets"],
+            row["ber"],
+            row["crc_ok_rate"],
+            row["goodput_bps"],
+            row["sim_time_s"],
+        )
+        for name, rows_ in sorted(out.items())
+        for row in sorted(rows_, key=lambda r: r["n_packets"])
+    ]
+    return format_table(
+        ["scenario", "n_packets", "ber", "crc_ok_rate", "goodput_bps", "sim_time_s"],
+        rows,
+        title="BER / goodput vs trajectory",
+    )

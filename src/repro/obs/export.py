@@ -43,6 +43,7 @@ RUN_REPORT_SCHEMA_VERSION = 1
 REPORT_KINDS = (
     "packet",
     "mobility",
+    "trajectory",
     "arq",
     "watchdog",
     "mac_session",

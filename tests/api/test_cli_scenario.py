@@ -1,0 +1,75 @@
+"""The ``retroturbo scenario`` subcommand: list, run, error paths.
+
+Fast-lane CLI wall for the scenario catalog (satellite 5): ``list``
+prints every catalog entry, ``run`` drives a Session along the named
+trajectory (seed override, metrics export), and bad names exit 2 with a
+helpful message instead of a traceback.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import scenario_catalog_names
+from repro.cli import main
+
+
+class TestScenarioList:
+    def test_lists_every_catalog_entry(self, capsys):
+        assert main(["scenario", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in scenario_catalog_names():
+            assert name in out
+        assert "payload" in out and "s path" in out
+
+
+class TestScenarioRun:
+    def test_run_prints_summary(self, capsys):
+        assert main(["scenario", "run", "drive_by_reader", "--packets", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "scenario : drive_by_reader" in out
+        assert "BER" in out
+        assert "goodput" in out
+
+    def test_run_is_deterministic_and_seed_overridable(self, capsys):
+        main(["scenario", "run", "drive_by_reader", "--packets", "2"])
+        first = capsys.readouterr().out
+        main(["scenario", "run", "drive_by_reader", "--packets", "2"])
+        assert capsys.readouterr().out == first
+        main(["scenario", "run", "drive_by_reader", "--packets", "2", "--seed", "99"])
+        reseeded = capsys.readouterr().out
+        assert reseeded != first  # different seed, different packets
+
+    def test_run_writes_run_report(self, tmp_path, capsys):
+        from repro.obs import load_run_report
+
+        out_path = tmp_path / "scenario.json"
+        assert main([
+            "scenario", "run", "crowded_room_occlusion",
+            "--packets", "2", "--metrics-out", str(out_path),
+        ]) == 0
+        assert "RunReport written to" in capsys.readouterr().out
+        report = load_run_report(out_path)  # schema-validates on load
+        assert "trajectory.packets_total" in report.metric_names()
+
+    def test_unknown_name_exits_2(self, capsys):
+        assert main(["scenario", "run", "zeppelin"]) == 2
+        assert "unknown scenario 'zeppelin'" in capsys.readouterr().out
+
+    def test_missing_name_exits_2(self, capsys):
+        assert main(["scenario", "run"]) == 2
+        assert "requires a scenario name" in capsys.readouterr().out
+
+
+class TestScenarioSweep:
+    @pytest.mark.slow
+    def test_trajectory_study_journal_roundtrip(self, tmp_path, capsys):
+        journal = tmp_path / "ts.jsonl"
+        assert main([
+            "sweep", "trajectory_study", "--journal", str(journal),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "12 task(s) done" in out
+        for name in scenario_catalog_names():
+            assert name in out
+        assert journal.exists()

@@ -17,13 +17,22 @@ class TestBasics:
     def test_duration(self, trace):
         assert trace.duration_s == pytest.approx(0.1)
 
-    def test_bad_fs_rejected(self):
-        with pytest.raises(ValueError):
-            SignalTrace(samples=np.zeros(4), fs=0.0)
+    def test_empty_trace_has_zero_duration(self):
+        assert SignalTrace(samples=np.zeros(0), fs=1000.0).duration_s == 0.0
+
+    @pytest.mark.parametrize("fs", [0.0, -1.0, -40e3])
+    def test_bad_fs_rejected(self, fs):
+        with pytest.raises(ValueError, match="sample rate must be positive"):
+            SignalTrace(samples=np.zeros(4), fs=fs)
 
     def test_samples_coerced_complex(self):
         t = SignalTrace(samples=np.ones(4), fs=1.0)
         assert np.iscomplexobj(t.samples)
+
+    def test_list_samples_coerced_to_array(self):
+        t = SignalTrace(samples=[1.0, 2.0, 3.0], fs=3.0)
+        assert isinstance(t.samples, np.ndarray)
+        assert t.duration_s == pytest.approx(1.0)
 
 
 class TestReplay:
@@ -35,6 +44,21 @@ class TestReplay:
     def test_replay_differs_per_seed(self, trace):
         assert not np.allclose(trace.replay(30.0, rng=1), trace.replay(30.0, rng=2))
 
+    def test_replay_deterministic_under_fixed_seed(self, trace):
+        """The §7.3 emulation contract: same seed, same reception."""
+        np.testing.assert_array_equal(trace.replay(15.0, rng=7), trace.replay(15.0, rng=7))
+        a = trace.replay(15.0, rng=np.random.default_rng(7))
+        b = trace.replay(15.0, rng=np.random.default_rng(7))
+        np.testing.assert_array_equal(a, b)
+
+    def test_replay_survives_save_load(self, trace, tmp_path):
+        """Noisy replay of a reloaded trace is bit-identical to the
+        original's — persistence does not perturb the emulation."""
+        path = tmp_path / "trace.npz"
+        trace.save(path)
+        loaded = SignalTrace.load(path)
+        np.testing.assert_array_equal(trace.replay(25.0, rng=3), loaded.replay(25.0, rng=3))
+
 
 class TestPersistence:
     def test_save_load_round_trip(self, trace, tmp_path):
@@ -44,3 +68,27 @@ class TestPersistence:
         np.testing.assert_array_equal(loaded.samples, trace.samples)
         assert loaded.fs == trace.fs
         assert loaded.metadata == trace.metadata
+
+    def test_nested_provenance_metadata_round_trips(self, tmp_path):
+        meta = {
+            "rate_bps": 8000,
+            "geometry": {"distance_m": 2.0, "roll_deg": 10.0},
+            "tags": ["bench", "unit"],
+            "trajectory": None,
+        }
+        t = SignalTrace(samples=np.ones(8), fs=40e3, metadata=meta)
+        path = tmp_path / "prov.npz"
+        t.save(path)
+        assert SignalTrace.load(path).metadata == meta
+
+    def test_empty_metadata_round_trips(self, tmp_path):
+        path = tmp_path / "bare.npz"
+        SignalTrace(samples=np.arange(4) * 1j, fs=10.0).save(path)
+        assert SignalTrace.load(path).metadata == {}
+
+    def test_load_preserves_fs_and_duration(self, trace, tmp_path):
+        path = tmp_path / "dur.npz"
+        trace.save(path)
+        loaded = SignalTrace.load(path)
+        assert loaded.duration_s == pytest.approx(trace.duration_s)
+        assert isinstance(loaded.fs, float)

@@ -1,0 +1,258 @@
+"""Trajectory channel dynamics: paths, gain processes, window drift.
+
+Unit wall for :mod:`repro.channel.trajectory` — the tentpole's channel
+layer.  Pins validation aggregation, timeline interpolation (dwells,
+clamping), the determinism of occlusion/shadowing gain, the relative
+channel-profile contract the link consumes, and the preset library.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.channel import (
+    TRAJECTORY_PRESETS,
+    OcclusionWindow,
+    ShadowingBursts,
+    Trajectory,
+    TrajectoryWindowDrift,
+    Waypoint,
+    named_trajectory,
+    trajectory_names,
+)
+from repro.optics.geometry import LinkGeometry
+
+
+def _two_point(**kwargs) -> Trajectory:
+    defaults = dict(
+        name="line",
+        waypoints=(
+            Waypoint(x_m=2.0, y_m=-1.0, speed_mps=1.0),
+            Waypoint(x_m=2.0, y_m=1.0),
+        ),
+    )
+    defaults.update(kwargs)
+    return Trajectory(**defaults)
+
+
+class TestValidation:
+    def test_all_violations_reported_at_once(self):
+        with pytest.raises(ValueError) as err:
+            Trajectory(
+                name="",
+                waypoints=(
+                    Waypoint(x_m=-1.0, speed_mps=0.0),
+                    Waypoint(x_m=2.0, dwell_s=-1.0),
+                ),
+                occlusions=(OcclusionWindow(start_s=-2.0, duration_s=0.0, depth=2.0),),
+                shadowing=ShadowingBursts(rate_hz=0.0, depth=1.5),
+                fov_deg=0.0,
+            )
+        msg = str(err.value)
+        assert msg.startswith("invalid Trajectory: ")
+        for fragment in (
+            "name must be non-empty",
+            "waypoints[0]: waypoint x_m must be positive",
+            "waypoints[0]: waypoint speed_mps must be positive",
+            "waypoints[1]: waypoint dwell_s must be >= 0",
+            "occlusions[0]: occlusion start_s must be >= 0",
+            "occlusions[0]: occlusion duration_s must be positive",
+            "occlusions[0]: occlusion depth must be in (0, 1]",
+            "shadowing: shadowing rate_hz must be positive",
+            "shadowing: shadowing depth must be in (0, 1)",
+            "fov_deg must be positive",
+        ):
+            assert fragment in msg
+
+    def test_single_waypoint_rejected(self):
+        with pytest.raises(ValueError, match="at least 2 waypoints"):
+            Trajectory(name="dot", waypoints=(Waypoint(x_m=1.0),))
+
+    def test_lists_coerced_to_tuples(self):
+        traj = Trajectory(
+            name="listy",
+            waypoints=[Waypoint(x_m=1.0), Waypoint(x_m=2.0)],
+            occlusions=[OcclusionWindow(start_s=0.1, duration_s=0.2, depth=0.5)],
+        )
+        assert isinstance(traj.waypoints, tuple)
+        assert isinstance(traj.occlusions, tuple)
+
+
+class TestTimeline:
+    def test_duration_is_travel_plus_dwells(self):
+        traj = Trajectory(
+            name="dwelly",
+            waypoints=(
+                Waypoint(x_m=2.0, y_m=0.0, speed_mps=2.0, dwell_s=0.5),
+                Waypoint(x_m=2.0, y_m=1.0, dwell_s=0.25),
+            ),
+        )
+        # 0.5 s dwell + (1 m / 2 m/s) leg + 0.25 s final dwell.
+        assert traj.duration_s == pytest.approx(1.25)
+
+    def test_pose_interpolates_and_clamps(self):
+        traj = _two_point()
+        mid = traj.pose(traj.duration_s / 2)
+        assert mid.distance_m == pytest.approx(2.0)
+        assert mid.off_axis_rad == pytest.approx(0.0)
+        # Before 0 and past the end the pose freezes at the endpoints.
+        start, end = traj.pose(-1.0), traj.pose(traj.duration_s + 5.0)
+        assert start.distance_m == pytest.approx(np.hypot(2.0, 1.0))
+        assert end.distance_m == pytest.approx(np.hypot(2.0, 1.0))
+        assert start.off_axis_rad == pytest.approx(np.arctan2(1.0, 2.0))
+
+    def test_dwell_holds_the_pose(self):
+        traj = Trajectory(
+            name="hold",
+            waypoints=(
+                Waypoint(x_m=3.0, roll_deg=10.0, dwell_s=1.0),
+                Waypoint(x_m=4.0, roll_deg=20.0),
+            ),
+        )
+        a, b = traj.pose(0.0), traj.pose(0.99)
+        assert a.roll_rad == pytest.approx(np.deg2rad(10.0))
+        assert b.roll_rad == pytest.approx(np.deg2rad(10.0))
+        assert a.distance_m == b.distance_m == pytest.approx(3.0)
+
+    def test_sample_track_matches_pose(self):
+        traj = _two_point()
+        track = traj.sample(slot_s=0.25, n_slots=5, t0_s=0.25)
+        assert len(track) == 5
+        for i in range(5):
+            geo = track.geometry(i)
+            ref = traj.pose(0.25 + 0.25 * i)
+            assert isinstance(geo, LinkGeometry)
+            assert geo.distance_m == pytest.approx(ref.distance_m)
+            assert geo.yaw_rad == pytest.approx(ref.yaw_rad)
+        assert len(track.geometries()) == 5
+
+    def test_sample_rejects_bad_args(self):
+        traj = _two_point()
+        with pytest.raises(ValueError, match="slot_s"):
+            traj.sample(slot_s=0.0, n_slots=4)
+        with pytest.raises(ValueError, match="n_slots"):
+            traj.sample(slot_s=0.1, n_slots=0)
+
+
+class TestGain:
+    def test_occlusion_dips_and_recovers(self):
+        occ = OcclusionWindow(start_s=1.0, duration_s=1.0, depth=0.8)
+        t = np.asarray([0.5, 1.5, 2.5])
+        g = occ.gain(t)
+        assert g[0] == pytest.approx(1.0)  # before the window
+        assert g[1] == pytest.approx(0.2)  # centre of the dip
+        assert g[2] == pytest.approx(1.0)  # after the window
+
+    def test_windows_compose_multiplicatively(self):
+        traj = _two_point(
+            occlusions=(
+                OcclusionWindow(start_s=0.5, duration_s=1.0, depth=0.5),
+                OcclusionWindow(start_s=0.5, duration_s=1.0, depth=0.5),
+            )
+        )
+        assert traj.gain(1.0)[0] == pytest.approx(0.25)
+
+    def test_shadowing_realisation_is_seeded(self):
+        bursts = ShadowingBursts(rate_hz=3.0, depth=0.3, seed=7)
+        assert bursts.episodes(10.0) == bursts.episodes(10.0)
+        assert bursts.episodes(10.0) != ShadowingBursts(
+            rate_hz=3.0, depth=0.3, seed=8
+        ).episodes(10.0)
+        for ep in bursts.episodes(10.0):
+            assert 0.0 < ep.start_s < 10.0
+            assert 0.7 * 0.3 <= ep.depth <= 0.3
+
+    def test_gain_deterministic_across_instances(self):
+        t = np.linspace(0.0, 6.0, 50)
+        a = named_trajectory("crowded_room_occlusion").gain(t)
+        b = named_trajectory("crowded_room_occlusion").gain(t)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestChannelProfile:
+    def test_profile_is_relative_to_window_start(self):
+        traj = _two_point()
+        prof = traj.channel_profile(t0_s=0.3, n_samples=8, fs=1000.0)
+        assert prof.shape == (8,)
+        # First sample sits at the reference pose: unit amplitude (no
+        # occlusion here), zero accumulated rotation.
+        assert abs(prof[0]) == pytest.approx(1.0)
+        assert np.angle(prof[0]) == pytest.approx(0.0)
+
+    def test_amplitude_follows_range_law(self):
+        # Straight pull-away along +x: d doubles over the path.
+        traj = Trajectory(
+            name="recede",
+            waypoints=(Waypoint(x_m=2.0, speed_mps=2.0), Waypoint(x_m=4.0)),
+        )
+        fs = 10.0
+        prof = traj.channel_profile(t0_s=0.0, n_samples=11, fs=fs)
+        # At t=1.0 s the tag sits at 4 m: amplitude (d0/d)^2 = (2/4)^2.
+        assert abs(prof[10]) == pytest.approx(0.25)
+
+    def test_phase_tracks_roll_rotation(self):
+        traj = Trajectory(
+            name="roller",
+            waypoints=(
+                Waypoint(x_m=2.0, speed_mps=2.0, roll_deg=0.0),
+                Waypoint(x_m=2.0, y_m=2.0, roll_deg=45.0),
+            ),
+        )
+        prof = traj.channel_profile(t0_s=0.0, n_samples=11, fs=10.0)
+        # Constellation rotates at twice the roll: 2 * 45deg = pi/2.
+        assert np.angle(prof[10]) == pytest.approx(np.pi / 2, abs=1e-6)
+
+    def test_profile_rejects_bad_args(self):
+        traj = _two_point()
+        with pytest.raises(ValueError, match="n_samples"):
+            traj.channel_profile(0.0, -1, 1000.0)
+        with pytest.raises(ValueError, match="fs"):
+            traj.channel_profile(0.0, 4, 0.0)
+
+    def test_window_drift_duck_types_channel_drift(self):
+        traj = _two_point()
+        drift = traj.window_drift(0.4)
+        assert isinstance(drift, TrajectoryWindowDrift)
+        assert drift.is_static is False
+        # The profile ignores the packet RNG: trajectory state is
+        # self-seeded, so two different generators agree bit-for-bit.
+        a = drift.profile(16, 4000.0, np.random.default_rng(1))
+        b = drift.profile(16, 4000.0, np.random.default_rng(2))
+        np.testing.assert_array_equal(a, b)
+        np.testing.assert_array_equal(
+            a, traj.channel_profile(0.4, 16, 4000.0)
+        )
+
+
+class TestPresets:
+    def test_catalog_names_sorted_and_complete(self):
+        assert trajectory_names() == sorted(TRAJECTORY_PRESETS)
+        assert set(trajectory_names()) == {
+            "crowded_room_occlusion",
+            "drive_by_reader",
+            "warehouse_shelf_scan",
+            "wearable_pedestrian",
+        }
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown trajectory"):
+            named_trajectory("escalator")
+
+    @pytest.mark.parametrize("name", sorted(TRAJECTORY_PRESETS))
+    def test_presets_build_and_have_positive_duration(self, name):
+        traj = named_trajectory(name)
+        assert traj.name == name
+        assert traj.duration_s > 0.0
+        # Every preset starts with a finite, positive-distance pose.
+        assert traj.pose(0.0).distance_m > 0.0
+
+    @pytest.mark.parametrize("name", sorted(TRAJECTORY_PRESETS))
+    def test_preset_fingerprints_stable(self, name):
+        assert named_trajectory(name).fingerprint() == named_trajectory(name).fingerprint()
+
+    def test_drive_by_is_out_of_fov_at_the_edges(self):
+        traj = named_trajectory("drive_by_reader")
+        assert not traj.pose(0.0).in_fov
+        assert traj.pose(traj.duration_s / 2).in_fov
+        assert not traj.pose(traj.duration_s).in_fov

@@ -1,0 +1,109 @@
+"""Trajectory-study sweep: catalog coverage plus engine determinism.
+
+The tentpole's sweep surface: every catalog scenario runs through the
+crash-safe engine, rows are bit-identical across worker counts, shards,
+and kill-then-resume — the same contract the golden journal
+``sweep_trajectory.jsonl`` pins, exercised here against live runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import scenario_catalog_names
+from repro.experiments.sweeps import (
+    SimulatedCrash,
+    ShardSpec,
+    canonical_records,
+    merge_journals,
+)
+from repro.experiments.trajectory_study import (
+    format_trajectory_report,
+    trajectory_study_grid,
+    trajectory_task,
+)
+
+SMALL = dict(
+    scenarios=["drive_by_reader", "wearable_pedestrian"],
+    n_packets_list=[2, 4],
+    root_seed=51,
+)
+
+
+class TestGrid:
+    def test_rows_cover_full_catalog_by_default(self):
+        out = trajectory_study_grid(n_packets_list=[2], root_seed=5)
+        assert set(out) == set(scenario_catalog_names())
+        for name, rows in out.items():
+            assert [r["n_packets"] for r in rows] == [2]
+            row = rows[0]
+            assert row["trajectory"]  # preset name travels with the row
+            assert 0.0 <= row["ber"] <= 1.0
+            assert 0.0 <= row["crc_ok_rate"] <= 1.0
+            assert row["goodput_bps"] >= 0.0
+            assert row["sim_time_s"] > 0.0
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            trajectory_study_grid(scenarios=["bogus"], n_packets_list=[1])
+
+    def test_report_renders_every_cell(self):
+        out = trajectory_study_grid(**SMALL)
+        text = format_trajectory_report(out)
+        assert "BER / goodput vs trajectory" in text
+        for name in SMALL["scenarios"]:
+            assert name in text
+
+
+class TestDeterminism:
+    """Bit-identity across pools, shards, and crash-resume."""
+
+    def test_serial_vs_pool_bit_identical(self, tmp_path):
+        serial = trajectory_study_grid(
+            **SMALL, n_workers=1, journal=tmp_path / "serial.jsonl"
+        )
+        pooled = trajectory_study_grid(
+            **SMALL, n_workers=2, journal=tmp_path / "pooled.jsonl"
+        )
+        assert serial == pooled
+        assert canonical_records(tmp_path / "serial.jsonl") == canonical_records(
+            tmp_path / "pooled.jsonl"
+        )
+
+    def test_resume_bit_identical_to_uninterrupted(self, tmp_path):
+        clean = trajectory_study_grid(**SMALL, journal=tmp_path / "clean.jsonl")
+        with pytest.raises(SimulatedCrash):
+            trajectory_study_grid(
+                **SMALL,
+                journal=tmp_path / "crashed.jsonl",
+                sweep={"crash_after": 1},
+            )
+        resumed = trajectory_study_grid(**SMALL, journal=tmp_path / "crashed.jsonl")
+        assert resumed == clean
+        assert canonical_records(tmp_path / "crashed.jsonl") == canonical_records(
+            tmp_path / "clean.jsonl"
+        )
+
+    def test_sharded_merge_matches_unsharded(self, tmp_path):
+        trajectory_study_grid(**SMALL, journal=tmp_path / "whole.jsonl")
+        parts = []
+        for i in range(2):
+            part = tmp_path / f"shard{i}.jsonl"
+            trajectory_study_grid(
+                **SMALL, journal=part, shard=ShardSpec.parse(f"{i}/2")
+            )
+            parts.append(part)
+        merged = tmp_path / "merged.jsonl"
+        merge_journals(parts, merged)
+        assert canonical_records(merged) == canonical_records(tmp_path / "whole.jsonl")
+
+    def test_task_is_pure_in_grid_index(self):
+        from repro.experiments.batch import make_grid
+
+        (task,) = make_grid(
+            {"drive_by_reader": {"scenario": "drive_by_reader"}}, [3], x_key="n_packets"
+        )
+        a = trajectory_task(task, np.random.default_rng(9))
+        b = trajectory_task(task, np.random.default_rng(9))
+        assert a == b

@@ -286,17 +286,24 @@ def build_streaming_cases() -> dict[str, tuple[dict, dict]]:
     }
 
 
-def build_sweep_journals(force: bool) -> dict[str, dict]:
+def build_sweep_journals(force: bool, only: str | None = None) -> dict[str, dict]:
     """Freeze one sweep journal per grid harness (plus the fault plan).
 
     Journals are resumable by design, so ``--force`` must *delete* the old
     file first — re-running over an existing journal would replay it and
-    freeze the stale records instead of regenerating them.
+    freeze the stale records instead of regenerating them.  ``only``
+    restricts generation to a single named case (so adding a new sweep
+    does not regenerate — and thereby unfreeze — the existing journals).
     """
     from sweep_cases import SWEEP_CASES
 
+    cases = SWEEP_CASES
+    if only is not None:
+        if only not in SWEEP_CASES:
+            raise SystemExit(f"unknown sweep case {only!r}; known: {sorted(SWEEP_CASES)}")
+        cases = {only: SWEEP_CASES[only]}
     manifest: dict[str, dict] = {}
-    for name, case in SWEEP_CASES.items():
+    for name, case in cases.items():
         journal = CASES_DIR / f"{name}.jsonl"
         if journal.exists():
             if not force:
@@ -327,6 +334,12 @@ def main(argv: list[str] | None = None) -> int:
         help="regenerate only the streaming goldens, merging into the existing "
         "manifest (leaves the batch waveform wall and sweep journals untouched)",
     )
+    parser.add_argument(
+        "--only",
+        metavar="CASE",
+        help="with --sweeps-only: freeze just this sweep case, leaving every "
+        "other journal untouched",
+    )
     args = parser.parse_args(argv)
 
     if args.streaming:
@@ -347,7 +360,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.sweeps_only:
         manifest = json.loads(MANIFEST.read_text()) if MANIFEST.exists() else {}
         CASES_DIR.mkdir(parents=True, exist_ok=True)
-        manifest.update(build_sweep_journals(force=args.force))
+        manifest.update(build_sweep_journals(force=args.force, only=args.only))
         MANIFEST.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
         print(f"wrote {MANIFEST} ({len(manifest)} cases)")
         return 0

@@ -63,6 +63,17 @@ def _run_table4(journal):
     )
 
 
+def _run_trajectory(journal):
+    """All four catalog scenarios, three packets each along their paths."""
+    from repro.experiments.trajectory_study import trajectory_study_grid
+
+    return trajectory_study_grid(
+        n_packets_list=[3],
+        root_seed=51,
+        journal=journal,
+    )
+
+
 def _run_faultplan(journal):
     """Retry + quarantine exercised deterministically via the demo task.
 
@@ -114,5 +125,9 @@ SWEEP_CASES: dict[str, SweepCase] = {
     "sweep_faultplan": SweepCase(
         _run_faultplan,
         {"harness": "faultplan", "root_seed": 7, "n_tasks": 6, "n_quarantined": 2},
+    ),
+    "sweep_trajectory": SweepCase(
+        _run_trajectory,
+        {"harness": "trajectory_study", "root_seed": 51, "n_tasks": 4},
     ),
 }
