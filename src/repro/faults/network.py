@@ -8,6 +8,14 @@ injector is a declarative, timed event source the fleet simulator
 (:mod:`repro.network.fleet`) schedules onto its discrete-event timeline;
 composition and seeding follow the :class:`~repro.faults.plan.FaultPlan`
 idiom (a seeded plan produces the same realisation every run).
+
+The impairment terms these injectors set — a reader's ``occlusion_db``
+SNR penalty and ``collision_prob`` extra failure probability — are
+consumed as *vector inputs* by the fleet's round engine: the vectorized
+:meth:`~repro.network.linkstore.LinkStateStore.serve_round` broadcasts
+them over the whole served schedule (occlusion keys a cached per-rung
+success row; collision multiplies the probability vector), which is
+bit-identical to the frozen scalar path applying them per slot.
 """
 
 from __future__ import annotations

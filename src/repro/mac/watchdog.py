@@ -117,7 +117,9 @@ class LinkWatchdog:
         start = initial_rate_bps if initial_rate_bps is not None else self.ladder[-1]
         if start not in self.ladder:
             raise ConfigError(f"initial rate {start} not on the ladder {self.ladder}")
-        self.current_rate_bps = start
+        #: Position on the ladder, kept as the canonical state so rate
+        #: moves are index arithmetic, never an O(n) ``ladder.index`` scan.
+        self._rung_idx = self.ladder.index(start)
         self.consecutive_failures = 0
         self.consecutive_successes = 0
         self._backoff_exponent = 0
@@ -125,11 +127,31 @@ class LinkWatchdog:
 
     # ------------------------------------------------------------ tracking
 
+    @property
+    def current_rate_bps(self) -> int:
+        """The rate in force (the ladder entry at :attr:`rung_index`)."""
+        return self.ladder[self._rung_idx]
+
+    @current_rate_bps.setter
+    def current_rate_bps(self, rate_bps: int) -> None:
+        self._rung_idx = self.ladder.index(rate_bps)
+
+    @property
+    def rung_index(self) -> int:
+        """Current position on the ladder (0 = most robust rung)."""
+        return self._rung_idx
+
+    def observe_rung(self, index: int) -> None:
+        """Sync the watchdog to an externally assigned ladder position."""
+        if not 0 <= index < len(self.ladder):
+            raise ConfigError(f"rung index {index} not on the ladder {self.ladder}")
+        self._rung_idx = index
+
     def observe_rate(self, rate_bps: int) -> None:
         """Sync the watchdog to an externally assigned rate."""
         if rate_bps not in self.ladder:
             raise ConfigError(f"rate {rate_bps} not on the ladder {self.ladder}")
-        self.current_rate_bps = rate_bps
+        self._rung_idx = self.ladder.index(rate_bps)
 
     @property
     def recovery_ready(self) -> bool:
@@ -189,9 +211,8 @@ class LinkWatchdog:
         # consecutive clean frames.
         self.consecutive_failures = 0
         self._fallback_active = True
-        idx = self.ladder.index(self.current_rate_bps)
-        if idx > 0:
-            self.current_rate_bps = self.ladder[idx - 1]
+        if self._rung_idx > 0:
+            self._rung_idx -= 1
             log.warning(
                 "link watchdog: %d consecutive CRC failures, rate fallback to %d bps",
                 self.fail_threshold,

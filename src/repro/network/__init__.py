@@ -8,6 +8,9 @@ scale on a deterministic discrete-event core:
 * :mod:`repro.network.core` — event queue + SeedSequence stream layout.
 * :mod:`repro.network.reader` — reader health lifecycle and admission.
 * :mod:`repro.network.link` — migration-safe per-tag link/ARQ state.
+* :mod:`repro.network.linkstore` — the same state as struct-of-arrays;
+  the vectorized round engine million-tag schedules run through.
+* :mod:`repro.network.link_reference` — frozen scalar executable spec.
 * :mod:`repro.network.fleet` — the simulator and its fault contract.
 
 Chaos comes from :mod:`repro.faults.network`; results flow into the
@@ -17,6 +20,8 @@ sharded sweep engine via :mod:`repro.experiments.network_scale`.
 from repro.network.core import Event, EventQueue, spawn_streams
 from repro.network.fleet import FleetConfig, FleetResult, FleetSimulator, TagState
 from repro.network.link import FrameOutcome, TagLinkState
+from repro.network.link_reference import ReferenceTagLinkState
+from repro.network.linkstore import LinkStateStore, RoundServe, TagLinkView
 from repro.network.reader import Reader, ReaderHealth
 
 __all__ = [
@@ -26,9 +31,13 @@ __all__ = [
     "FleetResult",
     "FleetSimulator",
     "FrameOutcome",
+    "LinkStateStore",
     "Reader",
     "ReaderHealth",
+    "ReferenceTagLinkState",
+    "RoundServe",
     "TagLinkState",
+    "TagLinkView",
     "TagState",
     "spawn_streams",
 ]

@@ -20,7 +20,7 @@ from typing import Any
 
 import numpy as np
 
-__all__ = ["Event", "EventQueue", "spawn_streams"]
+__all__ = ["Event", "EventQueue", "LazyStreams", "spawn_streams"]
 
 
 @dataclass(frozen=True, order=True)
@@ -66,26 +66,70 @@ class EventQueue:
         return self._heap[0].time if self._heap else None
 
 
+def _child_rng(root_seed: int, index: int) -> np.random.Generator:
+    """The ``index``-th spawned child of ``SeedSequence(root_seed)``.
+
+    Constructed directly via ``spawn_key=(index,)`` — bit-identical to
+    ``SeedSequence(root_seed).spawn(n)[index]`` for any ``n > index``
+    (spawning is just spawn-key bookkeeping), without materialising the
+    other children.
+    """
+    seq = np.random.SeedSequence(int(root_seed), spawn_key=(index,))
+    return np.random.default_rng(seq)
+
+
+class LazyStreams:
+    """Indexable window of per-entity child streams, realized on demand.
+
+    Behaves like the eager ``list[Generator]`` it replaces — ``len``,
+    indexing, and iteration — but a generator is only constructed (and
+    then cached, so its draw position persists) the first time its index
+    is touched.  A million-tag fleet where a round serves a few hundred
+    tags pays for a few hundred streams, not a million; the streams
+    themselves are identical either way.
+    """
+
+    def __init__(self, root_seed: int, offset: int, n: int):
+        self._root_seed = int(root_seed)
+        self._offset = int(offset)
+        self._n = int(n)
+        self._gens: dict[int, np.random.Generator] = {}
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __getitem__(self, index: int) -> np.random.Generator:
+        if index < 0:
+            index += self._n
+        if not 0 <= index < self._n:
+            raise IndexError(f"stream index {index} out of range ({self._n} streams)")
+        gen = self._gens.get(index)
+        if gen is None:
+            gen = _child_rng(self._root_seed, self._offset + index)
+            self._gens[index] = gen
+        return gen
+
+
 def spawn_streams(
     root_seed: int, n_tags: int, n_readers: int
 ) -> tuple[
-    list[np.random.Generator],
+    LazyStreams,
     list[np.random.Generator],
     np.random.Generator,
     np.random.Generator,
 ]:
     """Index-derived per-entity generators from one root seed.
 
-    Children are spawned in a fixed layout — ``n_tags`` tag streams, then
+    Children follow a fixed layout — ``n_tags`` tag streams, then
     ``n_readers`` reader streams, then one fault stream and one deployment
     stream — so adding events or reordering execution can never shift
-    which stream an entity owns.
+    which stream an entity owns.  Tag streams come back as a
+    :class:`LazyStreams` window (identical streams, built on first use);
+    the handful of reader/fault/deploy streams are realized eagerly.
     """
-    children = np.random.SeedSequence(int(root_seed)).spawn(n_tags + n_readers + 2)
-    tag_streams = [np.random.default_rng(s) for s in children[:n_tags]]
-    reader_streams = [
-        np.random.default_rng(s) for s in children[n_tags : n_tags + n_readers]
-    ]
-    fault_stream = np.random.default_rng(children[-2])
-    deploy_stream = np.random.default_rng(children[-1])
+    root_seed = int(root_seed)
+    tag_streams = LazyStreams(root_seed, 0, n_tags)
+    reader_streams = [_child_rng(root_seed, n_tags + i) for i in range(n_readers)]
+    fault_stream = _child_rng(root_seed, n_tags + n_readers)
+    deploy_stream = _child_rng(root_seed, n_tags + n_readers + 1)
     return tag_streams, reader_streams, fault_stream, deploy_stream

@@ -27,6 +27,23 @@ stream (:func:`~repro.network.core.spawn_streams`); event ties resolve by
 scheduling order; metrics never touch RNG.  A run is therefore a pure
 function of ``(config, fault_plan, root_seed)`` — the property the
 handoff-determinism and sweep bit-identity tests pin.
+
+Two serving engines share this timeline:
+
+* ``engine="store"`` (default) — the vectorized round engine: per-tag
+  link state lives in a struct-of-arrays
+  :class:`~repro.network.linkstore.LinkStateStore` and a reader's whole
+  round is one :meth:`~repro.network.linkstore.LinkStateStore.serve_round`
+  kernel call (tags ride along as :class:`~repro.network.linkstore.
+  TagLinkView` windows, so handoff still just migrates the link object).
+* ``engine="reference"`` — the frozen scalar path
+  (:class:`~repro.network.link_reference.ReferenceTagLinkState`, one
+  Python call per served slot), kept as the executable spec.
+
+Both draw exactly one uniform per served slot from the served tag's own
+stream, in service order, so they are *bit-identical* — same per-tag
+snapshots, same ``FrameOutcome`` sequences, same ``timeline_digest`` —
+which ``tests/network/test_linkstore_equivalence.py`` enforces.
 """
 
 from __future__ import annotations
@@ -40,7 +57,9 @@ from repro.errors import ConfigError, FailureReason, FailureStage
 from repro.faults.network import NetworkFaultPlan
 from repro.mac.rate_adapt import LinkProfile, default_profile
 from repro.network.core import Event, EventQueue, spawn_streams
-from repro.network.link import TagLinkState
+from repro.network.link import FrameOutcome, TagLinkState
+from repro.network.link_reference import ReferenceTagLinkState
+from repro.network.linkstore import LinkStateStore, TagLinkView
 from repro.network.reader import Reader, ReaderHealth
 from repro.obs import Observer, ensure_observer
 from repro.optics.retroreflector import LinkBudget
@@ -125,7 +144,9 @@ class TagState:
 
     tag_id: int
     position_m: float
-    link: TagLinkState
+    #: The migration-safe link state: a scalar object (reference engine)
+    #: or a :class:`TagLinkView` window onto the fleet's store.
+    link: TagLinkState | TagLinkView | ReferenceTagLinkState
     #: Current reader, or None while detached / re-associating.
     reader_id: int | None = None
     #: Last time this tag heard its reader's beacon.
@@ -154,20 +175,65 @@ class FleetResult:
     #: Handoffs: ``(time, tag_id, from_reader, to_reader, latency_s)``.
     handoff_log: list[tuple[float, int, int, int, float]]
     events_processed: int
+    #: The struct-of-arrays link store (``engine="store"`` runs); None for
+    #: the frozen reference engine.  Aggregates below use it as an O(1)
+    #: fast path — the values are identical either way.
+    store: LinkStateStore | None = None
 
     # ------------------------------------------------------------ aggregates
 
     @property
     def delivered(self) -> int:
+        if self.store is not None:
+            return int(self.store.delivered.sum())
         return sum(t.link.delivered for t in self.tags)
 
     @property
     def abandoned(self) -> int:
+        if self.store is not None:
+            return int(self.store.abandoned.sum())
         return sum(t.link.abandoned for t in self.tags)
 
     @property
     def attempts(self) -> int:
+        if self.store is not None:
+            return int(self.store.attempts.sum())
         return sum(t.link.attempts for t in self.tags)
+
+    def per_tag_delivered(self) -> np.ndarray:
+        """Delivered-frame count per tag id (int64, length ``n_tags``)."""
+        if self.store is not None:
+            return self.store.delivered.copy()
+        return np.fromiter(
+            (t.link.delivered for t in self.tags), dtype=np.int64, count=len(self.tags)
+        )
+
+    @property
+    def fairness_jain(self) -> float:
+        """Jain fairness index over per-tag delivered frames.
+
+        ``(sum x)^2 / (n * sum x^2)`` in [1/n, 1]; defined as 1.0 (perfect
+        fairness, vacuously) when nothing was delivered at all.  Computed
+        from exact integer counts, so it is engine- and worker-invariant.
+        """
+        x = self.per_tag_delivered()
+        total = int(x.sum())
+        if total == 0:
+            return 1.0
+        return float(total) ** 2 / (len(x) * float((x * x).sum()))
+
+    def _goodput_scale_bps(self) -> float:
+        return self.config.payload_bytes * 8 / self.config.duration_s
+
+    @property
+    def goodput_min_bps(self) -> float:
+        """The worst-served tag's goodput — the fairness floor."""
+        return float(self.per_tag_delivered().min()) * self._goodput_scale_bps()
+
+    @property
+    def goodput_median_bps(self) -> float:
+        """Median per-tag goodput (typical tag, robust to stragglers)."""
+        return float(np.median(self.per_tag_delivered())) * self._goodput_scale_bps()
 
     @property
     def goodput_bps(self) -> float:
@@ -237,6 +303,9 @@ class FleetResult:
             "shed_associations": sum(r.shed_associations for r in self.readers),
             "shed_discovery": sum(r.shed_discovery for r in self.readers),
             "discovery_served": sum(r.discovery_served for r in self.readers),
+            "fairness_jain": self.fairness_jain,
+            "goodput_min_bps": self.goodput_min_bps,
+            "goodput_median_bps": self.goodput_median_bps,
             "orphaned_tags": len(self.orphaned_tags),
             "unassociated_tags": len(self.unassociated_tags),
             "transitions": len(self.transitions),
@@ -262,6 +331,18 @@ class FleetSimulator:
         Metrics sink; ``None`` means the no-op singleton.  Metrics are
         side-band only — enabling them never changes a single bit of the
         simulation (no RNG draws, no control flow).
+    engine:
+        ``"store"`` (default) serves rounds through the vectorized
+        :class:`~repro.network.linkstore.LinkStateStore`; ``"reference"``
+        runs the frozen scalar spec
+        (:class:`~repro.network.link_reference.ReferenceTagLinkState`).
+        Bit-identical by contract — the knob exists for the equivalence
+        wall and the fleet-scale benchmark.
+    record_frames:
+        When True, every served slot's :class:`FrameOutcome` is appended
+        to :attr:`frame_log` in global service order — the per-frame
+        evidence the equivalence tests compare.  Off by default (a
+        million-tag run should not grow a Python list per slot).
     """
 
     def __init__(
@@ -272,7 +353,13 @@ class FleetSimulator:
         profile: LinkProfile | None = None,
         budget: LinkBudget | None = None,
         observer: Observer | None = None,
+        engine: str = "store",
+        record_frames: bool = False,
     ):
+        if engine not in ("store", "reference"):
+            raise ConfigError(
+                f"unknown fleet engine {engine!r} (expected 'store' or 'reference')"
+            )
         self.config = config if config is not None else FleetConfig()
         self.fault_plan = fault_plan if fault_plan is not None else NetworkFaultPlan()
         if self.fault_plan.max_reader_id() >= self.config.n_readers:
@@ -284,6 +371,10 @@ class FleetSimulator:
         self.profile = profile if profile is not None else default_profile()
         self.budget = budget if budget is not None else LinkBudget.wide_fov()
         self.obs = ensure_observer(observer)
+        self.engine = engine
+        self.record_frames = bool(record_frames)
+        #: Served slots in global service order (only when record_frames).
+        self.frame_log: list[FrameOutcome] = []
 
     # ----------------------------------------------------------------- setup
 
@@ -302,28 +393,52 @@ class FleetSimulator:
             for i in range(cfg.n_readers)
         ]
         positions = deploy.uniform(0.0, cfg.span_m, size=cfg.n_tags)
-        self.tags = [
-            TagState(
-                tag_id=i,
-                position_m=float(positions[i]),
-                link=TagLinkState(
+        if self.engine == "store":
+            self._store: LinkStateStore | None = LinkStateStore(
+                self.profile,
+                cfg.n_tags,
+                payload_bytes=cfg.payload_bytes,
+                overhead_s=cfg.overhead_s,
+                raise_after=cfg.raise_after,
+                fail_threshold=cfg.fail_threshold,
+                recover_after=cfg.recover_after,
+            )
+            links = [TagLinkView(self._store, i) for i in range(cfg.n_tags)]
+        else:
+            self._store = None
+            links = [
+                ReferenceTagLinkState(
                     self.profile,
                     payload_bytes=cfg.payload_bytes,
                     overhead_s=cfg.overhead_s,
                     raise_after=cfg.raise_after,
                     fail_threshold=cfg.fail_threshold,
                     recover_after=cfg.recover_after,
-                ),
-            )
+                )
+                for i in range(cfg.n_tags)
+            ]
+        self.tags = [
+            TagState(tag_id=i, position_m=float(positions[i]), link=links[i])
             for i in range(cfg.n_tags)
         ]
         # Static SNR matrix: geometry never changes mid-run; impairments
-        # (occlusion dB) are applied per-frame on top.
-        self._snr = np.empty((cfg.n_tags, cfg.n_readers))
-        for t in self.tags:
-            for r in self.readers:
-                d = max(abs(t.position_m - r.position_m), _MIN_DISTANCE_M)
-                self._snr[t.tag_id, r.reader_id] = self.budget.snr_db(d)
+        # (occlusion dB) are applied per-frame on top.  One broadcast
+        # snr_db call over the distance matrix (log10 vectorizes
+        # elementwise-exact, so this matches the per-pair scalar build).
+        reader_pos = np.asarray([r.position_m for r in self.readers])
+        dist = np.maximum(
+            np.abs(positions[:, None] - reader_pos[None, :]), _MIN_DISTANCE_M
+        )
+        self._snr = np.asarray(self.budget.snr_db(dist), dtype=np.float64)
+        # Authoritative association bookkeeping, as arrays: beacons touch
+        # every scheduled tag every round and the heartbeat check scans
+        # every tag — per-object attribute walks would dominate a 100k-tag
+        # run (for both engines; this is shared timeline bookkeeping, not
+        # part of the frozen serve path).  ``TagState.last_heard`` is
+        # synced back from ``_last_heard`` when the run finishes.
+        self._last_heard = np.zeros(cfg.n_tags, dtype=np.float64)
+        self._assoc = np.full(cfg.n_tags, -1, dtype=np.int64)
+        self.frame_log = []
         self.transitions: list[tuple[float, int, str, str]] = []
         self.handoff_log: list[tuple[float, int, int, int, float]] = []
         self._events_processed = 0
@@ -354,9 +469,39 @@ class FleetSimulator:
         """Best-SNR admission in tag-id order at t=0; shed tags enter the
         re-association loop immediately (their backoff starts at zero
         attempts, drawn from their own stream in the event loop)."""
+        if self._associate_initial_batch():
+            return
         for tag in self.tags:
             if not self._try_associate(tag, now=0.0, initial=True):
                 tag.silent_since = 0.0
+
+    def _associate_initial_batch(self) -> bool:
+        """Whole-fleet t=0 admission in one argmax, when no queue fills.
+
+        At t=0 every reader is HEALTHY and unimpaired (fault events have
+        not fired — they are dispatched after association), so each tag's
+        candidate order is ``(-snr, reader_id)`` and ``argmax`` over the
+        static SNR matrix reproduces the sequential greedy pick exactly —
+        *provided no reader overflows*, since then admission never sheds
+        and later tags never spill to their second choice.  If any reader
+        would overflow, fall back to the sequential path (returns False).
+        """
+        best = np.argmax(self._snr, axis=1)  # ties -> lowest reader id
+        counts = np.bincount(best, minlength=len(self.readers))
+        if any(
+            int(counts[r.reader_id]) > r.capacity for r in self.readers
+        ):
+            return False
+        for reader in self.readers:
+            ids = (best == reader.reader_id).nonzero()[0]  # tag-id order
+            reader.schedule.extend(ids.tolist())
+            reader._members.update(reader.schedule)
+            reader._sched_arr = None
+            reader.max_queue_depth = max(reader.max_queue_depth, len(reader.schedule))
+        self._assoc[:] = best
+        for tag in self.tags:
+            tag.reader_id = int(best[tag.tag_id])
+        return True
 
     # -------------------------------------------------------------- run loop
 
@@ -376,6 +521,11 @@ class FleetSimulator:
                 continue
             self._dispatch(event, queue)
             self._events_processed += 1
+        # Sync the array-held beacon times back onto the tag objects so
+        # the result's TagStates read as they always did.
+        heard = self._last_heard.tolist()
+        for tag in self.tags:
+            tag.last_heard = heard[tag.tag_id]
         result = FleetResult(
             config=self.config,
             root_seed=self.root_seed,
@@ -385,6 +535,7 @@ class FleetSimulator:
             transitions=self.transitions,
             handoff_log=self.handoff_log,
             events_processed=self._events_processed,
+            store=self._store,
         )
         if self.obs.enabled:
             self.obs.gauge("network.orphaned_tags", len(result.orphaned_tags))
@@ -473,9 +624,9 @@ class FleetSimulator:
         budget_s = cfg.airtime_duty * cfg.round_interval_s
         if reader.health is ReaderHealth.RECOVERING:
             budget_s *= cfg.recovering_duty_factor
-        # Beacon: every scheduled tag hears its heartbeat.
-        for tag_id in reader.schedule:
-            self.tags[tag_id].last_heard = now
+        # Beacon: every scheduled tag hears its heartbeat (one fancy-index
+        # store instead of a per-tag attribute walk).
+        self._last_heard[reader.schedule_array()] = now
         used = 0.0
         # Discovery backlog first, capped so a storm cannot starve data.
         if reader.pending_discovery:
@@ -486,6 +637,69 @@ class FleetSimulator:
             reader.discovery_served += n
             used += n * cost
         # Data slots, round-robin from the rotation point, until budget.
+        if self._store is not None:
+            served, used = self._serve_store(reader, used, budget_s)
+        else:
+            served, used = self._serve_reference(reader, used, budget_s)
+        reader.advance_rotation(served)
+        reader.frames_served += served
+        reader.airtime_s += used
+
+    def _serve_store(self, reader: Reader, used: float, budget_s: float):
+        """Vectorized data service: the whole round is one kernel call.
+
+        ``network.frames_total`` is emitted as one batched count per
+        (reader, outcome) per round — same totals and labels as the
+        reference's per-slot counts, without a per-slot observer call.
+        """
+        order = reader.service_order_array()
+        if order.shape[0] == 0:
+            return 0, used
+        rid = reader.reader_id
+        res = self._store.serve_round(
+            order,
+            self._snr[:, rid],
+            reader.occlusion_db,
+            reader.collision_prob,
+            budget_s,
+            used,
+            self._tag_rngs,
+            reader_key=rid,
+        )
+        n_served = res.n_served
+        if self.record_frames and n_served:
+            ladder = self._store.ladder
+            ok = res.ok.tolist()
+            abandoned = res.abandoned.tolist()
+            rungs = res.rung.tolist()
+            airtimes = res.airtime_s.tolist()
+            for i in range(n_served):
+                self.frame_log.append(
+                    FrameOutcome(
+                        delivered=ok[i],
+                        abandoned=abandoned[i],
+                        rate_bps=ladder[rungs[i]],
+                        airtime_s=airtimes[i],
+                    )
+                )
+        if self.obs.enabled and n_served:
+            counts = (
+                ("delivered", res.n_delivered),
+                ("abandoned", res.n_abandoned),
+                ("retry", res.n_retry),
+            )
+            for label, n in counts:
+                if n:
+                    self.obs.count(
+                        "network.frames_total", n, outcome=label, reader=str(rid)
+                    )
+        return n_served, res.used_s
+
+    def _serve_reference(self, reader: Reader, used: float, budget_s: float):
+        """Frozen scalar data service — one Python call per served slot.
+
+        This loop is part of the executable spec (see
+        :mod:`repro.network.link_reference`): do not optimise it."""
         served = 0
         for tag_id in reader.service_order():
             tag = self.tags[tag_id]
@@ -498,6 +712,8 @@ class FleetSimulator:
             )
             used += outcome.airtime_s
             served += 1
+            if self.record_frames:
+                self.frame_log.append(outcome)
             if self.obs.enabled:
                 label = "delivered" if outcome.delivered else (
                     "abandoned" if outcome.abandoned else "retry"
@@ -505,24 +721,27 @@ class FleetSimulator:
                 self.obs.count(
                     "network.frames_total", outcome=label, reader=str(reader.reader_id)
                 )
-        reader.advance_rotation(served)
-        reader.frames_served += served
-        reader.airtime_s += used
+        return served, used
 
     def _tag_check(self, now: float, queue: EventQueue) -> None:
-        """Heartbeat-missed detection, in tag-id order."""
+        """Heartbeat-missed detection, in tag-id order.
+
+        The scan is one vectorized predicate over the association arrays
+        (``now - last_heard`` vectorizes elementwise-exact, so the stale
+        set is identical to the per-tag scalar comparison); only the
+        handful of stale tags pay the Python detach bookkeeping.
+        """
         cfg = self.config
         deadline = cfg.heartbeat_miss_threshold * cfg.round_interval_s
-        for tag in self.tags:
-            if tag.reader_id is None:
-                continue
-            if now - tag.last_heard <= deadline:
-                continue
+        stale = ((self._assoc >= 0) & (now - self._last_heard > deadline)).nonzero()[0]
+        for tag_id in stale.tolist():  # ascending == tag-id order
+            tag = self.tags[tag_id]
             # Reader lost: detach and start re-association.
             self.readers[tag.reader_id].drop(tag.tag_id)
-            tag.silent_since = tag.last_heard
+            tag.silent_since = float(self._last_heard[tag_id])
             tag.prev_reader = tag.reader_id
             tag.reader_id = None
+            self._assoc[tag_id] = -1
             tag.reassoc_attempts = 0
             tag.detaches += 1
             if self.obs.enabled:
@@ -566,6 +785,8 @@ class FleetSimulator:
             if reader.admit(tag.tag_id):
                 tag.reader_id = reader.reader_id
                 tag.last_heard = now
+                self._assoc[tag.tag_id] = reader.reader_id
+                self._last_heard[tag.tag_id] = now
                 if not initial:
                     latency = now - (tag.silent_since if tag.silent_since is not None else now)
                     tag.handoffs += 1

@@ -25,6 +25,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from enum import Enum
 
+import numpy as np
+
 from repro.errors import ConfigError
 
 __all__ = ["Reader", "ReaderHealth"]
@@ -51,6 +53,12 @@ class Reader:
     health: ReaderHealth = ReaderHealth.HEALTHY
     #: Associated tag ids, in admission order (the TDMA schedule).
     schedule: list[int] = field(default_factory=list)
+    #: Membership mirror of :attr:`schedule` so admission checks are O(1)
+    #: — a 100k-tag association wave is otherwise quadratic in the list.
+    _members: set[int] = field(default_factory=set, repr=False, compare=False)
+    #: Cached ndarray mirror of :attr:`schedule` (None = stale), so the
+    #: per-round beacon/serve paths never rebuild a big array per round.
+    _sched_arr: np.ndarray | None = field(default=None, repr=False, compare=False)
     #: Round-robin rotation offset so budget-limited rounds are fair.
     next_slot: int = 0
     #: Pending discovery requests (admission queue for joins/storms).
@@ -73,6 +81,7 @@ class Reader:
             raise ConfigError("reader capacity must be >= 1")
         if self.discovery_queue_cap < 0:
             raise ConfigError("discovery_queue_cap must be >= 0")
+        self._members = set(self.schedule)
 
     # --------------------------------------------------------------- health
 
@@ -100,6 +109,8 @@ class Reader:
         """Process death: schedule state is lost with the process."""
         self.health = ReaderHealth.DOWN
         self.schedule.clear()
+        self._members.clear()
+        self._sched_arr = None
         self.next_slot = 0
         self.pending_discovery = 0
 
@@ -120,20 +131,24 @@ class Reader:
         """Bounded-queue admission: shed-new beyond ``capacity``."""
         if not self.beaconing:
             return False
-        if tag_id in self.schedule:
+        if tag_id in self._members:
             return True
         if len(self.schedule) >= self.capacity:
             self.shed_associations += 1
             return False
         self.schedule.append(tag_id)
+        self._members.add(tag_id)
+        self._sched_arr = None
         self.max_queue_depth = max(self.max_queue_depth, len(self.schedule))
         return True
 
     def drop(self, tag_id: int) -> None:
         """Remove a tag from the schedule (detach / handoff away)."""
-        if tag_id in self.schedule:
+        if tag_id in self._members:
             idx = self.schedule.index(tag_id)
             self.schedule.remove(tag_id)
+            self._members.discard(tag_id)
+            self._sched_arr = None
             if idx < self.next_slot:
                 self.next_slot -= 1
             if self.schedule:
@@ -162,6 +177,24 @@ class Reader:
             return []
         start = self.next_slot % n
         return self.schedule[start:] + self.schedule[:start]
+
+    def schedule_array(self) -> np.ndarray:
+        """The schedule as an int64 ndarray (cached until mutated)."""
+        if self._sched_arr is None:
+            self._sched_arr = np.asarray(self.schedule, dtype=np.int64)
+        return self._sched_arr
+
+    def service_order_array(self) -> np.ndarray:
+        """:meth:`service_order` as an ndarray — same ids, same rotation,
+        built by slicing the cached array instead of list concatenation."""
+        sched = self.schedule_array()
+        n = sched.shape[0]
+        if n == 0:
+            return sched
+        start = self.next_slot % n
+        if start == 0:
+            return sched
+        return np.concatenate((sched[start:], sched[:start]))
 
     def advance_rotation(self, n_served: int) -> None:
         """Rotate the service origin past the tags served this round."""

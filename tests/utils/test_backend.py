@@ -185,6 +185,28 @@ class TestSeamBitIdentity:
         np.testing.assert_array_equal(base.levels_i, proxied.levels_i)
         assert rec.xp.op_log
 
+    def test_fleet_run_identical_under_recording_backend(self):
+        from repro.faults.network import NETWORK_SCENARIOS
+        from repro.network.fleet import FleetConfig, FleetSimulator
+
+        cfg = FleetConfig(n_readers=3, n_tags=24, duration_s=15.0, queue_capacity=12)
+        plan = NETWORK_SCENARIOS["compound"](cfg.duration_s)
+
+        def run():
+            sim = FleetSimulator(
+                cfg, fault_plan=plan, root_seed=21, engine="store", record_frames=True
+            )
+            return sim, sim.run()
+
+        _, base = run()
+        rec = make_recording_backend()
+        with use_backend(rec):
+            _, proxied = run()
+        assert base.row() == proxied.row()  # includes the timeline_digest
+        for tag_base, tag_rec in zip(base.tags, proxied.tags):
+            assert tag_base.link.snapshot() == tag_rec.link.snapshot()
+        assert rec.xp.op_log, "store kernels bypassed the seam"
+
 
 # --------------------------------------------------------------------------
 # Source lint: registered hot-path kernels must not touch `np.` directly.
@@ -194,9 +216,12 @@ class TestSeamBitIdentity:
 def _hot_functions():
     from repro.lcm import response as lcm_response
     from repro.modem.dfe import DFEBlockSession, DFEDemodulator
+    from repro.network.linkstore import LinkStateStore
     from repro.phy.streaming import StreamingReceiver, _GrowBuffer
 
     funcs = [
+        LinkStateStore.serve_round,
+        LinkStateStore._apply_outcomes,
         DFEBlockSession.__init__,
         DFEBlockSession.feed,
         DFEBlockSession._step,
