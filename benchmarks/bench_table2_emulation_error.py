@@ -7,38 +7,79 @@ relaxation (V >= 8 slots of 0.5 ms).
 
 The reference order here is 14 (vs the paper's 17) to keep the benchmark
 minutes-scale; the trend is identical.
+
+A second pass swaps the scalar Malus ground truth for the Jones
+polarizer-stack engine (cold-white LED, cheap film both ends, a warm
+cell) and bounds the fingerprint truncation error against physics the
+paper's model cannot express — the emulation-error bound of the
+fidelity ladder.  Both tables land in ``BENCH_table2.json``.
 """
 
-from _common import emit, format_table
+from _common import emit, emit_json, format_table
 
 from repro.analysis.emulation import emulation_error_study
+from repro.lcm.dispersion import LCDispersionModel
+from repro.optics.polarstack import PolarizerSpec, PolarStackConfig, SpectralConfig
 
 PAPER = {4: (0.59, 0.15), 6: (0.31, 0.041), 8: (0.21, 0.012), 10: (0.13, 0.004), 12: (0.073, 0.002)}
 
+#: The Jones ground truth: dispersive LED, leaky sheets, thermal drift.
+JONES_STACK = PolarStackConfig(
+    spectral=SpectralConfig.led_cold_white(),
+    tag_polarizer=PolarizerSpec.cheap(),
+    reader_polarizer=PolarizerSpec.cheap(),
+    dispersion=LCDispersionModel(temperature_c=31.0),
+)
 
-def test_table2_emulation_error(benchmark):
-    report = emulation_error_study(
-        orders=[4, 6, 8, 10, 12],
-        reference_order=14,
-        n_sequences=12,
-        sequence_len=48,
-        rng=1,
-    )
+STUDY = dict(
+    orders=[4, 6, 8, 10, 12],
+    reference_order=14,
+    n_sequences=12,
+    sequence_len=48,
+)
+
+
+def _table(report, title):
     rows = []
     for v, mx, avg in report.rows():
         p_max, p_avg = PAPER.get(v, (float("nan"), float("nan")))
         rows.append((v, f"{p_max:.1%}", f"{p_avg:.1%}", f"{mx:.1%}", f"{avg:.1%}"))
+    return format_table(
+        ["V", "paper max", "paper avg", "measured max", "measured avg"], rows, title=title
+    )
+
+
+def test_table2_emulation_error(benchmark):
+    report = emulation_error_study(**STUDY, rng=1)
+    jones = emulation_error_study(**STUDY, rng=1, stack=JONES_STACK)
     emit(
         "table2_emulation_error",
-        format_table(
-            ["V", "paper max", "paper avg", "measured max", "measured avg"],
-            rows,
-            title="Table 2 - emulation error vs MLS order (reference V=14)",
-        ),
+        _table(report, "Table 2 - emulation error vs MLS order (reference V=14)")
+        + "\n\n"
+        + _table(jones, "Jones-rung ground truth (LED + cheap film + 31 C)"),
     )
-    avgs = [report.avg_error[v] for v in report.orders]
-    assert all(a >= b for a, b in zip(avgs, avgs[1:])), "error must decay with V"
+    emit_json(
+        "BENCH_table2",
+        {
+            "reference_order": report.reference_order,
+            "n_sequences": report.n_sequences,
+            "malus": {
+                "max_error": {str(v): report.max_error[v] for v in report.orders},
+                "avg_error": {str(v): report.avg_error[v] for v in report.orders},
+            },
+            "jones": {
+                "stack": "led_cold_white + cheap film x2 + 31C",
+                "max_error": {str(v): jones.max_error[v] for v in jones.orders},
+                "avg_error": {str(v): jones.avg_error[v] for v in jones.orders},
+            },
+        },
+    )
+    for rep in (report, jones):
+        avgs = [rep.avg_error[v] for v in rep.orders]
+        assert all(a >= b for a, b in zip(avgs, avgs[1:])), "error must decay with V"
     assert report.avg_error[12] < 0.01
+    # the dispersive truth is harder to emulate but still converges by V=12
+    assert jones.avg_error[12] < 0.02
 
     benchmark(
         emulation_error_study,

@@ -1,0 +1,92 @@
+"""Nightly polarization-fidelity smoke: shards, merge, and the golden gate.
+
+The fidelity-ladder analogue of ``smoke_trajectory_study.py``, run against
+the real divergence task (all four rungs at two extinction grades — the
+exact grid the golden journal freezes):
+
+1. run the ``polarization_fidelity`` grid as two shards into separate
+   journals, killing shard ``0/2`` mid-journal and resuming it;
+2. merge the shard journals;
+3. demand the merged canonical records are **bit-identical** to an
+   uninterrupted unsharded run;
+4. demand both match the frozen golden journal
+   ``tests/golden/cases/sweep_polarization.jsonl`` — the cross-release
+   identity gate for the spectral kernels.
+
+Artifacts (all journals plus a JSON verdict) land under
+``benchmarks/results/polarization_smoke/`` and are uploaded by the
+nightly CI lane.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/smoke_polarization.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.experiments.polarization_fidelity import polarization_fidelity_grid
+from repro.experiments.sweeps import (
+    SimulatedCrash,
+    canonical_records,
+    merge_journals,
+)
+
+SMOKE_DIR = Path(__file__).parent / "results" / "polarization_smoke"
+GOLDEN = Path(__file__).parent.parent / "tests" / "golden" / "cases" / "sweep_polarization.jsonl"
+# The frozen grid: all four rungs, extinctions [20, 30] dB, root_seed=61.
+GRID = dict(extinctions_db=[20.0, 30.0], root_seed=61)
+CRASH_AFTER = 2  # journal appends before the injected kill (1 header + 1 task)
+
+
+def main() -> int:
+    SMOKE_DIR.mkdir(parents=True, exist_ok=True)
+    for stale in SMOKE_DIR.glob("*.jsonl"):
+        stale.unlink()
+
+    single = SMOKE_DIR / "single.jsonl"
+    polarization_fidelity_grid(**GRID, journal=single)
+
+    shard0 = SMOKE_DIR / "shard0.jsonl"
+    crashed = False
+    try:
+        polarization_fidelity_grid(
+            **GRID, journal=shard0, shard="0/2", sweep={"crash_after": CRASH_AFTER}
+        )
+    except SimulatedCrash:
+        crashed = True
+    polarization_fidelity_grid(**GRID, journal=shard0, shard="0/2")
+
+    shard1 = SMOKE_DIR / "shard1.jsonl"
+    polarization_fidelity_grid(**GRID, journal=shard1, shard="1/2")
+
+    merged = SMOKE_DIR / "merged.jsonl"
+    merge_journals([shard0, shard1], merged)
+
+    merged_records = canonical_records(merged)
+    checks = {
+        "crash_injected": crashed,
+        "merged_matches_unsharded": merged_records == canonical_records(single),
+        "matches_golden_journal": merged_records == canonical_records(GOLDEN),
+    }
+    verdict = {
+        "grid": {k: v for k, v in GRID.items()},
+        "golden": str(GOLDEN),
+        "checks": checks,
+        "ok": all(checks.values()),
+    }
+    (SMOKE_DIR / "verdict.json").write_text(json.dumps(verdict, indent=2) + "\n")
+    for name, ok in checks.items():
+        print(f"{'PASS' if ok else 'FAIL'}  {name}")
+    if not verdict["ok"]:
+        print(f"polarization smoke FAILED; journals kept under {SMOKE_DIR}", file=sys.stderr)
+        return 1
+    print(f"polarization-fidelity smoke OK (2 shards + golden gate); artifacts in {SMOKE_DIR}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

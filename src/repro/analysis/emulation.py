@@ -41,18 +41,32 @@ def collect_slot_fingerprints(
     slot_s: float = 0.5e-3,
     fs: float = 40e3,
     params: LCParams | None = None,
+    stack=None,
 ) -> FingerprintTable:
     """Slot-granularity fingerprint of a single pixel (the §5.2 procedure).
 
     Unlike the modem's firing-granularity references, this drives the pixel
     with an arbitrary bit per ``slot_s`` tick — the general emulation model
     used for scheme analysis.
+
+    ``stack`` optionally selects a Jones-rung ground truth: a
+    :class:`~repro.optics.polarstack.PolarStackConfig` whose spectral
+    polarizer-stack amplitude (and thermally drifted time constants)
+    replace the scalar Malus optics.  ``None`` keeps the frozen paper
+    model bit-for-bit.
     """
-    model = LCResponseModel(params or LCParams())
+    base = params or LCParams()
+    if stack is not None:
+        base = stack.dispersion.scaled_params(base)
+    model = LCResponseModel(base)
 
     def waveform_fn(bits: np.ndarray) -> np.ndarray:
         phi = model.simulate(np.asarray(bits, dtype=np.uint8)[None, :], slot_s, fs)
-        return LCResponseModel.optical_amplitude(phi)[0]
+        if stack is None:
+            return LCResponseModel.optical_amplitude(phi)[0]
+        from repro.optics.polarstack import spectral_amplitude
+
+        return np.asarray(spectral_amplitude(stack, phi))[0]
 
     return collect_fingerprints(waveform_fn, order=order, tick_s=slot_s, fs=fs)
 
@@ -66,6 +80,7 @@ def emulation_error_study(
     fs: float = 40e3,
     params: LCParams | None = None,
     rng: np.random.Generator | int | None = None,
+    stack=None,
 ) -> EmulationErrorReport:
     """Reproduce Table 2: emulation error versus MLS order.
 
@@ -76,12 +91,17 @@ def emulation_error_study(
     ``rms(f_V - f_ref) / rms(f_ref - rest)`` — normalised to the signal's
     deviation from the fully-relaxed level so the percentages are
     scale-free.
+
+    Passing ``stack`` swaps the ground truth for the Jones polarizer-stack
+    engine (dispersive LED spectrum, leaky sheets, thermal drift), bounding
+    the fingerprint truncation error against physics the paper's scalar
+    model cannot express.
     """
     orders = orders or [4, 6, 8, 10, 12, 14, 16]
     if any(v < 1 or v > reference_order for v in orders):
         raise ValueError(f"orders must lie in [1, {reference_order}]")
     gen = ensure_rng(rng)
-    reference = collect_slot_fingerprints(reference_order, slot_s, fs, params)
+    reference = collect_slot_fingerprints(reference_order, slot_s, fs, params, stack=stack)
     truncated = {v: reference.truncated(v) for v in orders}
 
     max_error = {v: 0.0 for v in orders}

@@ -36,12 +36,26 @@ _BANK_MODES = ("trained", "nominal")
 
 @dataclass(frozen=True)
 class PhyKnobs:
-    """Static-pose PHY condition: orientation, basis bank, ambient light."""
+    """Static-pose PHY condition: orientation, basis bank, ambient light,
+    and the polarization fidelity rung of the tag under test.
+
+    ``fidelity``/``spectrum``/``extinction_db``/``temperature_c`` configure
+    the :mod:`repro.optics.polarstack` ladder: the default ``"malus"`` rung
+    ignores the other three and keeps every describe() fingerprint
+    byte-identical to the pre-ladder spec; ``"jones"``/``"stokes"`` build a
+    :class:`~repro.optics.polarstack.PolarStackConfig` via
+    :meth:`polarization_config` (``extinction_db=None`` means ideal
+    polarizers on both tag and reader).
+    """
 
     roll_deg: float = 0.0
     yaw_deg: float = 0.0
     bank_mode: str = "trained"
     ambient: str | None = None
+    fidelity: str = "malus"
+    spectrum: str = "monochromatic"
+    extinction_db: float | None = None
+    temperature_c: float = 25.0
 
     def problems(self) -> list[str]:
         out = []
@@ -52,7 +66,41 @@ class PhyKnobs:
 
             if self.ambient not in AMBIENT_PRESETS:
                 out.append(f"ambient {self.ambient!r} not in {sorted(AMBIENT_PRESETS)}")
+        from repro.lcm.array import FIDELITY_RUNGS
+
+        if self.fidelity not in FIDELITY_RUNGS:
+            out.append(f"fidelity {self.fidelity!r} not in {FIDELITY_RUNGS}")
+        from repro.optics.polarstack import SPECTRUM_PRESETS
+
+        if self.spectrum not in SPECTRUM_PRESETS:
+            out.append(f"spectrum {self.spectrum!r} not in {sorted(SPECTRUM_PRESETS)}")
+        if self.extinction_db is not None and self.extinction_db < 0:
+            out.append("extinction_db must be >= 0 (or None for ideal)")
         return out
+
+    def polarization_config(self):
+        """The :class:`~repro.optics.polarstack.PolarStackConfig` these
+        knobs describe — ``None`` on the scalar ``"malus"`` rung."""
+        if self.fidelity == "malus":
+            return None
+        from repro.lcm.dispersion import LCDispersionModel
+        from repro.optics.polarstack import (
+            SPECTRUM_PRESETS,
+            PolarizerSpec,
+            PolarStackConfig,
+        )
+
+        polarizer = (
+            PolarizerSpec.ideal()
+            if self.extinction_db is None
+            else PolarizerSpec.from_db(self.extinction_db)
+        )
+        return PolarStackConfig(
+            spectral=SPECTRUM_PRESETS[self.spectrum](),
+            tag_polarizer=polarizer,
+            reader_polarizer=polarizer,
+            dispersion=LCDispersionModel(temperature_c=self.temperature_c),
+        )
 
 
 @dataclass(frozen=True)

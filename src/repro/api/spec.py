@@ -67,6 +67,10 @@ _FLAT_KNOBS: dict[str, tuple[str, ...]] = {
     "yaw_deg": ("phy",),
     "bank_mode": ("phy",),
     "ambient": ("phy",),
+    "fidelity": ("phy",),
+    "spectrum": ("phy",),
+    "extinction_db": ("phy",),
+    "temperature_c": ("phy",),
     "roll_rate_deg_s": ("mobility",),
     "packet_interval_s": ("trajectory",),
     "sync_interval_slots": ("mobility", "trajectory"),
@@ -297,6 +301,15 @@ class ScenarioSpec:
                 bank_mode=phy.bank_mode,
                 ambient=phy.ambient,
             )
+            # Polarization-ladder knobs appear only off the default rung:
+            # every pre-ladder describe() fingerprint stays byte-identical.
+            if phy.fidelity != "malus":
+                base.update(
+                    fidelity=phy.fidelity,
+                    spectrum=phy.spectrum,
+                    extinction_db=phy.extinction_db,
+                    temperature_c=phy.temperature_c,
+                )
         if self.kind == "stream":
             stream = self.stream or StreamKnobs()
             base.update(
@@ -368,6 +381,8 @@ class ScenarioSpec:
                 k_branches=self.k_branches,
                 rng=self.seed,
                 observer=observer,
+                fidelity=phy.fidelity,
+                polarization=phy.polarization_config(),
             )
         if self.kind == "mobility":
             import numpy as np

@@ -122,6 +122,7 @@ _GRID_SWEEPS = {
     "table4": "mobility_study_grid",
     "network_scale": "network_scale_grid",
     "trajectory_study": "trajectory_study_grid",
+    "polarization_fidelity": "polarization_fidelity_grid",
 }
 
 
@@ -213,12 +214,18 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if isinstance(out, dict):
         for key, points in out.items():
             if isinstance(points, list) and points and isinstance(points[0], dict):
-                # Fleet-scale rows: n_tags -> goodput (orphans flagged).
-                series = " ".join(
-                    f"{r['x']:g}:{r['goodput_bps'] / 1000:.2f}kbps"
-                    + (f"[{r['orphaned_tags']} orphaned!]" if r.get("orphaned_tags") else "")
-                    for r in points
-                )
+                if "goodput_bps" in points[0]:
+                    # Fleet-scale rows: n_tags -> goodput (orphans flagged).
+                    series = " ".join(
+                        f"{r['x']:g}:{r['goodput_bps'] / 1000:.2f}kbps"
+                        + (f"[{r['orphaned_tags']} orphaned!]" if r.get("orphaned_tags") else "")
+                        for r in points
+                    )
+                else:
+                    # Polarization-fidelity rows: extinction -> rms divergence.
+                    series = " ".join(
+                        f"{r['x']:g}:{r['rms_error']:.4f}" for r in points
+                    )
                 print(f"{key}: {series}")
             elif hasattr(points, "__iter__") and not hasattr(points, "ber"):
                 series = " ".join(f"{p.x:g}:{p.ber:.4f}" for p in points)

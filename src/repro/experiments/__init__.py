@@ -40,6 +40,11 @@ from repro.experiments.micro import (
 from repro.experiments.mobility import MobileLinkSimulator, mobility_resync_sweep
 from repro.experiments.multiaccess import ConcurrentUplinkResult, concurrent_uplink_study
 from repro.experiments.network_scale import fleet_scale_task, network_scale_grid
+from repro.experiments.polarization_fidelity import (
+    format_polarization_report,
+    polarization_fidelity_grid,
+    polarization_task,
+)
 from repro.experiments.sweeps import (
     ShardSpec,
     SweepResult,
@@ -77,6 +82,7 @@ __all__ = [
     "emulated_ber_vs_snr_batched",
     "emulated_packet_ber",
     "emulated_packet_bers_block",
+    "format_polarization_report",
     "format_table",
     "format_trajectory_report",
     "headline_rate_gain",
@@ -90,6 +96,8 @@ __all__ = [
     "mobility_study",
     "mobility_study_grid",
     "network_scale_grid",
+    "polarization_fidelity_grid",
+    "polarization_task",
     "power_report",
     "read_journal",
     "run_grid",

@@ -1,0 +1,215 @@
+"""Polarization-fidelity sensitivity sweep across the ladder's rungs.
+
+The ips_compensation-style dispersion grid: each cell builds the *same*
+seeded heterogeneous tag twice — once on the frozen scalar Malus rung and
+once on a Jones/Stokes rung (LED spectrum, leaky polarizers, thermal
+drift, per-pixel cell-gap spread) — drives an identical random schedule
+through both, and reports the waveform-level divergence.  That divergence
+is exactly the modelling error a Malus-trained reader suffers against
+dispersive hardware, so the grid maps where on the ladder the paper's
+scalar model stops being trustworthy.
+
+Every cell is a pure function of its grid index and the root seed, so rows
+are bit-identical across worker counts, shards, and resumes — the property
+the golden journal ``sweep_polarization.jsonl`` pins.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.batch import GridTask, make_grid
+from repro.experiments.common import format_table
+
+__all__ = [
+    "RUNG_CONFIGS",
+    "format_polarization_report",
+    "polarization_fidelity_grid",
+    "polarization_task",
+]
+
+#: Named fidelity rungs the grid sweeps, each a scenario the paper could
+#: not measure: LED spectra (cold/warm phosphor), retroreflector
+#: depolarization, and a warm afternoon's thermal drift.
+RUNG_CONFIGS: dict[str, dict] = {
+    "jones_mono": {
+        "fidelity": "jones",
+        "spectrum": "monochromatic",
+        "temperature_c": 25.0,
+    },
+    "jones_cold_led": {
+        "fidelity": "jones",
+        "spectrum": "led_cold_white",
+        "temperature_c": 25.0,
+    },
+    "stokes_cold_led": {
+        "fidelity": "stokes",
+        "spectrum": "led_cold_white",
+        "retro_depolarization": 0.05,
+        "temperature_c": 25.0,
+    },
+    "stokes_warm_drift": {
+        "fidelity": "stokes",
+        "spectrum": "led_warm_white",
+        "retro_depolarization": 0.05,
+        "temperature_c": 33.0,
+    },
+}
+
+
+def _stack_config(kwargs: dict):
+    """The cell's :class:`~repro.optics.polarstack.PolarStackConfig`."""
+    from repro.lcm.dispersion import LCDispersionModel
+    from repro.optics.polarstack import (
+        SPECTRUM_PRESETS,
+        PolarizerSpec,
+        PolarStackConfig,
+    )
+
+    polarizer = PolarizerSpec.from_db(float(kwargs["extinction_db"]))
+    return PolarStackConfig(
+        spectral=SPECTRUM_PRESETS[kwargs["spectrum"]](),
+        tag_polarizer=polarizer,
+        reader_polarizer=polarizer,
+        dispersion=LCDispersionModel(temperature_c=float(kwargs["temperature_c"])),
+        retro_depolarization=float(kwargs.get("retro_depolarization", 0.0)),
+    )
+
+
+def polarization_task(task: GridTask, rng: np.random.Generator) -> dict:
+    """One grid cell: waveform divergence of one rung vs the Malus twin.
+
+    Module-level (process pools pickle it).  The tag build seed is the
+    first draw from the cell's index-derived generator and is reused for
+    both twins, so the *only* difference between the two waveforms is the
+    polarization physics.
+    """
+    from repro.lcm.array import LCMArray
+    from repro.lcm.heterogeneity import HeterogeneityModel
+    from repro.optics.polarstack import ambient_analyzer_floor
+
+    kwargs = task.kwargs
+    config = _stack_config(kwargs)
+    het = HeterogeneityModel(retardance_sigma=0.02)
+    seed = int(rng.integers(2**63))
+    reference = LCMArray.build(
+        2, 4, heterogeneity=het, rng=np.random.default_rng(seed)
+    )
+    array = LCMArray.build(
+        2,
+        4,
+        heterogeneity=het,
+        rng=np.random.default_rng(seed),
+        fidelity=kwargs["fidelity"],
+        polarization=config,
+    )
+    drive = rng.integers(0, 2, size=(array.n_pixels, 32)).astype(np.uint8)
+    tick_s, fs = 0.5e-3, 20e3
+    u_ref = reference.emit(drive, tick_s, fs)
+    u = array.emit(drive, tick_s, fs)
+    scale = max(float(np.sqrt(np.mean(np.abs(u_ref) ** 2))), 1e-12)
+    err = np.abs(u - u_ref)
+    floor = (
+        ambient_analyzer_floor(config, ambient_dop=0.3)
+        if kwargs["fidelity"] == "stokes"
+        else 0.0
+    )
+    return {
+        "extinction_db": float(kwargs["extinction_db"]),
+        "rms_error": float(np.sqrt(np.mean(err**2)) / scale),
+        "max_error": float(err.max() / scale),
+        "contrast": float(config.contrast()),
+        "ambient_floor": float(floor),
+    }
+
+
+def polarization_fidelity_grid(
+    rungs: list[str] | None = None,
+    extinctions_db: list[float] | None = None,
+    n_workers: int | None = 1,
+    root_seed: int = 61,
+    observer=None,
+    metrics_out=None,
+    journal=None,
+    shard=None,
+    sweep: dict | None = None,
+) -> dict[str, list[dict]]:
+    """Waveform-divergence matrix: ``rung x extinction_db``.
+
+    Returns rows grouped by rung name.  ``journal``/``shard``/``sweep``
+    select the crash-safe resumable engine — see
+    :func:`repro.experiments.sweeps.run_grid`.
+    """
+    from repro.experiments.common import emit_sweep_report
+    from repro.experiments.sweeps import run_grid
+    from repro.obs import Observer
+
+    if observer is None and metrics_out is not None:
+        observer = Observer()
+
+    names = rungs or list(RUNG_CONFIGS)
+    unknown = [name for name in names if name not in RUNG_CONFIGS]
+    if unknown:
+        raise ValueError(f"unknown rung(s) {unknown}; known: {sorted(RUNG_CONFIGS)}")
+    xs = extinctions_db or [20.0, 30.0, 40.0]
+    schemes = {name: dict(RUNG_CONFIGS[name]) for name in names}
+    tasks = make_grid(schemes, xs, x_key="extinction_db")
+    rows = run_grid(
+        polarization_task,
+        tasks,
+        n_workers=n_workers,
+        root_seed=root_seed,
+        observer=observer,
+        journal=journal,
+        shard=shard,
+        **(sweep or {}),
+    )
+    out: dict[str, list[dict]] = {name: [] for name in names}
+    for row in rows:
+        out[row["scheme"]].append(row)
+    if observer is not None:
+        emit_sweep_report(
+            observer,
+            metrics_out,
+            scenario={
+                "figure": "polarization_fidelity",
+                "rungs": names,
+                "extinctions_db": xs,
+            },
+            summary={
+                name: {
+                    "rms_error": [r["rms_error"] for r in rows_],
+                    "max_error": [r["max_error"] for r in rows_],
+                }
+                for name, rows_ in out.items()
+            },
+        )
+    return out
+
+
+def format_polarization_report(out: dict[str, list[dict]]) -> str:
+    """The divergence-vs-rung report as a plain-text table."""
+    rows = [
+        (
+            name,
+            row["extinction_db"],
+            row["rms_error"],
+            row["max_error"],
+            row["contrast"],
+            row["ambient_floor"],
+        )
+        for name, rows_ in sorted(out.items())
+        for row in sorted(rows_, key=lambda r: r["extinction_db"])
+    ]
+    return format_table(
+        [
+            "rung",
+            "extinction_db",
+            "rms_error",
+            "max_error",
+            "contrast",
+            "ambient_floor",
+        ],
+        rows,
+        title="Malus-model divergence vs polarization fidelity rung",
+    )

@@ -19,7 +19,8 @@ LCD shutters (front polarizer detached).  It provides:
   0.8 mW / rate-independence microbenchmark (§7.2.2).
 """
 
-from repro.lcm.array import LCMArray, LCMGroup, build_paper_tag_array
+from repro.lcm.array import FIDELITY_RUNGS, LCMArray, LCMGroup, build_paper_tag_array
+from repro.lcm.dispersion import CauchyDispersion, LCDispersionModel
 from repro.lcm.fingerprint import FingerprintTable, collect_fingerprints, emulate_waveform
 from repro.lcm.flicker import flicker_index, percent_flicker, perceived_intensity
 from repro.lcm.heterogeneity import HeterogeneityModel, PixelVariation
@@ -28,8 +29,11 @@ from repro.lcm.power import TagPowerModel
 from repro.lcm.response import LCParams, LCResponseModel
 
 __all__ = [
+    "CauchyDispersion",
+    "FIDELITY_RUNGS",
     "FingerprintTable",
     "HeterogeneityModel",
+    "LCDispersionModel",
     "LCMArray",
     "LCMGroup",
     "LCMPixel",

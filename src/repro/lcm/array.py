@@ -23,6 +23,10 @@ __all__ = ["LCMArray", "LCMGroup", "build_paper_tag_array"]
 
 _CHANNEL_ANGLES = {"I": 0.0, "Q": np.pi / 4.0}
 
+# Fidelity ladder rungs for the polarization optics (see
+# repro/optics/polarstack.py).  "malus" is the frozen scalar paper model.
+FIDELITY_RUNGS = ("malus", "jones", "stokes")
+
 
 @dataclass
 class LCMGroup:
@@ -80,13 +84,44 @@ class LCMArray:
     where ``s_i(t) = -cos(pi * phi_i(t))`` is the pixel's nonlinear bipolar
     optical amplitude and amplitudes are normalised so a fully charged
     channel sums to +1.
+
+    ``fidelity`` selects the polarization rung: the default ``"malus"`` is
+    the paper's scalar model (frozen — byte-identical to every pre-ladder
+    golden); ``"jones"``/``"stokes"`` route the amplitude through the
+    spectral polarizer-stack engine in :mod:`repro.optics.polarstack`,
+    configured by ``polarization`` (a ``PolarStackConfig``; the ideal
+    default collapses bitwise onto the Malus path).
     """
 
-    def __init__(self, groups: list[LCMGroup], params: LCParams | None = None):
+    def __init__(
+        self,
+        groups: list[LCMGroup],
+        params: LCParams | None = None,
+        fidelity: str = "malus",
+        polarization=None,
+    ):
         if not groups:
             raise ValueError("array needs at least one group")
+        if fidelity not in FIDELITY_RUNGS:
+            raise ValueError(
+                f"fidelity must be one of {FIDELITY_RUNGS}, got {fidelity!r}"
+            )
         self.groups = groups
         self.params = params or LCParams()
+        self.fidelity = fidelity
+        if fidelity == "malus":
+            self.polarization = polarization
+        else:
+            from repro.optics.polarstack import PolarStackConfig
+
+            self.polarization = (
+                polarization if polarization is not None else PolarStackConfig()
+            )
+            if fidelity == "jones" and self.polarization.retro_depolarization != 0.0:
+                raise ValueError(
+                    "fidelity='jones' is coherent; retroreflector "
+                    "depolarization requires fidelity='stokes'"
+                )
         self._model = LCResponseModel(self.params)
         self.pixels: list[LCMPixel] = [p for g in groups for p in g.pixels]
         # Per-channel normalisation so that each channel spans [-1, +1].
@@ -99,6 +134,11 @@ class LCMArray:
         )
         self._bases = np.array([p.basis for p in self.pixels], dtype=complex)
         self._time_scales = np.array([p.time_scale for p in self.pixels])
+        # Per-pixel cell-gap retardance factors, column-shaped so the
+        # fidelity kernels broadcast them against (n_pixels, n_samples) phi.
+        self._retardance_scales = np.array(
+            [p.retardance_scale for p in self.pixels]
+        )[:, None]
         # Per-pixel complex mixing weights, hoisted out of emit(): they only
         # change when the array is rebuilt (e.g. after fault-plan gain
         # mutation, which reconstructs the array from its mutated pixels).
@@ -173,9 +213,21 @@ class LCMArray:
             return_state=return_state,
         )
         phi, state = result if return_state else (result, None)
-        s = LCResponseModel.optical_amplitude(phi)
-        u = (self._weights * s).sum(axis=0)
-        u = u * np.exp(2j * roll_rad)
+        if self.fidelity == "malus":
+            s = LCResponseModel.optical_amplitude(phi)
+            u = (self._weights * s).sum(axis=0)
+            u = u * np.exp(2j * roll_rad)
+        else:
+            from repro.optics.polarstack import jones_baseband, stokes_baseband
+
+            baseband = jones_baseband if self.fidelity == "jones" else stokes_baseband
+            u = baseband(
+                self.polarization,
+                phi,
+                self._weights,
+                roll_rad=roll_rad,
+                retardance_scale=self._retardance_scales,
+            )
         if return_state:
             return u, state
         return u
@@ -190,6 +242,8 @@ class LCMArray:
         heterogeneity: HeterogeneityModel | None = None,
         params: LCParams | None = None,
         rng: np.random.Generator | int | None = None,
+        fidelity: str = "malus",
+        polarization=None,
     ) -> "LCMArray":
         """Construct an array with ``groups_per_channel`` DSM transmitters
         per polarization channel, each a binary-weighted PAM group with
@@ -197,6 +251,13 @@ class LCMArray:
 
         Each group plays the role of one physical LCM: its pixels share an
         LCM-level gain factor on top of per-pixel spread.
+
+        When a ``polarization`` stack is supplied, its dispersion model's
+        operating temperature is threaded into the LC time constants here
+        (``LCDispersionModel.scaled_params``) — once, at build time, so
+        re-wrapping the groups in a new ``LCMArray`` never double-scales.
+        At the nominal temperature the parameters object passes through
+        untouched.
         """
         if groups_per_channel < 1:
             raise ValueError("need at least one group per channel")
@@ -205,6 +266,12 @@ class LCMArray:
         het = heterogeneity or HeterogeneityModel.ideal()
         gen = ensure_rng(rng)
         base = params or LCParams()
+        if fidelity != "malus" and polarization is None:
+            from repro.optics.polarstack import PolarStackConfig
+
+            polarization = PolarStackConfig()
+        if polarization is not None:
+            base = polarization.dispersion.scaled_params(base)
         n_bits = levels_per_group.bit_length() - 1
         groups: list[LCMGroup] = []
         for channel, angle in _CHANNEL_ANGLES.items():
@@ -220,15 +287,18 @@ class LCMArray:
                             gain=var.gain,
                             time_scale=var.time_scale,
                             params=base,
+                            retardance_scale=var.retardance_scale,
                         )
                     )
                 groups.append(LCMGroup(channel=channel, index=index, pixels=pixels))
-        return cls(groups, params=base)
+        return cls(groups, params=base, fidelity=fidelity, polarization=polarization)
 
 
 def build_paper_tag_array(
     heterogeneity: HeterogeneityModel | None = None,
     rng: np.random.Generator | int | None = None,
+    fidelity: str = "malus",
+    polarization=None,
 ) -> LCMArray:
     """The prototype tag of paper §6: 2 I-LCMs + 2 Q-LCMs, each a
     binary-weighted 16-level PAM group (8:4:2:1) — 16 pixels total, 66 cm^2
@@ -238,4 +308,6 @@ def build_paper_tag_array(
         levels_per_group=16,
         heterogeneity=heterogeneity,
         rng=rng,
+        fidelity=fidelity,
+        polarization=polarization,
     )

@@ -1,0 +1,212 @@
+"""Wavelength and temperature dependence of the LC cell's retardation.
+
+The scalar Malus model in :mod:`repro.optics.polarization` treats a pixel at
+alignment ``phi`` as an ideal mixture ``m(phi) = sin^2(phi * pi / 2)`` of
+light at the back-polarizer angle and at +90deg.  Physically that mixture
+fraction is set by the cell's optical retardation
+
+.. math::
+    \\Gamma(\\lambda) = 2 \\pi \\, \\Delta n(\\lambda) \\, d / \\lambda
+
+which is *not* constant: the birefringence ``delta_n`` disperses with
+wavelength (Cauchy-style ``A + B/lambda^2 + C/lambda^4``), shrinks with
+temperature, and varies pixel to pixel with cell-gap manufacturing spread.
+A cell tuned to a half wave at its design wavelength under-rotates red and
+over-rotates blue — the dominant imperfection of real LC retromodulator
+links under LED illumination.
+
+This module hosts that physics:
+
+* :class:`CauchyDispersion` — ``delta_n(lambda)``;
+* :class:`LCDispersionModel` — the normalised retardation ratio
+  ``Gamma(lambda) / Gamma(lambda_design)``, temperature drift of both the
+  retardance and the LC time constants (threaded into
+  :class:`~repro.lcm.response.LCParams` via :meth:`scaled_params`), and the
+  wavelength-resolved mixture fraction :meth:`mixture_fraction`.
+
+Degenerate-limit contract (the equivalence wall's anchor)
+---------------------------------------------------------
+:meth:`mixture_fraction` is written in *anchored-correction* form::
+
+    m_lambda(phi) = sin^2(phi * pi/2)                       # the frozen core
+                  + cos^2(ratio * g) - cos^2(g)             # the physics
+    with g = (1 - phi) * pi/2
+
+Because ``sin^2(phi*pi/2) == cos^2((1-phi)*pi/2)`` *mathematically*, the sum
+equals the textbook ``cos^2(Gamma(lambda) (1-phi) / 2)`` (retardance
+normalised to ``pi * ratio``) up to one ulp — while at ``ratio == 1.0`` the
+correction is computed as ``y - y == +0.0`` and the result is **bitwise**
+the scalar model's ``transmit_fraction``.  ``ratio`` itself evaluates to
+exactly ``1.0`` at the design wavelength and nominal temperature (it is a
+product of ``x / x`` terms), so the degenerate collapse needs no dispatch
+branch: the full kernel runs and reproduces the frozen IEEE sequence.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.lcm.response import LCParams
+from repro.utils.backend import active_backend
+
+__all__ = ["CauchyDispersion", "LCDispersionModel"]
+
+
+@dataclass(frozen=True)
+class CauchyDispersion:
+    """Cauchy birefringence model ``delta_n(lambda) = A + B/l^2 + C/l^4``
+    with ``l`` in micrometres.
+
+    Defaults approximate a 5CB-class nematic (``delta_n ~ 0.19`` at 550 nm,
+    rising toward the blue).  ``zero()`` gives the dispersion-free material
+    used by the degenerate-limit tests.
+    """
+
+    a: float = 0.18
+    b_um2: float = 0.0045
+    c_um4: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.a <= 0:
+            raise ValueError("Cauchy A coefficient must be positive")
+
+    def delta_n(self, wavelength_nm: float) -> float:
+        """Birefringence at ``wavelength_nm``."""
+        if wavelength_nm <= 0:
+            raise ValueError("wavelength must be positive")
+        lam2 = (wavelength_nm / 1000.0) ** 2
+        return self.a + self.b_um2 / lam2 + self.c_um4 / (lam2 * lam2)
+
+    @classmethod
+    def zero(cls, a: float = 0.18) -> "CauchyDispersion":
+        """A dispersion-free birefringence (``delta_n`` constant in lambda)."""
+        return cls(a=a, b_um2=0.0, c_um4=0.0)
+
+
+@dataclass(frozen=True)
+class LCDispersionModel:
+    """Retardation of one LC cell versus wavelength and temperature.
+
+    Parameters
+    ----------
+    dispersion:
+        The material's :class:`CauchyDispersion`.
+    thickness_um:
+        Cell gap ``d`` (only enters the *absolute* retardation
+        :meth:`retardation_rad`; the propagation kernels use the
+        design-normalised ratio, which cancels ``d``).
+    design_wavelength_nm:
+        The wavelength the cell is tuned to (half-wave at full relaxation);
+        the scalar Malus model is exact there.
+    temperature_c / reference_temperature_c:
+        Operating and calibration temperatures.  Away from the reference
+        the birefringence shrinks (``retardance_drift_per_c`` per degree)
+        and the LC's viscosity-set time constants stretch exponentially
+        (``tau_drift_per_c`` per degree of *cooling*) — the tau0/tau1 drift
+        threaded into :class:`~repro.lcm.response.LCParams` by
+        :meth:`scaled_params`.
+    """
+
+    dispersion: CauchyDispersion = field(default_factory=CauchyDispersion)
+    thickness_um: float = 5.0
+    design_wavelength_nm: float = 550.0
+    temperature_c: float = 25.0
+    reference_temperature_c: float = 25.0
+    tau_drift_per_c: float = 0.04
+    retardance_drift_per_c: float = 0.0022
+
+    def __post_init__(self) -> None:
+        if self.thickness_um <= 0:
+            raise ValueError("cell thickness must be positive")
+        if self.design_wavelength_nm <= 0:
+            raise ValueError("design wavelength must be positive")
+        if self.retardance_temperature_scale() <= 0:
+            raise ValueError(
+                "temperature drift would drive the retardance non-positive"
+            )
+
+    # ------------------------------------------------------- thermal drift
+
+    def tau_scale(self) -> float:
+        """Multiplier on every LC time constant at the operating temperature.
+
+        ``exp(-tau_drift_per_c * (T - T_ref))``: cooling raises the
+        rotational viscosity and slows both charge (tau1) and relaxation
+        (tau0); at the reference temperature the factor is exactly ``1.0``.
+        """
+        return math.exp(-self.tau_drift_per_c * (self.temperature_c - self.reference_temperature_c))
+
+    def scaled_params(self, base: LCParams) -> LCParams:
+        """``base`` with the thermal tau drift applied.
+
+        Returns ``base`` itself at the reference temperature, so the
+        degenerate configuration shares the exact parameter object (and
+        content fingerprint) of the scalar path.
+        """
+        scale = self.tau_scale()
+        if scale == 1.0:
+            return base
+        return base.scaled(scale)
+
+    def retardance_temperature_scale(self) -> float:
+        """Multiplier on ``delta_n * d`` at the operating temperature
+        (exactly ``1.0`` at the reference temperature)."""
+        return 1.0 - self.retardance_drift_per_c * (
+            self.temperature_c - self.reference_temperature_c
+        )
+
+    # ------------------------------------------------------- retardation
+
+    def retardation_rad(self, wavelength_nm: float) -> float:
+        """Absolute retardation ``Gamma(lambda) = 2 pi delta_n(lambda) d / lambda``."""
+        return (
+            2.0
+            * math.pi
+            * self.dispersion.delta_n(wavelength_nm)
+            * self.retardance_temperature_scale()
+            * (self.thickness_um * 1000.0)
+            / wavelength_nm
+        )
+
+    def retardation_ratio(self, wavelength_nm: float) -> float:
+        """``Gamma(lambda) / Gamma(lambda_design)`` at nominal temperature
+        calibration, times the thermal retardance drift.
+
+        At the design wavelength and reference temperature every factor is
+        an exact ``x / x`` (or ``1.0 - 0.0``) and the ratio is bitwise
+        ``1.0`` — the anchor of the degenerate-limit contract.
+        """
+        n_ratio = self.dispersion.delta_n(wavelength_nm) / self.dispersion.delta_n(
+            self.design_wavelength_nm
+        )
+        return (
+            n_ratio
+            * (self.design_wavelength_nm / wavelength_nm)
+            * self.retardance_temperature_scale()
+        )
+
+    # ------------------------------------------------- mixture nonlinearity
+
+    def mixture_fraction(self, phi, wavelength_nm: float, retardance_scale=None):
+        """Wavelength-resolved Malus mixture fraction ``m_lambda(phi)``.
+
+        Anchored-correction form (see module docstring): bitwise equal to
+        :meth:`repro.lcm.response.LCResponseModel.transmit_fraction` when
+        the total retardation ratio is exactly ``1.0``, and equal (to one
+        ulp) to ``cos^2(pi * ratio * (1 - phi) / 2)`` otherwise.
+
+        ``retardance_scale`` optionally multiplies the ratio per pixel
+        (shape ``(n_pixels, 1)`` against ``phi`` of shape
+        ``(n_pixels, n_samples)``) — the per-pixel cell-gap heterogeneity
+        drawn by :class:`repro.lcm.heterogeneity.HeterogeneityModel`.
+        """
+        xp = active_backend().xp
+        phi = xp.asarray(phi)
+        core = xp.sin(phi * (xp.pi / 2.0)) ** 2
+        ratio = self.retardation_ratio(wavelength_nm)
+        if retardance_scale is not None:
+            ratio = ratio * retardance_scale
+        relax = (1.0 - phi) * (xp.pi / 2.0)
+        corr = xp.cos(ratio * relax) ** 2 - xp.cos(relax) ** 2
+        return xp.clip(core + corr, 0.0, 1.0)

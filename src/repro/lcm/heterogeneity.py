@@ -25,6 +25,7 @@ class PixelVariation:
     gain: float
     angle_error_rad: float
     time_scale: float
+    retardance_scale: float = 1.0
 
 
 @dataclass(frozen=True)
@@ -45,12 +46,19 @@ class HeterogeneityModel:
         Std-dev of polarizer attachment error.
     speed_sigma:
         Std-dev of log response-speed spread (time-constant dilation).
+    retardance_sigma:
+        Std-dev of log cell-gap retardance spread (``delta_n * d``
+        manufacturing variation).  Defaults to 0.0 — and, critically, a
+        zero sigma draws *nothing* from the generator, so every seeded
+        build predating the dispersion layer replays its exact RNG stream
+        (the golden walls depend on this).
     """
 
     gain_sigma: float = 0.03
     lcm_gain_sigma: float = 0.10
     angle_sigma_rad: float = np.deg2rad(1.5)
     speed_sigma: float = 0.04
+    retardance_sigma: float = 0.0
 
     def sample_lcm_gain(self, rng: np.random.Generator | int | None = None) -> float:
         """Shared gain factor for one physical LCM."""
@@ -67,7 +75,18 @@ class HeterogeneityModel:
         gain = lcm_gain * float(np.exp(gen.normal(0.0, self.gain_sigma)))
         angle_err = float(gen.normal(0.0, self.angle_sigma_rad))
         speed = float(np.exp(gen.normal(0.0, self.speed_sigma)))
-        return PixelVariation(gain=gain, angle_error_rad=angle_err, time_scale=speed)
+        # Drawn only when enabled, after the three legacy draws: default
+        # models consume an unchanged RNG stream (seeded-build stability).
+        if self.retardance_sigma != 0.0:
+            retardance = float(np.exp(gen.normal(0.0, self.retardance_sigma)))
+        else:
+            retardance = 1.0
+        return PixelVariation(
+            gain=gain,
+            angle_error_rad=angle_err,
+            time_scale=speed,
+            retardance_scale=retardance,
+        )
 
     @classmethod
     def ideal(cls) -> "HeterogeneityModel":

@@ -31,6 +31,11 @@ class LCMPixel:
         effectively multiplied by this factor.
     params:
         Shared physical constants (see :class:`repro.lcm.response.LCParams`).
+    retardance_scale:
+        Cell-gap manufacturing factor on this pixel's optical retardation
+        (``delta_n * d`` spread); 1.0 is the design gap.  Only consulted by
+        the Jones/Stokes fidelity rungs — the scalar Malus path is
+        retardation-blind by construction.
     """
 
     area: float
@@ -38,6 +43,7 @@ class LCMPixel:
     gain: float = 1.0
     time_scale: float = 1.0
     params: LCParams = field(default_factory=LCParams)
+    retardance_scale: float = 1.0
 
     def __post_init__(self) -> None:
         if self.area <= 0:
@@ -46,6 +52,8 @@ class LCMPixel:
             raise ValueError("pixel gain must be positive")
         if self.time_scale <= 0:
             raise ValueError("pixel time_scale must be positive")
+        if self.retardance_scale <= 0:
+            raise ValueError("pixel retardance_scale must be positive")
 
     @property
     def basis(self) -> complex:

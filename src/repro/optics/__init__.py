@@ -15,7 +15,19 @@ from repro.optics.polarization import (
     channel_coefficient,
     constellation_rotation,
     malus_intensity,
+    mixed_pixel_intensity,
     received_intensity,
+)
+from repro.optics.polarstack import (
+    SPECTRUM_PRESETS,
+    PolarizerSpec,
+    PolarStackConfig,
+    SpectralConfig,
+    ambient_analyzer_floor,
+    depolarization_index,
+    jones_baseband,
+    spectral_amplitude,
+    stokes_baseband,
 )
 from repro.optics.retroreflector import LinkBudget
 
@@ -27,9 +39,19 @@ __all__ = [
     "LinkGeometry",
     "MOBILITY_CASES",
     "PhotodiodeModel",
+    "PolarStackConfig",
+    "PolarizerSpec",
+    "SPECTRUM_PRESETS",
+    "SpectralConfig",
+    "ambient_analyzer_floor",
     "basis_vector",
     "channel_coefficient",
     "constellation_rotation",
+    "depolarization_index",
+    "jones_baseband",
     "malus_intensity",
+    "mixed_pixel_intensity",
     "received_intensity",
+    "spectral_amplitude",
+    "stokes_baseband",
 ]

@@ -13,6 +13,22 @@ receiver basis vectors ``(cos 2theta, sin 2theta)``.  Two transmitters (or
 receivers) 45deg apart are orthogonal in this 2-D signal space — that is the
 orthogonal basis PQAM modulates on, and why a physical roll of ``dtheta``
 appears as a ``2*dtheta`` rotation of the constellation.
+
+This module is the *scalar Malus rung* of the polarization fidelity ladder
+and is frozen; the Jones/Stokes rungs live in
+:mod:`repro.optics.polarstack`.
+
+Array contracts (shared by every function here)
+-----------------------------------------------
+* Scalar or ndarray inputs are accepted; ndarray inputs may have any shape
+  and are combined under standard numpy broadcasting (a shape mismatch
+  raises numpy's broadcast ``ValueError``).
+* Inputs are converted with ``np.asarray(..., dtype=float)``; integer and
+  float32 inputs are therefore computed — and returned — in float64.
+* The return value is a python ``float`` when the broadcast result is
+  0-dimensional, else a float64 ndarray of the broadcast shape.
+* Validation is elementwise: a single out-of-range element anywhere in an
+  array input raises ``ValueError``.
 """
 
 from __future__ import annotations
@@ -24,13 +40,25 @@ __all__ = [
     "channel_coefficient",
     "constellation_rotation",
     "malus_intensity",
+    "mixed_pixel_intensity",
     "received_intensity",
 ]
 
 
-def malus_intensity(intensity: float, delta_rad: float | np.ndarray) -> float | np.ndarray:
-    """Malus's law: transmitted intensity through an analyser at ``delta``."""
-    if intensity < 0:
+def malus_intensity(
+    intensity: float | np.ndarray, delta_rad: float | np.ndarray
+) -> float | np.ndarray:
+    """Malus's law: transmitted intensity through an analyser at ``delta``.
+
+    Both arguments may be arrays (broadcast together; see the module
+    contract).  ``delta_rad`` enters only through ``cos^2`` so the output
+    is even and pi-periodic: ``delta = ±pi`` returns (to one ulp) the
+    aligned intensity, while at the crossed angles ``delta = ±pi/2`` the
+    output is not exactly zero — ``cos(pi/2)`` is ~6e-17 in IEEE double,
+    so the floor is ~4e-33 * I0 (pinned by the wrap-around tests).
+    """
+    intensity = np.asarray(intensity, dtype=float)
+    if np.any(intensity < 0):
         raise ValueError("intensity must be non-negative")
     out = intensity * np.cos(np.asarray(delta_rad, dtype=float)) ** 2
     return float(out) if np.ndim(out) == 0 else out
@@ -38,22 +66,30 @@ def malus_intensity(intensity: float, delta_rad: float | np.ndarray) -> float | 
 
 def received_intensity(
     rho: float | np.ndarray,
-    theta_t_rad: float,
-    theta_r_rad: float,
-    intensity: float = 1.0,
+    theta_t_rad: float | np.ndarray,
+    theta_r_rad: float | np.ndarray,
+    intensity: float | np.ndarray = 1.0,
 ) -> float | np.ndarray:
     """Intensity at a receiver polarizer for a mixed-polarization pixel.
 
     ``rho`` is the charged fraction: that part leaves at ``theta_t`` and the
-    rest at ``theta_t + 90deg`` (paper §4.2.1 equation).
+    rest at ``theta_t + 90deg`` (paper §4.2.1 equation).  All four arguments
+    broadcast together under the module contract.
     """
     rho = np.asarray(rho, dtype=float)
     if np.any((rho < 0) | (rho > 1)):
         raise ValueError("rho must lie in [0, 1]")
+    theta_t_rad = np.asarray(theta_t_rad, dtype=float)
     direct = malus_intensity(intensity, theta_t_rad - theta_r_rad)
     crossed = malus_intensity(intensity, theta_t_rad + np.pi / 2 - theta_r_rad)
     out = rho * direct + (1.0 - rho) * crossed
     return float(out) if np.ndim(out) == 0 else out
+
+
+# The §4.2.1 equation describes one *mixed-polarization pixel*; the name
+# ``mixed_pixel_intensity`` is the ladder-era alias of ``received_intensity``
+# (same object, same contracts).
+mixed_pixel_intensity = received_intensity
 
 
 def channel_coefficient(theta_t_rad: float | np.ndarray, theta_r_rad: float | np.ndarray):

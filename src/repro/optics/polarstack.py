@@ -1,0 +1,513 @@
+"""Jones/Stokes propagation through the polarizer -> LC cell -> retroreflector
+-> polarizer stack.
+
+The paper's SS4.2.1 model (frozen in :mod:`repro.optics.polarization` and
+:meth:`repro.lcm.response.LCResponseModel.optical_amplitude`) is the bottom
+rung of the fidelity ladder: scalar Malus-law algebra at a single wavelength
+through ideal polarizers.  This module hosts the two higher rungs:
+
+``fidelity="jones"``
+    Coherent 2x2 Jones propagation — wavelength-dependent LC retardation
+    (via :class:`repro.lcm.dispersion.LCDispersionModel`), non-ideal
+    polarizer extinction ratio, and a spectral grid (:class:`SpectralConfig`,
+    source SPD x photodiode responsivity).  Requires a non-depolarizing
+    stack (``retro_depolarization == 0``).
+
+``fidelity="stokes"``
+    Incoherent 4x4 Mueller propagation — everything above plus retroreflector
+    depolarization and partially-polarized colored ambient
+    (:func:`ambient_analyzer_floor`).
+
+Both engines share one spectral kernel, :func:`spectral_amplitude`, routed
+through the :mod:`repro.utils.backend` seam.  The kernel emits the *balanced
+differential* pixel amplitude: the reader observes
+``I(theta_r) - I(theta_r + 90deg) = s * cos(2 * (theta_p - theta_r))`` with
+
+.. math::
+    s = \\sum_k w_k \\, (2 m_k(\\phi) - 1) \\cdot C
+
+where ``m_k`` is the wavelength-resolved mixture fraction and ``C`` the
+stack contrast (tag-polarizer leakage, analyzer leakage, retroreflector
+depolarization).  The ``cos(2(theta_p - theta_r))`` geometry factor is the
+complex pixel basis already carried by :class:`repro.lcm.array.LCMArray`, so
+the engines plug into ``emit()`` without touching the receiver.
+
+Degenerate-limit contract
+-------------------------
+For a monochromatic spectrum at the design wavelength, ideal polarizers,
+zero depolarization, and nominal temperature:
+
+* every spectral weight is computed as ``x / x == 1.0``,
+* the contrast is ``(1-0)/(1+0) * (1-0) * (1-0) == 1.0``,
+* the mixture fraction is bitwise ``transmit_fraction`` (see
+  :mod:`repro.lcm.dispersion`),
+
+so ``spectral_amplitude`` reproduces, IEEE-operation for IEEE-operation,
+``LCResponseModel.optical_amplitude`` — the property pinned by
+``tests/optics/test_polarstack_equivalence.py`` with ``np.array_equal``.
+
+Explicit matrix algebra (:func:`jones_polarizer`, :func:`mueller_retarder`,
+...) is provided as the *reference* chain: slow, obviously-correct 2x2/4x4
+products that the fast kernel is tested against, in the style of the PR 2/4
+scalar references.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.lcm.dispersion import LCDispersionModel
+from repro.utils.backend import active_backend
+
+__all__ = [
+    "PolarizerSpec",
+    "SpectralConfig",
+    "SPECTRUM_PRESETS",
+    "PolarStackConfig",
+    "spectral_amplitude",
+    "jones_baseband",
+    "stokes_baseband",
+    "ambient_analyzer_floor",
+    "jones_rotation",
+    "jones_polarizer",
+    "jones_retarder",
+    "jones_to_mueller",
+    "mueller_rotation",
+    "mueller_polarizer",
+    "mueller_retarder",
+    "mueller_depolarizer",
+    "depolarization_index",
+    "jones_pixel_intensity",
+    "stokes_pixel_vector",
+    "stokes_analyzer_intensity",
+]
+
+
+# --------------------------------------------------------------------------
+# Configuration dataclasses
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PolarizerSpec:
+    """A linear polarizer with finite extinction ratio.
+
+    ``extinction_ratio`` is the power ratio between the pass and block axes
+    (``inf`` = ideal).  ``leakage`` is its reciprocal — the fraction of
+    blocked-axis power that leaks through (exactly ``0.0`` for the ideal
+    sheet, keeping the degenerate contrast arithmetic bitwise trivial).
+    """
+
+    extinction_ratio: float = math.inf
+
+    def __post_init__(self) -> None:
+        if not self.extinction_ratio >= 1.0:
+            raise ValueError("extinction ratio must be >= 1 (inf = ideal)")
+
+    @property
+    def leakage(self) -> float:
+        """Blocked-axis power leakage ``1 / extinction_ratio``."""
+        if math.isinf(self.extinction_ratio):
+            return 0.0
+        return 1.0 / self.extinction_ratio
+
+    @classmethod
+    def ideal(cls) -> "PolarizerSpec":
+        return cls()
+
+    @classmethod
+    def cheap(cls, extinction_ratio: float = 150.0) -> "PolarizerSpec":
+        """A cheap laminated film sheet (~22 dB extinction)."""
+        return cls(extinction_ratio=extinction_ratio)
+
+    @classmethod
+    def from_db(cls, extinction_db: float) -> "PolarizerSpec":
+        """Build from an extinction ratio quoted in dB (``10 log10 ER``)."""
+        if extinction_db < 0:
+            raise ValueError("extinction must be >= 0 dB")
+        return cls(extinction_ratio=10.0 ** (extinction_db / 10.0))
+
+
+@dataclass(frozen=True)
+class SpectralConfig:
+    """Detection-weighted spectral grid: source SPD x photodiode responsivity.
+
+    Contracts: the three tuples are equal-length and index-aligned;
+    wavelengths are positive nm; powers and responsivities are non-negative
+    with a positive total detected power.  :meth:`weights` returns the
+    normalised detection weights ``s_k r_k / sum(s r)`` — for a single line
+    the weight is computed as ``x / x`` and is exactly ``1.0``, which is what
+    collapses the spectral sum to a bitwise no-op in the degenerate limit.
+    """
+
+    wavelengths_nm: tuple = (550.0,)
+    source_power: tuple = (1.0,)
+    responsivity_a_w: tuple = (1.0,)
+
+    def __post_init__(self) -> None:
+        n = len(self.wavelengths_nm)
+        if len(self.source_power) != n or len(self.responsivity_a_w) != n:
+            raise ValueError("spectral grids must be equal length")
+        if n == 0:
+            raise ValueError("spectral grid must be non-empty")
+        if any(w <= 0 for w in self.wavelengths_nm):
+            raise ValueError("wavelengths must be positive")
+        if any(s < 0 for s in self.source_power) or any(
+            r < 0 for r in self.responsivity_a_w
+        ):
+            raise ValueError("powers and responsivities must be non-negative")
+        if sum(s * r for s, r in zip(self.source_power, self.responsivity_a_w)) <= 0:
+            raise ValueError("detected power must be positive")
+
+    def weights(self) -> tuple:
+        """Normalised detection weights (sum to 1; exactly ``(1.0,)`` for a
+        monochromatic grid)."""
+        raw = [s * r for s, r in zip(self.source_power, self.responsivity_a_w)]
+        total = sum(raw)
+        return tuple(x / total for x in raw)
+
+    @classmethod
+    def monochromatic(cls, wavelength_nm: float = 550.0) -> "SpectralConfig":
+        """Single line — the degenerate spectrum of the scalar Malus path."""
+        return cls(
+            wavelengths_nm=(wavelength_nm,),
+            source_power=(1.0,),
+            responsivity_a_w=(1.0,),
+        )
+
+    @classmethod
+    def led_cold_white(cls) -> "SpectralConfig":
+        """Cold-white phosphor LED: strong 450 nm pump, broad phosphor tail,
+        weighted by a silicon photodiode's rising responsivity."""
+        return cls(
+            wavelengths_nm=(450.0, 480.0, 510.0, 540.0, 570.0, 600.0, 630.0),
+            source_power=(1.0, 0.35, 0.45, 0.62, 0.68, 0.55, 0.35),
+            responsivity_a_w=(0.22, 0.27, 0.33, 0.38, 0.43, 0.48, 0.53),
+        )
+
+    @classmethod
+    def led_warm_white(cls) -> "SpectralConfig":
+        """Warm-white LED: suppressed blue pump, red-heavy phosphor."""
+        return cls(
+            wavelengths_nm=(450.0, 480.0, 510.0, 540.0, 570.0, 600.0, 630.0),
+            source_power=(0.35, 0.30, 0.45, 0.70, 0.85, 0.95, 0.80),
+            responsivity_a_w=(0.22, 0.27, 0.33, 0.38, 0.43, 0.48, 0.53),
+        )
+
+
+SPECTRUM_PRESETS = {
+    "monochromatic": SpectralConfig.monochromatic,
+    "led_cold_white": SpectralConfig.led_cold_white,
+    "led_warm_white": SpectralConfig.led_warm_white,
+}
+
+
+@dataclass(frozen=True)
+class PolarStackConfig:
+    """Full description of the tag's polarization stack for one rung.
+
+    ``retro_depolarization`` is the fraction of polarized power the
+    retroreflector scrambles per bounce (corner-cube coatings are the usual
+    culprit); it is incoherent physics and therefore only legal on the
+    Stokes rung.
+    """
+
+    spectral: SpectralConfig = field(default_factory=SpectralConfig.monochromatic)
+    tag_polarizer: PolarizerSpec = field(default_factory=PolarizerSpec)
+    reader_polarizer: PolarizerSpec = field(default_factory=PolarizerSpec)
+    dispersion: LCDispersionModel = field(default_factory=LCDispersionModel)
+    retro_depolarization: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.retro_depolarization < 1.0:
+            raise ValueError("retro_depolarization must be in [0, 1)")
+
+    def contrast(self) -> float:
+        """Wavelength-independent stack contrast on the balanced differential.
+
+        ``(1-l_t)/(1+l_t)`` is the degree of polarization out of the leaky
+        tag polarizer (per unit *detected* tag output), ``(1-l_r)`` the
+        analyzer's differential gain, ``(1-dep)`` the retroreflector's
+        polarization survival — each factor exactly ``1.0`` in the ideal
+        limit, and each matching the explicit Mueller reference chain.
+        """
+        tag = (1.0 - self.tag_polarizer.leakage) / (1.0 + self.tag_polarizer.leakage)
+        return (
+            tag
+            * (1.0 - self.reader_polarizer.leakage)
+            * (1.0 - self.retro_depolarization)
+        )
+
+    def is_degenerate(self) -> bool:
+        """True when the stack provably collapses to the scalar Malus path."""
+        return (
+            len(self.spectral.wavelengths_nm) == 1
+            and self.spectral.wavelengths_nm[0] == self.dispersion.design_wavelength_nm
+            and self.tag_polarizer.leakage == 0.0
+            and self.reader_polarizer.leakage == 0.0
+            and self.retro_depolarization == 0.0
+            and self.dispersion.temperature_c == self.dispersion.reference_temperature_c
+        )
+
+    @classmethod
+    def ideal(cls) -> "PolarStackConfig":
+        return cls()
+
+
+# --------------------------------------------------------------------------
+# Fast kernels (backend-seam routed)
+# --------------------------------------------------------------------------
+
+
+def spectral_amplitude(config: PolarStackConfig, phi, retardance_scale=None):
+    """Spectrally integrated bipolar pixel amplitude ``s`` through the stack.
+
+    ``phi`` is the LC alignment state from ``LCResponseModel.simulate``
+    (any shape; the hot path uses ``(n_pixels, n_samples)``), and
+    ``retardance_scale`` the optional per-pixel cell-gap factor (shape
+    broadcastable against ``phi``, e.g. ``(n_pixels, 1)``).  Returns
+    float64 of ``phi``'s broadcast shape, in ``[-1, 1]`` scaled by the
+    stack contrast.  In the degenerate limit this is bitwise
+    ``LCResponseModel.optical_amplitude(phi)``.
+    """
+    disp = config.dispersion
+    contrast = config.contrast()
+    acc = None
+    for wavelength, weight in zip(config.spectral.wavelengths_nm, config.spectral.weights()):
+        m = disp.mixture_fraction(phi, wavelength, retardance_scale=retardance_scale)
+        term = weight * ((2.0 * m - 1.0) * contrast)
+        acc = term if acc is None else acc + term
+    return acc
+
+
+def jones_baseband(config: PolarStackConfig, phi, weights, roll_rad=0.0, retardance_scale=None):
+    """Coherent-rung complex baseband: sum over pixels of
+    ``a_i s_i exp(2j theta_i)``, rotated by the reader roll.
+
+    ``weights`` is the array's precomputed ``amplitude x basis`` column
+    ``(n_pixels, 1)``; op order matches ``LCMArray.emit`` exactly so the
+    degenerate limit is bitwise.  The coherent rung cannot express
+    depolarization — a depolarizing stack must use :func:`stokes_baseband`.
+    """
+    if config.retro_depolarization != 0.0:
+        raise ValueError(
+            "fidelity='jones' is a coherent model; retroreflector "
+            "depolarization requires fidelity='stokes'"
+        )
+    xp = active_backend().xp
+    s = spectral_amplitude(config, phi, retardance_scale=retardance_scale)
+    u = (weights * s).sum(axis=0)
+    return u * xp.exp(2j * roll_rad)
+
+
+def stokes_baseband(config: PolarStackConfig, phi, weights, roll_rad=0.0, retardance_scale=None):
+    """Incoherent-rung complex baseband.
+
+    Identical mixing arithmetic to :func:`jones_baseband` — the Mueller
+    physics (retro depolarization, leaky-sheet degree of polarization)
+    enters through the stack contrast inside :func:`spectral_amplitude`,
+    and the ambient floor is reported separately by
+    :func:`ambient_analyzer_floor` (the balanced differential cancels the
+    unpolarized component's mean, so it does not rotate the constellation).
+    """
+    xp = active_backend().xp
+    s = spectral_amplitude(config, phi, retardance_scale=retardance_scale)
+    u = (weights * s).sum(axis=0)
+    return u * xp.exp(2j * roll_rad)
+
+
+def ambient_analyzer_floor(
+    config: PolarStackConfig,
+    analyzer_rad: float = 0.0,
+    ambient_dop: float = 0.0,
+    ambient_angle_rad: float = 0.0,
+) -> float:
+    """Mean ambient power through the reader analyzer, per unit ambient
+    intensity — the Stokes-only observable (a coherent Jones vector cannot
+    describe partially-polarized ambient).
+
+    ``ambient_dop`` is the ambient light's degree of linear polarization
+    (0 = fully unpolarized skylight/LED, 1 = fully polarized glare) at
+    polarization angle ``ambient_angle_rad``.  The spectral grid drops out
+    for a spectrally flat degree of polarization because the detection
+    weights are normalised.
+    """
+    if not 0.0 <= ambient_dop <= 1.0:
+        raise ValueError("degree of polarization must be in [0, 1]")
+    leak = config.reader_polarizer.leakage
+    s1 = ambient_dop * math.cos(2.0 * ambient_angle_rad)
+    s2 = ambient_dop * math.sin(2.0 * ambient_angle_rad)
+    proj = math.cos(2.0 * analyzer_rad) * s1 + math.sin(2.0 * analyzer_rad) * s2
+    return 0.5 * ((1.0 + leak) + (1.0 - leak) * proj)
+
+
+# --------------------------------------------------------------------------
+# Reference matrix algebra (slow, obviously correct; test substrate)
+# --------------------------------------------------------------------------
+
+
+def jones_rotation(angle_rad: float) -> np.ndarray:
+    """2x2 rotation carrying the x-axis onto ``angle_rad``."""
+    c, s = math.cos(angle_rad), math.sin(angle_rad)
+    return np.array([[c, -s], [s, c]])
+
+
+def jones_polarizer(angle_rad: float, leakage: float = 0.0) -> np.ndarray:
+    """Jones matrix of a linear polarizer with power leakage ``leakage``
+    on the blocked axis (field transmission ``sqrt(leakage)``)."""
+    rot = jones_rotation(angle_rad)
+    core = np.diag([1.0, math.sqrt(leakage)])
+    return rot @ core @ rot.T
+
+
+def jones_retarder(delta_rad: float, axis_rad: float) -> np.ndarray:
+    """Jones matrix of a linear retarder: retardance ``delta_rad`` with the
+    fast axis at ``axis_rad`` (unitary; symmetric phase convention)."""
+    rot = jones_rotation(axis_rad)
+    core = np.diag(
+        [np.exp(-0.5j * delta_rad), np.exp(0.5j * delta_rad)]
+    )
+    return rot @ core @ rot.T
+
+
+_JONES_TO_MUELLER_A = np.array(
+    [
+        [1.0, 0.0, 0.0, 1.0],
+        [1.0, 0.0, 0.0, -1.0],
+        [0.0, 1.0, 1.0, 0.0],
+        [0.0, 1.0j, -1.0j, 0.0],
+    ]
+)
+
+
+def jones_to_mueller(jones: np.ndarray) -> np.ndarray:
+    """The Mueller matrix ``A (J kron J*) A^-1`` of a Jones matrix."""
+    jones = np.asarray(jones)
+    m = _JONES_TO_MUELLER_A @ np.kron(jones, jones.conj()) @ np.linalg.inv(
+        _JONES_TO_MUELLER_A
+    )
+    return np.real_if_close(m, tol=1e6).real
+
+
+def mueller_rotation(angle_rad: float) -> np.ndarray:
+    """Mueller matrix rotating the polarization frame by ``angle_rad``
+    (acts as ``2 angle`` on the ``(s1, s2)`` block)."""
+    c, s = math.cos(2.0 * angle_rad), math.sin(2.0 * angle_rad)
+    return np.array(
+        [
+            [1.0, 0.0, 0.0, 0.0],
+            [0.0, c, -s, 0.0],
+            [0.0, s, c, 0.0],
+            [0.0, 0.0, 0.0, 1.0],
+        ]
+    )
+
+
+def mueller_polarizer(angle_rad: float, leakage: float = 0.0) -> np.ndarray:
+    """Mueller matrix of a leaky linear polarizer (pass-axis power 1,
+    block-axis power ``leakage``)."""
+    root = math.sqrt(leakage)
+    core = 0.5 * np.array(
+        [
+            [1.0 + leakage, 1.0 - leakage, 0.0, 0.0],
+            [1.0 - leakage, 1.0 + leakage, 0.0, 0.0],
+            [0.0, 0.0, 2.0 * root, 0.0],
+            [0.0, 0.0, 0.0, 2.0 * root],
+        ]
+    )
+    rot = mueller_rotation(angle_rad)
+    return rot @ core @ rot.T
+
+
+def mueller_retarder(delta_rad: float, axis_rad: float) -> np.ndarray:
+    """Mueller matrix of a linear retarder (fast axis ``axis_rad``).
+
+    Sign convention follows :func:`jones_retarder` (fast axis advanced by
+    ``exp(-i*delta/2)``), i.e. ``jones_to_mueller(jones_retarder(d, a))``
+    equals ``mueller_retarder(d, a)`` exactly.
+    """
+    c, s = math.cos(delta_rad), math.sin(delta_rad)
+    core = np.array(
+        [
+            [1.0, 0.0, 0.0, 0.0],
+            [0.0, 1.0, 0.0, 0.0],
+            [0.0, 0.0, c, -s],
+            [0.0, 0.0, s, c],
+        ]
+    )
+    rot = mueller_rotation(axis_rad)
+    return rot @ core @ rot.T
+
+
+def mueller_depolarizer(survival: float) -> np.ndarray:
+    """Isotropic partial depolarizer: keeps ``survival`` of every polarized
+    component, all of the intensity."""
+    if not 0.0 <= survival <= 1.0:
+        raise ValueError("polarization survival must be in [0, 1]")
+    return np.diag([1.0, survival, survival, survival])
+
+
+def depolarization_index(mueller: np.ndarray) -> float:
+    """Gil-Bernabeu depolarization index ``sqrt((sum M^2 - M00^2) / (3 M00^2))``:
+    1 for any Mueller-Jones (non-depolarizing) matrix, < 1 otherwise."""
+    mueller = np.asarray(mueller, dtype=float)
+    m00 = mueller[0, 0]
+    if m00 <= 0:
+        raise ValueError("Mueller matrix must have positive M00")
+    total = float(np.sum(mueller * mueller))
+    return math.sqrt(max(total - m00 * m00, 0.0) / (3.0 * m00 * m00))
+
+
+# --------------------------------------------------------------------------
+# Reference per-pixel chains (one pixel, one wavelength)
+# --------------------------------------------------------------------------
+
+
+def jones_pixel_intensity(
+    config: PolarStackConfig,
+    phi: float,
+    analyzer_rad: float,
+    wavelength_nm: float,
+    pixel_rad: float = 0.0,
+    retardance_scale: float = 1.0,
+) -> float:
+    """Reference coherent chain: unit field through an *ideal* tag polarizer
+    at ``pixel_rad``, the LC retarder at ``pixel_rad + 45deg`` with
+    retardance ``pi * ratio * (1 - phi)``, then the (leaky) reader analyzer
+    at ``analyzer_rad``.  Returns detected intensity."""
+    ratio = config.dispersion.retardation_ratio(wavelength_nm) * retardance_scale
+    delta = math.pi * ratio * (1.0 - float(phi))
+    field_in = np.array([math.cos(pixel_rad), math.sin(pixel_rad)], dtype=complex)
+    field = jones_retarder(delta, pixel_rad + math.pi / 4.0) @ field_in
+    field = jones_polarizer(analyzer_rad, config.reader_polarizer.leakage) @ field
+    return float(np.real(np.vdot(field, field)))
+
+
+def stokes_pixel_vector(
+    config: PolarStackConfig,
+    phi: float,
+    wavelength_nm: float,
+    pixel_rad: float = 0.0,
+    retardance_scale: float = 1.0,
+) -> np.ndarray:
+    """Reference incoherent chain: unpolarized unit intensity through the
+    leaky tag polarizer, the LC retarder, and the (de)polarizing
+    retroreflector.  Returns the Stokes vector arriving at the reader."""
+    ratio = config.dispersion.retardation_ratio(wavelength_nm) * retardance_scale
+    delta = math.pi * ratio * (1.0 - float(phi))
+    stokes = np.array([1.0, 0.0, 0.0, 0.0])
+    stokes = mueller_polarizer(pixel_rad, config.tag_polarizer.leakage) @ stokes
+    stokes = mueller_retarder(delta, pixel_rad + math.pi / 4.0) @ stokes
+    stokes = mueller_depolarizer(1.0 - config.retro_depolarization) @ stokes
+    return stokes
+
+
+def stokes_analyzer_intensity(
+    stokes: np.ndarray, analyzer_rad: float, leakage: float = 0.0
+) -> float:
+    """Intensity of a Stokes vector through a (leaky) analyzer."""
+    out = mueller_polarizer(analyzer_rad, leakage) @ np.asarray(stokes, dtype=float)
+    return float(out[0])

@@ -129,6 +129,14 @@ class PacketSimulator:
         Optional :class:`repro.obs.Observer`; when given, every packet
         records per-stage spans and the metric series catalogued in
         DESIGN.md §9.  ``None`` (default) is the no-op singleton.
+    fidelity / polarization:
+        Polarization rung of the *tag under test* (see
+        :class:`repro.lcm.array.LCMArray`): ``"malus"`` (default, the
+        frozen paper model), ``"jones"`` or ``"stokes"`` with an optional
+        ``PolarStackConfig``.  The reader's nominal references always
+        assume the Malus model — running a higher rung therefore measures
+        the emulation error a real reader would suffer against dispersive,
+        leaky hardware.
     rng:
         Seeds the tag's heterogeneity draw and yaw illumination spread.
     opcache:
@@ -159,6 +167,8 @@ class PacketSimulator:
         observer=None,
         rng: np.random.Generator | int | None = None,
         opcache=True,
+        fidelity: str = "malus",
+        polarization=None,
     ):
         if bank_mode not in ("trained", "nominal", "genie"):
             raise ValueError(f"unknown bank_mode {bank_mode!r}")
@@ -181,6 +191,8 @@ class PacketSimulator:
             levels_per_group=self.config.levels_per_axis,
             heterogeneity=het,
             rng=gen,
+            fidelity=fidelity,
+            polarization=polarization,
         )
         yaw_gains = link.geometry.sample_yaw_pixel_gains(self.array.n_pixels, gen)
         for pixel, g in zip(self.array.pixels, yaw_gains):
@@ -196,8 +208,15 @@ class PacketSimulator:
                 # Content keys already make stale hits impossible; this
                 # sweeps the pre-fault array's artifacts out of capacity.
                 self._opcache.invalidate(token=pre_fault_fp)
-        # Rebuild the cached amplitude vectors after mutating gains.
-        self.array = LCMArray(self.array.groups, params=self.array.params)
+        # Rebuild the cached amplitude vectors after mutating gains.  The
+        # fidelity rung rides along; params are already temperature-scaled
+        # by build(), so re-wrapping never double-scales.
+        self.array = LCMArray(
+            self.array.groups,
+            params=self.array.params,
+            fidelity=self.array.fidelity,
+            polarization=self.array.polarization,
+        )
 
         self.frame = FrameFormat(
             self.config,

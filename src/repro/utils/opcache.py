@@ -133,12 +133,21 @@ def fingerprint_array(array) -> str:
     """Fingerprint of the full physical state of an ``LCMArray``.
 
     Covers the shared :class:`~repro.lcm.response.LCParams`, the group
-    layout, and every per-pixel quantity entering synthesis (area, angle,
-    gain, time-scale, per-pixel params) — i.e. everything a fault-plan
-    hardware mutation can touch.  A mutated array therefore fingerprints
-    differently and can never alias a pre-fault cache entry.
+    layout, every per-pixel quantity entering synthesis (area, angle,
+    gain, time-scale, retardance scale, per-pixel params), and the
+    polarization fidelity rung plus its full stack configuration — i.e.
+    everything a fault-plan hardware mutation *or* a fidelity-ladder knob
+    can touch.  A mutated or re-rung array therefore fingerprints
+    differently and can never alias a stale cache entry.
+
+    The "malus" default contributes the same leading structure it always
+    did plus constant rung markers, so the fingerprint stays a pure
+    function of physical content.
     """
     parts: list[Any] = [fingerprint_params(array.params)]
+    parts.append(getattr(array, "fidelity", "malus"))
+    polarization = getattr(array, "polarization", None)
+    parts.append(fingerprint(polarization) if polarization is not None else None)
     for group in array.groups:
         parts.append((group.channel, group.index, len(group.pixels)))
         for pixel in group.pixels:
@@ -148,6 +157,7 @@ def fingerprint_array(array) -> str:
                     pixel.angle_rad,
                     pixel.gain,
                     pixel.time_scale,
+                    getattr(pixel, "retardance_scale", 1.0),
                     fingerprint_params(pixel.params),
                 )
             )

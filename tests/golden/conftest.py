@@ -47,6 +47,11 @@ def pytest_generate_tests(metafunc):
         metafunc.parametrize(
             "stream_case", names or [pytest.param(None, marks=pytest.mark.skip)]
         )
+    if "polarization_case" in metafunc.fixturenames:
+        names = [n for n, meta in manifest.items() if meta["kind"] == "polarization"]
+        metafunc.parametrize(
+            "polarization_case", names or [pytest.param(None, marks=pytest.mark.skip)]
+        )
 
 
 @pytest.fixture(scope="session")

@@ -286,6 +286,13 @@ def build_streaming_cases() -> dict[str, tuple[dict, dict]]:
     }
 
 
+def build_polarization_cases() -> dict[str, tuple[dict, dict]]:
+    """The frozen polarization-rung emits (``--polarization``)."""
+    from polarization_cases import POLARIZATION_CASES, run_case
+
+    return {name: (dict(meta), run_case(meta)) for name, meta in POLARIZATION_CASES.items()}
+
+
 def build_sweep_journals(force: bool, only: str | None = None) -> dict[str, dict]:
     """Freeze one sweep journal per grid harness (plus the fault plan).
 
@@ -340,7 +347,32 @@ def main(argv: list[str] | None = None) -> int:
         help="with --sweeps-only: freeze just this sweep case, leaving every "
         "other journal untouched",
     )
+    parser.add_argument(
+        "--polarization",
+        action="store_true",
+        help="regenerate only the polarization-rung goldens (the two emit "
+        "npz cases plus the sweep_polarization journal), merging into the "
+        "existing manifest",
+    )
     args = parser.parse_args(argv)
+
+    if args.polarization:
+        manifest = json.loads(MANIFEST.read_text()) if MANIFEST.exists() else {}
+        CASES_DIR.mkdir(parents=True, exist_ok=True)
+        for name, (meta, arrays) in build_polarization_cases().items():
+            target = CASES_DIR / f"{name}.npz"
+            if target.exists() and not args.force:
+                print(f"refusing to overwrite {target}; pass --force", file=sys.stderr)
+                return 1
+            np.savez(target, **arrays)
+            manifest[name] = meta
+            print(f"wrote {name}: {', '.join(sorted(arrays))}")
+        manifest.update(
+            build_sweep_journals(force=args.force, only="sweep_polarization")
+        )
+        MANIFEST.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {MANIFEST} ({len(manifest)} cases)")
+        return 0
 
     if args.streaming:
         manifest = json.loads(MANIFEST.read_text()) if MANIFEST.exists() else {}
@@ -376,7 +408,11 @@ def main(argv: list[str] | None = None) -> int:
 
     CASES_DIR.mkdir(parents=True, exist_ok=True)
     manifest: dict[str, dict] = {}
-    for name, (meta, arrays) in {**build_cases(), **build_streaming_cases()}.items():
+    for name, (meta, arrays) in {
+        **build_cases(),
+        **build_streaming_cases(),
+        **build_polarization_cases(),
+    }.items():
         np.savez(CASES_DIR / f"{name}.npz", **arrays)
         manifest[name] = meta
         print(f"wrote {name}: {', '.join(sorted(arrays))}")

@@ -1,0 +1,112 @@
+"""Frozen polarization-rung emit cases, shared by the generator and tests.
+
+Each case freezes the exact complex baseband a Jones/Stokes-rung tag emits
+for a seeded heterogeneous build and a seeded drive schedule.  The frozen
+``u`` is the regression wall behind which the spectral kernels can be
+rewritten; a companion guard asserts the Malus twin of each case produces a
+*different* waveform, so the wall can never silently degenerate into
+re-testing the scalar path.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+#: Case metadata (everything needed to rebuild the emit deterministically).
+#: Kept JSON-pure so it lands in the manifest as-is.
+POLARIZATION_CASES: dict[str, dict] = {
+    # A cold-white LED through ideal sheets on a warm afternoon, with
+    # per-pixel cell-gap spread: dispersion + thermal drift, no leakage.
+    "polar_cold_led_jones": {
+        "kind": "polarization",
+        "fidelity": "jones",
+        "spectrum": "led_cold_white",
+        "extinction_db": None,
+        "temperature_c": 31.0,
+        "retro_depolarization": 0.0,
+        "retardance_sigma": 0.03,
+        "build_seed": 71,
+        "drive_seed": 72,
+        "n_ticks": 40,
+        "tick_s": 0.5e-3,
+        "fs": 20e3,
+        "roll_deg": 10.0,
+    },
+    # Cheap 21 dB film both ends plus a depolarizing retroreflector under a
+    # warm-white LED: the Stokes rung's leakage/contrast path.
+    "polar_cheap_film_stokes": {
+        "kind": "polarization",
+        "fidelity": "stokes",
+        "spectrum": "led_warm_white",
+        "extinction_db": 21.0,
+        "temperature_c": 25.0,
+        "retro_depolarization": 0.08,
+        "retardance_sigma": 0.0,
+        "build_seed": 73,
+        "drive_seed": 74,
+        "n_ticks": 40,
+        "tick_s": 0.5e-3,
+        "fs": 20e3,
+        "roll_deg": 25.0,
+    },
+}
+
+
+def build_case_array(meta: dict, fidelity: str | None = None):
+    """The case's seeded tag array (``fidelity`` overrides for the
+    Malus-twin guard)."""
+    from repro.lcm.array import LCMArray
+    from repro.lcm.dispersion import LCDispersionModel
+    from repro.lcm.heterogeneity import HeterogeneityModel
+    from repro.optics.polarstack import (
+        SPECTRUM_PRESETS,
+        PolarizerSpec,
+        PolarStackConfig,
+    )
+
+    fidelity = fidelity or meta["fidelity"]
+    polarizer = (
+        PolarizerSpec.ideal()
+        if meta["extinction_db"] is None
+        else PolarizerSpec.from_db(float(meta["extinction_db"]))
+    )
+    config = PolarStackConfig(
+        spectral=SPECTRUM_PRESETS[meta["spectrum"]](),
+        tag_polarizer=polarizer,
+        reader_polarizer=polarizer,
+        dispersion=LCDispersionModel(temperature_c=float(meta["temperature_c"])),
+        retro_depolarization=float(meta["retro_depolarization"]),
+    )
+    het = HeterogeneityModel(retardance_sigma=float(meta["retardance_sigma"]))
+    return LCMArray.build(
+        2,
+        4,
+        heterogeneity=het,
+        rng=np.random.default_rng(int(meta["build_seed"])),
+        fidelity=fidelity,
+        polarization=None if fidelity == "malus" else config,
+    )
+
+
+def case_drive(meta: dict, n_pixels: int) -> np.ndarray:
+    """The case's seeded drive schedule."""
+    return (
+        np.random.default_rng(int(meta["drive_seed"]))
+        .integers(0, 2, size=(n_pixels, int(meta["n_ticks"])))
+        .astype(np.uint8)
+    )
+
+
+def run_case(meta: dict, fidelity: str | None = None) -> dict[str, np.ndarray]:
+    """Execute one case: returns the arrays the golden npz freezes."""
+    array = build_case_array(meta, fidelity=fidelity)
+    drive = case_drive(meta, array.n_pixels)
+    u = array.emit(
+        drive,
+        float(meta["tick_s"]),
+        float(meta["fs"]),
+        roll_rad=math.radians(float(meta["roll_deg"])),
+    )
+    return {"drive": drive, "u": u}

@@ -97,6 +97,17 @@ def _run_faultplan(journal):
     return SweepRunner(flaky_demo_task, journal, root_seed=7, max_retries=1).run(tasks)
 
 
+def _run_polarization(journal):
+    """All four fidelity rungs at two extinction grades (8 cells)."""
+    from repro.experiments.polarization_fidelity import polarization_fidelity_grid
+
+    return polarization_fidelity_grid(
+        extinctions_db=[20.0, 30.0],
+        root_seed=61,
+        journal=journal,
+    )
+
+
 @dataclass(frozen=True)
 class SweepCase:
     """One frozen sweep: a runner plus the manifest metadata describing it."""
@@ -129,5 +140,9 @@ SWEEP_CASES: dict[str, SweepCase] = {
     "sweep_trajectory": SweepCase(
         _run_trajectory,
         {"harness": "trajectory_study", "root_seed": 51, "n_tasks": 4},
+    ),
+    "sweep_polarization": SweepCase(
+        _run_polarization,
+        {"harness": "polarization_fidelity", "root_seed": 61, "n_tasks": 8},
     ),
 }

@@ -1,0 +1,53 @@
+"""Golden polarization-rung wall: frozen emits must replay bit-exactly.
+
+Two guarantees per frozen case (see ``polarization_cases.py``):
+
+* **replay identity** — rebuilding the seeded tag on its Jones/Stokes rung
+  and re-driving the frozen schedule reproduces the stored complex
+  baseband ``np.array_equal``-exactly;
+* **non-degeneracy guard** — the same build on the Malus rung produces a
+  *different* waveform, so the wall provably exercises the spectral
+  kernels rather than silently collapsing onto the scalar path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from polarization_cases import build_case_array, case_drive, run_case
+
+
+def test_emit_replays_bit_exact(golden, polarization_case):
+    meta = golden.load_manifest()[polarization_case]
+    frozen = golden.load_case(polarization_case)
+    fresh = run_case(meta)
+    golden.assert_arrays_equal(
+        frozen["drive"], fresh["drive"], case=polarization_case, field="drive"
+    )
+    assert np.array_equal(frozen["u"], fresh["u"]), (
+        f"{polarization_case}: replayed emit diverged from the frozen "
+        "waveform — the spectral kernels changed behaviour "
+        "(regenerate with make_goldens.py --polarization --force only if deliberate)"
+    )
+
+
+def test_malus_twin_differs(golden, polarization_case):
+    meta = golden.load_manifest()[polarization_case]
+    frozen = golden.load_case(polarization_case)
+    twin = build_case_array(meta, fidelity="malus")
+    u_twin = twin.emit(
+        case_drive(meta, twin.n_pixels),
+        float(meta["tick_s"]),
+        float(meta["fs"]),
+        roll_rad=np.deg2rad(float(meta["roll_deg"])),
+    )
+    assert not np.array_equal(frozen["u"], u_twin), (
+        f"{polarization_case}: the frozen rung waveform equals its Malus "
+        "twin — the case no longer exercises the polarization physics"
+    )
+    assert float(np.abs(frozen["u"] - u_twin).max()) > 1e-6
+
+
+def test_meta_pins_fidelity_rung(golden, polarization_case):
+    meta = golden.load_manifest()[polarization_case]
+    assert meta["fidelity"] in ("jones", "stokes")
+    assert meta["retro_depolarization"] == 0.0 or meta["fidelity"] == "stokes"

@@ -1,0 +1,223 @@
+"""Dispersion model units, heterogeneity RNG-stream stability, and the
+opcache stale-fidelity trap for the polarization ladder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.channel.link import OpticalLink
+from repro.experiments.batch import BatchRunner, GridTask
+from repro.lcm.array import LCMArray
+from repro.lcm.dispersion import CauchyDispersion, LCDispersionModel
+from repro.lcm.heterogeneity import HeterogeneityModel
+from repro.lcm.response import LCParams
+from repro.modem.config import ModemConfig
+from repro.optics.geometry import LinkGeometry
+from repro.optics.polarstack import PolarStackConfig, SpectralConfig
+from repro.phy.pipeline import PacketSimulator
+from repro.utils.opcache import OpCache, fingerprint_array
+
+FAST = ModemConfig(dsm_order=2, pqam_order=4, slot_s=2.0e-3, fs=10e3)
+
+LED_STACK = PolarStackConfig(
+    spectral=SpectralConfig.led_cold_white(),
+    dispersion=LCDispersionModel(temperature_c=31.0),
+)
+
+
+class TestCauchyDispersion:
+    def test_delta_n_decreases_with_wavelength(self):
+        cauchy = CauchyDispersion()
+        assert cauchy.delta_n(450.0) > cauchy.delta_n(550.0) > cauchy.delta_n(650.0)
+
+    def test_zero_is_flat(self):
+        flat = CauchyDispersion.zero()
+        assert flat.delta_n(450.0) == flat.delta_n(650.0)
+
+    def test_cauchy_terms(self):
+        cauchy = CauchyDispersion(a=0.2, b_um2=0.01, c_um4=0.001)
+        lam2 = 0.5**2  # 500 nm in um^2
+        assert cauchy.delta_n(500.0) == pytest.approx(0.2 + 0.01 / lam2 + 0.001 / lam2**2)
+
+
+class TestLCDispersionModel:
+    def test_ratio_exactly_one_at_design_point(self):
+        """The degenerate anchor: x/x and 1.0 - 0.0 arithmetic, not approx."""
+        model = LCDispersionModel(
+            dispersion=CauchyDispersion(a=0.123, b_um2=0.0071), design_wavelength_nm=583.0
+        )
+        assert model.retardation_ratio(583.0) == 1.0
+
+    def test_ratio_grows_toward_blue(self):
+        model = LCDispersionModel()
+        assert model.retardation_ratio(450.0) > 1.0 > model.retardation_ratio(650.0)
+
+    def test_retardation_scales_with_thickness(self):
+        thin = LCDispersionModel(thickness_um=2.0)
+        thick = LCDispersionModel(thickness_um=4.0)
+        assert thick.retardation_rad(550.0) == pytest.approx(2 * thin.retardation_rad(550.0))
+
+    def test_tau_scale_is_exactly_one_at_reference(self):
+        assert LCDispersionModel().tau_scale() == 1.0
+
+    def test_scaled_params_identity_object_at_reference(self):
+        """At nominal temperature the params pass through *unchanged* —
+        same object, so no float churn can move goldens."""
+        base = LCParams()
+        assert LCDispersionModel().scaled_params(base) is base
+
+    def test_warm_cell_switches_faster(self):
+        base = LCParams()
+        warm = LCDispersionModel(temperature_c=35.0).scaled_params(base)
+        assert warm.tau_charge < base.tau_charge
+        assert warm.tau_discharge < base.tau_discharge
+
+    def test_cold_cell_switches_slower(self):
+        base = LCParams()
+        cold = LCDispersionModel(temperature_c=10.0).scaled_params(base)
+        assert cold.tau_charge > base.tau_charge
+
+    def test_retardance_temperature_scale(self):
+        model = LCDispersionModel(temperature_c=35.0, retardance_drift_per_c=0.002)
+        assert model.retardance_temperature_scale() == pytest.approx(1.0 - 0.002 * 10.0)
+
+    def test_mixture_fraction_degenerate_matches_transmit_fraction(self):
+        from repro.lcm.response import LCResponseModel
+
+        model = LCDispersionModel()
+        phi = np.linspace(0.0, 1.0, 21)
+        assert np.array_equal(
+            model.mixture_fraction(phi, 550.0), LCResponseModel.transmit_fraction(phi)
+        )
+
+    def test_mixture_fraction_bounded_off_design(self):
+        model = LCDispersionModel()
+        phi = np.linspace(0.0, 1.0, 21)
+        for lam in (450.0, 500.0, 620.0):
+            out = np.asarray(model.mixture_fraction(phi, lam))
+            assert np.all(out >= 0.0) and np.all(out <= 1.0)
+
+
+class TestHeterogeneityStream:
+    """Seeded builds predating the ladder must replay bit-identical draws."""
+
+    def test_default_draws_exactly_three_normals(self):
+        het = HeterogeneityModel()
+        var = het.sample_pixel(np.random.default_rng(42))
+        gen = np.random.default_rng(42)
+        gain = float(np.exp(gen.normal(0.0, het.gain_sigma)))
+        angle = float(gen.normal(0.0, het.angle_sigma_rad))
+        speed = float(np.exp(gen.normal(0.0, het.speed_sigma)))
+        assert var.gain == gain
+        assert var.angle_error_rad == angle
+        assert var.time_scale == speed
+        assert var.retardance_scale == 1.0
+
+    def test_default_stream_position_unchanged(self):
+        """After a default draw the generator sits exactly where the
+        pre-ladder code left it."""
+        gen_a = np.random.default_rng(7)
+        HeterogeneityModel().sample_pixel(gen_a)
+        gen_b = np.random.default_rng(7)
+        gen_b.normal(size=3)
+        assert gen_a.normal() == gen_b.normal()
+
+    def test_enabled_sigma_draws_fourth_deterministically(self):
+        het = HeterogeneityModel(retardance_sigma=0.05)
+        var_a = het.sample_pixel(np.random.default_rng(9))
+        var_b = het.sample_pixel(np.random.default_rng(9))
+        assert var_a.retardance_scale == var_b.retardance_scale
+        assert var_a.retardance_scale != 1.0
+        # the three legacy draws are untouched by the extra one
+        legacy = HeterogeneityModel().sample_pixel(np.random.default_rng(9))
+        assert var_a.gain == legacy.gain
+        assert var_a.angle_error_rad == legacy.angle_error_rad
+        assert var_a.time_scale == legacy.time_scale
+
+    def test_build_with_sigma_varies_pixels(self):
+        het = HeterogeneityModel(retardance_sigma=0.05)
+        array = LCMArray.build(2, 4, heterogeneity=het, rng=3, fidelity="jones")
+        scales = [p.retardance_scale for p in array.pixels]
+        assert len(set(scales)) > 1
+
+
+def _dispersion_cell(task, rng):
+    """Module-level so ``BatchRunner`` can pickle it into pool workers."""
+    fidelity = "malus" if task.scheme == "malus" else "jones"
+    sim = PacketSimulator(
+        config=FAST,
+        link=OpticalLink(geometry=LinkGeometry(distance_m=task.x)),
+        payload_bytes=8,
+        bank_mode="nominal",
+        rng=rng,
+        fidelity=fidelity,
+        polarization=LED_STACK if fidelity == "jones" else None,
+    )
+    m = sim.measure_ber(n_packets=2, rng=rng)
+    return {"ber": m.ber, "errs": m.n_bit_errors}
+
+
+class TestDispersiveBatchDeterminism:
+    def test_serial_equals_pooled(self):
+        tasks = [
+            GridTask(scheme=s, x=d) for s in ("malus", "jones") for d in (2.0, 4.0)
+        ]
+        serial = BatchRunner(_dispersion_cell, n_workers=1, root_seed=5).run(tasks)
+        pooled = BatchRunner(_dispersion_cell, n_workers=2, root_seed=5).run(tasks)
+        assert serial == pooled
+
+
+class TestOpcacheFidelityTrap:
+    def _sim(self, fidelity="malus", polarization=None, opcache=False):
+        return PacketSimulator(
+            config=FAST,
+            link=OpticalLink(geometry=LinkGeometry(distance_m=2.0)),
+            payload_bytes=8,
+            bank_mode="nominal",
+            rng=7,
+            fidelity=fidelity,
+            polarization=polarization,
+            opcache=opcache,
+        )
+
+    def test_fingerprint_distinguishes_fidelity_rungs(self):
+        malus = self._sim()
+        jones = self._sim(fidelity="jones", polarization=LED_STACK)
+        assert fingerprint_array(malus.array) != fingerprint_array(jones.array)
+
+    def test_fingerprint_sees_retardance_scale(self):
+        het = HeterogeneityModel(retardance_sigma=0.05)
+        a = LCMArray.build(2, 4, heterogeneity=HeterogeneityModel(), rng=3)
+        b = LCMArray.build(2, 4, heterogeneity=het, rng=3, fidelity="jones")
+        assert fingerprint_array(a) != fingerprint_array(b)
+
+    def test_fidelity_switch_never_reuses_stale_artifacts(self):
+        """The stale-cache trap: a cached Jones run after a cached Malus
+        run must equal a cache-free Jones run bit-for-bit."""
+        cache = OpCache()
+        self._sim(opcache=cache).measure_ber(n_packets=2, rng=9)
+        a = self._sim(fidelity="jones", polarization=LED_STACK, opcache=cache).measure_ber(
+            n_packets=2, rng=9
+        )
+        b = self._sim(fidelity="jones", polarization=LED_STACK, opcache=False).measure_ber(
+            n_packets=2, rng=9
+        )
+        assert a.ber == b.ber
+        assert a.n_bit_errors == b.n_bit_errors
+        assert a.mean_snr_est_db == b.mean_snr_est_db
+
+    def test_cached_dispersive_run_bit_identical(self):
+        cache = OpCache()
+        a = self._sim(fidelity="stokes", polarization=LED_STACK, opcache=cache).measure_ber(
+            n_packets=2, rng=11
+        )
+        c = self._sim(fidelity="stokes", polarization=LED_STACK, opcache=cache).measure_ber(
+            n_packets=2, rng=11
+        )
+        assert cache.hits > 0
+        b = self._sim(fidelity="stokes", polarization=LED_STACK, opcache=False).measure_ber(
+            n_packets=2, rng=11
+        )
+        assert a.ber == b.ber == c.ber
+        assert a.n_bit_errors == b.n_bit_errors == c.n_bit_errors

@@ -9,6 +9,7 @@ from repro.optics.polarization import (
     channel_coefficient,
     constellation_rotation,
     malus_intensity,
+    mixed_pixel_intensity,
     received_intensity,
 )
 
@@ -33,6 +34,86 @@ class TestMalus:
     def test_bounded(self, delta):
         out = malus_intensity(1.0, delta)
         assert 0.0 <= out <= 1.0
+
+
+class TestMalusArrayContract:
+    """Satellite: dtype/shape contracts and wrap-around for array inputs."""
+
+    def test_array_delta_returns_float64_array(self):
+        out = malus_intensity(1.0, np.array([0.0, np.pi / 4], dtype=np.float32))
+        assert isinstance(out, np.ndarray)
+        assert out.dtype == np.float64
+        np.testing.assert_allclose(out, [1.0, 0.5], atol=1e-7)
+
+    def test_scalar_broadcast_returns_python_float(self):
+        out = malus_intensity(2, np.float32(0.0))
+        assert isinstance(out, float)
+        assert out == pytest.approx(2.0)
+
+    def test_intensity_array_validated_elementwise(self):
+        with pytest.raises(ValueError):
+            malus_intensity(np.array([1.0, -0.5, 2.0]), 0.0)
+
+    def test_intensity_and_delta_broadcast(self):
+        intensity = np.array([[1.0], [2.0]])       # (2, 1)
+        delta = np.array([0.0, np.pi / 4, np.pi])  # (3,)
+        out = malus_intensity(intensity, delta)
+        assert out.shape == (2, 3)
+        np.testing.assert_allclose(out[1], [2.0, 1.0, 2.0], atol=1e-12)
+
+    def test_broadcast_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            malus_intensity(np.ones(3), np.zeros(4))
+
+    def test_wraparound_pm_pi_matches_aligned(self):
+        """cos^2 is pi-periodic: ±pi returns the aligned intensity."""
+        deltas = np.array([np.pi, -np.pi])
+        np.testing.assert_allclose(malus_intensity(1.0, deltas), 1.0, atol=1e-12)
+
+    def test_crossed_pm_pi_over_2_hits_ieee_floor(self):
+        """±pi/2 is crossed: not exactly zero (cos(pi/2) ~ 6e-17), but
+        below the documented ~4e-33 * I0 floor."""
+        out = malus_intensity(1.0, np.array([np.pi / 2, -np.pi / 2]))
+        assert np.all(out > 0.0)
+        assert np.all(out < 1e-32)
+
+    @given(angles)
+    def test_even_in_delta(self, delta):
+        assert malus_intensity(1.0, delta) == malus_intensity(1.0, -delta)
+
+    def test_mixed_pixel_intensity_is_received_intensity(self):
+        """The §4.2.1 alias is the same object, not a lookalike."""
+        assert mixed_pixel_intensity is received_intensity
+
+
+class TestReceivedIntensityArrayContract:
+    """Satellite: broadcast shapes through the mixed-pixel equation."""
+
+    def test_rho_grid_against_theta_grid(self):
+        rho = np.linspace(0.0, 1.0, 4)[:, None]   # (4, 1)
+        tt = np.array([0.0, np.pi / 8, np.pi / 4])  # (3,)
+        out = received_intensity(rho, tt, 0.0)
+        assert out.shape == (4, 3)
+        scalar = received_intensity(float(rho[2, 0]), float(tt[1]), 0.0)
+        assert out[2, 1] == scalar
+
+    def test_wraparound_theta_pm_pi(self):
+        """Polarizers are headless: theta_t ± pi is the same physical sheet."""
+        rho, tr = 0.3, 0.2
+        base = received_intensity(rho, 0.1, tr)
+        for shifted in (0.1 + np.pi, 0.1 - np.pi):
+            assert received_intensity(rho, shifted, tr) == pytest.approx(
+                base, abs=1e-12
+            )
+
+    def test_rho_array_validated_elementwise(self):
+        with pytest.raises(ValueError):
+            received_intensity(np.array([0.2, 1.4]), 0.0, 0.0)
+
+    def test_integer_inputs_promote_to_float64(self):
+        out = received_intensity(np.array([0, 1]), 0, 0, intensity=2)
+        assert out.dtype == np.float64
+        np.testing.assert_allclose(out, [0.0, 2.0], atol=1e-12)
 
 
 class TestReceivedIntensity:

@@ -1,0 +1,221 @@
+"""Unit tests for the polarizer-stack configuration layer and kernels."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.lcm.dispersion import CauchyDispersion, LCDispersionModel
+from repro.lcm.response import LCResponseModel
+from repro.optics.polarstack import (
+    SPECTRUM_PRESETS,
+    PolarizerSpec,
+    PolarStackConfig,
+    SpectralConfig,
+    ambient_analyzer_floor,
+    jones_baseband,
+    jones_polarizer,
+    jones_rotation,
+    jones_to_mueller,
+    mueller_polarizer,
+    mueller_rotation,
+    spectral_amplitude,
+    stokes_baseband,
+)
+
+
+class TestPolarizerSpec:
+    def test_ideal_has_zero_leakage(self):
+        spec = PolarizerSpec.ideal()
+        assert spec.extinction_ratio == math.inf
+        assert spec.leakage == 0.0
+
+    def test_leakage_is_inverse_extinction(self):
+        assert PolarizerSpec(extinction_ratio=200.0).leakage == pytest.approx(0.005)
+
+    def test_cheap_default(self):
+        assert PolarizerSpec.cheap().extinction_ratio == pytest.approx(150.0)
+
+    def test_from_db(self):
+        spec = PolarizerSpec.from_db(30.0)
+        assert spec.extinction_ratio == pytest.approx(1000.0)
+        assert spec.leakage == pytest.approx(1e-3)
+
+    def test_from_db_zero_is_no_polarizer(self):
+        assert PolarizerSpec.from_db(0.0).leakage == pytest.approx(1.0)
+
+    def test_invalid_extinction_rejected(self):
+        with pytest.raises(ValueError):
+            PolarizerSpec(extinction_ratio=0.5)
+        with pytest.raises(ValueError):
+            PolarizerSpec.from_db(-3.0)
+
+
+class TestSpectralConfig:
+    def test_monochromatic_weight_is_exactly_one(self):
+        assert SpectralConfig.monochromatic(520.0).weights() == (1.0,)
+
+    def test_weights_normalised(self):
+        for name, factory in SPECTRUM_PRESETS.items():
+            weights = factory().weights()
+            assert sum(weights) == pytest.approx(1.0), name
+            assert all(w > 0 for w in weights), name
+
+    def test_led_presets_span_visible(self):
+        cold = SpectralConfig.led_cold_white()
+        assert len(cold.wavelengths_nm) == 7
+        assert min(cold.wavelengths_nm) >= 400.0
+        assert max(cold.wavelengths_nm) <= 700.0
+
+    def test_warm_led_redder_than_cold(self):
+        def mean_nm(cfg):
+            return sum(w * lam for w, lam in zip(cfg.weights(), cfg.wavelengths_nm))
+
+        assert mean_nm(SpectralConfig.led_warm_white()) > mean_nm(
+            SpectralConfig.led_cold_white()
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SpectralConfig(wavelengths_nm=(550.0, 600.0), source_power=(1.0,))
+        with pytest.raises(ValueError):
+            SpectralConfig(wavelengths_nm=(), source_power=(), responsivity_a_w=())
+        with pytest.raises(ValueError):
+            SpectralConfig(wavelengths_nm=(-5.0,), source_power=(1.0,), responsivity_a_w=(1.0,))
+        with pytest.raises(ValueError):
+            SpectralConfig(wavelengths_nm=(550.0,), source_power=(0.0,), responsivity_a_w=(1.0,))
+
+
+class TestPolarStackConfig:
+    def test_default_is_degenerate(self):
+        config = PolarStackConfig()
+        assert config.is_degenerate()
+        assert config.contrast() == 1.0
+
+    def test_ideal_factory(self):
+        assert PolarStackConfig.ideal().is_degenerate()
+
+    def test_leaky_polarizer_breaks_degeneracy(self):
+        config = PolarStackConfig(tag_polarizer=PolarizerSpec.cheap())
+        assert not config.is_degenerate()
+        assert config.contrast() < 1.0
+
+    def test_led_spectrum_breaks_degeneracy(self):
+        assert not PolarStackConfig(spectral=SpectralConfig.led_cold_white()).is_degenerate()
+
+    def test_off_design_monochromatic_breaks_degeneracy(self):
+        config = PolarStackConfig(spectral=SpectralConfig.monochromatic(480.0))
+        assert not config.is_degenerate()
+
+    def test_temperature_breaks_degeneracy(self):
+        config = PolarStackConfig(dispersion=LCDispersionModel(temperature_c=33.0))
+        assert not config.is_degenerate()
+
+    def test_contrast_formula(self):
+        config = PolarStackConfig(
+            tag_polarizer=PolarizerSpec(extinction_ratio=100.0),
+            reader_polarizer=PolarizerSpec(extinction_ratio=50.0),
+            retro_depolarization=0.1,
+        )
+        lt, lr = 0.01, 0.02
+        expected = (1.0 - lt) / (1.0 + lt) * (1.0 - lr) * (1.0 - 0.1)
+        assert config.contrast() == pytest.approx(expected)
+
+    def test_depolarization_bounds(self):
+        with pytest.raises(ValueError):
+            PolarStackConfig(retro_depolarization=1.0)
+        with pytest.raises(ValueError):
+            PolarStackConfig(retro_depolarization=-0.1)
+
+
+class TestKernels:
+    def test_spectral_amplitude_bounded(self):
+        config = PolarStackConfig(
+            spectral=SpectralConfig.led_warm_white(),
+            tag_polarizer=PolarizerSpec.cheap(),
+            retro_depolarization=0.05,
+        )
+        phi = np.linspace(0.0, 1.0, 33).reshape(3, 11)
+        out = np.asarray(spectral_amplitude(config, phi))
+        assert out.shape == phi.shape
+        assert np.all(out >= -1.0) and np.all(out <= 1.0)
+
+    def test_degenerate_kernel_is_optical_amplitude(self):
+        phi = np.linspace(0.0, 1.0, 17)[None, :]
+        out = spectral_amplitude(PolarStackConfig(), phi)
+        assert np.array_equal(out, LCResponseModel.optical_amplitude(phi))
+
+    def test_contrast_scales_swing(self):
+        config = PolarStackConfig(retro_depolarization=0.2)
+        phi = np.array([[0.0, 1.0]])
+        out = np.asarray(spectral_amplitude(config, phi))
+        # phi=1 is fully driven (amplitude +1 scaled), phi=0 fully relaxed
+        assert out[0, 1] == pytest.approx(config.contrast())
+        assert out[0, 0] == pytest.approx(-config.contrast())
+
+    def test_jones_baseband_rejects_depolarization(self):
+        config = PolarStackConfig(retro_depolarization=0.1)
+        phi = np.zeros((2, 4))
+        weights = np.ones((2, 1), dtype=complex)
+        with pytest.raises(ValueError):
+            jones_baseband(config, phi, weights)
+        # the Stokes rung models it fine
+        stokes_baseband(config, phi, weights)
+
+    def test_baseband_applies_roll(self):
+        config = PolarStackConfig()
+        phi = np.random.default_rng(0).uniform(0, 1, size=(3, 8))
+        weights = np.ones((3, 1), dtype=complex)
+        base = stokes_baseband(config, phi, weights, roll_rad=0.0)
+        rolled = stokes_baseband(config, phi, weights, roll_rad=0.25)
+        np.testing.assert_allclose(rolled, base * np.exp(2j * 0.25), atol=1e-12)
+
+
+class TestAmbientFloor:
+    def test_ideal_analyzer_unpolarized_ambient_halves(self):
+        config = PolarStackConfig()
+        assert ambient_analyzer_floor(config) == pytest.approx(0.5)
+
+    def test_leaky_analyzer_raises_floor(self):
+        leaky = PolarStackConfig(reader_polarizer=PolarizerSpec(extinction_ratio=10.0))
+        assert ambient_analyzer_floor(leaky) > ambient_analyzer_floor(PolarStackConfig())
+
+    def test_polarized_ambient_projects(self):
+        config = PolarStackConfig()
+        aligned = ambient_analyzer_floor(config, ambient_dop=1.0, ambient_angle_rad=0.0)
+        crossed = ambient_analyzer_floor(
+            config, ambient_dop=1.0, ambient_angle_rad=math.pi / 2
+        )
+        assert aligned == pytest.approx(1.0)
+        assert crossed == pytest.approx(0.0, abs=1e-12)
+
+    def test_dop_validated(self):
+        with pytest.raises(ValueError):
+            ambient_analyzer_floor(PolarStackConfig(), ambient_dop=1.5)
+
+
+class TestMatrixHelpers:
+    def test_jones_rotation_orthogonal(self):
+        r = jones_rotation(0.7)
+        np.testing.assert_allclose(r @ r.T, np.eye(2), atol=1e-12)
+
+    def test_jones_polarizer_idempotent_when_ideal(self):
+        p = jones_polarizer(0.3)
+        np.testing.assert_allclose(p @ p, p, atol=1e-12)
+
+    def test_mueller_rotation_preserves_intensity_and_s3(self):
+        m = mueller_rotation(1.1)
+        s = np.array([2.0, 0.5, -0.3, 0.7])
+        out = m @ s
+        assert out[0] == pytest.approx(2.0)
+        assert out[3] == pytest.approx(0.7)
+
+    def test_crossed_ideal_polarizers_extinguish(self):
+        m = mueller_polarizer(math.pi / 2) @ mueller_polarizer(0.0)
+        out = m @ np.array([1.0, 0.0, 0.0, 0.0])
+        np.testing.assert_allclose(out, 0.0, atol=1e-12)
+
+    def test_jones_to_mueller_of_rotation_is_mueller_rotation(self):
+        np.testing.assert_allclose(
+            jones_to_mueller(jones_rotation(0.4)), mueller_rotation(0.4), atol=1e-12
+        )

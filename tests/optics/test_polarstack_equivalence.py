@@ -1,0 +1,318 @@
+"""The Malus-limit equivalence wall for the polarization fidelity ladder.
+
+Three families of properties, in the style of the PR 2/4/9 reference walls:
+
+1. **Degenerate-limit bit-identity** — for a monochromatic spectrum at the
+   design wavelength, ideal polarizers, zero depolarization, and nominal
+   temperature, the Jones and Stokes engines reduce *bit-identically*
+   (``np.array_equal``, not allclose) to the frozen scalar Malus path —
+   across random dispersion curves, cell thicknesses, design wavelengths,
+   alignment states, and rolls.  This is the contract that lets the ladder
+   default to ``fidelity="malus"`` without moving a single golden byte.
+
+2. **Mueller physicality** — random products of stack elements never gain
+   energy, never create polarization from nothing, and keep the
+   Gil-Bernabeu depolarization index in [0, 1] (exactly 1 for any
+   Jones-derived element).
+
+3. **Reference-chain agreement** — the fast spectral kernel equals the
+   slow, obviously-correct 2x2/4x4 matrix chains at non-degenerate
+   configurations (the same fast==reference discipline the DFE and
+   LinkStateStore engines follow).
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lcm.array import LCMArray
+from repro.lcm.dispersion import CauchyDispersion, LCDispersionModel
+from repro.lcm.heterogeneity import HeterogeneityModel
+from repro.lcm.response import LCResponseModel
+from repro.optics.polarstack import (
+    PolarizerSpec,
+    PolarStackConfig,
+    SpectralConfig,
+    depolarization_index,
+    jones_baseband,
+    jones_pixel_intensity,
+    jones_polarizer,
+    jones_retarder,
+    jones_to_mueller,
+    mueller_depolarizer,
+    mueller_polarizer,
+    mueller_retarder,
+    mueller_rotation,
+    spectral_amplitude,
+    stokes_analyzer_intensity,
+    stokes_baseband,
+    stokes_pixel_vector,
+)
+
+angles = st.floats(min_value=-np.pi, max_value=np.pi)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+# Random retardation physics that must all cancel in the degenerate limit:
+# the Cauchy curve, the cell gap, and the design wavelength are arbitrary —
+# the ratio Gamma(lambda0)/Gamma(lambda0) is computed as x/x.
+cauchy_a = st.floats(min_value=0.05, max_value=0.3)
+cauchy_b = st.floats(min_value=0.0, max_value=0.02)
+cauchy_c = st.floats(min_value=0.0, max_value=0.002)
+thicknesses = st.floats(min_value=2.0, max_value=10.0)
+design_wavelengths = st.floats(min_value=400.0, max_value=700.0)
+
+
+def degenerate_config(a, b, c, thickness, wavelength) -> PolarStackConfig:
+    """A degenerate-limit stack with *random* retardation physics."""
+    return PolarStackConfig(
+        spectral=SpectralConfig.monochromatic(wavelength),
+        tag_polarizer=PolarizerSpec.ideal(),
+        reader_polarizer=PolarizerSpec.ideal(),
+        dispersion=LCDispersionModel(
+            dispersion=CauchyDispersion(a=a, b_um2=b, c_um4=c),
+            thickness_um=thickness,
+            design_wavelength_nm=wavelength,
+        ),
+        retro_depolarization=0.0,
+    )
+
+
+class TestDegenerateBitIdentity:
+    """Family 1: np.array_equal against the frozen scalar path."""
+
+    @given(cauchy_a, cauchy_b, cauchy_c, thicknesses, design_wavelengths, seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_kernel_bitwise_equals_optical_amplitude(
+        self, a, b, c, thickness, wavelength, seed
+    ):
+        config = degenerate_config(a, b, c, thickness, wavelength)
+        assert config.is_degenerate()
+        phi = np.random.default_rng(seed).uniform(0.0, 1.0, size=(6, 40))
+        expected = LCResponseModel.optical_amplitude(phi)
+        scales = np.ones((6, 1))
+        assert np.array_equal(spectral_amplitude(config, phi, retardance_scale=scales), expected)
+        assert np.array_equal(spectral_amplitude(config, phi), expected)
+
+    @given(cauchy_a, cauchy_b, cauchy_c, thicknesses, design_wavelengths, seeds, angles)
+    @settings(max_examples=25, deadline=None)
+    def test_jones_and_stokes_baseband_bitwise(
+        self, a, b, c, thickness, wavelength, seed, roll
+    ):
+        config = degenerate_config(a, b, c, thickness, wavelength)
+        gen = np.random.default_rng(seed)
+        phi = gen.uniform(0.0, 1.0, size=(5, 32))
+        weights = (
+            gen.uniform(0.1, 1.0, size=5)[:, None]
+            * np.exp(2j * gen.uniform(-np.pi, np.pi, size=5))[:, None]
+        )
+        scales = np.ones((5, 1))
+        s = LCResponseModel.optical_amplitude(phi)
+        expected = (weights * s).sum(axis=0) * np.exp(2j * roll)
+        got_j = jones_baseband(config, phi, weights, roll_rad=roll, retardance_scale=scales)
+        got_s = stokes_baseband(config, phi, weights, roll_rad=roll, retardance_scale=scales)
+        assert np.array_equal(got_j, expected)
+        assert np.array_equal(got_s, expected)
+
+    @given(seeds, angles, st.sampled_from(["jones", "stokes"]))
+    @settings(max_examples=15, deadline=None)
+    def test_emit_bitwise_under_default_ideal_stack(self, seed, roll, fidelity):
+        """End-to-end LCMArray.emit: fidelity rung vs the Malus twin, same
+        seeded heterogeneous hardware, bit-identical in the ideal limit."""
+        het = HeterogeneityModel()
+        malus = LCMArray.build(2, 4, heterogeneity=het, rng=np.random.default_rng(seed))
+        rung = LCMArray.build(
+            2, 4, heterogeneity=het, rng=np.random.default_rng(seed), fidelity=fidelity
+        )
+        drive = np.random.default_rng(seed + 1).integers(
+            0, 2, size=(malus.n_pixels, 24)
+        ).astype(np.uint8)
+        u_malus = malus.emit(drive, 5e-4, 2e4, roll_rad=roll)
+        u_rung = rung.emit(drive, 5e-4, 2e4, roll_rad=roll)
+        assert np.array_equal(u_malus, u_rung)
+
+    @given(cauchy_a, cauchy_b, cauchy_c, thicknesses, design_wavelengths, seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_emit_bitwise_under_random_degenerate_stack(
+        self, a, b, c, thickness, wavelength, seed
+    ):
+        config = degenerate_config(a, b, c, thickness, wavelength)
+        malus = LCMArray.build(2, 4, rng=np.random.default_rng(seed))
+        rung = LCMArray.build(
+            2, 4, rng=np.random.default_rng(seed), fidelity="jones", polarization=config
+        )
+        drive = np.random.default_rng(seed + 1).integers(
+            0, 2, size=(malus.n_pixels, 16)
+        ).astype(np.uint8)
+        assert np.array_equal(
+            malus.emit(drive, 5e-4, 2e4), rung.emit(drive, 5e-4, 2e4)
+        )
+
+    def test_return_state_rides_along_unchanged(self):
+        malus = LCMArray.build(2, 4, rng=3)
+        rung = LCMArray.build(2, 4, rng=3, fidelity="stokes")
+        drive = np.random.default_rng(4).integers(0, 2, size=(malus.n_pixels, 12)).astype(np.uint8)
+        u_m, (phi_m, psi_m) = malus.emit(drive, 5e-4, 2e4, return_state=True)
+        u_r, (phi_r, psi_r) = rung.emit(drive, 5e-4, 2e4, return_state=True)
+        assert np.array_equal(u_m, u_r)
+        assert np.array_equal(phi_m, phi_r)
+        assert np.array_equal(psi_m, psi_r)
+
+    def test_non_degenerate_rungs_actually_diverge(self):
+        """Guard against an inert stack: the LED rung must move the bits."""
+        config = PolarStackConfig(spectral=SpectralConfig.led_cold_white())
+        malus = LCMArray.build(2, 4, rng=5)
+        rung = LCMArray.build(2, 4, rng=5, fidelity="jones", polarization=config)
+        drive = np.random.default_rng(6).integers(0, 2, size=(malus.n_pixels, 24)).astype(np.uint8)
+        u_m = malus.emit(drive, 5e-4, 2e4)
+        u_r = rung.emit(drive, 5e-4, 2e4)
+        assert not np.array_equal(u_m, u_r)
+        assert float(np.abs(u_m - u_r).max()) > 1e-3
+
+
+class TestMuellerPhysicality:
+    """Family 2: random stacks obey passivity and the index bounds."""
+
+    @staticmethod
+    def _random_stack(gen: np.random.Generator) -> np.ndarray:
+        m = np.eye(4)
+        for _ in range(gen.integers(1, 6)):
+            kind = gen.integers(0, 4)
+            if kind == 0:
+                m = mueller_rotation(gen.uniform(-np.pi, np.pi)) @ m
+            elif kind == 1:
+                m = mueller_polarizer(gen.uniform(-np.pi, np.pi), gen.uniform(0.0, 0.2)) @ m
+            elif kind == 2:
+                m = mueller_retarder(gen.uniform(0, 2 * np.pi), gen.uniform(-np.pi, np.pi)) @ m
+            else:
+                m = mueller_depolarizer(gen.uniform(0.0, 1.0)) @ m
+        return m
+
+    @staticmethod
+    def _random_physical_stokes(gen: np.random.Generator) -> np.ndarray:
+        s0 = gen.uniform(0.1, 2.0)
+        dop = gen.uniform(0.0, 1.0)
+        direction = gen.normal(size=3)
+        direction /= np.linalg.norm(direction)
+        return np.concatenate([[s0], s0 * dop * direction])
+
+    @given(seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_energy_non_gain(self, seed):
+        gen = np.random.default_rng(seed)
+        m = self._random_stack(gen)
+        s = self._random_physical_stokes(gen)
+        out = m @ s
+        assert out[0] <= s[0] * (1.0 + 1e-9)
+        # output stays physical: polarized magnitude bounded by intensity
+        assert np.linalg.norm(out[1:]) <= out[0] * (1.0 + 1e-9) + 1e-12
+
+    @given(seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_depolarization_index_in_unit_interval(self, seed):
+        m = self._random_stack(np.random.default_rng(seed))
+        if m[0, 0] <= 1e-12:
+            pytest.skip("stack extinguished the beam")
+        assert -1e-9 <= depolarization_index(m) <= 1.0 + 1e-9
+
+    @given(angles, st.floats(min_value=0.0, max_value=0.3), st.floats(min_value=0.0, max_value=2 * np.pi))
+    @settings(max_examples=40, deadline=None)
+    def test_jones_derived_elements_have_unit_index(self, angle, leak, delta):
+        assert depolarization_index(mueller_polarizer(angle, leak)) == pytest.approx(1.0, abs=1e-9)
+        assert depolarization_index(mueller_retarder(delta, angle)) == pytest.approx(1.0, abs=1e-9)
+
+    @given(st.floats(min_value=1e-6, max_value=1.0))
+    def test_depolarizer_index_is_survival(self, survival):
+        # survival below ~1e-8 underflows the Gil-Bernabeu subtraction
+        # (3p^2 < ulp(1.0)); that region is physically meaningless anyway.
+        assert depolarization_index(mueller_depolarizer(survival)) == pytest.approx(
+            survival, abs=1e-9
+        )
+
+    @given(angles, st.floats(min_value=0.0, max_value=0.3), st.floats(min_value=0.0, max_value=2 * np.pi))
+    @settings(max_examples=40, deadline=None)
+    def test_jones_to_mueller_matches_direct_mueller(self, angle, leak, delta):
+        np.testing.assert_allclose(
+            jones_to_mueller(jones_polarizer(angle, leak)),
+            mueller_polarizer(angle, leak),
+            atol=1e-12,
+        )
+        np.testing.assert_allclose(
+            jones_to_mueller(jones_retarder(delta, angle)),
+            mueller_retarder(delta, angle),
+            atol=1e-12,
+        )
+
+
+class TestReferenceChainAgreement:
+    """Family 3: fast spectral kernel == slow matrix chains, non-degenerate."""
+
+    @given(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.8, max_value=1.2),
+        st.floats(min_value=420.0, max_value=680.0),
+        st.floats(min_value=0.0, max_value=0.05),
+        st.floats(min_value=0.0, max_value=0.05),
+        st.floats(min_value=0.0, max_value=0.2),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_stokes_chain_matches_kernel(self, phi, scale, wavelength, lt, lr, dep):
+        config = PolarStackConfig(
+            spectral=SpectralConfig.monochromatic(wavelength),
+            tag_polarizer=PolarizerSpec(extinction_ratio=1.0 / lt) if lt else PolarizerSpec.ideal(),
+            reader_polarizer=PolarizerSpec(extinction_ratio=1.0 / lr) if lr else PolarizerSpec.ideal(),
+            retro_depolarization=dep,
+        )
+        stokes = stokes_pixel_vector(config, phi, wavelength, retardance_scale=scale)
+        leak_r = config.reader_polarizer.leakage
+        diff = stokes_analyzer_intensity(stokes, 0.0, leak_r) - stokes_analyzer_intensity(
+            stokes, math.pi / 2, leak_r
+        )
+        kernel = spectral_amplitude(
+            config, np.array([[phi]]), retardance_scale=np.array([[scale]])
+        )[0, 0]
+        assert diff / stokes[0] == pytest.approx(kernel, abs=1e-10)
+
+    @given(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.8, max_value=1.2),
+        st.floats(min_value=420.0, max_value=680.0),
+        st.floats(min_value=0.0, max_value=0.05),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_jones_chain_matches_kernel(self, phi, scale, wavelength, lr):
+        config = PolarStackConfig(
+            spectral=SpectralConfig.monochromatic(wavelength),
+            reader_polarizer=PolarizerSpec(extinction_ratio=1.0 / lr) if lr else PolarizerSpec.ideal(),
+        )
+        diff = jones_pixel_intensity(
+            config, phi, 0.0, wavelength, retardance_scale=scale
+        ) - jones_pixel_intensity(config, phi, math.pi / 2, wavelength, retardance_scale=scale)
+        kernel = spectral_amplitude(
+            config, np.array([[phi]]), retardance_scale=np.array([[scale]])
+        )[0, 0]
+        assert diff == pytest.approx(kernel, abs=1e-10)
+
+    @given(st.floats(min_value=0.0, max_value=1.0), seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_spectral_sum_is_weighted_per_line_sum(self, phi, seed):
+        """The LED kernel is exactly the detection-weighted sum of
+        single-line kernels — no hidden renormalisation."""
+        config = PolarStackConfig(spectral=SpectralConfig.led_cold_white())
+        scale = np.random.default_rng(seed).uniform(0.9, 1.1)
+        total = 0.0
+        for wavelength, weight in zip(
+            config.spectral.wavelengths_nm, config.spectral.weights()
+        ):
+            line = PolarStackConfig(
+                spectral=SpectralConfig.monochromatic(wavelength),
+                dispersion=config.dispersion,
+            )
+            total += weight * spectral_amplitude(
+                line, np.array([[phi]]), retardance_scale=np.array([[scale]])
+            )[0, 0]
+        got = spectral_amplitude(
+            config, np.array([[phi]]), retardance_scale=np.array([[scale]])
+        )[0, 0]
+        assert got == pytest.approx(total, abs=1e-12)

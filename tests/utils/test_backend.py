@@ -185,6 +185,28 @@ class TestSeamBitIdentity:
         np.testing.assert_array_equal(base.levels_i, proxied.levels_i)
         assert rec.xp.op_log
 
+    def test_polarization_emit_identical_under_recording_backend(self):
+        from repro.lcm.array import LCMArray
+        from repro.lcm.dispersion import LCDispersionModel
+        from repro.optics.polarstack import PolarStackConfig, SpectralConfig
+
+        config = PolarStackConfig(
+            spectral=SpectralConfig.led_cold_white(),
+            dispersion=LCDispersionModel(temperature_c=31.0),
+        )
+        array = LCMArray.build(2, 4, rng=13, fidelity="jones", polarization=config)
+        drive = (
+            np.random.default_rng(14)
+            .integers(0, 2, size=(array.n_pixels, 24))
+            .astype(np.uint8)
+        )
+        base = array.emit(drive, 5e-4, 2e4, roll_rad=0.3)
+        rec = make_recording_backend()
+        with use_backend(rec):
+            proxied = array.emit(drive, 5e-4, 2e4, roll_rad=0.3)
+        np.testing.assert_array_equal(np.asarray(base), np.asarray(proxied))
+        assert rec.xp.op_log, "spectral kernels bypassed the seam"
+
     def test_fleet_run_identical_under_recording_backend(self):
         from repro.faults.network import NETWORK_SCENARIOS
         from repro.network.fleet import FleetConfig, FleetSimulator
@@ -215,11 +237,17 @@ class TestSeamBitIdentity:
 
 def _hot_functions():
     from repro.lcm import response as lcm_response
+    from repro.lcm.dispersion import LCDispersionModel
     from repro.modem.dfe import DFEBlockSession, DFEDemodulator
     from repro.network.linkstore import LinkStateStore
+    from repro.optics import polarstack
     from repro.phy.streaming import StreamingReceiver, _GrowBuffer
 
     funcs = [
+        LCDispersionModel.mixture_fraction,
+        polarstack.spectral_amplitude,
+        polarstack.jones_baseband,
+        polarstack.stokes_baseband,
         LinkStateStore.serve_round,
         LinkStateStore._apply_outcomes,
         DFEBlockSession.__init__,
